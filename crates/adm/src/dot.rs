@@ -1,0 +1,150 @@
+//! Graphviz (DOT) rendering of web schemes — Figure 1 as a picture.
+//!
+//! Page-schemes render as record nodes listing their attributes; links
+//! render as labeled edges; entry points are drawn double-framed with
+//! their URL. Constraints are listed in a legend node so the full scheme
+//! of Figure 1 fits one diagram.
+
+use crate::schema::WebScheme;
+use crate::types::{Field, WebType};
+use std::fmt::Write as _;
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('{', "\\{")
+        .replace('}', "\\}")
+        .replace('<', "\\<")
+        .replace('>', "\\>")
+        .replace('|', "\\|")
+}
+
+fn field_lines(fields: &[Field], indent: usize, out: &mut Vec<String>) {
+    for f in fields {
+        let pad = "\\ ".repeat(indent * 2);
+        match &f.ty {
+            WebType::List(inner) => {
+                out.push(format!("{pad}{}: list", escape(&f.name)));
+                field_lines(inner, indent + 1, out);
+            }
+            WebType::Link { target } => {
+                out.push(format!("{pad}{}: → {}", escape(&f.name), escape(target)));
+            }
+            other => {
+                let opt = if f.optional { "?" } else { "" };
+                out.push(format!("{pad}{}: {}{opt}", escape(&f.name), other.kind()));
+            }
+        }
+    }
+}
+
+/// Renders a scheme as a DOT digraph.
+pub fn scheme_to_dot(ws: &WebScheme) -> String {
+    let mut out = String::from("digraph web_scheme {\n");
+    out.push_str("  rankdir=LR;\n  node [shape=record, fontsize=10];\n");
+    for s in ws.schemes() {
+        let mut lines = vec![format!("{}", escape(&s.name))];
+        if let Some(ep) = ws.entry_point(&s.name) {
+            lines.push(format!("entry: {}", escape(ep.url.as_str())));
+        }
+        field_lines(&s.fields, 0, &mut lines);
+        let peripheries = if ws.is_entry_point(&s.name) { 2 } else { 1 };
+        let _ = writeln!(
+            out,
+            "  \"{}\" [label=\"{{{}}}\", peripheries={}];",
+            s.name,
+            lines.join("|"),
+            peripheries
+        );
+    }
+    for s in ws.schemes() {
+        for (path, target) in s.link_paths() {
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\" [label=\"{}\", fontsize=9];",
+                s.name,
+                target,
+                escape(&path.join("."))
+            );
+        }
+    }
+    // constraint legend
+    let mut legend: Vec<String> = Vec::new();
+    for c in ws.link_constraints() {
+        legend.push(escape(&c.to_string()));
+    }
+    for c in ws.inclusion_constraints() {
+        legend.push(escape(&c.to_string()));
+    }
+    if !legend.is_empty() {
+        let _ = writeln!(
+            out,
+            "  constraints [shape=note, fontsize=8, label=\"{}\"];",
+            legend.join("\\l")
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::PageScheme;
+    use crate::types::Field;
+
+    fn mini() -> WebScheme {
+        let list = PageScheme::new(
+            "ListPage",
+            vec![Field::list(
+                "Items",
+                vec![Field::text("Name"), Field::link("ToItem", "ItemPage")],
+            )],
+        )
+        .unwrap();
+        let item = PageScheme::new("ItemPage", vec![Field::text("Name")]).unwrap();
+        WebScheme::builder()
+            .scheme(list)
+            .scheme(item)
+            .entry_point("ListPage", "/list.html")
+            .link_constraint(
+                crate::LinkConstraint::parse(
+                    "ListPage.Items.ToItem",
+                    "ListPage.Items.Name",
+                    "ItemPage.Name",
+                )
+                .unwrap(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn dot_contains_nodes_edges_and_legend() {
+        let dot = scheme_to_dot(&mini());
+        assert!(dot.starts_with("digraph web_scheme {"));
+        assert!(dot.contains("\"ListPage\" [label="));
+        assert!(dot.contains("\"ListPage\" -> \"ItemPage\""));
+        assert!(dot.contains("Items.ToItem"));
+        assert!(dot.contains("entry: /list.html"));
+        assert!(dot.contains("constraints [shape=note"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn entry_points_double_framed() {
+        let dot = scheme_to_dot(&mini());
+        let list_line = dot.lines().find(|l| l.contains("\"ListPage\" [")).unwrap();
+        assert!(list_line.contains("peripheries=2"));
+        let item_line = dot.lines().find(|l| l.contains("\"ItemPage\" [")).unwrap();
+        assert!(item_line.contains("peripheries=1"));
+    }
+
+    #[test]
+    fn special_characters_escaped() {
+        let s = PageScheme::new("P", vec![Field::text("A<B>|{}")]).unwrap();
+        let ws = WebScheme::builder().scheme(s).build().unwrap();
+        let dot = scheme_to_dot(&ws);
+        assert!(dot.contains("A\\<B\\>\\|\\{\\}"));
+    }
+}

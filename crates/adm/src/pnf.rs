@@ -1,0 +1,434 @@
+//! Partitioned Normal Form: nest, full unnest, and flat decomposition.
+//!
+//! The paper assumes page-relations are nested relations in PNF
+//! (footnote 5, citing Roth–Korth–Silberschatz): at every nesting level the
+//! mono-valued attributes form a key. Section 8 uses the classical
+//! consequence: a PNF nested relation "can be easily decomposed in flat
+//! relations and stored in a relational DBMS". This module provides that
+//! machinery:
+//!
+//! * [`Relation::nest`] — the inverse of unnest ν (on PNF inputs);
+//! * [`fully_unnest`] — flatten a page-relation completely;
+//! * [`decompose`] — one flat table per nesting level, keyed by the URL
+//!   plus the ancestor levels' mono attributes;
+//! * [`is_pnf`] — check the PNF key property on an instance.
+
+use crate::error::AdmError;
+use crate::relation::Relation;
+use crate::schema::PageScheme;
+use crate::types::{Field, WebType};
+use crate::url::Url;
+use crate::value::{Tuple, Value};
+use crate::Result;
+use std::collections::BTreeMap;
+
+impl Relation {
+    /// Nest ν: groups rows by all columns *not* listed in `nested_cols`,
+    /// collecting the listed columns into a new list column `new_col`.
+    /// Inner field names strip the `"{new_col}."` prefix when present (the
+    /// convention `unnest` uses), so `nest` inverts `unnest` on PNF data.
+    pub fn nest(&self, nested_cols: &[&str], new_col: &str) -> Result<Relation> {
+        let nested_idx: Vec<usize> = nested_cols
+            .iter()
+            .map(|c| self.resolve(c))
+            .collect::<Result<_>>()?;
+        let keep_idx: Vec<usize> = (0..self.columns().len())
+            .filter(|i| !nested_idx.contains(i))
+            .collect();
+        let inner_names: Vec<String> = nested_idx
+            .iter()
+            .map(|&i| {
+                let full = &self.columns()[i];
+                full.strip_prefix(&format!("{new_col}."))
+                    .unwrap_or_else(|| full.rsplit('.').next().unwrap_or(full))
+                    .to_string()
+            })
+            .collect();
+        let mut columns: Vec<String> = keep_idx
+            .iter()
+            .map(|&i| self.columns()[i].clone())
+            .collect();
+        columns.push(new_col.to_string());
+        // group, preserving first-appearance order
+        let mut order: Vec<Vec<Value>> = Vec::new();
+        let mut groups: BTreeMap<usize, Vec<Tuple>> = BTreeMap::new();
+        let mut index: std::collections::HashMap<Vec<Value>, usize> =
+            std::collections::HashMap::new();
+        for row in self.rows() {
+            let key: Vec<Value> = keep_idx.iter().map(|&i| row[i].clone()).collect();
+            let gi = *index.entry(key.clone()).or_insert_with(|| {
+                order.push(key);
+                order.len() - 1
+            });
+            let inner = Tuple::from_pairs(
+                inner_names
+                    .iter()
+                    .cloned()
+                    .zip(nested_idx.iter().map(|&i| row[i].clone()))
+                    .collect(),
+            );
+            groups.entry(gi).or_default().push(inner);
+        }
+        let mut out = Relation::new(columns);
+        for (gi, key) in order.into_iter().enumerate() {
+            let mut row = key;
+            row.push(Value::List(groups.remove(&gi).unwrap_or_default()));
+            out.push_row(row)?;
+        }
+        Ok(out)
+    }
+}
+
+/// True if an instance satisfies PNF: at every level, the mono-valued
+/// attributes (plus the page URL at the top level) form a key.
+pub fn is_pnf(scheme: &PageScheme, instance: &[(Url, Tuple)]) -> bool {
+    fn level_ok(fields: &[Field], rows: &[&Tuple]) -> bool {
+        let mono: Vec<&Field> = fields.iter().filter(|f| f.ty.is_mono_valued()).collect();
+        let mut seen = std::collections::HashSet::new();
+        for t in rows {
+            let key: Vec<Option<&Value>> = mono.iter().map(|f| t.get(&f.name)).collect();
+            if !seen.insert(format!("{key:?}")) {
+                return false;
+            }
+        }
+        // recurse into each list attribute
+        for f in fields {
+            if let WebType::List(inner) = &f.ty {
+                for t in rows {
+                    if let Some(Value::List(items)) = t.get(&f.name) {
+                        let refs: Vec<&Tuple> = items.iter().collect();
+                        if !level_ok(inner, &refs) {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+    // URLs are unique by construction (map keys); check attribute levels
+    // within every page.
+    instance.iter().all(|(_, t)| {
+        let refs = [t];
+        level_ok(&scheme.fields, &refs)
+    })
+}
+
+/// Fully unnests a page-relation into one flat relation (columns:
+/// `Scheme.URL`, every mono path, one row per innermost combination).
+pub fn fully_unnest(scheme: &PageScheme, instance: &[(Url, Tuple)]) -> Result<Relation> {
+    let mut rel = page_relation(scheme, instance)?;
+    loop {
+        // find a column whose first non-null value is a list
+        let mut target: Option<String> = None;
+        'outer: for (i, col) in rel.columns().iter().enumerate() {
+            for row in rel.rows() {
+                match &row[i] {
+                    Value::List(_) => {
+                        target = Some(col.clone());
+                        break 'outer;
+                    }
+                    Value::Null => continue,
+                    _ => continue 'outer,
+                }
+            }
+        }
+        match target {
+            Some(col) => {
+                rel = rel.unnest_infer(&col)?;
+            }
+            None => return Ok(rel),
+        }
+    }
+}
+
+/// The page-relation of a scheme instance: `Scheme.URL` plus one column
+/// per top-level attribute (lists nested).
+pub fn page_relation(scheme: &PageScheme, instance: &[(Url, Tuple)]) -> Result<Relation> {
+    let mut cols = vec![format!("{}.URL", scheme.name)];
+    cols.extend(
+        scheme
+            .fields
+            .iter()
+            .map(|f| format!("{}.{}", scheme.name, f.name)),
+    );
+    let mut rel = Relation::new(cols);
+    for (url, t) in instance {
+        let mut row = vec![Value::Link(url.clone())];
+        for f in &scheme.fields {
+            row.push(t.get(&f.name).cloned().unwrap_or(Value::Null));
+        }
+        rel.push_row(row)?;
+    }
+    Ok(rel)
+}
+
+/// Decomposes a page-relation into flat tables, one per nesting level:
+/// the top table `Scheme` holds URL + mono attributes; each list attribute
+/// `Scheme.Path.To.List` becomes a table keyed by the URL plus the mono
+/// attributes of every enclosing level (the PNF keys).
+pub fn decompose(
+    scheme: &PageScheme,
+    instance: &[(Url, Tuple)],
+) -> Result<BTreeMap<String, Relation>> {
+    let mut tables: BTreeMap<String, Relation> = BTreeMap::new();
+
+    fn table_for(
+        tables: &mut BTreeMap<String, Relation>,
+        name: &str,
+        cols: &[String],
+    ) -> Result<()> {
+        if !tables.contains_key(name) {
+            tables.insert(name.to_string(), Relation::new(cols.to_vec()));
+        } else if tables[name].columns() != cols {
+            return Err(AdmError::SchemaViolation(format!(
+                "inconsistent decomposition columns for {name}"
+            )));
+        }
+        Ok(())
+    }
+
+    fn walk(
+        tables: &mut BTreeMap<String, Relation>,
+        table_name: &str,
+        fields: &[Field],
+        key_cols: &[String],
+        key_vals: &[Value],
+        rows: &[&Tuple],
+    ) -> Result<()> {
+        let mono: Vec<&Field> = fields.iter().filter(|f| f.ty.is_mono_valued()).collect();
+        let mut cols: Vec<String> = key_cols.to_vec();
+        cols.extend(mono.iter().map(|f| format!("{table_name}.{}", f.name)));
+        table_for(tables, table_name, &cols)?;
+        for t in rows {
+            let mut row = key_vals.to_vec();
+            for f in &mono {
+                row.push(t.get(&f.name).cloned().unwrap_or(Value::Null));
+            }
+            // this level's key = parent key + own mono attributes
+            let child_key_cols = cols.clone();
+            let child_key_vals = row.clone();
+            tables
+                .get_mut(table_name)
+                .expect("inserted above")
+                .push_row(row)?;
+            for f in fields {
+                if let WebType::List(inner) = &f.ty {
+                    if let Some(Value::List(items)) = t.get(&f.name) {
+                        let child_name = format!("{table_name}.{}", f.name);
+                        let refs: Vec<&Tuple> = items.iter().collect();
+                        walk(
+                            tables,
+                            &child_name,
+                            inner,
+                            &child_key_cols,
+                            &child_key_vals,
+                            &refs,
+                        )?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    for (url, t) in instance {
+        let key_cols = vec![format!("{}.URL", scheme.name)];
+        let key_vals = vec![Value::Link(url.clone())];
+        walk(
+            &mut tables,
+            &scheme.name,
+            &scheme.fields,
+            &key_cols,
+            &key_vals,
+            &[t],
+        )?;
+    }
+    Ok(tables)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Field;
+
+    fn prof_scheme() -> PageScheme {
+        PageScheme::new(
+            "ProfPage",
+            vec![
+                Field::text("PName"),
+                Field::text("Rank"),
+                Field::list(
+                    "CourseList",
+                    vec![Field::text("CName"), Field::link("ToCourse", "ProfPage")],
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn instance() -> Vec<(Url, Tuple)> {
+        vec![
+            (
+                Url::new("/p1"),
+                Tuple::new()
+                    .with("PName", "Codd")
+                    .with("Rank", "Full")
+                    .with_list(
+                        "CourseList",
+                        vec![
+                            Tuple::new()
+                                .with("CName", "DB")
+                                .with("ToCourse", Value::link("/c1")),
+                            Tuple::new()
+                                .with("CName", "OS")
+                                .with("ToCourse", Value::link("/c2")),
+                        ],
+                    ),
+            ),
+            (
+                Url::new("/p2"),
+                Tuple::new()
+                    .with("PName", "Gray")
+                    .with("Rank", "Full")
+                    .with_list("CourseList", vec![]),
+            ),
+        ]
+    }
+
+    #[test]
+    fn nest_inverts_unnest() {
+        let rel = page_relation(&prof_scheme(), &instance()).unwrap();
+        let un = rel
+            .unnest("CourseList", &["CName".into(), "ToCourse".into()])
+            .unwrap();
+        let re = un
+            .nest(
+                &["ProfPage.CourseList.CName", "ProfPage.CourseList.ToCourse"],
+                "ProfPage.CourseList",
+            )
+            .unwrap();
+        // unnest drops rows with empty lists, so compare against the
+        // original minus those rows
+        let nonempty = rel.select(|row| matches!(&row[3], Value::List(ts) if !ts.is_empty()));
+        assert_eq!(re.sorted(), nonempty.sorted());
+    }
+
+    #[test]
+    fn nest_groups_by_remaining_columns() {
+        let rel = Relation::from_rows(
+            vec!["A", "B"],
+            vec![
+                vec![Value::text("x"), Value::text("1")],
+                vec![Value::text("x"), Value::text("2")],
+                vec![Value::text("y"), Value::text("3")],
+            ],
+        )
+        .unwrap();
+        let n = rel.nest(&["B"], "Bs").unwrap();
+        assert_eq!(n.len(), 2);
+        let x_row = n.select_eq("A", &Value::text("x")).unwrap();
+        assert_eq!(x_row.rows()[0][1].as_list().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn pnf_holds_on_proper_instance() {
+        assert!(is_pnf(&prof_scheme(), &instance()));
+    }
+
+    #[test]
+    fn pnf_detects_duplicate_inner_keys() {
+        let bad = vec![(
+            Url::new("/p1"),
+            Tuple::new()
+                .with("PName", "Codd")
+                .with("Rank", "Full")
+                .with_list(
+                    "CourseList",
+                    vec![
+                        Tuple::new()
+                            .with("CName", "DB")
+                            .with("ToCourse", Value::link("/c1")),
+                        Tuple::new()
+                            .with("CName", "DB")
+                            .with("ToCourse", Value::link("/c1")),
+                    ],
+                ),
+        )];
+        assert!(!is_pnf(&prof_scheme(), &bad));
+    }
+
+    #[test]
+    fn fully_unnest_flattens_everything() {
+        let flat = fully_unnest(&prof_scheme(), &instance()).unwrap();
+        // /p1 contributes 2 rows; /p2 vanishes (empty list)
+        assert_eq!(flat.len(), 2);
+        assert!(flat.resolve("ProfPage.CourseList.CName").is_ok());
+        assert!(flat
+            .rows()
+            .iter()
+            .all(|r| r.iter().all(|v| !matches!(v, Value::List(_)))));
+    }
+
+    #[test]
+    fn decompose_produces_keyed_tables() {
+        let tables = decompose(&prof_scheme(), &instance()).unwrap();
+        assert_eq!(tables.len(), 2);
+        let top = &tables["ProfPage"];
+        assert_eq!(top.len(), 2);
+        assert_eq!(
+            top.columns(),
+            &[
+                "ProfPage.URL".to_string(),
+                "ProfPage.PName".to_string(),
+                "ProfPage.Rank".to_string(),
+            ]
+        );
+        let child = &tables["ProfPage.CourseList"];
+        assert_eq!(child.len(), 2); // two courses, both of /p1
+        assert!(child.resolve("ProfPage.URL").is_ok());
+        assert!(child.resolve("ProfPage.CourseList.CName").is_ok());
+    }
+
+    #[test]
+    fn decomposition_joins_back_to_full_unnest() {
+        let tables = decompose(&prof_scheme(), &instance()).unwrap();
+        let joined = tables["ProfPage"]
+            .join(
+                &rename_parent_key(&tables["ProfPage.CourseList"]),
+                &[("ProfPage.URL", "PK.URL")],
+            )
+            .unwrap()
+            .project(&[
+                "ProfPage.URL",
+                "ProfPage.PName",
+                "ProfPage.Rank",
+                "ProfPage.CourseList.CName",
+                "ProfPage.CourseList.ToCourse",
+            ])
+            .unwrap();
+        let flat = fully_unnest(&prof_scheme(), &instance()).unwrap();
+        let flat = flat
+            .project(&[
+                "ProfPage.URL",
+                "ProfPage.PName",
+                "ProfPage.Rank",
+                "ProfPage.CourseList.CName",
+                "ProfPage.CourseList.ToCourse",
+            ])
+            .unwrap();
+        assert_eq!(joined.sorted(), flat.sorted());
+    }
+
+    /// Renames the child table's parent-key columns so the join header
+    /// stays unambiguous.
+    fn rename_parent_key(child: &Relation) -> Relation {
+        child
+            .rename("ProfPage.URL", "PK.URL")
+            .unwrap()
+            .rename("ProfPage.PName", "PK.PName")
+            .unwrap()
+            .rename("ProfPage.Rank", "PK.Rank")
+            .unwrap()
+    }
+}

@@ -1,0 +1,116 @@
+//! Universal Resource Locators.
+//!
+//! The paper treats a link as a pair *(reference, anchor)* and models the
+//! anchor as an independent attribute, so a link value reduces to a URL.
+//! URLs here are site-relative paths (e.g. `/prof/12.html`): the simulated
+//! web (`websim`) is a single site, which mirrors the paper's setting of one
+//! scheme per site.
+
+use std::borrow::Borrow;
+use std::fmt;
+
+/// A normalized URL. Cheap to clone, ordered, hashable — URLs form the key
+/// of every page-relation.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Url(String);
+
+impl Url {
+    /// Creates a URL from a path, normalizing to a leading `/`.
+    pub fn new(path: impl Into<String>) -> Self {
+        let p: String = path.into();
+        if p.starts_with('/') {
+            Url(p)
+        } else {
+            Url(format!("/{p}"))
+        }
+    }
+
+    /// The path as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Returns the final path segment (the "file name"), if any.
+    pub fn file_name(&self) -> Option<&str> {
+        self.0.rsplit('/').next().filter(|s| !s.is_empty())
+    }
+
+    /// Returns the parent directory path, always ending in `/`.
+    pub fn parent(&self) -> &str {
+        match self.0.rfind('/') {
+            Some(i) => &self.0[..=i],
+            None => "/",
+        }
+    }
+}
+
+impl fmt::Display for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Url({})", self.0)
+    }
+}
+
+impl From<&str> for Url {
+    fn from(s: &str) -> Self {
+        Url::new(s)
+    }
+}
+
+impl From<String> for Url {
+    fn from(s: String) -> Self {
+        Url::new(s)
+    }
+}
+
+impl Borrow<str> for Url {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn normalizes_leading_slash() {
+        assert_eq!(Url::new("a/b.html").as_str(), "/a/b.html");
+        assert_eq!(Url::new("/a/b.html").as_str(), "/a/b.html");
+    }
+
+    #[test]
+    fn file_name_and_parent() {
+        let u = Url::new("/dept/cs/index.html");
+        assert_eq!(u.file_name(), Some("index.html"));
+        assert_eq!(u.parent(), "/dept/cs/");
+        let root = Url::new("/");
+        assert_eq!(root.file_name(), None);
+        assert_eq!(root.parent(), "/");
+    }
+
+    #[test]
+    fn hashable_and_borrowable() {
+        let mut set = HashSet::new();
+        set.insert(Url::new("/x.html"));
+        assert!(set.contains("/x.html"));
+        assert!(!set.contains("/y.html"));
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let u = Url::new("p.html");
+        assert_eq!(Url::new(u.to_string()), u);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(Url::new("/a") < Url::new("/b"));
+    }
+}

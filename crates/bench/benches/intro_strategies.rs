@@ -1,0 +1,43 @@
+//! Wall-clock benchmarks for E1: evaluating the introduction's navigation
+//! strategies (engine speed; the page-access counts are in the harness).
+
+use bench::fixtures::intro_strategies;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nalg::Evaluator;
+use websim::sitegen::{BibConfig, Bibliography};
+use wvcore::LiveSource;
+
+fn bench_strategies(c: &mut Criterion) {
+    let bib = Bibliography::generate(BibConfig {
+        authors: 300,
+        papers_per_edition: 20,
+        ..BibConfig::default()
+    })
+    .unwrap();
+    let source = LiveSource::for_site(&bib.site);
+    let years = bib.last_three_years();
+    let strategies = intro_strategies(&years);
+    let names = [
+        "s1_conf_list",
+        "s2_db_list",
+        "s3_featured",
+        "s4_author_first",
+    ];
+    let mut group = c.benchmark_group("intro_strategies");
+    group.sample_size(10);
+    for (name, plan) in names.iter().zip(&strategies) {
+        group.bench_with_input(BenchmarkId::from_parameter(name), plan, |b, plan| {
+            b.iter(|| {
+                Evaluator::new(&bib.site.scheme, &source)
+                    .eval(plan)
+                    .unwrap()
+                    .relation
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

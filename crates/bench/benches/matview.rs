@@ -1,0 +1,44 @@
+//! Wall-clock benchmarks for E5: materialized-view query evaluation
+//! (warm store) versus virtual-view evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use matview::{MatSession, MatStore};
+use websim::sitegen::{University, UniversityConfig};
+use wvcore::{ConjunctiveQuery, LiveSource, QuerySession, SiteStatistics};
+
+fn query() -> ConjunctiveQuery {
+    ConjunctiveQuery::new("grad")
+        .atom("Course")
+        .select((0, "Type"), "Graduate")
+        .project((0, "CName"))
+}
+
+fn bench_matview(c: &mut Criterion) {
+    let u = University::generate(UniversityConfig::default()).unwrap();
+    let stats = SiteStatistics::from_site(&u.site);
+    let catalog = wvcore::views::university_catalog();
+
+    let mut group = c.benchmark_group("matview");
+    group.sample_size(10);
+    group.bench_function("materialize_site", |b| {
+        b.iter(|| {
+            let mut store = MatStore::new();
+            store.materialize(&u.site.scheme, &u.site.server).unwrap()
+        })
+    });
+    group.bench_function("query_warm_store", |b| {
+        let mut store = MatStore::new();
+        store.materialize(&u.site.scheme, &u.site.server).unwrap();
+        let session = MatSession::new(&u.site.scheme, &catalog, &stats, &u.site.server);
+        b.iter(|| session.run(&mut store, &query()).unwrap().relation.len())
+    });
+    group.bench_function("query_virtual_view", |b| {
+        let source = LiveSource::for_site(&u.site);
+        let session = QuerySession::new(&u.site.scheme, &catalog, &stats, &source);
+        b.iter(|| session.run(&query()).unwrap().report.relation.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matview);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Wall-clock benchmarks for E3 (Example 7.2): the pointer-chase query,
+//! end to end (optimize + evaluate) and per plan.
+
+use bench::fixtures::{example_72_plan_1, example_72_plan_2};
+use bench::query_72;
+use criterion::{criterion_group, criterion_main, Criterion};
+use websim::sitegen::{University, UniversityConfig};
+use wvcore::{LiveSource, QuerySession, SiteStatistics};
+
+fn bench_example_72(c: &mut Criterion) {
+    let u = University::generate(UniversityConfig::default()).unwrap();
+    let stats = SiteStatistics::from_site(&u.site);
+    let catalog = wvcore::views::university_catalog();
+    let source = LiveSource::for_site(&u.site);
+    let session = QuerySession::new(&u.site.scheme, &catalog, &stats, &source);
+
+    let mut group = c.benchmark_group("example_72");
+    group.sample_size(10);
+    group.bench_function("optimize_and_run", |b| {
+        b.iter(|| session.run(&query_72()).unwrap().report.relation.len())
+    });
+    group.bench_function("execute_pointer_chase", |b| {
+        let plan = example_72_plan_2("Computer Science");
+        b.iter(|| session.execute(&plan).unwrap().relation.len())
+    });
+    group.bench_function("execute_pointer_join", |b| {
+        let plan = example_72_plan_1("Computer Science");
+        b.iter(|| session.execute(&plan).unwrap().relation.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_example_72);
+criterion_main!(benches);

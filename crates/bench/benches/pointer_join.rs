@@ -1,0 +1,49 @@
+//! Wall-clock benchmarks for E2 (Example 7.1): optimizing and executing
+//! the pointer-join query at increasing site sizes.
+
+use bench::fixtures::{example_71_plan_1d, example_71_plan_2d};
+use bench::query_71;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use websim::sitegen::{University, UniversityConfig};
+use wvcore::{LiveSource, Optimizer, QuerySession, SiteStatistics};
+
+fn bench_example_71(c: &mut Criterion) {
+    let mut group = c.benchmark_group("example_71");
+    group.sample_size(10);
+    for courses in [50usize, 200] {
+        let u = University::generate(UniversityConfig {
+            courses,
+            ..UniversityConfig::default()
+        })
+        .unwrap();
+        let stats = SiteStatistics::from_site(&u.site);
+        let catalog = wvcore::views::university_catalog();
+        let source = LiveSource::for_site(&u.site);
+        let session = QuerySession::new(&u.site.scheme, &catalog, &stats, &source);
+
+        group.bench_with_input(BenchmarkId::new("optimize", courses), &courses, |b, _| {
+            let opt = Optimizer::new(&u.site.scheme, &catalog, &stats);
+            b.iter(|| opt.optimize(&query_71()).unwrap().candidates.len())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("execute_pointer_join", courses),
+            &courses,
+            |b, _| {
+                let plan = example_71_plan_1d();
+                b.iter(|| session.execute(&plan).unwrap().relation.len())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("execute_pointer_chase", courses),
+            &courses,
+            |b, _| {
+                let plan = example_71_plan_2d();
+                b.iter(|| session.execute(&plan).unwrap().relation.len())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_example_71);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Wall-clock benchmarks for the local (free, in the paper's cost model)
+//! relational operators: hash join, unnest, projection-dedup at size.
+
+use adm::{Relation, Tuple, Value};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn flat(n: usize, prefix: &str) -> Relation {
+    Relation::from_rows(
+        vec![format!("{prefix}.K"), format!("{prefix}.V")],
+        (0..n)
+            .map(|i| {
+                vec![
+                    Value::text(format!("k{}", i % (n / 2).max(1))),
+                    Value::text(format!("v{i}")),
+                ]
+            })
+            .collect(),
+    )
+    .unwrap()
+}
+
+fn nested(n: usize, fanout: usize) -> Relation {
+    Relation::from_rows(
+        vec!["P.URL".to_string(), "P.L".to_string()],
+        (0..n)
+            .map(|i| {
+                vec![
+                    Value::link(format!("/p/{i}")),
+                    Value::List(
+                        (0..fanout)
+                            .map(|j| Tuple::new().with("A", format!("a{i}-{j}")))
+                            .collect(),
+                    ),
+                ]
+            })
+            .collect(),
+    )
+    .unwrap()
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relation_ops");
+    for n in [100usize, 1000, 10000] {
+        let left = flat(n, "L");
+        let right = flat(n, "R");
+        group.bench_with_input(BenchmarkId::new("hash_join", n), &n, |b, _| {
+            b.iter(|| left.join(&right, &[("L.K", "R.K")]).unwrap().len())
+        });
+        let nest_rel = nested(n / 10 + 1, 10);
+        group.bench_with_input(BenchmarkId::new("unnest", n), &n, |b, _| {
+            b.iter(|| nest_rel.unnest("P.L", &["A".to_string()]).unwrap().len())
+        });
+        group.bench_with_input(BenchmarkId::new("project_dedup", n), &n, |b, _| {
+            b.iter(|| left.project(&["L.K"]).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! The experiment harness: regenerates every quantitative claim and figure
+//! of the paper.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin harness            # all experiments, quick scales
+//! cargo run --release -p bench --bin harness -- full    # includes the 16,000-author sweep
+//! cargo run --release -p bench --bin harness -- e3      # a single experiment
+//! ```
+
+use bench::table::Table;
+use bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "full");
+    let markdown = args.iter().any(|a| a == "--markdown" || a == "md");
+    let passthrough = |a: &String| a == "full" || a == "--markdown" || a == "md";
+    let want = |id: &str| {
+        args.iter().filter(|a| !passthrough(a)).count() == 0
+            || args.iter().any(|a| a.eq_ignore_ascii_case(id))
+    };
+    let show = |t: Table| {
+        if markdown {
+            println!("{}", t.render_markdown());
+        } else {
+            println!("{t}");
+        }
+    };
+
+    println!("Efficient Queries over Web Views — experiment harness");
+    println!("(paper: Mecca, Mendelzon, Merialdo, EDBT 1998)\n");
+
+    if want("f1") {
+        println!("{}", f1_schemes());
+    }
+    if want("e1") {
+        let scales: &[usize] = if full {
+            &[100, 400, 1600, 16000]
+        } else {
+            &[100, 400, 1600]
+        };
+        show(e1_intro_strategies(scales));
+    }
+    if want("e2") {
+        show(e2_pointer_join(&[20, 50, 100, 200]));
+    }
+    if want("e3") {
+        show(e3_pointer_chase(&[1, 2, 3, 4, 6]));
+    }
+    if want("e4") {
+        show(e4_cost_model());
+    }
+    if want("e5") {
+        show(e5_materialized_views(&[0, 1, 5, 10, 25, 50]));
+        show(e5_structural());
+    }
+    if want("e6") {
+        show(e6_optimizer_wins());
+    }
+    if want("e7") {
+        println!("{}", e7_figures());
+    }
+    if want("e8") {
+        show(e8_ablation());
+    }
+    if want("x1") {
+        show(x1_latency_hiding(2, &[1, 2, 4, 8, 16]));
+    }
+    if args.iter().any(|a| a.eq_ignore_ascii_case("dot")) {
+        println!("{}", dot_figures());
+    }
+}

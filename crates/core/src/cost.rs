@@ -1,0 +1,375 @@
+//! The cost model of Section 6.2.
+//!
+//! **Step 1** estimates the cardinality of every intermediate result:
+//!
+//! ```text
+//! |P ∘ L|        = |P| · |L|                (fan-out)
+//! |σ_{A=v}(R)|   = |R| · s_A,  s_A = 1/c_A  (uniformity assumption)
+//! |R1 ⋈_A R2|    = |R1| · |R2| · jsel
+//! |π_X(R)|       = min(|R|, Π c_X)          (set projection)
+//! |R –L→ P|      = |R|                      (L is a key join on URL)
+//! ```
+//!
+//! **Step 2** sums operator costs: only network access costs anything —
+//! an entry point costs 1 page, a navigation `R –L→ P` costs the number of
+//! *distinct* outgoing links `|π_L(R)|`, estimated as
+//! `min(|R|, c_L)`; σ, π, ⋈ are local and free.
+//!
+//! Costs carry a secondary **bytes** component (page count × average page
+//! size) used only to break page-count ties, reproducing the paper's
+//! preference for strategy 2 (the smaller database-conference list page)
+//! over strategy 1.
+
+use crate::stats::SiteStatistics;
+use crate::{OptError, Result};
+use nalg::expr::resolve_column;
+use nalg::{NalgExpr, Pred};
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Add;
+
+/// An estimated plan cost: pages downloaded, with a bytes tiebreaker.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cost {
+    /// Estimated number of page downloads (the paper's 𝒞).
+    pub pages: f64,
+    /// Estimated bytes transferred (secondary, tie-breaking component).
+    pub bytes: f64,
+}
+
+impl Cost {
+    /// The zero cost.
+    pub const ZERO: Cost = Cost {
+        pages: 0.0,
+        bytes: 0.0,
+    };
+
+    /// Lexicographic comparison with a small tolerance on pages.
+    pub fn better_than(&self, other: &Cost) -> bool {
+        const EPS: f64 = 1e-6;
+        if self.pages + EPS < other.pages {
+            return true;
+        }
+        if (self.pages - other.pages).abs() <= EPS {
+            return self.bytes < other.bytes;
+        }
+        false
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+    fn add(self, rhs: Cost) -> Cost {
+        Cost {
+            pages: self.pages + rhs.pages,
+            bytes: self.bytes + rhs.bytes,
+        }
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} pages ({:.1} KB)", self.pages, self.bytes / 1024.0)
+    }
+}
+
+/// A full cost estimate for an expression.
+#[derive(Debug, Clone)]
+pub struct Estimate {
+    /// Estimated output cardinality.
+    pub card: f64,
+    /// Estimated total cost.
+    pub cost: Cost,
+    /// Per-navigation breakdown (operator label, estimated page accesses),
+    /// mirroring [`nalg::EvalReport::accesses_by_operator`].
+    pub per_operator: Vec<(String, f64)>,
+}
+
+/// Rewrites an alias-qualified column (`Ed96.Editors`) into the
+/// scheme-qualified statistics key (`EditionPage.Editors`).
+fn stats_key(aliases: &HashMap<String, String>, qualified: &str) -> String {
+    match qualified.split_once('.') {
+        Some((alias, rest)) => {
+            let scheme = aliases.get(alias).map(String::as_str).unwrap_or(alias);
+            format!("{scheme}.{rest}")
+        }
+        None => qualified.to_string(),
+    }
+}
+
+struct Estimator<'a> {
+    ws: &'a adm::WebScheme,
+    stats: &'a SiteStatistics,
+    aliases: HashMap<String, String>,
+    per_op: Vec<(String, f64)>,
+}
+
+/// Estimates the cardinality and cost of a computable expression.
+pub fn estimate(expr: &NalgExpr, ws: &adm::WebScheme, stats: &SiteStatistics) -> Result<Estimate> {
+    let aliases = expr.alias_map().map_err(OptError::Eval)?;
+    let mut est = Estimator {
+        ws,
+        stats,
+        aliases,
+        per_op: Vec::new(),
+    };
+    let (card, cost) = est.walk(expr)?;
+    Ok(Estimate {
+        card,
+        cost,
+        per_operator: est.per_op,
+    })
+}
+
+impl Estimator<'_> {
+    fn cols(&self, e: &NalgExpr) -> Result<Vec<String>> {
+        e.output_columns(self.ws).map_err(OptError::Eval)
+    }
+
+    fn key_for(&self, cols: &[String], attr: &str) -> Result<String> {
+        let i = resolve_column(cols, attr).map_err(OptError::Eval)?;
+        Ok(stats_key(&self.aliases, &cols[i]))
+    }
+
+    fn pred_selectivity(&self, cols: &[String], pred: &Pred) -> Result<f64> {
+        let mut sel = 1.0;
+        for atom in pred.conjuncts() {
+            sel *= match &atom {
+                Pred::Eq(a, _) => {
+                    let key = self.key_for(cols, a)?;
+                    1.0 / self.stats.distinct_of(&key).max(1.0)
+                }
+                Pred::EqAttr(a, b) => {
+                    let ka = self.key_for(cols, a)?;
+                    let kb = self.key_for(cols, b)?;
+                    self.stats.selectivity(&ka, &kb)
+                }
+                Pred::And(_) => unreachable!("conjuncts() returns atoms"),
+            };
+        }
+        Ok(sel)
+    }
+
+    /// Returns (cardinality, accumulated cost) of a subexpression.
+    fn walk(&mut self, e: &NalgExpr) -> Result<(f64, Cost)> {
+        match e {
+            NalgExpr::External { name } => Err(OptError::NoPlan(format!(
+                "cannot cost unresolved external relation {name}"
+            ))),
+            NalgExpr::Entry { scheme, .. } => {
+                let card = if self.ws.is_entry_point(scheme) {
+                    1.0
+                } else {
+                    self.stats.card(scheme)
+                };
+                self.per_op.push((format!("entry {scheme}"), 1.0));
+                Ok((
+                    card,
+                    Cost {
+                        pages: 1.0,
+                        bytes: self.stats.bytes_of(scheme),
+                    },
+                ))
+            }
+            NalgExpr::Select { input, pred } => {
+                let (card, cost) = self.walk(input)?;
+                let cols = self.cols(input)?;
+                let sel = self.pred_selectivity(&cols, pred)?;
+                Ok((card * sel, cost))
+            }
+            NalgExpr::Project { input, cols } => {
+                let (card, cost) = self.walk(input)?;
+                let in_cols = self.cols(input)?;
+                let mut distinct = 1.0;
+                for c in cols {
+                    let key = self.key_for(&in_cols, c)?;
+                    distinct *= self.stats.distinct_of(&key).max(1.0);
+                }
+                Ok((card.min(distinct), cost))
+            }
+            NalgExpr::Join { left, right, on } => {
+                let (cl, costl) = self.walk(left)?;
+                let (cr, costr) = self.walk(right)?;
+                let lcols = self.cols(left)?;
+                let rcols = self.cols(right)?;
+                let mut sel = 1.0;
+                for (a, b) in on {
+                    let ka = self.key_for(&lcols, a)?;
+                    let kb = self.key_for(&rcols, b)?;
+                    sel *= self.stats.selectivity(&ka, &kb);
+                }
+                Ok((cl * cr * sel, costl + costr))
+            }
+            NalgExpr::Unnest { input, attr } => {
+                let (card, cost) = self.walk(input)?;
+                let cols = self.cols(input)?;
+                let key = self.key_for(&cols, attr)?;
+                Ok((card * self.stats.fanout_of(&key), cost))
+            }
+            NalgExpr::Follow {
+                input,
+                link,
+                target,
+                ..
+            } => {
+                let (card, cost) = self.walk(input)?;
+                let cols = self.cols(input)?;
+                let key = self.key_for(&cols, link)?;
+                let distinct_links = card.min(self.stats.distinct_of(&key)).max(0.0);
+                self.per_op
+                    .push((format!("–{link}→ {target}"), distinct_links));
+                let nav_cost = Cost {
+                    pages: distinct_links,
+                    bytes: distinct_links * self.stats.bytes_of(target),
+                };
+                Ok((card, cost + nav_cost))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::SiteStatistics;
+    use nalg::Pred;
+    use websim::sitegen::university::university_scheme;
+    use websim::sitegen::{University, UniversityConfig};
+
+    fn fixtures() -> (adm::WebScheme, SiteStatistics) {
+        let u = University::generate(UniversityConfig::default()).unwrap();
+        let stats = SiteStatistics::from_site(&u.site);
+        (university_scheme(), stats)
+    }
+
+    #[test]
+    fn entry_costs_one_page() {
+        let (ws, stats) = fixtures();
+        let e = NalgExpr::entry("ProfListPage");
+        let est = estimate(&e, &ws, &stats).unwrap();
+        assert_eq!(est.cost.pages, 1.0);
+        assert_eq!(est.card, 1.0);
+    }
+
+    #[test]
+    fn full_professor_navigation_cost() {
+        let (ws, stats) = fixtures();
+        // ProfListPage ∘ ProfList –ToProf→ ProfPage: 1 + |ProfPage| pages.
+        let e = NalgExpr::entry("ProfListPage")
+            .unnest("ProfList")
+            .follow("ToProf", "ProfPage");
+        let est = estimate(&e, &ws, &stats).unwrap();
+        assert!((est.cost.pages - 21.0).abs() < 1e-6);
+        assert!((est.card - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pushed_selection_reduces_navigation_cost() {
+        let (ws, stats) = fixtures();
+        // σ DName='CS' before following: only one department page fetched.
+        let e = NalgExpr::entry("DeptListPage")
+            .unnest("DeptList")
+            .select(Pred::eq("DName", "Computer Science"))
+            .follow("ToDept", "DeptPage");
+        let est = estimate(&e, &ws, &stats).unwrap();
+        assert!((est.cost.pages - 2.0).abs() < 1e-6);
+        assert!((est.card - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_example_72_pointer_chase_cost() {
+        let (ws, stats) = fixtures();
+        // Plan (2) of Example 7.2:
+        // 1 + 1 + |Prof|/|Dept| + |Course|/|Dept| ≈ 25.3 at (50, 20, 3)
+        let e = NalgExpr::entry("DeptListPage")
+            .unnest("DeptList")
+            .select(Pred::eq("DName", "Computer Science"))
+            .follow("ToDept", "DeptPage")
+            .unnest("DeptPage.ProfList")
+            .follow("DeptPage.ProfList.ToProf", "ProfPage")
+            .unnest("ProfPage.CourseList")
+            .follow("ProfPage.CourseList.ToCourse", "CoursePage")
+            .select(Pred::eq("Type", "Graduate"));
+        let est = estimate(&e, &ws, &stats).unwrap();
+        let expected = 1.0 + 1.0 + 20.0 / 3.0 + 50.0 / 3.0;
+        assert!(
+            (est.cost.pages - expected).abs() < 1.5,
+            "estimated {} vs paper-formula {expected}",
+            est.cost.pages
+        );
+        assert!(est.cost.pages > 20.0 && est.cost.pages < 30.0);
+    }
+
+    #[test]
+    fn follow_distinct_links_capped_by_target_card() {
+        let (ws, stats) = fixtures();
+        // Navigating from all course pages to professors: at most |Prof|
+        // distinct professor pages, even though there are 50 courses.
+        let e = NalgExpr::entry("SessionListPage")
+            .unnest("SesList")
+            .follow("ToSes", "SessionPage")
+            .unnest("SessionPage.CourseList")
+            .follow("SessionPage.CourseList.ToCourse", "CoursePage")
+            .follow("CoursePage.ToProf", "ProfPage");
+        let est = estimate(&e, &ws, &stats).unwrap();
+        let last = est.per_operator.last().unwrap();
+        assert!(last.0.contains("ProfPage"));
+        assert!(last.1 <= 20.0 + 1e-9);
+    }
+
+    #[test]
+    fn bytes_break_ties() {
+        let a = Cost {
+            pages: 5.0,
+            bytes: 100.0,
+        };
+        let b = Cost {
+            pages: 5.0,
+            bytes: 200.0,
+        };
+        let c = Cost {
+            pages: 4.0,
+            bytes: 9999.0,
+        };
+        assert!(a.better_than(&b));
+        assert!(!b.better_than(&a));
+        assert!(c.better_than(&a));
+    }
+
+    #[test]
+    fn join_uses_selectivity() {
+        let (ws, stats) = fixtures();
+        let left = NalgExpr::entry("ProfListPage").unnest("ProfList");
+        let right = NalgExpr::entry_as("SessionListPage", "S2").unnest("SesList");
+        // Cartesian-ish join on unrelated attrs; card = 20 × 3 × jsel.
+        let e = left.join(
+            right,
+            vec![("ProfListPage.ProfList.PName", "S2.SesList.Session")],
+        );
+        let est = estimate(&e, &ws, &stats).unwrap();
+        // jsel = 1/max(20, 3) = 1/20 → card = 3
+        assert!((est.card - 3.0).abs() < 1e-6);
+        assert_eq!(est.cost.pages, 2.0);
+    }
+
+    #[test]
+    fn projection_caps_cardinality() {
+        let (ws, stats) = fixtures();
+        // Project 50 courses onto Session: at most 3 distinct values.
+        let e = NalgExpr::entry("SessionListPage")
+            .unnest("SesList")
+            .follow("ToSes", "SessionPage")
+            .unnest("SessionPage.CourseList")
+            .follow("SessionPage.CourseList.ToCourse", "CoursePage")
+            .project(vec!["CoursePage.Session"]);
+        let est = estimate(&e, &ws, &stats).unwrap();
+        assert!((est.card - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn external_cannot_be_costed() {
+        let (ws, stats) = fixtures();
+        let e = NalgExpr::external("Professor");
+        assert!(estimate(&e, &ws, &stats).is_err());
+    }
+}

@@ -1,0 +1,169 @@
+//! End-to-end query sessions: optimize, navigate, wrap, answer.
+//!
+//! A [`QuerySession`] bundles a scheme, a view catalog, statistics, and a
+//! page source. [`QuerySession::run`] performs the paper's full query
+//! pipeline and reports both the optimizer's estimate and the measured
+//! page accesses, so experiments can validate the cost model (estimated
+//! vs. actual) with one call.
+
+use crate::optimizer::{Explain, Optimizer, RuleMask};
+use crate::query::ConjunctiveQuery;
+use crate::stats::SiteStatistics;
+use crate::views::ViewCatalog;
+use crate::Result;
+use adm::WebScheme;
+use nalg::{EvalReport, Evaluator, PageSource};
+
+/// The outcome of an executed query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The optimizer's explanation (all candidate plans, costed).
+    pub explain: Explain,
+    /// The evaluation report of the chosen plan.
+    pub report: EvalReport,
+}
+
+impl QueryOutcome {
+    /// Estimated page accesses of the chosen plan (cost-model 𝒞).
+    pub fn estimated_pages(&self) -> f64 {
+        self.explain.best().estimate.cost.pages
+    }
+
+    /// Measured page accesses under the paper's cost accounting (distinct
+    /// links per navigation operator).
+    pub fn measured_pages(&self) -> u64 {
+        self.report.cost_model_accesses()
+    }
+
+    /// Actual downloads performed (with the per-query cache).
+    pub fn downloads(&self) -> u64 {
+        self.report.page_accesses
+    }
+}
+
+/// A query session over a site.
+pub struct QuerySession<'a, S: PageSource> {
+    ws: &'a WebScheme,
+    catalog: &'a ViewCatalog,
+    stats: &'a SiteStatistics,
+    source: &'a S,
+    mask: RuleMask,
+    use_incomplete: bool,
+}
+
+impl<'a, S: PageSource> QuerySession<'a, S> {
+    /// Creates a session.
+    pub fn new(
+        ws: &'a WebScheme,
+        catalog: &'a ViewCatalog,
+        stats: &'a SiteStatistics,
+        source: &'a S,
+    ) -> Self {
+        QuerySession {
+            ws,
+            catalog,
+            stats,
+            source,
+            mask: RuleMask::all(),
+            use_incomplete: false,
+        }
+    }
+
+    /// Sets the rule mask (builder style).
+    pub fn with_mask(mut self, mask: RuleMask) -> Self {
+        self.mask = mask;
+        self
+    }
+
+    /// Allows designer-declared incomplete navigations (builder style).
+    pub fn allow_incomplete_navigations(mut self) -> Self {
+        self.use_incomplete = true;
+        self
+    }
+
+    /// Optimizes without executing.
+    pub fn explain(&self, q: &ConjunctiveQuery) -> Result<Explain> {
+        let mut opt = Optimizer::new(self.ws, self.catalog, self.stats).with_mask(self.mask);
+        if self.use_incomplete {
+            opt = opt.allow_incomplete_navigations();
+        }
+        opt.optimize(q)
+    }
+
+    /// Optimizes and executes the best plan.
+    pub fn run(&self, q: &ConjunctiveQuery) -> Result<QueryOutcome> {
+        let explain = self.explain(q)?;
+        let report = Evaluator::new(self.ws, self.source).eval(&explain.best().expr)?;
+        Ok(QueryOutcome { explain, report })
+    }
+
+    /// Executes a specific plan (used by experiments to run non-optimal
+    /// candidates for comparison).
+    pub fn execute(&self, expr: &nalg::NalgExpr) -> Result<EvalReport> {
+        Ok(Evaluator::new(self.ws, self.source).eval(expr)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::LiveSource;
+    use crate::views::university_catalog;
+    use websim::sitegen::{University, UniversityConfig};
+
+    #[test]
+    fn end_to_end_query_matches_oracle() {
+        let u = University::generate(UniversityConfig {
+            departments: 3,
+            professors: 10,
+            courses: 20,
+            seed: 21,
+            ..UniversityConfig::default()
+        })
+        .unwrap();
+        let stats = SiteStatistics::from_site(&u.site);
+        let catalog = university_catalog();
+        let source = LiveSource::for_site(&u.site);
+        let session = QuerySession::new(&u.site.scheme, &catalog, &stats, &source);
+        let q = ConjunctiveQuery::new("graduate-courses")
+            .atom("Course")
+            .select((0, "Type"), "Graduate")
+            .project((0, "CName"));
+        let outcome = session.run(&q).unwrap();
+        let expected: std::collections::HashSet<String> = u
+            .expected_course()
+            .into_iter()
+            .filter(|(_, _, _, t)| t == "Graduate")
+            .map(|(n, _, _, _)| n)
+            .collect();
+        let got: std::collections::HashSet<String> = outcome
+            .report
+            .relation
+            .rows()
+            .iter()
+            .map(|r| r[0].as_text().unwrap().to_string())
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn estimated_tracks_measured() {
+        let u = University::generate(UniversityConfig::default()).unwrap();
+        let stats = SiteStatistics::from_site(&u.site);
+        let catalog = university_catalog();
+        let source = LiveSource::for_site(&u.site);
+        let session = QuerySession::new(&u.site.scheme, &catalog, &stats, &source);
+        let q = ConjunctiveQuery::new("profs-by-dept")
+            .atom("ProfDept")
+            .select((0, "DName"), "Computer Science")
+            .project((0, "PName"));
+        let outcome = session.run(&q).unwrap();
+        let est = outcome.estimated_pages();
+        let meas = outcome.measured_pages() as f64;
+        // within 2× either way (uniformity assumption)
+        assert!(
+            est <= meas * 2.0 + 2.0 && meas <= est * 2.0 + 2.0,
+            "estimate {est} vs measured {meas}"
+        );
+    }
+}

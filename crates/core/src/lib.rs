@@ -1,0 +1,69 @@
+//! # wv-core — the web-view query optimizer
+//!
+//! This crate is the paper's primary contribution (Sections 5–7): querying
+//! **virtual relational views** of a web site by translating conjunctive
+//! queries into efficient navigation plans.
+//!
+//! * [`query`] — conjunctive queries over external relations;
+//! * [`views`] — external relations with their *default navigations*
+//!   (rewrite rule 1) and the catalogs for the two running-example sites;
+//! * [`stats`] — site statistics (page-scheme cardinalities, list
+//!   fan-outs, distinct counts, join selectivities), collected by crawling;
+//! * [`cost`] — the cardinality estimator and the cost function 𝒞 of
+//!   Section 6.2 (network page accesses; local operators are free);
+//! * [`rules`] — rewrite rules 2–9, including **pointer-join** (rule 8)
+//!   and **pointer-chase** (rule 9);
+//! * [`optimizer`] — Algorithm 1: staged rewriting and cost-based plan
+//!   selection, with rule masks for ablation studies;
+//! * [`exec`] — an end-to-end query session over a live (simulated) site:
+//!   optimize, navigate, wrap, and report estimated vs. actual accesses;
+//! * [`source`] — the adapter that turns a `websim` virtual server plus the
+//!   `wrapper` crate into a [`nalg::PageSource`].
+//!
+//! ```
+//! use websim::sitegen::{University, UniversityConfig};
+//! use wvcore::views::university_catalog;
+//! use wvcore::{ConjunctiveQuery, LiveSource, QuerySession, SiteStatistics};
+//!
+//! let site = University::generate(UniversityConfig::default()).unwrap();
+//! let stats = SiteStatistics::from_site(&site.site);
+//! let catalog = university_catalog();
+//! let source = LiveSource::for_site(&site.site);
+//! let session = QuerySession::new(&site.site.scheme, &catalog, &stats, &source);
+//!
+//! let q = ConjunctiveQuery::new("full professors")
+//!     .atom("Professor")
+//!     .select((0, "Rank"), "Full")
+//!     .project((0, "PName"));
+//! let outcome = session.run(&q).unwrap();
+//! // the cost model estimated what the evaluator then measured
+//! assert!(outcome.estimated_pages() >= outcome.measured_pages() as f64 - 1.0);
+//! ```
+
+pub mod cost;
+pub mod crawl;
+pub mod discover;
+pub mod error;
+pub mod exec;
+pub mod infer;
+pub mod optimizer;
+pub mod query;
+pub mod rules;
+pub mod source;
+pub mod stats;
+pub mod views;
+
+pub use cost::{Cost, Estimate};
+pub use crawl::{crawl_instance, crawl_instance_parallel, SiteInstance};
+pub use discover::{discover_constraints, Discovered};
+pub use error::OptError;
+pub use exec::{QueryOutcome, QuerySession};
+pub use infer::{auto_catalog, auto_relation, infer_navigations, InferredNavigation};
+pub use optimizer::{CandidatePlan, Explain, Optimizer, RuleMask};
+pub use query::ConjunctiveQuery;
+pub use source::LiveSource;
+pub use stats::SiteStatistics;
+pub use views::{DefaultNavigation, ExternalRelation, ViewCatalog};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, OptError>;

@@ -1,0 +1,644 @@
+//! Algorithm 1: navigation plan selection (Section 6.3).
+//!
+//! ```text
+//! Step 1   translate the conjunctive query into algebra over externals
+//! Step 2   replace externals by default navigations in all ways  (rule 1)
+//! Step 3   eliminate repeated navigations                        (rule 4)
+//! Step 4   push and prune joins                                  (rules 8, 9)
+//! Step 5   push selections                                       (rule 6)
+//! Step 6   push projections                                      (rule 7)
+//! Step 7   eliminate unnecessary navigations                     (rules 3, 5)
+//! Step 8   cost every candidate, return the cheapest
+//! ```
+//!
+//! Steps 2 and 4 branch (several candidates); steps 3 and 5–7 are
+//! normalizations applied to every candidate. A [`RuleMask`] can disable
+//! individual stages — this powers the ablation experiments.
+
+use crate::cost::{estimate, Estimate};
+use crate::query::ConjunctiveQuery;
+use crate::rules::{
+    join_rewrite_candidates, merge_repeated_navigations, prune_navigations, push_selections,
+    qualify_expr, rename_alias, validate,
+};
+use crate::stats::SiteStatistics;
+use crate::views::{DefaultNavigation, ViewCatalog};
+use crate::{OptError, Result};
+use adm::WebScheme;
+use nalg::{NalgExpr, Pred};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Enables/disables individual rewrite stages (for ablation studies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleMask {
+    /// Rule 4 — repeated-navigation elimination.
+    pub merge_repeated: bool,
+    /// Rule 8 — pointer join.
+    pub pointer_join: bool,
+    /// Rule 9 — pointer chase.
+    pub pointer_chase: bool,
+    /// Rule 6 — selection pushing.
+    pub push_selections: bool,
+    /// Rules 3, 5, 7 — projection pushing and navigation pruning.
+    pub prune_navigations: bool,
+}
+
+impl Default for RuleMask {
+    fn default() -> Self {
+        RuleMask::all()
+    }
+}
+
+impl RuleMask {
+    /// Everything on (the full Algorithm 1).
+    pub fn all() -> Self {
+        RuleMask {
+            merge_repeated: true,
+            pointer_join: true,
+            pointer_chase: true,
+            push_selections: true,
+            prune_navigations: true,
+        }
+    }
+
+    /// Everything off: plans are naive default-navigation joins.
+    pub fn none() -> Self {
+        RuleMask {
+            merge_repeated: false,
+            pointer_join: false,
+            pointer_chase: false,
+            push_selections: false,
+            prune_navigations: false,
+        }
+    }
+
+    /// Disables rule 8.
+    pub fn without_pointer_join(mut self) -> Self {
+        self.pointer_join = false;
+        self
+    }
+
+    /// Disables rule 9.
+    pub fn without_pointer_chase(mut self) -> Self {
+        self.pointer_chase = false;
+        self
+    }
+
+    /// Disables rule 6.
+    pub fn without_selection_pushing(mut self) -> Self {
+        self.push_selections = false;
+        self
+    }
+
+    /// Disables rules 3/5/7.
+    pub fn without_pruning(mut self) -> Self {
+        self.prune_navigations = false;
+        self
+    }
+}
+
+/// A costed candidate plan.
+#[derive(Debug, Clone)]
+pub struct CandidatePlan {
+    /// The (validated, computable) plan.
+    pub expr: NalgExpr,
+    /// Its cost estimate.
+    pub estimate: Estimate,
+}
+
+/// The optimizer's full output: every surviving candidate, cheapest first.
+#[derive(Debug, Clone)]
+pub struct Explain {
+    /// The query's display form.
+    pub query: String,
+    /// Candidates, cheapest first. Never empty.
+    pub candidates: Vec<CandidatePlan>,
+}
+
+impl Explain {
+    /// The selected (cheapest) plan.
+    pub fn best(&self) -> &CandidatePlan {
+        &self.candidates[0]
+    }
+
+    /// A multi-line report: the query, then each candidate with its
+    /// estimated cost and plan tree (paper Figures 3–4 style).
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "query: {}", self.query);
+        let _ = writeln!(out, "{} candidate plan(s):", self.candidates.len());
+        for (i, c) in self.candidates.iter().enumerate() {
+            let marker = if i == 0 { "★" } else { " " };
+            let _ = writeln!(
+                out,
+                "{marker} plan {i}: est. cost {} (card {:.1})",
+                c.estimate.cost, c.estimate.card
+            );
+            for line in nalg::display::tree(&c.expr).lines() {
+                let _ = writeln!(out, "    {line}");
+            }
+        }
+        out
+    }
+}
+
+/// The plan selector.
+pub struct Optimizer<'a> {
+    ws: &'a WebScheme,
+    catalog: &'a ViewCatalog,
+    stats: &'a SiteStatistics,
+    /// Stage mask (ablations).
+    pub mask: RuleMask,
+    /// Cap on the candidate pool during rule-8/9 closure.
+    pub max_candidates: usize,
+    /// Whether designer-declared *incomplete* navigations may be used
+    /// (see [`crate::views`]); off by default.
+    pub use_incomplete_navigations: bool,
+}
+
+impl<'a> Optimizer<'a> {
+    /// Creates an optimizer over a scheme, view catalog, and statistics.
+    pub fn new(ws: &'a WebScheme, catalog: &'a ViewCatalog, stats: &'a SiteStatistics) -> Self {
+        Optimizer {
+            ws,
+            catalog,
+            stats,
+            mask: RuleMask::all(),
+            max_candidates: 128,
+            use_incomplete_navigations: false,
+        }
+    }
+
+    /// Sets the rule mask (builder style).
+    pub fn with_mask(mut self, mask: RuleMask) -> Self {
+        self.mask = mask;
+        self
+    }
+
+    /// Allows incomplete navigations (builder style).
+    pub fn allow_incomplete_navigations(mut self) -> Self {
+        self.use_incomplete_navigations = true;
+        self
+    }
+
+    /// Runs Algorithm 1 on a conjunctive query.
+    pub fn optimize(&self, q: &ConjunctiveQuery) -> Result<Explain> {
+        q.validate(self.catalog)?;
+        // Steps 1–2: seeds (rule 1, all combinations).
+        let seeds = self.build_seeds(q)?;
+        // Step 3: rule 4 normalization.
+        let seeds: Vec<NalgExpr> = seeds
+            .into_iter()
+            .map(|s| {
+                if self.mask.merge_repeated {
+                    merge_repeated_navigations(s, self.ws, self.stats)
+                } else {
+                    s
+                }
+            })
+            .collect();
+        // Step 4: closure under rules 8/9.
+        let mut pool: Vec<NalgExpr> = Vec::new();
+        let mut seen: HashSet<NalgExpr> = HashSet::new();
+        let mut worklist: Vec<NalgExpr> = Vec::new();
+        for s in seeds {
+            if seen.insert(s.clone()) {
+                pool.push(s.clone());
+                worklist.push(s);
+            }
+        }
+        while let Some(e) = worklist.pop() {
+            if pool.len() >= self.max_candidates {
+                break;
+            }
+            for cand in join_rewrite_candidates(
+                &e,
+                self.ws,
+                self.mask.pointer_join,
+                self.mask.pointer_chase,
+            ) {
+                if seen.insert(cand.clone()) {
+                    pool.push(cand.clone());
+                    worklist.push(cand);
+                }
+            }
+        }
+        // Steps 5–7: per-candidate normalization, then validation.
+        let mut finals: Vec<NalgExpr> = Vec::new();
+        let mut seen_final: HashSet<NalgExpr> = HashSet::new();
+        for e in pool {
+            let mut cur = e;
+            // a pointer-chase rewrite can leave a duplicated navigation
+            // behind (the same link followed twice); rule 4 cleans it up
+            if self.mask.merge_repeated {
+                cur = merge_repeated_navigations(cur, self.ws, self.stats);
+            }
+            if self.mask.push_selections {
+                match push_selections(&cur, self.ws) {
+                    Ok(p) => cur = p,
+                    Err(_) => continue,
+                }
+            }
+            if self.mask.prune_navigations {
+                match prune_navigations(cur, self.ws) {
+                    Ok(p) => cur = p,
+                    Err(_) => continue,
+                }
+            }
+            if validate(&cur, self.ws) && seen_final.insert(cur.clone()) {
+                finals.push(cur);
+            }
+        }
+        // Step 8: cost and sort.
+        let mut candidates: Vec<CandidatePlan> = Vec::new();
+        for expr in finals {
+            let Ok(est) = estimate(&expr, self.ws, self.stats) else {
+                continue;
+            };
+            candidates.push(CandidatePlan {
+                expr,
+                estimate: est,
+            });
+        }
+        if candidates.is_empty() {
+            return Err(OptError::NoPlan(format!(
+                "no candidate survived rewriting for {q}"
+            )));
+        }
+        candidates.sort_by(|a, b| {
+            if a.estimate.cost.better_than(&b.estimate.cost) {
+                std::cmp::Ordering::Less
+            } else if b.estimate.cost.better_than(&a.estimate.cost) {
+                std::cmp::Ordering::Greater
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        });
+        Ok(Explain {
+            query: q.to_string(),
+            candidates,
+        })
+    }
+
+    /// Rule 1: replaces every atom by each of its default navigations, in
+    /// all combinations, producing fully-qualified seed expressions.
+    fn build_seeds(&self, q: &ConjunctiveQuery) -> Result<Vec<NalgExpr>> {
+        let mut options: Vec<Vec<&DefaultNavigation>> = Vec::new();
+        for rel_name in &q.atoms {
+            let rel = self.catalog.relation(rel_name)?;
+            let navs: Vec<&DefaultNavigation> = rel
+                .navigations
+                .iter()
+                .filter(|n| n.complete || self.use_incomplete_navigations)
+                .collect();
+            if navs.is_empty() {
+                return Err(OptError::NoPlan(format!(
+                    "no usable default navigation for {rel_name}"
+                )));
+            }
+            options.push(navs);
+        }
+        // cartesian product, capped
+        let mut combos: Vec<Vec<&DefaultNavigation>> = vec![vec![]];
+        for opts in &options {
+            let mut next = Vec::new();
+            for combo in &combos {
+                for o in opts {
+                    if next.len() >= self.max_candidates {
+                        break;
+                    }
+                    let mut c = combo.clone();
+                    c.push(*o);
+                    next.push(c);
+                }
+            }
+            combos = next;
+        }
+        let orders = connected_orders(q, self.max_candidates);
+        let mut seeds = Vec::new();
+        for combo in &combos {
+            for order in &orders {
+                if seeds.len() >= self.max_candidates {
+                    return Ok(seeds);
+                }
+                seeds.push(self.build_seed(q, combo, order)?);
+            }
+        }
+        Ok(seeds)
+    }
+
+    fn build_seed(
+        &self,
+        q: &ConjunctiveQuery,
+        navs: &[&DefaultNavigation],
+        order: &[usize],
+    ) -> Result<NalgExpr> {
+        let mut used: HashSet<String> = HashSet::new();
+        let mut exprs: Vec<NalgExpr> = Vec::new();
+        let mut binds: Vec<Vec<(String, String)>> = Vec::new();
+        for (i, nav) in navs.iter().enumerate() {
+            let mut e = qualify_expr(&nav.expr, self.ws)?;
+            let mut bmap = nav.bindings.clone();
+            let mut aliases: Vec<String> = e
+                .alias_map()
+                .map_err(OptError::Eval)?
+                .keys()
+                .cloned()
+                .collect();
+            aliases.sort();
+            for alias in aliases {
+                if used.contains(&alias) {
+                    let mut new = format!("{alias}_{i}");
+                    let mut n = 1;
+                    while used.contains(&new) {
+                        new = format!("{alias}_{i}_{n}");
+                        n += 1;
+                    }
+                    e = rename_alias(&e, &alias, &new);
+                    let prefix = format!("{alias}.");
+                    for (_, col) in bmap.iter_mut() {
+                        if let Some(rest) = col.strip_prefix(&prefix) {
+                            *col = format!("{new}.{rest}");
+                        }
+                    }
+                    used.insert(new);
+                } else {
+                    used.insert(alias);
+                }
+            }
+            exprs.push(e);
+            binds.push(bmap);
+        }
+        let bind = |i: usize, attr: &str| -> Result<String> {
+            binds[i]
+                .iter()
+                .find_map(|(a, c)| (a == attr).then(|| c.clone()))
+                .ok_or_else(|| OptError::UnknownViewAttribute {
+                    relation: q.atoms[i].clone(),
+                    attr: attr.to_string(),
+                })
+        };
+        // left-deep join tree over the given atom order; a join predicate
+        // attaches when the later (in order) of its two atoms enters
+        let mut slots: Vec<Option<NalgExpr>> = exprs.into_iter().map(Some).collect();
+        let mut in_tree: Vec<usize> = Vec::new();
+        let mut tree: Option<NalgExpr> = None;
+        for &k in order {
+            let e = slots
+                .get_mut(k)
+                .and_then(Option::take)
+                .ok_or_else(|| OptError::BadQuery(format!("bad atom order index {k}")))?;
+            tree = Some(match tree {
+                None => e,
+                Some(t) => {
+                    let mut on: Vec<(String, String)> = Vec::new();
+                    for ((ai, aattr), (bi, battr)) in &q.joins {
+                        if *ai == k && in_tree.contains(bi) {
+                            on.push((bind(*bi, battr)?, bind(*ai, aattr)?));
+                        } else if *bi == k && in_tree.contains(ai) {
+                            on.push((bind(*ai, aattr)?, bind(*bi, battr)?));
+                        }
+                    }
+                    NalgExpr::Join {
+                        left: Box::new(t),
+                        right: Box::new(e),
+                        on,
+                    }
+                }
+            });
+            in_tree.push(k);
+        }
+        let mut tree = tree.ok_or_else(|| OptError::BadQuery("no atoms".into()))?;
+        // selections: constant selections plus same-atom attribute
+        // equalities (which the join loop above cannot attach)
+        let mut atoms: Vec<Pred> = q
+            .selections
+            .iter()
+            .map(|((i, attr), v)| Ok(Pred::Eq(bind(*i, attr)?, v.clone())))
+            .collect::<Result<Vec<_>>>()?;
+        for ((ai, aattr), (bi, battr)) in &q.joins {
+            if ai == bi {
+                atoms.push(Pred::EqAttr(bind(*ai, aattr)?, bind(*bi, battr)?));
+            }
+        }
+        if let Some(pred) = Pred::from_conjuncts(atoms) {
+            tree = tree.select(pred);
+        }
+        // projection (deduplicated, order-preserving)
+        let mut cols: Vec<String> = Vec::new();
+        for (i, attr) in &q.projection {
+            let c = bind(*i, attr)?;
+            if !cols.contains(&c) {
+                cols.push(c);
+            }
+        }
+        Ok(tree.project(cols))
+    }
+}
+
+/// Enumerates left-deep atom orders in which every atom (after the first)
+/// is connected by a join predicate to an earlier atom, falling back to
+/// arbitrary extension when the join graph is disconnected. Capped.
+fn connected_orders(q: &ConjunctiveQuery, cap: usize) -> Vec<Vec<usize>> {
+    const MAX_ORDERS: usize = 24;
+    let cap = cap.min(MAX_ORDERS);
+    let n = q.atoms.len();
+    if n <= 1 {
+        return vec![(0..n).collect()];
+    }
+    let connected = |k: usize, in_tree: &[usize]| {
+        q.joins.iter().any(|((ai, _), (bi, _))| {
+            (*ai == k && in_tree.contains(bi)) || (*bi == k && in_tree.contains(ai))
+        })
+    };
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    let mut order: Vec<usize> = Vec::new();
+    let mut used = vec![false; n];
+    fn rec(
+        n: usize,
+        cap: usize,
+        connected: &impl Fn(usize, &[usize]) -> bool,
+        order: &mut Vec<usize>,
+        used: &mut Vec<bool>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        if out.len() >= cap {
+            return;
+        }
+        if order.len() == n {
+            out.push(order.clone());
+            return;
+        }
+        let candidates: Vec<usize> = (0..n)
+            .filter(|&k| !used[k] && (order.is_empty() || connected(k, order)))
+            .collect();
+        let candidates = if candidates.is_empty() {
+            // disconnected join graph: allow any unused atom
+            (0..n).filter(|&k| !used[k]).collect()
+        } else {
+            candidates
+        };
+        for k in candidates {
+            used[k] = true;
+            order.push(k);
+            rec(n, cap, connected, order, used, out);
+            order.pop();
+            used[k] = false;
+        }
+    }
+    rec(n, cap, &connected, &mut order, &mut used, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::views::university_catalog;
+    use websim::sitegen::{University, UniversityConfig};
+
+    fn fixtures() -> (WebScheme, ViewCatalog, SiteStatistics) {
+        let u = University::generate(UniversityConfig::default()).unwrap();
+        let stats = SiteStatistics::from_site(&u.site);
+        (u.site.scheme.clone(), university_catalog(), stats)
+    }
+
+    fn single_relation_query() -> ConjunctiveQuery {
+        ConjunctiveQuery::new("cs-profs")
+            .atom("ProfDept")
+            .atom("Professor")
+            .join((0, "PName"), (1, "PName"))
+            .select((0, "DName"), "Computer Science")
+            .project((1, "PName"))
+            .project((1, "Email"))
+    }
+
+    #[test]
+    fn optimizes_simple_selection_query() {
+        let (ws, cat, stats) = fixtures();
+        let opt = Optimizer::new(&ws, &cat, &stats);
+        let q = ConjunctiveQuery::new("full-profs")
+            .atom("Professor")
+            .select((0, "Rank"), "Full")
+            .project((0, "PName"));
+        let explain = opt.optimize(&q).unwrap();
+        let best = explain.best();
+        // cost: entry + all professor pages (Rank isn't replicated)
+        assert!((best.estimate.cost.pages - 21.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merges_shared_spines_across_atoms() {
+        let (ws, cat, stats) = fixtures();
+        let opt = Optimizer::new(&ws, &cat, &stats);
+        let explain = opt.optimize(&single_relation_query()).unwrap();
+        let best = explain.best();
+        // Professor and ProfDept (professor-path variant) merge into one
+        // navigation; the dept-path variant competes. The best plan should
+        // not navigate professors twice.
+        assert!(
+            best.estimate.cost.pages <= 21.0 + 1e-6,
+            "{}",
+            explain.report()
+        );
+    }
+
+    #[test]
+    fn candidates_are_sorted_and_validated() {
+        let (ws, cat, stats) = fixtures();
+        let opt = Optimizer::new(&ws, &cat, &stats);
+        let explain = opt.optimize(&single_relation_query()).unwrap();
+        for w in explain.candidates.windows(2) {
+            assert!(!w[1].estimate.cost.better_than(&w[0].estimate.cost));
+        }
+        for c in &explain.candidates {
+            assert!(c.expr.is_computable());
+        }
+    }
+
+    #[test]
+    fn mask_none_still_produces_plans() {
+        let (ws, cat, stats) = fixtures();
+        let opt = Optimizer::new(&ws, &cat, &stats).with_mask(RuleMask::none());
+        let explain = opt.optimize(&single_relation_query()).unwrap();
+        assert!(!explain.candidates.is_empty());
+        // naive plans cost at least as much as optimized ones
+        let opt_full = Optimizer::new(&ws, &cat, &stats);
+        let explain_full = opt_full.optimize(&single_relation_query()).unwrap();
+        assert!(
+            explain_full.best().estimate.cost.pages <= explain.best().estimate.cost.pages + 1e-6
+        );
+    }
+
+    #[test]
+    fn report_mentions_costs_and_plans() {
+        let (ws, cat, stats) = fixtures();
+        let opt = Optimizer::new(&ws, &cat, &stats);
+        let explain = opt.optimize(&single_relation_query()).unwrap();
+        let r = explain.report();
+        assert!(r.contains("candidate plan"));
+        assert!(r.contains("★ plan 0"));
+        assert!(r.contains("est. cost"));
+    }
+
+    #[test]
+    fn incomplete_only_relation_needs_opt_in() {
+        let (ws, _, stats) = fixtures();
+        // a catalog whose single navigation is incomplete
+        let cat = crate::views::ViewCatalog::new().with(crate::views::ExternalRelation::new(
+            "OnlyPartial",
+            vec!["PName"],
+            vec![crate::views::DefaultNavigation::new(
+                nalg::NalgExpr::entry("ProfListPage")
+                    .unnest("ProfList")
+                    .follow("ToProf", "ProfPage"),
+                vec![("PName", "ProfPage.PName")],
+            )
+            .incomplete()],
+        ));
+        let q = ConjunctiveQuery::new("q")
+            .atom("OnlyPartial")
+            .project((0, "PName"));
+        let strict = Optimizer::new(&ws, &cat, &stats);
+        assert!(matches!(
+            strict.optimize(&q),
+            Err(crate::OptError::NoPlan(_))
+        ));
+        let lax = Optimizer::new(&ws, &cat, &stats).allow_incomplete_navigations();
+        assert!(lax.optimize(&q).is_ok());
+    }
+
+    #[test]
+    fn candidate_cap_is_respected() {
+        let (ws, cat, stats) = fixtures();
+        let mut opt = Optimizer::new(&ws, &cat, &stats);
+        opt.max_candidates = 2;
+        let explain = opt.optimize(&single_relation_query()).unwrap();
+        assert!(!explain.candidates.is_empty());
+    }
+
+    #[test]
+    fn same_atom_equalities_become_selections() {
+        // WHERE ci.CName = ci.PName (nonsensical but legal) must not be
+        // silently dropped — it reaches the plan as an EqAttr selection.
+        let (ws, cat, stats) = fixtures();
+        let q = ConjunctiveQuery::new("self-eq")
+            .atom("CourseInstructor")
+            .join((0, "CName"), (0, "PName"))
+            .project((0, "CName"));
+        let opt = Optimizer::new(&ws, &cat, &stats);
+        let explain = opt.optimize(&q).unwrap();
+        for c in &explain.candidates {
+            let shown = nalg::display::tree(&c.expr);
+            assert!(shown.contains('σ'), "predicate dropped:\n{shown}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_query() {
+        let (ws, cat, stats) = fixtures();
+        let opt = Optimizer::new(&ws, &cat, &stats);
+        let q = ConjunctiveQuery::new("bad").atom("Nope").project((0, "X"));
+        assert!(opt.optimize(&q).is_err());
+    }
+}

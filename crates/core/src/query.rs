@@ -1,0 +1,225 @@
+//! Conjunctive queries over external relations (Section 5).
+//!
+//! The user's perception of the system is purely relational: a set of
+//! external relations and a conjunctive (select-project-join) query over
+//! them. `wvquery` provides a SQL-subset parser producing these values; the
+//! optimizer consumes them.
+
+use crate::views::ViewCatalog;
+use crate::{OptError, Result};
+use adm::Value;
+use std::fmt;
+
+/// A reference to an attribute of a query atom: `(atom index, attribute)`.
+pub type AttrPos = (usize, String);
+
+/// A conjunctive query: atoms (external relations), equality joins between
+/// atom attributes, constant selections, and a projection list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConjunctiveQuery {
+    /// A short name for reports.
+    pub name: String,
+    /// The external relations joined by the query, in order.
+    pub atoms: Vec<String>,
+    /// Equality joins between atom attributes.
+    pub joins: Vec<(AttrPos, AttrPos)>,
+    /// Constant selections `atom.attr = value`.
+    pub selections: Vec<(AttrPos, Value)>,
+    /// The output attributes.
+    pub projection: Vec<AttrPos>,
+}
+
+impl ConjunctiveQuery {
+    /// Starts a query with a report name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ConjunctiveQuery {
+            name: name.into(),
+            atoms: Vec::new(),
+            joins: Vec::new(),
+            selections: Vec::new(),
+            projection: Vec::new(),
+        }
+    }
+
+    /// Adds an atom (external relation occurrence); returns `self`.
+    pub fn atom(mut self, relation: impl Into<String>) -> Self {
+        self.atoms.push(relation.into());
+        self
+    }
+
+    /// Adds an equality join between two atom attributes.
+    pub fn join(
+        mut self,
+        left: (usize, impl Into<String>),
+        right: (usize, impl Into<String>),
+    ) -> Self {
+        self.joins
+            .push(((left.0, left.1.into()), (right.0, right.1.into())));
+        self
+    }
+
+    /// Adds a constant selection.
+    pub fn select(mut self, at: (usize, impl Into<String>), value: impl Into<Value>) -> Self {
+        self.selections.push(((at.0, at.1.into()), value.into()));
+        self
+    }
+
+    /// Adds an output attribute.
+    pub fn project(mut self, at: (usize, impl Into<String>)) -> Self {
+        self.projection.push((at.0, at.1.into()));
+        self
+    }
+
+    /// Validates the query against a catalog: atoms exist, attribute
+    /// references are in range and belong to their relations, the
+    /// projection is non-empty.
+    pub fn validate(&self, catalog: &ViewCatalog) -> Result<()> {
+        if self.atoms.is_empty() {
+            return Err(OptError::BadQuery("no atoms".into()));
+        }
+        if self.projection.is_empty() {
+            return Err(OptError::BadQuery("empty projection".into()));
+        }
+        let check = |(i, attr): &AttrPos| -> Result<()> {
+            let rel_name = self
+                .atoms
+                .get(*i)
+                .ok_or_else(|| OptError::BadQuery(format!("atom index {i} out of range")))?;
+            let rel = catalog.relation(rel_name)?;
+            if !rel.attrs.iter().any(|a| a == attr) {
+                return Err(OptError::UnknownViewAttribute {
+                    relation: rel_name.clone(),
+                    attr: attr.clone(),
+                });
+            }
+            Ok(())
+        };
+        for (l, r) in &self.joins {
+            check(l)?;
+            check(r)?;
+        }
+        for (a, _) in &self.selections {
+            check(a)?;
+        }
+        for p in &self.projection {
+            check(p)?;
+        }
+        for rel in &self.atoms {
+            catalog.relation(rel)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fmt_pos = |(i, a): &AttrPos| {
+            format!(
+                "{}#{i}.{a}",
+                self.atoms.get(*i).map(String::as_str).unwrap_or("?")
+            )
+        };
+        write!(f, "π[")?;
+        for (i, p) in self.projection.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", fmt_pos(p))?;
+        }
+        write!(f, "] σ[")?;
+        let mut first = true;
+        for (a, v) in &self.selections {
+            if !first {
+                write!(f, " ∧ ")?;
+            }
+            first = false;
+            write!(f, "{}='{v}'", fmt_pos(a))?;
+        }
+        for (l, r) in &self.joins {
+            if !first {
+                write!(f, " ∧ ")?;
+            }
+            first = false;
+            write!(f, "{}={}", fmt_pos(l), fmt_pos(r))?;
+        }
+        write!(f, "] ({})", self.atoms.join(" ⋈ "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::views::university_catalog;
+
+    fn example_71() -> ConjunctiveQuery {
+        // "Name and Description of courses taught by full professors in the
+        // Fall session" (paper Example 7.1)
+        ConjunctiveQuery::new("ex71")
+            .atom("Professor")
+            .atom("CourseInstructor")
+            .atom("Course")
+            .join((0, "PName"), (1, "PName"))
+            .join((1, "CName"), (2, "CName"))
+            .select((0, "Rank"), "Full")
+            .select((2, "Session"), "Fall")
+            .project((2, "CName"))
+            .project((2, "Description"))
+    }
+
+    #[test]
+    fn builder_and_validation() {
+        let cat = university_catalog();
+        let q = example_71();
+        assert_eq!(q.atoms.len(), 3);
+        q.validate(&cat).unwrap();
+    }
+
+    #[test]
+    fn rejects_unknown_relation() {
+        let cat = university_catalog();
+        let q = ConjunctiveQuery::new("bad").atom("Nope").project((0, "X"));
+        assert!(matches!(
+            q.validate(&cat),
+            Err(OptError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_attribute() {
+        let cat = university_catalog();
+        let q = ConjunctiveQuery::new("bad")
+            .atom("Professor")
+            .project((0, "Salary"));
+        assert!(matches!(
+            q.validate(&cat),
+            Err(OptError::UnknownViewAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_atom() {
+        let cat = university_catalog();
+        let q = ConjunctiveQuery::new("bad")
+            .atom("Professor")
+            .project((3, "PName"));
+        assert!(matches!(q.validate(&cat), Err(OptError::BadQuery(_))));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let cat = university_catalog();
+        assert!(ConjunctiveQuery::new("e").validate(&cat).is_err());
+        assert!(ConjunctiveQuery::new("e")
+            .atom("Professor")
+            .validate(&cat)
+            .is_err());
+    }
+
+    #[test]
+    fn display_mentions_structure() {
+        let s = example_71().to_string();
+        assert!(s.contains("Professor ⋈ CourseInstructor ⋈ Course"));
+        assert!(s.contains("Rank='Full'"));
+        assert!(s.contains("CName"));
+    }
+}

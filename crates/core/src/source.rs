@@ -1,0 +1,89 @@
+//! The live page source: virtual server + wrapper.
+//!
+//! [`LiveSource`] implements [`nalg::PageSource`] by downloading a page
+//! from a [`websim::VirtualServer`] (a counted `GET`) and running the
+//! scheme's wrapper over the HTML — the full pipeline the paper assumes
+//! ("pages have to be downloaded from the network, then wrapped in order to
+//! extract attribute values").
+
+use adm::{Tuple, Url, WebScheme};
+use nalg::{PageSource, SourceError};
+use websim::{VirtualServer, WebError};
+
+/// A page source over a live (simulated) site.
+pub struct LiveSource<'a> {
+    ws: &'a WebScheme,
+    server: &'a VirtualServer,
+}
+
+impl<'a> LiveSource<'a> {
+    /// Wraps a scheme and a server.
+    pub fn new(ws: &'a WebScheme, server: &'a VirtualServer) -> Self {
+        LiveSource { ws, server }
+    }
+
+    /// Convenience constructor over a generated site.
+    pub fn for_site(site: &'a websim::Site) -> Self {
+        LiveSource {
+            ws: &site.scheme,
+            server: &site.server,
+        }
+    }
+}
+
+impl PageSource for LiveSource<'_> {
+    fn fetch(&self, url: &Url, scheme: &str) -> Result<Tuple, SourceError> {
+        let resp = self.server.get(url).map_err(|e| match e {
+            WebError::NotFound(u) => SourceError::NotFound(u),
+            other => SourceError::Other(other.to_string()),
+        })?;
+        let ps = self
+            .ws
+            .scheme(scheme)
+            .map_err(|e| SourceError::Other(e.to_string()))?;
+        let html = std::str::from_utf8(&resp.body)
+            .map_err(|e| SourceError::Other(format!("non-utf8 page body at {url}: {e}")))?;
+        wrapper::wrap_page(ps, html).map_err(|e| SourceError::Other(format!("wrap {url}: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websim::sitegen::{University, UniversityConfig};
+
+    #[test]
+    fn fetches_and_wraps_live_pages() {
+        let u = University::generate(UniversityConfig {
+            departments: 2,
+            professors: 4,
+            courses: 6,
+            seed: 2,
+            ..UniversityConfig::default()
+        })
+        .unwrap();
+        let src = LiveSource::for_site(&u.site);
+        let url = University::prof_url(0);
+        let t = src.fetch(&url, "ProfPage").unwrap();
+        assert_eq!(Some(&t), u.site.ground_truth("ProfPage", &url));
+        // a GET was counted
+        assert_eq!(u.site.server.stats().gets, 1);
+    }
+
+    #[test]
+    fn missing_page_maps_to_not_found() {
+        let u = University::generate(UniversityConfig {
+            departments: 2,
+            professors: 4,
+            courses: 6,
+            seed: 2,
+            ..UniversityConfig::default()
+        })
+        .unwrap();
+        let src = LiveSource::for_site(&u.site);
+        assert!(matches!(
+            src.fetch(&Url::new("/nope.html"), "ProfPage"),
+            Err(SourceError::NotFound(_))
+        ));
+    }
+}

@@ -1,0 +1,168 @@
+//! Randomized soundness: for arbitrary conjunctive queries over the
+//! university view, the fully optimized plan computes the same answer as
+//! the naive (rule-1-only) plan. The naive plan is correct by
+//! construction — it just evaluates the default navigations — so this
+//! pins the whole rewrite stack.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use websim::sitegen::{University, UniversityConfig};
+use wvcore::views::university_catalog;
+use wvcore::{ConjunctiveQuery, LiveSource, QuerySession, RuleMask, SiteStatistics, ViewCatalog};
+
+struct Fixture {
+    u: University,
+    stats: SiteStatistics,
+    catalog: ViewCatalog,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let u = University::generate(UniversityConfig {
+            departments: 3,
+            professors: 10,
+            courses: 18,
+            seed: 123,
+            ..UniversityConfig::default()
+        })
+        .unwrap();
+        let stats = SiteStatistics::from_site(&u.site);
+        Fixture {
+            u,
+            stats,
+            catalog: university_catalog(),
+        }
+    })
+}
+
+/// The relations and, per attribute, a pool of plausible constants.
+const RELATIONS: &[(&str, &[&str])] = &[
+    ("Dept", &["DName", "Address"]),
+    ("Professor", &["PName", "Rank", "Email"]),
+    ("Course", &["CName", "Session", "Description", "Type"]),
+    ("CourseInstructor", &["CName", "PName"]),
+    ("ProfDept", &["PName", "DName"]),
+];
+
+fn values_for(attr: &str) -> Vec<&'static str> {
+    match attr {
+        "Rank" => vec!["Full", "Associate", "Assistant"],
+        "Session" => vec!["Fall", "Winter", "Summer"],
+        "Type" => vec!["Graduate", "Undergraduate"],
+        "DName" => vec!["Computer Science", "Mathematics", "Physics", "Nowhere"],
+        _ => vec!["no-such-value"],
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RandomQuery {
+    atoms: Vec<usize>,                        // indices into RELATIONS
+    selections: Vec<(usize, String, String)>, // (atom, attr, value)
+    join_all_shared: bool,
+}
+
+fn arb_query() -> impl Strategy<Value = RandomQuery> {
+    (
+        proptest::collection::vec(0usize..RELATIONS.len(), 1..=3),
+        proptest::collection::vec(
+            (any::<prop::sample::Index>(), any::<prop::sample::Index>()),
+            0..3,
+        ),
+        any::<bool>(),
+    )
+        .prop_map(|(atoms, sel_picks, join_all_shared)| {
+            let mut selections = Vec::new();
+            for (ai, vi) in sel_picks {
+                let atom = ai.index(atoms.len());
+                let attrs = RELATIONS[atoms[atom]].1;
+                let attr = attrs[vi.index(attrs.len())];
+                let pool = values_for(attr);
+                let value = pool[vi.index(pool.len())];
+                selections.push((atom, attr.to_string(), value.to_string()));
+            }
+            RandomQuery {
+                atoms,
+                selections,
+                join_all_shared,
+            }
+        })
+}
+
+fn build(rq: &RandomQuery) -> ConjunctiveQuery {
+    let mut q = ConjunctiveQuery::new("random");
+    for &a in &rq.atoms {
+        q = q.atom(RELATIONS[a].0);
+    }
+    // join every later atom to every earlier one on shared attribute names
+    // (natural-join style), so most queries are connected
+    if rq.join_all_shared {
+        for j in 1..rq.atoms.len() {
+            for i in 0..j {
+                for attr in RELATIONS[rq.atoms[i]].1 {
+                    if RELATIONS[rq.atoms[j]].1.contains(attr) {
+                        q = q.join((i, *attr), (j, *attr));
+                    }
+                }
+            }
+        }
+    }
+    for (atom, attr, value) in &rq.selections {
+        q = q.select((*atom, attr.clone()), value.clone());
+    }
+    // project the first attribute of every atom
+    for (i, &a) in rq.atoms.iter().enumerate() {
+        q = q.project((i, RELATIONS[a].1[0]));
+    }
+    q
+}
+
+fn answer_of(
+    session: &QuerySession<'_, LiveSource<'_>>,
+    q: &ConjunctiveQuery,
+) -> std::collections::BTreeSet<Vec<String>> {
+    let outcome = session.run(q).expect("query runs");
+    outcome
+        .report
+        .relation
+        .rows()
+        .iter()
+        .map(|row| row.iter().map(|v| v.to_string()).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn optimized_equals_naive(rq in arb_query()) {
+        let fx = fixture();
+        let q = build(&rq);
+        q.validate(&fx.catalog).expect("generated query is valid");
+        let source = LiveSource::for_site(&fx.u.site);
+        let optimized = QuerySession::new(&fx.u.site.scheme, &fx.catalog, &fx.stats, &source);
+        let naive = QuerySession::new(&fx.u.site.scheme, &fx.catalog, &fx.stats, &source)
+            .with_mask(RuleMask::none());
+        let a = answer_of(&optimized, &q);
+        let b = answer_of(&naive, &q);
+        prop_assert_eq!(a, b, "query: {}", q);
+    }
+
+    #[test]
+    fn optimized_never_costs_more_than_naive(rq in arb_query()) {
+        let fx = fixture();
+        let q = build(&rq);
+        let source = LiveSource::for_site(&fx.u.site);
+        let optimized = QuerySession::new(&fx.u.site.scheme, &fx.catalog, &fx.stats, &source);
+        let naive = QuerySession::new(&fx.u.site.scheme, &fx.catalog, &fx.stats, &source)
+            .with_mask(RuleMask::none());
+        let oe = optimized.explain(&q).expect("optimizes");
+        let ne = naive.explain(&q).expect("optimizes");
+        prop_assert!(
+            oe.best().estimate.cost.pages <= ne.best().estimate.cost.pages + 1e-6,
+            "optimized {} vs naive {} for {}",
+            oe.best().estimate.cost,
+            ne.best().estimate.cost,
+            q
+        );
+    }
+}

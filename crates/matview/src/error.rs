@@ -1,0 +1,63 @@
+//! Materialized-view errors.
+
+use std::fmt;
+
+/// Errors of the materialized-view layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatError {
+    /// Data-model error.
+    Adm(adm::AdmError),
+    /// Wrapping a downloaded page failed.
+    Wrap(String),
+    /// Evaluation error.
+    Eval(nalg::EvalError),
+    /// Optimization error.
+    Opt(String),
+    /// A required entry-point page is gone from the site.
+    EntryGone(adm::Url),
+}
+
+impl fmt::Display for MatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatError::Adm(e) => write!(f, "{e}"),
+            MatError::Wrap(m) => write!(f, "wrapper failure: {m}"),
+            MatError::Eval(e) => write!(f, "{e}"),
+            MatError::Opt(m) => write!(f, "optimizer failure: {m}"),
+            MatError::EntryGone(u) => write!(f, "entry point {u} no longer exists"),
+        }
+    }
+}
+
+impl std::error::Error for MatError {}
+
+impl From<adm::AdmError> for MatError {
+    fn from(e: adm::AdmError) -> Self {
+        MatError::Adm(e)
+    }
+}
+
+impl From<nalg::EvalError> for MatError {
+    fn from(e: nalg::EvalError) -> Self {
+        MatError::Eval(e)
+    }
+}
+
+impl From<wvcore::OptError> for MatError {
+    fn from(e: wvcore::OptError) -> Self {
+        MatError::Opt(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = MatError::EntryGone(adm::Url::new("/index.html"));
+        assert!(e.to_string().contains("/index.html"));
+        let e: MatError = adm::AdmError::UnknownScheme("P".into()).into();
+        assert!(e.to_string().contains('P'));
+    }
+}

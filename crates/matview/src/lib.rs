@@ -1,0 +1,35 @@
+//! # matview — materialized views over the Web (Section 8)
+//!
+//! When virtual-view evaluation is too slow, the ADM representation of the
+//! site is materialized locally: one nested page-relation per page-scheme,
+//! each tuple keyed by URL and stamped with the date it was last accessed.
+//! Because the site is autonomous (its manager updates pages without
+//! notification), the view is maintained **lazily, while answering
+//! queries**:
+//!
+//! * a query plan is selected by the same Algorithm 1 used for virtual
+//!   views — it identifies the *minimal* set of pages that must be
+//!   consulted;
+//! * before a materialized tuple is used, **URLCheck** (the paper's
+//!   Function 2) opens a *light connection* (HTTP HEAD analogue — only an
+//!   error flag and the last-modified date are exchanged) and re-downloads
+//!   the page only when it actually changed, diffing its outgoing links to
+//!   mark `new` and `missing` URLs;
+//! * URLs marked `missing` are deferred to a [`store::MatStore::check_missing`]
+//!   queue purged off-line ([`maintain`]).
+//!
+//! The cost of a query is then 𝒞(E) light connections plus one download
+//! per *changed* page — drastically less than re-navigating the site.
+
+pub mod error;
+pub mod eval;
+pub mod maintain;
+pub mod store;
+pub mod urlcheck;
+
+pub use error::MatError;
+pub use eval::{MatOutcome, MatSession};
+pub use store::{MatStore, StoredPage, UrlStatus};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, MatError>;

@@ -1,0 +1,275 @@
+//! The local ADM database.
+//!
+//! One nested page-relation per page-scheme; each tuple carries the URL key
+//! and an `AccessDate` — "besides ordinary attributes, we also store, for
+//! each page, the date we accessed it". A per-query status flag
+//! (`none | checked | new | missing`) drives URLCheck, and a persistent
+//! `CheckMissing` queue collects URLs whose pages may have been deleted.
+
+use crate::{MatError, Result};
+use adm::{Field, Tuple, Url, Value, WebScheme, WebType};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A materialized page: its wrapped tuple plus the logical date it was
+/// last downloaded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredPage {
+    /// The page-scheme the page belongs to.
+    pub scheme: String,
+    /// The wrapped nested tuple.
+    pub tuple: Tuple,
+    /// Logical time of the last download.
+    pub access_date: u64,
+}
+
+/// Per-query URL status (the paper's `status(U)` flag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UrlStatus {
+    /// Not seen in this query yet.
+    #[default]
+    None,
+    /// Already checked during this query.
+    Checked,
+    /// Appeared as a new outlink of a re-downloaded page.
+    New,
+    /// Disappeared from a re-downloaded page's outlinks.
+    Missing,
+}
+
+/// The local materialized store.
+#[derive(Debug, Default)]
+pub struct MatStore {
+    pages: HashMap<Url, StoredPage>,
+    status: HashMap<Url, UrlStatus>,
+    /// URLs suspected deleted, to be verified off-line
+    /// (the paper's `CheckMissing` structure).
+    pub check_missing: VecDeque<Url>,
+}
+
+/// All outgoing links of a tuple under its scheme's fields.
+pub fn outlinks(fields: &[Field], tuple: &Tuple) -> Vec<(String, Url)> {
+    let mut out = Vec::new();
+    fn walk(fields: &[Field], tuple: &Tuple, out: &mut Vec<(String, Url)>) {
+        for f in fields {
+            match (&f.ty, tuple.get(&f.name)) {
+                (WebType::Link { target }, Some(Value::Link(u))) => {
+                    out.push((target.clone(), u.clone()));
+                }
+                (WebType::List(inner), Some(Value::List(rows))) => {
+                    for row in rows {
+                        walk(inner, row, out);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    walk(fields, tuple, &mut out);
+    out
+}
+
+impl MatStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        MatStore::default()
+    }
+
+    /// The stored page at a URL.
+    pub fn get(&self, url: &Url) -> Option<&StoredPage> {
+        self.pages.get(url)
+    }
+
+    /// Inserts or replaces a page.
+    pub fn put(&mut self, url: Url, scheme: impl Into<String>, tuple: Tuple, access_date: u64) {
+        self.pages.insert(
+            url,
+            StoredPage {
+                scheme: scheme.into(),
+                tuple,
+                access_date,
+            },
+        );
+    }
+
+    /// Removes a page (confirmed deleted).
+    pub fn remove(&mut self, url: &Url) -> bool {
+        self.pages.remove(url).is_some()
+    }
+
+    /// Number of materialized pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True if nothing is materialized.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Number of pages of one scheme.
+    pub fn cardinality(&self, scheme: &str) -> usize {
+        self.pages.values().filter(|p| p.scheme == scheme).count()
+    }
+
+    /// The status flag of a URL.
+    pub fn status(&self, url: &Url) -> UrlStatus {
+        self.status.get(url).copied().unwrap_or_default()
+    }
+
+    /// Sets the status flag of a URL.
+    pub fn set_status(&mut self, url: Url, s: UrlStatus) {
+        self.status.insert(url, s);
+    }
+
+    /// Resets all status flags (done at the start of every query).
+    pub fn reset_status(&mut self) {
+        self.status.clear();
+    }
+
+    /// Exports the store as flat relations in Partitioned Normal Form —
+    /// the paper's observation that the materialized nested relations
+    /// "can be easily decomposed in flat relations and stored in a
+    /// relational DBMS". One table per nesting level, named
+    /// `Scheme` / `Scheme.List` / `Scheme.List.Inner`.
+    pub fn export_flat(
+        &self,
+        ws: &WebScheme,
+    ) -> Result<std::collections::BTreeMap<String, adm::Relation>> {
+        let mut out = std::collections::BTreeMap::new();
+        for scheme in ws.schemes() {
+            let instance: Vec<(Url, Tuple)> = {
+                let mut pages: Vec<(Url, Tuple)> = self
+                    .pages
+                    .iter()
+                    .filter(|(_, p)| p.scheme == scheme.name)
+                    .map(|(u, p)| (u.clone(), p.tuple.clone()))
+                    .collect();
+                pages.sort_by(|a, b| a.0.cmp(&b.0));
+                pages
+            };
+            if instance.is_empty() {
+                continue;
+            }
+            for (name, rel) in adm::pnf::decompose(scheme, &instance)? {
+                out.insert(name, rel);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Materializes the whole site by crawling it from its entry points
+    /// through the live server, wrapping every page. Returns the number of
+    /// pages downloaded.
+    pub fn materialize(&mut self, ws: &WebScheme, server: &websim::VirtualServer) -> Result<usize> {
+        let mut queue: VecDeque<(Url, String)> = ws
+            .entry_points()
+            .iter()
+            .map(|e| (e.url.clone(), e.scheme.clone()))
+            .collect();
+        let mut seen: HashSet<Url> = queue.iter().map(|(u, _)| u.clone()).collect();
+        let mut downloaded = 0;
+        while let Some((url, scheme)) = queue.pop_front() {
+            let Ok(resp) = server.get(&url) else {
+                continue; // dangling link on the site itself
+            };
+            downloaded += 1;
+            let ps = ws.scheme(&scheme)?;
+            let html = std::str::from_utf8(&resp.body)
+                .map_err(|e| MatError::Wrap(format!("non-utf8 at {url}: {e}")))?;
+            let tuple =
+                wrapper::wrap_page(ps, html).map_err(|e| MatError::Wrap(format!("{url}: {e}")))?;
+            for (target, link) in outlinks(&ps.fields, &tuple) {
+                if seen.insert(link.clone()) {
+                    queue.push_back((link, target));
+                }
+            }
+            self.put(url, scheme, tuple, resp.last_modified.max(server.now()));
+        }
+        Ok(downloaded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websim::sitegen::{University, UniversityConfig};
+
+    fn uni() -> University {
+        University::generate(UniversityConfig {
+            departments: 2,
+            professors: 6,
+            courses: 10,
+            seed: 12,
+            ..UniversityConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn materialize_downloads_whole_site() {
+        let u = uni();
+        let mut store = MatStore::new();
+        let n = store.materialize(&u.site.scheme, &u.site.server).unwrap();
+        assert_eq!(n, u.site.total_pages());
+        assert_eq!(store.len(), u.site.total_pages());
+        assert_eq!(store.cardinality("CoursePage"), 10);
+        // stored tuples equal ground truth
+        for (url, truth) in u.site.instance("ProfPage") {
+            assert_eq!(store.get(&url).unwrap().tuple, truth);
+        }
+    }
+
+    #[test]
+    fn status_lifecycle() {
+        let mut store = MatStore::new();
+        let url = Url::new("/x.html");
+        assert_eq!(store.status(&url), UrlStatus::None);
+        store.set_status(url.clone(), UrlStatus::New);
+        assert_eq!(store.status(&url), UrlStatus::New);
+        store.reset_status();
+        assert_eq!(store.status(&url), UrlStatus::None);
+    }
+
+    #[test]
+    fn outlinks_found_recursively() {
+        let u = uni();
+        let ps = u.site.scheme.scheme("ProfPage").unwrap();
+        let (url, tuple) = &u.site.instance("ProfPage")[0];
+        let links = outlinks(&ps.fields, tuple);
+        // at least the department link
+        assert!(links.iter().any(|(s, _)| s == "DeptPage"), "{url}");
+    }
+
+    #[test]
+    fn export_flat_decomposes_per_level() {
+        let u = uni();
+        let mut store = MatStore::new();
+        store.materialize(&u.site.scheme, &u.site.server).unwrap();
+        let tables = store.export_flat(&u.site.scheme).unwrap();
+        // top tables exist per populated scheme, plus one per list level
+        assert_eq!(tables["ProfPage"].len(), 6);
+        assert_eq!(tables["CoursePage"].len(), 10);
+        // every course appears exactly once in its professor's list table
+        assert_eq!(tables["ProfPage.CourseList"].len(), 10);
+        // child tables carry the parent key
+        assert!(tables["ProfPage.CourseList"]
+            .columns()
+            .contains(&"ProfPage.URL".to_string()));
+        // PNF holds on the stored instances
+        for scheme in u.site.scheme.schemes() {
+            let inst = u.site.instance(&scheme.name);
+            assert!(adm::pnf::is_pnf(scheme, &inst), "{}", scheme.name);
+        }
+    }
+
+    #[test]
+    fn put_remove_roundtrip() {
+        let mut store = MatStore::new();
+        let url = Url::new("/p.html");
+        store.put(url.clone(), "P", Tuple::new().with("A", "x"), 3);
+        assert_eq!(store.get(&url).unwrap().access_date, 3);
+        assert!(store.remove(&url));
+        assert!(!store.remove(&url));
+        assert!(store.is_empty());
+    }
+}

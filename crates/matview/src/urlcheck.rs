@@ -1,0 +1,305 @@
+//! Function 2 — URLCheck.
+//!
+//! ```text
+//! IF status(U) = new THEN download, wrap, store
+//! ELSE open a light connection to U
+//!      IF AccessDate < ModificationDate THEN
+//!          download, wrap, store
+//!          mark outlinks present only in the new version as `new`
+//!          mark outlinks present only in the old version as `missing`
+//!      ELSE use the stored tuple
+//! status(U) := checked
+//! ```
+//!
+//! A 404 on the light connection means the page itself was deleted: it is
+//! removed from the store and pushed onto `CheckMissing` for the off-line
+//! sweep.
+
+use crate::store::{outlinks, MatStore, UrlStatus};
+use crate::{MatError, Result};
+use adm::{Tuple, Url, WebScheme};
+use std::collections::HashSet;
+
+/// Access counters of the maintenance protocol.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckCounters {
+    /// Light connections opened (HEAD analogues).
+    pub light_connections: u64,
+    /// Full downloads performed (pages that had actually changed or were
+    /// new).
+    pub downloads: u64,
+    /// Tuples served straight from the local store.
+    pub from_store: u64,
+}
+
+/// Checks one URL, returning the (fresh) tuple, or `None` if the page no
+/// longer exists on the site.
+pub fn url_check(
+    store: &mut MatStore,
+    counters: &mut CheckCounters,
+    ws: &WebScheme,
+    server: &websim::VirtualServer,
+    url: &Url,
+    scheme: &str,
+) -> Result<Option<Tuple>> {
+    if store.status(url) == UrlStatus::Checked {
+        counters.from_store += 1;
+        return Ok(store.get(url).map(|p| p.tuple.clone()));
+    }
+    let must_download = if store.status(url) == UrlStatus::New || store.get(url).is_none() {
+        // a brand-new page (or one we never materialized): no point in a
+        // light connection, we need the content anyway
+        true
+    } else {
+        counters.light_connections += 1;
+        match server.head(url) {
+            Ok(head) => {
+                let stored = store.get(url).expect("checked above");
+                stored.access_date < head.last_modified
+            }
+            Err(_) => {
+                // the page is gone: forget it, queue for the off-line sweep
+                store.remove(url);
+                store.set_status(url.clone(), UrlStatus::Missing);
+                store.check_missing.push_back(url.clone());
+                return Ok(None);
+            }
+        }
+    };
+    if must_download {
+        let resp = match server.get(url) {
+            Ok(r) => r,
+            Err(_) => {
+                store.remove(url);
+                store.set_status(url.clone(), UrlStatus::Missing);
+                store.check_missing.push_back(url.clone());
+                return Ok(None);
+            }
+        };
+        counters.downloads += 1;
+        let ps = ws.scheme(scheme)?;
+        let html = std::str::from_utf8(&resp.body)
+            .map_err(|e| MatError::Wrap(format!("non-utf8 at {url}: {e}")))?;
+        let fresh =
+            wrapper::wrap_page(ps, html).map_err(|e| MatError::Wrap(format!("{url}: {e}")))?;
+        // outlink diffing against the previous version
+        let old_links: HashSet<Url> = store
+            .get(url)
+            .map(|p| {
+                outlinks(&ps.fields, &p.tuple)
+                    .into_iter()
+                    .map(|(_, u)| u)
+                    .collect()
+            })
+            .unwrap_or_default();
+        let new_links: HashSet<Url> = outlinks(&ps.fields, &fresh)
+            .into_iter()
+            .map(|(_, u)| u)
+            .collect();
+        for added in new_links.difference(&old_links) {
+            if store.status(added) == UrlStatus::None {
+                store.set_status(added.clone(), UrlStatus::New);
+            }
+        }
+        for removed in old_links.difference(&new_links) {
+            if store.status(removed) == UrlStatus::None {
+                store.set_status(removed.clone(), UrlStatus::Missing);
+            }
+        }
+        store.put(
+            url.clone(),
+            scheme,
+            fresh.clone(),
+            resp.last_modified.max(server.now()),
+        );
+        store.set_status(url.clone(), UrlStatus::Checked);
+        Ok(Some(fresh))
+    } else {
+        counters.from_store += 1;
+        store.set_status(url.clone(), UrlStatus::Checked);
+        Ok(store.get(url).map(|p| p.tuple.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MatStore;
+    use websim::sitegen::{University, UniversityConfig};
+
+    fn setup() -> (University, MatStore) {
+        let u = University::generate(UniversityConfig {
+            departments: 2,
+            professors: 6,
+            courses: 10,
+            seed: 33,
+            ..UniversityConfig::default()
+        })
+        .unwrap();
+        let mut store = MatStore::new();
+        store.materialize(&u.site.scheme, &u.site.server).unwrap();
+        u.site.server.reset_stats();
+        (u, store)
+    }
+
+    #[test]
+    fn fresh_page_served_from_store_after_light_connection() {
+        let (u, mut store) = setup();
+        let mut c = CheckCounters::default();
+        let url = University::prof_url(0);
+        let t = url_check(
+            &mut store,
+            &mut c,
+            &u.site.scheme,
+            &u.site.server,
+            &url,
+            "ProfPage",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(&t, u.site.ground_truth("ProfPage", &url).unwrap());
+        assert_eq!(c.light_connections, 1);
+        assert_eq!(c.downloads, 0);
+        assert_eq!(c.from_store, 1);
+        // the server saw only a HEAD
+        assert_eq!(u.site.server.stats().gets, 0);
+        assert_eq!(u.site.server.stats().heads, 1);
+    }
+
+    #[test]
+    fn updated_page_is_redownloaded() {
+        let (mut u, mut store) = setup();
+        u.update_course_description(3, "changed!").unwrap();
+        let mut c = CheckCounters::default();
+        let url = University::course_url(3);
+        let t = url_check(
+            &mut store,
+            &mut c,
+            &u.site.scheme,
+            &u.site.server,
+            &url,
+            "CoursePage",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(t.get("Description").unwrap().as_text(), Some("changed!"));
+        assert_eq!(c.downloads, 1);
+        // the store now holds the fresh version
+        assert_eq!(
+            store
+                .get(&url)
+                .unwrap()
+                .tuple
+                .get("Description")
+                .unwrap()
+                .as_text(),
+            Some("changed!")
+        );
+    }
+
+    #[test]
+    fn second_check_in_same_query_is_free() {
+        let (u, mut store) = setup();
+        let mut c = CheckCounters::default();
+        let url = University::prof_url(1);
+        for _ in 0..3 {
+            url_check(
+                &mut store,
+                &mut c,
+                &u.site.scheme,
+                &u.site.server,
+                &url,
+                "ProfPage",
+            )
+            .unwrap();
+        }
+        assert_eq!(c.light_connections, 1);
+        assert_eq!(c.from_store, 3);
+    }
+
+    #[test]
+    fn deleted_page_detected_and_queued() {
+        let (mut u, mut store) = setup();
+        u.remove_course(2).unwrap();
+        let mut c = CheckCounters::default();
+        let url = University::course_url(2);
+        let t = url_check(
+            &mut store,
+            &mut c,
+            &u.site.scheme,
+            &u.site.server,
+            &url,
+            "CoursePage",
+        )
+        .unwrap();
+        assert!(t.is_none());
+        assert!(store.get(&url).is_none());
+        assert!(store.check_missing.contains(&url));
+    }
+
+    #[test]
+    fn new_outlinks_marked_new() {
+        let (mut u, mut store) = setup();
+        // adding a course updates the professor page with a new outlink
+        let id = u.add_course(1, "Fall", "Graduate").unwrap();
+        let mut c = CheckCounters::default();
+        let prof = University::prof_url(1);
+        url_check(
+            &mut store,
+            &mut c,
+            &u.site.scheme,
+            &u.site.server,
+            &prof,
+            "ProfPage",
+        )
+        .unwrap()
+        .unwrap();
+        let new_course = University::course_url(id);
+        assert_eq!(store.status(&new_course), UrlStatus::New);
+        // and checking the new course downloads it without a light
+        // connection
+        let before = c;
+        url_check(
+            &mut store,
+            &mut c,
+            &u.site.scheme,
+            &u.site.server,
+            &new_course,
+            "CoursePage",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(c.light_connections, before.light_connections);
+        assert_eq!(c.downloads, before.downloads + 1);
+    }
+
+    #[test]
+    fn removed_outlinks_marked_missing() {
+        let (mut u, mut store) = setup();
+        // find the professor of course 4, then remove the course
+        let prof_idx = {
+            let t = u
+                .site
+                .ground_truth("CoursePage", &University::course_url(4))
+                .unwrap();
+            let prof_url = t.get("ToProf").unwrap().as_link().unwrap().clone();
+            (0..u.prof_count())
+                .find(|&i| University::prof_url(i) == prof_url)
+                .unwrap()
+        };
+        u.remove_course(4).unwrap();
+        let mut c = CheckCounters::default();
+        let prof = University::prof_url(prof_idx);
+        url_check(
+            &mut store,
+            &mut c,
+            &u.site.scheme,
+            &u.site.server,
+            &prof,
+            "ProfPage",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(store.status(&University::course_url(4)), UrlStatus::Missing);
+    }
+}

@@ -1,0 +1,320 @@
+//! Paper-style rendering of expressions and query plans.
+//!
+//! Two forms are provided:
+//!
+//! * [`inline`] — the compact algebraic notation used in the paper's
+//!   running text, e.g.
+//!   `π[Name,Email](σ[DName='CS'](ProfListPage ∘ ProfList –ToProf→ ProfPage))`;
+//! * [`tree`] — an indented query-plan tree in the style of the paper's
+//!   Figures 2–4, with navigation *spines* (entry ∘ unnest –link→ …)
+//!   kept on a single line, matching the paper's convention of drawing
+//!   unnest infix and links as upward edges.
+
+use crate::expr::NalgExpr;
+use std::fmt::Write as _;
+
+/// True if the expression is a pure navigation spine
+/// (entry / unnest / follow chain with no σ, π, ⋈).
+fn is_spine(e: &NalgExpr) -> bool {
+    match e {
+        NalgExpr::Entry { .. } | NalgExpr::External { .. } => true,
+        NalgExpr::Unnest { input, .. } | NalgExpr::Follow { input, .. } => is_spine(input),
+        _ => false,
+    }
+}
+
+/// Renders a navigation spine on one line.
+fn spine_inline(e: &NalgExpr) -> String {
+    match e {
+        NalgExpr::Entry { scheme, alias } => {
+            if alias == scheme {
+                scheme.clone()
+            } else {
+                format!("{scheme} as {alias}")
+            }
+        }
+        NalgExpr::External { name } => format!("⟨{name}⟩"),
+        NalgExpr::Unnest { input, attr } => format!("{} ∘ {attr}", spine_inline(input)),
+        NalgExpr::Follow {
+            input,
+            link,
+            target,
+            alias,
+        } => {
+            let tgt = if alias == target {
+                target.clone()
+            } else {
+                format!("{target} as {alias}")
+            };
+            format!("{} –{link}→ {tgt}", spine_inline(input))
+        }
+        other => inline(other),
+    }
+}
+
+/// The compact one-line algebraic form.
+pub fn inline(e: &NalgExpr) -> String {
+    match e {
+        NalgExpr::Entry { .. } | NalgExpr::External { .. } => spine_inline(e),
+        NalgExpr::Unnest { .. } | NalgExpr::Follow { .. } => spine_inline(e),
+        NalgExpr::Select { input, pred } => format!("σ[{pred}]({})", inline(input)),
+        NalgExpr::Project { input, cols } => {
+            format!("π[{}]({})", cols.join(","), inline(input))
+        }
+        NalgExpr::Join { left, right, on } => {
+            let cond: Vec<String> = on.iter().map(|(a, b)| format!("{a}={b}")).collect();
+            format!(
+                "({}) ⋈[{}] ({})",
+                inline(left),
+                cond.join(" ∧ "),
+                inline(right)
+            )
+        }
+    }
+}
+
+/// The indented query-plan tree (Figures 2–4 style).
+pub fn tree(e: &NalgExpr) -> String {
+    let mut out = String::new();
+    render(e, "", "", &mut out);
+    out
+}
+
+fn render(e: &NalgExpr, prefix: &str, child_prefix: &str, out: &mut String) {
+    if is_spine(e) {
+        let _ = writeln!(out, "{prefix}{}", spine_inline(e));
+        return;
+    }
+    match e {
+        NalgExpr::Select { input, pred } => {
+            let _ = writeln!(out, "{prefix}σ[{pred}]");
+            render(
+                input,
+                &format!("{child_prefix}└─ "),
+                &format!("{child_prefix}   "),
+                out,
+            );
+        }
+        NalgExpr::Project { input, cols } => {
+            let _ = writeln!(out, "{prefix}π[{}]", cols.join(", "));
+            render(
+                input,
+                &format!("{child_prefix}└─ "),
+                &format!("{child_prefix}   "),
+                out,
+            );
+        }
+        NalgExpr::Join { left, right, on } => {
+            let cond: Vec<String> = on.iter().map(|(a, b)| format!("{a} = {b}")).collect();
+            let _ = writeln!(out, "{prefix}⋈ [{}]", cond.join(" ∧ "));
+            render(
+                left,
+                &format!("{child_prefix}├─ "),
+                &format!("{child_prefix}│  "),
+                out,
+            );
+            render(
+                right,
+                &format!("{child_prefix}└─ "),
+                &format!("{child_prefix}   "),
+                out,
+            );
+        }
+        NalgExpr::Unnest { input, attr } => {
+            let _ = writeln!(out, "{prefix}∘ {attr}");
+            render(
+                input,
+                &format!("{child_prefix}└─ "),
+                &format!("{child_prefix}   "),
+                out,
+            );
+        }
+        NalgExpr::Follow {
+            input,
+            link,
+            target,
+            alias,
+        } => {
+            let tgt = if alias == target {
+                target.clone()
+            } else {
+                format!("{target} as {alias}")
+            };
+            let _ = writeln!(out, "{prefix}–{link}→ {tgt}");
+            render(
+                input,
+                &format!("{child_prefix}└─ "),
+                &format!("{child_prefix}   "),
+                out,
+            );
+        }
+        NalgExpr::Entry { .. } | NalgExpr::External { .. } => {
+            let _ = writeln!(out, "{prefix}{}", spine_inline(e));
+        }
+    }
+}
+
+/// Renders a plan as a DOT digraph (one node per operator; navigation
+/// spines are *not* collapsed so the full operator tree is visible).
+pub fn dot(e: &NalgExpr) -> String {
+    use std::fmt::Write as _;
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    fn label(e: &NalgExpr) -> String {
+        match e {
+            NalgExpr::Entry { scheme, alias } if alias == scheme => format!("entry {scheme}"),
+            NalgExpr::Entry { scheme, alias } => format!("entry {scheme} as {alias}"),
+            NalgExpr::External { name } => format!("external {name}"),
+            NalgExpr::Select { pred, .. } => format!("σ {pred}"),
+            NalgExpr::Project { cols, .. } => format!("π {}", cols.join(", ")),
+            NalgExpr::Join { on, .. } => {
+                let cond: Vec<String> = on.iter().map(|(a, b)| format!("{a}={b}")).collect();
+                format!("⋈ {}", cond.join(" ∧ "))
+            }
+            NalgExpr::Unnest { attr, .. } => format!("∘ {attr}"),
+            NalgExpr::Follow {
+                link,
+                target,
+                alias,
+                ..
+            } if alias == target => {
+                format!("–{link}→ {target}")
+            }
+            NalgExpr::Follow {
+                link,
+                target,
+                alias,
+                ..
+            } => {
+                format!("–{link}→ {target} as {alias}")
+            }
+        }
+    }
+    fn walk(e: &NalgExpr, id: &mut usize, out: &mut String) -> usize {
+        let my = *id;
+        *id += 1;
+        let _ = writeln!(out, "  n{my} [label=\"{}\"];", esc(&label(e)));
+        for c in e.children() {
+            let child = walk(c, id, out);
+            let _ = writeln!(out, "  n{my} -> n{child};");
+        }
+        my
+    }
+    let mut out = String::from("digraph plan {\n  node [shape=box, fontsize=10];\n");
+    let mut id = 0;
+    walk(e, &mut id, &mut out);
+    out.push_str("}\n");
+    out
+}
+
+impl std::fmt::Display for NalgExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&inline(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Pred;
+
+    /// The paper's Expression 2: name and e-mail of CS professors.
+    fn paper_expression_2() -> NalgExpr {
+        NalgExpr::entry("ProfListPage")
+            .unnest("ProfList")
+            .follow("ToProf", "ProfPage")
+            .select(Pred::eq("DName", "Computer Science"))
+            .project(vec!["Name", "Email"])
+    }
+
+    #[test]
+    fn inline_matches_paper_notation() {
+        assert_eq!(
+            inline(&paper_expression_2()),
+            "π[Name,Email](σ[DName='Computer Science'](ProfListPage ∘ ProfList –ToProf→ ProfPage))"
+        );
+    }
+
+    #[test]
+    fn spine_stays_on_one_line_in_tree() {
+        let t = tree(&paper_expression_2());
+        assert!(t.contains("ProfListPage ∘ ProfList –ToProf→ ProfPage"));
+        assert!(t.lines().count() == 3);
+    }
+
+    #[test]
+    fn join_renders_two_branches() {
+        let left = NalgExpr::entry("ProfListPage")
+            .unnest("ProfList")
+            .follow("ToProf", "ProfPage")
+            .unnest("CourseList");
+        let right = NalgExpr::entry("SessionListPage")
+            .unnest("SesList")
+            .follow("ToSes", "SessionPage")
+            .unnest("CourseList");
+        let j = left.join(
+            right,
+            vec![(
+                "ProfPage.CourseList.ToCourse",
+                "SessionPage.CourseList.ToCourse",
+            )],
+        );
+        let t = tree(&j);
+        assert!(t.contains("├─ ProfListPage"));
+        assert!(t.contains("└─ SessionListPage"));
+        assert!(t.starts_with("⋈ ["));
+    }
+
+    #[test]
+    fn external_rendering() {
+        let e = NalgExpr::external("CourseInstructor");
+        assert_eq!(inline(&e), "⟨CourseInstructor⟩");
+    }
+
+    #[test]
+    fn aliases_shown_when_nontrivial() {
+        let e = NalgExpr::entry("ConfPage").unnest("EditionList").follow_as(
+            "ToEdition",
+            "EditionPage",
+            "Ed96",
+        );
+        assert!(inline(&e).ends_with("–ToEdition→ EditionPage as Ed96"));
+    }
+
+    #[test]
+    fn display_impl_is_inline() {
+        let e = paper_expression_2();
+        assert_eq!(format!("{e}"), inline(&e));
+    }
+
+    #[test]
+    fn dot_renders_full_operator_tree() {
+        let e = paper_expression_2();
+        let d = dot(&e);
+        assert!(d.starts_with("digraph plan {"));
+        // one node per operator
+        assert_eq!(d.matches("[label=").count(), e.size());
+        // edges connect parents to children
+        assert_eq!(d.matches("->").count(), e.size() - 1);
+        assert!(d.contains("π Name, Email"));
+        assert!(d.contains("entry ProfListPage"));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let e = NalgExpr::entry("P").select(Pred::eq("A", "say \"hi\""));
+        let d = dot(&e);
+        assert!(d.contains("\\\""));
+    }
+
+    #[test]
+    fn nested_tree_indentation() {
+        let e = paper_expression_2();
+        let t = tree(&e);
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines[0].starts_with("π["));
+        assert!(lines[1].starts_with("└─ σ["));
+        assert!(lines[2].starts_with("   └─ ProfListPage"));
+    }
+}

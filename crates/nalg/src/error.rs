@@ -1,0 +1,57 @@
+//! Evaluation-layer errors.
+
+use std::fmt;
+
+/// Errors raised while analyzing or evaluating NALG expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// An expression is not computable: a leaf is not an entry point, or an
+    /// external relation was never replaced by a default navigation.
+    NotComputable(String),
+    /// A data-model error (unknown scheme/attribute, arity, …).
+    Adm(adm::AdmError),
+    /// The page source failed in a non-recoverable way.
+    Source(String),
+    /// An alias or column was introduced twice.
+    DuplicateAlias(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::NotComputable(m) => write!(f, "expression not computable: {m}"),
+            EvalError::Adm(e) => write!(f, "{e}"),
+            EvalError::Source(m) => write!(f, "page source error: {m}"),
+            EvalError::DuplicateAlias(a) => write!(f, "duplicate alias `{a}`"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvalError::Adm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<adm::AdmError> for EvalError {
+    fn from(e: adm::AdmError) -> Self {
+        EvalError::Adm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: EvalError = adm::AdmError::UnknownScheme("X".into()).into();
+        assert!(e.to_string().contains("X"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = EvalError::NotComputable("leaf R".into());
+        assert!(e.to_string().contains("leaf R"));
+    }
+}

@@ -1,0 +1,633 @@
+//! Evaluation of NALG expressions over a page source.
+//!
+//! The evaluator realizes the paper's execution model: entry points are
+//! fetched by their known URL; `follow link` downloads the page behind each
+//! *distinct* outgoing link (the quantity the cost function charges);
+//! everything else is local and free. A per-query page cache ensures a page
+//! fetched by two operators is downloaded once — the report exposes both
+//! the per-operator distinct-link counts (the paper's 𝒞) and the actual
+//! number of downloads.
+
+use crate::error::EvalError;
+use crate::expr::{field_of_column, NalgExpr, Pred};
+use crate::Result;
+use adm::{Relation, Tuple, Url, Value, WebScheme};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors a [`PageSource`] may return.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceError {
+    /// The page does not exist (dangling link / deleted page).
+    NotFound(Url),
+    /// Anything else (network failure, wrapper failure, …).
+    Other(String),
+}
+
+impl fmt::Display for SourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceError::NotFound(u) => write!(f, "not found: {u}"),
+            SourceError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// Anything that can deliver the wrapped tuple of a page: the live virtual
+/// web (`wv-core`'s adapter), a materialized store (`matview`), or a test
+/// fixture.
+pub trait PageSource {
+    /// Fetches and wraps the page at `url`, expected to be an instance of
+    /// page-scheme `scheme`.
+    fn fetch(&self, url: &Url, scheme: &str) -> std::result::Result<Tuple, SourceError>;
+}
+
+/// The result of evaluating an expression.
+#[derive(Debug, Clone)]
+pub struct EvalReport {
+    /// The answer relation.
+    pub relation: Relation,
+    /// Actual downloads performed (cache misses).
+    pub page_accesses: u64,
+    /// Fetches answered by the per-query cache.
+    pub cache_hits: u64,
+    /// Links that pointed to missing pages (skipped).
+    pub broken_links: u64,
+    /// Per-operator distinct-link counts — the quantity the paper's cost
+    /// function 𝒞 estimates, one entry per entry-point/navigation operator
+    /// in evaluation order.
+    pub accesses_by_operator: Vec<(String, u64)>,
+}
+
+impl EvalReport {
+    /// The paper's cost measure: sum of per-operator distinct accesses
+    /// (counts a page once per operator that requests it).
+    pub fn cost_model_accesses(&self) -> u64 {
+        self.accesses_by_operator.iter().map(|(_, n)| n).sum()
+    }
+}
+
+/// The expression evaluator.
+pub struct Evaluator<'a, S: PageSource> {
+    ws: &'a WebScheme,
+    source: &'a S,
+    cache_enabled: bool,
+    batch_fetch: BatchFetch<S>,
+    fetch_workers: usize,
+}
+
+/// A batch page fetcher: one outcome per request, in request order.
+type BatchFetch<S> =
+    fn(&S, &[(Url, String)], usize) -> Vec<std::result::Result<Tuple, SourceError>>;
+
+fn sequential_batch<S: PageSource>(
+    source: &S,
+    reqs: &[(Url, String)],
+    _workers: usize,
+) -> Vec<std::result::Result<Tuple, SourceError>> {
+    reqs.iter().map(|(u, sch)| source.fetch(u, sch)).collect()
+}
+
+/// Fetches a batch with scoped threads — the network-latency-hiding
+/// concurrency real engines use; requires a thread-safe source.
+fn parallel_batch<S: PageSource + Sync>(
+    source: &S,
+    reqs: &[(Url, String)],
+    workers: usize,
+) -> Vec<std::result::Result<Tuple, SourceError>> {
+    let workers = workers.max(1).min(reqs.len().max(1));
+    let chunk = reqs.len().div_ceil(workers);
+    if chunk == 0 {
+        return Vec::new();
+    }
+    let mut results: Vec<Vec<std::result::Result<Tuple, SourceError>>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = reqs
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || sequential_batch(source, part, 1)))
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("fetch worker does not panic"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+struct Ctx {
+    cache: HashMap<Url, Tuple>,
+    page_accesses: u64,
+    cache_hits: u64,
+    broken_links: u64,
+    per_op: Vec<(String, u64)>,
+}
+
+impl<'a, S: PageSource> Evaluator<'a, S> {
+    /// An evaluator with the per-query page cache enabled (the realistic
+    /// engine configuration).
+    pub fn new(ws: &'a WebScheme, source: &'a S) -> Self {
+        Evaluator {
+            ws,
+            source,
+            cache_enabled: true,
+            batch_fetch: sequential_batch::<S>,
+            fetch_workers: 1,
+        }
+    }
+
+    /// Disables the page cache: each operator re-downloads the pages it
+    /// needs, making actual downloads equal the cost model's sum.
+    pub fn without_cache(mut self) -> Self {
+        self.cache_enabled = false;
+        self
+    }
+
+    /// Fetches the distinct links of each navigation with `workers`
+    /// concurrent connections (real engines hide network latency this
+    /// way; page-access *counts* are unchanged). Requires a thread-safe
+    /// page source.
+    pub fn with_concurrent_fetch(mut self, workers: usize) -> Self
+    where
+        S: Sync,
+    {
+        self.batch_fetch = parallel_batch::<S>;
+        self.fetch_workers = workers.max(1);
+        self
+    }
+
+    /// Evaluates a computable expression.
+    pub fn eval(&self, expr: &NalgExpr) -> Result<EvalReport> {
+        if !expr.is_computable() {
+            return Err(EvalError::NotComputable(format!(
+                "leaves must be entry points: {expr}"
+            )));
+        }
+        let mut ctx = Ctx {
+            cache: HashMap::new(),
+            page_accesses: 0,
+            cache_hits: 0,
+            broken_links: 0,
+            per_op: Vec::new(),
+        };
+        let relation = self.eval_expr(expr, &mut ctx)?;
+        Ok(EvalReport {
+            relation,
+            page_accesses: ctx.page_accesses,
+            cache_hits: ctx.cache_hits,
+            broken_links: ctx.broken_links,
+            accesses_by_operator: ctx.per_op,
+        })
+    }
+
+    fn fetch(&self, ctx: &mut Ctx, url: &Url, scheme: &str) -> Result<Option<Tuple>> {
+        if self.cache_enabled {
+            if let Some(t) = ctx.cache.get(url) {
+                ctx.cache_hits += 1;
+                return Ok(Some(t.clone()));
+            }
+        }
+        match self.source.fetch(url, scheme) {
+            Ok(t) => {
+                ctx.page_accesses += 1;
+                if self.cache_enabled {
+                    ctx.cache.insert(url.clone(), t.clone());
+                }
+                Ok(Some(t))
+            }
+            Err(SourceError::NotFound(_)) => {
+                ctx.broken_links += 1;
+                Ok(None)
+            }
+            Err(SourceError::Other(m)) => Err(EvalError::Source(m)),
+        }
+    }
+
+    /// Expands a page tuple into a single-row relation qualified by alias.
+    fn expand_page(
+        &self,
+        alias: &str,
+        scheme: &str,
+        url: &Url,
+        tuple: &Tuple,
+    ) -> Result<(Vec<String>, Vec<Value>)> {
+        let ps = self.ws.scheme(scheme)?;
+        let mut cols = vec![format!("{alias}.URL")];
+        let mut vals = vec![Value::Link(url.clone())];
+        for f in &ps.fields {
+            cols.push(format!("{alias}.{}", f.name));
+            vals.push(tuple.get(&f.name).cloned().unwrap_or(Value::Null));
+        }
+        Ok((cols, vals))
+    }
+
+    fn eval_expr(&self, expr: &NalgExpr, ctx: &mut Ctx) -> Result<Relation> {
+        match expr {
+            NalgExpr::External { name } => Err(EvalError::NotComputable(format!(
+                "external relation {name}"
+            ))),
+            NalgExpr::Entry { scheme, alias } => {
+                let ep = self.ws.entry_point(scheme).ok_or_else(|| {
+                    EvalError::NotComputable(format!("{scheme} is not an entry point"))
+                })?;
+                let url = ep.url.clone();
+                let tuple = self
+                    .fetch(ctx, &url, scheme)?
+                    .ok_or_else(|| EvalError::Source(format!("entry point {url} missing")))?;
+                ctx.per_op.push((format!("entry {scheme}"), 1));
+                let (cols, vals) = self.expand_page(alias, scheme, &url, &tuple)?;
+                let mut r = Relation::new(cols);
+                r.push_row(vals)?;
+                Ok(r)
+            }
+            NalgExpr::Select { input, pred } => {
+                let rel = self.eval_expr(input, ctx)?;
+                apply_pred(&rel, pred)
+            }
+            NalgExpr::Project { input, cols } => {
+                let rel = self.eval_expr(input, ctx)?;
+                let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+                Ok(rel.project(&refs)?)
+            }
+            NalgExpr::Join { left, right, on } => {
+                let l = self.eval_expr(left, ctx)?;
+                let r = self.eval_expr(right, ctx)?;
+                let pairs: Vec<(&str, &str)> =
+                    on.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+                Ok(l.join(&r, &pairs)?)
+            }
+            NalgExpr::Unnest { input, attr } => {
+                let rel = self.eval_expr(input, ctx)?;
+                let idx = rel.resolve(attr)?;
+                let qualified = rel.columns()[idx].clone();
+                let aliases = expr.alias_map()?;
+                let field = field_of_column(self.ws, &aliases, &qualified)?;
+                let inner: Vec<String> = field
+                    .ty
+                    .list_fields()
+                    .ok_or_else(|| {
+                        EvalError::Adm(adm::AdmError::TypeMismatch {
+                            attr: qualified.clone(),
+                            expected: "list",
+                            found: field.ty.kind().to_string(),
+                        })
+                    })?
+                    .iter()
+                    .map(|f| f.name.clone())
+                    .collect();
+                Ok(rel.unnest(attr, &inner)?)
+            }
+            NalgExpr::Follow {
+                input,
+                link,
+                target,
+                alias,
+            } => {
+                let rel = self.eval_expr(input, ctx)?;
+                let li = rel.resolve(link)?;
+                // Distinct non-null link values, in first-appearance order.
+                let mut seen: HashMap<Url, Option<Vec<Value>>> = HashMap::new();
+                let mut order: Vec<Url> = Vec::new();
+                for row in rel.rows() {
+                    if let Value::Link(u) = &row[li] {
+                        if !seen.contains_key(u) {
+                            seen.insert(u.clone(), None);
+                            order.push(u.clone());
+                        }
+                    }
+                }
+                ctx.per_op
+                    .push((format!("–{link}→ {target}"), order.len() as u64));
+                // serve cache hits, then fetch the misses as one batch
+                // (possibly concurrently)
+                let mut fetched: Vec<(Url, Tuple)> = Vec::new();
+                let mut misses: Vec<(Url, String)> = Vec::new();
+                for u in &order {
+                    if self.cache_enabled {
+                        if let Some(t) = ctx.cache.get(u) {
+                            ctx.cache_hits += 1;
+                            fetched.push((u.clone(), t.clone()));
+                            continue;
+                        }
+                    }
+                    misses.push((u.clone(), target.clone()));
+                }
+                let outcomes = (self.batch_fetch)(self.source, &misses, self.fetch_workers);
+                for ((u, _), outcome) in misses.into_iter().zip(outcomes) {
+                    match outcome {
+                        Ok(t) => {
+                            ctx.page_accesses += 1;
+                            if self.cache_enabled {
+                                ctx.cache.insert(u.clone(), t.clone());
+                            }
+                            fetched.push((u, t));
+                        }
+                        Err(SourceError::NotFound(_)) => ctx.broken_links += 1,
+                        Err(SourceError::Other(m)) => return Err(EvalError::Source(m)),
+                    }
+                }
+                let mut target_cols: Option<Vec<String>> = None;
+                for (u, t) in &fetched {
+                    let (cols, vals) = self.expand_page(alias, target, u, t)?;
+                    if target_cols.is_none() {
+                        target_cols = Some(cols);
+                    }
+                    seen.insert(u.clone(), Some(vals));
+                }
+                let target_cols = match target_cols {
+                    Some(c) => c,
+                    // No link was followed; synthesize the header statically.
+                    None => crate::expr::page_columns(self.ws, target, alias)?,
+                };
+                let mut columns = rel.columns().to_vec();
+                columns.extend(target_cols);
+                let mut out = Relation::new(columns);
+                for row in rel.rows() {
+                    if let Value::Link(u) = &row[li] {
+                        if let Some(Some(vals)) = seen.get(u) {
+                            let mut new_row = row.clone();
+                            new_row.extend(vals.iter().cloned());
+                            out.push_row(new_row)?;
+                        }
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+/// Applies a predicate to a relation.
+fn apply_pred(rel: &Relation, pred: &Pred) -> Result<Relation> {
+    match pred {
+        Pred::Eq(attr, value) => {
+            let i = rel.resolve(attr)?;
+            Ok(rel.select(|row| &row[i] == value))
+        }
+        Pred::EqAttr(a, b) => {
+            let i = rel.resolve(a)?;
+            let j = rel.resolve(b)?;
+            Ok(rel.select(|row| !row[i].is_null() && row[i] == row[j]))
+        }
+        Pred::And(ps) => {
+            let mut cur = rel.clone();
+            for p in ps {
+                cur = apply_pred(&cur, p)?;
+            }
+            Ok(cur)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Pred;
+    use adm::{Field, PageScheme};
+
+    /// An in-memory page source over explicit tuples.
+    struct MapSource {
+        pages: HashMap<Url, Tuple>,
+    }
+
+    impl PageSource for MapSource {
+        fn fetch(&self, url: &Url, _scheme: &str) -> std::result::Result<Tuple, SourceError> {
+            self.pages
+                .get(url)
+                .cloned()
+                .ok_or_else(|| SourceError::NotFound(url.clone()))
+        }
+    }
+
+    fn scheme() -> WebScheme {
+        let list = PageScheme::new(
+            "ListPage",
+            vec![Field::list(
+                "Items",
+                vec![Field::text("Name"), Field::link("ToItem", "ItemPage")],
+            )],
+        )
+        .unwrap();
+        let item =
+            PageScheme::new("ItemPage", vec![Field::text("Name"), Field::text("Kind")]).unwrap();
+        WebScheme::builder()
+            .scheme(list)
+            .scheme(item)
+            .entry_point("ListPage", "/list.html")
+            .build()
+            .unwrap()
+    }
+
+    fn source() -> MapSource {
+        let mut pages = HashMap::new();
+        pages.insert(
+            Url::new("/list.html"),
+            Tuple::new().with_list(
+                "Items",
+                vec![
+                    Tuple::new()
+                        .with("Name", "a")
+                        .with("ToItem", Value::link("/i/a")),
+                    Tuple::new()
+                        .with("Name", "b")
+                        .with("ToItem", Value::link("/i/b")),
+                    Tuple::new()
+                        .with("Name", "c")
+                        .with("ToItem", Value::link("/i/c")),
+                ],
+            ),
+        );
+        for (n, k) in [("a", "x"), ("b", "y"), ("c", "x")] {
+            pages.insert(
+                Url::new(format!("/i/{n}")),
+                Tuple::new().with("Name", n).with("Kind", k),
+            );
+        }
+        MapSource { pages }
+    }
+
+    fn nav() -> NalgExpr {
+        NalgExpr::entry("ListPage")
+            .unnest("Items")
+            .follow("ToItem", "ItemPage")
+    }
+
+    #[test]
+    fn full_navigation() {
+        let ws = scheme();
+        let src = source();
+        let report = Evaluator::new(&ws, &src).eval(&nav()).unwrap();
+        assert_eq!(report.relation.len(), 3);
+        assert_eq!(report.page_accesses, 4); // entry + 3 items
+        assert_eq!(report.cost_model_accesses(), 4);
+        assert_eq!(report.broken_links, 0);
+    }
+
+    #[test]
+    fn selection_and_projection() {
+        let ws = scheme();
+        let src = source();
+        let e = nav()
+            .select(Pred::eq("Kind", "x"))
+            .project(vec!["ItemPage.Name"]);
+        let report = Evaluator::new(&ws, &src).eval(&e).unwrap();
+        assert_eq!(report.relation.len(), 2);
+        let names: Vec<String> = report
+            .relation
+            .rows()
+            .iter()
+            .map(|r| r[0].as_text().unwrap().to_string())
+            .collect();
+        assert!(names.contains(&"a".to_string()));
+        assert!(names.contains(&"c".to_string()));
+    }
+
+    #[test]
+    fn selection_before_follow_reduces_accesses() {
+        let ws = scheme();
+        let src = source();
+        let e = NalgExpr::entry("ListPage")
+            .unnest("Items")
+            .select(Pred::eq("Name", "b"))
+            .follow("ToItem", "ItemPage");
+        let report = Evaluator::new(&ws, &src).eval(&e).unwrap();
+        assert_eq!(report.relation.len(), 1);
+        assert_eq!(report.page_accesses, 2); // entry + 1 item
+    }
+
+    #[test]
+    fn join_on_pointer_sets() {
+        let ws = scheme();
+        let src = source();
+        // Join the unnested list with itself through two aliases via a
+        // second entry alias, on the link column.
+        let left = NalgExpr::entry("ListPage").unnest("Items");
+        let right = NalgExpr::entry_as("ListPage", "L2").unnest("Items");
+        let e = left
+            .join(right, vec![("ListPage.Items.ToItem", "L2.Items.ToItem")])
+            .follow("ListPage.Items.ToItem", "ItemPage");
+        let report = Evaluator::new(&ws, &src).eval(&e).unwrap();
+        assert_eq!(report.relation.len(), 3);
+        // entry fetched once thanks to the cache (two aliases, same URL)
+        assert_eq!(report.page_accesses, 4);
+        assert_eq!(report.cache_hits, 1);
+        // the cost model counts both entry accesses
+        assert_eq!(report.cost_model_accesses(), 5);
+    }
+
+    #[test]
+    fn without_cache_downloads_match_cost_model() {
+        let ws = scheme();
+        let src = source();
+        let left = NalgExpr::entry("ListPage").unnest("Items");
+        let right = NalgExpr::entry_as("ListPage", "L2").unnest("Items");
+        let e = left
+            .join(right, vec![("ListPage.Items.ToItem", "L2.Items.ToItem")])
+            .follow("ListPage.Items.ToItem", "ItemPage");
+        let report = Evaluator::new(&ws, &src).without_cache().eval(&e).unwrap();
+        assert_eq!(report.page_accesses, report.cost_model_accesses());
+    }
+
+    #[test]
+    fn broken_links_are_skipped_and_counted() {
+        let ws = scheme();
+        let mut src = source();
+        src.pages.remove(&Url::new("/i/b"));
+        let report = Evaluator::new(&ws, &src).eval(&nav()).unwrap();
+        assert_eq!(report.relation.len(), 2);
+        assert_eq!(report.broken_links, 1);
+    }
+
+    #[test]
+    fn external_leaf_not_computable() {
+        let ws = scheme();
+        let src = source();
+        let e = NalgExpr::external("R");
+        assert!(matches!(
+            Evaluator::new(&ws, &src).eval(&e),
+            Err(EvalError::NotComputable(_))
+        ));
+    }
+
+    #[test]
+    fn entry_must_be_declared() {
+        let ws = scheme();
+        let src = source();
+        let e = NalgExpr::entry("ItemPage"); // not an entry point
+        assert!(matches!(
+            Evaluator::new(&ws, &src).eval(&e),
+            Err(EvalError::NotComputable(_))
+        ));
+    }
+
+    #[test]
+    fn eq_attr_predicate() {
+        let ws = scheme();
+        let src = source();
+        // Items whose anchor equals the item page's name (all of them).
+        let e = nav().select(Pred::EqAttr(
+            "ListPage.Items.Name".into(),
+            "ItemPage.Name".into(),
+        ));
+        let report = Evaluator::new(&ws, &src).eval(&e).unwrap();
+        assert_eq!(report.relation.len(), 3);
+    }
+
+    #[test]
+    fn per_operator_accounting() {
+        let ws = scheme();
+        let src = source();
+        let report = Evaluator::new(&ws, &src).eval(&nav()).unwrap();
+        assert_eq!(
+            report.accesses_by_operator,
+            vec![
+                ("entry ListPage".to_string(), 1),
+                ("–ToItem→ ItemPage".to_string(), 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn concurrent_fetch_equals_sequential() {
+        let ws = scheme();
+        let src = source();
+        let seq = Evaluator::new(&ws, &src).eval(&nav()).unwrap();
+        for workers in [1, 2, 8] {
+            let par = Evaluator::new(&ws, &src)
+                .with_concurrent_fetch(workers)
+                .eval(&nav())
+                .unwrap();
+            assert_eq!(par.relation.sorted(), seq.relation.sorted());
+            assert_eq!(par.page_accesses, seq.page_accesses);
+            assert_eq!(par.accesses_by_operator, seq.accesses_by_operator);
+        }
+    }
+
+    #[test]
+    fn concurrent_fetch_skips_broken_links() {
+        let ws = scheme();
+        let mut src = source();
+        src.pages.remove(&Url::new("/i/b"));
+        let report = Evaluator::new(&ws, &src)
+            .with_concurrent_fetch(4)
+            .eval(&nav())
+            .unwrap();
+        assert_eq!(report.relation.len(), 2);
+        assert_eq!(report.broken_links, 1);
+    }
+
+    #[test]
+    fn follow_with_no_links_yields_empty_relation_with_header() {
+        let ws = scheme();
+        let mut pages = HashMap::new();
+        pages.insert(
+            Url::new("/list.html"),
+            Tuple::new().with_list("Items", vec![]),
+        );
+        let src = MapSource { pages };
+        let report = Evaluator::new(&ws, &src).eval(&nav()).unwrap();
+        assert!(report.relation.is_empty());
+        assert!(report
+            .relation
+            .columns()
+            .contains(&"ItemPage.Kind".to_string()));
+    }
+}

@@ -1,0 +1,49 @@
+//! # nalg — the navigational algebra
+//!
+//! The paper's NALG (Section 4) is an algebra for nested page-relations
+//! with the classical operators — selection σ, projection π, join ⋈ —
+//! plus two navigational ones:
+//!
+//! * **unnest page** `R ∘ A` — navigate *inside* a page's nested structure
+//!   (the traditional unnest μ);
+//! * **follow link** `R –L→ P` — navigate *between* pages; semantically a
+//!   join `R ⋈_{R.L = P.URL} P`, but physically a page download per
+//!   distinct link, which is what the cost model charges for.
+//!
+//! This crate provides
+//! * [`NalgExpr`] — expression trees, with external-relation leaves that
+//!   the optimizer replaces by default navigations (rule 1);
+//! * static analysis (computability, output columns) driven by the ADM
+//!   scheme;
+//! * [`display`] — paper-style pretty printing of expressions and query
+//!   plans (Figures 2–4);
+//! * [`eval`] — an evaluator over any [`PageSource`], with page-access
+//!   accounting that realizes the paper's cost measure.
+//!
+//! ```
+//! use nalg::{NalgExpr, Pred};
+//!
+//! // the paper's Expression 2: name and e-mail of CS professors
+//! let expr = NalgExpr::entry("ProfListPage")
+//!     .unnest("ProfList")
+//!     .follow("ToProf", "ProfPage")
+//!     .select(Pred::eq("DName", "Computer Science"))
+//!     .project(vec!["Name", "Email"]);
+//! assert_eq!(
+//!     nalg::display::inline(&expr),
+//!     "π[Name,Email](σ[DName='Computer Science'](ProfListPage ∘ ProfList –ToProf→ ProfPage))"
+//! );
+//! assert!(expr.is_computable());
+//! ```
+
+pub mod display;
+pub mod error;
+pub mod eval;
+pub mod expr;
+
+pub use error::EvalError;
+pub use eval::{EvalReport, Evaluator, PageSource, SourceError};
+pub use expr::{NalgExpr, Pred};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, EvalError>;

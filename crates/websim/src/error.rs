@@ -1,0 +1,53 @@
+//! Errors of the virtual web layer.
+
+use adm::Url;
+use std::fmt;
+
+/// Errors raised by the virtual server and site generators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WebError {
+    /// No page at this URL (HTTP 404 analogue).
+    NotFound(Url),
+    /// A site generator was asked for an impossible configuration.
+    BadConfig(String),
+    /// An underlying data-model error.
+    Adm(adm::AdmError),
+}
+
+impl fmt::Display for WebError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WebError::NotFound(u) => write!(f, "404 not found: {u}"),
+            WebError::BadConfig(msg) => write!(f, "bad site configuration: {msg}"),
+            WebError::Adm(e) => write!(f, "data model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WebError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WebError::Adm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<adm::AdmError> for WebError {
+    fn from(e: adm::AdmError) -> Self {
+        WebError::Adm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = WebError::NotFound(Url::new("/x.html"));
+        assert_eq!(e.to_string(), "404 not found: /x.html");
+        let e = WebError::Adm(adm::AdmError::UnknownScheme("P".into()));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

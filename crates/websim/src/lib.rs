@@ -1,0 +1,34 @@
+//! # websim — a simulated web substrate
+//!
+//! The paper evaluates its optimizer against live 1998 web sites (the Trier
+//! bibliography, university sites) over a real network, with *number of
+//! pages downloaded* as the cost measure. This crate substitutes an
+//! **in-process virtual web** that preserves exactly that quantity:
+//!
+//! * [`VirtualServer`] — a page store with instrumented `GET` (full
+//!   download) and `HEAD` ("light connection", Section 8) requests, atomic
+//!   access counters, per-page `Last-Modified` stamps driven by a logical
+//!   clock, and 404s;
+//! * [`html`] — a from-scratch HTML AST and writer (no external crates);
+//! * [`page`] — rendering of ADM nested tuples into real HTML documents
+//!   carrying extraction markers the `wrapper` crate parses back;
+//! * [`sitegen`] — generators for the paper's two running examples: the
+//!   **university site** of Figure 1 and a **bibliography site** modeled on
+//!   the Trier DBLP repository used in the introduction;
+//! * [`mutation`] — a site-update API (the autonomous site manager of the
+//!   paper's Section 1), used by the materialized-view experiments.
+
+pub mod error;
+pub mod html;
+pub mod mutation;
+pub mod page;
+pub mod server;
+pub mod site;
+pub mod sitegen;
+
+pub use error::WebError;
+pub use server::{AccessSnapshot, HeadResponse, PageResponse, VirtualServer};
+pub use site::Site;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, WebError>;

@@ -1,0 +1,137 @@
+//! Generic site-mutation helpers.
+//!
+//! The paper's Section 1 stresses that "the site manager inserts, deletes
+//! and modifies pages without notifying remote users of the updates". The
+//! structural mutations (add/remove course, …) live on the site generators,
+//! which know how to keep all affected pages consistent; this module adds
+//! *content-only* perturbation useful for materialized-view experiments:
+//! it touches a configurable fraction of a scheme's pages by rewriting one
+//! mono-valued text attribute, changing Last-Modified without changing the
+//! link structure.
+
+use crate::site::Site;
+use crate::Result;
+use adm::{Tuple, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// Rewrites attribute `attr` (a top-level text attribute) on a randomly
+/// chosen `fraction` (0.0..=1.0) of the pages of `scheme_name`, appending a
+/// revision marker. Returns the number of pages touched.
+pub fn perturb_text_attr(
+    site: &mut Site,
+    scheme_name: &str,
+    attr: &str,
+    fraction: f64,
+    revision: u64,
+    rng: &mut StdRng,
+) -> Result<usize> {
+    let instance = site.instance(scheme_name);
+    let mut urls: Vec<_> = instance.iter().map(|(u, _)| u.clone()).collect();
+    urls.shuffle(rng);
+    let n = ((urls.len() as f64) * fraction).round() as usize;
+    let mut touched = 0;
+    for url in urls.into_iter().take(n) {
+        let Some(t) = site.ground_truth(scheme_name, &url).cloned() else {
+            continue;
+        };
+        let new_tuple = rewrite_attr(&t, attr, revision);
+        site.republish(scheme_name, url, new_tuple, &format!("{scheme_name} (rev)"))?;
+        touched += 1;
+    }
+    Ok(touched)
+}
+
+fn rewrite_attr(t: &Tuple, attr: &str, revision: u64) -> Tuple {
+    let pairs = t
+        .clone()
+        .into_pairs()
+        .into_iter()
+        .map(|(n, v)| {
+            if n == attr {
+                let base = match &v {
+                    Value::Text(s) => s.split(" [rev ").next().unwrap_or_default().to_string(),
+                    _ => String::new(),
+                };
+                (n, Value::Text(format!("{base} [rev {revision}]")))
+            } else {
+                (n, v)
+            }
+        })
+        .collect();
+    Tuple::from_pairs(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sitegen::university::{University, UniversityConfig};
+    use rand::SeedableRng;
+
+    fn uni() -> University {
+        University::generate(UniversityConfig {
+            departments: 2,
+            professors: 6,
+            courses: 10,
+            seed: 5,
+            ..UniversityConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn perturb_touches_requested_fraction() {
+        let mut u = uni();
+        let mut rng = StdRng::seed_from_u64(9);
+        let touched =
+            perturb_text_attr(&mut u.site, "CoursePage", "Description", 0.5, 1, &mut rng).unwrap();
+        assert_eq!(touched, 5);
+        // touched pages carry the revision marker in ground truth
+        let marked = u
+            .site
+            .instance("CoursePage")
+            .iter()
+            .filter(|(_, t)| {
+                t.get("Description")
+                    .and_then(|v| v.as_text())
+                    .is_some_and(|s| s.contains("[rev 1]"))
+            })
+            .count();
+        assert_eq!(marked, 5);
+    }
+
+    #[test]
+    fn perturb_preserves_constraints() {
+        let mut u = uni();
+        let mut rng = StdRng::seed_from_u64(9);
+        perturb_text_attr(&mut u.site, "CoursePage", "Description", 1.0, 1, &mut rng).unwrap();
+        assert!(u.site.verify_constraints().is_empty());
+    }
+
+    #[test]
+    fn repeated_perturbation_does_not_stack_markers() {
+        let mut u = uni();
+        let mut rng = StdRng::seed_from_u64(9);
+        perturb_text_attr(&mut u.site, "CoursePage", "Description", 1.0, 1, &mut rng).unwrap();
+        perturb_text_attr(&mut u.site, "CoursePage", "Description", 1.0, 2, &mut rng).unwrap();
+        for (_, t) in u.site.instance("CoursePage") {
+            let d = t.get("Description").unwrap().as_text().unwrap().to_string();
+            assert_eq!(d.matches("[rev").count(), 1, "{d}");
+            assert!(d.contains("[rev 2]"));
+        }
+    }
+
+    #[test]
+    fn zero_fraction_is_noop() {
+        let mut u = uni();
+        let mut rng = StdRng::seed_from_u64(9);
+        let before = u.site.server.head(&University::course_url(0)).unwrap();
+        let touched =
+            perturb_text_attr(&mut u.site, "CoursePage", "Description", 0.0, 1, &mut rng).unwrap();
+        assert_eq!(touched, 0);
+        assert_eq!(
+            u.site.server.head(&University::course_url(0)).unwrap(),
+            before
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! Rendering ADM tuples as HTML pages.
+//!
+//! Each page is a complete HTML document with ordinary chrome (masthead,
+//! navigation, footer) plus the page's data marked up with a small
+//! microformat the wrapper layer understands:
+//!
+//! * a mono-valued attribute `A` renders as an element with
+//!   `class="adm-attr" data-attr="A"` — a `<span>` for text, an `<a href>`
+//!   for links, an `<img src>` for images;
+//! * a list attribute `L` renders as `<ul class="adm-list" data-attr="L">`
+//!   with `<li class="adm-row">` rows, or as a `<table>`/`<tr>` equivalent
+//!   (markup style varies per attribute, as on real sites — extraction
+//!   keys on the classes, not the tags), recursively;
+//! * a null (optional, absent) attribute renders nothing.
+//!
+//! This stands in for the paper's assumption that "suitable wrappers are
+//! applied to pages in order to access attribute values": the wrapper crate
+//! actually parses these documents back into nested tuples.
+
+use crate::html::{document, el, Element, Node};
+use adm::{Field, PageScheme, Tuple, Value, WebType};
+
+/// Renders one attribute value. Returns `None` for nulls (nothing emitted).
+fn render_value(field: &Field, value: &Value) -> Option<Node> {
+    match (&field.ty, value) {
+        (_, Value::Null) => None,
+        (WebType::Text, Value::Text(s)) => Some(
+            el("span")
+                .attr("class", "adm-attr")
+                .attr("data-attr", &field.name)
+                .text(s.clone())
+                .into(),
+        ),
+        (WebType::Image, Value::Text(src)) => Some(
+            el("img")
+                .attr("class", "adm-attr")
+                .attr("data-attr", &field.name)
+                .attr("src", src.clone())
+                .into(),
+        ),
+        (WebType::Link { .. }, Value::Link(u)) => Some(
+            el("a")
+                .attr("class", "adm-attr")
+                .attr("data-attr", &field.name)
+                .attr("href", u.as_str())
+                .text("link")
+                .into(),
+        ),
+        (WebType::List(inner), Value::List(rows)) => {
+            // Real sites mix markup styles; lists render as <ul> or as
+            // <table>, chosen deterministically per attribute name. The
+            // wrapper keys on the adm-list/adm-row classes, not the tags.
+            let tabular = field.name.len() % 2 == 0;
+            let (list_tag, row_tag) = if tabular { ("table", "tr") } else { ("ul", "li") };
+            let mut list = el(list_tag)
+                .attr("class", "adm-list")
+                .attr("data-attr", &field.name);
+            for row in rows {
+                let mut item = el(row_tag).attr("class", "adm-row");
+                if tabular {
+                    let mut cell = el("td");
+                    for node in render_fields(inner, row) {
+                        cell = cell.child(node);
+                    }
+                    item = item.child(cell);
+                } else {
+                    for node in render_fields(inner, row) {
+                        item = item.child(node);
+                    }
+                }
+                list = list.child(item);
+            }
+            Some(list.into())
+        }
+        // Mismatches should never be produced by the generators; render a
+        // comment so they are visible (and wrapping will report the miss).
+        _ => Some(Node::Comment(format!(
+            "type mismatch for attribute {}",
+            field.name
+        ))),
+    }
+}
+
+/// Renders all fields of a tuple, in scheme order, with labels.
+fn render_fields(fields: &[Field], tuple: &Tuple) -> Vec<Node> {
+    let mut out = Vec::new();
+    for f in fields {
+        let v = tuple.get(&f.name).unwrap_or(&Value::Null);
+        if let Some(node) = render_value(f, v) {
+            // A human-readable label before the value, as real pages have.
+            out.push(el("b").text(format!("{}: ", f.name)).into());
+            out.push(node);
+            out.push(el("br").into());
+        }
+    }
+    out
+}
+
+/// Renders a full page for a tuple of the given page-scheme.
+pub fn render_page(scheme: &PageScheme, tuple: &Tuple, title: &str) -> String {
+    let chrome_top = el("div")
+        .attr("class", "chrome")
+        .child(el("h1").text(title.to_string()))
+        .child(
+            el("p")
+                .attr("class", "nav")
+                .text("Home | About | Search | Help"),
+        )
+        .child(el("hr"));
+    let mut content = el("div")
+        .attr("class", "adm-page")
+        .attr("data-scheme", &scheme.name);
+    for node in render_fields(&scheme.fields, tuple) {
+        content = content.child(node);
+    }
+    let footer = el("div")
+        .attr("class", "chrome footer")
+        .child(el("hr"))
+        .child(el("small").text("Maintained by the webmaster. Last generated automatically."));
+    let body: Element = el("body").child(chrome_top).child(content).child(footer);
+    document(title, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adm::Field;
+
+    fn prof_scheme() -> PageScheme {
+        PageScheme::new(
+            "ProfPage",
+            vec![
+                Field::text("PName"),
+                Field::optional("Email", WebType::Text),
+                Field::link("ToDept", "DeptPage"),
+                Field::list(
+                    "CourseList",
+                    vec![Field::text("CName"), Field::link("ToCourse", "CoursePage")],
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn prof_tuple() -> Tuple {
+        Tuple::new()
+            .with("PName", "E. Codd")
+            .with_null("Email")
+            .with("ToDept", Value::link("/dept/1.html"))
+            .with_list(
+                "CourseList",
+                vec![Tuple::new()
+                    .with("CName", "Databases <advanced>")
+                    .with("ToCourse", Value::link("/course/1.html"))],
+            )
+    }
+
+    #[test]
+    fn renders_attrs_with_markers() {
+        let html = render_page(&prof_scheme(), &prof_tuple(), "Prof");
+        assert!(html.contains("data-attr=\"PName\""));
+        assert!(html.contains("E. Codd"));
+        assert!(html.contains("href=\"/dept/1.html\""));
+        assert!(html.contains("data-attr=\"CourseList\""));
+        assert!(html.contains("class=\"adm-row\""));
+    }
+
+    #[test]
+    fn nulls_render_nothing() {
+        let html = render_page(&prof_scheme(), &prof_tuple(), "Prof");
+        assert!(!html.contains("data-attr=\"Email\""));
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let html = render_page(&prof_scheme(), &prof_tuple(), "Prof");
+        assert!(html.contains("Databases &lt;advanced&gt;"));
+        assert!(!html.contains("Databases <advanced>"));
+    }
+
+    #[test]
+    fn chrome_present_but_unmarked() {
+        let html = render_page(&prof_scheme(), &prof_tuple(), "Prof");
+        assert!(html.contains("class=\"chrome\""));
+        assert!(html.contains("webmaster"));
+    }
+
+    #[test]
+    fn list_markup_varies_by_attribute_name() {
+        // "CourseList" (10 chars, even) renders as a table; a 7-char list
+        // name renders as <ul>. Both carry the same extraction markers.
+        let html = render_page(&prof_scheme(), &prof_tuple(), "Prof");
+        assert!(html.contains("<table class=\"adm-list\" data-attr=\"CourseList\">"));
+        let odd = PageScheme::new(
+            "P",
+            vec![Field::list("Entries", vec![Field::text("X")])],
+        )
+        .unwrap();
+        let t = Tuple::new().with_list("Entries", vec![Tuple::new().with("X", "1")]);
+        let html = render_page(&odd, &t, "P");
+        assert!(html.contains("<ul class=\"adm-list\" data-attr=\"Entries\">"));
+    }
+
+    #[test]
+    fn nested_lists_render() {
+        let scheme = PageScheme::new(
+            "EditionPage",
+            vec![Field::list(
+                "PaperList",
+                vec![
+                    Field::text("Title"),
+                    Field::list(
+                        "Authors",
+                        vec![Field::text("AName"), Field::link("ToAuthor", "EditionPage")],
+                    ),
+                ],
+            )],
+        )
+        .unwrap();
+        let t = Tuple::new().with_list(
+            "PaperList",
+            vec![Tuple::new().with("Title", "A Paper").with_list(
+                "Authors",
+                vec![Tuple::new()
+                    .with("AName", "Alice")
+                    .with("ToAuthor", Value::link("/a/1.html"))],
+            )],
+        );
+        let html = render_page(&scheme, &t, "Edition");
+        assert!(html.contains("data-attr=\"PaperList\""));
+        assert!(html.contains("data-attr=\"Authors\""));
+        assert!(html.contains("Alice"));
+    }
+}

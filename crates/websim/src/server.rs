@@ -1,0 +1,359 @@
+//! The virtual web server.
+//!
+//! Pages live in an in-memory store keyed by URL. Two request kinds mirror
+//! the paper's cost model:
+//!
+//! * [`VirtualServer::get`] — a full download; this is what the cost
+//!   function 𝒞 counts;
+//! * [`VirtualServer::head`] — a "light connection" (Section 8) that
+//!   exchanges only an error flag and the date of last modification, used
+//!   by materialized-view maintenance.
+//!
+//! A logical clock stamps every stored page with its last-modified time;
+//! mutations bump the clock, so freshness checks behave like HTTP
+//! `If-Modified-Since` without real time.
+
+use crate::error::WebError;
+use crate::Result;
+use adm::Url;
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A stored page.
+#[derive(Debug, Clone)]
+struct StoredPage {
+    /// Page-scheme name, carried as out-of-band metadata the way a real
+    /// deployment would carry a wrapper registry keyed by URL pattern.
+    scheme: String,
+    body: Bytes,
+    last_modified: u64,
+}
+
+/// Response to a full `GET`.
+#[derive(Debug, Clone)]
+pub struct PageResponse {
+    /// The page-scheme this URL belongs to.
+    pub scheme: String,
+    /// The HTML body.
+    pub body: Bytes,
+    /// Logical last-modified stamp.
+    pub last_modified: u64,
+}
+
+/// Response to a light `HEAD` connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeadResponse {
+    /// Logical last-modified stamp.
+    pub last_modified: u64,
+}
+
+/// A snapshot of the access counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccessSnapshot {
+    /// Number of full page downloads.
+    pub gets: u64,
+    /// Number of light connections.
+    pub heads: u64,
+    /// Total bytes transferred by GETs.
+    pub bytes: u64,
+    /// Requests (of either kind) answered with 404.
+    pub not_found: u64,
+}
+
+impl AccessSnapshot {
+    /// Difference of two snapshots (self − earlier).
+    pub fn since(&self, earlier: &AccessSnapshot) -> AccessSnapshot {
+        AccessSnapshot {
+            gets: self.gets - earlier.gets,
+            heads: self.heads - earlier.heads,
+            bytes: self.bytes - earlier.bytes,
+            not_found: self.not_found - earlier.not_found,
+        }
+    }
+}
+
+/// The in-process web server.
+#[derive(Debug, Default)]
+pub struct VirtualServer {
+    pages: RwLock<HashMap<Url, StoredPage>>,
+    clock: AtomicU64,
+    gets: AtomicU64,
+    heads: AtomicU64,
+    bytes: AtomicU64,
+    not_found: AtomicU64,
+    gets_by_scheme: RwLock<HashMap<String, u64>>,
+    /// Simulated network latency per request, in microseconds (0 = off).
+    latency_us: AtomicU64,
+}
+
+impl VirtualServer {
+    /// An empty server at logical time 0.
+    pub fn new() -> Self {
+        VirtualServer::default()
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> u64 {
+        self.clock.load(Ordering::SeqCst)
+    }
+
+    /// Advances the logical clock and returns the new time.
+    pub fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Sets a simulated per-request network latency (applied to both GET
+    /// and HEAD). Lets experiments show wall-clock effects — e.g. of
+    /// concurrent fetching — that the page-count cost model abstracts away.
+    pub fn set_latency(&self, latency: Duration) {
+        self.latency_us
+            .store(latency.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    fn simulate_latency(&self) {
+        let us = self.latency_us.load(Ordering::Relaxed);
+        if us > 0 {
+            std::thread::sleep(Duration::from_micros(us));
+        }
+    }
+
+    /// Publishes (or replaces) a page; stamps it with the *current* clock.
+    pub fn put(&self, url: Url, scheme: impl Into<String>, body: impl Into<Bytes>) {
+        let page = StoredPage {
+            scheme: scheme.into(),
+            body: body.into(),
+            last_modified: self.now(),
+        };
+        self.pages.write().insert(url, page);
+    }
+
+    /// Publishes a page after bumping the clock — the page is strictly
+    /// newer than anything stamped before this call.
+    pub fn put_updated(&self, url: Url, scheme: impl Into<String>, body: impl Into<Bytes>) {
+        self.tick();
+        self.put(url, scheme, body);
+    }
+
+    /// Deletes a page. Returns true if it existed.
+    pub fn remove(&self, url: &Url) -> bool {
+        self.tick();
+        self.pages.write().remove(url).is_some()
+    }
+
+    /// Full download. Counts one GET and the body bytes.
+    pub fn get(&self, url: &Url) -> Result<PageResponse> {
+        self.simulate_latency();
+        let pages = self.pages.read();
+        match pages.get(url) {
+            Some(p) => {
+                self.gets.fetch_add(1, Ordering::Relaxed);
+                self.bytes.fetch_add(p.body.len() as u64, Ordering::Relaxed);
+                *self
+                    .gets_by_scheme
+                    .write()
+                    .entry(p.scheme.clone())
+                    .or_insert(0) += 1;
+                Ok(PageResponse {
+                    scheme: p.scheme.clone(),
+                    body: p.body.clone(),
+                    last_modified: p.last_modified,
+                })
+            }
+            None => {
+                self.not_found.fetch_add(1, Ordering::Relaxed);
+                Err(WebError::NotFound(url.clone()))
+            }
+        }
+    }
+
+    /// Light connection: only existence and last-modified are exchanged.
+    pub fn head(&self, url: &Url) -> Result<HeadResponse> {
+        self.simulate_latency();
+        let pages = self.pages.read();
+        match pages.get(url) {
+            Some(p) => {
+                self.heads.fetch_add(1, Ordering::Relaxed);
+                Ok(HeadResponse {
+                    last_modified: p.last_modified,
+                })
+            }
+            None => {
+                self.not_found.fetch_add(1, Ordering::Relaxed);
+                Err(WebError::NotFound(url.clone()))
+            }
+        }
+    }
+
+    /// True if a page exists, without touching any counter (test helper —
+    /// not part of the simulated network protocol).
+    pub fn exists(&self, url: &Url) -> bool {
+        self.pages.read().contains_key(url)
+    }
+
+    /// Number of stored pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.read().len()
+    }
+
+    /// All URLs of pages belonging to a scheme (inspection helper).
+    pub fn urls_of_scheme(&self, scheme: &str) -> Vec<Url> {
+        let mut v: Vec<Url> = self
+            .pages
+            .read()
+            .iter()
+            .filter(|(_, p)| p.scheme == scheme)
+            .map(|(u, _)| u.clone())
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Snapshot of the access counters.
+    pub fn stats(&self) -> AccessSnapshot {
+        AccessSnapshot {
+            gets: self.gets.load(Ordering::Relaxed),
+            heads: self.heads.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            not_found: self.not_found.load(Ordering::Relaxed),
+        }
+    }
+
+    /// GET counts broken down by page-scheme.
+    pub fn gets_by_scheme(&self) -> HashMap<String, u64> {
+        self.gets_by_scheme.read().clone()
+    }
+
+    /// Resets all access counters (not the clock or the pages).
+    pub fn reset_stats(&self) {
+        self.gets.store(0, Ordering::Relaxed);
+        self.heads.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed);
+        self.not_found.store(0, Ordering::Relaxed);
+        self.gets_by_scheme.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server_with_page() -> VirtualServer {
+        let s = VirtualServer::new();
+        s.put(Url::new("/a.html"), "APage", "<html>A</html>");
+        s
+    }
+
+    #[test]
+    fn get_counts_and_returns_body() {
+        let s = server_with_page();
+        let r = s.get(&Url::new("/a.html")).unwrap();
+        assert_eq!(r.scheme, "APage");
+        assert_eq!(&r.body[..], b"<html>A</html>");
+        let st = s.stats();
+        assert_eq!(st.gets, 1);
+        assert_eq!(st.bytes, 14);
+        assert_eq!(st.heads, 0);
+    }
+
+    #[test]
+    fn head_is_light() {
+        let s = server_with_page();
+        let h = s.head(&Url::new("/a.html")).unwrap();
+        assert_eq!(h.last_modified, 0);
+        let st = s.stats();
+        assert_eq!(st.gets, 0);
+        assert_eq!(st.heads, 1);
+        assert_eq!(st.bytes, 0);
+    }
+
+    #[test]
+    fn missing_pages_404() {
+        let s = server_with_page();
+        assert!(matches!(
+            s.get(&Url::new("/nope.html")),
+            Err(WebError::NotFound(_))
+        ));
+        assert!(matches!(
+            s.head(&Url::new("/nope.html")),
+            Err(WebError::NotFound(_))
+        ));
+        assert_eq!(s.stats().not_found, 2);
+    }
+
+    #[test]
+    fn update_bumps_last_modified() {
+        let s = server_with_page();
+        let before = s.get(&Url::new("/a.html")).unwrap().last_modified;
+        s.put_updated(Url::new("/a.html"), "APage", "<html>A2</html>");
+        let after = s.head(&Url::new("/a.html")).unwrap().last_modified;
+        assert!(after > before);
+    }
+
+    #[test]
+    fn remove_deletes() {
+        let s = server_with_page();
+        assert!(s.remove(&Url::new("/a.html")));
+        assert!(!s.remove(&Url::new("/a.html")));
+        assert!(!s.exists(&Url::new("/a.html")));
+    }
+
+    #[test]
+    fn per_scheme_counters() {
+        let s = server_with_page();
+        s.put(Url::new("/b.html"), "BPage", "<html>B</html>");
+        s.get(&Url::new("/a.html")).unwrap();
+        s.get(&Url::new("/a.html")).unwrap();
+        s.get(&Url::new("/b.html")).unwrap();
+        let by = s.gets_by_scheme();
+        assert_eq!(by["APage"], 2);
+        assert_eq!(by["BPage"], 1);
+    }
+
+    #[test]
+    fn snapshot_diff() {
+        let s = server_with_page();
+        s.get(&Url::new("/a.html")).unwrap();
+        let t0 = s.stats();
+        s.get(&Url::new("/a.html")).unwrap();
+        s.head(&Url::new("/a.html")).unwrap();
+        let d = s.stats().since(&t0);
+        assert_eq!(d.gets, 1);
+        assert_eq!(d.heads, 1);
+    }
+
+    #[test]
+    fn reset_clears_counters_not_pages() {
+        let s = server_with_page();
+        s.get(&Url::new("/a.html")).unwrap();
+        s.reset_stats();
+        assert_eq!(s.stats(), AccessSnapshot::default());
+        assert_eq!(s.page_count(), 1);
+    }
+
+    #[test]
+    fn latency_is_simulated() {
+        let s = server_with_page();
+        s.set_latency(Duration::from_millis(5));
+        let t0 = std::time::Instant::now();
+        s.get(&Url::new("/a.html")).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+        s.set_latency(Duration::ZERO);
+        let t0 = std::time::Instant::now();
+        s.get(&Url::new("/a.html")).unwrap();
+        assert!(t0.elapsed() < Duration::from_millis(5));
+    }
+
+    #[test]
+    fn urls_of_scheme_sorted() {
+        let s = VirtualServer::new();
+        s.put(Url::new("/b"), "P", "x");
+        s.put(Url::new("/a"), "P", "x");
+        s.put(Url::new("/c"), "Q", "x");
+        let urls = s.urls_of_scheme("P");
+        assert_eq!(urls.len(), 2);
+        assert!(urls[0] < urls[1]);
+    }
+}

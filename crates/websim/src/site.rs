@@ -1,0 +1,272 @@
+//! A site: a web scheme, a virtual server, and the ground-truth instance.
+//!
+//! Site generators publish pages through [`Site::publish`], which validates
+//! the tuple against its page-scheme, renders it to HTML, stores it on the
+//! server, and records the tuple as *ground truth*. Ground truth lets tests
+//! check wrapper round-trips, verify the declared constraints actually hold
+//! on the instance, and compute query-result oracles without navigation.
+
+use crate::error::WebError;
+use crate::page::render_page;
+use crate::server::VirtualServer;
+use crate::Result;
+use adm::constraints::{verify_inclusion_constraint, verify_link_constraint, Violation};
+use adm::{Tuple, Url, WebScheme};
+use std::collections::BTreeMap;
+
+/// A generated web site.
+#[derive(Debug)]
+pub struct Site {
+    /// Site name (for display).
+    pub name: String,
+    /// The ADM scheme describing the site.
+    pub scheme: WebScheme,
+    /// The virtual server holding the rendered pages.
+    pub server: VirtualServer,
+    /// Ground truth: scheme name → URL → the tuple the page was rendered
+    /// from. This is the generator's knowledge, *not* available to the
+    /// query engine (which must navigate and wrap).
+    instances: BTreeMap<String, BTreeMap<Url, Tuple>>,
+}
+
+impl Site {
+    /// Creates an empty site over a scheme.
+    pub fn new(name: impl Into<String>, scheme: WebScheme) -> Self {
+        Site {
+            name: name.into(),
+            scheme,
+            server: VirtualServer::new(),
+            instances: BTreeMap::new(),
+        }
+    }
+
+    /// Validates, renders, and publishes a page; records ground truth.
+    pub fn publish(
+        &mut self,
+        scheme_name: &str,
+        url: Url,
+        tuple: Tuple,
+        title: &str,
+    ) -> Result<()> {
+        let ps = self.scheme.scheme(scheme_name)?;
+        if !tuple.conforms_to(&ps.fields) {
+            return Err(WebError::Adm(adm::AdmError::SchemaViolation(format!(
+                "tuple for {url} does not conform to page-scheme {scheme_name}"
+            ))));
+        }
+        let html = render_page(ps, &tuple, title);
+        self.server.put(url.clone(), scheme_name, html);
+        self.instances
+            .entry(scheme_name.to_string())
+            .or_default()
+            .insert(url, tuple);
+        Ok(())
+    }
+
+    /// Re-publishes a page with a *newer* last-modified stamp (a site
+    /// update by the autonomous site manager).
+    pub fn republish(
+        &mut self,
+        scheme_name: &str,
+        url: Url,
+        tuple: Tuple,
+        title: &str,
+    ) -> Result<()> {
+        self.server.tick();
+        self.publish(scheme_name, url, tuple, title)
+    }
+
+    /// Deletes a page from the server and the ground truth.
+    pub fn unpublish(&mut self, scheme_name: &str, url: &Url) -> bool {
+        let existed = self.server.remove(url);
+        if let Some(m) = self.instances.get_mut(scheme_name) {
+            m.remove(url);
+        }
+        existed
+    }
+
+    /// The ground-truth instance of a page-scheme, URL-ordered.
+    pub fn instance(&self, scheme_name: &str) -> Vec<(Url, Tuple)> {
+        self.instances
+            .get(scheme_name)
+            .map(|m| m.iter().map(|(u, t)| (u.clone(), t.clone())).collect())
+            .unwrap_or_default()
+    }
+
+    /// The ground-truth tuple for one URL, if published.
+    pub fn ground_truth(&self, scheme_name: &str, url: &Url) -> Option<&Tuple> {
+        self.instances.get(scheme_name)?.get(url)
+    }
+
+    /// Number of pages of a scheme.
+    pub fn cardinality(&self, scheme_name: &str) -> usize {
+        self.instances.get(scheme_name).map_or(0, |m| m.len())
+    }
+
+    /// Total pages across all schemes.
+    pub fn total_pages(&self) -> usize {
+        self.instances.values().map(|m| m.len()).sum()
+    }
+
+    /// Verifies every declared link and inclusion constraint against the
+    /// ground truth; returns all violations (empty means the instance
+    /// satisfies its scheme's constraints).
+    pub fn verify_constraints(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for c in self.scheme.link_constraints() {
+            let Ok(link_field) = self.scheme.resolve(&c.link) else {
+                continue;
+            };
+            let Some(target) = link_field.ty.link_target() else {
+                continue;
+            };
+            let source = self.instance(&c.link.scheme);
+            let tgt = self.instance(target);
+            out.extend(verify_link_constraint(c, &source, &tgt));
+        }
+        for c in self.scheme.inclusion_constraints() {
+            let sub = self.instance(&c.sub.scheme);
+            let sup = self.instance(&c.sup.scheme);
+            out.extend(verify_inclusion_constraint(c, &sub, &sup));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adm::{Field, PageScheme, Value};
+
+    fn mini_site() -> Site {
+        let list = PageScheme::new(
+            "ListPage",
+            vec![Field::list(
+                "Items",
+                vec![Field::text("Name"), Field::link("ToItem", "ItemPage")],
+            )],
+        )
+        .unwrap();
+        let item = PageScheme::new("ItemPage", vec![Field::text("Name")]).unwrap();
+        let ws = WebScheme::builder()
+            .scheme(list)
+            .scheme(item)
+            .entry_point("ListPage", "/list.html")
+            .link_constraint(
+                adm::LinkConstraint::parse(
+                    "ListPage.Items.ToItem",
+                    "ListPage.Items.Name",
+                    "ItemPage.Name",
+                )
+                .unwrap(),
+            )
+            .build()
+            .unwrap();
+        Site::new("mini", ws)
+    }
+
+    #[test]
+    fn publish_validates_and_serves() {
+        let mut s = mini_site();
+        s.publish(
+            "ItemPage",
+            Url::new("/i1.html"),
+            Tuple::new().with("Name", "one"),
+            "Item one",
+        )
+        .unwrap();
+        let r = s.server.get(&Url::new("/i1.html")).unwrap();
+        assert!(std::str::from_utf8(&r.body).unwrap().contains("one"));
+        assert_eq!(s.cardinality("ItemPage"), 1);
+    }
+
+    #[test]
+    fn publish_rejects_nonconforming() {
+        let mut s = mini_site();
+        let err = s.publish(
+            "ItemPage",
+            Url::new("/i1.html"),
+            Tuple::new().with("Wrong", "x"),
+            "bad",
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn constraint_verification_passes_consistent_site() {
+        let mut s = mini_site();
+        s.publish(
+            "ItemPage",
+            Url::new("/i1.html"),
+            Tuple::new().with("Name", "one"),
+            "one",
+        )
+        .unwrap();
+        s.publish(
+            "ListPage",
+            Url::new("/list.html"),
+            Tuple::new().with_list(
+                "Items",
+                vec![Tuple::new()
+                    .with("Name", "one")
+                    .with("ToItem", Value::link("/i1.html"))],
+            ),
+            "list",
+        )
+        .unwrap();
+        assert!(s.verify_constraints().is_empty());
+    }
+
+    #[test]
+    fn constraint_verification_flags_inconsistency() {
+        let mut s = mini_site();
+        s.publish(
+            "ItemPage",
+            Url::new("/i1.html"),
+            Tuple::new().with("Name", "one"),
+            "one",
+        )
+        .unwrap();
+        s.publish(
+            "ListPage",
+            Url::new("/list.html"),
+            Tuple::new().with_list(
+                "Items",
+                vec![Tuple::new()
+                    .with("Name", "WRONG ANCHOR")
+                    .with("ToItem", Value::link("/i1.html"))],
+            ),
+            "list",
+        )
+        .unwrap();
+        assert!(!s.verify_constraints().is_empty());
+    }
+
+    #[test]
+    fn republish_bumps_modification_time() {
+        let mut s = mini_site();
+        let u = Url::new("/i1.html");
+        s.publish("ItemPage", u.clone(), Tuple::new().with("Name", "one"), "t")
+            .unwrap();
+        let t0 = s.server.head(&u).unwrap().last_modified;
+        s.republish("ItemPage", u.clone(), Tuple::new().with("Name", "two"), "t")
+            .unwrap();
+        assert!(s.server.head(&u).unwrap().last_modified > t0);
+        assert_eq!(
+            s.ground_truth("ItemPage", &u).unwrap().get("Name").unwrap(),
+            &Value::text("two")
+        );
+    }
+
+    #[test]
+    fn unpublish_removes_everywhere() {
+        let mut s = mini_site();
+        let u = Url::new("/i1.html");
+        s.publish("ItemPage", u.clone(), Tuple::new().with("Name", "one"), "t")
+            .unwrap();
+        assert!(s.unpublish("ItemPage", &u));
+        assert_eq!(s.cardinality("ItemPage"), 0);
+        assert!(!s.server.exists(&u));
+        assert_eq!(s.total_pages(), 0);
+    }
+}

@@ -1,0 +1,18 @@
+//! Site generators for the paper's two running examples.
+//!
+//! * [`university`] — the hypothetical university site of Figure 1
+//!   (departments, professors, sessions, courses);
+//! * [`bibliography`] — a bibliography repository modeled on the Trier DBLP
+//!   site the paper's introduction reasons about (conferences, editions,
+//!   papers, authors).
+//!
+//! Both generators are deterministic given a seed, publish real HTML pages
+//! onto a [`crate::VirtualServer`], record ground truth, and are verified
+//! (in tests) to satisfy every constraint their scheme declares.
+
+pub mod bibliography;
+pub mod names;
+pub mod university;
+
+pub use bibliography::{BibConfig, Bibliography};
+pub use university::{University, UniversityConfig};

@@ -1,0 +1,220 @@
+//! Deterministic synthetic-name generation for the site generators.
+//!
+//! Names must be *unique* within their population (person names act as join
+//! keys in the external relations, as they do in the paper's examples), so
+//! every generator guarantees uniqueness by appending a disambiguating
+//! index once the base combinations are exhausted.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const FIRST: &[&str] = &[
+    "Alice", "Bruno", "Carla", "Davide", "Elena", "Franco", "Giulia", "Hugo", "Irene", "Jorge",
+    "Karin", "Luca", "Marta", "Nadia", "Omar", "Paola", "Quentin", "Rosa", "Silvio", "Teresa",
+    "Ugo", "Vera", "Walter", "Xenia", "Yuri", "Zoe",
+];
+
+const LAST: &[&str] = &[
+    "Rossi", "Bianchi", "Mendel", "Atzeni", "Merialdo", "Mecca", "Greco", "Ferrari", "Romano",
+    "Colombo", "Ricci", "Marino", "Gallo", "Conti", "Esposito", "Moretti", "Barbieri", "Fontana",
+    "Santoro", "Leone", "Longo", "Martini", "Vitale", "Serra",
+];
+
+const SUBJECTS: &[&str] = &[
+    "Databases",
+    "Operating Systems",
+    "Algorithms",
+    "Compilers",
+    "Networks",
+    "Graphics",
+    "Artificial Intelligence",
+    "Logic",
+    "Calculus",
+    "Geometry",
+    "Statistics",
+    "Optimization",
+    "Quantum Mechanics",
+    "Thermodynamics",
+    "Electromagnetism",
+    "Organic Chemistry",
+    "Microeconomics",
+    "Linguistics",
+    "Information Retrieval",
+    "Distributed Systems",
+];
+
+const DEPARTMENTS: &[&str] = &[
+    "Computer Science",
+    "Mathematics",
+    "Physics",
+    "Chemistry",
+    "Biology",
+    "Economics",
+    "Linguistics",
+    "Philosophy",
+    "History",
+    "Engineering",
+    "Statistics",
+    "Astronomy",
+];
+
+const WORDS: &[&str] = &[
+    "incremental",
+    "navigational",
+    "structured",
+    "declarative",
+    "efficient",
+    "adaptive",
+    "semantic",
+    "parallel",
+    "optimal",
+    "robust",
+    "temporal",
+    "spatial",
+    "heterogeneous",
+    "distributed",
+    "materialized",
+    "relational",
+];
+
+/// Generates `n` unique person names, deterministically from the RNG.
+pub fn person_names(rng: &mut StdRng, n: usize) -> Vec<String> {
+    let mut out = Vec::with_capacity(n);
+    let mut seen = std::collections::HashSet::new();
+    while out.len() < n {
+        let f = FIRST[rng.gen_range(0..FIRST.len())];
+        let l = LAST[rng.gen_range(0..LAST.len())];
+        let base = format!("{f} {l}");
+        let name = if seen.contains(&base) {
+            let mut i = 2;
+            loop {
+                let candidate = format!("{base} {i}");
+                if !seen.contains(&candidate) {
+                    break candidate;
+                }
+                i += 1;
+            }
+        } else {
+            base
+        };
+        seen.insert(name.clone());
+        out.push(name);
+    }
+    out
+}
+
+/// Generates `n` unique department names.
+pub fn department_names(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            let base = DEPARTMENTS[i % DEPARTMENTS.len()];
+            if i < DEPARTMENTS.len() {
+                base.to_string()
+            } else {
+                format!("{base} {}", i / DEPARTMENTS.len() + 1)
+            }
+        })
+        .collect()
+}
+
+/// Generates `n` unique course names.
+pub fn course_names(rng: &mut StdRng, n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            let subject = SUBJECTS[rng.gen_range(0..SUBJECTS.len())];
+            format!("{subject} {}", 100 + i)
+        })
+        .collect()
+}
+
+/// Generates `n` unique conference names; index 0 is always "VLDB" so the
+/// bibliography experiments can target it.
+pub fn conference_names(n: usize) -> Vec<String> {
+    let known = [
+        "VLDB", "SIGMOD", "PODS", "ICDE", "EDBT", "ICDT", "CIKM", "ER", "DOOD", "DEXA",
+    ];
+    (0..n)
+        .map(|i| {
+            if i < known.len() {
+                known[i].to_string()
+            } else {
+                format!("CONF-{i:03}")
+            }
+        })
+        .collect()
+}
+
+/// A synthetic paper title.
+pub fn paper_title(rng: &mut StdRng, idx: usize) -> String {
+    let a = WORDS[rng.gen_range(0..WORDS.len())];
+    let b = WORDS[rng.gen_range(0..WORDS.len())];
+    let c = SUBJECTS[rng.gen_range(0..SUBJECTS.len())];
+    format!("On {a} {b} methods for {c} (no. {idx})")
+}
+
+/// A short filler sentence, used for descriptions.
+pub fn description(rng: &mut StdRng) -> String {
+    let a = WORDS[rng.gen_range(0..WORDS.len())];
+    let b = WORDS[rng.gen_range(0..WORDS.len())];
+    format!("A course covering {a} and {b} techniques.")
+}
+
+/// Slugifies a name for use inside URLs.
+pub fn slug(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn person_names_unique_and_deterministic() {
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        let a = person_names(&mut r1, 2000);
+        let b = person_names(&mut r2, 2000);
+        assert_eq!(a, b);
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), 2000);
+    }
+
+    #[test]
+    fn department_names_unique_beyond_base_list() {
+        let names = department_names(30);
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), 30);
+        assert_eq!(names[0], "Computer Science");
+    }
+
+    #[test]
+    fn conference_names_start_with_vldb() {
+        let names = conference_names(15);
+        assert_eq!(names[0], "VLDB");
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), 15);
+    }
+
+    #[test]
+    fn course_names_unique() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let names = course_names(&mut rng, 500);
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), 500);
+    }
+
+    #[test]
+    fn slug_is_url_safe() {
+        assert_eq!(slug("Computer Science"), "computer-science");
+        assert_eq!(slug("C++ & Co."), "c-----co-");
+    }
+}

@@ -1,0 +1,275 @@
+//! A tiny document object model built from the token stream.
+//!
+//! Parsing is tolerant: a close tag with no matching open is ignored; a
+//! close tag matching a non-top element auto-closes the elements above it;
+//! void elements (`br`, `img`, …) never take children; anything left open
+//! at end-of-input is closed implicitly.
+
+use crate::lexer::{tokenize, Token};
+use crate::Result;
+
+/// Element tags that never have children.
+const VOID_TAGS: &[&str] = &["br", "hr", "img", "meta", "link", "input"];
+
+/// A DOM node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// An element.
+    Element(Element),
+    /// A text run.
+    Text(String),
+    /// A comment.
+    Comment(String),
+}
+
+/// A DOM element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Element {
+    /// Lower-case tag name.
+    pub tag: String,
+    /// Attributes in document order.
+    pub attrs: Vec<(String, String)>,
+    /// Children in document order.
+    pub children: Vec<Node>,
+}
+
+impl Element {
+    /// The value of an attribute, if present.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find_map(|(n, v)| (n == name).then_some(v.as_str()))
+    }
+
+    /// True if the space-separated `class` attribute contains `class_name`.
+    pub fn has_class(&self, class_name: &str) -> bool {
+        self.attr("class")
+            .is_some_and(|c| c.split_whitespace().any(|x| x == class_name))
+    }
+
+    /// Child elements (skipping text/comments).
+    pub fn child_elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|n| match n {
+            Node::Element(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    /// All text content, concatenated and trimmed.
+    pub fn text_content(&self) -> String {
+        let mut out = String::new();
+        fn walk(e: &Element, out: &mut String) {
+            for c in &e.children {
+                match c {
+                    Node::Text(t) => out.push_str(t),
+                    Node::Element(inner) => walk(inner, out),
+                    Node::Comment(_) => {}
+                }
+            }
+        }
+        walk(self, &mut out);
+        out.trim().to_string()
+    }
+
+    /// Depth-first search over all descendant elements (self excluded).
+    pub fn descendants(&self) -> Vec<&Element> {
+        let mut out = Vec::new();
+        fn walk<'a>(e: &'a Element, out: &mut Vec<&'a Element>) {
+            for c in e.child_elements() {
+                out.push(c);
+                walk(c, out);
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// The first descendant satisfying the predicate, DFS order.
+    pub fn find(&self, pred: impl Fn(&Element) -> bool + Copy) -> Option<&Element> {
+        for c in self.child_elements() {
+            if pred(c) {
+                return Some(c);
+            }
+            if let Some(found) = c.find(pred) {
+                return Some(found);
+            }
+        }
+        None
+    }
+}
+
+/// A parsed document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// Top-level nodes (usually a doctype comment plus `<html>`).
+    pub roots: Vec<Node>,
+}
+
+impl Document {
+    /// Parses HTML into a document.
+    pub fn parse(input: &str) -> Result<Document> {
+        let tokens = tokenize(input)?;
+        let mut stack: Vec<Element> = Vec::new();
+        let mut roots: Vec<Node> = Vec::new();
+
+        fn attach(stack: &mut [Element], roots: &mut Vec<Node>, node: Node) {
+            if let Some(top) = stack.last_mut() {
+                top.children.push(node);
+            } else {
+                roots.push(node);
+            }
+        }
+
+        for tok in tokens {
+            match tok {
+                Token::Doctype(_) => {}
+                Token::Comment(c) => attach(&mut stack, &mut roots, Node::Comment(c)),
+                Token::Text(t) => {
+                    if !t.trim().is_empty() {
+                        attach(&mut stack, &mut roots, Node::Text(t));
+                    }
+                }
+                Token::Open {
+                    name,
+                    attrs,
+                    self_closing,
+                } => {
+                    let e = Element {
+                        tag: name.clone(),
+                        attrs,
+                        children: Vec::new(),
+                    };
+                    if self_closing || VOID_TAGS.contains(&name.as_str()) {
+                        attach(&mut stack, &mut roots, Node::Element(e));
+                    } else {
+                        stack.push(e);
+                    }
+                }
+                Token::Close(name) => {
+                    // Find the matching open element in the stack.
+                    if let Some(pos) = stack.iter().rposition(|e| e.tag == name) {
+                        // auto-close everything above it
+                        while stack.len() > pos + 1 {
+                            let closed = stack.pop().expect("len > pos+1");
+                            attach(&mut stack, &mut roots, Node::Element(closed));
+                        }
+                        let closed = stack.pop().expect("pos in bounds");
+                        attach(&mut stack, &mut roots, Node::Element(closed));
+                    }
+                    // otherwise: stray close tag, ignored
+                }
+            }
+        }
+        // implicitly close anything left open
+        while let Some(e) = stack.pop() {
+            attach(&mut stack, &mut roots, Node::Element(e));
+        }
+        Ok(Document { roots })
+    }
+
+    /// Root elements (skipping text/comments).
+    pub fn root_elements(&self) -> impl Iterator<Item = &Element> {
+        self.roots.iter().filter_map(|n| match n {
+            Node::Element(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    /// The first element in the document satisfying the predicate.
+    pub fn find(&self, pred: impl Fn(&Element) -> bool + Copy) -> Option<&Element> {
+        for r in self.root_elements() {
+            if pred(r) {
+                return Some(r);
+            }
+            if let Some(found) = r.find(pred) {
+                return Some(found);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_structure() {
+        let d = Document::parse("<html><body><p>one</p><p>two</p></body></html>").unwrap();
+        let html = d.root_elements().next().unwrap();
+        assert_eq!(html.tag, "html");
+        let body = html.child_elements().next().unwrap();
+        assert_eq!(body.child_elements().count(), 2);
+    }
+
+    #[test]
+    fn text_content_concatenates() {
+        let d = Document::parse("<p>a <b>bold</b> c</p>").unwrap();
+        let p = d.find(|e| e.tag == "p").unwrap();
+        assert_eq!(p.text_content(), "a bold c");
+    }
+
+    #[test]
+    fn void_elements_take_no_children() {
+        let d = Document::parse("<p>x<br>y</p>").unwrap();
+        let p = d.find(|e| e.tag == "p").unwrap();
+        let br = p.child_elements().next().unwrap();
+        assert_eq!(br.tag, "br");
+        assert!(br.children.is_empty());
+        assert_eq!(p.text_content(), "xy");
+    }
+
+    #[test]
+    fn auto_close_on_mismatch() {
+        // <b> never closed; </p> should auto-close it.
+        let d = Document::parse("<p><b>bold</p>after").unwrap();
+        let p = d.find(|e| e.tag == "p").unwrap();
+        assert!(p.find(|e| e.tag == "b").is_some());
+    }
+
+    #[test]
+    fn stray_close_ignored() {
+        let d = Document::parse("</div><p>ok</p>").unwrap();
+        assert!(d.find(|e| e.tag == "p").is_some());
+    }
+
+    #[test]
+    fn unclosed_at_eof() {
+        let d = Document::parse("<div><p>dangling").unwrap();
+        let div = d.find(|e| e.tag == "div").unwrap();
+        assert!(div.find(|e| e.tag == "p").is_some());
+    }
+
+    #[test]
+    fn has_class_splits_words() {
+        let d = Document::parse("<div class=\"chrome footer\"></div>").unwrap();
+        let e = d.find(|e| e.tag == "div").unwrap();
+        assert!(e.has_class("footer"));
+        assert!(e.has_class("chrome"));
+        assert!(!e.has_class("foo"));
+    }
+
+    #[test]
+    fn find_is_depth_first() {
+        let d = Document::parse(
+            "<div><span id=\"a\"><span id=\"b\"></span></span><span id=\"c\"></span></div>",
+        )
+        .unwrap();
+        let first = d.find(|e| e.tag == "span").unwrap();
+        assert_eq!(first.attr("id"), Some("a"));
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped() {
+        let d = Document::parse("<ul>\n  <li>x</li>\n</ul>").unwrap();
+        let ul = d.find(|e| e.tag == "ul").unwrap();
+        assert_eq!(ul.children.len(), 1);
+    }
+
+    #[test]
+    fn descendants_counts_all() {
+        let d = Document::parse("<a><b><c></c></b><d></d></a>").unwrap();
+        let a = d.find(|e| e.tag == "a").unwrap();
+        assert_eq!(a.descendants().len(), 3);
+    }
+}

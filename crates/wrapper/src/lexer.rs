@@ -1,0 +1,333 @@
+//! HTML tokenizer.
+//!
+//! Produces a flat token stream: open tags (with parsed attributes), close
+//! tags, text runs (entity-decoded), comments, and doctype declarations.
+//! The tokenizer is tolerant in the ways real-world HTML demands: attribute
+//! values may be double-quoted, single-quoted, or bare; unknown entities
+//! pass through literally; stray `<` in text is treated as text.
+
+use crate::error::WrapError;
+use crate::Result;
+
+/// One HTML token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `<tag a="b" …>`; `self_closing` for `<tag/>`.
+    Open {
+        /// Lower-cased tag name.
+        name: String,
+        /// Attribute pairs in order; values entity-decoded.
+        attrs: Vec<(String, String)>,
+        /// Whether the tag ended with `/>`.
+        self_closing: bool,
+    },
+    /// `</tag>`.
+    Close(String),
+    /// A text run, entity-decoded. Never empty.
+    Text(String),
+    /// `<!-- … -->` content.
+    Comment(String),
+    /// `<!DOCTYPE …>` content.
+    Doctype(String),
+}
+
+/// Decodes the HTML entities the generator emits (plus numeric forms).
+/// Unknown entities are passed through unchanged.
+pub fn decode_entities(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'&' {
+            if let Some(semi) = s[i..].find(';').map(|j| i + j) {
+                let entity = &s[i + 1..semi];
+                let decoded = match entity {
+                    "amp" => Some('&'),
+                    "lt" => Some('<'),
+                    "gt" => Some('>'),
+                    "quot" => Some('"'),
+                    "apos" => Some('\''),
+                    "nbsp" => Some('\u{a0}'),
+                    _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                        u32::from_str_radix(&entity[2..], 16)
+                            .ok()
+                            .and_then(char::from_u32)
+                    }
+                    _ if entity.starts_with('#') => {
+                        entity[1..].parse::<u32>().ok().and_then(char::from_u32)
+                    }
+                    _ => None,
+                };
+                if let Some(c) = decoded {
+                    out.push(c);
+                    i = semi + 1;
+                    continue;
+                }
+            }
+        }
+        // plain byte — copy the full UTF-8 char
+        let ch = s[i..].chars().next().expect("in-bounds char");
+        out.push(ch);
+        i += ch.len_utf8();
+    }
+    out
+}
+
+/// Tokenizes an HTML document.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'<' {
+            if input[i..].starts_with("<!--") {
+                let end = input[i + 4..].find("-->").ok_or(WrapError::Lex {
+                    offset: i,
+                    message: "unterminated comment".into(),
+                })?;
+                tokens.push(Token::Comment(input[i + 4..i + 4 + end].trim().to_string()));
+                i += 4 + end + 3;
+            } else if input[i..].starts_with("<!") {
+                let end = input[i..].find('>').ok_or(WrapError::Lex {
+                    offset: i,
+                    message: "unterminated declaration".into(),
+                })?;
+                tokens.push(Token::Doctype(input[i + 2..i + end].trim().to_string()));
+                i += end + 1;
+            } else if input[i..].starts_with("</") {
+                let end = input[i..].find('>').ok_or(WrapError::Lex {
+                    offset: i,
+                    message: "unterminated close tag".into(),
+                })?;
+                let name = input[i + 2..i + end].trim().to_ascii_lowercase();
+                tokens.push(Token::Close(name));
+                i += end + 1;
+            } else if i + 1 < bytes.len() && (bytes[i + 1].is_ascii_alphabetic()) {
+                let (tok, next) = lex_open_tag(input, i)?;
+                tokens.push(tok);
+                i = next;
+            } else {
+                // stray '<' — treat as text
+                push_text(&mut tokens, "<");
+                i += 1;
+            }
+        } else {
+            let end = input[i..].find('<').map(|j| i + j).unwrap_or(bytes.len());
+            let text = decode_entities(&input[i..end]);
+            push_text(&mut tokens, &text);
+            i = end;
+        }
+    }
+    Ok(tokens)
+}
+
+fn push_text(tokens: &mut Vec<Token>, text: &str) {
+    if text.is_empty() {
+        return;
+    }
+    if let Some(Token::Text(prev)) = tokens.last_mut() {
+        prev.push_str(text);
+    } else {
+        tokens.push(Token::Text(text.to_string()));
+    }
+}
+
+/// Lexes an open tag starting at `start` (which points at `<`).
+/// Returns the token and the index just past `>`.
+fn lex_open_tag(input: &str, start: usize) -> Result<(Token, usize)> {
+    let bytes = input.as_bytes();
+    let mut i = start + 1;
+    let name_start = i;
+    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'-') {
+        i += 1;
+    }
+    let name = input[name_start..i].to_ascii_lowercase();
+    let mut attrs = Vec::new();
+    let mut self_closing = false;
+    loop {
+        // skip whitespace
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            return Err(WrapError::Lex {
+                offset: start,
+                message: format!("unterminated tag <{name}"),
+            });
+        }
+        match bytes[i] {
+            b'>' => {
+                i += 1;
+                break;
+            }
+            b'/' => {
+                self_closing = true;
+                i += 1;
+            }
+            _ => {
+                // attribute name
+                let an_start = i;
+                while i < bytes.len()
+                    && !bytes[i].is_ascii_whitespace()
+                    && bytes[i] != b'='
+                    && bytes[i] != b'>'
+                    && bytes[i] != b'/'
+                {
+                    i += 1;
+                }
+                let an = input[an_start..i].to_ascii_lowercase();
+                if an.is_empty() {
+                    return Err(WrapError::Lex {
+                        offset: i,
+                        message: "empty attribute name".into(),
+                    });
+                }
+                while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                let value = if i < bytes.len() && bytes[i] == b'=' {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                        i += 1;
+                    }
+                    if i < bytes.len() && (bytes[i] == b'"' || bytes[i] == b'\'') {
+                        let quote = bytes[i];
+                        i += 1;
+                        let v_start = i;
+                        while i < bytes.len() && bytes[i] != quote {
+                            i += 1;
+                        }
+                        if i >= bytes.len() {
+                            return Err(WrapError::Lex {
+                                offset: v_start,
+                                message: "unterminated attribute value".into(),
+                            });
+                        }
+                        let v = decode_entities(&input[v_start..i]);
+                        i += 1; // past quote
+                        v
+                    } else {
+                        let v_start = i;
+                        while i < bytes.len() && !bytes[i].is_ascii_whitespace() && bytes[i] != b'>'
+                        {
+                            i += 1;
+                        }
+                        decode_entities(&input[v_start..i])
+                    }
+                } else {
+                    String::new() // boolean attribute
+                };
+                attrs.push((an, value));
+            }
+        }
+    }
+    Ok((
+        Token::Open {
+            name,
+            attrs,
+            self_closing,
+        },
+        i,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_entities() {
+        assert_eq!(decode_entities("a &amp; b &lt;c&gt;"), "a & b <c>");
+        assert_eq!(decode_entities("&#65;&#x42;"), "AB");
+        assert_eq!(decode_entities("&bogus; &"), "&bogus; &");
+    }
+
+    #[test]
+    fn simple_document() {
+        let toks = tokenize("<p class=\"x\">hi</p>").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Open {
+                    name: "p".into(),
+                    attrs: vec![("class".into(), "x".into())],
+                    self_closing: false,
+                },
+                Token::Text("hi".into()),
+                Token::Close("p".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn attribute_quoting_styles() {
+        let toks = tokenize("<a href='x.html' data-n=7 disabled>").unwrap();
+        let Token::Open { attrs, .. } = &toks[0] else {
+            panic!()
+        };
+        assert_eq!(
+            attrs,
+            &vec![
+                ("href".into(), "x.html".into()),
+                ("data-n".into(), "7".into()),
+                ("disabled".into(), String::new()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_doctype() {
+        let toks = tokenize("<!DOCTYPE html><!-- note -->text").unwrap();
+        assert_eq!(toks[0], Token::Doctype("DOCTYPE html".into()));
+        assert_eq!(toks[1], Token::Comment("note".into()));
+        assert_eq!(toks[2], Token::Text("text".into()));
+    }
+
+    #[test]
+    fn self_closing_tag() {
+        let toks = tokenize("<br/>").unwrap();
+        assert_eq!(
+            toks[0],
+            Token::Open {
+                name: "br".into(),
+                attrs: vec![],
+                self_closing: true,
+            }
+        );
+    }
+
+    #[test]
+    fn stray_lt_is_text() {
+        let toks = tokenize("1 < 2").unwrap();
+        assert_eq!(toks, vec![Token::Text("1 < 2".into())]);
+    }
+
+    #[test]
+    fn entities_in_attr_values() {
+        let toks = tokenize("<a title=\"a &amp; b\">").unwrap();
+        let Token::Open { attrs, .. } = &toks[0] else {
+            panic!()
+        };
+        assert_eq!(attrs[0].1, "a & b");
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(tokenize("<!-- oops").is_err());
+        assert!(tokenize("<p class=\"x").is_err());
+    }
+
+    #[test]
+    fn tags_case_normalized() {
+        let toks = tokenize("<DIV CLASS=\"A\"></DIV>").unwrap();
+        assert!(matches!(&toks[0], Token::Open { name, attrs, .. }
+            if name == "div" && attrs[0].0 == "class" && attrs[0].1 == "A"));
+        assert_eq!(toks[1], Token::Close("div".into()));
+    }
+
+    #[test]
+    fn adjacent_text_coalesced() {
+        let toks = tokenize("a&amp;b").unwrap();
+        assert_eq!(toks, vec![Token::Text("a&b".into())]);
+    }
+}

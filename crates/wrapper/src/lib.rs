@@ -1,0 +1,30 @@
+//! # wrapper — HTML wrappers for ADM page-schemes
+//!
+//! The paper assumes "suitable wrappers are applied to pages in order to
+//! access attribute values" (Section 3.1, citing the Araneus wrapper
+//! toolkits). This crate is that substrate, built from scratch:
+//!
+//! * [`lexer`] — an HTML tokenizer (tags, attributes, text, entities,
+//!   comments);
+//! * [`dom`] — a tiny document tree with tolerant parsing (auto-closing of
+//!   mismatched tags, void elements);
+//! * [`wrap`] — scheme-driven extraction: given a [`adm::PageScheme`] and a
+//!   page's HTML, produce the corresponding nested [`adm::Tuple`].
+//!
+//! Extraction follows the microformat emitted by `websim::page`: attribute
+//! elements carry `data-attr`, lists are `ul.adm-list` with `li.adm-row`
+//! rows. Extraction is *scoped*: while looking for attributes of one
+//! nesting level it never descends into nested lists, so inner attribute
+//! names may shadow outer ones without ambiguity.
+
+pub mod dom;
+pub mod error;
+pub mod lexer;
+pub mod wrap;
+
+pub use dom::{Document, Element, Node};
+pub use error::WrapError;
+pub use wrap::wrap_page;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, WrapError>;

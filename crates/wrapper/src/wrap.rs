@@ -1,0 +1,287 @@
+//! Scheme-driven extraction of nested tuples from HTML.
+//!
+//! Extraction is scoped by nesting level: when looking for the attributes
+//! of one level (the page's top level, or one list row), the search never
+//! descends *into* a nested `adm-list` element — so attribute names inside
+//! inner lists cannot shadow or be confused with outer ones (e.g.
+//! `SessionPage.Session` vs the `CName` entries inside its `CourseList`).
+
+use crate::dom::{Document, Element};
+use crate::error::WrapError;
+use crate::Result;
+use adm::{Field, PageScheme, Tuple, Value, WebType};
+
+/// Finds the element carrying `data-attr == name` within `scope`, without
+/// crossing into nested lists.
+fn find_scoped<'a>(scope: &'a Element, name: &str) -> Option<&'a Element> {
+    for c in scope.child_elements() {
+        if c.attr("data-attr") == Some(name) {
+            return Some(c);
+        }
+        if c.has_class("adm-list") {
+            continue; // do not descend into a nested level
+        }
+        if let Some(found) = find_scoped(c, name) {
+            return Some(found);
+        }
+    }
+    None
+}
+
+/// Extracts one attribute value from its element.
+fn extract_value(field: &Field, el: &Element) -> Result<Value> {
+    match &field.ty {
+        WebType::Text => Ok(Value::Text(el.text_content())),
+        WebType::Image => {
+            let src = el.attr("src").ok_or_else(|| {
+                WrapError::BadStructure(format!("image attribute `{}` has no src", field.name))
+            })?;
+            Ok(Value::Text(src.to_string()))
+        }
+        WebType::Link { .. } => {
+            let href = el
+                .attr("href")
+                .ok_or_else(|| WrapError::MissingHref(field.name.clone()))?;
+            Ok(Value::Link(adm::Url::new(href)))
+        }
+        WebType::List(inner) => {
+            if !el.has_class("adm-list") {
+                return Err(WrapError::BadStructure(format!(
+                    "attribute `{}` is a list but its element is not marked adm-list",
+                    field.name
+                )));
+            }
+            let mut rows = Vec::new();
+            for li in el.child_elements().filter(|e| e.has_class("adm-row")) {
+                rows.push(extract_fields(inner, li, &field.name)?);
+            }
+            Ok(Value::List(rows))
+        }
+    }
+}
+
+/// Extracts all fields of one nesting level from a scope element.
+fn extract_fields(fields: &[Field], scope: &Element, context: &str) -> Result<Tuple> {
+    let mut t = Tuple::new();
+    for f in fields {
+        match find_scoped(scope, &f.name) {
+            Some(el) => {
+                t = Tuple::from_pairs({
+                    let mut pairs = t.into_pairs();
+                    pairs.push((f.name.clone(), extract_value(f, el)?));
+                    pairs
+                });
+            }
+            None if f.optional => {
+                t = t.with_null(&f.name);
+            }
+            None if matches!(f.ty, WebType::List(_)) => {
+                // An empty list legitimately renders as an empty <ul>; if
+                // even the <ul> is missing, treat as empty list as well —
+                // real sites omit empty sections.
+                t = t.with_list(&f.name, vec![]);
+            }
+            None => {
+                return Err(WrapError::MissingAttribute {
+                    attr: f.name.clone(),
+                    scheme: context.to_string(),
+                });
+            }
+        }
+    }
+    Ok(t)
+}
+
+/// Wraps a page: parses `html` and extracts the nested tuple described by
+/// `scheme`. The returned tuple conforms to the scheme's fields.
+pub fn wrap_page(scheme: &PageScheme, html: &str) -> Result<Tuple> {
+    let doc = Document::parse(html)?;
+    // Prefer the marked content container; fall back to the whole <html>
+    // tree for pages without one (robustness against hand-written pages).
+    let tuple = if let Some(container) = doc.find(|e| e.has_class("adm-page")) {
+        extract_fields(&scheme.fields, container, &scheme.name)?
+    } else if let Some(root) = doc.root_elements().next() {
+        extract_fields(&scheme.fields, root, &scheme.name)?
+    } else {
+        return Err(WrapError::BadStructure("empty document".into()));
+    };
+    Ok(tuple)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adm::Field;
+
+    fn session_scheme() -> PageScheme {
+        PageScheme::new(
+            "SessionPage",
+            vec![
+                Field::text("Session"),
+                Field::list(
+                    "CourseList",
+                    vec![Field::text("CName"), Field::link("ToCourse", "SessionPage")],
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    const SESSION_HTML: &str = r#"<!DOCTYPE html>
+<html><body>
+<div class="chrome"><h1>Fall Session</h1><p>Home | About</p></div>
+<div class="adm-page" data-scheme="SessionPage">
+  <b>Session: </b><span class="adm-attr" data-attr="Session">Fall</span><br>
+  <ul class="adm-list" data-attr="CourseList">
+    <li class="adm-row">
+      <span class="adm-attr" data-attr="CName">Databases 101</span>
+      <a class="adm-attr" data-attr="ToCourse" href="/c/1.html">link</a>
+    </li>
+    <li class="adm-row">
+      <span class="adm-attr" data-attr="CName">Compilers 202</span>
+      <a class="adm-attr" data-attr="ToCourse" href="/c/2.html">link</a>
+    </li>
+  </ul>
+</div>
+</body></html>"#;
+
+    #[test]
+    fn wraps_page_with_list() {
+        let t = wrap_page(&session_scheme(), SESSION_HTML).unwrap();
+        assert_eq!(t.get("Session").unwrap().as_text(), Some("Fall"));
+        let courses = t.get("CourseList").unwrap().as_list().unwrap();
+        assert_eq!(courses.len(), 2);
+        assert_eq!(
+            courses[1]
+                .get("ToCourse")
+                .unwrap()
+                .as_link()
+                .unwrap()
+                .as_str(),
+            "/c/2.html"
+        );
+        assert!(t.conforms_to(&session_scheme().fields));
+    }
+
+    #[test]
+    fn missing_required_attr_errors() {
+        let html = "<div class=\"adm-page\"></div>";
+        let err = wrap_page(&session_scheme(), html).unwrap_err();
+        assert!(matches!(err, WrapError::MissingAttribute { attr, .. } if attr == "Session"));
+    }
+
+    #[test]
+    fn optional_attr_becomes_null() {
+        let scheme = PageScheme::new(
+            "P",
+            vec![Field::text("A"), Field::optional("B", WebType::Text)],
+        )
+        .unwrap();
+        let html = r#"<div class="adm-page"><span data-attr="A">x</span></div>"#;
+        let t = wrap_page(&scheme, html).unwrap();
+        assert!(t.get("B").unwrap().is_null());
+    }
+
+    #[test]
+    fn missing_list_is_empty() {
+        let html = r#"<div class="adm-page"><span data-attr="Session">Fall</span></div>"#;
+        let t = wrap_page(&session_scheme(), html).unwrap();
+        assert_eq!(t.get("CourseList").unwrap().as_list().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn link_without_href_errors() {
+        let scheme = PageScheme::new("P", vec![Field::link("L", "P")]).unwrap();
+        let html = r#"<div class="adm-page"><a data-attr="L">x</a></div>"#;
+        assert!(matches!(
+            wrap_page(&scheme, html),
+            Err(WrapError::MissingHref(_))
+        ));
+    }
+
+    #[test]
+    fn scoping_prevents_inner_shadowing() {
+        // The outer scheme has attribute "Name"; the inner rows also carry
+        // "Name". The outer search must not pick the inner one when the
+        // outer appears *after* the list in document order.
+        let scheme = PageScheme::new(
+            "P",
+            vec![
+                Field::list("Items", vec![Field::text("Name")]),
+                Field::text("Name"),
+            ],
+        )
+        .unwrap();
+        let html = r#"<div class="adm-page">
+            <ul class="adm-list" data-attr="Items">
+              <li class="adm-row"><span data-attr="Name">inner</span></li>
+            </ul>
+            <span data-attr="Name">outer</span>
+        </div>"#;
+        let t = wrap_page(&scheme, html).unwrap();
+        assert_eq!(t.get("Name").unwrap().as_text(), Some("outer"));
+        let items = t.get("Items").unwrap().as_list().unwrap();
+        assert_eq!(items[0].get("Name").unwrap().as_text(), Some("inner"));
+    }
+
+    #[test]
+    fn nested_lists_extract_recursively() {
+        let scheme = PageScheme::new(
+            "EditionPage",
+            vec![Field::list(
+                "PaperList",
+                vec![
+                    Field::text("Title"),
+                    Field::list(
+                        "Authors",
+                        vec![Field::text("AName"), Field::link("ToAuthor", "EditionPage")],
+                    ),
+                ],
+            )],
+        )
+        .unwrap();
+        let html = r#"<div class="adm-page">
+          <ul class="adm-list" data-attr="PaperList">
+            <li class="adm-row">
+              <span data-attr="Title">P1</span>
+              <ul class="adm-list" data-attr="Authors">
+                <li class="adm-row"><span data-attr="AName">Alice</span>
+                    <a data-attr="ToAuthor" href="/a/0.html">x</a></li>
+                <li class="adm-row"><span data-attr="AName">Bob</span>
+                    <a data-attr="ToAuthor" href="/a/1.html">x</a></li>
+              </ul>
+            </li>
+          </ul>
+        </div>"#;
+        let t = wrap_page(&scheme, html).unwrap();
+        let papers = t.get("PaperList").unwrap().as_list().unwrap();
+        let authors = papers[0].get("Authors").unwrap().as_list().unwrap();
+        assert_eq!(authors.len(), 2);
+        assert_eq!(authors[1].get("AName").unwrap().as_text(), Some("Bob"));
+    }
+
+    #[test]
+    fn image_extracts_src() {
+        let scheme = PageScheme::new("P", vec![Field::new("Pic", WebType::Image)]).unwrap();
+        let html = r#"<div class="adm-page"><img data-attr="Pic" src="/p.png"></div>"#;
+        let t = wrap_page(&scheme, html).unwrap();
+        assert_eq!(t.get("Pic").unwrap().as_text(), Some("/p.png"));
+    }
+
+    #[test]
+    fn falls_back_without_container() {
+        let scheme = PageScheme::new("P", vec![Field::text("A")]).unwrap();
+        let html = r#"<html><body><span data-attr="A">val</span></body></html>"#;
+        let t = wrap_page(&scheme, html).unwrap();
+        assert_eq!(t.get("A").unwrap().as_text(), Some("val"));
+    }
+
+    #[test]
+    fn entities_decoded_in_values() {
+        let scheme = PageScheme::new("P", vec![Field::text("A")]).unwrap();
+        let html =
+            r#"<div class="adm-page"><span data-attr="A">C &amp; C++ &lt;notes&gt;</span></div>"#;
+        let t = wrap_page(&scheme, html).unwrap();
+        assert_eq!(t.get("A").unwrap().as_text(), Some("C & C++ <notes>"));
+    }
+}

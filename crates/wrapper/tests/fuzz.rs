@@ -1,0 +1,75 @@
+//! Robustness: the HTML pipeline must never panic, whatever bytes arrive —
+//! truncated pages, shuffled tags, arbitrary garbage.
+
+use adm::{Field, PageScheme};
+use proptest::prelude::*;
+use wrapper::{dom::Document, lexer::tokenize, wrap_page};
+
+fn scheme() -> PageScheme {
+    PageScheme::new(
+        "P",
+        vec![
+            Field::text("A"),
+            Field::list("L", vec![Field::text("B"), Field::link("ToX", "P")]),
+        ],
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn lexer_never_panics(input in ".*") {
+        let _ = tokenize(&input);
+    }
+
+    #[test]
+    fn dom_never_panics(input in ".*") {
+        let _ = Document::parse(&input);
+    }
+
+    #[test]
+    fn wrapper_never_panics(input in ".*") {
+        let _ = wrap_page(&scheme(), &input);
+    }
+
+    #[test]
+    fn html_like_soup_never_panics(
+        tags in proptest::collection::vec("[a-z]{1,4}", 0..20),
+        texts in proptest::collection::vec("[^<>]{0,8}", 0..20),
+    ) {
+        let mut soup = String::new();
+        for (i, t) in tags.iter().enumerate() {
+            if i % 3 == 0 {
+                soup.push_str(&format!("<{t} class=\"adm-list\" data-attr=\"L\">"));
+            } else if i % 3 == 1 {
+                soup.push_str(&format!("</{t}>"));
+            } else {
+                soup.push_str(&format!("<{t} data-attr=\"A\">"));
+            }
+            if let Some(x) = texts.get(i) {
+                soup.push_str(x);
+            }
+        }
+        let _ = wrap_page(&scheme(), &soup);
+    }
+
+    #[test]
+    fn truncated_real_pages_never_panic(cut in 0usize..4096) {
+        use websim::page::render_page;
+        let t = adm::Tuple::new().with("A", "hello world").with_list(
+            "L",
+            vec![adm::Tuple::new()
+                .with("B", "x")
+                .with("ToX", adm::Value::link("/x.html"))],
+        );
+        let html = render_page(&scheme(), &t, "T");
+        let cut = cut.min(html.len());
+        // cut on a char boundary
+        let mut c = cut;
+        while !html.is_char_boundary(c) {
+            c -= 1;
+        }
+        let _ = wrap_page(&scheme(), &html[..c]);
+    }
+}

@@ -1,0 +1,62 @@
+//! Round-trip property: every page a site generator publishes wraps back
+//! into exactly the ground-truth tuple it was rendered from.
+
+use websim::sitegen::{BibConfig, Bibliography, University, UniversityConfig};
+use wrapper::wrap_page;
+
+fn roundtrip_site(site: &websim::Site) {
+    for scheme in site.scheme.schemes() {
+        for (url, truth) in site.instance(&scheme.name) {
+            let resp = site.server.get(&url).expect("page exists");
+            let html = std::str::from_utf8(&resp.body).expect("utf8");
+            let wrapped = wrap_page(scheme, html)
+                .unwrap_or_else(|e| panic!("wrapping {url} ({}) failed: {e}", scheme.name));
+            assert_eq!(wrapped, truth, "round-trip mismatch at {url}");
+        }
+    }
+}
+
+#[test]
+fn university_pages_roundtrip() {
+    let u = University::generate(UniversityConfig {
+        departments: 3,
+        professors: 10,
+        courses: 20,
+        seed: 77,
+        ..UniversityConfig::default()
+    })
+    .unwrap();
+    roundtrip_site(&u.site);
+}
+
+#[test]
+fn bibliography_pages_roundtrip() {
+    let b = Bibliography::generate(BibConfig {
+        authors: 30,
+        conferences: 5,
+        db_conferences: 2,
+        featured: 1,
+        editions_per_conf: 3,
+        papers_per_edition: 5,
+        seed: 13,
+        ..BibConfig::default()
+    })
+    .unwrap();
+    roundtrip_site(&b.site);
+}
+
+#[test]
+fn roundtrip_survives_mutations() {
+    let mut u = University::generate(UniversityConfig {
+        departments: 2,
+        professors: 6,
+        courses: 10,
+        seed: 3,
+        ..UniversityConfig::default()
+    })
+    .unwrap();
+    u.add_course(0, "Fall", "Graduate").unwrap();
+    u.update_course_description(1, "fresh text").unwrap();
+    u.remove_course(2).unwrap();
+    roundtrip_site(&u.site);
+}

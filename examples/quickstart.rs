@@ -1,0 +1,52 @@
+//! Quickstart: pose an SQL query over a relational view of a web site and
+//! let the optimizer navigate for you.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use webviews::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A university web site (the paper's Figure 1), served by an
+    // instrumented in-process web server: 3 departments, 20 professors,
+    // 50 courses — the exact parameters of the paper's Example 7.2.
+    let university = University::generate(UniversityConfig::default())?;
+    println!(
+        "generated site `{}`: {} pages\n",
+        university.site.name,
+        university.site.total_pages()
+    );
+
+    // The web scheme (Figure 1 as text).
+    println!("web scheme:\n{}", university.site.scheme.describe());
+
+    // Site statistics drive the cost model (the paper assumes they are
+    // collected by exploring the site).
+    let stats = SiteStatistics::from_site(&university.site);
+
+    // The external (relational) view: the paper's five relations.
+    let catalog = university_catalog();
+    let source = LiveSource::for_site(&university.site);
+    let session = QuerySession::new(&university.site.scheme, &catalog, &stats, &source);
+
+    // An SQL query against the view.
+    let sql = "SELECT Professor.PName, Email FROM Professor, ProfDept \
+               WHERE Professor.PName = ProfDept.PName \
+                 AND DName = 'Computer Science'";
+    println!("SQL: {sql}\n");
+    let query = parse_query(sql, &catalog)?;
+
+    // The optimizer enumerates navigation plans and picks the cheapest.
+    let outcome = session.run(&query)?;
+    println!("{}", outcome.explain.report());
+
+    println!(
+        "estimated {:.1} page accesses — measured {} (downloads: {})\n",
+        outcome.estimated_pages(),
+        outcome.measured_pages(),
+        outcome.downloads(),
+    );
+    println!("answer:\n{}", outcome.report.relation.to_table());
+    Ok(())
+}

@@ -1,0 +1,261 @@
+//! An interactive shell over web views: load a (simulated) site, pose SQL,
+//! inspect plans, statistics, and schemes.
+//!
+//! ```sh
+//! cargo run --bin webviews-cli
+//! webviews> site university 3 20 50
+//! webviews> explain SELECT PName FROM Professor WHERE Rank = 'Full'
+//! webviews> sql SELECT PName FROM Professor WHERE Rank = 'Full'
+//! webviews> help
+//! ```
+
+use std::io::{BufRead, Write as _};
+use webviews::prelude::*;
+
+enum LoadedSite {
+    University(Box<University>),
+    Bibliography(Box<Bibliography>),
+}
+
+struct State {
+    site: LoadedSite,
+    stats: SiteStatistics,
+    catalog: ViewCatalog,
+}
+
+impl State {
+    fn university(cfg: UniversityConfig) -> Result<State, Box<dyn std::error::Error>> {
+        let u = University::generate(cfg)?;
+        let stats = SiteStatistics::from_site(&u.site);
+        Ok(State {
+            site: LoadedSite::University(Box::new(u)),
+            stats,
+            catalog: university_catalog(),
+        })
+    }
+
+    fn bibliography(cfg: BibConfig) -> Result<State, Box<dyn std::error::Error>> {
+        let b = Bibliography::generate(cfg)?;
+        let stats = SiteStatistics::from_site(&b.site);
+        Ok(State {
+            site: LoadedSite::Bibliography(Box::new(b)),
+            stats,
+            catalog: bibliography_catalog(),
+        })
+    }
+
+    fn the_site(&self) -> &Site {
+        match &self.site {
+            LoadedSite::University(u) => &u.site,
+            LoadedSite::Bibliography(b) => &b.site,
+        }
+    }
+}
+
+const HELP: &str = "\
+commands:
+  site university [depts profs courses]   load a university site (default 3 20 50)
+  site bibliography [authors]             load a bibliography site (default 300)
+  sql <query>                             optimize, run, and show the answer
+  explain <query>                         show every candidate plan with costs
+  relations                               list the external (relational) view
+  schema                                  print the ADM web scheme
+  dot                                     print the scheme as Graphviz DOT
+  stats                                   print the collected site statistics
+  help                                    this text
+  quit                                    exit";
+
+fn handle(state: &mut State, line: &str) -> String {
+    let line = line.trim();
+    let (cmd, rest) = match line.split_once(char::is_whitespace) {
+        Some((c, r)) => (c, r.trim()),
+        None => (line, ""),
+    };
+    match cmd.to_ascii_lowercase().as_str() {
+        "" => String::new(),
+        "help" | "?" => HELP.to_string(),
+        "site" => {
+            let mut parts = rest.split_whitespace();
+            match parts.next() {
+                Some("university") => {
+                    let nums: Vec<usize> = parts.filter_map(|p| p.parse().ok()).collect();
+                    let cfg = UniversityConfig {
+                        departments: *nums.first().unwrap_or(&3),
+                        professors: *nums.get(1).unwrap_or(&20),
+                        courses: *nums.get(2).unwrap_or(&50),
+                        ..UniversityConfig::default()
+                    };
+                    match State::university(cfg) {
+                        Ok(s) => {
+                            *state = s;
+                            format!(
+                                "loaded university site: {} pages",
+                                state.the_site().total_pages()
+                            )
+                        }
+                        Err(e) => format!("error: {e}"),
+                    }
+                }
+                Some("bibliography") => {
+                    let authors = parts.next().and_then(|p| p.parse().ok()).unwrap_or(300);
+                    match State::bibliography(BibConfig {
+                        authors,
+                        ..BibConfig::default()
+                    }) {
+                        Ok(s) => {
+                            *state = s;
+                            format!(
+                                "loaded bibliography site: {} pages",
+                                state.the_site().total_pages()
+                            )
+                        }
+                        Err(e) => format!("error: {e}"),
+                    }
+                }
+                _ => "usage: site university [depts profs courses] | site bibliography [authors]"
+                    .to_string(),
+            }
+        }
+        "relations" => {
+            let mut out = String::new();
+            for rel in state.catalog.relations() {
+                out.push_str(&format!(
+                    "{}({}) — {} navigation(s)\n",
+                    rel.name,
+                    rel.attrs.join(", "),
+                    rel.navigations.len()
+                ));
+            }
+            out.trim_end().to_string()
+        }
+        "schema" => state.the_site().scheme.describe(),
+        "dot" => webviews::adm::dot::scheme_to_dot(&state.the_site().scheme),
+        "stats" => state.stats.to_text(),
+        "sql" | "explain" => {
+            let query = match parse_query(rest, &state.catalog) {
+                Ok(q) => q,
+                Err(e) => return format!("error: {e}"),
+            };
+            let site = state.the_site();
+            let source = LiveSource::for_site(site);
+            let session = QuerySession::new(&site.scheme, &state.catalog, &state.stats, &source);
+            if cmd.eq_ignore_ascii_case("explain") {
+                match session.explain(&query) {
+                    Ok(explain) => explain.report(),
+                    Err(e) => format!("error: {e}"),
+                }
+            } else {
+                site.server.reset_stats();
+                match session.run(&query) {
+                    Ok(outcome) => format!(
+                        "{}\nestimated {:.1} pages — measured {} accesses, {} downloads\n\n{}",
+                        nalg::display::tree(&outcome.explain.best().expr),
+                        outcome.estimated_pages(),
+                        outcome.measured_pages(),
+                        outcome.downloads(),
+                        outcome.report.relation.to_table()
+                    ),
+                    Err(e) => format!("error: {e}"),
+                }
+            }
+        }
+        other => format!("unknown command `{other}` — try `help`"),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut state = State::university(UniversityConfig::default())?;
+    println!(
+        "webviews interactive shell — university site loaded ({} pages); `help` for commands",
+        state.the_site().total_pages()
+    );
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("webviews> ");
+        out.flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break;
+        }
+        let trimmed = line.trim();
+        if trimmed.eq_ignore_ascii_case("quit") || trimmed.eq_ignore_ascii_case("exit") {
+            break;
+        }
+        let reply = handle(&mut state, trimmed);
+        if !reply.is_empty() {
+            println!("{reply}");
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> State {
+        State::university(UniversityConfig {
+            departments: 2,
+            professors: 6,
+            courses: 10,
+            ..UniversityConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        let mut s = fresh();
+        assert!(handle(&mut s, "help").contains("commands:"));
+        assert!(handle(&mut s, "bogus").contains("unknown command"));
+        assert_eq!(handle(&mut s, ""), "");
+    }
+
+    #[test]
+    fn sql_round_trip() {
+        let mut s = fresh();
+        let out = handle(
+            &mut s,
+            "sql SELECT PName FROM Professor WHERE Rank = 'Full'",
+        );
+        assert!(out.contains("measured"), "{out}");
+        assert!(out.contains("ProfPage.PName"), "{out}");
+    }
+
+    #[test]
+    fn explain_lists_candidates() {
+        let mut s = fresh();
+        let out = handle(&mut s, "explain SELECT DName, Address FROM Dept");
+        assert!(out.contains("candidate plan"), "{out}");
+    }
+
+    #[test]
+    fn switch_sites() {
+        let mut s = fresh();
+        let out = handle(&mut s, "site bibliography 40");
+        assert!(out.contains("loaded bibliography"), "{out}");
+        let out = handle(&mut s, "sql SELECT ConfName FROM Conference");
+        assert!(out.contains("ConfName"), "{out}");
+        let out = handle(&mut s, "site university 2 5 8");
+        assert!(out.contains("loaded university"), "{out}");
+    }
+
+    #[test]
+    fn introspection_commands() {
+        let mut s = fresh();
+        assert!(handle(&mut s, "relations").contains("Professor(PName, Rank, Email)"));
+        assert!(handle(&mut s, "schema").contains("ProfPage(URL"));
+        assert!(handle(&mut s, "dot").starts_with("digraph"));
+        assert!(handle(&mut s, "stats").contains("card ProfPage 6"));
+    }
+
+    #[test]
+    fn sql_errors_are_reported_not_fatal() {
+        let mut s = fresh();
+        let out = handle(&mut s, "sql SELECT Nope FROM Professor");
+        assert!(out.starts_with("error:"), "{out}");
+        let out = handle(&mut s, "sql this is not sql");
+        assert!(out.starts_with("error:"), "{out}");
+    }
+}

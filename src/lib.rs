@@ -1,0 +1,87 @@
+//! # webviews — Efficient Queries over Web Views
+//!
+//! A full reproduction of *Efficient Queries over Web Views*
+//! (G. Mecca, A. Mendelzon, P. Merialdo — EDBT 1998) as a Rust workspace:
+//! relational views over structured web sites, translated by a
+//! constraint-driven optimizer into navigation plans that minimize network
+//! page accesses.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`adm`] | the Araneus data model: page-schemes, nested relations, link & inclusion constraints |
+//! | [`websim`] | the simulated web: virtual server (GET/HEAD + counters), HTML generation, site generators |
+//! | [`wrapper`] | HTML tokenizer, mini-DOM, scheme-driven extraction into nested tuples |
+//! | [`nalg`] | the navigational algebra: expressions, plan display, evaluation |
+//! | [`wvcore`] | the optimizer: rewrite rules 2–9, statistics, cost model, Algorithm 1 |
+//! | [`wvquery`] | the SQL-subset front end |
+//! | [`matview`] | materialized views: URLCheck, Algorithm 3 lazy maintenance |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use webviews::prelude::*;
+//!
+//! // 1. generate the paper's university site (Figure 1)
+//! let site = University::generate(UniversityConfig::default()).unwrap();
+//!
+//! // 2. collect statistics and set up a query session over the live site
+//! let stats = SiteStatistics::from_site(&site.site);
+//! let catalog = university_catalog();
+//! let source = LiveSource::for_site(&site.site);
+//! let session = QuerySession::new(&site.site.scheme, &catalog, &stats, &source);
+//!
+//! // 3. pose an SQL query against the relational view
+//! let q = parse_query(
+//!     "SELECT PName FROM Professor WHERE Rank = 'Full'",
+//!     &catalog,
+//! ).unwrap();
+//!
+//! // 4. the optimizer picks a navigation plan; the evaluator runs it
+//! let outcome = session.run(&q).unwrap();
+//! assert!(!outcome.report.relation.is_empty());
+//! println!("{}", outcome.explain.report());
+//! ```
+
+pub use adm;
+pub use matview;
+pub use nalg;
+pub use websim;
+pub use wrapper;
+pub use wvcore;
+pub use wvquery;
+
+/// Everything needed for typical use, importable in one line.
+pub mod prelude {
+    pub use adm::{
+        AttrRef, Field, InclusionConstraint, LinkConstraint, PageScheme, Relation, Tuple, Url,
+        Value, WebScheme, WebType,
+    };
+    pub use matview::{MatOutcome, MatSession, MatStore};
+    pub use nalg::{EvalReport, Evaluator, NalgExpr, PageSource, Pred};
+    pub use websim::sitegen::{BibConfig, Bibliography, University, UniversityConfig};
+    pub use websim::{Site, VirtualServer};
+    pub use wrapper::wrap_page;
+    pub use wvcore::views::{bibliography_catalog, university_catalog};
+    pub use wvcore::{
+        ConjunctiveQuery, Cost, Explain, LiveSource, Optimizer, QueryOutcome, QuerySession,
+        RuleMask, SiteStatistics, ViewCatalog,
+    };
+    pub use wvquery::parse_query;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_compiles_and_links() {
+        let ws = websim::sitegen::university::university_scheme();
+        assert!(ws.is_entry_point("HomePage"));
+        let q = ConjunctiveQuery::new("t")
+            .atom("Professor")
+            .project((0, "PName"));
+        assert_eq!(q.atoms.len(), 1);
+    }
+}

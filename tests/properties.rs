@@ -1,0 +1,208 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+use webviews::prelude::*;
+
+// ── generators ─────────────────────────────────────────────────────────
+
+fn arb_text() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 <>&'\"]{0,24}"
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        arb_text().prop_map(Value::Text),
+        "[a-z0-9/.]{1,20}".prop_map(|s| Value::Link(Url::new(s))),
+        Just(Value::Null),
+    ]
+}
+
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    let cols = vec!["P.A".to_string(), "P.B".to_string(), "P.C".to_string()];
+    proptest::collection::vec(proptest::collection::vec(arb_value(), 3), 0..12)
+        .prop_map(move |rows| Relation::from_rows(cols.clone(), rows).unwrap())
+}
+
+// ── relation algebra laws ──────────────────────────────────────────────
+
+proptest! {
+    #[test]
+    fn projection_is_idempotent(r in arb_relation()) {
+        let p1 = r.project(&["P.A", "P.B"]).unwrap();
+        let p2 = p1.project(&["P.A", "P.B"]).unwrap();
+        prop_assert_eq!(p1.sorted(), p2.sorted());
+    }
+
+    #[test]
+    fn selection_commutes(r in arb_relation(), x in arb_text(), y in arb_text()) {
+        let vx = Value::text(x);
+        let vy = Value::text(y);
+        let ab = r.select_eq("P.A", &vx).unwrap().select_eq("P.B", &vy).unwrap();
+        let ba = r.select_eq("P.B", &vy).unwrap().select_eq("P.A", &vx).unwrap();
+        prop_assert_eq!(ab.sorted(), ba.sorted());
+    }
+
+    #[test]
+    fn distinct_is_idempotent(r in arb_relation()) {
+        let d = r.distinct();
+        prop_assert_eq!(d.clone().distinct(), d);
+    }
+
+    #[test]
+    fn union_is_commutative_after_sort(a in arb_relation(), b in arb_relation()) {
+        let ab = a.union(&b).unwrap().sorted();
+        let ba = b.union(&a).unwrap().sorted();
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn minus_then_union_never_grows(a in arb_relation(), b in arb_relation()) {
+        let diff = a.minus(&b).unwrap();
+        prop_assert!(diff.len() <= a.len());
+        // every row of the difference is a row of a
+        for row in diff.rows() {
+            prop_assert!(a.rows().contains(row));
+        }
+    }
+
+    #[test]
+    fn join_with_self_on_all_columns_is_dedup(r in arb_relation()) {
+        // r ⋈ r on every column = distinct rows of r without nulls
+        let r2 = Relation::from_rows(
+            vec!["Q.A", "Q.B", "Q.C"],
+            r.rows().to_vec(),
+        ).unwrap();
+        let j = r
+            .join(&r2, &[("P.A", "Q.A"), ("P.B", "Q.B"), ("P.C", "Q.C")])
+            .unwrap();
+        let expected: std::collections::HashSet<&Vec<Value>> = r
+            .rows()
+            .iter()
+            .filter(|row| row.iter().all(|v| !v.is_null()))
+            .collect();
+        let got: std::collections::HashSet<Vec<Value>> = j
+            .rows()
+            .iter()
+            .map(|row| row[..3].to_vec())
+            .collect();
+        prop_assert_eq!(got.len(), expected.len());
+    }
+}
+
+// ── wrapper round-trip on arbitrary flat pages ─────────────────────────
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn wrapper_roundtrips_arbitrary_flat_pages(
+        texts in proptest::collection::vec(arb_text(), 3)
+    ) {
+        let scheme = PageScheme::new(
+            "P",
+            vec![
+                adm::Field::text("A"),
+                adm::Field::text("B"),
+                adm::Field::text("C"),
+            ],
+        ).unwrap();
+        let tuple = Tuple::new()
+            .with("A", texts[0].clone())
+            .with("B", texts[1].clone())
+            .with("C", texts[2].clone());
+        let html = websim::page::render_page(&scheme, &tuple, "Arbitrary");
+        let wrapped = wrap_page(&scheme, &html).unwrap();
+        // rendering trims leading/trailing whitespace (as browsers do)
+        for name in ["A", "B", "C"] {
+            let original = tuple.get(name).unwrap().as_text().unwrap().trim();
+            let got = wrapped.get(name).unwrap().as_text().unwrap();
+            // internal whitespace runs may collapse through the DOM's
+            // text-node handling; compare with normalized spaces
+            let norm = |s: &str| s.split_whitespace().collect::<Vec<_>>().join(" ");
+            prop_assert_eq!(norm(original), norm(got));
+        }
+    }
+
+    #[test]
+    fn wrapper_roundtrips_lists(
+        rows in proptest::collection::vec(arb_text(), 0..8)
+    ) {
+        let scheme = PageScheme::new(
+            "P",
+            vec![adm::Field::list("Items", vec![adm::Field::text("Name")])],
+        ).unwrap();
+        let tuple = Tuple::new().with_list(
+            "Items",
+            rows.iter().map(|t| Tuple::new().with("Name", t.clone())).collect(),
+        );
+        let html = websim::page::render_page(&scheme, &tuple, "List");
+        let wrapped = wrap_page(&scheme, &html).unwrap();
+        prop_assert_eq!(
+            wrapped.get("Items").unwrap().as_list().unwrap().len(),
+            rows.len()
+        );
+    }
+}
+
+// ── site-level invariants across random configurations ────────────────
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn generated_sites_always_satisfy_their_constraints(
+        departments in 1usize..5,
+        extra_profs in 0usize..12,
+        courses in 1usize..30,
+        seed in 0u64..1000,
+    ) {
+        let professors = departments + extra_profs;
+        let u = University::generate(UniversityConfig {
+            departments,
+            professors,
+            courses,
+            seed,
+            ..UniversityConfig::default()
+        }).unwrap();
+        prop_assert!(u.site.verify_constraints().is_empty());
+        prop_assert_eq!(u.site.cardinality("CoursePage"), courses);
+    }
+
+    #[test]
+    fn evaluation_cost_never_exceeds_site_size(
+        seed in 0u64..500,
+    ) {
+        // with the page cache, downloads are bounded by the page count
+        let u = University::generate(UniversityConfig {
+            departments: 2,
+            professors: 6,
+            courses: 12,
+            seed,
+            ..UniversityConfig::default()
+        }).unwrap();
+        let stats = SiteStatistics::from_site(&u.site);
+        let catalog = university_catalog();
+        let source = LiveSource::for_site(&u.site);
+        let session = QuerySession::new(&u.site.scheme, &catalog, &stats, &source);
+        let q = ConjunctiveQuery::new("q")
+            .atom("CourseInstructor")
+            .project((0, "PName"))
+            .project((0, "CName"));
+        let outcome = session.run(&q).unwrap();
+        prop_assert!(outcome.downloads() as usize <= u.site.total_pages());
+    }
+}
+
+// ── URL invariants ─────────────────────────────────────────────────────
+
+proptest! {
+    #[test]
+    fn url_normalization_is_idempotent(s in "[a-zA-Z0-9/._-]{1,30}") {
+        let u1 = Url::new(s);
+        let u2 = Url::new(u1.as_str());
+        prop_assert_eq!(u1, u2);
+    }
+
+    #[test]
+    fn url_always_starts_with_slash(s in "[a-zA-Z0-9/._-]{0,30}") {
+        prop_assert!(Url::new(s).as_str().starts_with('/'));
+    }
+}
