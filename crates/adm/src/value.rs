@@ -77,6 +77,19 @@ impl Value {
         }
     }
 
+    /// Estimated in-memory footprint in bytes, used by byte-budgeted page
+    /// caches. Counts string payloads plus a fixed per-node overhead; not
+    /// an exact allocator measure.
+    pub fn approx_bytes(&self) -> usize {
+        const NODE: usize = std::mem::size_of::<Value>();
+        match self {
+            Value::Null => NODE,
+            Value::Text(s) => NODE + s.len(),
+            Value::Link(u) => NODE + u.as_str().len(),
+            Value::List(ts) => NODE + ts.iter().map(Tuple::approx_bytes).sum::<usize>(),
+        }
+    }
+
     /// A total order over values, used for deterministic output:
     /// Null < Text < Link < List.
     pub fn total_cmp(&self, other: &Value) -> Ordering {
@@ -239,6 +252,14 @@ impl Tuple {
             Some(Value::Null) => f.optional,
             Some(v) => v.conforms_to(&f.ty),
         })
+    }
+
+    /// Estimated in-memory footprint in bytes (see [`Value::approx_bytes`]).
+    pub fn approx_bytes(&self) -> usize {
+        self.fields
+            .iter()
+            .map(|(n, v)| n.len() + v.approx_bytes())
+            .sum()
     }
 
     /// Total order for deterministic sorting.

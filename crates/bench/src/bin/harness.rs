@@ -5,25 +5,49 @@
 //! cargo run --release -p bench --bin harness            # all experiments, quick scales
 //! cargo run --release -p bench --bin harness -- full    # includes the 16,000-author sweep
 //! cargo run --release -p bench --bin harness -- e3      # a single experiment
+//! cargo run --release -p bench --bin harness -- e3 --json  # + BENCH_E3.json
 //! ```
+//!
+//! With `--json`, every table experiment also writes a machine-readable
+//! `BENCH_<ID>.json` (see [`bench::json`]) into the current directory.
 
 use bench::table::Table;
 use bench::*;
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "full");
     let markdown = args.iter().any(|a| a == "--markdown" || a == "md");
-    let passthrough = |a: &String| a == "full" || a == "--markdown" || a == "md";
+    let json = args.iter().any(|a| a == "--json" || a == "json");
+    let passthrough =
+        |a: &String| a == "full" || a == "--markdown" || a == "md" || a == "--json" || a == "json";
     let want = |id: &str| {
         args.iter().filter(|a| !passthrough(a)).count() == 0
             || args.iter().any(|a| a.eq_ignore_ascii_case(id))
     };
-    let show = |t: Table| {
+    // Runs one table experiment: prints the table and, with `--json`,
+    // writes BENCH_<ID>.json carrying the same rows plus wall-clock.
+    let emit = |id: &str, params: Vec<(&str, String)>, run: &dyn Fn() -> Table| {
+        let t0 = Instant::now();
+        let t = run();
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
         if markdown {
             println!("{}", t.render_markdown());
         } else {
             println!("{t}");
+        }
+        if json {
+            match bench::json::write_experiment_json(
+                std::path::Path::new("."),
+                id,
+                &params,
+                wall_ms,
+                &t,
+            ) {
+                Ok(p) => eprintln!("wrote {}", p.display()),
+                Err(e) => eprintln!("BENCH_{}.json: {e}", id.to_uppercase()),
+            }
         }
     };
 
@@ -39,32 +63,56 @@ fn main() {
         } else {
             &[100, 400, 1600]
         };
-        show(e1_intro_strategies(scales));
+        emit("e1", vec![("authors", format!("{scales:?}"))], &|| {
+            e1_intro_strategies(scales)
+        });
     }
     if want("e2") {
-        show(e2_pointer_join(&[20, 50, 100, 200]));
+        let courses = [20, 50, 100, 200];
+        emit("e2", vec![("courses", format!("{courses:?}"))], &|| {
+            e2_pointer_join(&courses)
+        });
     }
     if want("e3") {
-        show(e3_pointer_chase(&[1, 2, 3, 4, 6]));
+        let departments = [1, 2, 3, 4, 6];
+        emit(
+            "e3",
+            vec![("departments", format!("{departments:?}"))],
+            &|| e3_pointer_chase(&departments),
+        );
     }
     if want("e4") {
-        show(e4_cost_model());
+        emit("e4", vec![], &e4_cost_model);
     }
     if want("e5") {
-        show(e5_materialized_views(&[0, 1, 5, 10, 25, 50]));
-        show(e5_structural());
+        let pcts = [0, 1, 5, 10, 25, 50];
+        emit("e5", vec![("updated_pct", format!("{pcts:?}"))], &|| {
+            e5_materialized_views(&pcts)
+        });
+        emit("e5b", vec![], &e5_structural);
     }
     if want("e6") {
-        show(e6_optimizer_wins());
+        emit("e6", vec![], &e6_optimizer_wins);
     }
     if want("e7") {
         println!("{}", e7_figures());
     }
     if want("e8") {
-        show(e8_ablation());
+        emit("e8", vec![], &e8_ablation);
     }
     if want("x1") {
-        show(x1_latency_hiding(2, &[1, 2, 4, 8, 16]));
+        let (latency_ms, workers) = (2u64, [1usize, 2, 4, 8, 16]);
+        emit(
+            "x1",
+            vec![
+                ("latency_ms", latency_ms.to_string()),
+                ("workers", format!("{workers:?}")),
+            ],
+            &|| x1_latency_hiding(latency_ms, &workers),
+        );
+    }
+    if want("x2") {
+        emit("x2", vec![], &x2_shared_cache);
     }
     if args.iter().any(|a| a.eq_ignore_ascii_case("dot")) {
         println!("{}", dot_figures());

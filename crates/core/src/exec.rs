@@ -12,7 +12,7 @@ use crate::stats::SiteStatistics;
 use crate::views::ViewCatalog;
 use crate::Result;
 use adm::WebScheme;
-use nalg::{EvalReport, Evaluator, PageSource};
+use nalg::{EvalReport, Evaluator, PageSource, SharedPageCache};
 
 /// The outcome of an executed query.
 #[derive(Debug, Clone)]
@@ -49,6 +49,17 @@ pub struct QuerySession<'a, S: PageSource> {
     source: &'a S,
     mask: RuleMask,
     use_incomplete: bool,
+    shared_cache: Option<&'a SharedPageCache>,
+    /// `(workers, enable)` — the fn pointer monomorphizes the `S: Sync`
+    /// bound at builder time so the rest of the session stays available
+    /// for non-`Sync` sources.
+    concurrency: Option<(usize, EnablePool<'a, S>)>,
+}
+
+type EnablePool<'a, S> = fn(Evaluator<'a, S>, usize) -> Evaluator<'a, S>;
+
+fn enable_pool<'a, S: PageSource + Sync>(ev: Evaluator<'a, S>, workers: usize) -> Evaluator<'a, S> {
+    ev.with_concurrent_fetch(workers)
 }
 
 impl<'a, S: PageSource> QuerySession<'a, S> {
@@ -66,6 +77,8 @@ impl<'a, S: PageSource> QuerySession<'a, S> {
             source,
             mask: RuleMask::all(),
             use_incomplete: false,
+            shared_cache: None,
+            concurrency: None,
         }
     }
 
@@ -81,6 +94,37 @@ impl<'a, S: PageSource> QuerySession<'a, S> {
         self
     }
 
+    /// Evaluates plans with a persistent pool of `workers` fetch threads
+    /// (spawned once per evaluation, shared by every navigation in the
+    /// plan). Results and page-access counts are identical to sequential
+    /// execution; only wall-clock changes.
+    pub fn with_concurrent_fetch(mut self, workers: usize) -> Self
+    where
+        S: Sync,
+    {
+        self.concurrency = Some((workers.max(1), enable_pool::<S>));
+        self
+    }
+
+    /// Shares a cross-query page cache between this session's queries (and
+    /// anything else holding the cache — crawler, other sessions). Hits
+    /// are reported as `shared_cache_hits`, never as page accesses.
+    pub fn with_shared_cache(mut self, cache: &'a SharedPageCache) -> Self {
+        self.shared_cache = Some(cache);
+        self
+    }
+
+    fn evaluator(&self) -> Evaluator<'a, S> {
+        let mut ev = Evaluator::new(self.ws, self.source);
+        if let Some(cache) = self.shared_cache {
+            ev = ev.with_shared_cache(cache);
+        }
+        if let Some((workers, enable)) = self.concurrency {
+            ev = enable(ev, workers);
+        }
+        ev
+    }
+
     /// Optimizes without executing.
     pub fn explain(&self, q: &ConjunctiveQuery) -> Result<Explain> {
         let mut opt = Optimizer::new(self.ws, self.catalog, self.stats).with_mask(self.mask);
@@ -93,14 +137,14 @@ impl<'a, S: PageSource> QuerySession<'a, S> {
     /// Optimizes and executes the best plan.
     pub fn run(&self, q: &ConjunctiveQuery) -> Result<QueryOutcome> {
         let explain = self.explain(q)?;
-        let report = Evaluator::new(self.ws, self.source).eval(&explain.best().expr)?;
+        let report = self.evaluator().eval(&explain.best().expr)?;
         Ok(QueryOutcome { explain, report })
     }
 
     /// Executes a specific plan (used by experiments to run non-optimal
     /// candidates for comparison).
     pub fn execute(&self, expr: &nalg::NalgExpr) -> Result<EvalReport> {
-        Ok(Evaluator::new(self.ws, self.source).eval(expr)?)
+        Ok(self.evaluator().eval(expr)?)
     }
 }
 
@@ -144,6 +188,52 @@ mod tests {
             .map(|r| r[0].as_text().unwrap().to_string())
             .collect();
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn concurrent_session_with_shared_cache_matches_plain_run() {
+        let u = University::generate(UniversityConfig {
+            departments: 3,
+            professors: 10,
+            courses: 20,
+            seed: 21,
+            ..UniversityConfig::default()
+        })
+        .unwrap();
+        let stats = SiteStatistics::from_site(&u.site);
+        let catalog = university_catalog();
+        let source = LiveSource::for_site(&u.site);
+        let q = ConjunctiveQuery::new("graduate-courses")
+            .atom("Course")
+            .select((0, "Type"), "Graduate")
+            .project((0, "CName"));
+        let plain = QuerySession::new(&u.site.scheme, &catalog, &stats, &source)
+            .run(&q)
+            .unwrap();
+        let cache = nalg::SharedPageCache::default();
+        let session = QuerySession::new(&u.site.scheme, &catalog, &stats, &source)
+            .with_concurrent_fetch(8)
+            .with_shared_cache(&cache);
+        let cold = session.run(&q).unwrap();
+        assert_eq!(
+            cold.report.relation.sorted(),
+            plain.report.relation.sorted()
+        );
+        assert_eq!(cold.report.page_accesses, plain.report.page_accesses);
+        assert_eq!(
+            cold.report.accesses_by_operator,
+            plain.report.accesses_by_operator
+        );
+        // Second run: every page comes from the shared cache.
+        let warm = session.run(&q).unwrap();
+        assert_eq!(
+            warm.report.relation.sorted(),
+            plain.report.relation.sorted()
+        );
+        assert_eq!(warm.downloads(), 0);
+        assert_eq!(warm.report.shared_cache_hits, cold.report.page_accesses);
+        // The cost model is blind to the shared cache.
+        assert_eq!(warm.measured_pages(), plain.measured_pages());
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub use exec::{QueryOutcome, QuerySession};
 pub use infer::{auto_catalog, auto_relation, infer_navigations, InferredNavigation};
 pub use optimizer::{CandidatePlan, Explain, Optimizer, RuleMask};
 pub use query::ConjunctiveQuery;
-pub use source::LiveSource;
+pub use source::{CachedSource, LiveSource};
 pub use stats::SiteStatistics;
 pub use views::{DefaultNavigation, ExternalRelation, ViewCatalog};
 

@@ -13,7 +13,7 @@ use crate::store::{MatStore, UrlStatus};
 use crate::urlcheck::{url_check, CheckCounters};
 use crate::Result;
 use adm::{Relation, Tuple, Url, WebScheme};
-use nalg::{Evaluator, NalgExpr, PageSource, SourceError};
+use nalg::{Evaluator, NalgExpr, PageSource, SharedPageCache, SourceError};
 use std::cell::RefCell;
 use wvcore::{ConjunctiveQuery, Explain, Optimizer, SiteStatistics, ViewCatalog};
 
@@ -38,6 +38,12 @@ struct CheckingSource<'a> {
     store: RefCell<&'a mut MatStore>,
     counters: RefCell<CheckCounters>,
     error: RefCell<Option<crate::MatError>>,
+    /// Shared cross-query cache, kept in sync as a side effect of URL
+    /// checking: freshly verified tuples are written through with their
+    /// Last-Modified stamp, deleted pages are invalidated. The cache is
+    /// never *read* here — every access still goes through the paper's
+    /// URL-check protocol, so `CheckCounters` are unaffected.
+    shared: Option<&'a SharedPageCache>,
 }
 
 impl PageSource for CheckingSource<'_> {
@@ -48,12 +54,32 @@ impl PageSource for CheckingSource<'_> {
         // off-line."
         if store.status(url) == UrlStatus::Missing {
             store.check_missing.push_back(url.clone());
+            if let Some(cache) = self.shared {
+                cache.invalidate(url);
+            }
             return Err(SourceError::NotFound(url.clone()));
         }
         let mut counters = self.counters.borrow_mut();
         match url_check(&mut store, &mut counters, self.ws, self.server, url, scheme) {
-            Ok(Some(t)) => Ok(t),
-            Ok(None) => Err(SourceError::NotFound(url.clone())),
+            Ok(Some(t)) => {
+                if let Some(cache) = self.shared {
+                    // The store's access date is the freshest stamp we can
+                    // attest for this tuple: drop any older cached copy
+                    // and write the verified one through.
+                    let lm = store.get(url).map(|p| p.access_date);
+                    if let Some(lm) = lm {
+                        cache.invalidate_older_than(url, lm);
+                    }
+                    cache.insert(url, &t, lm);
+                }
+                Ok(t)
+            }
+            Ok(None) => {
+                if let Some(cache) = self.shared {
+                    cache.invalidate(url);
+                }
+                Err(SourceError::NotFound(url.clone()))
+            }
             Err(e) => {
                 *self.error.borrow_mut() = Some(e.clone());
                 Err(SourceError::Other(e.to_string()))
@@ -69,6 +95,7 @@ pub struct MatSession<'a> {
     stats: &'a SiteStatistics,
     server: &'a websim::VirtualServer,
     mask: wvcore::RuleMask,
+    shared_cache: Option<&'a SharedPageCache>,
 }
 
 impl<'a> MatSession<'a> {
@@ -85,12 +112,23 @@ impl<'a> MatSession<'a> {
             stats,
             server,
             mask: wvcore::RuleMask::all(),
+            shared_cache: None,
         }
     }
 
     /// Sets the optimizer rule mask (builder style).
     pub fn with_mask(mut self, mask: wvcore::RuleMask) -> Self {
         self.mask = mask;
+        self
+    }
+
+    /// Keeps a shared cross-query page cache in sync while answering:
+    /// URL-checked tuples are written through with their freshness stamp
+    /// and pages found deleted are invalidated. Maintenance traffic
+    /// ([`CheckCounters`]) is unchanged — the cache is never consulted in
+    /// place of the URL-check protocol.
+    pub fn with_shared_cache(mut self, cache: &'a SharedPageCache) -> Self {
+        self.shared_cache = Some(cache);
         self
     }
 
@@ -124,6 +162,7 @@ impl<'a> MatSession<'a> {
             store: RefCell::new(store),
             counters: RefCell::new(CheckCounters::default()),
             error: RefCell::new(None),
+            shared: self.shared_cache,
         };
         let report = Evaluator::new(self.ws, &source).eval(plan)?;
         if let Some(e) = source.error.into_inner() {
@@ -296,6 +335,33 @@ mod tests {
             out_smart.relation.sorted().rows().len()
         );
         assert!(out_smart.counters.light_connections <= out_naive.counters.light_connections);
+    }
+
+    #[test]
+    fn shared_cache_is_warmed_and_invalidated_without_extra_traffic() {
+        let (u, mut store, stats, catalog) = setup();
+        let cache = SharedPageCache::default();
+        let victim = u.course_ids()[0];
+        {
+            let session = MatSession::new(&u.site.scheme, &catalog, &stats, &u.site.server)
+                .with_shared_cache(&cache);
+            let out = session.run(&mut store, &grad_query()).unwrap();
+            // Traffic is exactly what the plain session pays: the cache is
+            // write-through only, never consulted instead of the URL check.
+            assert_eq!(out.counters.downloads, 0);
+            assert_eq!(u.site.server.stats().gets, 0);
+            assert_eq!(u.site.server.stats().heads, out.counters.light_connections);
+            // ...but every URL-checked tuple was written through.
+            assert!(!cache.is_empty());
+            assert!(cache.get(&University::course_url(victim)).is_some());
+        }
+        // Delete the page server-side only (a dangling link, the case
+        // URL-check exists to detect): answering again evicts it.
+        u.site.server.remove(&University::course_url(victim));
+        let session = MatSession::new(&u.site.scheme, &catalog, &stats, &u.site.server)
+            .with_shared_cache(&cache);
+        session.run(&mut store, &grad_query()).unwrap();
+        assert!(cache.get(&University::course_url(victim)).is_none());
     }
 
     #[test]

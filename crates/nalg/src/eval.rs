@@ -7,9 +7,25 @@
 //! fetched by two operators is downloaded once — the report exposes both
 //! the per-operator distinct-link counts (the paper's 𝒞) and the actual
 //! number of downloads.
+//!
+//! Two engine features sit on top of the paper's model, both strictly
+//! accounted so the paper numbers stay reproducible:
+//!
+//! * **Pipelined concurrent fetch** ([`Evaluator::with_concurrent_fetch`]):
+//!   a persistent worker pool is spawned once per evaluation and serves
+//!   every `follow` in the plan; distinct links stream into the pool and
+//!   wrapped tuples are consumed as they arrive, overlapping network
+//!   latency with wrapping and row assembly. Results and all access
+//!   counts are identical to sequential evaluation.
+//! * **Shared cross-query cache** ([`Evaluator::with_shared_cache`]): hits
+//!   against a [`SharedPageCache`] avoid the network entirely and are
+//!   reported separately (`shared_cache_hits`), never as `page_accesses`,
+//!   so cost-model comparisons are unaffected.
 
+use crate::cache::SharedPageCache;
 use crate::error::EvalError;
 use crate::expr::{field_of_column, NalgExpr, Pred};
+use crate::fetch::FetchPool;
 use crate::Result;
 use adm::{Relation, Tuple, Url, Value, WebScheme};
 use std::collections::HashMap;
@@ -40,6 +56,18 @@ pub trait PageSource {
     /// Fetches and wraps the page at `url`, expected to be an instance of
     /// page-scheme `scheme`.
     fn fetch(&self, url: &Url, scheme: &str) -> std::result::Result<Tuple, SourceError>;
+
+    /// Like [`PageSource::fetch`], additionally reporting the server's
+    /// Last-Modified stamp when the source knows it (used to stamp shared
+    /// cache entries so URL-check protocols can invalidate stale copies).
+    /// The default reports no stamp.
+    fn fetch_stamped(
+        &self,
+        url: &Url,
+        scheme: &str,
+    ) -> std::result::Result<(Tuple, Option<u64>), SourceError> {
+        self.fetch(url, scheme).map(|t| (t, None))
+    }
 }
 
 /// The result of evaluating an expression.
@@ -51,6 +79,10 @@ pub struct EvalReport {
     pub page_accesses: u64,
     /// Fetches answered by the per-query cache.
     pub cache_hits: u64,
+    /// Fetches answered by the shared cross-query cache (zero unless the
+    /// evaluator was built [`Evaluator::with_shared_cache`]). These are
+    /// *not* page accesses: no connection was opened.
+    pub shared_cache_hits: u64,
     /// Links that pointed to missing pages (skipped).
     pub broken_links: u64,
     /// Per-operator distinct-link counts — the quantity the paper's cost
@@ -72,51 +104,27 @@ pub struct Evaluator<'a, S: PageSource> {
     ws: &'a WebScheme,
     source: &'a S,
     cache_enabled: bool,
-    batch_fetch: BatchFetch<S>,
     fetch_workers: usize,
+    shared: Option<&'a SharedPageCache>,
+    /// Set by [`Evaluator::with_concurrent_fetch`]: a monomorphized entry
+    /// point that spawns the worker pool (requires `S: Sync`, which this
+    /// fn pointer captures without constraining the whole type).
+    pooled_run: Option<PooledRun<'a, S>>,
 }
 
-/// A batch page fetcher: one outcome per request, in request order.
-type BatchFetch<S> =
-    fn(&S, &[(Url, String)], usize) -> Vec<std::result::Result<Tuple, SourceError>>;
+type PooledRun<'a, S> = fn(&Evaluator<'a, S>, &NalgExpr) -> Result<EvalReport>;
 
-fn sequential_batch<S: PageSource>(
-    source: &S,
-    reqs: &[(Url, String)],
-    _workers: usize,
-) -> Vec<std::result::Result<Tuple, SourceError>> {
-    reqs.iter().map(|(u, sch)| source.fetch(u, sch)).collect()
-}
-
-/// Fetches a batch with scoped threads — the network-latency-hiding
-/// concurrency real engines use; requires a thread-safe source.
-fn parallel_batch<S: PageSource + Sync>(
-    source: &S,
-    reqs: &[(Url, String)],
-    workers: usize,
-) -> Vec<std::result::Result<Tuple, SourceError>> {
-    let workers = workers.max(1).min(reqs.len().max(1));
-    let chunk = reqs.len().div_ceil(workers);
-    if chunk == 0 {
-        return Vec::new();
-    }
-    let mut results: Vec<Vec<std::result::Result<Tuple, SourceError>>> = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = reqs
-            .chunks(chunk)
-            .map(|part| scope.spawn(move || sequential_batch(source, part, 1)))
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("fetch worker does not panic"));
-        }
-    });
-    results.into_iter().flatten().collect()
+fn run_pooled<S: PageSource + Sync>(ev: &Evaluator<'_, S>, expr: &NalgExpr) -> Result<EvalReport> {
+    crate::fetch::with_pool(ev.source, ev.fetch_workers, |pool| {
+        ev.eval_with(expr, Some(pool))
+    })
 }
 
 struct Ctx {
     cache: HashMap<Url, Tuple>,
     page_accesses: u64,
     cache_hits: u64,
+    shared_hits: u64,
     broken_links: u64,
     per_op: Vec<(String, u64)>,
 }
@@ -129,8 +137,9 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
             ws,
             source,
             cache_enabled: true,
-            batch_fetch: sequential_batch::<S>,
             fetch_workers: 1,
+            shared: None,
+            pooled_run: None,
         }
     }
 
@@ -142,15 +151,26 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
     }
 
     /// Fetches the distinct links of each navigation with `workers`
-    /// concurrent connections (real engines hide network latency this
-    /// way; page-access *counts* are unchanged). Requires a thread-safe
-    /// page source.
+    /// persistent worker threads (spawned once per evaluation, shared by
+    /// every `follow` in the plan). Links stream into the pool and
+    /// completions are consumed as they arrive, hiding network latency;
+    /// page-access *counts* and the result relation are unchanged.
+    /// Requires a thread-safe page source.
     pub fn with_concurrent_fetch(mut self, workers: usize) -> Self
     where
         S: Sync,
     {
-        self.batch_fetch = parallel_batch::<S>;
         self.fetch_workers = workers.max(1);
+        self.pooled_run = Some(run_pooled::<S>);
+        self
+    }
+
+    /// Consults (and feeds) a shared cross-query page cache. Hits count as
+    /// `shared_cache_hits`, never as `page_accesses`, so every paper
+    /// experiment still reproduces its numbers by simply not attaching a
+    /// shared cache.
+    pub fn with_shared_cache(mut self, cache: &'a SharedPageCache) -> Self {
+        self.shared = Some(cache);
         self
     }
 
@@ -161,18 +181,27 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                 "leaves must be entry points: {expr}"
             )));
         }
+        match self.pooled_run {
+            Some(run) => run(self, expr),
+            None => self.eval_with(expr, None),
+        }
+    }
+
+    fn eval_with(&self, expr: &NalgExpr, pool: Option<&FetchPool>) -> Result<EvalReport> {
         let mut ctx = Ctx {
             cache: HashMap::new(),
             page_accesses: 0,
             cache_hits: 0,
+            shared_hits: 0,
             broken_links: 0,
             per_op: Vec::new(),
         };
-        let relation = self.eval_expr(expr, &mut ctx)?;
+        let relation = self.eval_expr(expr, &mut ctx, pool)?;
         Ok(EvalReport {
             relation,
             page_accesses: ctx.page_accesses,
             cache_hits: ctx.cache_hits,
+            shared_cache_hits: ctx.shared_hits,
             broken_links: ctx.broken_links,
             accesses_by_operator: ctx.per_op,
         })
@@ -185,11 +214,23 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                 return Ok(Some(t.clone()));
             }
         }
-        match self.source.fetch(url, scheme) {
-            Ok(t) => {
+        if let Some(shared) = self.shared {
+            if let Some(t) = shared.get(url) {
+                ctx.shared_hits += 1;
+                if self.cache_enabled {
+                    ctx.cache.insert(url.clone(), t.clone());
+                }
+                return Ok(Some(t));
+            }
+        }
+        match self.source.fetch_stamped(url, scheme) {
+            Ok((t, lm)) => {
                 ctx.page_accesses += 1;
                 if self.cache_enabled {
                     ctx.cache.insert(url.clone(), t.clone());
+                }
+                if let Some(shared) = self.shared {
+                    shared.insert(url, &t, lm);
                 }
                 Ok(Some(t))
             }
@@ -219,7 +260,12 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
         Ok((cols, vals))
     }
 
-    fn eval_expr(&self, expr: &NalgExpr, ctx: &mut Ctx) -> Result<Relation> {
+    fn eval_expr(
+        &self,
+        expr: &NalgExpr,
+        ctx: &mut Ctx,
+        pool: Option<&FetchPool>,
+    ) -> Result<Relation> {
         match expr {
             NalgExpr::External { name } => Err(EvalError::NotComputable(format!(
                 "external relation {name}"
@@ -239,23 +285,23 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                 Ok(r)
             }
             NalgExpr::Select { input, pred } => {
-                let rel = self.eval_expr(input, ctx)?;
+                let rel = self.eval_expr(input, ctx, pool)?;
                 apply_pred(&rel, pred)
             }
             NalgExpr::Project { input, cols } => {
-                let rel = self.eval_expr(input, ctx)?;
+                let rel = self.eval_expr(input, ctx, pool)?;
                 let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
                 Ok(rel.project(&refs)?)
             }
             NalgExpr::Join { left, right, on } => {
-                let l = self.eval_expr(left, ctx)?;
-                let r = self.eval_expr(right, ctx)?;
+                let l = self.eval_expr(left, ctx, pool)?;
+                let r = self.eval_expr(right, ctx, pool)?;
                 let pairs: Vec<(&str, &str)> =
                     on.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
                 Ok(l.join(&r, &pairs)?)
             }
             NalgExpr::Unnest { input, attr } => {
-                let rel = self.eval_expr(input, ctx)?;
+                let rel = self.eval_expr(input, ctx, pool)?;
                 let idx = rel.resolve(attr)?;
                 let qualified = rel.columns()[idx].clone();
                 let aliases = expr.alias_map()?;
@@ -281,7 +327,7 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                 target,
                 alias,
             } => {
-                let rel = self.eval_expr(input, ctx)?;
+                let rel = self.eval_expr(input, ctx, pool)?;
                 let li = rel.resolve(link)?;
                 // Distinct non-null link values, in first-appearance order.
                 let mut seen: HashMap<Url, Option<Vec<Value>>> = HashMap::new();
@@ -296,41 +342,82 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                 }
                 ctx.per_op
                     .push((format!("–{link}→ {target}"), order.len() as u64));
-                // serve cache hits, then fetch the misses as one batch
-                // (possibly concurrently)
-                let mut fetched: Vec<(Url, Tuple)> = Vec::new();
-                let mut misses: Vec<(Url, String)> = Vec::new();
+                // Serve per-query cache hits, then shared-cache hits, and
+                // only then touch the network for the remaining misses.
+                let mut target_cols: Option<Vec<String>> = None;
+                let mut misses: Vec<Url> = Vec::new();
                 for u in &order {
                     if self.cache_enabled {
-                        if let Some(t) = ctx.cache.get(u) {
+                        if let Some(t) = ctx.cache.get(u).cloned() {
                             ctx.cache_hits += 1;
-                            fetched.push((u.clone(), t.clone()));
+                            let (cols, vals) = self.expand_page(alias, target, u, &t)?;
+                            target_cols.get_or_insert(cols);
+                            seen.insert(u.clone(), Some(vals));
                             continue;
                         }
                     }
-                    misses.push((u.clone(), target.clone()));
+                    if let Some(shared) = self.shared {
+                        if let Some(t) = shared.get(u) {
+                            ctx.shared_hits += 1;
+                            if self.cache_enabled {
+                                ctx.cache.insert(u.clone(), t.clone());
+                            }
+                            let (cols, vals) = self.expand_page(alias, target, u, &t)?;
+                            target_cols.get_or_insert(cols);
+                            seen.insert(u.clone(), Some(vals));
+                            continue;
+                        }
+                    }
+                    misses.push(u.clone());
                 }
-                let outcomes = (self.batch_fetch)(self.source, &misses, self.fetch_workers);
-                for ((u, _), outcome) in misses.into_iter().zip(outcomes) {
+                // A completed fetch lands in `seen` (keyed by URL), so
+                // completion order cannot affect the result.
+                let complete = |ctx: &mut Ctx,
+                                seen: &mut HashMap<Url, Option<Vec<Value>>>,
+                                target_cols: &mut Option<Vec<String>>,
+                                u: Url,
+                                outcome: std::result::Result<(Tuple, Option<u64>), SourceError>|
+                 -> Result<()> {
                     match outcome {
-                        Ok(t) => {
+                        Ok((t, lm)) => {
                             ctx.page_accesses += 1;
                             if self.cache_enabled {
                                 ctx.cache.insert(u.clone(), t.clone());
                             }
-                            fetched.push((u, t));
+                            if let Some(shared) = self.shared {
+                                shared.insert(&u, &t, lm);
+                            }
+                            let (cols, vals) = self.expand_page(alias, target, &u, &t)?;
+                            target_cols.get_or_insert(cols);
+                            seen.insert(u, Some(vals));
+                            Ok(())
                         }
-                        Err(SourceError::NotFound(_)) => ctx.broken_links += 1,
-                        Err(SourceError::Other(m)) => return Err(EvalError::Source(m)),
+                        Err(SourceError::NotFound(_)) => {
+                            ctx.broken_links += 1;
+                            Ok(())
+                        }
+                        Err(SourceError::Other(m)) => Err(EvalError::Source(m)),
                     }
-                }
-                let mut target_cols: Option<Vec<String>> = None;
-                for (u, t) in &fetched {
-                    let (cols, vals) = self.expand_page(alias, target, u, t)?;
-                    if target_cols.is_none() {
-                        target_cols = Some(cols);
+                };
+                match pool {
+                    // Pipelined: stream every miss into the pool up front,
+                    // then wrap and record completions as they arrive —
+                    // CPU work overlaps the fetches still in flight.
+                    Some(pool) => {
+                        for u in &misses {
+                            pool.submit(u.clone(), target.clone());
+                        }
+                        for _ in 0..misses.len() {
+                            let done = pool.recv();
+                            complete(ctx, &mut seen, &mut target_cols, done.url, done.outcome)?;
+                        }
                     }
-                    seen.insert(u.clone(), Some(vals));
+                    None => {
+                        for u in misses {
+                            let outcome = self.source.fetch_stamped(&u, target);
+                            complete(ctx, &mut seen, &mut target_cols, u, outcome)?;
+                        }
+                    }
                 }
                 let target_cols = match target_cols {
                     Some(c) => c,
@@ -612,6 +699,52 @@ mod tests {
             .unwrap();
         assert_eq!(report.relation.len(), 2);
         assert_eq!(report.broken_links, 1);
+    }
+
+    #[test]
+    fn shared_cache_serves_second_query_without_accesses() {
+        let ws = scheme();
+        let src = source();
+        let shared = crate::cache::SharedPageCache::default();
+        let cold = Evaluator::new(&ws, &src)
+            .with_shared_cache(&shared)
+            .eval(&nav())
+            .unwrap();
+        assert_eq!(cold.page_accesses, 4);
+        assert_eq!(cold.shared_cache_hits, 0);
+        let warm = Evaluator::new(&ws, &src)
+            .with_shared_cache(&shared)
+            .eval(&nav())
+            .unwrap();
+        assert_eq!(warm.page_accesses, 0);
+        assert_eq!(warm.shared_cache_hits, 4);
+        assert_eq!(warm.relation.sorted(), cold.relation.sorted());
+        // The paper's cost measure is unaffected by the shared cache.
+        assert_eq!(warm.cost_model_accesses(), cold.cost_model_accesses());
+    }
+
+    #[test]
+    fn shared_cache_with_concurrent_fetch_equals_sequential() {
+        let ws = scheme();
+        let src = source();
+        let baseline = Evaluator::new(&ws, &src).eval(&nav()).unwrap();
+        let shared = crate::cache::SharedPageCache::default();
+        let cold = Evaluator::new(&ws, &src)
+            .with_shared_cache(&shared)
+            .with_concurrent_fetch(8)
+            .eval(&nav())
+            .unwrap();
+        assert_eq!(cold.relation.sorted(), baseline.relation.sorted());
+        assert_eq!(cold.page_accesses, baseline.page_accesses);
+        let warm = Evaluator::new(&ws, &src)
+            .with_shared_cache(&shared)
+            .with_concurrent_fetch(8)
+            .eval(&nav())
+            .unwrap();
+        assert_eq!(warm.relation.sorted(), baseline.relation.sorted());
+        assert_eq!(warm.page_accesses, 0);
+        assert_eq!(warm.shared_cache_hits, 4);
+        assert_eq!(warm.accesses_by_operator, baseline.accesses_by_operator);
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Persistent fetch worker pool.
+//!
+//! Replaces per-batch scoped threads: the pool's workers are spawned
+//! **once per evaluation** and serve every `follow` operator in the plan
+//! through a pair of MPMC channels. The evaluator streams distinct links
+//! into the job channel and consumes wrapped tuples as they complete, so
+//! CPU-side work (wrapping, row assembly) overlaps network latency instead
+//! of waiting on a per-batch barrier.
+//!
+//! Completions arrive out of order; the evaluator's `follow` assembly is
+//! keyed by URL, so results are independent of completion order.
+
+use crate::eval::{PageSource, SourceError};
+use adm::{Tuple, Url};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// A fetch request: the URL and the page-scheme it is expected to match.
+#[derive(Debug)]
+struct Job {
+    url: Url,
+    scheme: String,
+}
+
+/// A completed fetch: the wrapped tuple plus the source's Last-Modified
+/// stamp when known.
+pub(crate) struct Done {
+    pub url: Url,
+    pub outcome: Result<(Tuple, Option<u64>), SourceError>,
+}
+
+/// Handle to a running pool. Only valid inside [`with_pool`]'s closure;
+/// dropping it closes the job channel, which is what terminates workers.
+pub struct FetchPool {
+    job_tx: Sender<Job>,
+    done_rx: Receiver<Done>,
+}
+
+impl FetchPool {
+    /// Enqueues a fetch; some worker will pick it up.
+    pub(crate) fn submit(&self, url: Url, scheme: String) {
+        self.job_tx
+            .send(Job { url, scheme })
+            .expect("fetch workers outlive the evaluation");
+    }
+
+    /// Blocks for the next completion, in arrival (not submission) order.
+    pub(crate) fn recv(&self) -> Done {
+        self.done_rx
+            .recv()
+            .expect("a completion arrives for every submitted job")
+    }
+}
+
+/// Runs `f` with a pool of `workers` threads fetching from `source`.
+/// Workers live for the whole call — every `follow` in the evaluated plan
+/// shares them — and exit when the pool handle is dropped.
+pub(crate) fn with_pool<S, R>(source: &S, workers: usize, f: impl FnOnce(&FetchPool) -> R) -> R
+where
+    S: PageSource + Sync,
+{
+    let workers = workers.max(1);
+    let (job_tx, job_rx) = unbounded::<Job>();
+    let (done_tx, done_rx) = unbounded::<Done>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let done_tx = done_tx.clone();
+            scope.spawn(move || {
+                while let Ok(job) = job_rx.recv() {
+                    let outcome = source.fetch_stamped(&job.url, &job.scheme);
+                    if done_tx
+                        .send(Done {
+                            url: job.url,
+                            outcome,
+                        })
+                        .is_err()
+                    {
+                        // Evaluation aborted early (e.g. a source error):
+                        // nobody is listening any more.
+                        break;
+                    }
+                }
+            });
+        }
+        // The pool handle owns the only remaining sender/receiver ends.
+        drop(job_rx);
+        drop(done_tx);
+        let pool = FetchPool { job_tx, done_rx };
+        let result = f(&pool);
+        drop(pool); // closes the job channel; workers drain and exit
+        result
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct CountingSource(AtomicUsize);
+
+    impl PageSource for CountingSource {
+        fn fetch(&self, url: &Url, _scheme: &str) -> Result<Tuple, SourceError> {
+            self.0.fetch_add(1, Ordering::SeqCst);
+            if url.as_str().ends_with("missing") {
+                Err(SourceError::NotFound(url.clone()))
+            } else {
+                Ok(Tuple::new().with("Path", url.as_str()))
+            }
+        }
+    }
+
+    #[test]
+    fn pool_serves_multiple_batches_with_same_workers() {
+        let src = CountingSource(AtomicUsize::new(0));
+        let total = with_pool(&src, 4, |pool| {
+            let mut done = 0;
+            for batch in 0..3 {
+                for i in 0..10 {
+                    pool.submit(Url::new(format!("/b{batch}/{i}")), "P".into());
+                }
+                for _ in 0..10 {
+                    let d = pool.recv();
+                    assert!(d.outcome.is_ok());
+                    done += 1;
+                }
+            }
+            done
+        });
+        assert_eq!(total, 30);
+        assert_eq!(src.0.load(Ordering::SeqCst), 30);
+    }
+
+    #[test]
+    fn completions_report_not_found() {
+        let src = CountingSource(AtomicUsize::new(0));
+        with_pool(&src, 2, |pool| {
+            pool.submit(Url::new("/ok"), "P".into());
+            pool.submit(Url::new("/missing"), "P".into());
+            let outcomes: Vec<_> = (0..2).map(|_| pool.recv().outcome).collect();
+            assert_eq!(outcomes.iter().filter(|o| o.is_ok()).count(), 1);
+            assert!(outcomes
+                .iter()
+                .any(|o| matches!(o, Err(SourceError::NotFound(_)))));
+        });
+    }
+
+    #[test]
+    fn early_exit_leaves_no_hung_workers() {
+        let src = CountingSource(AtomicUsize::new(0));
+        // Submit work but consume only part of it; dropping the pool must
+        // still terminate the workers (scope join would hang otherwise).
+        with_pool(&src, 3, |pool| {
+            for i in 0..20 {
+                pool.submit(Url::new(format!("/{i}")), "P".into());
+            }
+            pool.recv();
+        });
+    }
+}

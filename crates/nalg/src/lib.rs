@@ -36,11 +36,14 @@
 //! assert!(expr.is_computable());
 //! ```
 
+pub mod cache;
 pub mod display;
 pub mod error;
 pub mod eval;
 pub mod expr;
+mod fetch;
 
+pub use cache::{CacheStats, SharedPageCache};
 pub use error::EvalError;
 pub use eval::{EvalReport, Evaluator, PageSource, SourceError};
 pub use expr::{NalgExpr, Pred};

@@ -50,8 +50,12 @@ fn render_value(field: &Field, value: &Value) -> Option<Node> {
             // Real sites mix markup styles; lists render as <ul> or as
             // <table>, chosen deterministically per attribute name. The
             // wrapper keys on the adm-list/adm-row classes, not the tags.
-            let tabular = field.name.len() % 2 == 0;
-            let (list_tag, row_tag) = if tabular { ("table", "tr") } else { ("ul", "li") };
+            let tabular = field.name.len().is_multiple_of(2);
+            let (list_tag, row_tag) = if tabular {
+                ("table", "tr")
+            } else {
+                ("ul", "li")
+            };
             let mut list = el(list_tag)
                 .attr("class", "adm-list")
                 .attr("data-attr", &field.name);
@@ -191,11 +195,8 @@ mod tests {
         // name renders as <ul>. Both carry the same extraction markers.
         let html = render_page(&prof_scheme(), &prof_tuple(), "Prof");
         assert!(html.contains("<table class=\"adm-list\" data-attr=\"CourseList\">"));
-        let odd = PageScheme::new(
-            "P",
-            vec![Field::list("Entries", vec![Field::text("X")])],
-        )
-        .unwrap();
+        let odd =
+            PageScheme::new("P", vec![Field::list("Entries", vec![Field::text("X")])]).unwrap();
         let t = Tuple::new().with_list("Entries", vec![Tuple::new().with("X", "1")]);
         let html = render_page(&odd, &t, "P");
         assert!(html.contains("<ul class=\"adm-list\" data-attr=\"Entries\">"));

@@ -87,6 +87,10 @@ pub struct VirtualServer {
     gets_by_scheme: RwLock<HashMap<String, u64>>,
     /// Simulated network latency per request, in microseconds (0 = off).
     latency_us: AtomicU64,
+    /// Simulated transfer rate for GET bodies, bytes/second (0 = infinite).
+    /// HEADs exchange no body and pay only the latency — the asymmetry that
+    /// makes light connections "light".
+    bandwidth_bps: AtomicU64,
 }
 
 impl VirtualServer {
@@ -120,6 +124,22 @@ impl VirtualServer {
         }
     }
 
+    /// Sets a simulated transfer rate for GET bodies in bytes per second
+    /// (0 = infinite). Downloading an `n`-byte page then takes latency +
+    /// `n / rate`; HEADs stay latency-only.
+    pub fn set_bandwidth(&self, bytes_per_sec: u64) {
+        self.bandwidth_bps.store(bytes_per_sec, Ordering::Relaxed);
+    }
+
+    fn simulate_transfer(&self, bytes: usize) {
+        let bps = self.bandwidth_bps.load(Ordering::Relaxed);
+        // checked_div: bps == 0 means throttling is off
+        match (bytes as u64).saturating_mul(1_000_000).checked_div(bps) {
+            Some(us) if us > 0 => std::thread::sleep(Duration::from_micros(us)),
+            _ => {}
+        }
+    }
+
     /// Publishes (or replaces) a page; stamps it with the *current* clock.
     pub fn put(&self, url: Url, scheme: impl Into<String>, body: impl Into<Bytes>) {
         let page = StoredPage {
@@ -149,6 +169,7 @@ impl VirtualServer {
         let pages = self.pages.read();
         match pages.get(url) {
             Some(p) => {
+                self.simulate_transfer(p.body.len());
                 self.gets.fetch_add(1, Ordering::Relaxed);
                 self.bytes.fetch_add(p.body.len() as u64, Ordering::Relaxed);
                 *self
@@ -344,6 +365,22 @@ mod tests {
         let t0 = std::time::Instant::now();
         s.get(&Url::new("/a.html")).unwrap();
         assert!(t0.elapsed() < Duration::from_millis(5));
+    }
+
+    #[test]
+    fn bandwidth_throttles_gets_not_heads() {
+        let s = server_with_page(); // 14-byte body
+        s.set_bandwidth(1_000); // 1 KB/s → 14 ms per GET
+        let t0 = std::time::Instant::now();
+        s.get(&Url::new("/a.html")).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(14));
+        let t0 = std::time::Instant::now();
+        s.head(&Url::new("/a.html")).unwrap();
+        assert!(t0.elapsed() < Duration::from_millis(14));
+        s.set_bandwidth(0);
+        let t0 = std::time::Instant::now();
+        s.get(&Url::new("/a.html")).unwrap();
+        assert!(t0.elapsed() < Duration::from_millis(14));
     }
 
     #[test]
