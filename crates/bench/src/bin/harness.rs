@@ -114,6 +114,14 @@ fn main() {
     if want("x2") {
         emit("x2", vec![], &x2_shared_cache);
     }
+    if want("x3") {
+        let rates = [0u8, 20, 40, 60];
+        emit(
+            "x3",
+            vec![("transient_rate_pct", format!("{rates:?}"))],
+            &|| x3_chaos(&rates),
+        );
+    }
     if args.iter().any(|a| a.eq_ignore_ascii_case("dot")) {
         println!("{}", dot_figures());
     }

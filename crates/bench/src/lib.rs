@@ -572,6 +572,81 @@ pub fn x2_shared_cache() -> Table {
     t
 }
 
+/// X3 (extension) — chaos resilience: the X1 course navigation against a
+/// server injecting transient faults at increasing per-attempt rates,
+/// evaluated through a retrying [`resilience::ResilientSource`]. The
+/// paper's accounting (`page accesses`, result rows, server GETs) must be
+/// byte-identical at every transient rate — retries live in counters of
+/// their own, never added to page accesses. A final row rots a quarter of
+/// the course pages permanently and answers in
+/// [`nalg::DegradationMode::Partial`], reporting the unreachable set.
+pub fn x3_chaos(rates_pct: &[u8]) -> Table {
+    use resilience::{ResilientSource, RetryPolicy};
+    let mut t = Table::new(
+        "X3 — chaos resilience: course navigation under injected faults, retries counted separately",
+        vec![
+            "fault plan",
+            "page accesses",
+            "rows",
+            "server GETs",
+            "injected faults",
+            "retries",
+            "breaker trips",
+            "unreachable",
+        ],
+    );
+    let u = University::generate(UniversityConfig::default()).expect("site");
+    let source = LiveSource::for_site(&u.site);
+    let plan = nalg::NalgExpr::entry("SessionListPage")
+        .unnest("SesList")
+        .follow("ToSes", "SessionPage")
+        .unnest("SessionPage.CourseList")
+        .follow("SessionPage.CourseList.ToCourse", "CoursePage")
+        .project(vec!["CoursePage.CName", "CoursePage.Type"]);
+    let mut run = |label: String, fault_plan: websim::FaultPlan| {
+        u.site.server.set_fault_plan(fault_plan);
+        u.site.server.reset_stats();
+        let resilient = ResilientSource::new(&source, RetryPolicy::new(4));
+        let report = Evaluator::new(&u.site.scheme, &resilient)
+            .with_degradation(nalg::DegradationMode::Partial)
+            .eval(&plan)
+            .expect("plan evaluates");
+        let stats = u.site.server.stats();
+        let faults = stats.faults.unavailable
+            + stats.faults.timeout
+            + stats.faults.link_rot
+            + stats.faults.slow
+            + stats.faults.truncated;
+        let res = resilient.stats();
+        t.row(vec![
+            label,
+            report.page_accesses.to_string(),
+            report.relation.len().to_string(),
+            stats.gets.to_string(),
+            faults.to_string(),
+            res.retries.to_string(),
+            res.breaker_trips.to_string(),
+            report.unreachable.len().to_string(),
+        ]);
+    };
+    for &rate in rates_pct {
+        let r = f64::from(rate) / 100.0;
+        run(
+            format!("transient {rate}%"),
+            websim::FaultPlan::new(0xC4A05 + u64::from(rate))
+                .with_rule(websim::FaultRule::unavailable(r).with_max_per_url(Some(2)))
+                .with_rule(websim::FaultRule::timeouts(r).with_max_per_url(Some(1))),
+        );
+    }
+    run(
+        "link rot 25% (partial)".to_string(),
+        websim::FaultPlan::new(0xC4A05)
+            .with_rule(websim::FaultRule::link_rot(0.25).for_scheme("CoursePage")),
+    );
+    u.site.server.clear_fault_plan();
+    t
+}
+
 /// Graphviz sources for Figure 1 (both schemes) and the Figure 3/4 plans
 /// (`harness dot`; pipe into `dot -Tsvg`).
 pub fn dot_figures() -> String {
@@ -675,6 +750,39 @@ mod tests {
             "concurrency must not change counts"
         );
         assert!(t.rows.iter().all(|r| r[4] == "identical"));
+    }
+
+    #[test]
+    fn x3_transient_chaos_keeps_paper_accounting_identical() {
+        let t = x3_chaos(&[0, 30, 60]);
+        assert_eq!(t.rows.len(), 4, "three transient rows + the rot row");
+        // zero-fault row: nothing injected, nothing retried
+        assert_eq!(t.rows[0][4], "0");
+        assert_eq!(t.rows[0][5], "0");
+        for i in 0..3 {
+            // page accesses, result rows, and server GETs are identical at
+            // every transient rate — the chaos shows up only in the fault
+            // and retry columns
+            assert_eq!(t.rows[i][1], t.rows[0][1], "page accesses, row {i}");
+            assert_eq!(t.rows[i][2], t.rows[0][2], "result rows, row {i}");
+            assert_eq!(t.rows[i][3], t.rows[0][3], "server GETs, row {i}");
+            assert_eq!(t.rows[i][7], "0", "no transient fault loses a page");
+            // every injected transient fault is exactly one retry
+            assert_eq!(t.rows[i][4], t.rows[i][5], "faults == retries, row {i}");
+        }
+        assert_ne!(t.rows[2][4], "0", "the 60% plan actually fired");
+    }
+
+    #[test]
+    fn x3_link_rot_reports_the_unreachable_remainder() {
+        let t = x3_chaos(&[0]);
+        let baseline_rows: u64 = t.rows[0][2].parse().unwrap();
+        let rot = &t.rows[1];
+        let rows: u64 = rot[2].parse().unwrap();
+        let unreachable: u64 = rot[7].parse().unwrap();
+        assert!(unreachable > 0, "a quarter of the courses rot");
+        assert_eq!(rows + unreachable, baseline_rows, "subset + missing set");
+        assert_eq!(rot[5], "0", "permanent absences are never retried");
     }
 
     #[test]

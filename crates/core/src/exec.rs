@@ -12,7 +12,7 @@ use crate::stats::SiteStatistics;
 use crate::views::ViewCatalog;
 use crate::Result;
 use adm::WebScheme;
-use nalg::{EvalReport, Evaluator, PageSource, SharedPageCache};
+use nalg::{DegradationMode, EvalReport, Evaluator, PageSource, SharedPageCache};
 
 /// The outcome of an executed query.
 #[derive(Debug, Clone)]
@@ -50,6 +50,7 @@ pub struct QuerySession<'a, S: PageSource> {
     mask: RuleMask,
     use_incomplete: bool,
     shared_cache: Option<&'a SharedPageCache>,
+    degradation: DegradationMode,
     /// `(workers, enable)` — the fn pointer monomorphizes the `S: Sync`
     /// bound at builder time so the rest of the session stays available
     /// for non-`Sync` sources.
@@ -78,8 +79,17 @@ impl<'a, S: PageSource> QuerySession<'a, S> {
             mask: RuleMask::all(),
             use_incomplete: false,
             shared_cache: None,
+            degradation: DegradationMode::FailFast,
             concurrency: None,
         }
+    }
+
+    /// Sets what happens when a fetch ultimately fails during execution:
+    /// abort the query (`FailFast`, the default) or complete the plan over
+    /// reachable pages and report the unreachable-URL set (`Partial`).
+    pub fn with_degradation(mut self, mode: DegradationMode) -> Self {
+        self.degradation = mode;
+        self
     }
 
     /// Sets the rule mask (builder style).
@@ -115,7 +125,7 @@ impl<'a, S: PageSource> QuerySession<'a, S> {
     }
 
     fn evaluator(&self) -> Evaluator<'a, S> {
-        let mut ev = Evaluator::new(self.ws, self.source);
+        let mut ev = Evaluator::new(self.ws, self.source).with_degradation(self.degradation);
         if let Some(cache) = self.shared_cache {
             ev = ev.with_shared_cache(cache);
         }

@@ -43,16 +43,25 @@ impl PageSource for LiveSource<'_> {
     fn fetch_stamped(&self, url: &Url, scheme: &str) -> Result<(Tuple, Option<u64>), SourceError> {
         let resp = self.server.get(url).map_err(|e| match e {
             WebError::NotFound(u) => SourceError::NotFound(u),
+            WebError::Unavailable { url, status } => SourceError::Unavailable {
+                url,
+                reason: format!("http {status}"),
+            },
+            WebError::Timeout(u) => SourceError::Timeout(u),
             other => SourceError::Other(other.to_string()),
         })?;
         let ps = self
             .ws
             .scheme(scheme)
             .map_err(|e| SourceError::Other(e.to_string()))?;
-        let html = std::str::from_utf8(&resp.body)
-            .map_err(|e| SourceError::Other(format!("non-utf8 page body at {url}: {e}")))?;
-        let tuple = wrapper::wrap_page(ps, html)
-            .map_err(|e| SourceError::Other(format!("wrap {url}: {e}")))?;
+        let html = std::str::from_utf8(&resp.body).map_err(|e| SourceError::Malformed {
+            url: url.clone(),
+            reason: format!("non-utf8 page body: {e}"),
+        })?;
+        let tuple = wrapper::wrap_page(ps, html).map_err(|e| SourceError::Malformed {
+            url: url.clone(),
+            reason: e.to_string(),
+        })?;
         Ok((tuple, Some(resp.last_modified)))
     }
 }
@@ -169,6 +178,56 @@ mod tests {
             Err(SourceError::NotFound(_))
         ));
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn injected_faults_map_to_transient_source_errors() {
+        let u = University::generate(UniversityConfig {
+            departments: 2,
+            professors: 4,
+            courses: 6,
+            seed: 2,
+            ..UniversityConfig::default()
+        })
+        .unwrap();
+        let src = LiveSource::for_site(&u.site);
+        let url = University::prof_url(0);
+        u.site.server.set_fault_plan(
+            websim::FaultPlan::new(1)
+                .with_rule(websim::FaultRule::unavailable(1.0).with_max_per_url(None)),
+        );
+        let err = src.fetch(&url, "ProfPage").unwrap_err();
+        assert!(matches!(err, SourceError::Unavailable { .. }));
+        assert!(err.is_transient());
+        u.site.server.set_fault_plan(
+            websim::FaultPlan::new(1)
+                .with_rule(websim::FaultRule::timeouts(1.0).with_max_per_url(None)),
+        );
+        assert!(matches!(
+            src.fetch(&url, "ProfPage"),
+            Err(SourceError::Timeout(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_body_maps_to_malformed() {
+        let u = University::generate(UniversityConfig {
+            departments: 2,
+            professors: 4,
+            courses: 6,
+            seed: 2,
+            ..UniversityConfig::default()
+        })
+        .unwrap();
+        let src = LiveSource::for_site(&u.site);
+        let url = University::prof_url(0);
+        u.site.server.set_fault_plan(
+            websim::FaultPlan::new(1)
+                .with_rule(websim::FaultRule::truncation(1.0, 10).with_max_per_url(None)),
+        );
+        let err = src.fetch(&url, "ProfPage").unwrap_err();
+        assert!(matches!(err, SourceError::Malformed { .. }), "got: {err:?}");
+        assert!(!err.is_transient());
     }
 
     #[test]

@@ -15,6 +15,14 @@ pub enum MatError {
     Opt(String),
     /// A required entry-point page is gone from the site.
     EntryGone(adm::Url),
+    /// A page could not be reached (transient server failure) and no
+    /// usable stored copy exists.
+    Unreachable {
+        /// The URL that could not be fetched.
+        url: adm::Url,
+        /// Human-readable failure detail.
+        reason: String,
+    },
 }
 
 impl fmt::Display for MatError {
@@ -25,6 +33,9 @@ impl fmt::Display for MatError {
             MatError::Eval(e) => write!(f, "{e}"),
             MatError::Opt(m) => write!(f, "optimizer failure: {m}"),
             MatError::EntryGone(u) => write!(f, "entry point {u} no longer exists"),
+            MatError::Unreachable { url, reason } => {
+                write!(f, "unreachable page {url}: {reason}")
+            }
         }
     }
 }

@@ -13,7 +13,7 @@ use crate::store::{MatStore, UrlStatus};
 use crate::urlcheck::{url_check, CheckCounters};
 use crate::Result;
 use adm::{Relation, Tuple, Url, WebScheme};
-use nalg::{Evaluator, NalgExpr, PageSource, SharedPageCache, SourceError};
+use nalg::{DegradationMode, Evaluator, NalgExpr, PageSource, SharedPageCache, SourceError};
 use std::cell::RefCell;
 use wvcore::{ConjunctiveQuery, Explain, Optimizer, SiteStatistics, ViewCatalog};
 
@@ -28,13 +28,23 @@ pub struct MatOutcome {
     pub counters: CheckCounters,
     /// Links that turned out to point at deleted pages.
     pub broken_links: u64,
+    /// Pages skipped because they were unreachable (sorted, deduplicated;
+    /// non-empty only under [`DegradationMode::Partial`] with faults).
+    pub unreachable: Vec<Url>,
+}
+
+impl MatOutcome {
+    /// `true` when no page had to be skipped: the answer is complete.
+    pub fn is_complete(&self) -> bool {
+        self.unreachable.is_empty()
+    }
 }
 
 /// A page source that consults the materialized store, checking freshness
 /// through light connections (Algorithm 3's per-URL protocol).
-struct CheckingSource<'a> {
+struct CheckingSource<'a, P> {
     ws: &'a WebScheme,
-    server: &'a websim::VirtualServer,
+    server: &'a P,
     store: RefCell<&'a mut MatStore>,
     counters: RefCell<CheckCounters>,
     error: RefCell<Option<crate::MatError>>,
@@ -46,7 +56,7 @@ struct CheckingSource<'a> {
     shared: Option<&'a SharedPageCache>,
 }
 
-impl PageSource for CheckingSource<'_> {
+impl<P: websim::PageServer> PageSource for CheckingSource<'_, P> {
     fn fetch(&self, url: &Url, scheme: &str) -> std::result::Result<Tuple, SourceError> {
         let mut store = self.store.borrow_mut();
         // "URLs whose flag equals missing … will not be used in the query
@@ -80,6 +90,13 @@ impl PageSource for CheckingSource<'_> {
                 }
                 Err(SourceError::NotFound(url.clone()))
             }
+            Err(crate::MatError::Unreachable { url, reason }) => {
+                // A transient outage with no stored fallback: surface it as
+                // a transient source error (NOT via the error cell) so the
+                // evaluator's degradation mode decides — `Partial` skips the
+                // page and reports it, `FailFast` aborts the query.
+                Err(SourceError::Unavailable { url, reason })
+            }
             Err(e) => {
                 *self.error.borrow_mut() = Some(e.clone());
                 Err(SourceError::Other(e.to_string()))
@@ -89,22 +106,27 @@ impl PageSource for CheckingSource<'_> {
 }
 
 /// A query session over a materialized view of a site.
-pub struct MatSession<'a> {
+///
+/// Generic over the page server so the maintenance traffic can be routed
+/// through a resilience wrapper (retries, circuit breaking) instead of
+/// hitting the [`websim::VirtualServer`] directly.
+pub struct MatSession<'a, P = websim::VirtualServer> {
     ws: &'a WebScheme,
     catalog: &'a ViewCatalog,
     stats: &'a SiteStatistics,
-    server: &'a websim::VirtualServer,
+    server: &'a P,
     mask: wvcore::RuleMask,
     shared_cache: Option<&'a SharedPageCache>,
+    degradation: DegradationMode,
 }
 
-impl<'a> MatSession<'a> {
+impl<'a, P: websim::PageServer> MatSession<'a, P> {
     /// Creates a session.
     pub fn new(
         ws: &'a WebScheme,
         catalog: &'a ViewCatalog,
         stats: &'a SiteStatistics,
-        server: &'a websim::VirtualServer,
+        server: &'a P,
     ) -> Self {
         MatSession {
             ws,
@@ -113,12 +135,22 @@ impl<'a> MatSession<'a> {
             server,
             mask: wvcore::RuleMask::all(),
             shared_cache: None,
+            degradation: DegradationMode::FailFast,
         }
     }
 
     /// Sets the optimizer rule mask (builder style).
     pub fn with_mask(mut self, mask: wvcore::RuleMask) -> Self {
         self.mask = mask;
+        self
+    }
+
+    /// Sets the degradation mode for evaluation (builder style). In
+    /// [`DegradationMode::Partial`] a page that is transiently unreachable
+    /// *and* has no stored copy to serve stale is skipped and reported,
+    /// instead of aborting the query.
+    pub fn with_degradation(mut self, mode: DegradationMode) -> Self {
+        self.degradation = mode;
         self
     }
 
@@ -139,22 +171,24 @@ impl<'a> MatSession<'a> {
             .with_mask(self.mask)
             .optimize(q)?;
         let best = explain.best().expr.clone();
-        let (relation, counters, broken) = self.execute(store, &best)?;
+        let (relation, counters, broken, unreachable) = self.execute(store, &best)?;
         Ok(MatOutcome {
             explain,
             relation,
             counters,
             broken_links: broken,
+            unreachable,
         })
     }
 
     /// Evaluates one plan against the store with URL checking; returns the
-    /// answer, the maintenance counters, and the broken-link count.
+    /// answer, the maintenance counters, the broken-link count, and the
+    /// unreachable pages skipped (empty unless degradation is `Partial`).
     pub fn execute(
         &self,
         store: &mut MatStore,
         plan: &NalgExpr,
-    ) -> Result<(Relation, CheckCounters, u64)> {
+    ) -> Result<(Relation, CheckCounters, u64, Vec<Url>)> {
         store.reset_status();
         let source = CheckingSource {
             ws: self.ws,
@@ -164,7 +198,9 @@ impl<'a> MatSession<'a> {
             error: RefCell::new(None),
             shared: self.shared_cache,
         };
-        let report = Evaluator::new(self.ws, &source).eval(plan)?;
+        let report = Evaluator::new(self.ws, &source)
+            .with_degradation(self.degradation)
+            .eval(plan)?;
         if let Some(e) = source.error.into_inner() {
             return Err(e);
         }
@@ -172,6 +208,7 @@ impl<'a> MatSession<'a> {
             report.relation,
             source.counters.into_inner(),
             report.broken_links,
+            report.unreachable,
         ))
     }
 }
@@ -362,6 +399,77 @@ mod tests {
             .with_shared_cache(&cache);
         session.run(&mut store, &grad_query()).unwrap();
         assert!(cache.get(&University::course_url(victim)).is_none());
+    }
+
+    #[test]
+    fn transient_chaos_answers_from_stale_copies() {
+        let (u, mut store, stats, catalog) = setup();
+        // baseline answer on a clean site
+        let session = MatSession::new(&u.site.scheme, &catalog, &stats, &u.site.server);
+        let clean = session.run(&mut store, &grad_query()).unwrap();
+        store.reset_status();
+        // total outage: every light connection fails — but the store holds
+        // a copy of everything, so the view still answers (stale-served)
+        u.site.server.set_fault_plan(
+            websim::FaultPlan::new(4)
+                .with_rule(websim::FaultRule::unavailable(1.0).with_max_per_url(None)),
+        );
+        let out = session.run(&mut store, &grad_query()).unwrap();
+        assert_eq!(
+            out.relation.sorted().rows(),
+            clean.relation.sorted().rows(),
+            "the stored copies were fresh, so the stale answer is right"
+        );
+        assert!(out.counters.stale_served > 0);
+        assert_eq!(out.counters.downloads, 0);
+        assert!(store.stale_count() > 0, "served pages are flagged");
+        assert!(out.is_complete(), "nothing was skipped, only served stale");
+        assert_eq!(u.site.server.stats().gets, 0);
+    }
+
+    #[test]
+    fn unreachable_new_page_fails_fast_by_default_but_degrades_in_partial() {
+        let (mut u, mut store, stats, catalog) = setup();
+        let id = u.add_course(1, "Fall", "Graduate").unwrap();
+        let new_url = University::course_url(id);
+        // the brand-new page (never materialized) is behind an outage
+        u.site.server.set_fault_plan(
+            websim::FaultPlan::new(4).with_rule(
+                websim::FaultRule::timeouts(1.0)
+                    .for_url_prefix(new_url.as_str())
+                    .with_max_per_url(None),
+            ),
+        );
+        let strict = MatSession::new(&u.site.scheme, &catalog, &stats, &u.site.server);
+        assert!(
+            strict.run(&mut store, &grad_query()).is_err(),
+            "FailFast: an unreachable page with no stored copy aborts"
+        );
+        store.reset_status();
+        let lenient = MatSession::new(&u.site.scheme, &catalog, &stats, &u.site.server)
+            .with_degradation(DegradationMode::Partial);
+        let out = lenient.run(&mut store, &grad_query()).unwrap();
+        assert_eq!(out.unreachable, vec![new_url], "the exact skipped set");
+        assert!(!out.is_complete());
+        // every materialized course is still in the answer
+        let expected: std::collections::HashSet<String> = u
+            .expected_course()
+            .into_iter()
+            .filter(|(_, _, _, t)| t == "Graduate")
+            .map(|(c, _, _, _)| c)
+            .collect();
+        let got: std::collections::HashSet<String> = out
+            .relation
+            .rows()
+            .iter()
+            .map(|r| r[0].as_text().unwrap().to_string())
+            .collect();
+        assert_eq!(
+            got.len(),
+            expected.len() - 1,
+            "only the new course is missing"
+        );
+        assert!(got.is_subset(&expected));
     }
 
     #[test]

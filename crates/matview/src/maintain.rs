@@ -23,13 +23,19 @@ pub struct PurgeReport {
     pub confirmed_deleted: u64,
     /// Pages that turned out to still exist.
     pub still_alive: u64,
+    /// Checks that failed transiently: the page is retained and left on
+    /// the queue for the next sweep (a 503 is not a deletion).
+    pub inconclusive: u64,
 }
 
 /// Drains the `CheckMissing` queue, verifying each URL with a light
-/// connection and dropping confirmed-deleted pages from the store.
-pub fn purge_missing(store: &mut MatStore, server: &websim::VirtualServer) -> PurgeReport {
+/// connection and dropping confirmed-deleted pages from the store. Only a
+/// definite 404 deletes: a transient failure (timeout, 5xx) retains the
+/// page and re-queues the URL for the next sweep.
+pub fn purge_missing(store: &mut MatStore, server: &impl websim::PageServer) -> PurgeReport {
     let mut report = PurgeReport::default();
     let mut seen = std::collections::HashSet::new();
+    let mut requeue = Vec::new();
     while let Some(url) = store.check_missing.pop_front() {
         if !seen.insert(url.clone()) {
             continue;
@@ -37,27 +43,35 @@ pub fn purge_missing(store: &mut MatStore, server: &websim::VirtualServer) -> Pu
         report.checked += 1;
         match server.head(&url) {
             Ok(_) => report.still_alive += 1,
+            Err(e) if e.is_transient() => {
+                report.inconclusive += 1;
+                requeue.push(url);
+            }
             Err(_) => {
                 store.remove(&url);
                 report.confirmed_deleted += 1;
             }
         }
     }
+    store.check_missing.extend(requeue);
     report
 }
 
-/// Eager maintenance: re-crawls the whole site, replacing the store's
-/// contents. Returns the number of pages downloaded — the cost the lazy
-/// strategy avoids.
+/// Eager maintenance: re-crawls the whole site in place. Pages whose
+/// re-download fails survive as stale-but-retained (see
+/// [`MatStore::materialize_report`]); pages no longer reachable from any
+/// entry point are dropped. Returns the number of pages downloaded — the
+/// cost the lazy strategy avoids.
 pub fn full_refresh(
     store: &mut MatStore,
     ws: &WebScheme,
-    server: &websim::VirtualServer,
+    server: &impl websim::PageServer,
 ) -> Result<usize> {
-    let mut fresh = MatStore::new();
-    let downloaded = fresh.materialize(ws, server)?;
-    *store = fresh;
-    Ok(downloaded)
+    store.check_missing.clear(); // the crawl re-derives any suspicions
+    store.reset_status();
+    let report = store.materialize_report(ws, server)?;
+    store.retain_pages(&report.reached);
+    Ok(report.downloaded)
 }
 
 /// Compares the store against a generated site's ground truth. Returns one
@@ -162,5 +176,74 @@ mod tests {
         assert!(!diffs.is_empty());
         full_refresh(&mut store, &u.site.scheme, &u.site.server).unwrap();
         assert!(audit(&store, &u.site).is_empty());
+    }
+
+    #[test]
+    fn purge_is_inconclusive_under_transient_failures() {
+        let (u, mut store) = setup();
+        let url = University::course_url(1);
+        store.check_missing.push_back(url.clone());
+        u.site.server.set_fault_plan(
+            websim::FaultPlan::new(2)
+                .with_rule(websim::FaultRule::unavailable(1.0).with_max_per_url(None)),
+        );
+        let report = purge_missing(&mut store, &u.site.server);
+        assert_eq!(report.checked, 1);
+        assert_eq!(report.inconclusive, 1);
+        assert_eq!(report.confirmed_deleted, 0);
+        assert!(store.get(&url).is_some(), "a 503 must not delete the page");
+        assert_eq!(
+            store.check_missing.front(),
+            Some(&url),
+            "left queued for the next sweep"
+        );
+        // the next sweep, with the outage over, resolves it
+        u.site.server.clear_fault_plan();
+        let report = purge_missing(&mut store, &u.site.server);
+        assert_eq!(report.still_alive, 1);
+        assert!(store.check_missing.is_empty());
+    }
+
+    #[test]
+    fn full_refresh_retains_failed_pages_as_stale() {
+        let (u, mut store) = setup();
+        let victim = University::prof_url(2);
+        u.site.server.set_fault_plan(
+            websim::FaultPlan::new(6).with_rule(
+                websim::FaultRule::timeouts(1.0)
+                    .for_url_prefix(victim.as_str())
+                    .with_max_per_url(None),
+            ),
+        );
+        let n = full_refresh(&mut store, &u.site.scheme, &u.site.server).unwrap();
+        assert_eq!(n, u.site.total_pages() - 1);
+        assert!(store.get(&victim).is_some(), "retained through the outage");
+        assert!(store.is_stale(&victim), "but flagged, not silently fresh");
+        assert_eq!(store.len(), u.site.total_pages());
+        // a later clean refresh lifts the flag
+        u.site.server.clear_fault_plan();
+        full_refresh(&mut store, &u.site.scheme, &u.site.server).unwrap();
+        assert!(!store.is_stale(&victim));
+        assert_eq!(store.stale_count(), 0);
+    }
+
+    #[test]
+    fn full_refresh_still_drops_unreachable_phantoms() {
+        let (mut u, mut store) = setup();
+        u.remove_course(5).unwrap();
+        let gone = University::course_url(5);
+        assert!(store.get(&gone).is_some());
+        // even with transient chaos elsewhere, the phantom is dropped
+        // (chaos scoped to another course page, whose stale copy cannot
+        // re-reach the removed one)
+        u.site.server.set_fault_plan(
+            websim::FaultPlan::new(8).with_rule(
+                websim::FaultRule::timeouts(1.0)
+                    .for_url_prefix(University::course_url(6).as_str())
+                    .with_max_per_url(None),
+            ),
+        );
+        full_refresh(&mut store, &u.site.scheme, &u.site.server).unwrap();
+        assert!(store.get(&gone).is_none(), "no longer reachable: dropped");
     }
 }

@@ -20,6 +20,10 @@ pub struct StoredPage {
     pub tuple: Tuple,
     /// Logical time of the last download.
     pub access_date: u64,
+    /// True when the last refresh attempt failed and the page was
+    /// retained as-is: the tuple may no longer match the live page.
+    /// Cleared by the next successful download ([`MatStore::put`]).
+    pub stale: bool,
 }
 
 /// Per-query URL status (the paper's `status(U)` flag).
@@ -79,7 +83,7 @@ impl MatStore {
         self.pages.get(url)
     }
 
-    /// Inserts or replaces a page.
+    /// Inserts or replaces a page. A fresh download is never stale.
     pub fn put(&mut self, url: Url, scheme: impl Into<String>, tuple: Tuple, access_date: u64) {
         self.pages.insert(
             url,
@@ -87,6 +91,7 @@ impl MatStore {
                 scheme: scheme.into(),
                 tuple,
                 access_date,
+                stale: false,
             },
         );
     }
@@ -94,6 +99,50 @@ impl MatStore {
     /// Removes a page (confirmed deleted).
     pub fn remove(&mut self, url: &Url) -> bool {
         self.pages.remove(url).is_some()
+    }
+
+    /// Flags a stored page as stale-but-retained (its refresh failed, so
+    /// the tuple may not match the live page). Returns `false` when the
+    /// URL is not materialized.
+    pub fn mark_stale(&mut self, url: &Url) -> bool {
+        match self.pages.get_mut(url) {
+            Some(p) => {
+                p.stale = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Clears the staleness flag (a later check verified the copy is
+    /// current again). Returns `false` when the URL is not materialized.
+    pub fn clear_stale(&mut self, url: &Url) -> bool {
+        match self.pages.get_mut(url) {
+            Some(p) => {
+                p.stale = false;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// True when the URL is materialized and flagged stale.
+    pub fn is_stale(&self, url: &Url) -> bool {
+        self.pages.get(url).is_some_and(|p| p.stale)
+    }
+
+    /// Number of stale-but-retained pages.
+    pub fn stale_count(&self) -> usize {
+        self.pages.values().filter(|p| p.stale).count()
+    }
+
+    /// Drops every page whose URL is not in `keep` (used by a full
+    /// refresh to discard pages no longer reachable from any entry
+    /// point). Returns the number of pages dropped.
+    pub fn retain_pages(&mut self, keep: &HashSet<Url>) -> usize {
+        let before = self.pages.len();
+        self.pages.retain(|u, _| keep.contains(u));
+        before - self.pages.len()
     }
 
     /// Number of materialized pages.
@@ -160,19 +209,58 @@ impl MatStore {
     /// Materializes the whole site by crawling it from its entry points
     /// through the live server, wrapping every page. Returns the number of
     /// pages downloaded.
-    pub fn materialize(&mut self, ws: &WebScheme, server: &websim::VirtualServer) -> Result<usize> {
+    pub fn materialize(
+        &mut self,
+        ws: &WebScheme,
+        server: &impl websim::PageServer,
+    ) -> Result<usize> {
+        Ok(self.materialize_report(ws, server)?.downloaded)
+    }
+
+    /// Like [`MatStore::materialize`], with a full account of the crawl.
+    ///
+    /// A page whose `GET` fails is **not** silently skipped: if an older
+    /// copy is materialized it is marked stale-but-retained (so nothing
+    /// pretends the failed refresh succeeded) and the crawl continues
+    /// through the *old* tuple's outlinks so the subtree behind it is not
+    /// orphaned. Pages that 404 are additionally queued on
+    /// [`MatStore::check_missing`] for the off-line sweep.
+    pub fn materialize_report(
+        &mut self,
+        ws: &WebScheme,
+        server: &impl websim::PageServer,
+    ) -> Result<MaterializeReport> {
         let mut queue: VecDeque<(Url, String)> = ws
             .entry_points()
             .iter()
             .map(|e| (e.url.clone(), e.scheme.clone()))
             .collect();
         let mut seen: HashSet<Url> = queue.iter().map(|(u, _)| u.clone()).collect();
-        let mut downloaded = 0;
+        let mut report = MaterializeReport::default();
         while let Some((url, scheme)) = queue.pop_front() {
-            let Ok(resp) = server.get(&url) else {
-                continue; // dangling link on the site itself
+            let resp = match server.get(&url) {
+                Ok(resp) => resp,
+                Err(e) => {
+                    report.failed.push(url.clone());
+                    if matches!(e, websim::WebError::NotFound(_)) {
+                        self.check_missing.push_back(url.clone());
+                    }
+                    // Keep crawling through the stale copy's outlinks.
+                    if let Some(old) = self.pages.get_mut(&url) {
+                        old.stale = true;
+                        let old_scheme = old.scheme.clone();
+                        let old_tuple = old.tuple.clone();
+                        let ps = ws.scheme(&old_scheme)?;
+                        for (target, link) in outlinks(&ps.fields, &old_tuple) {
+                            if seen.insert(link.clone()) {
+                                queue.push_back((link, target));
+                            }
+                        }
+                    }
+                    continue;
+                }
             };
-            downloaded += 1;
+            report.downloaded += 1;
             let ps = ws.scheme(&scheme)?;
             let html = std::str::from_utf8(&resp.body)
                 .map_err(|e| MatError::Wrap(format!("non-utf8 at {url}: {e}")))?;
@@ -185,8 +273,23 @@ impl MatStore {
             }
             self.put(url, scheme, tuple, resp.last_modified.max(server.now()));
         }
-        Ok(downloaded)
+        report.failed.sort();
+        report.reached = seen;
+        Ok(report)
     }
+}
+
+/// What a crawl ([`MatStore::materialize_report`]) did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MaterializeReport {
+    /// Pages downloaded and stored fresh.
+    pub downloaded: usize,
+    /// URLs whose `GET` failed (sorted). Stored copies, if any, were
+    /// marked stale-but-retained.
+    pub failed: Vec<Url>,
+    /// Every URL the crawl reached — fetched or failed. A full refresh
+    /// drops pages outside this set as unreachable from any entry point.
+    pub reached: HashSet<Url>,
 }
 
 #[cfg(test)]
@@ -271,5 +374,70 @@ mod tests {
         assert!(store.remove(&url));
         assert!(!store.remove(&url));
         assert!(store.is_empty());
+    }
+
+    #[test]
+    fn stale_flag_lifecycle() {
+        let mut store = MatStore::new();
+        let url = Url::new("/p.html");
+        assert!(!store.mark_stale(&url), "nothing stored yet");
+        store.put(url.clone(), "P", Tuple::new().with("A", "x"), 3);
+        assert!(!store.is_stale(&url), "fresh download is never stale");
+        assert!(store.mark_stale(&url));
+        assert!(store.is_stale(&url));
+        assert_eq!(store.stale_count(), 1);
+        assert!(store.clear_stale(&url));
+        assert!(!store.is_stale(&url));
+        store.mark_stale(&url);
+        // re-downloading resets the flag
+        store.put(url.clone(), "P", Tuple::new().with("A", "y"), 4);
+        assert!(!store.is_stale(&url));
+        assert_eq!(store.stale_count(), 0);
+    }
+
+    #[test]
+    fn crawl_with_failing_page_marks_stale_and_keeps_subtree() {
+        let u = uni();
+        let mut store = MatStore::new();
+        store.materialize(&u.site.scheme, &u.site.server).unwrap();
+        // make one professor page unreachable; its courses hang below it
+        let victim = University::prof_url(0);
+        u.site.server.set_fault_plan(
+            websim::FaultPlan::new(3).with_rule(
+                websim::FaultRule::unavailable(1.0)
+                    .for_url_prefix(victim.as_str())
+                    .with_max_per_url(None),
+            ),
+        );
+        let report = store
+            .materialize_report(&u.site.scheme, &u.site.server)
+            .unwrap();
+        assert_eq!(report.failed, vec![victim.clone()]);
+        assert_eq!(report.downloaded, u.site.total_pages() - 1);
+        // the victim survives, flagged; a 5xx is not queued as missing
+        assert!(store.is_stale(&victim));
+        assert!(!store.check_missing.contains(&victim));
+        // the crawl continued through the stale copy: its courses were
+        // re-fetched, so every page of the site is in `reached`
+        assert_eq!(report.reached.len(), u.site.total_pages());
+        assert_eq!(store.len(), u.site.total_pages());
+    }
+
+    #[test]
+    fn crawl_queues_rotted_pages_for_the_offline_sweep() {
+        let u = uni();
+        let mut store = MatStore::new();
+        store.materialize(&u.site.scheme, &u.site.server).unwrap();
+        let victim = University::course_url(4);
+        u.site.server.set_fault_plan(
+            websim::FaultPlan::new(3)
+                .with_rule(websim::FaultRule::link_rot(1.0).for_url_prefix(victim.as_str())),
+        );
+        let report = store
+            .materialize_report(&u.site.scheme, &u.site.server)
+            .unwrap();
+        assert_eq!(report.failed, vec![victim.clone()]);
+        assert!(store.is_stale(&victim), "retained, not silently fresh");
+        assert!(store.check_missing.contains(&victim));
     }
 }

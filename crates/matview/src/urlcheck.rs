@@ -13,12 +13,16 @@
 //!
 //! A 404 on the light connection means the page itself was deleted: it is
 //! removed from the store and pushed onto `CheckMissing` for the off-line
-//! sweep.
+//! sweep. A *transient* failure (timeout, 5xx) means nothing of the sort:
+//! the stored tuple is served as stale-but-retained — flagged in the store
+//! and counted in [`CheckCounters::stale_served`] — rather than deleting a
+//! page that is probably still alive.
 
 use crate::store::{outlinks, MatStore, UrlStatus};
 use crate::{MatError, Result};
 use adm::{Tuple, Url, WebScheme};
 use std::collections::HashSet;
+use websim::PageServer;
 
 /// Access counters of the maintenance protocol.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -30,6 +34,19 @@ pub struct CheckCounters {
     pub downloads: u64,
     /// Tuples served straight from the local store.
     pub from_store: u64,
+    /// Tuples served stale because their check failed transiently (the
+    /// freshness of the answer could not be verified).
+    pub stale_served: u64,
+}
+
+/// Serves the stored copy of a page whose check failed transiently,
+/// flagging it stale.
+fn serve_stale(store: &mut MatStore, counters: &mut CheckCounters, url: &Url) -> Option<Tuple> {
+    let tuple = store.get(url).map(|p| p.tuple.clone())?;
+    store.mark_stale(url);
+    store.set_status(url.clone(), UrlStatus::Checked);
+    counters.stale_served += 1;
+    Some(tuple)
 }
 
 /// Checks one URL, returning the (fresh) tuple, or `None` if the page no
@@ -38,7 +55,7 @@ pub fn url_check(
     store: &mut MatStore,
     counters: &mut CheckCounters,
     ws: &WebScheme,
-    server: &websim::VirtualServer,
+    server: &impl PageServer,
     url: &Url,
     scheme: &str,
 ) -> Result<Option<Tuple>> {
@@ -57,6 +74,11 @@ pub fn url_check(
                 let stored = store.get(url).expect("checked above");
                 stored.access_date < head.last_modified
             }
+            Err(e) if e.is_transient() => {
+                // can't verify freshness right now: serve the stored copy
+                // stale-but-retained instead of deleting a live page
+                return Ok(serve_stale(store, counters, url));
+            }
             Err(_) => {
                 // the page is gone: forget it, queue for the off-line sweep
                 store.remove(url);
@@ -69,6 +91,18 @@ pub fn url_check(
     if must_download {
         let resp = match server.get(url) {
             Ok(r) => r,
+            Err(e) if e.is_transient() => {
+                // The page changed (or is new) but the download failed.
+                // An old copy is better than aborting: serve it stale.
+                // With nothing stored the page is genuinely unreachable.
+                return match serve_stale(store, counters, url) {
+                    Some(t) => Ok(Some(t)),
+                    None => Err(MatError::Unreachable {
+                        url: url.clone(),
+                        reason: e.to_string(),
+                    }),
+                };
+            }
             Err(_) => {
                 store.remove(url);
                 store.set_status(url.clone(), UrlStatus::Missing);
@@ -116,6 +150,9 @@ pub fn url_check(
         Ok(Some(fresh))
     } else {
         counters.from_store += 1;
+        // a successful light connection just attested freshness: lift any
+        // staleness flag left by an earlier failed check
+        store.clear_stale(url);
         store.set_status(url.clone(), UrlStatus::Checked);
         Ok(store.get(url).map(|p| p.tuple.clone()))
     }
@@ -301,5 +338,104 @@ mod tests {
         .unwrap()
         .unwrap();
         assert_eq!(store.status(&University::course_url(4)), UrlStatus::Missing);
+    }
+
+    #[test]
+    fn transient_head_failure_serves_stale_and_retains() {
+        let (u, mut store) = setup();
+        let url = University::prof_url(0);
+        u.site.server.set_fault_plan(
+            websim::FaultPlan::new(7).with_rule(
+                websim::FaultRule::unavailable(1.0)
+                    .for_url_prefix(url.as_str())
+                    .with_max_per_url(None),
+            ),
+        );
+        let mut c = CheckCounters::default();
+        let t = url_check(
+            &mut store,
+            &mut c,
+            &u.site.scheme,
+            &u.site.server,
+            &url,
+            "ProfPage",
+        )
+        .unwrap()
+        .expect("stored copy must be served stale");
+        assert_eq!(&t, &store.get(&url).unwrap().tuple);
+        assert_eq!(c.stale_served, 1);
+        assert!(store.is_stale(&url), "flag records unverified freshness");
+        assert!(
+            !store.check_missing.contains(&url),
+            "a 503 is not a deletion"
+        );
+        // once the outage clears, a successful light connection lifts the flag
+        u.site.server.clear_fault_plan();
+        store.reset_status();
+        let mut c2 = CheckCounters::default();
+        url_check(
+            &mut store,
+            &mut c2,
+            &u.site.scheme,
+            &u.site.server,
+            &url,
+            "ProfPage",
+        )
+        .unwrap()
+        .unwrap();
+        assert!(!store.is_stale(&url));
+        assert_eq!(c2.stale_served, 0);
+    }
+
+    #[test]
+    fn transient_failure_without_stored_copy_is_unreachable() {
+        let (u, mut store) = setup();
+        let url = University::course_url(5);
+        store.remove(&url); // never materialized this page
+        u.site.server.set_fault_plan(
+            websim::FaultPlan::new(7).with_rule(
+                websim::FaultRule::timeouts(1.0)
+                    .for_url_prefix(url.as_str())
+                    .with_max_per_url(None),
+            ),
+        );
+        let mut c = CheckCounters::default();
+        let err = url_check(
+            &mut store,
+            &mut c,
+            &u.site.scheme,
+            &u.site.server,
+            &url,
+            "CoursePage",
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, MatError::Unreachable { url: ref u, .. } if *u == url),
+            "got {err}"
+        );
+        assert_eq!(c.stale_served, 0);
+    }
+
+    #[test]
+    fn permanent_rot_still_removes_and_queues() {
+        let (u, mut store) = setup();
+        let url = University::course_url(1);
+        u.site.server.set_fault_plan(
+            websim::FaultPlan::new(7)
+                .with_rule(websim::FaultRule::link_rot(1.0).for_url_prefix(url.as_str())),
+        );
+        let mut c = CheckCounters::default();
+        let t = url_check(
+            &mut store,
+            &mut c,
+            &u.site.scheme,
+            &u.site.server,
+            &url,
+            "CoursePage",
+        )
+        .unwrap();
+        assert!(t.is_none(), "permanent 404 keeps the seed deletion path");
+        assert!(store.get(&url).is_none());
+        assert!(store.check_missing.contains(&url));
     }
 }

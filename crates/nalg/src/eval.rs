@@ -31,22 +31,82 @@ use adm::{Relation, Tuple, Url, Value, WebScheme};
 use std::collections::HashMap;
 use std::fmt;
 
-/// Errors a [`PageSource`] may return.
+/// Errors a [`PageSource`] may return, split into the taxonomy the
+/// resilience layer acts on: **transient** failures (a retry may succeed)
+/// versus **permanent** ones (retrying is pointless).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SourceError {
-    /// The page does not exist (dangling link / deleted page).
+    /// The page does not exist (dangling link / deleted page). Permanent.
     NotFound(Url),
-    /// Anything else (network failure, wrapper failure, …).
+    /// The server failed transiently (5xx analogue). Transient.
+    Unavailable {
+        /// The URL that failed.
+        url: Url,
+        /// Human-readable failure detail.
+        reason: String,
+    },
+    /// The request timed out. Transient.
+    Timeout(Url),
+    /// The page was delivered but could not be wrapped (truncated or
+    /// corrupt body). Permanent for a given page version.
+    Malformed {
+        /// The URL whose body failed to parse.
+        url: Url,
+        /// Human-readable parse-failure detail.
+        reason: String,
+    },
+    /// Anything else (infrastructure failure, …). Permanent.
     Other(String),
+}
+
+impl SourceError {
+    /// True for failures a retry may fix (unavailable, timeout); false for
+    /// permanent conditions (404, malformed body, everything else).
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            SourceError::Unavailable { .. } | SourceError::Timeout(_)
+        )
+    }
+
+    /// The URL the error is about, when the error carries one.
+    pub fn url(&self) -> Option<&Url> {
+        match self {
+            SourceError::NotFound(u) | SourceError::Timeout(u) => Some(u),
+            SourceError::Unavailable { url, .. } | SourceError::Malformed { url, .. } => Some(url),
+            SourceError::Other(_) => None,
+        }
+    }
 }
 
 impl fmt::Display for SourceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SourceError::NotFound(u) => write!(f, "not found: {u}"),
+            SourceError::Unavailable { url, reason } => {
+                write!(f, "unavailable: {url} ({reason})")
+            }
+            SourceError::Timeout(u) => write!(f, "timeout: {u}"),
+            SourceError::Malformed { url, reason } => {
+                write!(f, "malformed page: {url} ({reason})")
+            }
             SourceError::Other(m) => write!(f, "{m}"),
         }
     }
+}
+
+/// What evaluation does when a fetch ultimately fails (after whatever
+/// retrying the page source performs internally).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradationMode {
+    /// Abort the query on the first non-404 fetch failure (the paper's
+    /// implicit model: every navigation succeeds). The default.
+    #[default]
+    FailFast,
+    /// Complete the plan over the reachable pages, skipping failed fetches
+    /// and reporting the exact unreachable-URL set in
+    /// [`EvalReport::unreachable`].
+    Partial,
 }
 
 /// Anything that can deliver the wrapped tuple of a page: the live virtual
@@ -89,6 +149,11 @@ pub struct EvalReport {
     /// function 𝒞 estimates, one entry per entry-point/navigation operator
     /// in evaluation order.
     pub accesses_by_operator: Vec<(String, u64)>,
+    /// The exact set of URLs whose fetch ultimately failed (sorted,
+    /// deduplicated): broken links in every mode, plus — under
+    /// [`DegradationMode::Partial`] — pages skipped because of non-404
+    /// failures. Empty iff the answer is complete.
+    pub unreachable: Vec<Url>,
 }
 
 impl EvalReport {
@@ -96,6 +161,12 @@ impl EvalReport {
     /// (counts a page once per operator that requests it).
     pub fn cost_model_accesses(&self) -> u64 {
         self.accesses_by_operator.iter().map(|(_, n)| n).sum()
+    }
+
+    /// True when every page the plan asked for was fetched — the answer
+    /// relation is the complete answer, not a partial one.
+    pub fn is_complete(&self) -> bool {
+        self.unreachable.is_empty()
     }
 }
 
@@ -106,6 +177,7 @@ pub struct Evaluator<'a, S: PageSource> {
     cache_enabled: bool,
     fetch_workers: usize,
     shared: Option<&'a SharedPageCache>,
+    degradation: DegradationMode,
     /// Set by [`Evaluator::with_concurrent_fetch`]: a monomorphized entry
     /// point that spawns the worker pool (requires `S: Sync`, which this
     /// fn pointer captures without constraining the whole type).
@@ -127,6 +199,7 @@ struct Ctx {
     shared_hits: u64,
     broken_links: u64,
     per_op: Vec<(String, u64)>,
+    unreachable: std::collections::BTreeSet<Url>,
 }
 
 impl<'a, S: PageSource> Evaluator<'a, S> {
@@ -139,8 +212,18 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
             cache_enabled: true,
             fetch_workers: 1,
             shared: None,
+            degradation: DegradationMode::FailFast,
             pooled_run: None,
         }
+    }
+
+    /// Sets what happens when a fetch ultimately fails: abort the query
+    /// ([`DegradationMode::FailFast`], the default) or complete the plan
+    /// over reachable pages and report the unreachable set
+    /// ([`DegradationMode::Partial`]).
+    pub fn with_degradation(mut self, mode: DegradationMode) -> Self {
+        self.degradation = mode;
+        self
     }
 
     /// Disables the page cache: each operator re-downloads the pages it
@@ -195,6 +278,7 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
             shared_hits: 0,
             broken_links: 0,
             per_op: Vec::new(),
+            unreachable: std::collections::BTreeSet::new(),
         };
         let relation = self.eval_expr(expr, &mut ctx, pool)?;
         Ok(EvalReport {
@@ -204,6 +288,7 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
             shared_cache_hits: ctx.shared_hits,
             broken_links: ctx.broken_links,
             accesses_by_operator: ctx.per_op,
+            unreachable: ctx.unreachable.into_iter().collect(),
         })
     }
 
@@ -236,9 +321,14 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
             }
             Err(SourceError::NotFound(_)) => {
                 ctx.broken_links += 1;
+                ctx.unreachable.insert(url.clone());
                 Ok(None)
             }
-            Err(SourceError::Other(m)) => Err(EvalError::Source(m)),
+            Err(_) if self.degradation == DegradationMode::Partial => {
+                ctx.unreachable.insert(url.clone());
+                Ok(None)
+            }
+            Err(e) => Err(EvalError::Source(e.to_string())),
         }
     }
 
@@ -275,14 +365,25 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                     EvalError::NotComputable(format!("{scheme} is not an entry point"))
                 })?;
                 let url = ep.url.clone();
-                let tuple = self
-                    .fetch(ctx, &url, scheme)?
-                    .ok_or_else(|| EvalError::Source(format!("entry point {url} missing")))?;
-                ctx.per_op.push((format!("entry {scheme}"), 1));
-                let (cols, vals) = self.expand_page(alias, scheme, &url, &tuple)?;
-                let mut r = Relation::new(cols);
-                r.push_row(vals)?;
-                Ok(r)
+                match self.fetch(ctx, &url, scheme)? {
+                    Some(tuple) => {
+                        ctx.per_op.push((format!("entry {scheme}"), 1));
+                        let (cols, vals) = self.expand_page(alias, scheme, &url, &tuple)?;
+                        let mut r = Relation::new(cols);
+                        r.push_row(vals)?;
+                        Ok(r)
+                    }
+                    // `fetch` already recorded the URL as unreachable; in
+                    // Partial mode an unreachable entry point degrades to an
+                    // empty relation (with the right header) instead of
+                    // aborting the query.
+                    None if self.degradation == DegradationMode::Partial => {
+                        ctx.per_op.push((format!("entry {scheme}"), 1));
+                        let cols = crate::expr::page_columns(self.ws, scheme, alias)?;
+                        Ok(Relation::new(cols))
+                    }
+                    None => Err(EvalError::Source(format!("entry point {url} missing"))),
+                }
             }
             NalgExpr::Select { input, pred } => {
                 let rel = self.eval_expr(input, ctx, pool)?;
@@ -394,9 +495,14 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                         }
                         Err(SourceError::NotFound(_)) => {
                             ctx.broken_links += 1;
+                            ctx.unreachable.insert(u);
                             Ok(())
                         }
-                        Err(SourceError::Other(m)) => Err(EvalError::Source(m)),
+                        Err(_) if self.degradation == DegradationMode::Partial => {
+                            ctx.unreachable.insert(u);
+                            Ok(())
+                        }
+                        Err(e) => Err(EvalError::Source(e.to_string())),
                     }
                 };
                 match pool {
@@ -404,11 +510,21 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                     // then wrap and record completions as they arrive —
                     // CPU work overlaps the fetches still in flight.
                     Some(pool) => {
+                        let mut submitted = 0usize;
                         for u in &misses {
-                            pool.submit(u.clone(), target.clone());
+                            if !pool.submit(u.clone(), target.clone()) {
+                                return Err(EvalError::Source(
+                                    "fetch worker pool shut down".to_string(),
+                                ));
+                            }
+                            submitted += 1;
                         }
-                        for _ in 0..misses.len() {
-                            let done = pool.recv();
+                        for _ in 0..submitted {
+                            let Some(done) = pool.recv() else {
+                                return Err(EvalError::Source(
+                                    "fetch worker pool shut down".to_string(),
+                                ));
+                            };
                             complete(ctx, &mut seen, &mut target_cols, done.url, done.outcome)?;
                         }
                     }
@@ -762,5 +878,168 @@ mod tests {
             .relation
             .columns()
             .contains(&"ItemPage.Kind".to_string()));
+    }
+
+    /// A source where named URLs fail with a given error.
+    struct FailingSource {
+        inner: MapSource,
+        fail: HashMap<Url, SourceError>,
+    }
+
+    impl PageSource for FailingSource {
+        fn fetch(&self, url: &Url, scheme: &str) -> std::result::Result<Tuple, SourceError> {
+            if let Some(e) = self.fail.get(url) {
+                return Err(e.clone());
+            }
+            self.inner.fetch(url, scheme)
+        }
+    }
+
+    fn failing(urls: &[(&str, SourceError)]) -> FailingSource {
+        FailingSource {
+            inner: source(),
+            fail: urls
+                .iter()
+                .map(|(u, e)| (Url::new(*u), e.clone()))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn fail_fast_aborts_on_transient_error() {
+        let ws = scheme();
+        let src = failing(&[("/i/b", SourceError::Timeout(Url::new("/i/b")))]);
+        let err = Evaluator::new(&ws, &src).eval(&nav()).unwrap_err();
+        assert!(matches!(err, EvalError::Source(_)));
+    }
+
+    #[test]
+    fn partial_mode_skips_failed_pages_and_reports_them() {
+        let ws = scheme();
+        let src = failing(&[
+            ("/i/b", SourceError::Timeout(Url::new("/i/b"))),
+            (
+                "/i/c",
+                SourceError::Unavailable {
+                    url: Url::new("/i/c"),
+                    reason: "503".into(),
+                },
+            ),
+        ]);
+        let report = Evaluator::new(&ws, &src)
+            .with_degradation(DegradationMode::Partial)
+            .eval(&nav())
+            .unwrap();
+        assert_eq!(report.relation.len(), 1);
+        assert!(!report.is_complete());
+        assert_eq!(report.unreachable, vec![Url::new("/i/b"), Url::new("/i/c")]);
+        // Failed fetches are not downloads.
+        assert_eq!(report.page_accesses, 2); // entry + /i/a
+                                             // The cost model still charges the *attempted* distinct links.
+        assert_eq!(report.cost_model_accesses(), 4);
+    }
+
+    #[test]
+    fn partial_mode_records_broken_links_as_unreachable() {
+        let ws = scheme();
+        let mut src = source();
+        src.pages.remove(&Url::new("/i/b"));
+        let report = Evaluator::new(&ws, &src)
+            .with_degradation(DegradationMode::Partial)
+            .eval(&nav())
+            .unwrap();
+        assert_eq!(report.relation.len(), 2);
+        assert_eq!(report.broken_links, 1);
+        assert_eq!(report.unreachable, vec![Url::new("/i/b")]);
+    }
+
+    #[test]
+    fn partial_mode_degrades_missing_entry_point_to_empty_relation() {
+        let ws = scheme();
+        let src = failing(&[(
+            "/list.html",
+            SourceError::Unavailable {
+                url: Url::new("/list.html"),
+                reason: "503".into(),
+            },
+        )]);
+        let report = Evaluator::new(&ws, &src)
+            .with_degradation(DegradationMode::Partial)
+            .eval(&nav())
+            .unwrap();
+        assert!(report.relation.is_empty());
+        assert!(!report.is_complete());
+        assert_eq!(report.unreachable, vec![Url::new("/list.html")]);
+        assert_eq!(report.page_accesses, 0);
+    }
+
+    #[test]
+    fn complete_run_reports_no_unreachable() {
+        let ws = scheme();
+        let src = source();
+        for mode in [DegradationMode::FailFast, DegradationMode::Partial] {
+            let report = Evaluator::new(&ws, &src)
+                .with_degradation(mode)
+                .eval(&nav())
+                .unwrap();
+            assert!(report.is_complete());
+            assert!(report.unreachable.is_empty());
+        }
+    }
+
+    #[test]
+    fn partial_mode_with_pool_matches_sequential() {
+        let ws = scheme();
+        let src = failing(&[("/i/b", SourceError::Timeout(Url::new("/i/b")))]);
+        let seq = Evaluator::new(&ws, &src)
+            .with_degradation(DegradationMode::Partial)
+            .eval(&nav())
+            .unwrap();
+        let par = Evaluator::new(&ws, &src)
+            .with_degradation(DegradationMode::Partial)
+            .with_concurrent_fetch(4)
+            .eval(&nav())
+            .unwrap();
+        assert_eq!(par.relation.sorted(), seq.relation.sorted());
+        assert_eq!(par.unreachable, seq.unreachable);
+        assert_eq!(par.page_accesses, seq.page_accesses);
+    }
+
+    /// A source that panics on one URL.
+    struct PanickingSource {
+        inner: MapSource,
+    }
+
+    impl PageSource for PanickingSource {
+        fn fetch(&self, url: &Url, scheme: &str) -> std::result::Result<Tuple, SourceError> {
+            if url.as_str() == "/i/b" {
+                panic!("source blew up");
+            }
+            self.inner.fetch(url, scheme)
+        }
+    }
+
+    #[test]
+    fn pooled_eval_survives_panicking_source() {
+        let ws = scheme();
+        let src = PanickingSource { inner: source() };
+        // FailFast: the panic surfaces as a source error, not a process
+        // abort (the scope join would otherwise re-raise it).
+        let err = Evaluator::new(&ws, &src)
+            .with_concurrent_fetch(3)
+            .eval(&nav())
+            .unwrap_err();
+        match err {
+            EvalError::Source(m) => assert!(m.contains("fetch worker panicked"), "got: {m}"),
+            other => panic!("unexpected error: {other:?}"),
+        }
+        // Partial: the poisoned page is skipped like any other failure.
+        let report = Evaluator::new(&ws, &src)
+            .with_concurrent_fetch(3)
+            .with_degradation(DegradationMode::Partial)
+            .eval(&nav())
+            .unwrap();
+        assert_eq!(report.relation.len(), 2);
+        assert_eq!(report.unreachable, vec![Url::new("/i/b")]);
     }
 }

@@ -36,18 +36,20 @@ pub struct FetchPool {
 }
 
 impl FetchPool {
-    /// Enqueues a fetch; some worker will pick it up.
-    pub(crate) fn submit(&self, url: Url, scheme: String) {
-        self.job_tx
-            .send(Job { url, scheme })
-            .expect("fetch workers outlive the evaluation");
+    /// Enqueues a fetch; some worker will pick it up. Returns `false` if
+    /// every worker has exited (the pool is shut down) — the caller must
+    /// surface that as a source error rather than panic.
+    #[must_use]
+    pub(crate) fn submit(&self, url: Url, scheme: String) -> bool {
+        self.job_tx.send(Job { url, scheme }).is_ok()
     }
 
     /// Blocks for the next completion, in arrival (not submission) order.
-    pub(crate) fn recv(&self) -> Done {
-        self.done_rx
-            .recv()
-            .expect("a completion arrives for every submitted job")
+    /// Returns `None` if the pool shut down before delivering one — a
+    /// worker died without completing its job.
+    #[must_use]
+    pub(crate) fn recv(&self) -> Option<Done> {
+        self.done_rx.recv().ok()
     }
 }
 
@@ -67,7 +69,20 @@ where
             let done_tx = done_tx.clone();
             scope.spawn(move || {
                 while let Ok(job) = job_rx.recv() {
-                    let outcome = source.fetch_stamped(&job.url, &job.scheme);
+                    // A panicking source must not take the worker (and with
+                    // it the whole process, via the scope join) down: catch
+                    // it and report the job as a source error instead.
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        source.fetch_stamped(&job.url, &job.scheme)
+                    }))
+                    .unwrap_or_else(|payload| {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "unknown panic".to_string());
+                        Err(SourceError::Other(format!("fetch worker panicked: {msg}")))
+                    });
                     if done_tx
                         .send(Done {
                             url: job.url,
@@ -117,10 +132,10 @@ mod tests {
             let mut done = 0;
             for batch in 0..3 {
                 for i in 0..10 {
-                    pool.submit(Url::new(format!("/b{batch}/{i}")), "P".into());
+                    assert!(pool.submit(Url::new(format!("/b{batch}/{i}")), "P".into()));
                 }
                 for _ in 0..10 {
-                    let d = pool.recv();
+                    let d = pool.recv().expect("pool alive");
                     assert!(d.outcome.is_ok());
                     done += 1;
                 }
@@ -135,9 +150,11 @@ mod tests {
     fn completions_report_not_found() {
         let src = CountingSource(AtomicUsize::new(0));
         with_pool(&src, 2, |pool| {
-            pool.submit(Url::new("/ok"), "P".into());
-            pool.submit(Url::new("/missing"), "P".into());
-            let outcomes: Vec<_> = (0..2).map(|_| pool.recv().outcome).collect();
+            assert!(pool.submit(Url::new("/ok"), "P".into()));
+            assert!(pool.submit(Url::new("/missing"), "P".into()));
+            let outcomes: Vec<_> = (0..2)
+                .map(|_| pool.recv().expect("pool alive").outcome)
+                .collect();
             assert_eq!(outcomes.iter().filter(|o| o.is_ok()).count(), 1);
             assert!(outcomes
                 .iter()
@@ -152,9 +169,45 @@ mod tests {
         // still terminate the workers (scope join would hang otherwise).
         with_pool(&src, 3, |pool| {
             for i in 0..20 {
-                pool.submit(Url::new(format!("/{i}")), "P".into());
+                assert!(pool.submit(Url::new(format!("/{i}")), "P".into()));
             }
-            pool.recv();
+            pool.recv().expect("pool alive");
+        });
+    }
+
+    /// A source that panics on some URLs.
+    struct PanickySource;
+
+    impl PageSource for PanickySource {
+        fn fetch(&self, url: &Url, _scheme: &str) -> Result<Tuple, SourceError> {
+            if url.as_str().contains("boom") {
+                panic!("wrapper exploded on {url}");
+            }
+            Ok(Tuple::new().with("Path", url.as_str()))
+        }
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_source_error() {
+        with_pool(&PanickySource, 2, |pool| {
+            assert!(pool.submit(Url::new("/ok"), "P".into()));
+            assert!(pool.submit(Url::new("/boom"), "P".into()));
+            assert!(pool.submit(Url::new("/ok2"), "P".into()));
+            let outcomes: Vec<_> = (0..3)
+                .map(|_| pool.recv().expect("workers survive panics").outcome)
+                .collect();
+            assert_eq!(outcomes.iter().filter(|o| o.is_ok()).count(), 2);
+            let err = outcomes
+                .iter()
+                .find_map(|o| o.as_ref().err())
+                .expect("one job failed");
+            match err {
+                SourceError::Other(m) => {
+                    assert!(m.contains("fetch worker panicked"), "got: {m}");
+                    assert!(m.contains("wrapper exploded"), "got: {m}");
+                }
+                other => panic!("unexpected error: {other:?}"),
+            }
         });
     }
 }

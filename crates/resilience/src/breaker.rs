@@ -1,0 +1,177 @@
+//! Per-key circuit breakers.
+//!
+//! A breaker watches *call-level* outcomes (after the retry loop has done
+//! its work): consecutive failures trip it **Open**, in which state calls
+//! are rejected without touching the network. Because the simulated web
+//! has no independent clock to wait on, cooldown is counted in *rejected
+//! calls* rather than wall time — after `cooldown_rejections` fast-fails
+//! the breaker moves to **HalfOpen** and lets a single probe through;
+//! the probe's outcome either closes the breaker or re-opens it. Page
+//! absence (404) never counts toward tripping: a missing page is a fact
+//! about the site, not the server's health.
+
+/// Tuning of a circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive call-level failures that trip the breaker Open.
+    pub failure_threshold: u32,
+    /// Rejected calls the Open state absorbs before allowing a probe.
+    pub cooldown_rejections: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 5,
+            cooldown_rejections: 3,
+        }
+    }
+}
+
+/// The externally visible state of a breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow normally; failures are being counted.
+    Closed,
+    /// Calls are rejected without being attempted.
+    Open,
+    /// One probe call is allowed through to test recovery.
+    HalfOpen,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum State {
+    Closed { consecutive: u32 },
+    Open { rejected: u32 },
+    HalfOpen,
+}
+
+/// One circuit breaker (the resilient wrappers keep one per key).
+#[derive(Debug)]
+pub(crate) struct Breaker {
+    cfg: BreakerConfig,
+    state: State,
+}
+
+impl Breaker {
+    pub(crate) fn new(cfg: BreakerConfig) -> Self {
+        Breaker {
+            cfg,
+            state: State::Closed { consecutive: 0 },
+        }
+    }
+
+    /// May the next call proceed? A `false` is a rejection and counts
+    /// toward the Open state's cooldown.
+    pub(crate) fn admit(&mut self) -> bool {
+        match self.state {
+            State::Closed { .. } | State::HalfOpen => true,
+            State::Open { rejected } => {
+                let rejected = rejected + 1;
+                self.state = if rejected >= self.cfg.cooldown_rejections {
+                    State::HalfOpen
+                } else {
+                    State::Open { rejected }
+                };
+                false
+            }
+        }
+    }
+
+    /// Records a successful call.
+    pub(crate) fn on_success(&mut self) {
+        self.state = State::Closed { consecutive: 0 };
+    }
+
+    /// Records a failed call; returns `true` when this failure tripped the
+    /// breaker (Closed→Open or HalfOpen→Open).
+    pub(crate) fn on_failure(&mut self) -> bool {
+        match self.state {
+            State::Closed { consecutive } => {
+                let consecutive = consecutive + 1;
+                if consecutive >= self.cfg.failure_threshold {
+                    self.state = State::Open { rejected: 0 };
+                    true
+                } else {
+                    self.state = State::Closed { consecutive };
+                    false
+                }
+            }
+            State::HalfOpen => {
+                self.state = State::Open { rejected: 0 };
+                true
+            }
+            State::Open { .. } => false,
+        }
+    }
+
+    pub(crate) fn state(&self) -> BreakerState {
+        match self.state {
+            State::Closed { .. } => BreakerState::Closed,
+            State::Open { .. } => BreakerState::Open,
+            State::HalfOpen => BreakerState::HalfOpen,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_rejections: 2,
+        }
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures() {
+        let mut b = Breaker::new(cfg());
+        assert!(!b.on_failure());
+        assert!(!b.on_failure());
+        assert!(b.on_failure()); // third trips
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.admit());
+    }
+
+    #[test]
+    fn success_resets_the_count() {
+        let mut b = Breaker::new(cfg());
+        b.on_failure();
+        b.on_failure();
+        b.on_success();
+        assert!(!b.on_failure());
+        assert!(!b.on_failure());
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn cooldown_then_half_open_probe() {
+        let mut b = Breaker::new(cfg());
+        for _ in 0..3 {
+            b.on_failure();
+        }
+        // Two rejections of cooldown…
+        assert!(!b.admit());
+        assert!(!b.admit());
+        // …then a probe is admitted.
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.admit());
+        // A successful probe closes the breaker for good.
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.admit());
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let mut b = Breaker::new(cfg());
+        for _ in 0..3 {
+            b.on_failure();
+        }
+        while !b.admit() {}
+        assert!(b.on_failure()); // failed probe counts as a trip
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+}

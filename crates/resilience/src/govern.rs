@@ -1,0 +1,344 @@
+//! The shared retry/breaker engine behind both resilient wrappers.
+
+use crate::breaker::{Breaker, BreakerConfig, BreakerState};
+use crate::policy::RetryPolicy;
+use crate::stats::{ResilienceSnapshot, StatCells};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+
+/// How a call-level error should be treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Class {
+    /// The page does not exist (404). Final, and *not* a server failure:
+    /// no retry, no breaker effect.
+    Absence,
+    /// A retry may succeed (5xx, timeout).
+    Transient,
+    /// Retrying is pointless (malformed body, infrastructure error), but
+    /// the failure does count toward the breaker.
+    Permanent,
+}
+
+pub(crate) struct Governor {
+    policy: RetryPolicy,
+    stats: StatCells,
+    breakers: Mutex<HashMap<String, Breaker>>,
+    breaker_cfg: BreakerConfig,
+    budget_left: Mutex<Option<u64>>,
+    jitter: Mutex<StdRng>,
+}
+
+impl Governor {
+    pub(crate) fn new(policy: RetryPolicy, breaker_cfg: BreakerConfig) -> Self {
+        Governor {
+            jitter: Mutex::new(StdRng::seed_from_u64(policy.jitter_seed)),
+            budget_left: Mutex::new(policy.retry_budget),
+            policy,
+            stats: StatCells::default(),
+            breakers: Mutex::new(HashMap::new()),
+            breaker_cfg,
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> ResilienceSnapshot {
+        self.stats.snapshot()
+    }
+
+    pub(crate) fn reset(&self) {
+        self.stats.reset();
+        self.breakers.lock().clear();
+        *self.budget_left.lock() = self.policy.retry_budget;
+    }
+
+    pub(crate) fn breaker_state(&self, key: &str) -> BreakerState {
+        self.breakers
+            .lock()
+            .get(key)
+            .map(Breaker::state)
+            .unwrap_or(BreakerState::Closed)
+    }
+
+    /// Spends one unit of retry budget; `false` means the budget ran out.
+    fn take_budget(&self) -> bool {
+        let mut left = self.budget_left.lock();
+        match left.as_mut() {
+            None => true,
+            Some(0) => false,
+            Some(n) => {
+                *n -= 1;
+                true
+            }
+        }
+    }
+
+    /// Runs `op` under the retry policy and the `key`-scoped breaker.
+    /// `classify` maps errors onto the taxonomy; `rejected` builds the
+    /// error for calls an Open breaker refuses to attempt.
+    pub(crate) fn call<T, E>(
+        &self,
+        key: &str,
+        mut op: impl FnMut() -> Result<T, E>,
+        classify: impl Fn(&E) -> Class,
+        rejected: impl FnOnce() -> E,
+    ) -> Result<T, E> {
+        {
+            let mut breakers = self.breakers.lock();
+            let b = breakers
+                .entry(key.to_string())
+                .or_insert_with(|| Breaker::new(self.breaker_cfg));
+            if !b.admit() {
+                drop(breakers);
+                self.stats
+                    .breaker_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(rejected());
+            }
+        }
+        let started = std::time::Instant::now();
+        let mut attempt = 1u32;
+        // (outcome, counts as call-level failure for the breaker?)
+        let (result, failed) = loop {
+            match op() {
+                Ok(v) => break (Ok(v), false),
+                Err(e) => match classify(&e) {
+                    Class::Absence => break (Err(e), false),
+                    Class::Permanent => break (Err(e), true),
+                    Class::Transient => {
+                        if attempt >= self.policy.max_attempts {
+                            self.stats.giveups.fetch_add(1, Ordering::Relaxed);
+                            break (Err(e), true);
+                        }
+                        if !self.take_budget() {
+                            self.stats.budget_exhausted.fetch_add(1, Ordering::Relaxed);
+                            self.stats.giveups.fetch_add(1, Ordering::Relaxed);
+                            break (Err(e), true);
+                        }
+                        self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                        let jitter = if self.policy.base_backoff_us > 0 {
+                            self.jitter.lock().gen_range(0..self.policy.base_backoff_us)
+                        } else {
+                            0
+                        };
+                        let delay = self.policy.backoff_step_us(attempt) + jitter;
+                        self.stats.backoff_us.fetch_add(delay, Ordering::Relaxed);
+                        if self.policy.sleep_backoff {
+                            std::thread::sleep(std::time::Duration::from_micros(delay));
+                        }
+                        attempt += 1;
+                    }
+                },
+            }
+        };
+        if let Some(timeout_us) = self.policy.request_timeout_us {
+            if started.elapsed().as_micros() as u64 > timeout_us {
+                self.stats.slow_responses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        match (&result, failed) {
+            // Absence is final but says nothing about server health.
+            (Err(_), false) => {}
+            (Ok(_), _) => {
+                self.breakers
+                    .lock()
+                    .get_mut(key)
+                    .expect("breaker created on admission")
+                    .on_success();
+            }
+            (Err(_), true) => {
+                let tripped = self
+                    .breakers
+                    .lock()
+                    .get_mut(key)
+                    .expect("breaker created on admission")
+                    .on_failure();
+                if tripped {
+                    self.stats.breaker_trips.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    fn gov(policy: RetryPolicy) -> Governor {
+        Governor::new(policy, BreakerConfig::default())
+    }
+
+    #[test]
+    fn retries_until_success() {
+        let g = gov(RetryPolicy::new(4));
+        let failures = Cell::new(2u32);
+        let out: Result<u32, &str> = g.call(
+            "k",
+            || {
+                if failures.get() > 0 {
+                    failures.set(failures.get() - 1);
+                    Err("503")
+                } else {
+                    Ok(7)
+                }
+            },
+            |_| Class::Transient,
+            || "rejected",
+        );
+        assert_eq!(out, Ok(7));
+        let s = g.snapshot();
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.giveups, 0);
+        assert!(s.backoff_us > 0);
+    }
+
+    #[test]
+    fn gives_up_after_max_attempts() {
+        let g = gov(RetryPolicy::new(3));
+        let calls = Cell::new(0u32);
+        let out: Result<(), &str> = g.call(
+            "k",
+            || {
+                calls.set(calls.get() + 1);
+                Err("503")
+            },
+            |_| Class::Transient,
+            || "rejected",
+        );
+        assert!(out.is_err());
+        assert_eq!(calls.get(), 3);
+        let s = g.snapshot();
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.giveups, 1);
+    }
+
+    #[test]
+    fn absence_and_permanent_are_not_retried() {
+        for class in [Class::Absence, Class::Permanent] {
+            let g = gov(RetryPolicy::new(5));
+            let calls = Cell::new(0u32);
+            let out: Result<(), &str> = g.call(
+                "k",
+                || {
+                    calls.set(calls.get() + 1);
+                    Err("nope")
+                },
+                |_| class,
+                || "rejected",
+            );
+            assert!(out.is_err());
+            assert_eq!(calls.get(), 1, "{class:?} must not retry");
+            assert_eq!(g.snapshot().retries, 0);
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_stops_retrying() {
+        let g = gov(RetryPolicy::new(10).with_retry_budget(3));
+        for _ in 0..3 {
+            let _: Result<(), &str> =
+                g.call("k", || Err("503"), |_| Class::Transient, || "rejected");
+        }
+        let s = g.snapshot();
+        // The first call spends the whole budget (3 retries) then gives
+        // up; the next two calls are denied a first retry outright.
+        assert_eq!(s.retries, 3);
+        assert_eq!(s.budget_exhausted, 3);
+        assert_eq!(s.giveups, 3);
+    }
+
+    #[test]
+    fn breaker_trips_and_rejects_then_recovers() {
+        let g = Governor::new(
+            RetryPolicy::no_retries(),
+            BreakerConfig {
+                failure_threshold: 2,
+                cooldown_rejections: 2,
+            },
+        );
+        let healthy = Cell::new(false);
+        let run = |g: &Governor| -> Result<(), &'static str> {
+            g.call(
+                "k",
+                || if healthy.get() { Ok(()) } else { Err("503") },
+                |_| Class::Transient,
+                || "breaker open",
+            )
+        };
+        assert!(run(&g).is_err());
+        assert!(run(&g).is_err()); // trips
+        assert_eq!(g.breaker_state("k"), BreakerState::Open);
+        assert_eq!(run(&g), Err("breaker open"));
+        assert_eq!(run(&g), Err("breaker open"));
+        assert_eq!(g.breaker_state("k"), BreakerState::HalfOpen);
+        healthy.set(true);
+        assert!(run(&g).is_ok()); // probe succeeds
+        assert_eq!(g.breaker_state("k"), BreakerState::Closed);
+        let s = g.snapshot();
+        assert_eq!(s.breaker_trips, 1);
+        assert_eq!(s.breaker_rejections, 2);
+    }
+
+    #[test]
+    fn absence_does_not_feed_the_breaker() {
+        let g = Governor::new(
+            RetryPolicy::no_retries(),
+            BreakerConfig {
+                failure_threshold: 2,
+                cooldown_rejections: 1,
+            },
+        );
+        for _ in 0..10 {
+            let _: Result<(), &str> = g.call("k", || Err("404"), |_| Class::Absence, || "open");
+        }
+        assert_eq!(g.breaker_state("k"), BreakerState::Closed);
+        assert_eq!(g.snapshot().breaker_trips, 0);
+    }
+
+    #[test]
+    fn keys_have_independent_breakers() {
+        let g = Governor::new(
+            RetryPolicy::no_retries(),
+            BreakerConfig {
+                failure_threshold: 1,
+                cooldown_rejections: 100,
+            },
+        );
+        let _: Result<(), &str> = g.call("sick", || Err("503"), |_| Class::Transient, || "open");
+        assert_eq!(g.breaker_state("sick"), BreakerState::Open);
+        assert_eq!(g.breaker_state("fine"), BreakerState::Closed);
+        let ok: Result<u32, &str> = g.call("fine", || Ok(1), |_| Class::Transient, || "open");
+        assert_eq!(ok, Ok(1));
+    }
+
+    #[test]
+    fn jitter_stream_is_deterministic_per_seed() {
+        let run = || {
+            let g = gov(RetryPolicy::new(4).with_jitter_seed(42));
+            let _: Result<(), &str> =
+                g.call("k", || Err("503"), |_| Class::Transient, || "rejected");
+            g.snapshot().backoff_us
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn reset_restores_budget_and_breakers() {
+        let g = Governor::new(
+            RetryPolicy::no_retries().with_retry_budget(1),
+            BreakerConfig {
+                failure_threshold: 1,
+                cooldown_rejections: 100,
+            },
+        );
+        let _: Result<(), &str> = g.call("k", || Err("503"), |_| Class::Transient, || "open");
+        assert_eq!(g.breaker_state("k"), BreakerState::Open);
+        g.reset();
+        assert_eq!(g.breaker_state("k"), BreakerState::Closed);
+        assert!(g.snapshot().is_quiet());
+    }
+}

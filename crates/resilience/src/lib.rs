@@ -1,0 +1,43 @@
+//! # resilience — fault tolerance for the web-view engine
+//!
+//! The paper's execution model assumes every navigation succeeds; its
+//! motivating setting — live web sites — is exactly where fetches time
+//! out, links rot, and pages come back truncated. This crate supplies the
+//! machinery that lets the rest of the engine keep the paper's model while
+//! surviving a faulty web:
+//!
+//! * [`RetryPolicy`] — capped exponential backoff with seeded jitter, an
+//!   optional cross-call retry budget, and an (observational) per-request
+//!   timeout;
+//! * [`BreakerConfig`] / [`BreakerState`] — a per-key circuit breaker
+//!   (keyed by page scheme for query sources, a single key for servers)
+//!   that fast-fails calls after consecutive failures and recovers through
+//!   a half-open probe;
+//! * [`ResilientSource`] — wraps any [`nalg::PageSource`] (the live
+//!   source, a cached source, …) so query evaluation, the fetch worker
+//!   pool, the crawler, and statistics collection all retry transient
+//!   errors transparently;
+//! * [`ResilientServer`] — wraps any [`websim::PageServer`] so
+//!   materialized-view URL-checks and refreshes get the same treatment.
+//!
+//! **Counter separation.** Every action this crate takes is counted in
+//! [`ResilienceSnapshot`] — retries, give-ups, breaker trips and
+//! rejections, budget exhaustion — and *never* in the paper's page-access
+//! statistics. A retried GET that eventually succeeds is one download; a
+//! failed attempt is zero downloads plus one retry. With a zero-fault
+//! plan the wrappers are pure pass-throughs and every paper number is
+//! byte-identical to running without them (pinned by the equivalence
+//! proptests in `tests/chaos_equivalence.rs`).
+
+pub mod breaker;
+mod govern;
+pub mod policy;
+pub mod server;
+pub mod source;
+pub mod stats;
+
+pub use breaker::{BreakerConfig, BreakerState};
+pub use policy::RetryPolicy;
+pub use server::ResilientServer;
+pub use source::ResilientSource;
+pub use stats::ResilienceSnapshot;

@@ -1,0 +1,123 @@
+//! Retry policies: how often, how long, and at what total cost.
+
+/// When and how to retry a transient fetch failure.
+///
+/// Backoff is capped exponential: attempt *n* (1-based) waits
+/// `min(base_backoff_us · 2^(n−1), max_backoff_us)` plus a seeded-jitter
+/// term in `[0, base_backoff_us)`. The jitter stream is deterministic per
+/// [`RetryPolicy::jitter_seed`], so a chaos run is reproducible end to
+/// end. By default the computed backoff is only *recorded* (in
+/// [`crate::ResilienceSnapshot::backoff_us`]), not slept — the virtual web
+/// has no real network to decongest — but [`RetryPolicy::with_sleep`]
+/// opts into real sleeping for wall-clock experiments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per call, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// First backoff step in microseconds; also the jitter span.
+    pub base_backoff_us: u64,
+    /// Upper bound on any single backoff step (before jitter).
+    pub max_backoff_us: u64,
+    /// Seed of the deterministic jitter stream.
+    pub jitter_seed: u64,
+    /// Optional cross-call budget: total retries this wrapper may spend
+    /// over its lifetime. Exhausted budget turns transient failures into
+    /// immediate give-ups.
+    pub retry_budget: Option<u64>,
+    /// Observational per-request timeout: calls that take longer are
+    /// counted as `slow_responses` (they still return their result — the
+    /// simulated web cannot abandon an in-flight request).
+    pub request_timeout_us: Option<u64>,
+    /// Whether to actually sleep the computed backoff.
+    pub sleep_backoff: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_us: 100,
+            max_backoff_us: 10_000,
+            jitter_seed: 0,
+            retry_budget: None,
+            request_timeout_us: None,
+            sleep_backoff: false,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with the given attempt count and default backoff.
+    pub fn new(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// A policy that never retries (every failure is final).
+    pub fn no_retries() -> Self {
+        RetryPolicy::new(1)
+    }
+
+    /// Sets the backoff curve (base step and cap, microseconds).
+    pub fn with_backoff(mut self, base_us: u64, max_us: u64) -> Self {
+        self.base_backoff_us = base_us;
+        self.max_backoff_us = max_us.max(base_us);
+        self
+    }
+
+    /// Seeds the jitter stream.
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// Caps the total retries spent across all calls.
+    pub fn with_retry_budget(mut self, budget: u64) -> Self {
+        self.retry_budget = Some(budget);
+        self
+    }
+
+    /// Flags calls slower than `timeout_us` as slow responses.
+    pub fn with_request_timeout_us(mut self, timeout_us: u64) -> Self {
+        self.request_timeout_us = Some(timeout_us);
+        self
+    }
+
+    /// Actually sleeps the computed backoff between attempts.
+    pub fn with_sleep(mut self) -> Self {
+        self.sleep_backoff = true;
+        self
+    }
+
+    /// The capped exponential step before jitter for the given (1-based)
+    /// failed attempt.
+    pub(crate) fn backoff_step_us(&self, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1).min(20);
+        self.base_backoff_us
+            .saturating_mul(1u64 << shift)
+            .min(self.max_backoff_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let p = RetryPolicy::default().with_backoff(100, 450);
+        assert_eq!(p.backoff_step_us(1), 100);
+        assert_eq!(p.backoff_step_us(2), 200);
+        assert_eq!(p.backoff_step_us(3), 400);
+        assert_eq!(p.backoff_step_us(4), 450); // capped
+        assert_eq!(p.backoff_step_us(60), 450); // shift saturates, still capped
+    }
+
+    #[test]
+    fn at_least_one_attempt() {
+        assert_eq!(RetryPolicy::new(0).max_attempts, 1);
+        assert_eq!(RetryPolicy::no_retries().max_attempts, 1);
+    }
+}

@@ -1,0 +1,184 @@
+//! A fault-tolerant [`PageServer`] wrapper for materialized-view work.
+
+use crate::breaker::{BreakerConfig, BreakerState};
+use crate::govern::{Class, Governor};
+use crate::policy::RetryPolicy;
+use crate::stats::ResilienceSnapshot;
+use adm::Url;
+use websim::{HeadResponse, PageResponse, PageServer, WebError};
+
+/// Key of the single breaker guarding a whole server. Unlike query
+/// fetches, `HEAD`/`GET` requests at the server level do not know the
+/// page scheme, so the breaker is server-scoped.
+const SERVER_KEY: &str = "server";
+
+/// Wraps any [`PageServer`] with retries and a circuit breaker, so
+/// materialized-view URL-checks and refreshes ride the same resilience
+/// machinery as query fetches. Also a [`PageServer`], so `matview`'s
+/// generic sessions accept it unchanged.
+pub struct ResilientServer<'a, P> {
+    inner: &'a P,
+    gov: Governor,
+}
+
+impl<'a, P: PageServer> ResilientServer<'a, P> {
+    /// Wraps `inner` under `policy` with default breaker tuning.
+    pub fn new(inner: &'a P, policy: RetryPolicy) -> Self {
+        ResilientServer {
+            inner,
+            gov: Governor::new(policy, BreakerConfig::default()),
+        }
+    }
+
+    /// Overrides the breaker tuning.
+    pub fn with_breaker(inner: &'a P, policy: RetryPolicy, breaker: BreakerConfig) -> Self {
+        ResilientServer {
+            inner,
+            gov: Governor::new(policy, breaker),
+        }
+    }
+
+    /// Current resilience counters (never part of access statistics).
+    pub fn stats(&self) -> ResilienceSnapshot {
+        self.gov.snapshot()
+    }
+
+    /// Zeroes the counters, closes the breaker, restores the budget.
+    pub fn reset(&self) {
+        self.gov.reset()
+    }
+
+    /// The server breaker's state.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.gov.breaker_state(SERVER_KEY)
+    }
+}
+
+fn classify(e: &WebError) -> Class {
+    match e {
+        WebError::NotFound(_) => Class::Absence,
+        _ if e.is_transient() => Class::Transient,
+        _ => Class::Permanent,
+    }
+}
+
+fn rejected(url: &Url) -> WebError {
+    WebError::Unavailable {
+        url: url.clone(),
+        status: 503,
+    }
+}
+
+impl<P: PageServer> PageServer for ResilientServer<'_, P> {
+    fn get(&self, url: &Url) -> websim::Result<PageResponse> {
+        self.gov.call(
+            SERVER_KEY,
+            || self.inner.get(url),
+            classify,
+            || rejected(url),
+        )
+    }
+
+    fn head(&self, url: &Url) -> websim::Result<HeadResponse> {
+        self.gov.call(
+            SERVER_KEY,
+            || self.inner.head(url),
+            classify,
+            || rejected(url),
+        )
+    }
+
+    fn now(&self) -> u64 {
+        self.inner.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websim::{FaultPlan, FaultRule, VirtualServer};
+
+    fn server() -> VirtualServer {
+        let s = VirtualServer::new();
+        s.put(Url::new("/a.html"), "APage", "<html>A</html>");
+        s
+    }
+
+    #[test]
+    fn retries_ride_over_injected_transients() {
+        let s = server();
+        // Default per-URL cap of 2 injections < 4 attempts → every call
+        // eventually succeeds.
+        s.set_fault_plan(FaultPlan::new(9).with_rule(FaultRule::unavailable(1.0)));
+        let rs = ResilientServer::new(&s, RetryPolicy::new(4));
+        let url = Url::new("/a.html");
+        let resp = rs.get(&url).unwrap();
+        assert_eq!(&resp.body[..], b"<html>A</html>");
+        let stats = rs.stats();
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.giveups, 0);
+        // Counter separation: one successful GET, two counted faults,
+        // retries never leak into the access statistics.
+        let access = s.stats();
+        assert_eq!(access.gets, 1);
+        assert_eq!(access.faults.unavailable, 2);
+    }
+
+    #[test]
+    fn head_is_retried_too() {
+        let s = server();
+        s.set_fault_plan(FaultPlan::new(9).with_rule(FaultRule::timeouts(1.0)));
+        let rs = ResilientServer::new(&s, RetryPolicy::new(4));
+        assert!(rs.head(&Url::new("/a.html")).is_ok());
+        assert_eq!(rs.stats().retries, 2);
+        assert_eq!(s.stats().heads, 1);
+    }
+
+    #[test]
+    fn link_rot_is_final_and_breaker_neutral() {
+        let s = server();
+        s.set_fault_plan(FaultPlan::new(9).with_rule(FaultRule::link_rot(1.0)));
+        let rs = ResilientServer::new(&s, RetryPolicy::new(4));
+        for _ in 0..6 {
+            assert!(matches!(
+                rs.get(&Url::new("/a.html")),
+                Err(WebError::NotFound(_))
+            ));
+        }
+        assert_eq!(rs.stats().retries, 0);
+        assert_eq!(rs.breaker_state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn persistent_outage_trips_the_server_breaker() {
+        let s = server();
+        s.set_fault_plan(
+            FaultPlan::new(9).with_rule(FaultRule::unavailable(1.0).with_max_per_url(None)),
+        );
+        let rs = ResilientServer::with_breaker(
+            &s,
+            RetryPolicy::no_retries(),
+            BreakerConfig {
+                failure_threshold: 3,
+                cooldown_rejections: 100,
+            },
+        );
+        let url = Url::new("/a.html");
+        for _ in 0..3 {
+            assert!(rs.get(&url).is_err());
+        }
+        assert_eq!(rs.breaker_state(), BreakerState::Open);
+        let faults_before = s.stats().faults;
+        assert!(rs.get(&url).is_err()); // rejected, not attempted
+        assert_eq!(s.stats().faults, faults_before);
+        assert_eq!(rs.stats().breaker_rejections, 1);
+        assert_eq!(rs.stats().breaker_trips, 1);
+    }
+
+    #[test]
+    fn now_delegates() {
+        let s = server();
+        let rs = ResilientServer::new(&s, RetryPolicy::default());
+        assert_eq!(rs.now(), s.now());
+    }
+}

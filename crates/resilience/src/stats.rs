@@ -1,0 +1,85 @@
+//! Resilience counters — strictly separate from the paper's statistics.
+//!
+//! Nothing in this module ever feeds `page_accesses`, `gets`, or any other
+//! number the paper's experiments report. Retries, give-ups, breaker
+//! activity, and backoff time live here and only here, so the cost-model
+//! experiments stay byte-identical whether or not a resilient wrapper sits
+//! in the fetch path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal atomic cells backing [`ResilienceSnapshot`].
+#[derive(Debug, Default)]
+pub(crate) struct StatCells {
+    pub retries: AtomicU64,
+    pub giveups: AtomicU64,
+    pub breaker_trips: AtomicU64,
+    pub breaker_rejections: AtomicU64,
+    pub budget_exhausted: AtomicU64,
+    pub backoff_us: AtomicU64,
+    pub slow_responses: AtomicU64,
+}
+
+impl StatCells {
+    pub(crate) fn snapshot(&self) -> ResilienceSnapshot {
+        ResilienceSnapshot {
+            retries: self.retries.load(Ordering::Relaxed),
+            giveups: self.giveups.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            breaker_rejections: self.breaker_rejections.load(Ordering::Relaxed),
+            budget_exhausted: self.budget_exhausted.load(Ordering::Relaxed),
+            backoff_us: self.backoff_us.load(Ordering::Relaxed),
+            slow_responses: self.slow_responses.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        self.retries.store(0, Ordering::Relaxed);
+        self.giveups.store(0, Ordering::Relaxed);
+        self.breaker_trips.store(0, Ordering::Relaxed);
+        self.breaker_rejections.store(0, Ordering::Relaxed);
+        self.budget_exhausted.store(0, Ordering::Relaxed);
+        self.backoff_us.store(0, Ordering::Relaxed);
+        self.slow_responses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of a wrapper's resilience counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResilienceSnapshot {
+    /// Transient failures that were retried.
+    pub retries: u64,
+    /// Calls that exhausted their attempts (or the budget) and failed.
+    pub giveups: u64,
+    /// Breaker transitions into Open (including failed half-open probes).
+    pub breaker_trips: u64,
+    /// Calls rejected by an Open breaker without touching the source.
+    pub breaker_rejections: u64,
+    /// Retries denied because the cross-call budget ran out.
+    pub budget_exhausted: u64,
+    /// Total computed backoff (µs), whether or not it was slept.
+    pub backoff_us: u64,
+    /// Calls slower than the policy's observational request timeout.
+    pub slow_responses: u64,
+}
+
+impl ResilienceSnapshot {
+    /// Counter deltas since an earlier snapshot.
+    pub fn since(&self, earlier: &ResilienceSnapshot) -> ResilienceSnapshot {
+        ResilienceSnapshot {
+            retries: self.retries - earlier.retries,
+            giveups: self.giveups - earlier.giveups,
+            breaker_trips: self.breaker_trips - earlier.breaker_trips,
+            breaker_rejections: self.breaker_rejections - earlier.breaker_rejections,
+            budget_exhausted: self.budget_exhausted - earlier.budget_exhausted,
+            backoff_us: self.backoff_us - earlier.backoff_us,
+            slow_responses: self.slow_responses - earlier.slow_responses,
+        }
+    }
+
+    /// True when the wrapper took no resilience action at all — the
+    /// fault-free fast path.
+    pub fn is_quiet(&self) -> bool {
+        *self == ResilienceSnapshot::default()
+    }
+}

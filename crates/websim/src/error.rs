@@ -6,18 +6,41 @@ use std::fmt;
 /// Errors raised by the virtual server and site generators.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WebError {
-    /// No page at this URL (HTTP 404 analogue).
+    /// No page at this URL (HTTP 404 analogue). Permanent: retrying the
+    /// same request cannot succeed.
     NotFound(Url),
+    /// Transient server failure (HTTP 5xx analogue), injected by a
+    /// [`crate::fault::FaultPlan`]. A retry may succeed.
+    Unavailable {
+        /// The URL that failed.
+        url: Url,
+        /// The simulated HTTP status (e.g. 503).
+        status: u16,
+    },
+    /// The request timed out (injected fault). A retry may succeed.
+    Timeout(Url),
     /// A site generator was asked for an impossible configuration.
     BadConfig(String),
     /// An underlying data-model error.
     Adm(adm::AdmError),
 }
 
+impl WebError {
+    /// True for failures a retry may fix (5xx, timeout); false for
+    /// permanent conditions (404, configuration and data-model errors).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, WebError::Unavailable { .. } | WebError::Timeout(_))
+    }
+}
+
 impl fmt::Display for WebError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WebError::NotFound(u) => write!(f, "404 not found: {u}"),
+            WebError::Unavailable { url, status } => {
+                write!(f, "{status} service unavailable: {url}")
+            }
+            WebError::Timeout(u) => write!(f, "timeout: {u}"),
             WebError::BadConfig(msg) => write!(f, "bad site configuration: {msg}"),
             WebError::Adm(e) => write!(f, "data model error: {e}"),
         }

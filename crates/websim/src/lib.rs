@@ -16,9 +16,14 @@
 //!   **university site** of Figure 1 and a **bibliography site** modeled on
 //!   the Trier DBLP repository used in the introduction;
 //! * [`mutation`] — a site-update API (the autonomous site manager of the
-//!   paper's Section 1), used by the materialized-view experiments.
+//!   paper's Section 1), used by the materialized-view experiments;
+//! * [`fault`] — deterministic, seed-driven fault injection ([`FaultPlan`])
+//!   for chaos testing: transient 5xx/timeouts, permanent link rot, slow
+//!   responses, and truncated bodies, all counted separately from the
+//!   paper's page-access statistics.
 
 pub mod error;
+pub mod fault;
 pub mod html;
 pub mod mutation;
 pub mod page;
@@ -27,7 +32,10 @@ pub mod site;
 pub mod sitegen;
 
 pub use error::WebError;
-pub use server::{AccessSnapshot, HeadResponse, PageResponse, VirtualServer};
+pub use fault::{FaultKind, FaultPlan, FaultRule};
+pub use server::{
+    AccessSnapshot, FaultSnapshot, HeadResponse, PageResponse, PageServer, VirtualServer,
+};
 pub use site::Site;
 
 /// Crate-wide result alias.

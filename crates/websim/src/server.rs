@@ -14,12 +14,13 @@
 //! `If-Modified-Since` without real time.
 
 use crate::error::WebError;
+use crate::fault::{FaultKind, FaultPlan};
 use crate::Result;
 use adm::Url;
 use bytes::Bytes;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
 /// A stored page.
@@ -50,6 +51,41 @@ pub struct HeadResponse {
     pub last_modified: u64,
 }
 
+/// Per-kind counts of injected faults (all zero without a fault plan).
+/// These are separate from `gets`/`heads`/`not_found` so the paper's
+/// access accounting stays fault-blind when no plan is installed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultSnapshot {
+    /// Injected transient 5xx errors.
+    pub unavailable: u64,
+    /// Injected transient timeouts.
+    pub timeout: u64,
+    /// Injected permanent 404s (link rot).
+    pub link_rot: u64,
+    /// Requests served after an injected delay.
+    pub slow: u64,
+    /// GETs served with a truncated body.
+    pub truncated: u64,
+}
+
+impl FaultSnapshot {
+    /// Difference of two snapshots (self − earlier).
+    pub fn since(&self, earlier: &FaultSnapshot) -> FaultSnapshot {
+        FaultSnapshot {
+            unavailable: self.unavailable - earlier.unavailable,
+            timeout: self.timeout - earlier.timeout,
+            link_rot: self.link_rot - earlier.link_rot,
+            slow: self.slow - earlier.slow,
+            truncated: self.truncated - earlier.truncated,
+        }
+    }
+
+    /// Total faults of every kind.
+    pub fn total(&self) -> u64 {
+        self.unavailable + self.timeout + self.link_rot + self.slow + self.truncated
+    }
+}
+
 /// A snapshot of the access counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct AccessSnapshot {
@@ -61,6 +97,8 @@ pub struct AccessSnapshot {
     pub bytes: u64,
     /// Requests (of either kind) answered with 404.
     pub not_found: u64,
+    /// Injected faults by kind (zero without a [`FaultPlan`]).
+    pub faults: FaultSnapshot,
 }
 
 impl AccessSnapshot {
@@ -71,8 +109,19 @@ impl AccessSnapshot {
             heads: self.heads - earlier.heads,
             bytes: self.bytes - earlier.bytes,
             not_found: self.not_found - earlier.not_found,
+            faults: self.faults.since(&earlier.faults),
         }
     }
+}
+
+/// Mutable bookkeeping of an installed fault plan: the per-URL attempt
+/// counter transient decisions re-roll on, and the per-(rule, URL)
+/// injection counts that enforce [`crate::fault::FaultRule::max_per_url`].
+#[derive(Debug, Default)]
+struct FaultState {
+    plan: FaultPlan,
+    attempts: HashMap<Url, u64>,
+    injected: HashMap<(usize, Url), u32>,
 }
 
 /// The in-process web server.
@@ -91,6 +140,15 @@ pub struct VirtualServer {
     /// HEADs exchange no body and pay only the latency — the asymmetry that
     /// makes light connections "light".
     bandwidth_bps: AtomicU64,
+    /// Fast-path flag: true only while a fault plan is installed, so the
+    /// zero-fault request path never touches the fault lock.
+    chaos_enabled: AtomicBool,
+    fault: Mutex<FaultState>,
+    f_unavailable: AtomicU64,
+    f_timeout: AtomicU64,
+    f_link_rot: AtomicU64,
+    f_slow: AtomicU64,
+    f_truncated: AtomicU64,
 }
 
 impl VirtualServer {
@@ -140,6 +198,67 @@ impl VirtualServer {
         }
     }
 
+    /// Installs a fault plan: subsequent requests consult it and may be
+    /// failed, delayed, or mangled. Replaces any previous plan (and its
+    /// per-URL attempt bookkeeping).
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        let mut state = self.fault.lock();
+        self.chaos_enabled
+            .store(!plan.is_empty(), Ordering::Release);
+        *state = FaultState {
+            plan,
+            ..FaultState::default()
+        };
+    }
+
+    /// Removes the fault plan; the server serves cleanly again.
+    pub fn clear_fault_plan(&self) {
+        self.set_fault_plan(FaultPlan::default());
+    }
+
+    /// The installed fault plan, if any rules are active.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        if !self.chaos_enabled.load(Ordering::Acquire) {
+            return None;
+        }
+        let state = self.fault.lock();
+        (!state.plan.is_empty()).then(|| state.plan.clone())
+    }
+
+    /// Consults the fault plan for one request, advancing the per-URL
+    /// attempt counter and recording the injection. `None` without a plan
+    /// (the zero-fault fast path) or when no rule fires.
+    fn apply_fault(&self, url: &Url, scheme: Option<&str>, is_head: bool) -> Option<FaultKind> {
+        if !self.chaos_enabled.load(Ordering::Acquire) {
+            return None;
+        }
+        let mut state = self.fault.lock();
+        let attempt = {
+            let a = state.attempts.entry(url.clone()).or_insert(0);
+            let current = *a;
+            *a += 1;
+            current
+        };
+        let decision = state.plan.decide(url, scheme, is_head, attempt, |rule| {
+            state
+                .injected
+                .get(&(rule, url.clone()))
+                .copied()
+                .unwrap_or(0)
+        });
+        let (rule, kind) = decision?;
+        *state.injected.entry((rule, url.clone())).or_insert(0) += 1;
+        let counter = match kind {
+            FaultKind::Unavailable => &self.f_unavailable,
+            FaultKind::Timeout => &self.f_timeout,
+            FaultKind::LinkRot => &self.f_link_rot,
+            FaultKind::Slow { .. } => &self.f_slow,
+            FaultKind::Truncate { .. } => &self.f_truncated,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        Some(kind)
+    }
+
     /// Publishes (or replaces) a page; stamps it with the *current* clock.
     pub fn put(&self, url: Url, scheme: impl Into<String>, body: impl Into<Bytes>) {
         let page = StoredPage {
@@ -163,10 +282,51 @@ impl VirtualServer {
         self.pages.write().remove(url).is_some()
     }
 
-    /// Full download. Counts one GET and the body bytes.
+    /// Full download. Counts one GET and the body bytes. A failed request
+    /// (404 or injected fault) counts in `not_found`/`faults`, never as a
+    /// GET: the paper's cost measure charges only completed downloads.
     pub fn get(&self, url: &Url) -> Result<PageResponse> {
         self.simulate_latency();
         let pages = self.pages.read();
+        let scheme = pages.get(url).map(|p| p.scheme.clone());
+        match self.apply_fault(url, scheme.as_deref(), false) {
+            Some(FaultKind::Unavailable) => {
+                return Err(WebError::Unavailable {
+                    url: url.clone(),
+                    status: 503,
+                })
+            }
+            Some(FaultKind::Timeout) => return Err(WebError::Timeout(url.clone())),
+            Some(FaultKind::LinkRot) => {
+                self.not_found.fetch_add(1, Ordering::Relaxed);
+                return Err(WebError::NotFound(url.clone()));
+            }
+            Some(FaultKind::Slow { delay_us }) if delay_us > 0 => {
+                std::thread::sleep(Duration::from_micros(delay_us));
+            }
+            Some(FaultKind::Truncate { keep_pct }) => {
+                // Serve (and count) a prefix of the body: the transfer
+                // "succeeded" on the wire but the document is mangled.
+                if let Some(p) = pages.get(url) {
+                    let keep = p.body.len() * keep_pct.min(100) as usize / 100;
+                    let body = Bytes::copy_from_slice(&p.body[..keep]);
+                    self.simulate_transfer(body.len());
+                    self.gets.fetch_add(1, Ordering::Relaxed);
+                    self.bytes.fetch_add(body.len() as u64, Ordering::Relaxed);
+                    *self
+                        .gets_by_scheme
+                        .write()
+                        .entry(p.scheme.clone())
+                        .or_insert(0) += 1;
+                    return Ok(PageResponse {
+                        scheme: p.scheme.clone(),
+                        body,
+                        last_modified: p.last_modified,
+                    });
+                }
+            }
+            Some(FaultKind::Slow { .. }) | None => {}
+        }
         match pages.get(url) {
             Some(p) => {
                 self.simulate_transfer(p.body.len());
@@ -191,9 +351,30 @@ impl VirtualServer {
     }
 
     /// Light connection: only existence and last-modified are exchanged.
+    /// Body-mangling faults do not apply; availability faults do.
     pub fn head(&self, url: &Url) -> Result<HeadResponse> {
         self.simulate_latency();
         let pages = self.pages.read();
+        let scheme = pages.get(url).map(|p| p.scheme.clone());
+        match self.apply_fault(url, scheme.as_deref(), true) {
+            Some(FaultKind::Unavailable) => {
+                return Err(WebError::Unavailable {
+                    url: url.clone(),
+                    status: 503,
+                })
+            }
+            Some(FaultKind::Timeout) => return Err(WebError::Timeout(url.clone())),
+            Some(FaultKind::LinkRot) => {
+                self.not_found.fetch_add(1, Ordering::Relaxed);
+                return Err(WebError::NotFound(url.clone()));
+            }
+            Some(FaultKind::Slow { delay_us }) => {
+                if delay_us > 0 {
+                    std::thread::sleep(Duration::from_micros(delay_us));
+                }
+            }
+            Some(FaultKind::Truncate { .. }) | None => {}
+        }
         match pages.get(url) {
             Some(p) => {
                 self.heads.fetch_add(1, Ordering::Relaxed);
@@ -239,6 +420,13 @@ impl VirtualServer {
             heads: self.heads.load(Ordering::Relaxed),
             bytes: self.bytes.load(Ordering::Relaxed),
             not_found: self.not_found.load(Ordering::Relaxed),
+            faults: FaultSnapshot {
+                unavailable: self.f_unavailable.load(Ordering::Relaxed),
+                timeout: self.f_timeout.load(Ordering::Relaxed),
+                link_rot: self.f_link_rot.load(Ordering::Relaxed),
+                slow: self.f_slow.load(Ordering::Relaxed),
+                truncated: self.f_truncated.load(Ordering::Relaxed),
+            },
         }
     }
 
@@ -247,13 +435,46 @@ impl VirtualServer {
         self.gets_by_scheme.read().clone()
     }
 
-    /// Resets all access counters (not the clock or the pages).
+    /// Resets all access counters (not the clock, the pages, or the fault
+    /// plan's attempt bookkeeping).
     pub fn reset_stats(&self) {
         self.gets.store(0, Ordering::Relaxed);
         self.heads.store(0, Ordering::Relaxed);
         self.bytes.store(0, Ordering::Relaxed);
         self.not_found.store(0, Ordering::Relaxed);
+        self.f_unavailable.store(0, Ordering::Relaxed);
+        self.f_timeout.store(0, Ordering::Relaxed);
+        self.f_link_rot.store(0, Ordering::Relaxed);
+        self.f_slow.store(0, Ordering::Relaxed);
+        self.f_truncated.store(0, Ordering::Relaxed);
         self.gets_by_scheme.write().clear();
+    }
+}
+
+/// The server-side protocol surface — GET, HEAD, and the logical clock —
+/// abstracted so maintenance code (crawling, URL-check, the `CheckMissing`
+/// sweep) can run against either a raw [`VirtualServer`] or a resilience
+/// wrapper that retries and circuit-breaks around one.
+pub trait PageServer {
+    /// Full download (counted).
+    fn get(&self, url: &Url) -> Result<PageResponse>;
+    /// Light connection (counted).
+    fn head(&self, url: &Url) -> Result<HeadResponse>;
+    /// Current logical time of the underlying server.
+    fn now(&self) -> u64;
+}
+
+impl PageServer for VirtualServer {
+    fn get(&self, url: &Url) -> Result<PageResponse> {
+        VirtualServer::get(self, url)
+    }
+
+    fn head(&self, url: &Url) -> Result<HeadResponse> {
+        VirtualServer::head(self, url)
+    }
+
+    fn now(&self) -> u64 {
+        VirtualServer::now(self)
     }
 }
 
@@ -392,5 +613,126 @@ mod tests {
         let urls = s.urls_of_scheme("P");
         assert_eq!(urls.len(), 2);
         assert!(urls[0] < urls[1]);
+    }
+
+    #[test]
+    fn empty_fault_plan_changes_nothing() {
+        let s = server_with_page();
+        s.set_fault_plan(FaultPlan::new(7));
+        let r = s.get(&Url::new("/a.html")).unwrap();
+        assert_eq!(&r.body[..], b"<html>A</html>");
+        let st = s.stats();
+        assert_eq!(st.gets, 1);
+        assert_eq!(st.faults, FaultSnapshot::default());
+    }
+
+    #[test]
+    fn unavailable_fault_counts_and_does_not_count_get() {
+        let s = server_with_page();
+        s.set_fault_plan(FaultPlan::new(11).with_rule(crate::fault::FaultRule::unavailable(1.0)));
+        let url = Url::new("/a.html");
+        // Cap of 2 injections per URL: two failures, then success.
+        assert!(matches!(
+            s.get(&url),
+            Err(WebError::Unavailable { status: 503, .. })
+        ));
+        assert!(matches!(s.get(&url), Err(WebError::Unavailable { .. })));
+        let r = s.get(&url).unwrap();
+        assert_eq!(&r.body[..], b"<html>A</html>");
+        let st = s.stats();
+        assert_eq!(st.faults.unavailable, 2);
+        assert_eq!(st.gets, 1, "failed requests must not count as GETs");
+        assert_eq!(st.bytes, 14);
+    }
+
+    #[test]
+    fn link_rot_is_permanent_404() {
+        let s = server_with_page();
+        s.set_fault_plan(FaultPlan::new(3).with_rule(crate::fault::FaultRule::link_rot(1.0)));
+        let url = Url::new("/a.html");
+        for _ in 0..4 {
+            assert!(matches!(s.get(&url), Err(WebError::NotFound(_))));
+        }
+        assert!(matches!(s.head(&url), Err(WebError::NotFound(_))));
+        let st = s.stats();
+        assert_eq!(st.faults.link_rot, 5);
+        assert_eq!(st.not_found, 5);
+        assert_eq!(st.gets, 0);
+        assert_eq!(st.heads, 0);
+    }
+
+    #[test]
+    fn truncation_serves_short_body_and_counts_get() {
+        let s = server_with_page(); // 14-byte body
+        s.set_fault_plan(FaultPlan::new(5).with_rule(crate::fault::FaultRule::truncation(1.0, 50)));
+        let r = s.get(&Url::new("/a.html")).unwrap();
+        assert_eq!(r.body.len(), 7);
+        assert_eq!(&r.body[..], b"<html>A");
+        let st = s.stats();
+        assert_eq!(st.faults.truncated, 1);
+        assert_eq!(st.gets, 1, "a truncated response is still a download");
+        assert_eq!(st.bytes, 7);
+    }
+
+    #[test]
+    fn truncation_does_not_affect_head() {
+        let s = server_with_page();
+        s.set_fault_plan(
+            FaultPlan::new(5)
+                .with_rule(crate::fault::FaultRule::truncation(1.0, 50))
+                .with_rule(crate::fault::FaultRule::slow(1.0, 1)),
+        );
+        s.head(&Url::new("/a.html")).unwrap();
+        assert_eq!(s.stats().heads, 1);
+    }
+
+    #[test]
+    fn clear_fault_plan_restores_normal_service() {
+        let s = server_with_page();
+        s.set_fault_plan(
+            FaultPlan::new(11)
+                .with_rule(crate::fault::FaultRule::unavailable(1.0).with_max_per_url(None)),
+        );
+        assert!(s.get(&Url::new("/a.html")).is_err());
+        s.clear_fault_plan();
+        assert!(s.fault_plan().is_none());
+        assert!(s.get(&Url::new("/a.html")).is_ok());
+    }
+
+    #[test]
+    fn scheme_scoped_fault_spares_other_schemes() {
+        let s = server_with_page();
+        s.put(Url::new("/b.html"), "BPage", "<html>B</html>");
+        s.set_fault_plan(
+            FaultPlan::new(13).with_rule(
+                crate::fault::FaultRule::unavailable(1.0)
+                    .for_scheme("APage")
+                    .with_max_per_url(None),
+            ),
+        );
+        assert!(s.get(&Url::new("/a.html")).is_err());
+        assert!(s.get(&Url::new("/b.html")).is_ok());
+    }
+
+    #[test]
+    fn reset_stats_clears_fault_counters() {
+        let s = server_with_page();
+        s.set_fault_plan(FaultPlan::new(3).with_rule(crate::fault::FaultRule::link_rot(1.0)));
+        let _ = s.get(&Url::new("/a.html"));
+        assert_ne!(s.stats().faults, FaultSnapshot::default());
+        s.reset_stats();
+        assert_eq!(s.stats().faults, FaultSnapshot::default());
+    }
+
+    #[test]
+    fn page_server_trait_delegates() {
+        let s = server_with_page();
+        fn through_trait(p: &dyn PageServer) -> (u64, bool) {
+            let got = p.get(&Url::new("/a.html")).is_ok();
+            (p.now(), got)
+        }
+        let (now, got) = through_trait(&s);
+        assert!(got);
+        assert_eq!(now, s.now());
     }
 }

@@ -17,6 +17,7 @@
 //! | [`wvcore`] | the optimizer: rewrite rules 2–9, statistics, cost model, Algorithm 1 |
 //! | [`wvquery`] | the SQL-subset front end |
 //! | [`matview`] | materialized views: URLCheck, Algorithm 3 lazy maintenance |
+//! | [`resilience`] | fault tolerance: retry policies, circuit breakers, partial-result degradation over a chaos-capable web |
 //!
 //! ## Quickstart
 //!
@@ -47,6 +48,7 @@
 pub use adm;
 pub use matview;
 pub use nalg;
+pub use resilience;
 pub use websim;
 pub use wrapper;
 pub use wvcore;
@@ -59,9 +61,10 @@ pub mod prelude {
         Value, WebScheme, WebType,
     };
     pub use matview::{MatOutcome, MatSession, MatStore};
-    pub use nalg::{EvalReport, Evaluator, NalgExpr, PageSource, Pred};
+    pub use nalg::{DegradationMode, EvalReport, Evaluator, NalgExpr, PageSource, Pred};
+    pub use resilience::{ResilienceSnapshot, ResilientServer, ResilientSource, RetryPolicy};
     pub use websim::sitegen::{BibConfig, Bibliography, University, UniversityConfig};
-    pub use websim::{Site, VirtualServer};
+    pub use websim::{FaultPlan, FaultRule, Site, VirtualServer};
     pub use wrapper::wrap_page;
     pub use wvcore::views::{bibliography_catalog, university_catalog};
     pub use wvcore::{
