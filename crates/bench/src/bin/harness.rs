@@ -6,10 +6,17 @@
 //! cargo run --release -p bench --bin harness -- full    # includes the 16,000-author sweep
 //! cargo run --release -p bench --bin harness -- e3      # a single experiment
 //! cargo run --release -p bench --bin harness -- e3 --json  # + BENCH_E3.json
+//! cargo run --release -p bench --bin harness -- --explain-analyze
+//! cargo run --release -p bench --bin harness -- --explain-analyze --check 4.0
 //! ```
 //!
 //! With `--json`, every table experiment also writes a machine-readable
-//! `BENCH_<ID>.json` (see [`bench::json`]) into the current directory.
+//! `BENCH_<ID>.json` (see [`bench::json`]) into the current directory;
+//! X2/X3 embed their cache/resilience counters, and `--explain-analyze`
+//! embeds the full per-query EXPLAIN ANALYZE join plus trace.
+//! `--explain-analyze --check <tol>` exits non-zero when the worst
+//! per-operator predicted/observed page ratio exceeds `<tol>` — the CI
+//! drift gate.
 
 use bench::table::Table;
 use bench::*;
@@ -20,17 +27,36 @@ fn main() {
     let full = args.iter().any(|a| a == "full");
     let markdown = args.iter().any(|a| a == "--markdown" || a == "md");
     let json = args.iter().any(|a| a == "--json" || a == "json");
-    let passthrough =
-        |a: &String| a == "full" || a == "--markdown" || a == "md" || a == "--json" || a == "json";
+    let explain_analyze = args.iter().any(|a| a == "--explain-analyze" || a == "xa");
+    let check: Option<f64> = args
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+    let check_value: Vec<String> = check.map(|t| t.to_string()).into_iter().collect();
+    let passthrough = |a: &String| {
+        a == "full"
+            || a == "--markdown"
+            || a == "md"
+            || a == "--json"
+            || a == "json"
+            || a == "--explain-analyze"
+            || a == "xa"
+            || a == "--check"
+            || check_value.contains(a)
+    };
     let want = |id: &str| {
-        args.iter().filter(|a| !passthrough(a)).count() == 0
+        (!explain_analyze && args.iter().filter(|a| !passthrough(a)).count() == 0)
             || args.iter().any(|a| a.eq_ignore_ascii_case(id))
     };
     // Runs one table experiment: prints the table and, with `--json`,
-    // writes BENCH_<ID>.json carrying the same rows plus wall-clock.
-    let emit = |id: &str, params: Vec<(&str, String)>, run: &dyn Fn() -> Table| {
+    // writes BENCH_<ID>.json carrying the same rows plus wall-clock and
+    // any extra raw-JSON fields (cache/resilience counters, traces).
+    let emit_extras = |id: &str,
+                       params: Vec<(&str, String)>,
+                       run: &dyn Fn() -> (Table, Vec<(String, String)>)| {
         let t0 = Instant::now();
-        let t = run();
+        let (t, extras) = run();
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
         if markdown {
             println!("{}", t.render_markdown());
@@ -38,17 +64,21 @@ fn main() {
             println!("{t}");
         }
         if json {
-            match bench::json::write_experiment_json(
+            match bench::json::write_experiment_json_with_extras(
                 std::path::Path::new("."),
                 id,
                 &params,
                 wall_ms,
                 &t,
+                &extras,
             ) {
                 Ok(p) => eprintln!("wrote {}", p.display()),
                 Err(e) => eprintln!("BENCH_{}.json: {e}", id.to_uppercase()),
             }
         }
+    };
+    let emit = |id: &str, params: Vec<(&str, String)>, run: &dyn Fn() -> Table| {
+        emit_extras(id, params, &|| (run(), Vec::new()));
     };
 
     println!("Efficient Queries over Web Views — experiment harness");
@@ -112,15 +142,55 @@ fn main() {
         );
     }
     if want("x2") {
-        emit("x2", vec![], &x2_shared_cache);
+        emit_extras("x2", vec![], &x2_shared_cache_detailed);
     }
     if want("x3") {
         let rates = [0u8, 20, 40, 60];
-        emit(
+        emit_extras(
             "x3",
             vec![("transient_rate_pct", format!("{rates:?}"))],
-            &|| x3_chaos(&rates),
+            &|| x3_chaos_detailed(&rates),
         );
+    }
+    if explain_analyze || want("xa") {
+        let t0 = Instant::now();
+        let smoke = xa_explain_analyze();
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        for (label, render) in &smoke.renders {
+            println!("EXPLAIN ANALYZE: {label}");
+            println!("{render}");
+        }
+        if markdown {
+            println!("{}", smoke.table.render_markdown());
+        } else {
+            println!("{}", smoke.table);
+        }
+        if json {
+            match bench::json::write_experiment_json_with_extras(
+                std::path::Path::new("."),
+                "xa",
+                &[],
+                wall_ms,
+                &smoke.table,
+                &smoke.extras,
+            ) {
+                Ok(p) => eprintln!("wrote {}", p.display()),
+                Err(e) => eprintln!("BENCH_XA.json: {e}"),
+            }
+        }
+        if let Some(tolerance) = check {
+            if smoke.worst_ratio > tolerance {
+                eprintln!(
+                    "explain-analyze drift check FAILED: worst per-operator page ratio {:.3} > tolerance {tolerance}",
+                    smoke.worst_ratio
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "explain-analyze drift check ok: worst per-operator page ratio {:.3} <= {tolerance}",
+                smoke.worst_ratio
+            );
+        }
     }
     if args.iter().any(|a| a.eq_ignore_ascii_case("dot")) {
         println!("{}", dot_figures());

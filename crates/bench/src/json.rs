@@ -52,6 +52,21 @@ pub fn experiment_json(
     wall_clock_ms: f64,
     table: &Table,
 ) -> String {
+    experiment_json_with_extras(id, params, wall_clock_ms, table, &[])
+}
+
+/// [`experiment_json`] with extra top-level fields. Each extra is a
+/// `(key, value)` pair whose value is **already-serialized JSON**
+/// (an object, array, or number) embedded verbatim — this is how
+/// subsystem counters (cache, resilience) and EXPLAIN ANALYZE traces
+/// ride along in `BENCH_<ID>.json` without the table format changing.
+pub fn experiment_json_with_extras(
+    id: &str,
+    params: &[(&str, String)],
+    wall_clock_ms: f64,
+    table: &Table,
+    extras: &[(String, String)],
+) -> String {
     let params: Vec<String> = params
         .iter()
         .map(|(k, v)| format!("\"{}\": \"{}\"", escape(k), escape(v)))
@@ -61,14 +76,19 @@ pub fn experiment_json(
         .iter()
         .map(|r| format!("    {}", string_array(r)))
         .collect();
+    let extras: String = extras
+        .iter()
+        .map(|(k, raw)| format!(",\n  \"{}\": {}", escape(k), raw))
+        .collect();
     format!(
-        "{{\n  \"experiment\": \"{}\",\n  \"title\": \"{}\",\n  \"parameters\": {{ {} }},\n  \"wall_clock_ms\": {:.1},\n  \"headers\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"{}\",\n  \"title\": \"{}\",\n  \"parameters\": {{ {} }},\n  \"wall_clock_ms\": {:.1},\n  \"headers\": {},\n  \"rows\": [\n{}\n  ]{}\n}}\n",
         escape(id),
         escape(&table.title),
         params.join(", "),
         wall_clock_ms,
         string_array(&table.headers),
         rows.join(",\n"),
+        extras,
     )
 }
 
@@ -80,8 +100,24 @@ pub fn write_experiment_json(
     wall_clock_ms: f64,
     table: &Table,
 ) -> std::io::Result<PathBuf> {
+    write_experiment_json_with_extras(dir, id, params, wall_clock_ms, table, &[])
+}
+
+/// [`write_experiment_json`] with extra raw-JSON top-level fields (see
+/// [`experiment_json_with_extras`]).
+pub fn write_experiment_json_with_extras(
+    dir: &Path,
+    id: &str,
+    params: &[(&str, String)],
+    wall_clock_ms: f64,
+    table: &Table,
+    extras: &[(String, String)],
+) -> std::io::Result<PathBuf> {
     let path = dir.join(format!("BENCH_{}.json", id.to_uppercase()));
-    std::fs::write(&path, experiment_json(id, params, wall_clock_ms, table))?;
+    std::fs::write(
+        &path,
+        experiment_json_with_extras(id, params, wall_clock_ms, table, extras),
+    )?;
     Ok(path)
 }
 
@@ -99,6 +135,25 @@ mod tests {
         assert!(j.contains("\"scale\": \"[1, 2]\""));
         assert!(j.contains("\"wall_clock_ms\": 12.3"));
         assert!(j.contains("[\"1\", \"x\\ny\"]"));
+    }
+
+    #[test]
+    fn extras_are_embedded_verbatim() {
+        let t = Table::new("t", vec!["a"]);
+        let j = experiment_json_with_extras(
+            "x2",
+            &[],
+            1.0,
+            &t,
+            &[
+                ("cache".to_string(), "{\"hits\": 4}".to_string()),
+                ("trace".to_string(), "[]".to_string()),
+            ],
+        );
+        assert!(j.contains("\"cache\": {\"hits\": 4}"));
+        assert!(j.contains("\"trace\": []"));
+        // still an object: extras come before the closing brace
+        assert!(j.trim_end().ends_with('}'));
     }
 
     #[test]

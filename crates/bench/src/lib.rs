@@ -535,6 +535,14 @@ pub fn x1_latency_hiding(latency_ms: u64, workers: &[usize]) -> Table {
 /// server GETs — while the cost-model accounting stays byte-for-byte the
 /// same (the paper's numbers are cache-blind).
 pub fn x2_shared_cache() -> Table {
+    x2_shared_cache_detailed().0
+}
+
+/// [`x2_shared_cache`] plus raw-JSON extras for `BENCH_X2.json`: the
+/// shared cache's own counters (hits, misses, insertions, evictions,
+/// invalidations) after both passes — the numbers the table's
+/// cost-model column deliberately ignores.
+pub fn x2_shared_cache_detailed() -> (Table, Vec<(String, String)>) {
     let mut t = Table::new(
         "X2 — shared page cache: E4 university workload, two passes through one cache",
         vec![
@@ -569,7 +577,15 @@ pub fn x2_shared_cache() -> Table {
             model.to_string(),
         ]);
     }
-    t
+    let c = cache.stats();
+    let extras = vec![(
+        "cache".to_string(),
+        format!(
+            "{{\"hits\": {}, \"misses\": {}, \"insertions\": {}, \"evictions\": {}, \"invalidations\": {}, \"entries\": {}, \"bytes\": {}}}",
+            c.hits, c.misses, c.insertions, c.evictions, c.invalidations, c.entries, c.bytes
+        ),
+    )];
+    (t, extras)
 }
 
 /// X3 (extension) — chaos resilience: the X1 course navigation against a
@@ -581,6 +597,32 @@ pub fn x2_shared_cache() -> Table {
 /// the course pages permanently and answers in
 /// [`nalg::DegradationMode::Partial`], reporting the unreachable set.
 pub fn x3_chaos(rates_pct: &[u8]) -> Table {
+    x3_chaos_detailed(rates_pct).0
+}
+
+/// [`x3_chaos`] plus raw-JSON extras for `BENCH_X3.json`: the summed
+/// [`resilience::ResilienceSnapshot`] across every fault plan — the full
+/// resilience side-channel (give-ups, budget exhaustion, backoff time)
+/// that the table only samples.
+pub fn x3_chaos_detailed(rates_pct: &[u8]) -> (Table, Vec<(String, String)>) {
+    let (t, total) = x3_chaos_inner(rates_pct);
+    let extras = vec![(
+        "resilience".to_string(),
+        format!(
+            "{{\"retries\": {}, \"giveups\": {}, \"breaker_trips\": {}, \"breaker_rejections\": {}, \"budget_exhausted\": {}, \"backoff_us\": {}, \"slow_responses\": {}}}",
+            total.retries,
+            total.giveups,
+            total.breaker_trips,
+            total.breaker_rejections,
+            total.budget_exhausted,
+            total.backoff_us,
+            total.slow_responses
+        ),
+    )];
+    (t, extras)
+}
+
+fn x3_chaos_inner(rates_pct: &[u8]) -> (Table, resilience::ResilienceSnapshot) {
     use resilience::{ResilientSource, RetryPolicy};
     let mut t = Table::new(
         "X3 — chaos resilience: course navigation under injected faults, retries counted separately",
@@ -603,6 +645,7 @@ pub fn x3_chaos(rates_pct: &[u8]) -> Table {
         .unnest("SessionPage.CourseList")
         .follow("SessionPage.CourseList.ToCourse", "CoursePage")
         .project(vec!["CoursePage.CName", "CoursePage.Type"]);
+    let mut total = resilience::ResilienceSnapshot::default();
     let mut run = |label: String, fault_plan: websim::FaultPlan| {
         u.site.server.set_fault_plan(fault_plan);
         u.site.server.reset_stats();
@@ -618,6 +661,13 @@ pub fn x3_chaos(rates_pct: &[u8]) -> Table {
             + stats.faults.slow
             + stats.faults.truncated;
         let res = resilient.stats();
+        total.retries += res.retries;
+        total.giveups += res.giveups;
+        total.breaker_trips += res.breaker_trips;
+        total.breaker_rejections += res.breaker_rejections;
+        total.budget_exhausted += res.budget_exhausted;
+        total.backoff_us += res.backoff_us;
+        total.slow_responses += res.slow_responses;
         t.row(vec![
             label,
             report.page_accesses.to_string(),
@@ -644,7 +694,78 @@ pub fn x3_chaos(rates_pct: &[u8]) -> Table {
             .with_rule(websim::FaultRule::link_rot(0.25).for_scheme("CoursePage")),
     );
     u.site.server.clear_fault_plan();
-    t
+    (t, total)
+}
+
+/// Output of the EXPLAIN ANALYZE smoke run (see [`xa_explain_analyze`]).
+pub struct ExplainSmoke {
+    /// One summary row per workload query.
+    pub table: Table,
+    /// `(query label, rendered per-operator table)` for stdout.
+    pub renders: Vec<(String, String)>,
+    /// Raw-JSON extras for `BENCH_XA.json`: per-query analysis + trace.
+    pub extras: Vec<(String, String)>,
+    /// The worst per-operator predicted/observed page-access ratio across
+    /// the whole workload — the number the CI smoke gate bounds.
+    pub worst_ratio: f64,
+}
+
+/// XA (extension) — EXPLAIN ANALYZE smoke: the fixed-seed university
+/// workload through [`QuerySession::run_analyzed`]. For every query the
+/// optimizer's per-operator estimates are joined onto the executed
+/// operator spans; the summary table reports predicted vs. observed
+/// cost-model pages and the worst per-operator ratio. Because sites,
+/// statistics, and traces are all seeded, the numbers are deterministic
+/// — CI pins a tolerance on [`ExplainSmoke::worst_ratio`] and fails when
+/// the cost model and the evaluator drift apart.
+pub fn xa_explain_analyze() -> ExplainSmoke {
+    let u = University::generate(UniversityConfig::default()).expect("site");
+    let stats = SiteStatistics::from_site(&u.site);
+    let catalog = wvcore::views::university_catalog();
+    let source = LiveSource::for_site(&u.site);
+    let session = QuerySession::new(&u.site.scheme, &catalog, &stats, &source);
+    let mut t = Table::new(
+        "XA — EXPLAIN ANALYZE: predicted vs observed cost-model pages (fixed seed)",
+        vec![
+            "query",
+            "predicted pages",
+            "observed pages",
+            "downloads",
+            "worst op ratio",
+        ],
+    );
+    let mut renders = Vec::new();
+    let mut explains = String::from("[");
+    let mut worst = 1.0f64;
+    for (i, (label, q)) in university_workload().into_iter().enumerate() {
+        let a = session.run_analyzed(&q).expect("query runs");
+        let ratio = a.analysis.worst_pages_ratio();
+        worst = worst.max(ratio);
+        t.row(vec![
+            label.to_string(),
+            format!("{:.1}", a.analysis.predicted_pages),
+            a.analysis.observed_pages.to_string(),
+            a.outcome.downloads().to_string(),
+            format!("{ratio:.2}"),
+        ]);
+        if i > 0 {
+            explains.push(',');
+        }
+        let jsonl = a.trace.export_jsonl();
+        let trace = jsonl.lines().collect::<Vec<_>>().join(",");
+        explains.push_str(&format!(
+            "{{\"query\": \"{label}\", \"analysis\": {}, \"trace\": [{trace}]}}",
+            a.analysis.to_json(),
+        ));
+        renders.push((label.to_string(), a.analysis.render()));
+    }
+    explains.push(']');
+    ExplainSmoke {
+        table: t,
+        renders,
+        extras: vec![("explains".to_string(), explains)],
+        worst_ratio: worst,
+    }
 }
 
 /// Graphviz sources for Figure 1 (both schemes) and the Figure 3/4 plans

@@ -83,6 +83,37 @@ pub struct Estimate {
     /// Per-navigation breakdown (operator label, estimated page accesses),
     /// mirroring [`nalg::EvalReport::accesses_by_operator`].
     pub per_operator: Vec<(String, f64)>,
+    /// Per-node estimates in pre-order (index = pre-order node index).
+    /// The evaluator's operator spans number nodes the same way for the
+    /// same expression, which is what lets EXPLAIN ANALYZE join
+    /// predicted and observed values per operator.
+    pub nodes: Vec<NodeEstimate>,
+}
+
+/// Estimated cardinality and page cost of one operator node.
+#[derive(Debug, Clone)]
+pub struct NodeEstimate {
+    /// Display label (same convention as the evaluator's span names).
+    pub label: String,
+    /// Estimated output cardinality of this node.
+    pub card: f64,
+    /// Pages charged by *this* node alone (1 for an entry point, the
+    /// estimated distinct links for a navigation, 0 otherwise).
+    pub pages: f64,
+}
+
+/// Display label of one operator node; mirrors the evaluator's span
+/// naming so predicted and observed rows read identically.
+fn node_label(e: &NalgExpr) -> String {
+    match e {
+        NalgExpr::External { name } => format!("external {name}"),
+        NalgExpr::Entry { scheme, .. } => format!("entry {scheme}"),
+        NalgExpr::Select { .. } => "σ".to_string(),
+        NalgExpr::Project { .. } => "π".to_string(),
+        NalgExpr::Join { .. } => "⋈".to_string(),
+        NalgExpr::Unnest { attr, .. } => format!("µ {attr}"),
+        NalgExpr::Follow { link, target, .. } => format!("–{link}→ {target}"),
+    }
 }
 
 /// Rewrites an alias-qualified column (`Ed96.Editors`) into the
@@ -102,6 +133,7 @@ struct Estimator<'a> {
     stats: &'a SiteStatistics,
     aliases: HashMap<String, String>,
     per_op: Vec<(String, f64)>,
+    nodes: Vec<NodeEstimate>,
 }
 
 /// Estimates the cardinality and cost of a computable expression.
@@ -112,12 +144,14 @@ pub fn estimate(expr: &NalgExpr, ws: &adm::WebScheme, stats: &SiteStatistics) ->
         stats,
         aliases,
         per_op: Vec::new(),
+        nodes: Vec::new(),
     };
     let (card, cost) = est.walk(expr)?;
     Ok(Estimate {
         card,
         cost,
         per_operator: est.per_op,
+        nodes: est.nodes,
     })
 }
 
@@ -150,8 +184,30 @@ impl Estimator<'_> {
         Ok(sel)
     }
 
-    /// Returns (cardinality, accumulated cost) of a subexpression.
+    /// Returns (cardinality, accumulated cost) of a subexpression,
+    /// recording a [`NodeEstimate`] per node in pre-order — the same
+    /// numbering the evaluator assigns its operator spans.
     fn walk(&mut self, e: &NalgExpr) -> Result<(f64, Cost)> {
+        let node = self.nodes.len();
+        self.nodes.push(NodeEstimate {
+            label: node_label(e),
+            card: 0.0,
+            pages: 0.0,
+        });
+        let per_op_before = self.per_op.len();
+        let (card, cost) = self.walk_node(e)?;
+        self.nodes[node].card = card;
+        if matches!(e, NalgExpr::Entry { .. } | NalgExpr::Follow { .. })
+            && self.per_op.len() > per_op_before
+        {
+            // The charge this node pushed — always the last entry, since
+            // it is recorded after the input subtree.
+            self.nodes[node].pages = self.per_op[self.per_op.len() - 1].1;
+        }
+        Ok((card, cost))
+    }
+
+    fn walk_node(&mut self, e: &NalgExpr) -> Result<(f64, Cost)> {
         match e {
             NalgExpr::External { name } => Err(OptError::NoPlan(format!(
                 "cannot cost unresolved external relation {name}"

@@ -6,6 +6,7 @@
 //! page accesses, so experiments can validate the cost model (estimated
 //! vs. actual) with one call.
 
+use crate::analyze::ExplainAnalyze;
 use crate::optimizer::{Explain, Optimizer, RuleMask};
 use crate::query::ConjunctiveQuery;
 use crate::stats::SiteStatistics;
@@ -13,6 +14,7 @@ use crate::views::ViewCatalog;
 use crate::Result;
 use adm::WebScheme;
 use nalg::{DegradationMode, EvalReport, Evaluator, PageSource, SharedPageCache};
+use obs::trace::TraceSink;
 
 /// The outcome of an executed query.
 #[derive(Debug, Clone)]
@@ -41,6 +43,21 @@ impl QueryOutcome {
     }
 }
 
+/// A [`QueryOutcome`] plus its EXPLAIN ANALYZE join and the trace it was
+/// computed from (see [`QuerySession::run_analyzed`]).
+#[derive(Debug, Clone)]
+pub struct AnalyzedOutcome {
+    /// The ordinary outcome — results and counters are byte-identical
+    /// to an untraced [`QuerySession::run`].
+    pub outcome: QueryOutcome,
+    /// Predicted vs. observed page accesses and cardinalities, joined
+    /// per operator.
+    pub analysis: ExplainAnalyze,
+    /// The trace the run produced (optimizer rule events + operator
+    /// spans), exportable with [`TraceSink::export_jsonl`].
+    pub trace: TraceSink,
+}
+
 /// A query session over a site.
 pub struct QuerySession<'a, S: PageSource> {
     ws: &'a WebScheme,
@@ -51,6 +68,7 @@ pub struct QuerySession<'a, S: PageSource> {
     use_incomplete: bool,
     shared_cache: Option<&'a SharedPageCache>,
     degradation: DegradationMode,
+    trace: Option<TraceSink>,
     /// `(workers, enable)` — the fn pointer monomorphizes the `S: Sync`
     /// bound at builder time so the rest of the session stays available
     /// for non-`Sync` sources.
@@ -80,8 +98,19 @@ impl<'a, S: PageSource> QuerySession<'a, S> {
             use_incomplete: false,
             shared_cache: None,
             degradation: DegradationMode::FailFast,
+            trace: None,
             concurrency: None,
         }
+    }
+
+    /// Attaches a trace sink: subsequent [`QuerySession::explain`] calls
+    /// record optimizer rule events and [`QuerySession::run`] /
+    /// [`QuerySession::execute`] calls record one span per executed
+    /// operator. Results and every reported counter are byte-identical
+    /// with or without a sink attached.
+    pub fn with_trace(mut self, sink: &TraceSink) -> Self {
+        self.trace = Some(sink.clone());
+        self
     }
 
     /// Sets what happens when a fetch ultimately fails during execution:
@@ -125,9 +154,16 @@ impl<'a, S: PageSource> QuerySession<'a, S> {
     }
 
     fn evaluator(&self) -> Evaluator<'a, S> {
+        self.evaluator_traced(self.trace.as_ref())
+    }
+
+    fn evaluator_traced(&self, trace: Option<&TraceSink>) -> Evaluator<'a, S> {
         let mut ev = Evaluator::new(self.ws, self.source).with_degradation(self.degradation);
         if let Some(cache) = self.shared_cache {
             ev = ev.with_shared_cache(cache);
+        }
+        if let Some(sink) = trace {
+            ev = ev.with_trace(sink);
         }
         if let Some((workers, enable)) = self.concurrency {
             ev = enable(ev, workers);
@@ -135,13 +171,20 @@ impl<'a, S: PageSource> QuerySession<'a, S> {
         ev
     }
 
-    /// Optimizes without executing.
-    pub fn explain(&self, q: &ConjunctiveQuery) -> Result<Explain> {
+    fn optimizer_traced(&self, trace: Option<&TraceSink>) -> Optimizer<'a> {
         let mut opt = Optimizer::new(self.ws, self.catalog, self.stats).with_mask(self.mask);
         if self.use_incomplete {
             opt = opt.allow_incomplete_navigations();
         }
-        opt.optimize(q)
+        if let Some(sink) = trace {
+            opt = opt.with_trace(sink);
+        }
+        opt
+    }
+
+    /// Optimizes without executing.
+    pub fn explain(&self, q: &ConjunctiveQuery) -> Result<Explain> {
+        self.optimizer_traced(self.trace.as_ref()).optimize(q)
     }
 
     /// Optimizes and executes the best plan.
@@ -149,6 +192,25 @@ impl<'a, S: PageSource> QuerySession<'a, S> {
         let explain = self.explain(q)?;
         let report = self.evaluator().eval(&explain.best().expr)?;
         Ok(QueryOutcome { explain, report })
+    }
+
+    /// EXPLAIN ANALYZE: optimizes, executes the best plan under a fresh
+    /// deterministic trace sink (independent of any session sink), and
+    /// joins the optimizer's per-operator estimates onto the executed
+    /// operator spans. Results and counters are byte-identical to
+    /// [`QuerySession::run`]; the extra work is bookkeeping only.
+    pub fn run_analyzed(&self, q: &ConjunctiveQuery) -> Result<AnalyzedOutcome> {
+        let sink = TraceSink::with_seed(0);
+        let explain = self.optimizer_traced(Some(&sink)).optimize(q)?;
+        let report = self
+            .evaluator_traced(Some(&sink))
+            .eval(&explain.best().expr)?;
+        let analysis = ExplainAnalyze::from_parts(&explain.best().estimate, &sink.events());
+        Ok(AnalyzedOutcome {
+            outcome: QueryOutcome { explain, report },
+            analysis,
+            trace: sink,
+        })
     }
 
     /// Executes a specific plan (used by experiments to run non-optimal
@@ -244,6 +306,57 @@ mod tests {
         assert_eq!(warm.report.shared_cache_hits, cold.report.page_accesses);
         // The cost model is blind to the shared cache.
         assert_eq!(warm.measured_pages(), plain.measured_pages());
+    }
+
+    #[test]
+    fn run_analyzed_matches_plain_run_exactly() {
+        let u = University::generate(UniversityConfig {
+            departments: 3,
+            professors: 10,
+            courses: 20,
+            seed: 21,
+            ..UniversityConfig::default()
+        })
+        .unwrap();
+        let stats = SiteStatistics::from_site(&u.site);
+        let catalog = university_catalog();
+        let source = LiveSource::for_site(&u.site);
+        let session = QuerySession::new(&u.site.scheme, &catalog, &stats, &source);
+        let q = ConjunctiveQuery::new("graduate-courses")
+            .atom("Course")
+            .select((0, "Type"), "Graduate")
+            .project((0, "CName"));
+        let plain = session.run(&q).unwrap();
+        let analyzed = session.run_analyzed(&q).unwrap();
+        // tracing must not perturb results or any counter
+        assert_eq!(analyzed.outcome.report.relation, plain.report.relation);
+        assert_eq!(
+            analyzed.outcome.report.page_accesses,
+            plain.report.page_accesses
+        );
+        assert_eq!(
+            analyzed.outcome.report.accesses_by_operator,
+            plain.report.accesses_by_operator
+        );
+        // the joined table's observed total is the cost-model total
+        assert_eq!(
+            analyzed.analysis.observed_pages,
+            plain.report.cost_model_accesses()
+        );
+        // every executed operator appears, with the plan's estimate joined
+        assert_eq!(
+            analyzed.analysis.ops.len(),
+            plain.explain.best().estimate.nodes.len()
+        );
+        assert!(analyzed.analysis.render().contains("total:"));
+        // the trace carries both optimizer events and operator spans
+        let events = analyzed.trace.events();
+        assert!(events
+            .iter()
+            .any(|e| e.kind == obs::trace::EventKind::Optimizer));
+        assert!(events
+            .iter()
+            .any(|e| e.kind == obs::trace::EventKind::Operator));
     }
 
     #[test]

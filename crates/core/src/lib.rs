@@ -17,6 +17,8 @@
 //!   selection, with rule masks for ablation studies;
 //! * [`exec`] — an end-to-end query session over a live (simulated) site:
 //!   optimize, navigate, wrap, and report estimated vs. actual accesses;
+//! * [`analyze`] — EXPLAIN ANALYZE: joins the optimizer's per-operator
+//!   estimates onto the executed operator spans of a traced run;
 //! * [`source`] — the adapter that turns a `websim` virtual server plus the
 //!   `wrapper` crate into a [`nalg::PageSource`].
 //!
@@ -40,6 +42,7 @@
 //! assert!(outcome.estimated_pages() >= outcome.measured_pages() as f64 - 1.0);
 //! ```
 
+pub mod analyze;
 pub mod cost;
 pub mod crawl;
 pub mod discover;
@@ -53,11 +56,12 @@ pub mod source;
 pub mod stats;
 pub mod views;
 
-pub use cost::{Cost, Estimate};
+pub use analyze::{ExplainAnalyze, OpAnalysis};
+pub use cost::{Cost, Estimate, NodeEstimate};
 pub use crawl::{crawl_instance, crawl_instance_parallel, SiteInstance};
 pub use discover::{discover_constraints, Discovered};
 pub use error::OptError;
-pub use exec::{QueryOutcome, QuerySession};
+pub use exec::{AnalyzedOutcome, QueryOutcome, QuerySession};
 pub use infer::{auto_catalog, auto_relation, infer_navigations, InferredNavigation};
 pub use optimizer::{CandidatePlan, Explain, Optimizer, RuleMask};
 pub use query::ConjunctiveQuery;

@@ -26,6 +26,7 @@ use crate::views::{DefaultNavigation, ViewCatalog};
 use crate::{OptError, Result};
 use adm::WebScheme;
 use nalg::{NalgExpr, Pred};
+use obs::trace::{EventKind, FieldValue, TraceSink};
 use std::collections::HashSet;
 use std::fmt::Write as _;
 
@@ -155,6 +156,7 @@ pub struct Optimizer<'a> {
     /// Whether designer-declared *incomplete* navigations may be used
     /// (see [`crate::views`]); off by default.
     pub use_incomplete_navigations: bool,
+    trace: Option<TraceSink>,
 }
 
 impl<'a> Optimizer<'a> {
@@ -167,6 +169,7 @@ impl<'a> Optimizer<'a> {
             mask: RuleMask::all(),
             max_candidates: 128,
             use_incomplete_navigations: false,
+            trace: None,
         }
     }
 
@@ -174,6 +177,43 @@ impl<'a> Optimizer<'a> {
     pub fn with_mask(mut self, mask: RuleMask) -> Self {
         self.mask = mask;
         self
+    }
+
+    /// Attaches a trace sink: every rule application (rules 1–9) is
+    /// recorded as an [`EventKind::Optimizer`] event carrying the
+    /// estimated cost before and after the rewrite, and each `optimize`
+    /// call ends with an `optimizer.summary` event reporting how many
+    /// candidates each pruning stage dropped. Tracing never changes
+    /// which plans are generated or how they are ranked.
+    pub fn with_trace(mut self, sink: &TraceSink) -> Self {
+        self.trace = Some(sink.clone());
+        self
+    }
+
+    /// Records one rule application: the rule's name plus the cost
+    /// estimate of the expression before (when there is one — rule 1
+    /// conjures plans out of the query) and after the rewrite.
+    /// Intermediate expressions that the estimator rejects simply omit
+    /// the corresponding fields.
+    fn rule_event(
+        &self,
+        sink: &TraceSink,
+        rule: &str,
+        before: Option<&NalgExpr>,
+        after: &NalgExpr,
+    ) {
+        let mut fields: Vec<(String, FieldValue)> = Vec::new();
+        if let Some(b) = before {
+            if let Ok(est) = estimate(b, self.ws, self.stats) {
+                fields.push(("pages_before".to_string(), est.cost.pages.into()));
+                fields.push(("bytes_before".to_string(), est.cost.bytes.into()));
+            }
+        }
+        if let Ok(est) = estimate(after, self.ws, self.stats) {
+            fields.push(("pages_after".to_string(), est.cost.pages.into()));
+            fields.push(("bytes_after".to_string(), est.cost.bytes.into()));
+        }
+        sink.event(EventKind::Optimizer, rule, None, fields);
     }
 
     /// Allows incomplete navigations (builder style).
@@ -185,16 +225,30 @@ impl<'a> Optimizer<'a> {
     /// Runs Algorithm 1 on a conjunctive query.
     pub fn optimize(&self, q: &ConjunctiveQuery) -> Result<Explain> {
         q.validate(self.catalog)?;
+        let sink = self.trace.as_ref();
         // Steps 1–2: seeds (rule 1, all combinations).
         let seeds = self.build_seeds(q)?;
+        if let Some(sink) = sink {
+            for s in &seeds {
+                self.rule_event(sink, "rule1.default_navigation", None, s);
+            }
+        }
+        let seed_count = seeds.len();
         // Step 3: rule 4 normalization.
         let seeds: Vec<NalgExpr> = seeds
             .into_iter()
             .map(|s| {
-                if self.mask.merge_repeated {
-                    merge_repeated_navigations(s, self.ws, self.stats)
+                if !self.mask.merge_repeated {
+                    return s;
+                }
+                if let Some(sink) = sink {
+                    let merged = merge_repeated_navigations(s.clone(), self.ws, self.stats);
+                    if merged != s {
+                        self.rule_event(sink, "rule4.merge_repeated", Some(&s), &merged);
+                    }
+                    merged
                 } else {
-                    s
+                    merge_repeated_navigations(s, self.ws, self.stats)
                 }
             })
             .collect();
@@ -202,6 +256,7 @@ impl<'a> Optimizer<'a> {
         let mut pool: Vec<NalgExpr> = Vec::new();
         let mut seen: HashSet<NalgExpr> = HashSet::new();
         let mut worklist: Vec<NalgExpr> = Vec::new();
+        let mut cap_hit = false;
         for s in seeds {
             if seen.insert(s.clone()) {
                 pool.push(s.clone());
@@ -210,8 +265,17 @@ impl<'a> Optimizer<'a> {
         }
         while let Some(e) = worklist.pop() {
             if pool.len() >= self.max_candidates {
+                cap_hit = true;
                 break;
             }
+            // For rule attribution only: the rule-8-only candidate set.
+            // Candidate generation itself always uses the combined call
+            // below, so tracing cannot perturb pool order.
+            let rule8: Vec<NalgExpr> = if sink.is_some() && self.mask.pointer_join {
+                join_rewrite_candidates(&e, self.ws, true, false)
+            } else {
+                Vec::new()
+            };
             for cand in join_rewrite_candidates(
                 &e,
                 self.ws,
@@ -219,47 +283,106 @@ impl<'a> Optimizer<'a> {
                 self.mask.pointer_chase,
             ) {
                 if seen.insert(cand.clone()) {
+                    if let Some(sink) = sink {
+                        let rule = if rule8.contains(&cand) {
+                            "rule8.pointer_join"
+                        } else {
+                            "rule9.pointer_chase"
+                        };
+                        self.rule_event(sink, rule, Some(&e), &cand);
+                    }
                     pool.push(cand.clone());
                     worklist.push(cand);
                 }
             }
         }
+        let pool_count = pool.len();
         // Steps 5–7: per-candidate normalization, then validation.
         let mut finals: Vec<NalgExpr> = Vec::new();
         let mut seen_final: HashSet<NalgExpr> = HashSet::new();
+        let (mut pruned_unpushable, mut pruned_invalid, mut pruned_duplicate) = (0u64, 0u64, 0u64);
         for e in pool {
             let mut cur = e;
             // a pointer-chase rewrite can leave a duplicated navigation
             // behind (the same link followed twice); rule 4 cleans it up
             if self.mask.merge_repeated {
-                cur = merge_repeated_navigations(cur, self.ws, self.stats);
+                let merged = merge_repeated_navigations(cur.clone(), self.ws, self.stats);
+                if let Some(sink) = sink {
+                    if merged != cur {
+                        self.rule_event(sink, "rule4.merge_repeated", Some(&cur), &merged);
+                    }
+                }
+                cur = merged;
             }
             if self.mask.push_selections {
                 match push_selections(&cur, self.ws) {
-                    Ok(p) => cur = p,
-                    Err(_) => continue,
+                    Ok(p) => {
+                        if let Some(sink) = sink {
+                            if p != cur {
+                                self.rule_event(sink, "rule6.push_selections", Some(&cur), &p);
+                            }
+                        }
+                        cur = p;
+                    }
+                    Err(_) => {
+                        pruned_unpushable += 1;
+                        continue;
+                    }
                 }
             }
             if self.mask.prune_navigations {
-                match prune_navigations(cur, self.ws) {
-                    Ok(p) => cur = p,
-                    Err(_) => continue,
+                match prune_navigations(cur.clone(), self.ws) {
+                    Ok(p) => {
+                        if let Some(sink) = sink {
+                            if p != cur {
+                                self.rule_event(sink, "rule357.prune_navigations", Some(&cur), &p);
+                            }
+                        }
+                        cur = p;
+                    }
+                    Err(_) => {
+                        pruned_unpushable += 1;
+                        continue;
+                    }
                 }
             }
-            if validate(&cur, self.ws) && seen_final.insert(cur.clone()) {
+            if !validate(&cur, self.ws) {
+                pruned_invalid += 1;
+            } else if seen_final.insert(cur.clone()) {
                 finals.push(cur);
+            } else {
+                pruned_duplicate += 1;
             }
         }
         // Step 8: cost and sort.
         let mut candidates: Vec<CandidatePlan> = Vec::new();
+        let mut pruned_uncostable = 0u64;
         for expr in finals {
             let Ok(est) = estimate(&expr, self.ws, self.stats) else {
+                pruned_uncostable += 1;
                 continue;
             };
             candidates.push(CandidatePlan {
                 expr,
                 estimate: est,
             });
+        }
+        if let Some(sink) = sink {
+            sink.event(
+                EventKind::Optimizer,
+                "optimizer.summary",
+                None,
+                vec![
+                    ("seeds".to_string(), (seed_count as u64).into()),
+                    ("pool".to_string(), (pool_count as u64).into()),
+                    ("candidates".to_string(), (candidates.len() as u64).into()),
+                    ("pruned_unpushable".to_string(), pruned_unpushable.into()),
+                    ("pruned_invalid".to_string(), pruned_invalid.into()),
+                    ("pruned_duplicate".to_string(), pruned_duplicate.into()),
+                    ("pruned_uncostable".to_string(), pruned_uncostable.into()),
+                    ("cap_hit".to_string(), cap_hit.into()),
+                ],
+            );
         }
         if candidates.is_empty() {
             return Err(OptError::NoPlan(format!(
@@ -631,6 +754,43 @@ mod tests {
         for c in &explain.candidates {
             let shown = nalg::display::tree(&c.expr);
             assert!(shown.contains('σ'), "predicate dropped:\n{shown}");
+        }
+    }
+
+    #[test]
+    fn tracing_records_rule_applications_and_summary() {
+        let (ws, cat, stats) = fixtures();
+        let sink = TraceSink::with_seed(7);
+        let opt = Optimizer::new(&ws, &cat, &stats).with_trace(&sink);
+        let traced = opt.optimize(&single_relation_query()).unwrap();
+        let events = sink.events();
+        let rule1 = events
+            .iter()
+            .filter(|e| e.name == "rule1.default_navigation")
+            .count();
+        assert!(rule1 >= 1, "rule 1 fires at least once per seed");
+        // rule-1 events carry the seed's estimated cost
+        assert!(events
+            .iter()
+            .filter(|e| e.name == "rule1.default_navigation")
+            .all(|e| e.field("pages_after").is_some()));
+        let summary = events
+            .iter()
+            .find(|e| e.name == "optimizer.summary")
+            .expect("summary event");
+        assert_eq!(summary.field_u64("seeds"), Some(rule1 as u64));
+        assert_eq!(
+            summary.field_u64("candidates"),
+            Some(traced.candidates.len() as u64)
+        );
+        // tracing must not change the outcome
+        let plain = Optimizer::new(&ws, &cat, &stats)
+            .optimize(&single_relation_query())
+            .unwrap();
+        assert_eq!(plain.candidates.len(), traced.candidates.len());
+        for (a, b) in plain.candidates.iter().zip(&traced.candidates) {
+            assert_eq!(a.expr, b.expr);
+            assert_eq!(a.estimate.cost, b.estimate.cost);
         }
     }
 

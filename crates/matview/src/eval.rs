@@ -14,8 +14,9 @@ use crate::urlcheck::{url_check, CheckCounters};
 use crate::Result;
 use adm::{Relation, Tuple, Url, WebScheme};
 use nalg::{DegradationMode, Evaluator, NalgExpr, PageSource, SharedPageCache, SourceError};
+use obs::trace::{EventKind, TraceSink};
 use std::cell::RefCell;
-use wvcore::{ConjunctiveQuery, Explain, Optimizer, SiteStatistics, ViewCatalog};
+use wvcore::{ConjunctiveQuery, Explain, ExplainAnalyze, Optimizer, SiteStatistics, ViewCatalog};
 
 /// The outcome of a materialized-view query.
 #[derive(Debug, Clone)]
@@ -40,6 +41,22 @@ impl MatOutcome {
     }
 }
 
+/// A [`MatOutcome`] plus its EXPLAIN ANALYZE join and the trace it was
+/// computed from (see [`MatSession::run_analyzed`]).
+#[derive(Debug, Clone)]
+pub struct MatAnalyzedOutcome {
+    /// The ordinary outcome — answer and counters byte-identical to an
+    /// untraced [`MatSession::run`].
+    pub outcome: MatOutcome,
+    /// Predicted vs. observed page accesses per operator. Observed
+    /// *downloads* here are the maintenance re-downloads the URL-check
+    /// protocol decided on, so a fresh view shows 0 everywhere.
+    pub analysis: ExplainAnalyze,
+    /// The full trace (optimizer events, operator spans, per-URL-check
+    /// maintenance events).
+    pub trace: TraceSink,
+}
+
 /// A page source that consults the materialized store, checking freshness
 /// through light connections (Algorithm 3's per-URL protocol).
 struct CheckingSource<'a, P> {
@@ -54,6 +71,28 @@ struct CheckingSource<'a, P> {
     /// never *read* here — every access still goes through the paper's
     /// URL-check protocol, so `CheckCounters` are unaffected.
     shared: Option<&'a SharedPageCache>,
+    /// Records one [`EventKind::Maintenance`] event per URL check,
+    /// carrying what the protocol decided (downloaded / from_store /
+    /// stale_served / deferred_missing / deleted). Never affects
+    /// [`CheckCounters`].
+    trace: Option<TraceSink>,
+}
+
+impl<P> CheckingSource<'_, P> {
+    fn trace_check(&self, url: &Url, outcome: &str, light: u64) {
+        if let Some(sink) = &self.trace {
+            sink.event(
+                EventKind::Maintenance,
+                "matview.urlcheck",
+                None,
+                vec![
+                    ("url".to_string(), url.as_str().into()),
+                    ("outcome".to_string(), outcome.into()),
+                    ("light_connections".to_string(), light.into()),
+                ],
+            );
+        }
+    }
 }
 
 impl<P: websim::PageServer> PageSource for CheckingSource<'_, P> {
@@ -67,11 +106,27 @@ impl<P: websim::PageServer> PageSource for CheckingSource<'_, P> {
             if let Some(cache) = self.shared {
                 cache.invalidate(url);
             }
+            self.trace_check(url, "deferred_missing", 0);
             return Err(SourceError::NotFound(url.clone()));
         }
         let mut counters = self.counters.borrow_mut();
+        let before = *counters;
+        let outcome_of = |after: &CheckCounters| {
+            if after.downloads > before.downloads {
+                "downloaded"
+            } else if after.stale_served > before.stale_served {
+                "stale_served"
+            } else {
+                "from_store"
+            }
+        };
         match url_check(&mut store, &mut counters, self.ws, self.server, url, scheme) {
             Ok(Some(t)) => {
+                self.trace_check(
+                    url,
+                    outcome_of(&counters),
+                    counters.light_connections - before.light_connections,
+                );
                 if let Some(cache) = self.shared {
                     // The store's access date is the freshest stamp we can
                     // attest for this tuple: drop any older cached copy
@@ -88,6 +143,11 @@ impl<P: websim::PageServer> PageSource for CheckingSource<'_, P> {
                 if let Some(cache) = self.shared {
                     cache.invalidate(url);
                 }
+                self.trace_check(
+                    url,
+                    "deleted",
+                    counters.light_connections - before.light_connections,
+                );
                 Err(SourceError::NotFound(url.clone()))
             }
             Err(crate::MatError::Unreachable { url, reason }) => {
@@ -118,6 +178,7 @@ pub struct MatSession<'a, P = websim::VirtualServer> {
     mask: wvcore::RuleMask,
     shared_cache: Option<&'a SharedPageCache>,
     degradation: DegradationMode,
+    trace: Option<TraceSink>,
 }
 
 impl<'a, P: websim::PageServer> MatSession<'a, P> {
@@ -136,7 +197,17 @@ impl<'a, P: websim::PageServer> MatSession<'a, P> {
             mask: wvcore::RuleMask::all(),
             shared_cache: None,
             degradation: DegradationMode::FailFast,
+            trace: None,
         }
+    }
+
+    /// Attaches a trace sink: optimizer rule events, one span per
+    /// executed operator, and one maintenance event per URL check.
+    /// Answers and every counter ([`CheckCounters`] included) are
+    /// byte-identical with or without a sink.
+    pub fn with_trace(mut self, sink: &TraceSink) -> Self {
+        self.trace = Some(sink.clone());
+        self
     }
 
     /// Sets the optimizer rule mask (builder style).
@@ -167,17 +238,50 @@ impl<'a, P: websim::PageServer> MatSession<'a, P> {
     /// Runs a conjunctive query against the materialized view,
     /// lazily maintaining it (Algorithm 3).
     pub fn run(&self, store: &mut MatStore, q: &ConjunctiveQuery) -> Result<MatOutcome> {
-        let explain = Optimizer::new(self.ws, self.catalog, self.stats)
-            .with_mask(self.mask)
-            .optimize(q)?;
+        self.run_traced(store, q, self.trace.as_ref())
+    }
+
+    fn run_traced(
+        &self,
+        store: &mut MatStore,
+        q: &ConjunctiveQuery,
+        trace: Option<&TraceSink>,
+    ) -> Result<MatOutcome> {
+        let mut opt = Optimizer::new(self.ws, self.catalog, self.stats).with_mask(self.mask);
+        if let Some(sink) = trace {
+            opt = opt.with_trace(sink);
+        }
+        let explain = opt.optimize(q)?;
         let best = explain.best().expr.clone();
-        let (relation, counters, broken, unreachable) = self.execute(store, &best)?;
+        let (relation, counters, broken, unreachable) = self.execute_traced(store, &best, trace)?;
         Ok(MatOutcome {
             explain,
             relation,
             counters,
             broken_links: broken,
             unreachable,
+        })
+    }
+
+    /// EXPLAIN ANALYZE over the materialized view: optimizes, answers
+    /// under a fresh deterministic trace sink, and joins the optimizer's
+    /// per-operator estimates onto the executed spans. Note the
+    /// semantics: predicted pages are what a *virtual*-view evaluation
+    /// would download, while observed downloads are the re-downloads the
+    /// URL-check protocol actually decided on — the gap between the two
+    /// columns is exactly what materialization saves.
+    pub fn run_analyzed(
+        &self,
+        store: &mut MatStore,
+        q: &ConjunctiveQuery,
+    ) -> Result<MatAnalyzedOutcome> {
+        let sink = TraceSink::with_seed(0);
+        let outcome = self.run_traced(store, q, Some(&sink))?;
+        let analysis = ExplainAnalyze::from_parts(&outcome.explain.best().estimate, &sink.events());
+        Ok(MatAnalyzedOutcome {
+            outcome,
+            analysis,
+            trace: sink,
         })
     }
 
@@ -189,6 +293,15 @@ impl<'a, P: websim::PageServer> MatSession<'a, P> {
         store: &mut MatStore,
         plan: &NalgExpr,
     ) -> Result<(Relation, CheckCounters, u64, Vec<Url>)> {
+        self.execute_traced(store, plan, self.trace.as_ref())
+    }
+
+    fn execute_traced(
+        &self,
+        store: &mut MatStore,
+        plan: &NalgExpr,
+        trace: Option<&TraceSink>,
+    ) -> Result<(Relation, CheckCounters, u64, Vec<Url>)> {
         store.reset_status();
         let source = CheckingSource {
             ws: self.ws,
@@ -197,10 +310,13 @@ impl<'a, P: websim::PageServer> MatSession<'a, P> {
             counters: RefCell::new(CheckCounters::default()),
             error: RefCell::new(None),
             shared: self.shared_cache,
+            trace: trace.cloned(),
         };
-        let report = Evaluator::new(self.ws, &source)
-            .with_degradation(self.degradation)
-            .eval(plan)?;
+        let mut ev = Evaluator::new(self.ws, &source).with_degradation(self.degradation);
+        if let Some(sink) = trace {
+            ev = ev.with_trace(sink);
+        }
+        let report = ev.eval(plan)?;
         if let Some(e) = source.error.into_inner() {
             return Err(e);
         }
@@ -470,6 +586,41 @@ mod tests {
             "only the new course is missing"
         );
         assert!(got.is_subset(&expected));
+    }
+
+    #[test]
+    fn run_analyzed_is_counter_identical_and_joins_urlchecks() {
+        let (u, mut store, stats, catalog) = setup();
+        let session = MatSession::new(&u.site.scheme, &catalog, &stats, &u.site.server);
+        let plain = session.run(&mut store, &grad_query()).unwrap();
+        let analyzed = session.run_analyzed(&mut store, &grad_query()).unwrap();
+        // tracing changes nothing the paper reports
+        assert_eq!(
+            analyzed.outcome.relation.sorted().rows(),
+            plain.relation.sorted().rows()
+        );
+        assert_eq!(analyzed.outcome.counters, plain.counters);
+        // the join renders, and maintenance events carry the protocol's
+        // per-URL decisions
+        assert!(analyzed.analysis.render().contains("total:"));
+        let events = analyzed.trace.events();
+        let checks: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "matview.urlcheck")
+            .collect();
+        // one event per URL check: every successful check lands in
+        // exactly one of the three counters
+        let c = &analyzed.outcome.counters;
+        assert_eq!(
+            checks.len() as u64,
+            c.from_store + c.downloads + c.stale_served
+        );
+        assert!(!checks.is_empty());
+        assert!(checks
+            .iter()
+            .all(|e| e.field_str("outcome") == Some("from_store")
+                || e.field_str("outcome") == Some("downloaded")));
+        assert!(events.iter().any(|e| e.kind == EventKind::Operator));
     }
 
     #[test]

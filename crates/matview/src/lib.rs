@@ -28,7 +28,7 @@ pub mod store;
 pub mod urlcheck;
 
 pub use error::MatError;
-pub use eval::{MatOutcome, MatSession};
+pub use eval::{MatAnalyzedOutcome, MatOutcome, MatSession};
 pub use store::{MatStore, StoredPage, UrlStatus};
 
 /// Crate-wide result alias.

@@ -13,6 +13,7 @@
 use crate::store::MatStore;
 use crate::Result;
 use adm::WebScheme;
+use obs::trace::{EventKind, TraceSink};
 
 /// Outcome of a `CheckMissing` sweep.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -33,6 +34,18 @@ pub struct PurgeReport {
 /// definite 404 deletes: a transient failure (timeout, 5xx) retains the
 /// page and re-queues the URL for the next sweep.
 pub fn purge_missing(store: &mut MatStore, server: &impl websim::PageServer) -> PurgeReport {
+    purge_missing_traced(store, server, None)
+}
+
+/// [`purge_missing`] with an optional trace sink: each confirmed
+/// deletion is recorded as a `maintain.purge.deleted` event and the
+/// sweep ends with a `maintain.purge` summary. The report is identical
+/// with or without a sink.
+pub fn purge_missing_traced(
+    store: &mut MatStore,
+    server: &impl websim::PageServer,
+    trace: Option<&TraceSink>,
+) -> PurgeReport {
     let mut report = PurgeReport::default();
     let mut seen = std::collections::HashSet::new();
     let mut requeue = Vec::new();
@@ -50,10 +63,34 @@ pub fn purge_missing(store: &mut MatStore, server: &impl websim::PageServer) -> 
             Err(_) => {
                 store.remove(&url);
                 report.confirmed_deleted += 1;
+                if let Some(sink) = trace {
+                    sink.event(
+                        EventKind::Maintenance,
+                        "maintain.purge.deleted",
+                        None,
+                        vec![("url".to_string(), url.as_str().into())],
+                    );
+                }
             }
         }
     }
     store.check_missing.extend(requeue);
+    if let Some(sink) = trace {
+        sink.event(
+            EventKind::Maintenance,
+            "maintain.purge",
+            None,
+            vec![
+                ("checked".to_string(), report.checked.into()),
+                (
+                    "confirmed_deleted".to_string(),
+                    report.confirmed_deleted.into(),
+                ),
+                ("still_alive".to_string(), report.still_alive.into()),
+                ("inconclusive".to_string(), report.inconclusive.into()),
+            ],
+        );
+    }
     report
 }
 
@@ -67,10 +104,33 @@ pub fn full_refresh(
     ws: &WebScheme,
     server: &impl websim::PageServer,
 ) -> Result<usize> {
+    full_refresh_traced(store, ws, server, None)
+}
+
+/// [`full_refresh`] with an optional trace sink: the refresh is recorded
+/// as one `maintain.refresh` event carrying the pages downloaded and the
+/// store size afterwards. The result is identical with or without a sink.
+pub fn full_refresh_traced(
+    store: &mut MatStore,
+    ws: &WebScheme,
+    server: &impl websim::PageServer,
+    trace: Option<&TraceSink>,
+) -> Result<usize> {
     store.check_missing.clear(); // the crawl re-derives any suspicions
     store.reset_status();
     let report = store.materialize_report(ws, server)?;
     store.retain_pages(&report.reached);
+    if let Some(sink) = trace {
+        sink.event(
+            EventKind::Maintenance,
+            "maintain.refresh",
+            None,
+            vec![
+                ("downloaded".to_string(), (report.downloaded as u64).into()),
+                ("store_pages".to_string(), (store.len() as u64).into()),
+            ],
+        );
+    }
     Ok(report.downloaded)
 }
 

@@ -24,6 +24,8 @@
 //! run with the shared cache disabled and reproduce the original numbers.
 
 use adm::{Tuple, Url};
+use obs::trace::{EventKind, TraceSink};
+use obs::{Counter, MetricsRegistry};
 use parking_lot::RwLock;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
@@ -72,16 +74,22 @@ pub struct CacheStats {
 }
 
 /// See module docs.
+///
+/// Counters live in an [`obs::MetricsRegistry`] (prefix `cache`);
+/// [`CacheStats`] is a point-in-time view over those registry cells, so
+/// the numbers are identical to the pre-registry ad-hoc atomics.
 pub struct SharedPageCache {
     shards: Vec<RwLock<Shard>>,
     /// Byte budget per shard (total budget / [`SHARDS`]).
     shard_budget: usize,
     clock: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    insertions: AtomicU64,
-    evictions: AtomicU64,
-    invalidations: AtomicU64,
+    registry: MetricsRegistry,
+    hits: Counter,
+    misses: Counter,
+    insertions: Counter,
+    evictions: Counter,
+    invalidations: Counter,
+    trace: Option<TraceSink>,
 }
 
 impl Default for SharedPageCache {
@@ -93,16 +101,31 @@ impl Default for SharedPageCache {
 impl SharedPageCache {
     /// A cache bounded by `budget` estimated bytes in total.
     pub fn with_byte_budget(budget: usize) -> Self {
+        let registry = MetricsRegistry::with_prefix("cache");
         SharedPageCache {
             shards: (0..SHARDS).map(|_| RwLock::new(Shard::default())).collect(),
             shard_budget: (budget / SHARDS).max(1),
             clock: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            insertions: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            invalidations: AtomicU64::new(0),
+            hits: registry.counter("hits"),
+            misses: registry.counter("misses"),
+            insertions: registry.counter("insertions"),
+            evictions: registry.counter("evictions"),
+            invalidations: registry.counter("invalidations"),
+            registry,
+            trace: None,
         }
+    }
+
+    /// Attaches a trace sink: evictions and invalidations are recorded
+    /// as [`EventKind::Cache`] events. No effect on accounting.
+    pub fn with_trace(mut self, sink: &TraceSink) -> Self {
+        self.trace = Some(sink.clone());
+        self
+    }
+
+    /// The registry backing this cache's counters (prefix `cache`).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.registry
     }
 
     fn shard_of(&self, url: &Url) -> &RwLock<Shard> {
@@ -125,11 +148,11 @@ impl SharedPageCache {
                 let t = e.tuple.clone();
                 shard.by_stamp.remove(&old);
                 shard.by_stamp.insert(stamp, url.clone());
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Some(t)
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }
@@ -160,7 +183,7 @@ impl SharedPageCache {
         );
         shard.by_stamp.insert(stamp, url.clone());
         shard.bytes += bytes;
-        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.insertions.inc();
         while shard.bytes > self.shard_budget {
             let (&victim_stamp, victim) = shard
                 .by_stamp
@@ -174,7 +197,15 @@ impl SharedPageCache {
                 .remove(&victim)
                 .expect("stamp index entry has a map entry");
             shard.bytes -= e.bytes;
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.evictions.inc();
+            if let Some(sink) = &self.trace {
+                sink.event(
+                    EventKind::Cache,
+                    "cache.evict",
+                    None,
+                    vec![("url".to_string(), victim.as_str().into())],
+                );
+            }
         }
     }
 
@@ -184,7 +215,8 @@ impl SharedPageCache {
         if let Some(e) = shard.map.remove(url) {
             shard.bytes -= e.bytes;
             shard.by_stamp.remove(&e.stamp);
-            self.invalidations.fetch_add(1, Ordering::Relaxed);
+            self.invalidations.inc();
+            self.trace_invalidate(url);
         }
     }
 
@@ -202,9 +234,21 @@ impl SharedPageCache {
             let e = shard.map.remove(url).expect("checked above");
             shard.bytes -= e.bytes;
             shard.by_stamp.remove(&e.stamp);
-            self.invalidations.fetch_add(1, Ordering::Relaxed);
+            self.invalidations.inc();
+            self.trace_invalidate(url);
         }
         stale
+    }
+
+    fn trace_invalidate(&self, url: &Url) {
+        if let Some(sink) = &self.trace {
+            sink.event(
+                EventKind::Cache,
+                "cache.invalidate",
+                None,
+                vec![("url".to_string(), url.as_str().into())],
+            );
+        }
     }
 
     /// Drops every entry (counters are kept).
@@ -215,7 +259,7 @@ impl SharedPageCache {
             s.map.clear();
             s.by_stamp.clear();
             s.bytes = 0;
-            self.invalidations.fetch_add(n, Ordering::Relaxed);
+            self.invalidations.add(n);
         }
     }
 
@@ -237,11 +281,11 @@ impl SharedPageCache {
             bytes += s.bytes;
         }
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            insertions: self.insertions.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            invalidations: self.invalidations.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            insertions: self.insertions.get(),
+            evictions: self.evictions.get(),
+            invalidations: self.invalidations.get(),
             entries,
             bytes,
         }

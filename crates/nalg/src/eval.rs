@@ -28,6 +28,7 @@ use crate::expr::{field_of_column, NalgExpr, Pred};
 use crate::fetch::FetchPool;
 use crate::Result;
 use adm::{Relation, Tuple, Url, Value, WebScheme};
+use obs::trace::{EventKind, TraceSink};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -182,18 +183,24 @@ pub struct Evaluator<'a, S: PageSource> {
     /// point that spawns the worker pool (requires `S: Sync`, which this
     /// fn pointer captures without constraining the whole type).
     pooled_run: Option<PooledRun<'a, S>>,
+    /// Optional trace sink: one [`EventKind::Operator`] span per operator
+    /// in the evaluated plan. `None` (the default) costs nothing.
+    trace: Option<TraceSink>,
 }
 
 type PooledRun<'a, S> = fn(&Evaluator<'a, S>, &NalgExpr) -> Result<EvalReport>;
 
 fn run_pooled<S: PageSource + Sync>(ev: &Evaluator<'_, S>, expr: &NalgExpr) -> Result<EvalReport> {
-    crate::fetch::with_pool(ev.source, ev.fetch_workers, |pool| {
+    crate::fetch::with_pool(ev.source, ev.fetch_workers, ev.trace.as_ref(), |pool| {
         ev.eval_with(expr, Some(pool))
     })
 }
 
 struct Ctx {
     cache: HashMap<Url, Tuple>,
+    /// Pre-order index of the next operator node (tracing only); matches
+    /// the node numbering of `cost::Estimate::nodes` for the same plan.
+    node_seq: usize,
     page_accesses: u64,
     cache_hits: u64,
     shared_hits: u64,
@@ -214,6 +221,7 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
             shared: None,
             degradation: DegradationMode::FailFast,
             pooled_run: None,
+            trace: None,
         }
     }
 
@@ -257,6 +265,17 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
         self
     }
 
+    /// Attaches a trace sink: every operator application records an
+    /// [`EventKind::Operator`] span carrying its pre-order node index,
+    /// output cardinality, and subtree deltas of downloads, cache hits,
+    /// shared-cache hits and broken links. Counters and results are
+    /// byte-identical with and without a sink; traced shared-cache hits
+    /// in particular are never `page_accesses`.
+    pub fn with_trace(mut self, sink: &TraceSink) -> Self {
+        self.trace = Some(sink.clone());
+        self
+    }
+
     /// Evaluates a computable expression.
     pub fn eval(&self, expr: &NalgExpr) -> Result<EvalReport> {
         if !expr.is_computable() {
@@ -273,6 +292,7 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
     fn eval_with(&self, expr: &NalgExpr, pool: Option<&FetchPool>) -> Result<EvalReport> {
         let mut ctx = Ctx {
             cache: HashMap::new(),
+            node_seq: 0,
             page_accesses: 0,
             cache_hits: 0,
             shared_hits: 0,
@@ -280,7 +300,7 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
             per_op: Vec::new(),
             unreachable: std::collections::BTreeSet::new(),
         };
-        let relation = self.eval_expr(expr, &mut ctx, pool)?;
+        let relation = self.eval_expr(expr, &mut ctx, pool, None)?;
         Ok(EvalReport {
             relation,
             page_accesses: ctx.page_accesses,
@@ -350,11 +370,61 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
         Ok((cols, vals))
     }
 
+    /// Traced entry to operator evaluation. Without a sink this is a
+    /// plain passthrough to [`Evaluator::eval_node`]; with one it opens
+    /// a span (pre-order id assignment), evaluates the node, and closes
+    /// the span with the node's observations. The `links` field is the
+    /// cost-model measure of *this* operator (distinct links charged),
+    /// while `downloads`/`*_hits`/`broken_links` are subtree-cumulative
+    /// deltas — per-operator exclusive numbers fall out by subtracting
+    /// the children's spans.
     fn eval_expr(
         &self,
         expr: &NalgExpr,
         ctx: &mut Ctx,
         pool: Option<&FetchPool>,
+        parent: Option<u64>,
+    ) -> Result<Relation> {
+        let Some(sink) = &self.trace else {
+            return self.eval_node(expr, ctx, pool, parent);
+        };
+        let node = ctx.node_seq;
+        ctx.node_seq += 1;
+        let mut span = sink.begin(EventKind::Operator, op_label(expr), parent);
+        let before = (
+            ctx.page_accesses,
+            ctx.cache_hits,
+            ctx.shared_hits,
+            ctx.broken_links,
+            ctx.per_op.len(),
+        );
+        let result = self.eval_node(expr, ctx, pool, Some(span.id()));
+        span.set("node", node);
+        match &result {
+            Ok(rel) => span.set("rows_out", rel.len() as u64),
+            Err(e) => span.set("error", e.to_string()),
+        }
+        span.set("downloads", ctx.page_accesses - before.0);
+        span.set("cache_hits", ctx.cache_hits - before.1);
+        span.set("shared_cache_hits", ctx.shared_hits - before.2);
+        span.set("broken_links", ctx.broken_links - before.3);
+        if matches!(expr, NalgExpr::Entry { .. } | NalgExpr::Follow { .. })
+            && ctx.per_op.len() > before.4
+        {
+            // The cost-model charge this operator pushed — always the
+            // last entry, since it is recorded after the input subtree.
+            span.set("links", ctx.per_op[ctx.per_op.len() - 1].1);
+        }
+        sink.finish(span);
+        result
+    }
+
+    fn eval_node(
+        &self,
+        expr: &NalgExpr,
+        ctx: &mut Ctx,
+        pool: Option<&FetchPool>,
+        parent: Option<u64>,
     ) -> Result<Relation> {
         match expr {
             NalgExpr::External { name } => Err(EvalError::NotComputable(format!(
@@ -386,23 +456,23 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                 }
             }
             NalgExpr::Select { input, pred } => {
-                let rel = self.eval_expr(input, ctx, pool)?;
+                let rel = self.eval_expr(input, ctx, pool, parent)?;
                 apply_pred(&rel, pred)
             }
             NalgExpr::Project { input, cols } => {
-                let rel = self.eval_expr(input, ctx, pool)?;
+                let rel = self.eval_expr(input, ctx, pool, parent)?;
                 let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
                 Ok(rel.project(&refs)?)
             }
             NalgExpr::Join { left, right, on } => {
-                let l = self.eval_expr(left, ctx, pool)?;
-                let r = self.eval_expr(right, ctx, pool)?;
+                let l = self.eval_expr(left, ctx, pool, parent)?;
+                let r = self.eval_expr(right, ctx, pool, parent)?;
                 let pairs: Vec<(&str, &str)> =
                     on.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
                 Ok(l.join(&r, &pairs)?)
             }
             NalgExpr::Unnest { input, attr } => {
-                let rel = self.eval_expr(input, ctx, pool)?;
+                let rel = self.eval_expr(input, ctx, pool, parent)?;
                 let idx = rel.resolve(attr)?;
                 let qualified = rel.columns()[idx].clone();
                 let aliases = expr.alias_map()?;
@@ -428,7 +498,7 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                 target,
                 alias,
             } => {
-                let rel = self.eval_expr(input, ctx, pool)?;
+                let rel = self.eval_expr(input, ctx, pool, parent)?;
                 let li = rel.resolve(link)?;
                 // Distinct non-null link values, in first-appearance order.
                 let mut seen: HashMap<Url, Option<Vec<Value>>> = HashMap::new();
@@ -555,6 +625,21 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                 Ok(out)
             }
         }
+    }
+}
+
+/// Display label of one operator node, shared (by convention) with the
+/// per-node labels of `cost::Estimate` so EXPLAIN ANALYZE rows read the
+/// same on both sides of the predicted/observed join.
+fn op_label(expr: &NalgExpr) -> String {
+    match expr {
+        NalgExpr::External { name } => format!("external {name}"),
+        NalgExpr::Entry { scheme, .. } => format!("entry {scheme}"),
+        NalgExpr::Select { .. } => "σ".to_string(),
+        NalgExpr::Project { .. } => "π".to_string(),
+        NalgExpr::Join { .. } => "⋈".to_string(),
+        NalgExpr::Unnest { attr, .. } => format!("µ {attr}"),
+        NalgExpr::Follow { link, target, .. } => format!("–{link}→ {target}"),
     }
 }
 

@@ -13,6 +13,8 @@
 use crate::eval::{PageSource, SourceError};
 use adm::{Tuple, Url};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use obs::trace::{EventKind, TraceSink};
+use parking_lot::Mutex;
 
 /// A fetch request: the URL and the page-scheme it is expected to match.
 #[derive(Debug)]
@@ -56,18 +58,38 @@ impl FetchPool {
 /// Runs `f` with a pool of `workers` threads fetching from `source`.
 /// Workers live for the whole call — every `follow` in the evaluated plan
 /// shares them — and exit when the pool handle is dropped.
-pub(crate) fn with_pool<S, R>(source: &S, workers: usize, f: impl FnOnce(&FetchPool) -> R) -> R
+///
+/// With a trace sink attached, every worker records a terminal
+/// `fetch.worker` event on its way out, carrying the number of jobs it
+/// served and the shutdown reason: `drained` (job queue closed after a
+/// graceful drain) or `abandoned` (the evaluator stopped listening —
+/// an early abort). The records are buffered and flushed *after* the
+/// workers have been joined, in worker order, so pooled traces stay
+/// deterministic; a worker index with **no** terminal event in an
+/// exported trace therefore means that worker hung or died rather than
+/// draining its queue.
+pub(crate) fn with_pool<S, R>(
+    source: &S,
+    workers: usize,
+    trace: Option<&TraceSink>,
+    f: impl FnOnce(&FetchPool) -> R,
+) -> R
 where
     S: PageSource + Sync,
 {
     let workers = workers.max(1);
     let (job_tx, job_rx) = unbounded::<Job>();
     let (done_tx, done_rx) = unbounded::<Done>();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
+    let terminals: Mutex<Vec<(usize, u64, &'static str)>> = Mutex::new(Vec::new());
+    let result = std::thread::scope(|scope| {
+        for idx in 0..workers {
             let job_rx = job_rx.clone();
             let done_tx = done_tx.clone();
+            let terminals = &terminals;
+            let traced = trace.is_some();
             scope.spawn(move || {
+                let mut jobs = 0u64;
+                let mut reason = "drained";
                 while let Ok(job) = job_rx.recv() {
                     // A panicking source must not take the worker (and with
                     // it the whole process, via the scope join) down: catch
@@ -83,6 +105,7 @@ where
                             .unwrap_or_else(|| "unknown panic".to_string());
                         Err(SourceError::Other(format!("fetch worker panicked: {msg}")))
                     });
+                    jobs += 1;
                     if done_tx
                         .send(Done {
                             url: job.url,
@@ -92,8 +115,12 @@ where
                     {
                         // Evaluation aborted early (e.g. a source error):
                         // nobody is listening any more.
+                        reason = "abandoned";
                         break;
                     }
+                }
+                if traced {
+                    terminals.lock().push((idx, jobs, reason));
                 }
             });
         }
@@ -104,7 +131,24 @@ where
         let result = f(&pool);
         drop(pool); // closes the job channel; workers drain and exit
         result
-    })
+    });
+    if let Some(sink) = trace {
+        let mut records = terminals.into_inner();
+        records.sort_by_key(|&(idx, _, _)| idx);
+        for (idx, jobs, reason) in records {
+            sink.event(
+                EventKind::Fetch,
+                "fetch.worker",
+                None,
+                vec![
+                    ("worker".to_string(), idx.into()),
+                    ("jobs".to_string(), jobs.into()),
+                    ("reason".to_string(), reason.into()),
+                ],
+            );
+        }
+    }
+    result
 }
 
 #[cfg(test)]
@@ -128,7 +172,7 @@ mod tests {
     #[test]
     fn pool_serves_multiple_batches_with_same_workers() {
         let src = CountingSource(AtomicUsize::new(0));
-        let total = with_pool(&src, 4, |pool| {
+        let total = with_pool(&src, 4, None, |pool| {
             let mut done = 0;
             for batch in 0..3 {
                 for i in 0..10 {
@@ -149,7 +193,7 @@ mod tests {
     #[test]
     fn completions_report_not_found() {
         let src = CountingSource(AtomicUsize::new(0));
-        with_pool(&src, 2, |pool| {
+        with_pool(&src, 2, None, |pool| {
             assert!(pool.submit(Url::new("/ok"), "P".into()));
             assert!(pool.submit(Url::new("/missing"), "P".into()));
             let outcomes: Vec<_> = (0..2)
@@ -167,7 +211,7 @@ mod tests {
         let src = CountingSource(AtomicUsize::new(0));
         // Submit work but consume only part of it; dropping the pool must
         // still terminate the workers (scope join would hang otherwise).
-        with_pool(&src, 3, |pool| {
+        with_pool(&src, 3, None, |pool| {
             for i in 0..20 {
                 assert!(pool.submit(Url::new(format!("/{i}")), "P".into()));
             }
@@ -188,8 +232,64 @@ mod tests {
     }
 
     #[test]
+    fn terminal_events_distinguish_drained_from_abandoned() {
+        let sink = TraceSink::with_seed(1);
+        let src = CountingSource(AtomicUsize::new(0));
+        with_pool(&src, 3, Some(&sink), |pool| {
+            for i in 0..6 {
+                assert!(pool.submit(Url::new(format!("/{i}")), "P".into()));
+            }
+            for _ in 0..6 {
+                pool.recv().expect("pool alive");
+            }
+        });
+        let events: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter(|e| e.name == "fetch.worker")
+            .collect();
+        assert_eq!(events.len(), 3, "one terminal event per worker");
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.field_u64("worker"), Some(i as u64), "worker order");
+            assert_eq!(e.field_str("reason"), Some("drained"));
+        }
+        let jobs: u64 = events.iter().map(|e| e.field_u64("jobs").unwrap()).sum();
+        assert_eq!(jobs, 6);
+
+        // Abandoned: submit plenty of slow jobs, consume one, drop the
+        // pool — the queue cannot drain before the workers notice the
+        // evaluator is gone.
+        struct SlowSource;
+        impl PageSource for SlowSource {
+            fn fetch(&self, url: &Url, _scheme: &str) -> Result<Tuple, SourceError> {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                Ok(Tuple::new().with("Path", url.as_str()))
+            }
+        }
+        let sink = TraceSink::with_seed(1);
+        with_pool(&SlowSource, 2, Some(&sink), |pool| {
+            for i in 0..50 {
+                assert!(pool.submit(Url::new(format!("/{i}")), "P".into()));
+            }
+            pool.recv().expect("pool alive");
+        });
+        let events: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter(|e| e.name == "fetch.worker")
+            .collect();
+        assert_eq!(events.len(), 2);
+        assert!(
+            events
+                .iter()
+                .any(|e| e.field_str("reason") == Some("abandoned")),
+            "an early-abort shutdown must be visible in the trace"
+        );
+    }
+
+    #[test]
     fn worker_panic_surfaces_as_source_error() {
-        with_pool(&PanickySource, 2, |pool| {
+        with_pool(&PanickySource, 2, None, |pool| {
             assert!(pool.submit(Url::new("/ok"), "P".into()));
             assert!(pool.submit(Url::new("/boom"), "P".into()));
             assert!(pool.submit(Url::new("/ok2"), "P".into()));

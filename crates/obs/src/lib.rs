@@ -1,0 +1,25 @@
+//! Observability for the web-view engine.
+//!
+//! Two independent facilities:
+//!
+//! * [`trace`] — a lightweight structured tracing core: spans and
+//!   instantaneous events collected into a bounded ring buffer with
+//!   seeded, deterministic ids and JSON-lines export. A [`TraceSink`]
+//!   is a cheap cloneable handle; subsystems hold an
+//!   `Option<TraceSink>` and skip all work when it is `None`, so
+//!   tracing has zero overhead unless explicitly attached.
+//! * [`metrics`] — a [`MetricsRegistry`] of named counters, gauges and
+//!   histograms with Prometheus-style text exposition and a JSON
+//!   snapshot. Subsystem counter structs (`CacheStats`,
+//!   `AccessSnapshot`, `ResilienceSnapshot`, …) are views over
+//!   registry-backed handles, so the registry is the single
+//!   registration point without changing any public API.
+//!
+//! Both are offline-shim compatible: the only dependency is the
+//! workspace `parking_lot` shim.
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use trace::{EventKind, FieldValue, Span, TraceEvent, TraceSink};

@@ -1,0 +1,398 @@
+//! A registry of named counters, gauges and histograms.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap cloneable
+//! `Arc`-backed cells; the registry maps stable names to handles and
+//! renders them as Prometheus-style text or a JSON snapshot.
+//! Subsystems keep their existing snapshot structs (`CacheStats`,
+//! `AccessSnapshot`, …) as *views*: the struct is assembled by reading
+//! registry-backed handles, so totals are identical to the old ad-hoc
+//! atomics while every number is also exportable by name.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// A monotonically increasing counter (resettable for test harnesses).
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not registered anywhere (useful for tests).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (used by `reset_stats`-style harness hooks).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A signed gauge: a value that can go up and down.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A gauge not registered anywhere.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket `k` counts observations whose
+/// value needs `k` bits, i.e. `v <= 2^k - 1` and `v > 2^(k-1) - 1`.
+const HISTOGRAM_BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct HistogramCells {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A histogram over `u64` observations with power-of-two buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCells>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramCells {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+}
+
+impl Histogram {
+    /// A histogram not registered anywhere.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        let k = (64 - v.leading_zeros()) as usize;
+        self.0.buckets[k].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Non-empty buckets as `(upper_bound, raw_count)`, smallest bound
+    /// first. The upper bound of bucket `k` is `2^k - 1`.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        (0..HISTOGRAM_BUCKETS)
+            .filter_map(|k| {
+                let n = self.0.buckets[k].load(Ordering::Relaxed);
+                if n == 0 {
+                    return None;
+                }
+                let le = if k >= 64 { u64::MAX } else { (1u64 << k) - 1 };
+                Some((le, n))
+            })
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct RegistryInner {
+    prefix: String,
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+/// A named collection of metrics. Cloning is cheap; all clones share
+/// the same underlying map.
+#[derive(Debug, Clone)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry with no name prefix.
+    pub fn new() -> Self {
+        Self::with_prefix("")
+    }
+
+    /// An empty registry whose metric names are all prefixed with
+    /// `<prefix>_` (e.g. prefix `"cache"` + name `"hits"` →
+    /// `cache_hits`).
+    pub fn with_prefix(prefix: &str) -> Self {
+        MetricsRegistry {
+            inner: Arc::new(RegistryInner {
+                prefix: prefix.to_string(),
+                metrics: RwLock::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    fn full_name(&self, name: &str) -> String {
+        if self.inner.prefix.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}_{}", self.inner.prefix, name)
+        }
+    }
+
+    /// Registers (or retrieves) a counter under `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn counter(&self, name: &str) -> Counter {
+        let full = self.full_name(name);
+        let mut map = self.inner.metrics.write();
+        match map
+            .entry(full.clone())
+            .or_insert_with(|| Metric::Counter(Counter::new()))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric {full} already registered as {}", other.type_name()),
+        }
+    }
+
+    /// Registers (or retrieves) a gauge under `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let full = self.full_name(name);
+        let mut map = self.inner.metrics.write();
+        match map
+            .entry(full.clone())
+            .or_insert_with(|| Metric::Gauge(Gauge::new()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric {full} already registered as {}", other.type_name()),
+        }
+    }
+
+    /// Registers (or retrieves) a histogram under `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let full = self.full_name(name);
+        let mut map = self.inner.metrics.write();
+        match map
+            .entry(full.clone())
+            .or_insert_with(|| Metric::Histogram(Histogram::new()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric {full} already registered as {}", other.type_name()),
+        }
+    }
+
+    /// All registered metric names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.inner.metrics.read().keys().cloned().collect()
+    }
+
+    /// Prometheus-style text exposition (`# TYPE` lines plus samples;
+    /// histogram buckets are cumulative with `le` labels).
+    pub fn render_prometheus(&self) -> String {
+        let map = self.inner.metrics.read();
+        let mut out = String::new();
+        for (name, metric) in map.iter() {
+            out.push_str(&format!("# TYPE {name} {}\n", metric.type_name()));
+            match metric {
+                Metric::Counter(c) => out.push_str(&format!("{name} {}\n", c.get())),
+                Metric::Gauge(g) => out.push_str(&format!("{name} {}\n", g.get())),
+                Metric::Histogram(h) => {
+                    let mut cum = 0u64;
+                    for (le, n) in h.buckets() {
+                        cum += n;
+                        if le == u64::MAX {
+                            continue;
+                        }
+                        out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+                    }
+                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+                    out.push_str(&format!("{name}_sum {}\n", h.sum()));
+                    out.push_str(&format!("{name}_count {}\n", h.count()));
+                }
+            }
+        }
+        out
+    }
+
+    /// One JSON object mapping each metric name to its snapshot.
+    pub fn render_json(&self) -> String {
+        let map = self.inner.metrics.read();
+        let mut out = String::from("{");
+        for (i, (name, metric)) in map.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":"));
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("{{\"type\":\"counter\",\"value\":{}}}", c.get()))
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!("{{\"type\":\"gauge\",\"value\":{}}}", g.get()))
+                }
+                Metric::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{{\"type\":\"histogram\",\"count\":{},\"sum\":{},\"buckets\":[",
+                        h.count(),
+                        h.sum()
+                    ));
+                    for (j, (le, n)) in h.buckets().iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        if *le == u64::MAX {
+                            out.push_str(&format!("[null,{n}]"));
+                        } else {
+                            out.push_str(&format!("[{le},{n}]"));
+                        }
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let reg = MetricsRegistry::with_prefix("cache");
+        let hits = reg.counter("hits");
+        hits.inc();
+        hits.add(4);
+        assert_eq!(hits.get(), 5);
+        // Same name yields the same underlying cell.
+        assert_eq!(reg.counter("hits").get(), 5);
+        hits.reset();
+        assert_eq!(reg.counter("hits").get(), 0);
+
+        let g = reg.gauge("entries");
+        g.set(7);
+        g.add(-2);
+        assert_eq!(g.get(), 5);
+        assert_eq!(reg.names(), vec!["cache_entries", "cache_hits"]);
+    }
+
+    #[test]
+    fn histogram_buckets_are_power_of_two() {
+        let h = Histogram::new();
+        h.observe(0);
+        h.observe(1);
+        h.observe(2);
+        h.observe(3);
+        h.observe(1000);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1006);
+        let b = h.buckets();
+        // 0 → le 0; 1 → le 1; 2,3 → le 3; 1000 → le 1023.
+        assert_eq!(b, vec![(0, 1), (1, 1), (3, 2), (1023, 1)]);
+    }
+
+    #[test]
+    fn prometheus_rendering_shapes() {
+        let reg = MetricsRegistry::with_prefix("websim");
+        reg.counter("gets").add(3);
+        let h = reg.histogram("get_bytes");
+        h.observe(100);
+        h.observe(200);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE websim_gets counter"));
+        assert!(text.contains("websim_gets 3"));
+        assert!(text.contains("# TYPE websim_get_bytes histogram"));
+        assert!(text.contains("websim_get_bytes_bucket{le=\"127\"} 1"));
+        assert!(text.contains("websim_get_bytes_bucket{le=\"255\"} 2"));
+        assert!(text.contains("websim_get_bytes_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("websim_get_bytes_sum 300"));
+        assert!(text.contains("websim_get_bytes_count 2"));
+    }
+
+    #[test]
+    fn json_snapshot_shapes() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a").add(2);
+        reg.gauge("b").set(-1);
+        let json = reg.render_json();
+        assert_eq!(
+            json,
+            "{\"a\":{\"type\":\"counter\",\"value\":2},\"b\":{\"type\":\"gauge\",\"value\":-1}}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_clash_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+}

@@ -1,0 +1,515 @@
+//! Structured tracing: spans, instantaneous events, a bounded ring
+//! buffer, and JSON-lines export.
+//!
+//! A [`TraceSink`] is a cheap cloneable handle (an `Arc` around the
+//! buffer), so it can be attached to evaluators, optimizers, caches and
+//! fetch pools without lifetime plumbing. Ids are drawn from a seeded
+//! splitmix64 stream at *open* time, so two runs over the same plan
+//! with the same seed produce identical span ids in identical order —
+//! the property the determinism tests pin.
+//!
+//! Spans are recorded into the buffer when [`TraceSink::finish`] is
+//! called (post-order), while their `id` and `start` sequence number
+//! are assigned when [`TraceSink::begin`] is called (pre-order); the
+//! pre-order structure of a run is therefore recoverable from `start`
+//! even though leaves land in the buffer before their parents.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Default ring-buffer capacity (events); older events are dropped
+/// (and counted) once the buffer is full.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// Category of a trace event, used for filtering exported traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// One NALG operator application inside the evaluator.
+    Operator,
+    /// One optimizer action: a rewrite-rule application or a summary.
+    Optimizer,
+    /// Fetch-pool lifecycle (worker start/terminal events, submissions).
+    Fetch,
+    /// Shared page cache activity.
+    Cache,
+    /// Resilience wrappers: retries, breaker transitions.
+    Resilience,
+    /// Materialized-view maintenance (URL checks, refreshes).
+    Maintenance,
+    /// Anything else (session-level markers, notes).
+    Info,
+}
+
+impl EventKind {
+    /// Stable lowercase name used in the JSON export.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Operator => "operator",
+            EventKind::Optimizer => "optimizer",
+            EventKind::Fetch => "fetch",
+            EventKind::Cache => "cache",
+            EventKind::Resilience => "resilience",
+            EventKind::Maintenance => "maintenance",
+            EventKind::Info => "info",
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A typed field value attached to a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl FieldValue {
+    fn render_json(&self, out: &mut String) {
+        match self {
+            FieldValue::U64(v) => out.push_str(&v.to_string()),
+            FieldValue::I64(v) => out.push_str(&v.to_string()),
+            FieldValue::F64(v) => {
+                if v.is_finite() {
+                    out.push_str(&v.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+            FieldValue::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            FieldValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+/// A completed (or instantaneous) trace record in the ring buffer.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Deterministic id drawn from the sink's seeded id stream.
+    pub id: u64,
+    /// Id of the enclosing span, if any.
+    pub parent: Option<u64>,
+    /// Event category.
+    pub kind: EventKind,
+    /// Human-readable operator / rule / action label.
+    pub name: String,
+    /// Sequence number assigned when the span was opened (pre-order).
+    pub start: u64,
+    /// Sequence number assigned when the span was closed; equals
+    /// `start` for instantaneous events.
+    pub end: u64,
+    /// Attached fields, in insertion order.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl TraceEvent {
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Looks up a numeric field, accepting `U64` or `I64` values.
+    pub fn field_u64(&self, name: &str) -> Option<u64> {
+        match self.field(name)? {
+            FieldValue::U64(v) => Some(*v),
+            FieldValue::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Looks up a string field.
+    pub fn field_str(&self, name: &str) -> Option<&str> {
+        match self.field(name)? {
+            FieldValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Renders the event as one JSON object (one line of the export).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"id\":");
+        out.push_str(&self.id.to_string());
+        out.push_str(",\"parent\":");
+        match self.parent {
+            Some(p) => out.push_str(&p.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"kind\":\"");
+        out.push_str(self.kind.as_str());
+        out.push_str("\",\"name\":\"");
+        out.push_str(&escape(&self.name));
+        out.push_str("\",\"start\":");
+        out.push_str(&self.start.to_string());
+        out.push_str(",\"end\":");
+        out.push_str(&self.end.to_string());
+        out.push_str(",\"fields\":{");
+        for (i, (name, value)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&escape(name));
+            out.push_str("\":");
+            value.render_json(&mut out);
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// An open span: created by [`TraceSink::begin`], closed (and recorded)
+/// by [`TraceSink::finish`]. Fields may be attached at any point in
+/// between.
+#[derive(Debug)]
+pub struct Span {
+    id: u64,
+    parent: Option<u64>,
+    kind: EventKind,
+    name: String,
+    start: u64,
+    fields: Vec<(String, FieldValue)>,
+}
+
+impl Span {
+    /// The span's deterministic id — pass as `parent` to child spans.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Attaches a field (kept in insertion order).
+    pub fn set(&mut self, name: &str, value: impl Into<FieldValue>) {
+        self.fields.push((name.to_string(), value.into()));
+    }
+}
+
+#[derive(Debug)]
+struct State {
+    /// splitmix64 state for the id stream.
+    ids: u64,
+    /// Monotonic sequence counter for start/end ordering.
+    seq: u64,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    capacity: usize,
+    state: Mutex<State>,
+}
+
+/// Handle to a shared trace buffer. Cloning is cheap (an `Arc` clone);
+/// all clones feed the same buffer.
+#[derive(Debug, Clone)]
+pub struct TraceSink {
+    inner: Arc<Inner>,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceSink {
+    /// A sink with the default seed (0) and capacity.
+    pub fn new() -> Self {
+        Self::with_seed(0)
+    }
+
+    /// A sink whose id stream is seeded with `seed`. Two sinks with the
+    /// same seed assign identical ids to the same sequence of opens.
+    pub fn with_seed(seed: u64) -> Self {
+        Self::with_seed_and_capacity(seed, DEFAULT_CAPACITY)
+    }
+
+    /// Full control over seed and ring-buffer capacity.
+    pub fn with_seed_and_capacity(seed: u64, capacity: usize) -> Self {
+        TraceSink {
+            inner: Arc::new(Inner {
+                capacity: capacity.max(1),
+                state: Mutex::new(State {
+                    ids: seed,
+                    seq: 0,
+                    events: VecDeque::new(),
+                    dropped: 0,
+                }),
+            }),
+        }
+    }
+
+    /// Opens a span: assigns its id and start sequence number now.
+    pub fn begin(&self, kind: EventKind, name: impl Into<String>, parent: Option<u64>) -> Span {
+        let (id, start) = {
+            let mut st = self.inner.state.lock();
+            (splitmix64(&mut st.ids), next_seq(&mut st.seq))
+        };
+        Span {
+            id,
+            parent,
+            kind,
+            name: name.into(),
+            start,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Closes a span and records it in the ring buffer.
+    pub fn finish(&self, span: Span) {
+        let mut st = self.inner.state.lock();
+        let end = next_seq(&mut st.seq);
+        let event = TraceEvent {
+            id: span.id,
+            parent: span.parent,
+            kind: span.kind,
+            name: span.name,
+            start: span.start,
+            end,
+            fields: span.fields,
+        };
+        push(&mut st, self.inner.capacity, event);
+    }
+
+    /// Records an instantaneous event (`start == end`) and returns its id.
+    pub fn event(
+        &self,
+        kind: EventKind,
+        name: impl Into<String>,
+        parent: Option<u64>,
+        fields: Vec<(String, FieldValue)>,
+    ) -> u64 {
+        let mut st = self.inner.state.lock();
+        let id = splitmix64(&mut st.ids);
+        let seq = next_seq(&mut st.seq);
+        let event = TraceEvent {
+            id,
+            parent,
+            kind,
+            name: name.into(),
+            start: seq,
+            end: seq,
+            fields,
+        };
+        push(&mut st, self.inner.capacity, event);
+        id
+    }
+
+    /// Snapshot of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.state.lock().events.iter().cloned().collect()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().events.len()
+    }
+
+    /// True when no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of events evicted because the ring buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.state.lock().dropped
+    }
+
+    /// Clears the buffer (the id/sequence streams keep advancing).
+    pub fn clear(&self) {
+        let mut st = self.inner.state.lock();
+        st.events.clear();
+        st.dropped = 0;
+    }
+
+    /// Exports the buffer as JSON lines, one event per line, oldest
+    /// first.
+    pub fn export_jsonl(&self) -> String {
+        let st = self.inner.state.lock();
+        let mut out = String::new();
+        for e in &st.events {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn next_seq(seq: &mut u64) -> u64 {
+    let s = *seq;
+    *seq += 1;
+    s
+}
+
+fn push(st: &mut State, capacity: usize, event: TraceEvent) {
+    if st.events.len() >= capacity {
+        st.events.pop_front();
+        st.dropped += 1;
+    }
+    st.events.push_back(event);
+}
+
+/// splitmix64 step: a bijective mix over a counter-advanced state, so
+/// the id stream is deterministic and collision-free for a given seed.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_deterministic_per_seed() {
+        let a = TraceSink::with_seed(42);
+        let b = TraceSink::with_seed(42);
+        let c = TraceSink::with_seed(43);
+        let ids = |s: &TraceSink| -> Vec<u64> {
+            (0..5)
+                .map(|i| {
+                    let sp = s.begin(EventKind::Info, format!("s{i}"), None);
+                    let id = sp.id();
+                    s.finish(sp);
+                    id
+                })
+                .collect()
+        };
+        assert_eq!(ids(&a), ids(&b));
+        assert_ne!(ids(&a), ids(&c));
+    }
+
+    #[test]
+    fn span_ids_assigned_preorder_events_recorded_postorder() {
+        let sink = TraceSink::new();
+        let mut root = sink.begin(EventKind::Operator, "root", None);
+        let child = sink.begin(EventKind::Operator, "child", Some(root.id()));
+        let child_id = child.id();
+        sink.finish(child);
+        root.set("rows_out", 3u64);
+        sink.finish(root);
+
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        // Post-order in the buffer: child first.
+        assert_eq!(events[0].name, "child");
+        assert_eq!(events[1].name, "root");
+        // Pre-order recoverable from start sequence numbers.
+        assert!(events[1].start < events[0].start);
+        assert_eq!(events[0].parent, Some(events[1].id));
+        assert_eq!(events[0].id, child_id);
+        assert_eq!(events[1].field_u64("rows_out"), Some(3));
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest_and_counts() {
+        let sink = TraceSink::with_seed_and_capacity(0, 3);
+        for i in 0..5u64 {
+            sink.event(EventKind::Info, format!("e{i}"), None, vec![]);
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.dropped(), 2);
+        let names: Vec<_> = sink.events().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["e2", "e3", "e4"]);
+    }
+
+    #[test]
+    fn jsonl_export_escapes_and_shapes() {
+        let sink = TraceSink::new();
+        sink.event(
+            EventKind::Cache,
+            "say \"hi\"",
+            None,
+            vec![
+                ("n".to_string(), FieldValue::U64(7)),
+                ("ok".to_string(), FieldValue::Bool(true)),
+                ("what".to_string(), FieldValue::Str("a\nb".to_string())),
+            ],
+        );
+        let line = sink.export_jsonl();
+        assert!(line.contains("\"kind\":\"cache\""));
+        assert!(line.contains("say \\\"hi\\\""));
+        assert!(line.contains("\"n\":7"));
+        assert!(line.contains("\"ok\":true"));
+        assert!(line.contains("\"what\":\"a\\nb\""));
+        assert!(line.ends_with('\n'));
+    }
+
+    #[test]
+    fn clone_feeds_same_buffer() {
+        let sink = TraceSink::new();
+        let clone = sink.clone();
+        clone.event(EventKind::Fetch, "from-clone", None, vec![]);
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.events()[0].name, "from-clone");
+    }
+}

@@ -3,11 +3,12 @@
 use crate::breaker::{Breaker, BreakerConfig, BreakerState};
 use crate::policy::RetryPolicy;
 use crate::stats::{ResilienceSnapshot, StatCells};
+use obs::trace::{EventKind, FieldValue, TraceSink};
+use obs::MetricsRegistry;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
-use std::sync::atomic::Ordering;
 
 /// How a call-level error should be treated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +30,9 @@ pub(crate) struct Governor {
     breaker_cfg: BreakerConfig,
     budget_left: Mutex<Option<u64>>,
     jitter: Mutex<StdRng>,
+    /// Optional trace sink: retries, give-ups and breaker transitions
+    /// become [`EventKind::Resilience`] events. `None` costs nothing.
+    trace: Option<TraceSink>,
 }
 
 impl Governor {
@@ -40,6 +44,23 @@ impl Governor {
             stats: StatCells::default(),
             breakers: Mutex::new(HashMap::new()),
             breaker_cfg,
+            trace: None,
+        }
+    }
+
+    pub(crate) fn set_trace(&mut self, sink: &TraceSink) {
+        self.trace = Some(sink.clone());
+    }
+
+    pub(crate) fn metrics(&self) -> &MetricsRegistry {
+        self.stats.registry()
+    }
+
+    fn trace_event(&self, name: &str, key: &str, extra: Vec<(String, FieldValue)>) {
+        if let Some(sink) = &self.trace {
+            let mut fields = vec![("key".to_string(), FieldValue::Str(key.to_string()))];
+            fields.extend(extra);
+            sink.event(EventKind::Resilience, name, None, fields);
         }
     }
 
@@ -91,9 +112,8 @@ impl Governor {
                 .or_insert_with(|| Breaker::new(self.breaker_cfg));
             if !b.admit() {
                 drop(breakers);
-                self.stats
-                    .breaker_rejections
-                    .fetch_add(1, Ordering::Relaxed);
+                self.stats.breaker_rejections.inc();
+                self.trace_event("breaker.reject", key, vec![]);
                 return Err(rejected());
             }
         }
@@ -108,22 +128,40 @@ impl Governor {
                     Class::Permanent => break (Err(e), true),
                     Class::Transient => {
                         if attempt >= self.policy.max_attempts {
-                            self.stats.giveups.fetch_add(1, Ordering::Relaxed);
+                            self.stats.giveups.inc();
+                            self.trace_event(
+                                "giveup",
+                                key,
+                                vec![("reason".to_string(), "max_attempts".into())],
+                            );
                             break (Err(e), true);
                         }
                         if !self.take_budget() {
-                            self.stats.budget_exhausted.fetch_add(1, Ordering::Relaxed);
-                            self.stats.giveups.fetch_add(1, Ordering::Relaxed);
+                            self.stats.budget_exhausted.inc();
+                            self.stats.giveups.inc();
+                            self.trace_event(
+                                "giveup",
+                                key,
+                                vec![("reason".to_string(), "budget_exhausted".into())],
+                            );
                             break (Err(e), true);
                         }
-                        self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                        self.stats.retries.inc();
                         let jitter = if self.policy.base_backoff_us > 0 {
                             self.jitter.lock().gen_range(0..self.policy.base_backoff_us)
                         } else {
                             0
                         };
                         let delay = self.policy.backoff_step_us(attempt) + jitter;
-                        self.stats.backoff_us.fetch_add(delay, Ordering::Relaxed);
+                        self.stats.backoff_us.add(delay);
+                        self.trace_event(
+                            "retry",
+                            key,
+                            vec![
+                                ("attempt".to_string(), u64::from(attempt).into()),
+                                ("delay_us".to_string(), delay.into()),
+                            ],
+                        );
                         if self.policy.sleep_backoff {
                             std::thread::sleep(std::time::Duration::from_micros(delay));
                         }
@@ -134,18 +172,22 @@ impl Governor {
         };
         if let Some(timeout_us) = self.policy.request_timeout_us {
             if started.elapsed().as_micros() as u64 > timeout_us {
-                self.stats.slow_responses.fetch_add(1, Ordering::Relaxed);
+                self.stats.slow_responses.inc();
             }
         }
         match (&result, failed) {
             // Absence is final but says nothing about server health.
             (Err(_), false) => {}
             (Ok(_), _) => {
-                self.breakers
-                    .lock()
-                    .get_mut(key)
-                    .expect("breaker created on admission")
-                    .on_success();
+                let mut breakers = self.breakers.lock();
+                let b = breakers.get_mut(key).expect("breaker created on admission");
+                let was = b.state();
+                b.on_success();
+                let closed = was != BreakerState::Closed && b.state() == BreakerState::Closed;
+                drop(breakers);
+                if closed {
+                    self.trace_event("breaker.close", key, vec![]);
+                }
             }
             (Err(_), true) => {
                 let tripped = self
@@ -155,7 +197,8 @@ impl Governor {
                     .expect("breaker created on admission")
                     .on_failure();
                 if tripped {
-                    self.stats.breaker_trips.fetch_add(1, Ordering::Relaxed);
+                    self.stats.breaker_trips.inc();
+                    self.trace_event("breaker.trip", key, vec![]);
                 }
             }
         }

@@ -38,6 +38,19 @@ impl<'a, P: PageServer> ResilientServer<'a, P> {
         }
     }
 
+    /// Attaches a trace sink: retries, give-ups and breaker transitions
+    /// are recorded as [`obs::trace::EventKind::Resilience`] events.
+    /// No effect on accounting.
+    pub fn with_trace(mut self, sink: &obs::trace::TraceSink) -> Self {
+        self.gov.set_trace(sink);
+        self
+    }
+
+    /// The registry backing this wrapper's counters (prefix `resilience`).
+    pub fn metrics(&self) -> &obs::MetricsRegistry {
+        self.gov.metrics()
+    }
+
     /// Current resilience counters (never part of access statistics).
     pub fn stats(&self) -> ResilienceSnapshot {
         self.gov.snapshot()

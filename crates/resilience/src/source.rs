@@ -42,6 +42,19 @@ impl<'a, S: PageSource> ResilientSource<'a, S> {
         }
     }
 
+    /// Attaches a trace sink: retries, give-ups and breaker transitions
+    /// are recorded as [`obs::trace::EventKind::Resilience`] events.
+    /// No effect on accounting.
+    pub fn with_trace(mut self, sink: &obs::trace::TraceSink) -> Self {
+        self.gov.set_trace(sink);
+        self
+    }
+
+    /// The registry backing this wrapper's counters (prefix `resilience`).
+    pub fn metrics(&self) -> &obs::MetricsRegistry {
+        self.gov.metrics()
+    }
+
     /// Current resilience counters (never part of page-access statistics).
     pub fn stats(&self) -> ResilienceSnapshot {
         self.gov.snapshot()

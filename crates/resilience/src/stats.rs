@@ -5,42 +5,68 @@
 //! activity, and backoff time live here and only here, so the cost-model
 //! experiments stay byte-identical whether or not a resilient wrapper sits
 //! in the fetch path.
+//!
+//! The cells are registered in an [`obs::MetricsRegistry`] (prefix
+//! `resilience`); [`ResilienceSnapshot`] is a point-in-time view over
+//! those registry cells, so the numbers are identical to the
+//! pre-registry ad-hoc atomics while also being exportable by name.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use obs::{Counter, MetricsRegistry};
 
-/// Internal atomic cells backing [`ResilienceSnapshot`].
-#[derive(Debug, Default)]
+/// Registry-backed counter cells behind [`ResilienceSnapshot`].
+#[derive(Debug)]
 pub(crate) struct StatCells {
-    pub retries: AtomicU64,
-    pub giveups: AtomicU64,
-    pub breaker_trips: AtomicU64,
-    pub breaker_rejections: AtomicU64,
-    pub budget_exhausted: AtomicU64,
-    pub backoff_us: AtomicU64,
-    pub slow_responses: AtomicU64,
+    registry: MetricsRegistry,
+    pub retries: Counter,
+    pub giveups: Counter,
+    pub breaker_trips: Counter,
+    pub breaker_rejections: Counter,
+    pub budget_exhausted: Counter,
+    pub backoff_us: Counter,
+    pub slow_responses: Counter,
+}
+
+impl Default for StatCells {
+    fn default() -> Self {
+        let registry = MetricsRegistry::with_prefix("resilience");
+        StatCells {
+            retries: registry.counter("retries"),
+            giveups: registry.counter("giveups"),
+            breaker_trips: registry.counter("breaker_trips"),
+            breaker_rejections: registry.counter("breaker_rejections"),
+            budget_exhausted: registry.counter("budget_exhausted"),
+            backoff_us: registry.counter("backoff_us"),
+            slow_responses: registry.counter("slow_responses"),
+            registry,
+        }
+    }
 }
 
 impl StatCells {
+    pub(crate) fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
     pub(crate) fn snapshot(&self) -> ResilienceSnapshot {
         ResilienceSnapshot {
-            retries: self.retries.load(Ordering::Relaxed),
-            giveups: self.giveups.load(Ordering::Relaxed),
-            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
-            breaker_rejections: self.breaker_rejections.load(Ordering::Relaxed),
-            budget_exhausted: self.budget_exhausted.load(Ordering::Relaxed),
-            backoff_us: self.backoff_us.load(Ordering::Relaxed),
-            slow_responses: self.slow_responses.load(Ordering::Relaxed),
+            retries: self.retries.get(),
+            giveups: self.giveups.get(),
+            breaker_trips: self.breaker_trips.get(),
+            breaker_rejections: self.breaker_rejections.get(),
+            budget_exhausted: self.budget_exhausted.get(),
+            backoff_us: self.backoff_us.get(),
+            slow_responses: self.slow_responses.get(),
         }
     }
 
     pub(crate) fn reset(&self) {
-        self.retries.store(0, Ordering::Relaxed);
-        self.giveups.store(0, Ordering::Relaxed);
-        self.breaker_trips.store(0, Ordering::Relaxed);
-        self.breaker_rejections.store(0, Ordering::Relaxed);
-        self.budget_exhausted.store(0, Ordering::Relaxed);
-        self.backoff_us.store(0, Ordering::Relaxed);
-        self.slow_responses.store(0, Ordering::Relaxed);
+        self.retries.reset();
+        self.giveups.reset();
+        self.breaker_trips.reset();
+        self.breaker_rejections.reset();
+        self.budget_exhausted.reset();
+        self.backoff_us.reset();
+        self.slow_responses.reset();
     }
 }
 
@@ -64,16 +90,23 @@ pub struct ResilienceSnapshot {
 }
 
 impl ResilienceSnapshot {
-    /// Counter deltas since an earlier snapshot.
+    /// Counter deltas since an earlier snapshot. Saturating per field: a
+    /// counter that went backwards (e.g. the wrapper was reset between
+    /// snapshots) yields 0, not a wrapped-around huge delta — so
+    /// [`ResilienceSnapshot::is_quiet`] stays truthful on such deltas.
     pub fn since(&self, earlier: &ResilienceSnapshot) -> ResilienceSnapshot {
         ResilienceSnapshot {
-            retries: self.retries - earlier.retries,
-            giveups: self.giveups - earlier.giveups,
-            breaker_trips: self.breaker_trips - earlier.breaker_trips,
-            breaker_rejections: self.breaker_rejections - earlier.breaker_rejections,
-            budget_exhausted: self.budget_exhausted - earlier.budget_exhausted,
-            backoff_us: self.backoff_us - earlier.backoff_us,
-            slow_responses: self.slow_responses - earlier.slow_responses,
+            retries: self.retries.saturating_sub(earlier.retries),
+            giveups: self.giveups.saturating_sub(earlier.giveups),
+            breaker_trips: self.breaker_trips.saturating_sub(earlier.breaker_trips),
+            breaker_rejections: self
+                .breaker_rejections
+                .saturating_sub(earlier.breaker_rejections),
+            budget_exhausted: self
+                .budget_exhausted
+                .saturating_sub(earlier.budget_exhausted),
+            backoff_us: self.backoff_us.saturating_sub(earlier.backoff_us),
+            slow_responses: self.slow_responses.saturating_sub(earlier.slow_responses),
         }
     }
 
@@ -81,5 +114,71 @@ impl ResilienceSnapshot {
     /// fault-free fast path.
     pub fn is_quiet(&self) -> bool {
         *self == ResilienceSnapshot::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_is_saturating_per_field() {
+        let newer = ResilienceSnapshot {
+            retries: 5,
+            giveups: 0,
+            backoff_us: 100,
+            ..Default::default()
+        };
+        let earlier = ResilienceSnapshot {
+            retries: 2,
+            giveups: 3, // went backwards (reset between snapshots)
+            backoff_us: 400,
+            ..Default::default()
+        };
+        let d = newer.since(&earlier);
+        assert_eq!(d.retries, 3);
+        assert_eq!(d.giveups, 0, "backwards field saturates to 0");
+        assert_eq!(d.backoff_us, 0);
+    }
+
+    #[test]
+    fn is_quiet_after_wraparound_style_delta() {
+        // Every field went backwards: without saturation each delta
+        // would wrap to ~u64::MAX and is_quiet would be trivially false
+        // for garbage reasons.
+        let newer = ResilienceSnapshot::default();
+        let earlier = ResilienceSnapshot {
+            retries: 7,
+            giveups: 1,
+            breaker_trips: 2,
+            breaker_rejections: 3,
+            budget_exhausted: 1,
+            backoff_us: 999,
+            slow_responses: 4,
+        };
+        assert!(newer.since(&earlier).is_quiet());
+        // ... and a genuinely active delta is still not quiet.
+        let active = ResilienceSnapshot {
+            retries: 8,
+            ..earlier
+        };
+        assert!(!active.since(&earlier).is_quiet());
+    }
+
+    #[test]
+    fn cells_register_under_resilience_prefix() {
+        let cells = StatCells::default();
+        cells.retries.add(2);
+        assert!(cells
+            .registry()
+            .names()
+            .contains(&"resilience_retries".to_string()));
+        assert!(cells
+            .registry()
+            .render_prometheus()
+            .contains("resilience_retries 2"));
+        assert_eq!(cells.snapshot().retries, 2);
+        cells.reset();
+        assert!(cells.snapshot().is_quiet());
     }
 }

@@ -18,6 +18,7 @@ use crate::fault::{FaultKind, FaultPlan};
 use crate::Result;
 use adm::Url;
 use bytes::Bytes;
+use obs::{Counter, Histogram, MetricsRegistry};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -70,13 +71,16 @@ pub struct FaultSnapshot {
 
 impl FaultSnapshot {
     /// Difference of two snapshots (self − earlier).
+    /// Saturating per-field subtraction: a field that went backwards
+    /// (e.g. counters were reset between snapshots) yields 0, not a
+    /// wrapped-around huge delta.
     pub fn since(&self, earlier: &FaultSnapshot) -> FaultSnapshot {
         FaultSnapshot {
-            unavailable: self.unavailable - earlier.unavailable,
-            timeout: self.timeout - earlier.timeout,
-            link_rot: self.link_rot - earlier.link_rot,
-            slow: self.slow - earlier.slow,
-            truncated: self.truncated - earlier.truncated,
+            unavailable: self.unavailable.saturating_sub(earlier.unavailable),
+            timeout: self.timeout.saturating_sub(earlier.timeout),
+            link_rot: self.link_rot.saturating_sub(earlier.link_rot),
+            slow: self.slow.saturating_sub(earlier.slow),
+            truncated: self.truncated.saturating_sub(earlier.truncated),
         }
     }
 
@@ -103,12 +107,15 @@ pub struct AccessSnapshot {
 
 impl AccessSnapshot {
     /// Difference of two snapshots (self − earlier).
+    /// Saturating per-field subtraction: a field that went backwards
+    /// (e.g. [`VirtualServer::reset_stats`] ran between snapshots)
+    /// yields 0, not a wrapped-around huge delta.
     pub fn since(&self, earlier: &AccessSnapshot) -> AccessSnapshot {
         AccessSnapshot {
-            gets: self.gets - earlier.gets,
-            heads: self.heads - earlier.heads,
-            bytes: self.bytes - earlier.bytes,
-            not_found: self.not_found - earlier.not_found,
+            gets: self.gets.saturating_sub(earlier.gets),
+            heads: self.heads.saturating_sub(earlier.heads),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+            not_found: self.not_found.saturating_sub(earlier.not_found),
             faults: self.faults.since(&earlier.faults),
         }
     }
@@ -125,14 +132,22 @@ struct FaultState {
 }
 
 /// The in-process web server.
-#[derive(Debug, Default)]
+///
+/// Access counters live in an [`obs::MetricsRegistry`] (prefix
+/// `websim`); [`AccessSnapshot`] is a point-in-time view over those
+/// registry cells, so the numbers are identical to the pre-registry
+/// ad-hoc atomics.
+#[derive(Debug)]
 pub struct VirtualServer {
     pages: RwLock<HashMap<Url, StoredPage>>,
     clock: AtomicU64,
-    gets: AtomicU64,
-    heads: AtomicU64,
-    bytes: AtomicU64,
-    not_found: AtomicU64,
+    registry: MetricsRegistry,
+    gets: Counter,
+    heads: Counter,
+    bytes: Counter,
+    not_found: Counter,
+    /// Distribution of completed GET body sizes.
+    get_bytes: Histogram,
     gets_by_scheme: RwLock<HashMap<String, u64>>,
     /// Simulated network latency per request, in microseconds (0 = off).
     latency_us: AtomicU64,
@@ -144,17 +159,48 @@ pub struct VirtualServer {
     /// zero-fault request path never touches the fault lock.
     chaos_enabled: AtomicBool,
     fault: Mutex<FaultState>,
-    f_unavailable: AtomicU64,
-    f_timeout: AtomicU64,
-    f_link_rot: AtomicU64,
-    f_slow: AtomicU64,
-    f_truncated: AtomicU64,
+    f_unavailable: Counter,
+    f_timeout: Counter,
+    f_link_rot: Counter,
+    f_slow: Counter,
+    f_truncated: Counter,
+}
+
+impl Default for VirtualServer {
+    fn default() -> Self {
+        let registry = MetricsRegistry::with_prefix("websim");
+        VirtualServer {
+            pages: RwLock::default(),
+            clock: AtomicU64::new(0),
+            gets: registry.counter("gets"),
+            heads: registry.counter("heads"),
+            bytes: registry.counter("bytes"),
+            not_found: registry.counter("not_found"),
+            get_bytes: registry.histogram("get_bytes"),
+            gets_by_scheme: RwLock::default(),
+            latency_us: AtomicU64::new(0),
+            bandwidth_bps: AtomicU64::new(0),
+            chaos_enabled: AtomicBool::new(false),
+            fault: Mutex::new(FaultState::default()),
+            f_unavailable: registry.counter("fault_unavailable"),
+            f_timeout: registry.counter("fault_timeout"),
+            f_link_rot: registry.counter("fault_link_rot"),
+            f_slow: registry.counter("fault_slow"),
+            f_truncated: registry.counter("fault_truncated"),
+            registry,
+        }
+    }
 }
 
 impl VirtualServer {
     /// An empty server at logical time 0.
     pub fn new() -> Self {
         VirtualServer::default()
+    }
+
+    /// The registry backing this server's counters (prefix `websim`).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.registry
     }
 
     /// Current logical time.
@@ -255,7 +301,7 @@ impl VirtualServer {
             FaultKind::Slow { .. } => &self.f_slow,
             FaultKind::Truncate { .. } => &self.f_truncated,
         };
-        counter.fetch_add(1, Ordering::Relaxed);
+        counter.inc();
         Some(kind)
     }
 
@@ -298,7 +344,7 @@ impl VirtualServer {
             }
             Some(FaultKind::Timeout) => return Err(WebError::Timeout(url.clone())),
             Some(FaultKind::LinkRot) => {
-                self.not_found.fetch_add(1, Ordering::Relaxed);
+                self.not_found.inc();
                 return Err(WebError::NotFound(url.clone()));
             }
             Some(FaultKind::Slow { delay_us }) if delay_us > 0 => {
@@ -311,8 +357,9 @@ impl VirtualServer {
                     let keep = p.body.len() * keep_pct.min(100) as usize / 100;
                     let body = Bytes::copy_from_slice(&p.body[..keep]);
                     self.simulate_transfer(body.len());
-                    self.gets.fetch_add(1, Ordering::Relaxed);
-                    self.bytes.fetch_add(body.len() as u64, Ordering::Relaxed);
+                    self.gets.inc();
+                    self.bytes.add(body.len() as u64);
+                    self.get_bytes.observe(body.len() as u64);
                     *self
                         .gets_by_scheme
                         .write()
@@ -330,8 +377,9 @@ impl VirtualServer {
         match pages.get(url) {
             Some(p) => {
                 self.simulate_transfer(p.body.len());
-                self.gets.fetch_add(1, Ordering::Relaxed);
-                self.bytes.fetch_add(p.body.len() as u64, Ordering::Relaxed);
+                self.gets.inc();
+                self.bytes.add(p.body.len() as u64);
+                self.get_bytes.observe(p.body.len() as u64);
                 *self
                     .gets_by_scheme
                     .write()
@@ -344,7 +392,7 @@ impl VirtualServer {
                 })
             }
             None => {
-                self.not_found.fetch_add(1, Ordering::Relaxed);
+                self.not_found.inc();
                 Err(WebError::NotFound(url.clone()))
             }
         }
@@ -365,7 +413,7 @@ impl VirtualServer {
             }
             Some(FaultKind::Timeout) => return Err(WebError::Timeout(url.clone())),
             Some(FaultKind::LinkRot) => {
-                self.not_found.fetch_add(1, Ordering::Relaxed);
+                self.not_found.inc();
                 return Err(WebError::NotFound(url.clone()));
             }
             Some(FaultKind::Slow { delay_us }) => {
@@ -377,13 +425,13 @@ impl VirtualServer {
         }
         match pages.get(url) {
             Some(p) => {
-                self.heads.fetch_add(1, Ordering::Relaxed);
+                self.heads.inc();
                 Ok(HeadResponse {
                     last_modified: p.last_modified,
                 })
             }
             None => {
-                self.not_found.fetch_add(1, Ordering::Relaxed);
+                self.not_found.inc();
                 Err(WebError::NotFound(url.clone()))
             }
         }
@@ -416,16 +464,16 @@ impl VirtualServer {
     /// Snapshot of the access counters.
     pub fn stats(&self) -> AccessSnapshot {
         AccessSnapshot {
-            gets: self.gets.load(Ordering::Relaxed),
-            heads: self.heads.load(Ordering::Relaxed),
-            bytes: self.bytes.load(Ordering::Relaxed),
-            not_found: self.not_found.load(Ordering::Relaxed),
+            gets: self.gets.get(),
+            heads: self.heads.get(),
+            bytes: self.bytes.get(),
+            not_found: self.not_found.get(),
             faults: FaultSnapshot {
-                unavailable: self.f_unavailable.load(Ordering::Relaxed),
-                timeout: self.f_timeout.load(Ordering::Relaxed),
-                link_rot: self.f_link_rot.load(Ordering::Relaxed),
-                slow: self.f_slow.load(Ordering::Relaxed),
-                truncated: self.f_truncated.load(Ordering::Relaxed),
+                unavailable: self.f_unavailable.get(),
+                timeout: self.f_timeout.get(),
+                link_rot: self.f_link_rot.get(),
+                slow: self.f_slow.get(),
+                truncated: self.f_truncated.get(),
             },
         }
     }
@@ -438,15 +486,15 @@ impl VirtualServer {
     /// Resets all access counters (not the clock, the pages, or the fault
     /// plan's attempt bookkeeping).
     pub fn reset_stats(&self) {
-        self.gets.store(0, Ordering::Relaxed);
-        self.heads.store(0, Ordering::Relaxed);
-        self.bytes.store(0, Ordering::Relaxed);
-        self.not_found.store(0, Ordering::Relaxed);
-        self.f_unavailable.store(0, Ordering::Relaxed);
-        self.f_timeout.store(0, Ordering::Relaxed);
-        self.f_link_rot.store(0, Ordering::Relaxed);
-        self.f_slow.store(0, Ordering::Relaxed);
-        self.f_truncated.store(0, Ordering::Relaxed);
+        self.gets.reset();
+        self.heads.reset();
+        self.bytes.reset();
+        self.not_found.reset();
+        self.f_unavailable.reset();
+        self.f_timeout.reset();
+        self.f_link_rot.reset();
+        self.f_slow.reset();
+        self.f_truncated.reset();
         self.gets_by_scheme.write().clear();
     }
 }
@@ -573,6 +621,61 @@ mod tests {
         s.reset_stats();
         assert_eq!(s.stats(), AccessSnapshot::default());
         assert_eq!(s.page_count(), 1);
+    }
+
+    #[test]
+    fn since_saturates_after_reset() {
+        // a reset between snapshots makes counters go backwards; the
+        // delta must clamp at zero, never wrap to a huge u64
+        let s = server_with_page();
+        s.get(&Url::new("/a.html")).unwrap();
+        s.get(&Url::new("/a.html")).unwrap();
+        let before = s.stats();
+        s.reset_stats();
+        s.get(&Url::new("/a.html")).unwrap();
+        let d = s.stats().since(&before);
+        assert_eq!(d.gets, 0, "1 - 2 must saturate, not wrap");
+        assert_eq!(d.bytes, 0);
+        assert_eq!(
+            d,
+            s.stats().since(&before).since(&before),
+            "idempotent at 0"
+        );
+    }
+
+    #[test]
+    fn since_saturates_per_field_independently() {
+        let newer = AccessSnapshot {
+            gets: 5,
+            heads: 1,
+            bytes: 100,
+            not_found: 0,
+            faults: FaultSnapshot {
+                timeout: 2,
+                ..FaultSnapshot::default()
+            },
+        };
+        let earlier = AccessSnapshot {
+            gets: 2,
+            heads: 4, // went backwards
+            bytes: 300,
+            not_found: 0,
+            faults: FaultSnapshot {
+                timeout: 9, // went backwards
+                link_rot: 1,
+                ..FaultSnapshot::default()
+            },
+        };
+        let d = newer.since(&earlier);
+        assert_eq!(d.gets, 3, "forward fields still subtract exactly");
+        assert_eq!(d.heads, 0);
+        assert_eq!(d.bytes, 0);
+        assert_eq!(d.faults.timeout, 0);
+        assert_eq!(d.faults.link_rot, 0);
+        assert_eq!(d.faults.total(), 0);
+        // the degenerate cases: X.since(X) == 0, X.since(0) == X
+        assert_eq!(newer.since(&newer), AccessSnapshot::default());
+        assert_eq!(newer.since(&AccessSnapshot::default()), newer);
     }
 
     #[test]

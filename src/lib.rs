@@ -18,6 +18,7 @@
 //! | [`wvquery`] | the SQL-subset front end |
 //! | [`matview`] | materialized views: URLCheck, Algorithm 3 lazy maintenance |
 //! | [`resilience`] | fault tolerance: retry policies, circuit breakers, partial-result degradation over a chaos-capable web |
+//! | [`obs`] | observability: structured tracing, metrics registry, EXPLAIN ANALYZE plumbing |
 //!
 //! ## Quickstart
 //!
@@ -48,6 +49,7 @@
 pub use adm;
 pub use matview;
 pub use nalg;
+pub use obs;
 pub use resilience;
 pub use websim;
 pub use wrapper;
@@ -60,16 +62,17 @@ pub mod prelude {
         AttrRef, Field, InclusionConstraint, LinkConstraint, PageScheme, Relation, Tuple, Url,
         Value, WebScheme, WebType,
     };
-    pub use matview::{MatOutcome, MatSession, MatStore};
+    pub use matview::{MatAnalyzedOutcome, MatOutcome, MatSession, MatStore};
     pub use nalg::{DegradationMode, EvalReport, Evaluator, NalgExpr, PageSource, Pred};
+    pub use obs::{EventKind, MetricsRegistry, TraceSink};
     pub use resilience::{ResilienceSnapshot, ResilientServer, ResilientSource, RetryPolicy};
     pub use websim::sitegen::{BibConfig, Bibliography, University, UniversityConfig};
     pub use websim::{FaultPlan, FaultRule, Site, VirtualServer};
     pub use wrapper::wrap_page;
     pub use wvcore::views::{bibliography_catalog, university_catalog};
     pub use wvcore::{
-        ConjunctiveQuery, Cost, Explain, LiveSource, Optimizer, QueryOutcome, QuerySession,
-        RuleMask, SiteStatistics, ViewCatalog,
+        AnalyzedOutcome, ConjunctiveQuery, Cost, Explain, ExplainAnalyze, LiveSource, Optimizer,
+        QueryOutcome, QuerySession, RuleMask, SiteStatistics, ViewCatalog,
     };
     pub use wvquery::parse_query;
 }
