@@ -22,7 +22,7 @@ use std::fmt;
 /// target page's `target_attr`. `source_attr` lives in the same page-scheme
 /// as `link` (at the same or an enclosing nesting level); `target_attr` is a
 /// top-level mono-valued attribute of the link's target scheme.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LinkConstraint {
     /// The link attribute the constraint is attached to.
     pub link: AttrRef,
@@ -64,7 +64,7 @@ impl fmt::Display for LinkConstraint {
 
 /// An inclusion constraint `sub ⊆ sup` between two link attributes that
 /// point to the same page-scheme.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct InclusionConstraint {
     /// The contained link set.
     pub sub: AttrRef,
@@ -266,6 +266,86 @@ pub fn verify_inclusion_constraint(
     violations
 }
 
+/// Audit-oriented variant of [`verify_link_constraint`] for *partially
+/// fetched* instances, as produced by runtime constraint auditing: checks
+/// only the value-equality direction, and only for pairs whose link target
+/// is present in `target`. A page the query never fetched can neither raise
+/// nor mask a violation, so the check is sound under incomplete knowledge.
+/// Returns the number of pairs checked together with the violations found.
+pub fn verify_link_constraint_partial(
+    c: &LinkConstraint,
+    source: Instance<'_>,
+    target: Instance<'_>,
+) -> (u64, Vec<Violation>) {
+    let mut by_url: HashMap<&str, &Value> = HashMap::new();
+    for (url, t) in target {
+        if let Some(v) = t.get(c.target_attr.leaf()) {
+            by_url.insert(url.as_str(), v);
+        }
+    }
+    let mut checks = 0u64;
+    let mut violations = Vec::new();
+    for (src_url, t) in source {
+        for (a, l) in collect_pairs(t, &c.source_attr.path, &c.link.path) {
+            let Value::Link(u) = l else { continue };
+            let Some(b) = by_url.get(u.as_str()) else {
+                // Target page not fetched: the pair is undecidable.
+                continue;
+            };
+            checks += 1;
+            if *b != a {
+                violations.push(Violation {
+                    detail: format!("{c}: page {src_url} links to {u} but {a} ≠ {b}"),
+                });
+            }
+        }
+    }
+    (checks, violations)
+}
+
+/// Audit-oriented variant of [`verify_inclusion_constraint`] for partially
+/// fetched instances. With an empty `sup` instance nothing is decidable
+/// (0 checks, no violations); otherwise every `sub` link is checked against
+/// the link set of the fetched `sup` pages. Unlike the link-constraint
+/// audit this can report a false violation when the query fetched only part
+/// of the `sup` collection — which is quarantine-conservative: at worst an
+/// optimization is disabled, an answer is never corrupted.
+pub fn verify_inclusion_constraint_partial(
+    c: &InclusionConstraint,
+    sub_instance: Instance<'_>,
+    sup_instance: Instance<'_>,
+) -> (u64, Vec<Violation>) {
+    if sup_instance.is_empty() {
+        return (0, Vec::new());
+    }
+    let mut sup_urls: HashSet<&str> = HashSet::new();
+    for (_, t) in sup_instance {
+        for v in collect_values(t, &c.sup.path) {
+            if let Value::Link(u) = v {
+                sup_urls.insert(u.as_str());
+            }
+        }
+    }
+    let mut checks = 0u64;
+    let mut violations = Vec::new();
+    for (page_url, t) in sub_instance {
+        for v in collect_values(t, &c.sub.path) {
+            if let Value::Link(u) = v {
+                checks += 1;
+                if !sup_urls.contains(u.as_str()) {
+                    violations.push(Violation {
+                        detail: format!(
+                            "{c}: URL {u} (reached from {page_url}) not reachable via {}",
+                            c.sup
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    (checks, violations)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -427,6 +507,110 @@ mod tests {
         let v = verify_inclusion_constraint(&c, &courses, &partial_lists);
         assert_eq!(v.len(), 1);
         assert!(v[0].detail.contains("/p2"));
+    }
+
+    #[test]
+    fn empty_nested_lists_yield_no_pairs_or_violations() {
+        let depts = vec![(Url::new("/d1"), dept_tuple("CS", &[]))];
+        let profs = vec![(Url::new("/p1"), prof_tuple("Codd"))];
+        assert!(collect_pairs(
+            &depts[0].1,
+            &["ProfList".into(), "PName".into()],
+            &["ProfList".into(), "ToProf".into()],
+        )
+        .is_empty());
+        assert!(verify_link_constraint(&link_c(), &depts, &profs).is_empty());
+        let c =
+            InclusionConstraint::parse("DeptPage.ProfList.ToProf", "Idx.ProfList.ToProf").unwrap();
+        assert!(verify_inclusion_constraint(&c, &depts, &[]).is_empty());
+    }
+
+    #[test]
+    fn missing_attributes_are_skipped_not_errors() {
+        // Source rows without the replicated attribute produce no pairs;
+        // target pages without the target attribute are treated as unknown.
+        let t = Tuple::new().with("DName", "CS").with_list(
+            "ProfList",
+            vec![Tuple::new().with("ToProf", Value::link("/p1"))],
+        );
+        let depts = vec![(Url::new("/d1"), t)];
+        let profs = vec![(Url::new("/p1"), Tuple::new().with("Office", "B12"))];
+        let v = verify_link_constraint(&link_c(), &depts, &profs);
+        // No PName on the source row → no pair → no violation about values;
+        // /p1 lacks PName → it is an unknown target for the constraint.
+        assert!(v.is_empty(), "{v:?}");
+        let both = vec![(Url::new("/d2"), dept_tuple("CS", &[("Codd", "/p1")]))];
+        let v = verify_link_constraint(&link_c(), &both, &profs);
+        assert!(v.iter().any(|x| x.detail.contains("unknown target")));
+    }
+
+    #[test]
+    fn duplicate_values_share_a_page_set() {
+        // Two professors named Codd: a link to either page satisfies the
+        // only-if direction, because the page *set* for the value has both.
+        let depts = vec![(
+            Url::new("/d1"),
+            dept_tuple("CS", &[("Codd", "/p1"), ("Codd", "/p2")]),
+        )];
+        let profs = vec![
+            (Url::new("/p1"), prof_tuple("Codd")),
+            (Url::new("/p2"), prof_tuple("Codd")),
+        ];
+        assert!(verify_link_constraint(&link_c(), &depts, &profs).is_empty());
+        // Duplicate links in the sub instance each count, and stay legal
+        // as long as the sup side mentions the URL at least once.
+        let c = InclusionConstraint::parse("A.To", "B.To").unwrap();
+        let sub = vec![
+            (Url::new("/a1"), Tuple::new().with("To", Value::link("/x"))),
+            (Url::new("/a2"), Tuple::new().with("To", Value::link("/x"))),
+        ];
+        let sup = vec![(Url::new("/b1"), Tuple::new().with("To", Value::link("/x")))];
+        assert!(verify_inclusion_constraint(&c, &sub, &sup).is_empty());
+    }
+
+    #[test]
+    fn partial_link_check_skips_unfetched_targets() {
+        let depts = vec![(
+            Url::new("/d1"),
+            dept_tuple("CS", &[("Codd", "/p1"), ("Gray", "/p2"), ("Liu", "/p3")]),
+        )];
+        // Only /p1 and /p2 were fetched; /p2 drifted. /p3 is undecidable.
+        let fetched = vec![
+            (Url::new("/p1"), prof_tuple("Codd")),
+            (Url::new("/p2"), prof_tuple("Gray [drift]")),
+        ];
+        let (checks, v) = verify_link_constraint_partial(&link_c(), &depts, &fetched);
+        assert_eq!(checks, 2);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("/p2"));
+        // The full verifier would (rightly, over a full instance) also
+        // complain about the unknown target — the partial one must not.
+        assert!(v.iter().all(|x| !x.detail.contains("unknown target")));
+    }
+
+    #[test]
+    fn partial_inclusion_check_needs_a_sup_instance() {
+        let c = InclusionConstraint::parse("A.To", "B.To").unwrap();
+        let sub = vec![(Url::new("/a1"), Tuple::new().with("To", Value::link("/x")))];
+        assert_eq!(
+            verify_inclusion_constraint_partial(&c, &sub, &[]),
+            (0, vec![])
+        );
+        let sup = vec![(Url::new("/b1"), Tuple::new().with("To", Value::link("/y")))];
+        let (checks, v) = verify_inclusion_constraint_partial(&c, &sub, &sup);
+        assert_eq!(checks, 1);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("/x"));
+    }
+
+    #[test]
+    fn constraints_order_deterministically() {
+        let a = LinkConstraint::parse("P.L", "P.A", "Q.B").unwrap();
+        let b = LinkConstraint::parse("P.L", "P.A", "Q.C").unwrap();
+        assert!(a < b);
+        let i = InclusionConstraint::parse("A.L1", "B.L2").unwrap();
+        let j = InclusionConstraint::parse("A.L1", "C.L2").unwrap();
+        assert!(i < j);
     }
 
     #[test]

@@ -34,6 +34,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok());
     let check_value: Vec<String> = check.map(|t| t.to_string()).into_iter().collect();
+    let drift_check = args.iter().any(|a| a == "--drift-check");
     let passthrough = |a: &String| {
         a == "full"
             || a == "--markdown"
@@ -43,6 +44,7 @@ fn main() {
             || a == "--explain-analyze"
             || a == "xa"
             || a == "--check"
+            || a == "--drift-check"
             || check_value.contains(a)
     };
     let want = |id: &str| {
@@ -151,6 +153,45 @@ fn main() {
             vec![("transient_rate_pct", format!("{rates:?}"))],
             &|| x3_chaos_detailed(&rates),
         );
+    }
+    if want("x4") || drift_check {
+        let drift_seed = 3u64;
+        let t0 = Instant::now();
+        let smoke = x4_drift(drift_seed);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        if markdown {
+            println!("{}", smoke.accuracy.render_markdown());
+            println!("{}", smoke.pages.render_markdown());
+        } else {
+            println!("{}", smoke.accuracy);
+            println!("{}", smoke.pages);
+        }
+        if json {
+            match bench::json::write_experiment_json_with_extras(
+                std::path::Path::new("."),
+                "x4",
+                &[("drift_seed", drift_seed.to_string())],
+                wall_ms,
+                &smoke.accuracy,
+                &smoke.extras,
+            ) {
+                Ok(p) => eprintln!("wrote {}", p.display()),
+                Err(e) => eprintln!("BENCH_X4.json: {e}"),
+            }
+        }
+        if drift_check {
+            if !smoke.quarantine_fired {
+                eprintln!("drift check FAILED: no constraint was quarantined");
+                std::process::exit(1);
+            }
+            if !smoke.fallbacks_match_naive {
+                eprintln!(
+                    "drift check FAILED: a fallback diverged from the default-navigation answer"
+                );
+                std::process::exit(1);
+            }
+            eprintln!("drift check ok: quarantine fired and every fallback matched the default navigation");
+        }
     }
     if explain_analyze || want("xa") {
         let t0 = Instant::now();

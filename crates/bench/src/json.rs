@@ -92,6 +92,19 @@ pub fn experiment_json_with_extras(
     )
 }
 
+/// Serializes a table alone (title, headers, rows) as a JSON object —
+/// used to embed a secondary table in another experiment's extras (X4
+/// ships its pages-vs-fallback table this way).
+pub fn table_json(t: &Table) -> String {
+    let rows: Vec<String> = t.rows.iter().map(|r| string_array(r)).collect();
+    format!(
+        "{{\"title\": \"{}\", \"headers\": {}, \"rows\": [{}]}}",
+        escape(&t.title),
+        string_array(&t.headers),
+        rows.join(", ")
+    )
+}
+
 /// Writes `BENCH_<ID>.json` (id upper-cased) into `dir`; returns the path.
 pub fn write_experiment_json(
     dir: &Path,

@@ -768,6 +768,200 @@ pub fn xa_explain_analyze() -> ExplainSmoke {
     }
 }
 
+/// Output of the X4 constraint-drift experiment (see [`x4_drift`]).
+pub struct DriftSmoke {
+    /// X4a — accuracy vs audit rate, fresh health registry per cell.
+    pub accuracy: Table,
+    /// X4b — pages vs fallback: full audit, one shared health registry,
+    /// two passes (the second shows quarantine paying off).
+    pub pages: Table,
+    /// Raw-JSON extras for `BENCH_X4.json`: drift counters, the final
+    /// [`resilience::ConstraintHealthSnapshot`], quarantined keys, and the
+    /// X4b table.
+    pub extras: Vec<(String, String)>,
+    /// True when at least one constraint was quarantined — the CI smoke
+    /// gate asserts this.
+    pub quarantine_fired: bool,
+    /// True when every query that fell back produced exactly the
+    /// default-navigation plan's answer — the CI smoke gate asserts this.
+    pub fallbacks_match_naive: bool,
+}
+
+/// X4 (extension) — constraint-drift defense: the optimizer's rewrites are
+/// licensed by constraints a drifted site silently breaks. A university
+/// site drifts under fixed-seed [`websim::DriftPlan`] rules (every
+/// `DeptPage.DName` perturbed, 35% of `CoursePage.CName` perturbed, 10% of
+/// session course links dropped) while the optimizer keeps its pristine
+/// statistics and scheme. X4a sweeps the audit rate and reports detection
+/// (checks, violations, fallback) and accuracy against the
+/// default-navigation ground truth; X4b runs three queries twice through
+/// one [`resilience::ConstraintHealth`] at full audit — pass 1 pays the
+/// suspect-plus-fallback double execution, pass 2 shows the quarantine
+/// already steering the optimizer to constraint-free plans.
+pub fn x4_drift(drift_seed: u64) -> DriftSmoke {
+    use resilience::ConstraintHealth;
+    use websim::{DriftPlan, DriftRule};
+    const AUDIT_SEED: u64 = 0xA0D17;
+    // Statistics (and the scheme's constraints) come from the pristine
+    // site — the optimizer's knowledge predates the drift.
+    let mut u = University::generate(UniversityConfig::default()).expect("site");
+    let stats = SiteStatistics::from_site(&u.site);
+    let catalog = wvcore::views::university_catalog();
+    let drift = DriftPlan::new(drift_seed)
+        .with_rule(DriftRule::perturb_attr("DeptPage", "DName", 1.0))
+        .with_rule(DriftRule::perturb_attr("CoursePage", "CName", 0.35))
+        .with_rule(DriftRule::drop_links(
+            "SessionPage",
+            &["CourseList", "ToCourse"],
+            0.1,
+        ))
+        .apply(&mut u.site)
+        .expect("drift applies");
+    let source = LiveSource::for_site(&u.site);
+
+    let queries: Vec<(&str, ConjunctiveQuery)> = vec![
+        (
+            "cs-dept",
+            ConjunctiveQuery::new("cs-dept")
+                .atom("Dept")
+                .select((0, "DName"), "Computer Science")
+                .project((0, "Address")),
+        ),
+        ("example 7.1", query_71()),
+        ("CS professors", query_cs_profs()),
+    ];
+    // Ground truth per query: the default navigation (rule mask off)
+    // assumes no constraints, so it is correct on the drifted site by
+    // definition of the view.
+    let naives: Vec<wvcore::QueryOutcome> = queries
+        .iter()
+        .map(|(_, q)| {
+            QuerySession::new(&u.site.scheme, &catalog, &stats, &source)
+                .with_mask(RuleMask::none())
+                .run(q)
+                .expect("naive run")
+        })
+        .collect();
+    let audit_numbers = |out: &wvcore::QueryOutcome| -> (u64, u64) {
+        let audit = match &out.fallback {
+            Some(f) => f.suspect_report.audit.as_ref(),
+            None => out.report.audit.as_ref(),
+        };
+        audit.map_or((0, 0), |a| (a.checks(), a.violation_count()))
+    };
+
+    // X4a — accuracy vs audit rate.
+    let mut accuracy = Table::new(
+        "X4a — drift defense: accuracy vs audit rate (drifted site, fresh registry per cell)",
+        vec![
+            "query",
+            "audit rate",
+            "checks",
+            "violations",
+            "fell back",
+            "rows",
+            "correct",
+            "downloads",
+        ],
+    );
+    for ((label, q), naive) in queries.iter().zip(&naives) {
+        let truth = naive.report.relation.sorted();
+        for rate in [0.0, 0.25, 0.5, 1.0] {
+            let health = ConstraintHealth::new();
+            let out = QuerySession::new(&u.site.scheme, &catalog, &stats, &source)
+                .with_audit(rate, AUDIT_SEED)
+                .with_constraint_health(&health)
+                .run(q)
+                .expect("audited run");
+            let (checks, violations) = audit_numbers(&out);
+            let correct = out.report.relation.sorted() == truth;
+            accuracy.row(vec![
+                label.to_string(),
+                format!("{rate:.2}"),
+                checks.to_string(),
+                violations.to_string(),
+                if out.fell_back() { "yes" } else { "no" }.to_string(),
+                out.report.relation.len().to_string(),
+                if correct { "yes" } else { "no" }.to_string(),
+                out.total_downloads().to_string(),
+            ]);
+        }
+    }
+
+    // X4b — pages vs fallback through one shared registry, two passes.
+    let mut pages = Table::new(
+        "X4b — drift defense: pages vs fallback (full audit, one shared registry, two passes)",
+        vec![
+            "pass",
+            "query",
+            "fell back",
+            "quarantined now",
+            "downloads",
+            "naive pages",
+            "rows",
+            "== naive",
+        ],
+    );
+    let health = ConstraintHealth::new();
+    let mut fallbacks_match_naive = true;
+    let session = QuerySession::new(&u.site.scheme, &catalog, &stats, &source)
+        .with_audit(1.0, AUDIT_SEED)
+        .with_constraint_health(&health);
+    for pass in 1..=2u32 {
+        for ((label, q), naive) in queries.iter().zip(&naives) {
+            let out = session.run(q).expect("audited run");
+            let matches = out.report.relation.sorted() == naive.report.relation.sorted();
+            if out.fell_back() {
+                fallbacks_match_naive &= matches;
+            }
+            pages.row(vec![
+                pass.to_string(),
+                label.to_string(),
+                if out.fell_back() { "yes" } else { "no" }.to_string(),
+                health.quarantined().len().to_string(),
+                out.total_downloads().to_string(),
+                naive.measured_pages().to_string(),
+                out.report.relation.len().to_string(),
+                if matches { "yes" } else { "no" }.to_string(),
+            ]);
+        }
+    }
+
+    let snap = health.snapshot();
+    let quarantined = health.quarantined();
+    let keys: Vec<String> = quarantined.iter().map(|k| format!("\"{k}\"")).collect();
+    let extras = vec![
+        (
+            "drift".to_string(),
+            format!(
+                "{{\"seed\": {drift_seed}, \"perturbed_pages\": {}, \"dropped_links\": {}}}",
+                drift.perturbed_pages, drift.dropped_links
+            ),
+        ),
+        (
+            "health".to_string(),
+            format!(
+                "{{\"checks\": {}, \"violations\": {}, \"quarantines\": {}, \"readmissions\": {}, \"fallbacks\": {}, \"quarantined_now\": {}, \"quarantined\": [{}]}}",
+                snap.checks,
+                snap.violations,
+                snap.quarantines,
+                snap.readmissions,
+                snap.fallbacks,
+                snap.quarantined_now,
+                keys.join(", ")
+            ),
+        ),
+        ("pages_vs_fallback".to_string(), json::table_json(&pages)),
+    ];
+    DriftSmoke {
+        accuracy,
+        pages,
+        extras,
+        quarantine_fired: snap.quarantines > 0,
+        fallbacks_match_naive,
+    }
+}
+
 /// Graphviz sources for Figure 1 (both schemes) and the Figure 3/4 plans
 /// (`harness dot`; pipe into `dot -Tsvg`).
 pub fn dot_figures() -> String {
@@ -927,6 +1121,70 @@ mod tests {
         assert_eq!(downloads[2], 2, "add course: session page + new page");
         assert_eq!(downloads[3], 1, "remove course: session page");
         assert_eq!(downloads[4], 0, "professor churn invisible to course query");
+    }
+
+    #[test]
+    fn x4_quarantine_fires_and_fallback_matches_naive() {
+        let smoke = x4_drift(3);
+        assert!(smoke.quarantine_fired, "drift must trigger quarantine");
+        assert!(
+            smoke.fallbacks_match_naive,
+            "every fallback answers exactly like the default navigation"
+        );
+        // cs-dept rows: without auditing the pushed selection trusts the
+        // stale anchor and answers wrongly; at full audit the violation is
+        // caught and the fallback corrects it.
+        let cs: Vec<_> = smoke
+            .accuracy
+            .rows
+            .iter()
+            .filter(|r| r[0] == "cs-dept")
+            .collect();
+        assert_eq!(cs.len(), 4);
+        assert_eq!(cs[0][1], "0.00");
+        assert_eq!(cs[0][6], "no", "unaudited run is wrong on a drifted site");
+        let full = cs.last().unwrap();
+        assert_eq!(full[1], "1.00");
+        assert_eq!(full[4], "yes", "full audit falls back");
+        assert_eq!(full[6], "yes", "fallback restores accuracy");
+        // X4b pass 2: the quarantine steers the optimizer to constraint-free
+        // plans, so nothing is left to audit-fail on the repeat pass.
+        let pass2_cs = smoke
+            .pages
+            .rows
+            .iter()
+            .find(|r| r[0] == "2" && r[1] == "cs-dept")
+            .expect("pass-2 row");
+        assert_eq!(pass2_cs[2], "no", "no fallback needed after quarantine");
+        assert_eq!(pass2_cs[7], "yes", "and the answer is the naive one");
+        assert!(smoke
+            .extras
+            .iter()
+            .any(|(k, v)| k == "health" && v.contains("\"quarantines\"")));
+    }
+
+    #[test]
+    fn x4_audit_on_pristine_site_changes_nothing() {
+        // The zero-drift pin: full-rate auditing on an undrifted site never
+        // falls back and leaves results and page accounting byte-identical.
+        let u = University::generate(UniversityConfig::default()).expect("site");
+        let stats = SiteStatistics::from_site(&u.site);
+        let catalog = wvcore::views::university_catalog();
+        let source = LiveSource::for_site(&u.site);
+        let health = resilience::ConstraintHealth::new();
+        let audited = QuerySession::new(&u.site.scheme, &catalog, &stats, &source)
+            .with_audit(1.0, 0xA0D17)
+            .with_constraint_health(&health);
+        let plain = QuerySession::new(&u.site.scheme, &catalog, &stats, &source);
+        for (label, q) in university_workload() {
+            let a = audited.run(&q).expect("audited");
+            let p = plain.run(&q).expect("plain");
+            assert!(!a.fell_back(), "{label}");
+            assert_eq!(a.report.relation, p.report.relation, "{label}");
+            assert_eq!(a.report.page_accesses, p.report.page_accesses, "{label}");
+            assert_eq!(a.measured_pages(), p.measured_pages(), "{label}");
+        }
+        assert!(health.snapshot().is_quiet());
     }
 
     #[test]

@@ -5,24 +5,64 @@
 //! pipeline and reports both the optimizer's estimate and the measured
 //! page accesses, so experiments can validate the cost model (estimated
 //! vs. actual) with one call.
+//!
+//! **Constraint-drift defense.** With [`QuerySession::with_audit`] set,
+//! each run samples the pages it fetched and re-checks exactly the
+//! constraints the winning plan assumed (its
+//! [`CandidatePlan::dependencies`]). A clean audit changes nothing —
+//! results and every counter stay byte-identical. A violated audit means
+//! the plan's licensing assumption is false on today's site, so the run
+//! **falls back**: the query is re-executed via its default navigation
+//! (rule mask off — a plan that assumes no constraints), the fallback's
+//! answer becomes the authoritative one, and the abandoned run is kept in
+//! [`FallbackOutcome`] for inspection. With
+//! [`QuerySession::with_constraint_health`] attached, audit results also
+//! feed a [`ConstraintHealth`] registry so violated constraints are
+//! quarantined and stop licensing rewrites on subsequent queries.
 
 use crate::analyze::ExplainAnalyze;
-use crate::optimizer::{Explain, Optimizer, RuleMask};
+use crate::optimizer::{CandidatePlan, Explain, Optimizer, RuleMask};
 use crate::query::ConjunctiveQuery;
+use crate::rules::ConstraintDependency;
 use crate::stats::SiteStatistics;
 use crate::views::ViewCatalog;
 use crate::Result;
 use adm::WebScheme;
-use nalg::{DegradationMode, EvalReport, Evaluator, PageSource, SharedPageCache};
+use nalg::{AuditConfig, DegradationMode, EvalReport, Evaluator, PageSource, SharedPageCache};
 use obs::trace::TraceSink;
+use resilience::ConstraintHealth;
+
+/// What happened when a run's audit caught the plan's own constraint
+/// assumptions being violated and the session re-answered the query from
+/// its default navigation.
+#[derive(Debug, Clone)]
+pub struct FallbackOutcome {
+    /// Constraint keys whose audit found violations this run.
+    pub violated: Vec<String>,
+    /// Keys this run's audit pushed into quarantine (empty without an
+    /// attached [`ConstraintHealth`]).
+    pub newly_quarantined: Vec<String>,
+    /// The abandoned optimized plan's explanation.
+    pub suspect_explain: Explain,
+    /// The abandoned optimized plan's evaluation report (its audit field
+    /// carries the detected violations).
+    pub suspect_report: EvalReport,
+    /// True when the abandoned run's answer differs from the fallback's —
+    /// the drift was not just detectable but result-changing.
+    pub diverged: bool,
+}
 
 /// The outcome of an executed query.
 #[derive(Debug, Clone)]
 pub struct QueryOutcome {
-    /// The optimizer's explanation (all candidate plans, costed).
+    /// The optimizer's explanation (all candidate plans, costed). When a
+    /// fallback fired this is the *fallback* plan's explanation; the
+    /// abandoned one is in [`FallbackOutcome::suspect_explain`].
     pub explain: Explain,
-    /// The evaluation report of the chosen plan.
+    /// The evaluation report of the authoritative plan.
     pub report: EvalReport,
+    /// Present when auditing triggered the default-navigation fallback.
+    pub fallback: Option<FallbackOutcome>,
 }
 
 impl QueryOutcome {
@@ -40,6 +80,22 @@ impl QueryOutcome {
     /// Actual downloads performed (with the per-query cache).
     pub fn downloads(&self) -> u64 {
         self.report.page_accesses
+    }
+
+    /// True when auditing caught a violated plan assumption and the
+    /// answer came from the default-navigation fallback.
+    pub fn fell_back(&self) -> bool {
+        self.fallback.is_some()
+    }
+
+    /// Downloads including the abandoned suspect run, when one exists —
+    /// the real price of answering this query.
+    pub fn total_downloads(&self) -> u64 {
+        self.report.page_accesses
+            + self
+                .fallback
+                .as_ref()
+                .map_or(0, |f| f.suspect_report.page_accesses)
     }
 }
 
@@ -69,6 +125,10 @@ pub struct QuerySession<'a, S: PageSource> {
     shared_cache: Option<&'a SharedPageCache>,
     degradation: DegradationMode,
     trace: Option<TraceSink>,
+    /// `(rate, seed)` for runtime constraint auditing; `None` (or a zero
+    /// rate) disables it.
+    audit: Option<(f64, u64)>,
+    health: Option<&'a ConstraintHealth>,
     /// `(workers, enable)` — the fn pointer monomorphizes the `S: Sync`
     /// bound at builder time so the rest of the session stays available
     /// for non-`Sync` sources.
@@ -99,8 +159,31 @@ impl<'a, S: PageSource> QuerySession<'a, S> {
             shared_cache: None,
             degradation: DegradationMode::FailFast,
             trace: None,
+            audit: None,
+            health: None,
             concurrency: None,
         }
+    }
+
+    /// Enables runtime constraint auditing: each [`QuerySession::run`]
+    /// samples the pages it fetched (a page is audited with probability
+    /// `rate`, decided deterministically from `seed` and the URL) and
+    /// re-checks the constraints the winning plan assumed. A violated
+    /// audit triggers the default-navigation fallback. `rate` 0 disables
+    /// auditing entirely; auditing never fetches a page.
+    pub fn with_audit(mut self, rate: f64, seed: u64) -> Self {
+        self.audit = (rate > 0.0).then_some((rate.min(1.0), seed));
+        self
+    }
+
+    /// Attaches a [`ConstraintHealth`] registry: audit results feed its
+    /// per-constraint counters, violated constraints are quarantined (and
+    /// thereby barred from licensing rewrites on later queries in this or
+    /// any session sharing the registry), and each `run` advances its
+    /// logical clock so quarantines expire.
+    pub fn with_constraint_health(mut self, health: &'a ConstraintHealth) -> Self {
+        self.health = Some(health);
+        self
     }
 
     /// Attaches a trace sink: subsequent [`QuerySession::explain`] calls
@@ -179,7 +262,30 @@ impl<'a, S: PageSource> QuerySession<'a, S> {
         if let Some(sink) = trace {
             opt = opt.with_trace(sink);
         }
+        if let Some(h) = self.health {
+            opt = opt.with_constraint_health(h);
+        }
         opt
+    }
+
+    /// The audit configuration for a chosen plan: the session's rate/seed
+    /// over exactly the constraints the plan assumed. `None` when auditing
+    /// is off or the plan is constraint-free (nothing to check).
+    fn audit_config(&self, best: &CandidatePlan) -> Option<AuditConfig> {
+        let (rate, seed) = self.audit?;
+        let mut cfg = AuditConfig {
+            rate,
+            seed,
+            link: Vec::new(),
+            inclusion: Vec::new(),
+        };
+        for d in &best.dependencies {
+            match d {
+                ConstraintDependency::Link(c) => cfg.link.push(c.clone()),
+                ConstraintDependency::Inclusion(c) => cfg.inclusion.push(c.clone()),
+            }
+        }
+        cfg.is_active().then_some(cfg)
     }
 
     /// Optimizes without executing.
@@ -187,11 +293,88 @@ impl<'a, S: PageSource> QuerySession<'a, S> {
         self.optimizer_traced(self.trace.as_ref()).optimize(q)
     }
 
-    /// Optimizes and executes the best plan.
+    /// Optimizes and executes the best plan. With auditing on, the fetched
+    /// pages are sampled against the plan's assumed constraints; a
+    /// violation books into the attached [`ConstraintHealth`] (quarantine)
+    /// and re-answers the query from its default navigation (see
+    /// [`FallbackOutcome`]).
     pub fn run(&self, q: &ConjunctiveQuery) -> Result<QueryOutcome> {
+        if let Some(h) = self.health {
+            h.tick();
+        }
         let explain = self.explain(q)?;
-        let report = self.evaluator().eval(&explain.best().expr)?;
-        Ok(QueryOutcome { explain, report })
+        let mut ev = self.evaluator();
+        if let Some(cfg) = self.audit_config(explain.best()) {
+            ev = ev.with_audit(cfg);
+        }
+        let report = ev.eval(&explain.best().expr)?;
+        self.settle(q, explain, report)
+    }
+
+    /// Books a run's audit findings into the health registry and, when the
+    /// audit caught the plan's own assumptions being violated, re-executes
+    /// the query constraint-free and promotes that answer.
+    fn settle(
+        &self,
+        q: &ConjunctiveQuery,
+        explain: Explain,
+        report: EvalReport,
+    ) -> Result<QueryOutcome> {
+        let (violated, newly_quarantined) = {
+            let Some(audit) = report.audit.as_ref() else {
+                return Ok(QueryOutcome {
+                    explain,
+                    report,
+                    fallback: None,
+                });
+            };
+            let mut violated = Vec::new();
+            let mut newly_quarantined = Vec::new();
+            for row in &audit.constraints {
+                if let Some(h) = self.health {
+                    if h.record(&row.key, row.checks, row.violations.len() as u64) {
+                        newly_quarantined.push(row.key.clone());
+                    }
+                }
+                if !row.violations.is_empty() {
+                    violated.push(row.key.clone());
+                }
+            }
+            (violated, newly_quarantined)
+        };
+        if violated.is_empty() {
+            return Ok(QueryOutcome {
+                explain,
+                report,
+                fallback: None,
+            });
+        }
+        // Every audited constraint was load-bearing for this plan, so a
+        // violation invalidates the rewrite chain that produced it. Answer
+        // instead from the default navigation (rule mask off), which
+        // assumes nothing about the drifted site.
+        if let Some(h) = self.health {
+            h.note_fallback();
+        }
+        let mut fb_opt =
+            Optimizer::new(self.ws, self.catalog, self.stats).with_mask(RuleMask::none());
+        if self.use_incomplete {
+            fb_opt = fb_opt.allow_incomplete_navigations();
+        }
+        let fb_explain = fb_opt.optimize(q)?;
+        let fb_report = self.evaluator().eval(&fb_explain.best().expr)?;
+        let diverged = report.relation.sorted() != fb_report.relation.sorted();
+        Ok(QueryOutcome {
+            explain: fb_explain,
+            report: fb_report,
+            fallback: Some(FallbackOutcome {
+                violated,
+                newly_quarantined,
+                suspect_explain: explain,
+                suspect_report: report,
+                diverged,
+            }),
+        })
     }
 
     /// EXPLAIN ANALYZE: optimizes, executes the best plan under a fresh
@@ -207,7 +390,11 @@ impl<'a, S: PageSource> QuerySession<'a, S> {
             .eval(&explain.best().expr)?;
         let analysis = ExplainAnalyze::from_parts(&explain.best().estimate, &sink.events());
         Ok(AnalyzedOutcome {
-            outcome: QueryOutcome { explain, report },
+            outcome: QueryOutcome {
+                explain,
+                report,
+                fallback: None,
+            },
             analysis,
             trace: sink,
         })
@@ -357,6 +544,109 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| e.kind == obs::trace::EventKind::Operator));
+    }
+
+    #[test]
+    fn audited_clean_run_is_byte_identical_and_feeds_health() {
+        let u = University::generate(UniversityConfig::default()).unwrap();
+        let stats = SiteStatistics::from_site(&u.site);
+        let catalog = university_catalog();
+        let source = LiveSource::for_site(&u.site);
+        let q = ConjunctiveQuery::new("cs-dept")
+            .atom("Dept")
+            .select((0, "DName"), "Computer Science")
+            .project((0, "Address"));
+        let plain = QuerySession::new(&u.site.scheme, &catalog, &stats, &source)
+            .run(&q)
+            .unwrap();
+        let health = resilience::ConstraintHealth::new();
+        let audited = QuerySession::new(&u.site.scheme, &catalog, &stats, &source)
+            .with_audit(1.0, 7)
+            .with_constraint_health(&health)
+            .run(&q)
+            .unwrap();
+        // On a pristine site auditing observes, quarantines nothing, and
+        // changes nothing.
+        assert!(!audited.fell_back());
+        assert_eq!(audited.report.relation, plain.report.relation);
+        assert_eq!(audited.report.page_accesses, plain.report.page_accesses);
+        assert_eq!(
+            audited.report.accesses_by_operator,
+            plain.report.accesses_by_operator
+        );
+        assert_eq!(audited.explain.best().expr, plain.explain.best().expr);
+        // … but the health registry saw the checks.
+        let audit = audited.report.audit.as_ref().expect("audit ran");
+        assert!(audit.checks() > 0);
+        assert!(audit.is_clean());
+        let snap = health.snapshot();
+        assert_eq!(snap.checks, audit.checks());
+        assert!(snap.is_quiet());
+    }
+
+    #[test]
+    fn drift_triggers_quarantine_and_fallback() {
+        use websim::{DriftPlan, DriftRule};
+        let mut u = University::generate(UniversityConfig::default()).unwrap();
+        let stats = SiteStatistics::from_site(&u.site);
+        let catalog = university_catalog();
+        let q = ConjunctiveQuery::new("cs-dept")
+            .atom("Dept")
+            .select((0, "DName"), "Computer Science")
+            .project((0, "Address"));
+        // Drift every DeptPage's DName: the anchor-replication constraint
+        // DeptListPage.DeptList.DName = DeptPage.DName — which licensed
+        // pushing the selection across the follow — is now false.
+        let report = DriftPlan::new(3)
+            .with_rule(DriftRule::perturb_attr("DeptPage", "DName", 1.0))
+            .apply(&mut u.site)
+            .unwrap();
+        assert!(report.perturbed_pages > 0);
+        let source = LiveSource::for_site(&u.site);
+        let health = resilience::ConstraintHealth::new();
+        let session = QuerySession::new(&u.site.scheme, &catalog, &stats, &source)
+            .with_audit(1.0, 7)
+            .with_constraint_health(&health);
+        let outcome = session.run(&q).unwrap();
+        // The audit caught the violation and the answer fell back.
+        assert!(outcome.fell_back());
+        let fb = outcome.fallback.as_ref().unwrap();
+        assert!(!fb.violated.is_empty());
+        assert_eq!(fb.newly_quarantined, fb.violated);
+        assert!(fb.diverged, "drifted DName changes the answer");
+        assert!(fb.suspect_report.audit.as_ref().unwrap().violation_count() > 0);
+        // The authoritative answer equals a constraint-free run.
+        let naive = QuerySession::new(&u.site.scheme, &catalog, &stats, &source)
+            .with_mask(RuleMask::none())
+            .run(&q)
+            .unwrap();
+        assert_eq!(
+            outcome.report.relation.sorted(),
+            naive.report.relation.sorted()
+        );
+        // The registry shows the quarantine; the next run's EXPLAIN
+        // surfaces it and stops trusting the constraint.
+        let snap = health.snapshot();
+        assert!(snap.quarantines >= 1);
+        assert_eq!(snap.fallbacks, 1);
+        assert!(snap.quarantined_now >= 1);
+        let second = session.run(&q).unwrap();
+        assert!(
+            !second.fell_back(),
+            "quarantine removed the bad rewrite, so nothing to audit-fail"
+        );
+        assert!(!second.explain.quarantined.is_empty());
+        assert!(second
+            .explain
+            .report()
+            .contains("quarantined (excluded from rewrites):"));
+        for d in &second.explain.best().dependencies {
+            assert!(!fb.violated.contains(&d.key()));
+        }
+        assert_eq!(
+            second.report.relation.sorted(),
+            naive.report.relation.sorted()
+        );
     }
 
     #[test]

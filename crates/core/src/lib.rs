@@ -61,10 +61,11 @@ pub use cost::{Cost, Estimate, NodeEstimate};
 pub use crawl::{crawl_instance, crawl_instance_parallel, SiteInstance};
 pub use discover::{discover_constraints, Discovered};
 pub use error::OptError;
-pub use exec::{AnalyzedOutcome, QueryOutcome, QuerySession};
+pub use exec::{AnalyzedOutcome, FallbackOutcome, QueryOutcome, QuerySession};
 pub use infer::{auto_catalog, auto_relation, infer_navigations, InferredNavigation};
 pub use optimizer::{CandidatePlan, Explain, Optimizer, RuleMask};
 pub use query::ConjunctiveQuery;
+pub use rules::ConstraintDependency;
 pub use source::{CachedSource, LiveSource};
 pub use stats::SiteStatistics;
 pub use views::{DefaultNavigation, ExternalRelation, ViewCatalog};

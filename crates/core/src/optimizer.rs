@@ -18,8 +18,8 @@
 use crate::cost::{estimate, Estimate};
 use crate::query::ConjunctiveQuery;
 use crate::rules::{
-    join_rewrite_candidates, merge_repeated_navigations, prune_navigations, push_selections,
-    qualify_expr, rename_alias, validate,
+    join_rewrite_candidates_tracked, merge_repeated_navigations, prune_navigations_tracked,
+    push_selections_tracked, qualify_expr, rename_alias, validate, ConstraintDependency,
 };
 use crate::stats::SiteStatistics;
 use crate::views::{DefaultNavigation, ViewCatalog};
@@ -27,7 +27,8 @@ use crate::{OptError, Result};
 use adm::WebScheme;
 use nalg::{NalgExpr, Pred};
 use obs::trace::{EventKind, FieldValue, TraceSink};
-use std::collections::HashSet;
+use resilience::ConstraintHealth;
+use std::collections::{BTreeSet, HashSet};
 use std::fmt::Write as _;
 
 /// Enables/disables individual rewrite stages (for ablation studies).
@@ -106,6 +107,11 @@ pub struct CandidatePlan {
     pub expr: NalgExpr,
     /// Its cost estimate.
     pub estimate: Estimate,
+    /// Provenance: every link/inclusion constraint some rewrite along the
+    /// way assumed. A plan with an empty set is constraint-free — its
+    /// correctness does not depend on the site honouring the scheme's
+    /// declared constraints. Sorted and deduplicated.
+    pub dependencies: Vec<ConstraintDependency>,
 }
 
 /// The optimizer's full output: every surviving candidate, cheapest first.
@@ -115,6 +121,9 @@ pub struct Explain {
     pub query: String,
     /// Candidates, cheapest first. Never empty.
     pub candidates: Vec<CandidatePlan>,
+    /// Constraint keys that were quarantined (and thus barred from
+    /// licensing rewrites) when this plan set was produced.
+    pub quarantined: Vec<String>,
 }
 
 impl Explain {
@@ -136,8 +145,17 @@ impl Explain {
                 "{marker} plan {i}: est. cost {} (card {:.1})",
                 c.estimate.cost, c.estimate.card
             );
+            for d in &c.dependencies {
+                let _ = writeln!(out, "    assumes {d}");
+            }
             for line in nalg::display::tree(&c.expr).lines() {
                 let _ = writeln!(out, "    {line}");
+            }
+        }
+        if !self.quarantined.is_empty() {
+            let _ = writeln!(out, "quarantined (excluded from rewrites):");
+            for k in &self.quarantined {
+                let _ = writeln!(out, "  ✗ {k}");
             }
         }
         out
@@ -157,6 +175,7 @@ pub struct Optimizer<'a> {
     /// (see [`crate::views`]); off by default.
     pub use_incomplete_navigations: bool,
     trace: Option<TraceSink>,
+    health: Option<&'a ConstraintHealth>,
 }
 
 impl<'a> Optimizer<'a> {
@@ -170,7 +189,17 @@ impl<'a> Optimizer<'a> {
             max_candidates: 128,
             use_incomplete_navigations: false,
             trace: None,
+            health: None,
         }
+    }
+
+    /// Consults a [`ConstraintHealth`] registry during rewriting: a
+    /// quarantined constraint may not license rules 6–9, so the plans a
+    /// drifted site has falsified are simply never generated. With a
+    /// healthy (or absent) registry the output is unchanged.
+    pub fn with_constraint_health(mut self, health: &'a ConstraintHealth) -> Self {
+        self.health = Some(health);
+        self
     }
 
     /// Sets the rule mask (builder style).
@@ -252,18 +281,24 @@ impl<'a> Optimizer<'a> {
                 }
             })
             .collect();
-        // Step 4: closure under rules 8/9.
-        let mut pool: Vec<NalgExpr> = Vec::new();
+        // The constraint gate: a quarantined constraint may not license a
+        // rewrite. Without a health registry the gate is always open.
+        let health = self.health;
+        let gate =
+            move |d: &ConstraintDependency| health.is_none_or(|h| !h.is_quarantined(&d.key()));
+        // Step 4: closure under rules 8/9. Each pool entry carries the set
+        // of constraints its rewrite chain has assumed so far (provenance).
+        let mut pool: Vec<(NalgExpr, BTreeSet<ConstraintDependency>)> = Vec::new();
         let mut seen: HashSet<NalgExpr> = HashSet::new();
-        let mut worklist: Vec<NalgExpr> = Vec::new();
+        let mut worklist: Vec<(NalgExpr, BTreeSet<ConstraintDependency>)> = Vec::new();
         let mut cap_hit = false;
         for s in seeds {
             if seen.insert(s.clone()) {
-                pool.push(s.clone());
-                worklist.push(s);
+                pool.push((s.clone(), BTreeSet::new()));
+                worklist.push((s, BTreeSet::new()));
             }
         }
-        while let Some(e) = worklist.pop() {
+        while let Some((e, deps)) = worklist.pop() {
             if pool.len() >= self.max_candidates {
                 cap_hit = true;
                 break;
@@ -272,15 +307,19 @@ impl<'a> Optimizer<'a> {
             // Candidate generation itself always uses the combined call
             // below, so tracing cannot perturb pool order.
             let rule8: Vec<NalgExpr> = if sink.is_some() && self.mask.pointer_join {
-                join_rewrite_candidates(&e, self.ws, true, false)
+                join_rewrite_candidates_tracked(&e, self.ws, true, false, &gate)
+                    .into_iter()
+                    .map(|(c, _)| c)
+                    .collect()
             } else {
                 Vec::new()
             };
-            for cand in join_rewrite_candidates(
+            for (cand, used) in join_rewrite_candidates_tracked(
                 &e,
                 self.ws,
                 self.mask.pointer_join,
                 self.mask.pointer_chase,
+                &gate,
             ) {
                 if seen.insert(cand.clone()) {
                     if let Some(sink) = sink {
@@ -291,17 +330,19 @@ impl<'a> Optimizer<'a> {
                         };
                         self.rule_event(sink, rule, Some(&e), &cand);
                     }
-                    pool.push(cand.clone());
-                    worklist.push(cand);
+                    let mut cand_deps = deps.clone();
+                    cand_deps.extend(used);
+                    pool.push((cand.clone(), cand_deps.clone()));
+                    worklist.push((cand, cand_deps));
                 }
             }
         }
         let pool_count = pool.len();
         // Steps 5–7: per-candidate normalization, then validation.
-        let mut finals: Vec<NalgExpr> = Vec::new();
+        let mut finals: Vec<(NalgExpr, BTreeSet<ConstraintDependency>)> = Vec::new();
         let mut seen_final: HashSet<NalgExpr> = HashSet::new();
         let (mut pruned_unpushable, mut pruned_invalid, mut pruned_duplicate) = (0u64, 0u64, 0u64);
-        for e in pool {
+        for (e, mut deps) in pool {
             let mut cur = e;
             // a pointer-chase rewrite can leave a duplicated navigation
             // behind (the same link followed twice); rule 4 cleans it up
@@ -315,13 +356,14 @@ impl<'a> Optimizer<'a> {
                 cur = merged;
             }
             if self.mask.push_selections {
-                match push_selections(&cur, self.ws) {
-                    Ok(p) => {
+                match push_selections_tracked(&cur, self.ws, &gate) {
+                    Ok((p, used)) => {
                         if let Some(sink) = sink {
                             if p != cur {
                                 self.rule_event(sink, "rule6.push_selections", Some(&cur), &p);
                             }
                         }
+                        deps.extend(used);
                         cur = p;
                     }
                     Err(_) => {
@@ -331,13 +373,14 @@ impl<'a> Optimizer<'a> {
                 }
             }
             if self.mask.prune_navigations {
-                match prune_navigations(cur.clone(), self.ws) {
-                    Ok(p) => {
+                match prune_navigations_tracked(cur.clone(), self.ws, &gate) {
+                    Ok((p, used)) => {
                         if let Some(sink) = sink {
                             if p != cur {
                                 self.rule_event(sink, "rule357.prune_navigations", Some(&cur), &p);
                             }
                         }
+                        deps.extend(used);
                         cur = p;
                     }
                     Err(_) => {
@@ -349,7 +392,7 @@ impl<'a> Optimizer<'a> {
             if !validate(&cur, self.ws) {
                 pruned_invalid += 1;
             } else if seen_final.insert(cur.clone()) {
-                finals.push(cur);
+                finals.push((cur, deps));
             } else {
                 pruned_duplicate += 1;
             }
@@ -357,7 +400,7 @@ impl<'a> Optimizer<'a> {
         // Step 8: cost and sort.
         let mut candidates: Vec<CandidatePlan> = Vec::new();
         let mut pruned_uncostable = 0u64;
-        for expr in finals {
+        for (expr, deps) in finals {
             let Ok(est) = estimate(&expr, self.ws, self.stats) else {
                 pruned_uncostable += 1;
                 continue;
@@ -365,6 +408,7 @@ impl<'a> Optimizer<'a> {
             candidates.push(CandidatePlan {
                 expr,
                 estimate: est,
+                dependencies: deps.into_iter().collect(),
             });
         }
         if let Some(sink) = sink {
@@ -401,6 +445,7 @@ impl<'a> Optimizer<'a> {
         Ok(Explain {
             query: q.to_string(),
             candidates,
+            quarantined: self.health.map(|h| h.quarantined()).unwrap_or_default(),
         })
     }
 
@@ -800,5 +845,84 @@ mod tests {
         let opt = Optimizer::new(&ws, &cat, &stats);
         let q = ConjunctiveQuery::new("bad").atom("Nope").project((0, "X"));
         assert!(opt.optimize(&q).is_err());
+    }
+
+    #[test]
+    fn best_plan_records_constraint_provenance() {
+        let (ws, cat, stats) = fixtures();
+        let opt = Optimizer::new(&ws, &cat, &stats);
+        let explain = opt.optimize(&single_relation_query()).unwrap();
+        let best = explain.best();
+        assert!(
+            !best.dependencies.is_empty(),
+            "the winning plan pushes σ[DName=…] across a follow — that \
+             rewrite is licensed by a link constraint and must be recorded:\n{}",
+            explain.report()
+        );
+        let r = explain.report();
+        for d in &best.dependencies {
+            assert!(
+                r.contains(&format!("assumes {d}")),
+                "missing in report:\n{r}"
+            );
+        }
+        assert!(explain.quarantined.is_empty());
+        assert!(!r.contains("quarantined"));
+    }
+
+    #[test]
+    fn healthy_registry_changes_nothing() {
+        let (ws, cat, stats) = fixtures();
+        let health = ConstraintHealth::new();
+        let plain = Optimizer::new(&ws, &cat, &stats)
+            .optimize(&single_relation_query())
+            .unwrap();
+        let gated = Optimizer::new(&ws, &cat, &stats)
+            .with_constraint_health(&health)
+            .optimize(&single_relation_query())
+            .unwrap();
+        assert_eq!(plain.candidates.len(), gated.candidates.len());
+        for (a, b) in plain.candidates.iter().zip(&gated.candidates) {
+            assert_eq!(a.expr, b.expr);
+            assert_eq!(a.estimate.cost, b.estimate.cost);
+            assert_eq!(a.dependencies, b.dependencies);
+        }
+        assert!(gated.quarantined.is_empty());
+    }
+
+    #[test]
+    fn quarantine_bars_constraints_from_licensing_rewrites() {
+        let (ws, cat, stats) = fixtures();
+        let q = single_relation_query();
+        let trusted = Optimizer::new(&ws, &cat, &stats).optimize(&q).unwrap();
+        let deps = trusted.best().dependencies.clone();
+        assert!(!deps.is_empty());
+        // Quarantine every constraint the winning plan leaned on.
+        let health = ConstraintHealth::new();
+        for d in &deps {
+            health.record(&d.key(), 1, 1);
+        }
+        let guarded = Optimizer::new(&ws, &cat, &stats)
+            .with_constraint_health(&health)
+            .optimize(&q)
+            .unwrap();
+        let quarantined: Vec<String> = deps.iter().map(|d| d.key()).collect();
+        for c in &guarded.candidates {
+            for d in &c.dependencies {
+                assert!(
+                    !quarantined.contains(&d.key()),
+                    "quarantined constraint still licensed a rewrite: {d}"
+                );
+            }
+        }
+        // The defensive plan cannot beat the trusting one.
+        assert!(trusted.best().estimate.cost.pages <= guarded.best().estimate.cost.pages + 1e-6);
+        // EXPLAIN surfaces the quarantine.
+        assert_eq!(guarded.quarantined.len(), deps.len());
+        let r = guarded.report();
+        assert!(r.contains("quarantined (excluded from rewrites):"), "{r}");
+        for k in &quarantined {
+            assert!(r.contains(k), "missing {k} in report:\n{r}");
+        }
     }
 }

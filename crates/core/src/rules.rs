@@ -18,10 +18,56 @@
 
 use crate::stats::SiteStatistics;
 use crate::{OptError, Result};
-use adm::{AttrRef, WebScheme};
+use adm::{AttrRef, InclusionConstraint, LinkConstraint, WebScheme};
 use nalg::expr::{field_of_column, resolve_column};
 use nalg::{NalgExpr, Pred};
 use std::collections::HashMap;
+use std::fmt;
+
+// --------------------------------------------------------------------------
+// constraint provenance
+// --------------------------------------------------------------------------
+
+/// A constraint a rewrite relied on. The optimizer collects these on every
+/// candidate plan (its *constraint provenance*), so runtime auditing knows
+/// exactly which site assumptions the winning plan is betting on.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ConstraintDependency {
+    /// A link constraint (licenses rules 6, 7, and 8).
+    Link(LinkConstraint),
+    /// An inclusion constraint (licenses rule 9). For transitively implied
+    /// inclusions this is the *implied* constraint itself — the statement
+    /// auditing can check directly against fetched pages.
+    Inclusion(InclusionConstraint),
+}
+
+impl ConstraintDependency {
+    /// The canonical registry key: the constraint's display form, shared
+    /// with the `ConstraintHealth` quarantine registry and EXPLAIN output.
+    pub fn key(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for ConstraintDependency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintDependency::Link(c) => write!(f, "{c}"),
+            ConstraintDependency::Inclusion(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// Decides whether a constraint may license a rewrite. The optimizer
+/// passes a closure rejecting quarantined constraints; a rejected
+/// constraint simply leaves the expression unrewritten (the plan stays
+/// correct, just less optimized).
+pub type ConstraintGate<'g> = &'g dyn Fn(&ConstraintDependency) -> bool;
+
+/// The gate that admits every constraint (no quarantine in effect).
+pub fn open_gate(_: &ConstraintDependency) -> bool {
+    true
+}
 
 // --------------------------------------------------------------------------
 // tree addressing
@@ -368,22 +414,32 @@ fn alias_of(qualified: &str) -> &str {
     qualified.split('.').next().unwrap_or(qualified)
 }
 
-/// Is there a declared link constraint on `link` with the given source and
-/// target attributes?
-fn has_link_constraint(ws: &WebScheme, link: &AttrRef, source: &AttrRef, target: &AttrRef) -> bool {
+/// The declared link constraint on `link` with the given source and target
+/// attributes, if one exists and the gate admits it.
+fn find_link_constraint(
+    ws: &WebScheme,
+    link: &AttrRef,
+    source: &AttrRef,
+    target: &AttrRef,
+    gate: ConstraintGate<'_>,
+) -> Option<LinkConstraint> {
     ws.link_constraints_for(link)
-        .iter()
-        .any(|c| &c.source_attr == source && &c.target_attr == target)
+        .into_iter()
+        .find(|c| &c.source_attr == source && &c.target_attr == target)
+        .cloned()
+        .filter(|c| gate(&ConstraintDependency::Link(c.clone())))
 }
 
 /// Finds, for a reference `alias.B` on the target side of `link`, the
-/// qualified source column licensed by a link constraint, if any.
+/// qualified source column licensed by a link constraint the gate admits,
+/// together with the constraint relied on.
 fn constraint_source_col(
     ws: &WebScheme,
     aliases: &HashMap<String, String>,
     link_col: &str,
     target_ref_col: &str,
-) -> Option<String> {
+    gate: ConstraintGate<'_>,
+) -> Option<(String, ConstraintDependency)> {
     let link_ref = attr_ref_of(aliases, link_col)?;
     let target_ref = attr_ref_of(aliases, target_ref_col)?;
     if target_ref.path.len() != 1 {
@@ -392,7 +448,12 @@ fn constraint_source_col(
     let source_alias = alias_of(link_col);
     for c in ws.link_constraints_for(&link_ref) {
         if c.target_attr == target_ref {
-            return Some(format!("{source_alias}.{}", c.source_attr.path.join(".")));
+            let dep = ConstraintDependency::Link(c.clone());
+            if !gate(&dep) {
+                continue;
+            }
+            let col = format!("{source_alias}.{}", c.source_attr.path.join("."));
+            return Some((col, dep));
         }
     }
     None
@@ -618,15 +679,34 @@ fn reattach_unnests(core: NalgExpr, attrs: &[String]) -> NalgExpr {
 }
 
 /// One-step applications of rule 8 (pointer join) and rule 9 (pointer
-/// chase) anywhere in the tree. Returns all rewritten whole expressions;
-/// callers validate and cost them. Candidates that drop a branch whose
-/// columns are still referenced fail [`validate`] and are discarded there.
+/// chase) anywhere in the tree, with every constraint admitted. See
+/// [`join_rewrite_candidates_tracked`].
 pub fn join_rewrite_candidates(
     e: &NalgExpr,
     ws: &WebScheme,
     pointer_join: bool,
     pointer_chase: bool,
 ) -> Vec<NalgExpr> {
+    join_rewrite_candidates_tracked(e, ws, pointer_join, pointer_chase, &open_gate)
+        .into_iter()
+        .map(|(c, _)| c)
+        .collect()
+}
+
+/// One-step applications of rule 8 (pointer join) and rule 9 (pointer
+/// chase) anywhere in the tree. Returns all rewritten whole expressions,
+/// each with the constraints that licensed it (rule 8: one link constraint
+/// per join pair; rule 9: additionally the inclusion it chased through);
+/// callers validate and cost them. Candidates that drop a branch whose
+/// columns are still referenced fail [`validate`] and are discarded there.
+/// Constraints the gate rejects license nothing.
+pub fn join_rewrite_candidates_tracked(
+    e: &NalgExpr,
+    ws: &WebScheme,
+    pointer_join: bool,
+    pointer_chase: bool,
+    gate: ConstraintGate<'_>,
+) -> Vec<(NalgExpr, Vec<ConstraintDependency>)> {
     let mut out = Vec::new();
     let Ok(aliases) = e.alias_map() else {
         return out;
@@ -685,23 +765,36 @@ pub fn join_rewrite_candidates(
                     continue;
                 };
                 // every pair must be licensed by a link constraint on L2
-                let licensed = pairs.iter().all(|(f, o)| {
+                // the gate admits; the constraints used become the
+                // candidate's provenance
+                let mut pair_deps: Vec<ConstraintDependency> = Vec::new();
+                let mut licensed = true;
+                for (f, o) in &pairs {
                     let (Some(fref), Some(oref)) =
                         (attr_ref_of(&aliases, f), attr_ref_of(&aliases, o))
                     else {
-                        return false;
+                        licensed = false;
+                        break;
                     };
                     // nullable join attributes filter rows the rewritten
                     // plan would keep — refuse the rewrite (cf. rule 4)
-                    let non_nullable = |col: &str| {
-                        matches!(field_of_column(ws, &aliases, col), Ok(fld) if !fld.optional)
-                    };
-                    fref.path.len() == 1
+                    let non_nullable = |col: &str| matches!(field_of_column(ws, &aliases, col), Ok(fld) if !fld.optional);
+                    if !(fref.path.len() == 1
                         && resolve_column(&ocols, o).is_ok()
                         && non_nullable(f)
-                        && non_nullable(o)
-                        && has_link_constraint(ws, &l2ref, &oref, &fref)
-                });
+                        && non_nullable(o))
+                    {
+                        licensed = false;
+                        break;
+                    }
+                    match find_link_constraint(ws, &l2ref, &oref, &fref, gate) {
+                        Some(c) => pair_deps.push(ConstraintDependency::Link(c)),
+                        None => {
+                            licensed = false;
+                            break;
+                        }
+                    }
+                }
                 if !licensed {
                     continue;
                 }
@@ -717,7 +810,7 @@ pub fn join_rewrite_candidates(
                         join.follow_as(l1.clone(), target.clone(), a3.clone()),
                         &stripped,
                     );
-                    out.push(replace_at(e.clone(), &path, rewritten));
+                    out.push((replace_at(e.clone(), &path, rewritten), pair_deps.clone()));
                 }
                 if pointer_chase {
                     // Rule 9 additionally needs R2.L ⊆ R1.L.
@@ -725,13 +818,26 @@ pub fn join_rewrite_candidates(
                         continue;
                     };
                     if ws.inclusion_implied(&l2ref, &l1ref) {
+                        let mut deps = pair_deps.clone();
+                        // A trivial self-inclusion (same link attribute on
+                        // both sides) assumes nothing about the site.
+                        if l2ref != l1ref {
+                            let dep = ConstraintDependency::Inclusion(InclusionConstraint::new(
+                                l2ref.clone(),
+                                l1ref.clone(),
+                            ));
+                            if !gate(&dep) {
+                                continue;
+                            }
+                            deps.push(dep);
+                        }
                         let rewritten = reattach_unnests(
                             oside
                                 .clone()
                                 .follow_as(l2col.clone(), target.clone(), a3.clone()),
                             &stripped,
                         );
-                        out.push(replace_at(e.clone(), &path, rewritten));
+                        out.push((replace_at(e.clone(), &path, rewritten), deps));
                     }
                 }
             }
@@ -744,16 +850,41 @@ pub fn join_rewrite_candidates(
 // rule 6 — selection pushing
 // --------------------------------------------------------------------------
 
+/// Pushes every selection atom as deep as it can go, with every constraint
+/// admitted. See [`push_selections_tracked`].
+pub fn push_selections(e: &NalgExpr, ws: &WebScheme) -> Result<NalgExpr> {
+    push_selections_tracked(e, ws, &open_gate).map(|(out, _)| out)
+}
+
 /// Pushes every selection atom as deep as it can go: through π, ⋈, ∘, and
 /// — via link constraints (rule 6) — through follow-link operators,
 /// rewriting target-side attributes into their replicated source-side
-/// anchors.
-pub fn push_selections(e: &NalgExpr, ws: &WebScheme) -> Result<NalgExpr> {
+/// anchors. Returns the rewritten expression with the link constraints
+/// relied on (sorted, deduplicated). Constraints the gate rejects are not
+/// pushed through — the selection simply stays above the navigation.
+pub fn push_selections_tracked(
+    e: &NalgExpr,
+    ws: &WebScheme,
+    gate: ConstraintGate<'_>,
+) -> Result<(NalgExpr, Vec<ConstraintDependency>)> {
+    let mut deps = Vec::new();
+    let out = push_sel(e, ws, gate, &mut deps)?;
+    deps.sort();
+    deps.dedup();
+    Ok((out, deps))
+}
+
+fn push_sel(
+    e: &NalgExpr,
+    ws: &WebScheme,
+    gate: ConstraintGate<'_>,
+    deps: &mut Vec<ConstraintDependency>,
+) -> Result<NalgExpr> {
     Ok(match e {
         NalgExpr::Select { input, pred } => {
-            let mut cur = push_selections(input, ws)?;
+            let mut cur = push_sel(input, ws, gate, deps)?;
             for atom in pred.conjuncts() {
-                cur = match sink(&cur, &atom, ws)? {
+                cur = match sink(&cur, &atom, ws, gate, deps)? {
                     Some(pushed) => pushed,
                     None => cur.select(atom),
                 };
@@ -761,16 +892,16 @@ pub fn push_selections(e: &NalgExpr, ws: &WebScheme) -> Result<NalgExpr> {
             cur
         }
         NalgExpr::Project { input, cols } => NalgExpr::Project {
-            input: Box::new(push_selections(input, ws)?),
+            input: Box::new(push_sel(input, ws, gate, deps)?),
             cols: cols.clone(),
         },
         NalgExpr::Join { left, right, on } => NalgExpr::Join {
-            left: Box::new(push_selections(left, ws)?),
-            right: Box::new(push_selections(right, ws)?),
+            left: Box::new(push_sel(left, ws, gate, deps)?),
+            right: Box::new(push_sel(right, ws, gate, deps)?),
             on: on.clone(),
         },
         NalgExpr::Unnest { input, attr } => NalgExpr::Unnest {
-            input: Box::new(push_selections(input, ws)?),
+            input: Box::new(push_sel(input, ws, gate, deps)?),
             attr: attr.clone(),
         },
         NalgExpr::Follow {
@@ -779,7 +910,7 @@ pub fn push_selections(e: &NalgExpr, ws: &WebScheme) -> Result<NalgExpr> {
             target,
             alias,
         } => NalgExpr::Follow {
-            input: Box::new(push_selections(input, ws)?),
+            input: Box::new(push_sel(input, ws, gate, deps)?),
             link: link.clone(),
             target: target.clone(),
             alias: alias.clone(),
@@ -790,8 +921,14 @@ pub fn push_selections(e: &NalgExpr, ws: &WebScheme) -> Result<NalgExpr> {
 
 /// Tries to apply `atom` as deep as possible inside `e`. Returns the
 /// rewritten expression, or `None` if the atom's attributes do not resolve
-/// anywhere in `e`.
-fn sink(e: &NalgExpr, atom: &Pred, ws: &WebScheme) -> Result<Option<NalgExpr>> {
+/// anywhere in `e`. Rule-6 pushes record the link constraint used.
+fn sink(
+    e: &NalgExpr,
+    atom: &Pred,
+    ws: &WebScheme,
+    gate: ConstraintGate<'_>,
+    deps: &mut Vec<ConstraintDependency>,
+) -> Result<Option<NalgExpr>> {
     let resolves_here = |node: &NalgExpr| -> bool {
         node.output_columns(ws)
             .map(|cols| {
@@ -803,26 +940,30 @@ fn sink(e: &NalgExpr, atom: &Pred, ws: &WebScheme) -> Result<Option<NalgExpr>> {
     };
     match e {
         NalgExpr::Select { input, pred } => {
-            Ok(sink(input, atom, ws)?.map(|new| NalgExpr::Select {
-                input: Box::new(new),
-                pred: pred.clone(),
-            }))
+            Ok(
+                sink(input, atom, ws, gate, deps)?.map(|new| NalgExpr::Select {
+                    input: Box::new(new),
+                    pred: pred.clone(),
+                }),
+            )
         }
         NalgExpr::Project { input, cols } => {
-            Ok(sink(input, atom, ws)?.map(|new| NalgExpr::Project {
-                input: Box::new(new),
-                cols: cols.clone(),
-            }))
+            Ok(
+                sink(input, atom, ws, gate, deps)?.map(|new| NalgExpr::Project {
+                    input: Box::new(new),
+                    cols: cols.clone(),
+                }),
+            )
         }
         NalgExpr::Join { left, right, on } => {
-            if let Some(new_left) = sink(left, atom, ws)? {
+            if let Some(new_left) = sink(left, atom, ws, gate, deps)? {
                 return Ok(Some(NalgExpr::Join {
                     left: Box::new(new_left),
                     right: right.clone(),
                     on: on.clone(),
                 }));
             }
-            if let Some(new_right) = sink(right, atom, ws)? {
+            if let Some(new_right) = sink(right, atom, ws, gate, deps)? {
                 return Ok(Some(NalgExpr::Join {
                     left: left.clone(),
                     right: Box::new(new_right),
@@ -835,7 +976,7 @@ fn sink(e: &NalgExpr, atom: &Pred, ws: &WebScheme) -> Result<Option<NalgExpr>> {
             Ok(None)
         }
         NalgExpr::Unnest { input, attr } => {
-            if let Some(new) = sink(input, atom, ws)? {
+            if let Some(new) = sink(input, atom, ws, gate, deps)? {
                 return Ok(Some(NalgExpr::Unnest {
                     input: Box::new(new),
                     attr: attr.clone(),
@@ -852,7 +993,7 @@ fn sink(e: &NalgExpr, atom: &Pred, ws: &WebScheme) -> Result<Option<NalgExpr>> {
             target,
             alias,
         } => {
-            if let Some(new) = sink(input, atom, ws)? {
+            if let Some(new) = sink(input, atom, ws, gate, deps)? {
                 return Ok(Some(NalgExpr::Follow {
                     input: Box::new(new),
                     link: link.clone(),
@@ -865,9 +1006,11 @@ fn sink(e: &NalgExpr, atom: &Pred, ws: &WebScheme) -> Result<Option<NalgExpr>> {
             if let Pred::Eq(a, v) = atom {
                 if alias_of(a) == alias {
                     let aliases = e.alias_map().map_err(OptError::Eval)?;
-                    if let Some(src_col) = constraint_source_col(ws, &aliases, link, a) {
+                    if let Some((src_col, dep)) = constraint_source_col(ws, &aliases, link, a, gate)
+                    {
+                        deps.push(dep);
                         let new_atom = Pred::Eq(src_col, v.clone());
-                        let new_input = match sink(input, &new_atom, ws)? {
+                        let new_input = match sink(input, &new_atom, ws, gate, deps)? {
                             Some(pushed) => pushed,
                             None => input.as_ref().clone().select(new_atom),
                         };
@@ -910,34 +1053,52 @@ fn sink(e: &NalgExpr, atom: &Pred, ws: &WebScheme) -> Result<Option<NalgExpr>> {
 ///   columns.
 ///
 /// Only applies when the expression root is a projection (the rules hold
-/// under set-projection semantics).
+/// under set-projection semantics). This variant admits every constraint;
+/// see [`prune_navigations_tracked`].
 pub fn prune_navigations(e: NalgExpr, ws: &WebScheme) -> Result<NalgExpr> {
-    if !matches!(e, NalgExpr::Project { .. }) {
-        return Ok(e);
-    }
-    let mut expr = e;
-    loop {
-        match find_prune(&expr, ws)? {
-            Some((path, substitutions)) => {
-                for (from, to) in substitutions {
-                    expr = substitute_attr(&expr, &from, &to);
-                }
-                let node = get_at(&expr, &path).clone();
-                let replacement = match node {
-                    NalgExpr::Follow { input, .. } => *input,
-                    NalgExpr::Unnest { input, .. } => *input,
-                    _ => return Ok(expr),
-                };
-                expr = replace_at(expr, &path, replacement);
-            }
-            None => return Ok(expr),
-        }
-    }
+    prune_navigations_tracked(e, ws, &open_gate).map(|(out, _)| out)
 }
 
-type PruneAction = (Vec<usize>, Vec<(String, String)>);
+/// [`prune_navigations`] with constraint provenance: returns the pruned
+/// expression and the link constraints rule 7 rewrote references through
+/// (sorted, deduplicated). Rules 3 and 5 assume nothing about the site and
+/// contribute no dependencies. Constraints the gate rejects block the
+/// rule-7 substitution, leaving the navigation in place.
+pub fn prune_navigations_tracked(
+    e: NalgExpr,
+    ws: &WebScheme,
+    gate: ConstraintGate<'_>,
+) -> Result<(NalgExpr, Vec<ConstraintDependency>)> {
+    let mut deps = Vec::new();
+    if !matches!(e, NalgExpr::Project { .. }) {
+        return Ok((e, deps));
+    }
+    let mut expr = e;
+    while let Some((path, substitutions, used)) = find_prune(&expr, ws, gate)? {
+        deps.extend(used);
+        for (from, to) in substitutions {
+            expr = substitute_attr(&expr, &from, &to);
+        }
+        let node = get_at(&expr, &path).clone();
+        let replacement = match node {
+            NalgExpr::Follow { input, .. } => *input,
+            NalgExpr::Unnest { input, .. } => *input,
+            _ => break,
+        };
+        expr = replace_at(expr, &path, replacement);
+    }
+    deps.sort();
+    deps.dedup();
+    Ok((expr, deps))
+}
 
-fn find_prune(e: &NalgExpr, ws: &WebScheme) -> Result<Option<PruneAction>> {
+type PruneAction = (Vec<usize>, Vec<(String, String)>, Vec<ConstraintDependency>);
+
+fn find_prune(
+    e: &NalgExpr,
+    ws: &WebScheme,
+    gate: ConstraintGate<'_>,
+) -> Result<Option<PruneAction>> {
     let aliases = e.alias_map().map_err(OptError::Eval)?;
     for path in all_paths(e) {
         match get_at(e, &path) {
@@ -957,7 +1118,7 @@ fn find_prune(e: &NalgExpr, ws: &WebScheme) -> Result<Option<PruneAction>> {
                     .filter(|r| r.starts_with(&prefix))
                     .collect();
                 if outside.is_empty() {
-                    return Ok(Some((path, vec![])));
+                    return Ok(Some((path, vec![], vec![])));
                 }
                 // rule 7: try to replace each referenced target attribute
                 // with its replicated source anchor
@@ -965,11 +1126,13 @@ fn find_prune(e: &NalgExpr, ws: &WebScheme) -> Result<Option<PruneAction>> {
                     continue;
                 };
                 let mut subs = Vec::new();
+                let mut used = Vec::new();
                 let mut all_replaceable = true;
                 for r in &outside {
-                    match constraint_source_col(ws, &aliases, link, r) {
-                        Some(src) if resolve_column(&input_cols, &src).is_ok() => {
+                    match constraint_source_col(ws, &aliases, link, r, gate) {
+                        Some((src, dep)) if resolve_column(&input_cols, &src).is_ok() => {
                             subs.push((r.clone(), src));
+                            used.push(dep);
                         }
                         _ => {
                             all_replaceable = false;
@@ -978,7 +1141,7 @@ fn find_prune(e: &NalgExpr, ws: &WebScheme) -> Result<Option<PruneAction>> {
                     }
                 }
                 if all_replaceable {
-                    return Ok(Some((path, subs)));
+                    return Ok(Some((path, subs, used)));
                 }
             }
             NalgExpr::Unnest { attr, .. } => {
@@ -987,7 +1150,7 @@ fn find_prune(e: &NalgExpr, ws: &WebScheme) -> Result<Option<PruneAction>> {
                     .into_iter()
                     .any(|r| r.starts_with(&prefix) || r == *attr);
                 if !used {
-                    return Ok(Some((path, vec![])));
+                    return Ok(Some((path, vec![], vec![])));
                 }
             }
             _ => {}
@@ -1466,5 +1629,92 @@ mod tests {
         let ws = university_scheme();
         let e = prof_spine().select(Pred::eq("Bogus", "x"));
         assert!(qualify_expr(&e, &ws).is_err());
+    }
+
+    fn example_71_join(ws: &WebScheme) -> NalgExpr {
+        let j1 = qualify_expr(&prof_spine().unnest("ProfPage.CourseList"), ws).unwrap();
+        let course = qualify_expr(
+            &NalgExpr::entry("SessionListPage")
+                .unnest("SesList")
+                .follow("ToSes", "SessionPage")
+                .unnest("SessionPage.CourseList")
+                .follow("SessionPage.CourseList.ToCourse", "CoursePage"),
+            ws,
+        )
+        .unwrap();
+        j1.join(
+            course,
+            vec![("ProfPage.CourseList.CName", "CoursePage.CName")],
+        )
+        .project(vec!["CoursePage.Description".to_string()])
+    }
+
+    #[test]
+    fn tracked_rewrites_record_their_constraints() {
+        let (ws, _) = uni_fixtures();
+        let joined = example_71_join(&ws);
+        // Rule 8 records the licensing link constraint.
+        let tracked = join_rewrite_candidates_tracked(&joined, &ws, true, false, &open_gate);
+        assert!(!tracked.is_empty());
+        for (_, deps) in &tracked {
+            assert!(!deps.is_empty());
+            assert!(deps
+                .iter()
+                .all(|d| matches!(d, ConstraintDependency::Link(_))));
+        }
+        // Rule 9 additionally records the inclusion it chases through.
+        let chased = join_rewrite_candidates_tracked(&joined, &ws, false, true, &open_gate);
+        assert!(chased.iter().any(|(_, deps)| deps
+            .iter()
+            .any(|d| matches!(d, ConstraintDependency::Inclusion(_)))));
+        // Provenance does not perturb the candidates themselves.
+        let plain = join_rewrite_candidates(&joined, &ws, true, true);
+        let both = join_rewrite_candidates_tracked(&joined, &ws, true, true, &open_gate);
+        assert_eq!(plain, both.into_iter().map(|(c, _)| c).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn closed_gate_blocks_constraint_rewrites() {
+        let (ws, _) = uni_fixtures();
+        let closed = |_: &ConstraintDependency| false;
+        // Rules 8/9: no candidate may be generated.
+        let joined = example_71_join(&ws);
+        assert!(join_rewrite_candidates_tracked(&joined, &ws, true, true, &closed).is_empty());
+        // Rule 6: the selection stays above the navigation.
+        let e = qualify_expr(
+            &NalgExpr::entry("DeptListPage")
+                .unnest("DeptList")
+                .follow("ToDept", "DeptPage")
+                .select(Pred::eq("DeptPage.DName", "Computer Science"))
+                .project(vec!["Address"]),
+            &ws,
+        )
+        .unwrap();
+        let (pushed, deps) = push_selections_tracked(&e, &ws, &closed).unwrap();
+        assert!(deps.is_empty());
+        assert!(
+            !nalg::display::inline(&pushed).contains("DeptList.DName='Computer Science'"),
+            "selection must not cross the follow under a closed gate"
+        );
+        let (open_pushed, open_deps) = push_selections_tracked(&e, &ws, &open_gate).unwrap();
+        assert_eq!(open_deps.len(), 1);
+        assert!(validate(&open_pushed, &ws));
+        // Rule 7: the replicated-attribute navigation is kept.
+        let e = qualify_expr(
+            &NalgExpr::entry("SessionListPage")
+                .unnest("SesList")
+                .follow("ToSes", "SessionPage")
+                .unnest("SessionPage.CourseList")
+                .follow("SessionPage.CourseList.ToCourse", "CoursePage")
+                .project(vec!["CoursePage.CName"]),
+            &ws,
+        )
+        .unwrap();
+        let (kept, deps) = prune_navigations_tracked(e.clone(), &ws, &closed).unwrap();
+        assert_eq!(kept.follow_count(), 2);
+        assert!(deps.is_empty());
+        let (pruned, deps) = prune_navigations_tracked(e, &ws, &open_gate).unwrap();
+        assert_eq!(pruned.follow_count(), 1);
+        assert_eq!(deps.len(), 1);
     }
 }

@@ -1,0 +1,192 @@
+//! Materialized views over a *drifted* site.
+//!
+//! Constraint drift rewrites replicated attributes on live pages. A
+//! materialized view must never keep serving those values as if they were
+//! fresh: the URL-check protocol re-downloads changed pages while
+//! answering, the off-line audit flags the rest, and when a re-download
+//! fails the affected tuple is retained **marked stale** rather than
+//! silently passed off as current.
+
+use matview::maintain::{audit, full_refresh};
+use matview::{MatSession, MatStore};
+use websim::mutation::{DriftPlan, DriftRule};
+use websim::sitegen::{University, UniversityConfig};
+use wvcore::views::university_catalog;
+use wvcore::{ConjunctiveQuery, SiteStatistics, ViewCatalog};
+
+fn setup() -> (University, MatStore, SiteStatistics, ViewCatalog) {
+    let u = University::generate(UniversityConfig {
+        departments: 4,
+        professors: 8,
+        courses: 10,
+        seed: 21,
+        ..UniversityConfig::default()
+    })
+    .unwrap();
+    let mut store = MatStore::new();
+    store.materialize(&u.site.scheme, &u.site.server).unwrap();
+    let stats = SiteStatistics::from_site(&u.site);
+    u.site.server.reset_stats();
+    (u, store, stats, university_catalog())
+}
+
+/// Projects Address too, so every DeptPage must actually be consulted —
+/// DName alone could be answered from its replicated copy on the list page.
+fn dept_query() -> ConjunctiveQuery {
+    ConjunctiveQuery::new("depts")
+        .atom("Dept")
+        .project((0, "DName"))
+        .project((0, "Address"))
+}
+
+fn dept_drift() -> DriftPlan {
+    DriftPlan::new(3).with_rule(DriftRule::perturb_attr("DeptPage", "DName", 0.5))
+}
+
+#[test]
+fn queries_refetch_drifted_pages_and_answer_fresh() {
+    let (mut u, mut store, stats, catalog) = setup();
+    let report = dept_drift().apply(&mut u.site).unwrap();
+    assert!(report.perturbed_pages >= 1, "seed 3 must drift something");
+    u.site.server.reset_stats();
+
+    let session = MatSession::new(&u.site.scheme, &catalog, &stats, &u.site.server);
+    let out = session.run(&mut store, &dept_query()).unwrap();
+    // exactly the drifted pages are re-downloaded, nothing else
+    assert_eq!(out.counters.downloads, report.perturbed_pages);
+    // the answer carries the drifted values, not the materialized ones
+    let drifted_rows = out
+        .relation
+        .rows()
+        .iter()
+        .filter(|r| r[0].as_text().is_some_and(|s| s.contains("[drift")))
+        .count() as u64;
+    assert_eq!(drifted_rows, report.perturbed_pages);
+    // and agrees exactly with the drifted site's ground truth
+    let mut expected: Vec<String> = u
+        .site
+        .instance("DeptPage")
+        .iter()
+        .map(|(_, t)| t.get("DName").unwrap().as_text().unwrap().to_string())
+        .collect();
+    let mut got: Vec<String> = out
+        .relation
+        .rows()
+        .iter()
+        .map(|r| r[0].as_text().unwrap().to_string())
+        .collect();
+    expected.sort();
+    got.sort();
+    assert_eq!(got, expected);
+    // the store was maintained as a side effect: nothing is stale now
+    assert_eq!(store.stale_count(), 0);
+}
+
+#[test]
+fn audit_flags_drift_until_full_refresh() {
+    let (mut u, mut store, _stats, _catalog) = setup();
+    let report = dept_drift().apply(&mut u.site).unwrap();
+    let diffs = audit(&store, &u.site);
+    assert_eq!(diffs.len() as u64, report.perturbed_pages);
+    assert!(diffs.iter().all(|d| d.starts_with("stale:")));
+    full_refresh(&mut store, &u.site.scheme, &u.site.server).unwrap();
+    assert!(audit(&store, &u.site).is_empty());
+    // the refreshed store holds the drifted values
+    let marked = u
+        .site
+        .instance("DeptPage")
+        .iter()
+        .filter(|(url, _)| {
+            store
+                .get(url)
+                .and_then(|p| p.tuple.get("DName"))
+                .and_then(|v| v.as_text())
+                .is_some_and(|s| s.contains("[drift"))
+        })
+        .count() as u64;
+    assert_eq!(marked, report.perturbed_pages);
+}
+
+#[test]
+fn outage_serves_old_values_but_marks_them_stale() {
+    let (mut u, mut store, stats, catalog) = setup();
+    let report = dept_drift().apply(&mut u.site).unwrap();
+    // total outage: the drifted pages cannot be re-downloaded
+    u.site.server.set_fault_plan(
+        websim::FaultPlan::new(4)
+            .with_rule(websim::FaultRule::unavailable(1.0).with_max_per_url(None)),
+    );
+    let session = MatSession::new(&u.site.scheme, &catalog, &stats, &u.site.server);
+    let out = session.run(&mut store, &dept_query()).unwrap();
+    // the old values are served — but flagged, never passed off as fresh
+    assert!(out
+        .relation
+        .rows()
+        .iter()
+        .all(|r| !r[0].as_text().unwrap().contains("[drift")));
+    assert!(out.counters.stale_served > 0);
+    assert_eq!(out.counters.downloads, 0);
+    assert!(store.stale_count() > 0, "served tuples are marked stale");
+    // once the outage clears, the next query repairs the drifted pages
+    u.site.server.clear_fault_plan();
+    store.reset_status();
+    let out = session.run(&mut store, &dept_query()).unwrap();
+    assert_eq!(out.counters.downloads, report.perturbed_pages);
+    let drifted_rows = out
+        .relation
+        .rows()
+        .iter()
+        .filter(|r| r[0].as_text().is_some_and(|s| s.contains("[drift")))
+        .count() as u64;
+    assert_eq!(drifted_rows, report.perturbed_pages);
+}
+
+#[test]
+fn failed_redownload_is_marked_stale_not_kept_wrong() {
+    let (mut u, mut store, _stats, _catalog) = setup();
+    // drift every course's replicated CName
+    let report = DriftPlan::new(7)
+        .with_rule(DriftRule::perturb_attr("CoursePage", "CName", 1.0))
+        .apply(&mut u.site)
+        .unwrap();
+    assert_eq!(report.perturbed_pages, 10);
+    // one drifted page is unreachable during the refresh
+    let victim = University::course_url(2);
+    u.site.server.set_fault_plan(
+        websim::FaultPlan::new(6).with_rule(
+            websim::FaultRule::timeouts(1.0)
+                .for_url_prefix(victim.as_str())
+                .with_max_per_url(None),
+        ),
+    );
+    let n = full_refresh(&mut store, &u.site.scheme, &u.site.server).unwrap();
+    assert_eq!(n, u.site.total_pages() - 1);
+    // the victim still holds the pre-drift value — but is flagged stale
+    let kept = store.get(&victim).expect("retained through the outage");
+    assert!(!kept
+        .tuple
+        .get("CName")
+        .unwrap()
+        .as_text()
+        .unwrap()
+        .contains("[drift"));
+    assert!(store.is_stale(&victim));
+    // the audit agrees: exactly the victim is inconsistent
+    let diffs = audit(&store, &u.site);
+    assert_eq!(diffs.len(), 1);
+    assert!(diffs[0].contains(victim.as_str()));
+    // a clean refresh completes the repair
+    u.site.server.clear_fault_plan();
+    full_refresh(&mut store, &u.site.scheme, &u.site.server).unwrap();
+    assert!(!store.is_stale(&victim));
+    assert!(store
+        .get(&victim)
+        .unwrap()
+        .tuple
+        .get("CName")
+        .unwrap()
+        .as_text()
+        .unwrap()
+        .contains("[drift"));
+    assert!(audit(&store, &u.site).is_empty());
+}

@@ -27,9 +27,9 @@ use crate::error::EvalError;
 use crate::expr::{field_of_column, NalgExpr, Pred};
 use crate::fetch::FetchPool;
 use crate::Result;
-use adm::{Relation, Tuple, Url, Value, WebScheme};
+use adm::{InclusionConstraint, LinkConstraint, Relation, Tuple, Url, Value, WebScheme};
 use obs::trace::{EventKind, TraceSink};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 
 /// Errors a [`PageSource`] may return, split into the taxonomy the
@@ -131,6 +131,93 @@ pub trait PageSource {
     }
 }
 
+/// Configuration for runtime constraint auditing: sample a fraction of
+/// the pages a query fetches anyway and check the optimizer's assumed
+/// link/inclusion constraints against them with the partial-knowledge
+/// verifiers of [`adm::constraints`].
+///
+/// Auditing is **pure observation**: it never fetches a page, so the
+/// answer relation and every access counter are byte-identical with
+/// auditing on or off — only [`EvalReport::audit`] differs.
+#[derive(Debug, Clone, Default)]
+pub struct AuditConfig {
+    /// Fraction of fetched pages sampled into the audit instance, in
+    /// `[0, 1]`. Zero disables auditing entirely.
+    pub rate: f64,
+    /// Seed for the deterministic per-URL sampling decision.
+    pub seed: u64,
+    /// Link constraints to check over the sampled pages.
+    pub link: Vec<LinkConstraint>,
+    /// Inclusion constraints to check over the sampled pages.
+    pub inclusion: Vec<InclusionConstraint>,
+}
+
+impl AuditConfig {
+    /// True when auditing will record pages and run checks: a positive
+    /// rate and at least one constraint to audit.
+    pub fn is_active(&self) -> bool {
+        self.rate > 0.0 && (!self.link.is_empty() || !self.inclusion.is_empty())
+    }
+}
+
+/// The audit row of one constraint: how many sampled checks ran and what
+/// each detected violation looked like.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstraintAudit {
+    /// The constraint's canonical display form (its health-registry key).
+    pub key: String,
+    /// Checks performed over the sampled instance.
+    pub checks: u64,
+    /// Human-readable violation details, one per violation.
+    pub violations: Vec<String>,
+}
+
+/// What constraint auditing observed during one evaluation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Distinct pages sampled into the audit instance.
+    pub sampled_pages: u64,
+    /// One row per configured constraint, in configuration order (link
+    /// constraints first, then inclusions).
+    pub constraints: Vec<ConstraintAudit>,
+}
+
+impl AuditReport {
+    /// Total checks across all audited constraints.
+    pub fn checks(&self) -> u64 {
+        self.constraints.iter().map(|c| c.checks).sum()
+    }
+
+    /// Total violations across all audited constraints.
+    pub fn violation_count(&self) -> u64 {
+        self.constraints
+            .iter()
+            .map(|c| c.violations.len() as u64)
+            .sum()
+    }
+
+    /// True when no audited check failed.
+    pub fn is_clean(&self) -> bool {
+        self.constraints.iter().all(|c| c.violations.is_empty())
+    }
+}
+
+/// Deterministic per-URL sample decision in `[0, 1)`: FNV-1a over the URL
+/// bytes mixed with the seed through a splitmix64 finisher. Independent of
+/// fetch order, shared-cache state, and worker count.
+fn sample_fraction(seed: u64, url: &Url) -> f64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in url.as_str().bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut z = (seed ^ h).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
 /// The result of evaluating an expression.
 #[derive(Debug, Clone)]
 pub struct EvalReport {
@@ -155,6 +242,9 @@ pub struct EvalReport {
     /// [`DegradationMode::Partial`] — pages skipped because of non-404
     /// failures. Empty iff the answer is complete.
     pub unreachable: Vec<Url>,
+    /// What constraint auditing observed, when an active [`AuditConfig`]
+    /// was attached with [`Evaluator::with_audit`]; `None` otherwise.
+    pub audit: Option<AuditReport>,
 }
 
 impl EvalReport {
@@ -179,6 +269,8 @@ pub struct Evaluator<'a, S: PageSource> {
     fetch_workers: usize,
     shared: Option<&'a SharedPageCache>,
     degradation: DegradationMode,
+    /// Set by [`Evaluator::with_audit`] when the config is active.
+    audit: Option<AuditConfig>,
     /// Set by [`Evaluator::with_concurrent_fetch`]: a monomorphized entry
     /// point that spawns the worker pool (requires `S: Sync`, which this
     /// fn pointer captures without constraining the whole type).
@@ -207,6 +299,11 @@ struct Ctx {
     broken_links: u64,
     per_op: Vec<(String, u64)>,
     unreachable: std::collections::BTreeSet<Url>,
+    /// Audit bookkeeping (populated only when an audit is attached):
+    /// every acquired page by scheme, the dedup set, and the sampled URLs.
+    audit_pages: BTreeMap<String, Vec<(Url, Tuple)>>,
+    audit_seen: HashSet<Url>,
+    audit_sampled: BTreeSet<Url>,
 }
 
 impl<'a, S: PageSource> Evaluator<'a, S> {
@@ -220,9 +317,19 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
             fetch_workers: 1,
             shared: None,
             degradation: DegradationMode::FailFast,
+            audit: None,
             pooled_run: None,
             trace: None,
         }
+    }
+
+    /// Attaches a constraint audit: a deterministic sample of the pages
+    /// the query fetches anyway is checked against `cfg`'s constraints and
+    /// reported in [`EvalReport::audit`]. An inactive config (zero rate or
+    /// no constraints) is dropped. Auditing never fetches a page.
+    pub fn with_audit(mut self, cfg: AuditConfig) -> Self {
+        self.audit = cfg.is_active().then_some(cfg);
+        self
     }
 
     /// Sets what happens when a fetch ultimately fails: abort the query
@@ -299,8 +406,12 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
             broken_links: 0,
             per_op: Vec::new(),
             unreachable: std::collections::BTreeSet::new(),
+            audit_pages: BTreeMap::new(),
+            audit_seen: HashSet::new(),
+            audit_sampled: BTreeSet::new(),
         };
         let relation = self.eval_expr(expr, &mut ctx, pool, None)?;
+        let audit = self.run_audit(&mut ctx);
         Ok(EvalReport {
             relation,
             page_accesses: ctx.page_accesses,
@@ -309,7 +420,108 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
             broken_links: ctx.broken_links,
             accesses_by_operator: ctx.per_op,
             unreachable: ctx.unreachable.into_iter().collect(),
+            audit,
         })
+    }
+
+    /// Records a page acquisition for auditing. A no-op unless an audit is
+    /// attached; never fetches or counts anything.
+    fn audit_record(&self, ctx: &mut Ctx, url: &Url, scheme: &str, tuple: &Tuple) {
+        let Some(cfg) = &self.audit else { return };
+        if !ctx.audit_seen.insert(url.clone()) {
+            return;
+        }
+        ctx.audit_pages
+            .entry(scheme.to_string())
+            .or_default()
+            .push((url.clone(), tuple.clone()));
+        if sample_fraction(cfg.seed, url) < cfg.rate {
+            ctx.audit_sampled.insert(url.clone());
+        }
+    }
+
+    /// Checks the configured constraints against the recorded pages with
+    /// the partial-knowledge verifiers: sampled pages form the source/sub
+    /// instance, every acquired page of the target/sup scheme resolves
+    /// references. Pages are sorted by URL first so pooled completion
+    /// order cannot affect the report.
+    fn run_audit(&self, ctx: &mut Ctx) -> Option<AuditReport> {
+        let cfg = self.audit.as_ref()?;
+        for pages in ctx.audit_pages.values_mut() {
+            pages.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        let empty: Vec<(Url, Tuple)> = Vec::new();
+        let sampled = |scheme: &str| -> Vec<(Url, Tuple)> {
+            ctx.audit_pages
+                .get(scheme)
+                .map(|pages| {
+                    pages
+                        .iter()
+                        .filter(|(u, _)| ctx.audit_sampled.contains(u))
+                        .cloned()
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let mut constraints = Vec::new();
+        for c in &cfg.link {
+            let source = sampled(&c.source_attr.scheme);
+            let target = ctx.audit_pages.get(&c.target_attr.scheme).unwrap_or(&empty);
+            let (checks, violations) =
+                adm::constraints::verify_link_constraint_partial(c, &source, target);
+            constraints.push(ConstraintAudit {
+                key: c.to_string(),
+                checks,
+                violations: violations.into_iter().map(|v| v.detail).collect(),
+            });
+        }
+        for c in &cfg.inclusion {
+            let sub = sampled(&c.sub.scheme);
+            let sup = ctx.audit_pages.get(&c.sup.scheme).unwrap_or(&empty);
+            let (checks, violations) =
+                adm::constraints::verify_inclusion_constraint_partial(c, &sub, sup);
+            constraints.push(ConstraintAudit {
+                key: c.to_string(),
+                checks,
+                violations: violations.into_iter().map(|v| v.detail).collect(),
+            });
+        }
+        let report = AuditReport {
+            sampled_pages: ctx.audit_sampled.len() as u64,
+            constraints,
+        };
+        if let Some(sink) = &self.trace {
+            for row in &report.constraints {
+                if row.checks == 0 && row.violations.is_empty() {
+                    continue;
+                }
+                sink.event(
+                    EventKind::Constraint,
+                    "audit",
+                    None,
+                    vec![
+                        ("constraint".to_string(), row.key.as_str().into()),
+                        ("checks".to_string(), row.checks.into()),
+                        (
+                            "violations".to_string(),
+                            (row.violations.len() as u64).into(),
+                        ),
+                    ],
+                );
+                for detail in &row.violations {
+                    sink.event(
+                        EventKind::Constraint,
+                        "violation",
+                        None,
+                        vec![
+                            ("constraint".to_string(), row.key.as_str().into()),
+                            ("detail".to_string(), detail.as_str().into()),
+                        ],
+                    );
+                }
+            }
+        }
+        Some(report)
     }
 
     fn fetch(&self, ctx: &mut Ctx, url: &Url, scheme: &str) -> Result<Option<Tuple>> {
@@ -325,6 +537,7 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                 if self.cache_enabled {
                     ctx.cache.insert(url.clone(), t.clone());
                 }
+                self.audit_record(ctx, url, scheme, &t);
                 return Ok(Some(t));
             }
         }
@@ -337,6 +550,7 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                 if let Some(shared) = self.shared {
                     shared.insert(url, &t, lm);
                 }
+                self.audit_record(ctx, url, scheme, &t);
                 Ok(Some(t))
             }
             Err(SourceError::NotFound(_)) => {
@@ -533,6 +747,7 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                             if self.cache_enabled {
                                 ctx.cache.insert(u.clone(), t.clone());
                             }
+                            self.audit_record(ctx, u, target, &t);
                             let (cols, vals) = self.expand_page(alias, target, u, &t)?;
                             target_cols.get_or_insert(cols);
                             seen.insert(u.clone(), Some(vals));
@@ -558,6 +773,7 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                             if let Some(shared) = self.shared {
                                 shared.insert(&u, &t, lm);
                             }
+                            self.audit_record(ctx, &u, target, &t);
                             let (cols, vals) = self.expand_page(alias, target, &u, &t)?;
                             target_cols.get_or_insert(cols);
                             seen.insert(u, Some(vals));
@@ -1088,6 +1304,89 @@ mod tests {
         assert_eq!(par.relation.sorted(), seq.relation.sorted());
         assert_eq!(par.unreachable, seq.unreachable);
         assert_eq!(par.page_accesses, seq.page_accesses);
+    }
+
+    fn audit_cfg(rate: f64) -> AuditConfig {
+        use adm::AttrRef;
+        AuditConfig {
+            rate,
+            seed: 7,
+            link: vec![LinkConstraint::new(
+                AttrRef::new("ListPage", vec!["Items", "ToItem"]),
+                AttrRef::new("ListPage", vec!["Items", "Name"]),
+                AttrRef::new("ItemPage", vec!["Name"]),
+            )],
+            inclusion: vec![],
+        }
+    }
+
+    #[test]
+    fn audit_is_pure_observation() {
+        let ws = scheme();
+        let src = source();
+        let plain = Evaluator::new(&ws, &src).eval(&nav()).unwrap();
+        let audited = Evaluator::new(&ws, &src)
+            .with_audit(audit_cfg(1.0))
+            .eval(&nav())
+            .unwrap();
+        // Everything the paper measures is byte-identical; only the audit
+        // field differs.
+        assert_eq!(audited.relation, plain.relation);
+        assert_eq!(audited.page_accesses, plain.page_accesses);
+        assert_eq!(audited.cache_hits, plain.cache_hits);
+        assert_eq!(audited.accesses_by_operator, plain.accesses_by_operator);
+        let audit = audited.audit.unwrap();
+        assert_eq!(audit.checks(), 3, "all three anchors checked at rate 1");
+        assert!(audit.is_clean());
+        assert_eq!(audit.sampled_pages, 4);
+    }
+
+    #[test]
+    fn audit_detects_replica_drift_without_fetching() {
+        let ws = scheme();
+        let mut src = source();
+        // The item page's Name drifts away from the anchors pointing at it.
+        src.pages.insert(
+            Url::new("/i/b"),
+            Tuple::new().with("Name", "b [drift]").with("Kind", "y"),
+        );
+        let report = Evaluator::new(&ws, &src)
+            .with_audit(audit_cfg(1.0))
+            .eval(&nav())
+            .unwrap();
+        assert_eq!(report.page_accesses, 4, "auditing never fetches");
+        let audit = report.audit.unwrap();
+        assert_eq!(audit.violation_count(), 1);
+        assert!(audit.constraints[0].violations[0].contains("/i/b"));
+    }
+
+    #[test]
+    fn zero_rate_audit_is_disabled() {
+        let ws = scheme();
+        let src = source();
+        let report = Evaluator::new(&ws, &src)
+            .with_audit(audit_cfg(0.0))
+            .eval(&nav())
+            .unwrap();
+        assert!(report.audit.is_none());
+    }
+
+    #[test]
+    fn pooled_audit_matches_sequential() {
+        let ws = scheme();
+        let src = source();
+        let seq = Evaluator::new(&ws, &src)
+            .with_audit(audit_cfg(0.6))
+            .eval(&nav())
+            .unwrap();
+        for workers in [2, 8] {
+            let par = Evaluator::new(&ws, &src)
+                .with_audit(audit_cfg(0.6))
+                .with_concurrent_fetch(workers)
+                .eval(&nav())
+                .unwrap();
+            assert_eq!(par.audit, seq.audit, "sampling is order-independent");
+        }
     }
 
     /// A source that panics on one URL.

@@ -45,7 +45,10 @@ mod fetch;
 
 pub use cache::{CacheStats, SharedPageCache};
 pub use error::EvalError;
-pub use eval::{DegradationMode, EvalReport, Evaluator, PageSource, SourceError};
+pub use eval::{
+    AuditConfig, AuditReport, ConstraintAudit, DegradationMode, EvalReport, Evaluator, PageSource,
+    SourceError,
+};
 pub use expr::{NalgExpr, Pred};
 
 /// Crate-wide result alias.

@@ -39,6 +39,8 @@ pub enum EventKind {
     Resilience,
     /// Materialized-view maintenance (URL checks, refreshes).
     Maintenance,
+    /// Constraint auditing: sampled checks, violations, quarantine.
+    Constraint,
     /// Anything else (session-level markers, notes).
     Info,
 }
@@ -53,6 +55,7 @@ impl EventKind {
             EventKind::Cache => "cache",
             EventKind::Resilience => "resilience",
             EventKind::Maintenance => "maintenance",
+            EventKind::Constraint => "constraint",
             EventKind::Info => "info",
         }
     }

@@ -18,7 +18,11 @@
 //!   pool, the crawler, and statistics collection all retry transient
 //!   errors transparently;
 //! * [`ResilientServer`] — wraps any [`websim::PageServer`] so
-//!   materialized-view URL-checks and refreshes get the same treatment.
+//!   materialized-view URL-checks and refreshes get the same treatment;
+//! * [`ConstraintHealth`] — the constraint-drift defense: per-constraint
+//!   violation accounting fed by runtime auditing, quarantine with TTL
+//!   re-admission, and the registry the optimizer consults so quarantined
+//!   constraints stop licensing rewrites.
 //!
 //! **Counter separation.** Every action this crate takes is counted in
 //! [`ResilienceSnapshot`] — retries, give-ups, breaker trips and
@@ -31,12 +35,14 @@
 
 pub mod breaker;
 mod govern;
+pub mod health;
 pub mod policy;
 pub mod server;
 pub mod source;
 pub mod stats;
 
 pub use breaker::{BreakerConfig, BreakerState};
+pub use health::{ConstraintHealth, ConstraintHealthSnapshot};
 pub use policy::RetryPolicy;
 pub use server::ResilientServer;
 pub use source::ResilientSource;

@@ -243,8 +243,10 @@ impl FaultPlan {
 }
 
 /// Uniform fraction in `[0, 1)` from (seed, rule, url, attempt) via
-/// FNV-1a + splitmix64 — the deterministic core of every fault decision.
-fn decision_fraction(seed: u64, rule: u64, url: &Url, attempt: u64) -> f64 {
+/// FNV-1a + splitmix64 — the deterministic core of every fault decision
+/// (and, with `attempt = u64::MAX`, of every [`crate::mutation::DriftPlan`]
+/// decision).
+pub(crate) fn decision_fraction(seed: u64, rule: u64, url: &Url, attempt: u64) -> f64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in url.as_str().as_bytes() {
         h ^= *b as u64;

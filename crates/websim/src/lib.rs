@@ -16,7 +16,9 @@
 //!   **university site** of Figure 1 and a **bibliography site** modeled on
 //!   the Trier DBLP repository used in the introduction;
 //! * [`mutation`] — a site-update API (the autonomous site manager of the
-//!   paper's Section 1), used by the materialized-view experiments;
+//!   paper's Section 1), used by the materialized-view experiments, plus
+//!   seeded constraint-drift injection ([`DriftPlan`]) that breaks declared
+//!   link/inclusion constraints for the constraint-auditing experiments;
 //! * [`fault`] — deterministic, seed-driven fault injection ([`FaultPlan`])
 //!   for chaos testing: transient 5xx/timeouts, permanent link rot, slow
 //!   responses, and truncated bodies, all counted separately from the
@@ -33,8 +35,10 @@ pub mod sitegen;
 
 pub use error::WebError;
 pub use fault::{FaultKind, FaultPlan, FaultRule};
+pub use mutation::{DriftKind, DriftPlan, DriftReport, DriftRule};
 pub use server::{
-    AccessSnapshot, FaultSnapshot, HeadResponse, PageResponse, PageServer, VirtualServer,
+    AccessSnapshot, DriftSnapshot, FaultSnapshot, HeadResponse, PageResponse, PageServer,
+    VirtualServer,
 };
 pub use site::Site;
 

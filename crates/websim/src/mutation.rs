@@ -4,14 +4,25 @@
 //! and modifies pages without notifying remote users of the updates". The
 //! structural mutations (add/remove course, …) live on the site generators,
 //! which know how to keep all affected pages consistent; this module adds
-//! *content-only* perturbation useful for materialized-view experiments:
-//! it touches a configurable fraction of a scheme's pages by rewriting one
-//! mono-valued text attribute, changing Last-Modified without changing the
-//! link structure.
+//! two *inconsistency-aware* mutation tools:
+//!
+//! * [`perturb_text_attr`] — content-only perturbation for the
+//!   materialized-view experiments: rewrites one mono-valued text attribute
+//!   on a fraction of a scheme's pages, changing Last-Modified without
+//!   changing the link structure (and without breaking any constraint);
+//! * [`DriftPlan`] — seeded **constraint drift** injection: perturbs
+//!   replicated attributes and drops links from link collections so that
+//!   the site's declared [`adm::LinkConstraint`]s / [`adm::InclusionConstraint`]s
+//!   no longer hold, exactly the failure mode the optimizer's
+//!   constraint-auditing defense is built against. Every decision is a pure
+//!   function of (seed, rule, URL), so a drifted site is byte-identically
+//!   reproducible, and a plan with all-zero rates leaves the site pristine.
+//!   Applied drift is counted in [`crate::AccessSnapshot::drift`].
 
+use crate::fault::decision_fraction;
 use crate::site::Site;
 use crate::Result;
-use adm::{Tuple, Value};
+use adm::{Tuple, Url, Value};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
@@ -40,6 +51,235 @@ pub fn perturb_text_attr(
         touched += 1;
     }
     Ok(touched)
+}
+
+/// What one drift rule does to the pages of its scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriftKind {
+    /// Rewrites the named top-level text attribute on drifted pages,
+    /// breaking any link constraint that replicates it.
+    PerturbAttr {
+        /// The mono-valued text attribute to rewrite.
+        attr: String,
+    },
+    /// Drops individual links at `path` (rows of a link collection, or a
+    /// top-level link set to null), breaking inclusion constraints whose
+    /// superset side is that collection.
+    DropLinks {
+        /// Path to the link attribute, e.g. `["CourseList", "ToCourse"]`.
+        path: Vec<String>,
+    },
+}
+
+/// One drift rule: a scheme, a kind, and a rate.
+///
+/// For [`DriftKind::PerturbAttr`] the rate is the per-*page* drift
+/// probability; for [`DriftKind::DropLinks`] it is the per-*link*
+/// drop probability (decided on the link's target URL, so the same link is
+/// dropped from every collection that carries it — drift is a property of
+/// the site, not of one page).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftRule {
+    /// The page-scheme whose pages drift.
+    pub scheme: String,
+    /// What happens to a drifted page.
+    pub kind: DriftKind,
+    /// Drift probability (see above for the unit).
+    pub rate: f64,
+}
+
+impl DriftRule {
+    /// Perturbs `attr` on `rate` of the pages of `scheme`.
+    pub fn perturb_attr(scheme: impl Into<String>, attr: impl Into<String>, rate: f64) -> Self {
+        DriftRule {
+            scheme: scheme.into(),
+            kind: DriftKind::PerturbAttr { attr: attr.into() },
+            rate,
+        }
+    }
+
+    /// Drops `rate` of the links at `path` on pages of `scheme`.
+    pub fn drop_links(scheme: impl Into<String>, path: &[&str], rate: f64) -> Self {
+        DriftRule {
+            scheme: scheme.into(),
+            kind: DriftKind::DropLinks {
+                path: path.iter().map(|s| s.to_string()).collect(),
+            },
+            rate,
+        }
+    }
+}
+
+/// How a drifted site reports what changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DriftReport {
+    /// Pages whose replicated attribute was rewritten.
+    pub perturbed_pages: u64,
+    /// Links removed from link collections.
+    pub dropped_links: u64,
+}
+
+impl DriftReport {
+    /// Total drift events of either kind.
+    pub fn total(&self) -> u64 {
+        self.perturbed_pages + self.dropped_links
+    }
+}
+
+/// A seeded set of drift rules, applied to a [`Site`] in one shot.
+///
+/// Decisions use the same FNV-1a + splitmix64 stream as [`crate::FaultPlan`]
+/// (with the attempt counter pinned, since drift is permanent): the same
+/// seed drifts the same pages and drops the same links, every time, on any
+/// site with the same URLs. A plan with no rules — or all-zero rates — is a
+/// complete no-op: no page is republished, no clock tick happens, and the
+/// site stays byte-identical to a pristine one.
+#[derive(Debug, Clone, Default)]
+pub struct DriftPlan {
+    /// Seed of every drift decision.
+    pub seed: u64,
+    rules: Vec<DriftRule>,
+}
+
+impl DriftPlan {
+    /// An empty plan with a seed.
+    pub fn new(seed: u64) -> Self {
+        DriftPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Adds a rule (builder style).
+    pub fn with_rule(mut self, rule: DriftRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// True if the plan has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// True if this plan perturbs the page at `url` (scheme `scheme`)
+    /// under rule `i` — exposed so tests can compute the exact expected
+    /// drift set without applying the plan.
+    pub fn drifts_page(&self, i: usize, url: &Url) -> bool {
+        self.rules
+            .get(i)
+            .is_some_and(|r| decision_fraction(self.seed, i as u64, url, u64::MAX) < r.rate)
+    }
+
+    /// Applies every rule to `site`, republishing the affected pages
+    /// (which bumps their Last-Modified stamps) and recording the totals
+    /// in the server's [`crate::AccessSnapshot::drift`] counters.
+    pub fn apply(&self, site: &mut Site) -> Result<DriftReport> {
+        let mut report = DriftReport::default();
+        for (i, rule) in self.rules.iter().enumerate() {
+            for (url, tuple) in site.instance(&rule.scheme) {
+                let drifted = match &rule.kind {
+                    DriftKind::PerturbAttr { attr } => {
+                        if !self.drifts_page(i, &url) {
+                            continue;
+                        }
+                        report.perturbed_pages += 1;
+                        drift_attr(&tuple, attr, self.seed, i as u64)
+                    }
+                    DriftKind::DropLinks { path } => {
+                        let (t, dropped) = drop_links(&tuple, path, &|u: &Url| {
+                            decision_fraction(self.seed, i as u64, u, u64::MAX) < rule.rate
+                        });
+                        if dropped == 0 {
+                            continue;
+                        }
+                        report.dropped_links += dropped;
+                        t
+                    }
+                };
+                site.republish(
+                    &rule.scheme,
+                    url,
+                    drifted,
+                    &format!("{} (drift)", rule.scheme),
+                )?;
+            }
+        }
+        if report.total() > 0 {
+            site.server
+                .note_drift(report.perturbed_pages, report.dropped_links);
+        }
+        Ok(report)
+    }
+}
+
+/// Rewrites `attr` with a deterministic drift marker (replacing any marker
+/// from an earlier drift application, so repeated drift does not stack).
+fn drift_attr(t: &Tuple, attr: &str, seed: u64, rule: u64) -> Tuple {
+    let pairs = t
+        .clone()
+        .into_pairs()
+        .into_iter()
+        .map(|(n, v)| {
+            if n == attr {
+                let base = match &v {
+                    Value::Text(s) => s.split(" [drift ").next().unwrap_or_default().to_string(),
+                    _ => String::new(),
+                };
+                (n, Value::Text(format!("{base} [drift {seed}.{rule}]")))
+            } else {
+                (n, v)
+            }
+        })
+        .collect();
+    Tuple::from_pairs(pairs)
+}
+
+/// Removes links chosen by `decide` at `path`: rows of a link collection
+/// are dropped whole; a top-level link is set to null. Returns the new
+/// tuple and the number of links removed.
+fn drop_links(t: &Tuple, path: &[String], decide: &dyn Fn(&Url) -> bool) -> (Tuple, u64) {
+    let Some((first, rest)) = path.split_first() else {
+        return (t.clone(), 0);
+    };
+    let mut dropped = 0u64;
+    let mut pairs = Vec::new();
+    for (n, v) in t.clone().into_pairs() {
+        if n != *first {
+            pairs.push((n, v));
+            continue;
+        }
+        if rest.is_empty() {
+            if let Value::Link(u) = &v {
+                if decide(u) {
+                    dropped += 1;
+                    pairs.push((n, Value::Null));
+                    continue;
+                }
+            }
+            pairs.push((n, v));
+        } else if let Value::List(rows) = v {
+            let mut kept = Vec::new();
+            for row in rows {
+                if rest.len() == 1 {
+                    if let Some(Value::Link(u)) = row.get(&rest[0]) {
+                        if decide(u) {
+                            dropped += 1;
+                            continue;
+                        }
+                    }
+                    kept.push(row);
+                } else {
+                    let (nr, d) = drop_links(&row, rest, decide);
+                    dropped += d;
+                    kept.push(nr);
+                }
+            }
+            pairs.push((n, Value::List(kept)));
+        } else {
+            pairs.push((n, v));
+        }
+    }
+    (Tuple::from_pairs(pairs), dropped)
 }
 
 fn rewrite_attr(t: &Tuple, attr: &str, revision: u64) -> Tuple {
@@ -119,6 +359,72 @@ mod tests {
             assert_eq!(d.matches("[rev").count(), 1, "{d}");
             assert!(d.contains("[rev 2]"));
         }
+    }
+
+    #[test]
+    fn drift_perturb_breaks_link_constraints_deterministically() {
+        let plan =
+            DriftPlan::new(17).with_rule(DriftRule::perturb_attr("CoursePage", "CName", 0.5));
+        let mut a = uni();
+        let ra = plan.apply(&mut a.site).unwrap();
+        assert!(
+            ra.perturbed_pages > 0,
+            "rate 0.5 over 10 pages must drift some"
+        );
+        assert!(
+            !a.site.verify_constraints().is_empty(),
+            "perturbing a replicated attribute must violate a link constraint"
+        );
+        // Same plan on an identically generated site: identical drift.
+        let mut b = uni();
+        let rb = plan.apply(&mut b.site).unwrap();
+        assert_eq!(ra, rb);
+        assert_eq!(a.site.instance("CoursePage"), b.site.instance("CoursePage"));
+        // Counted in the server's access snapshot, separate from gets.
+        let st = a.site.server.stats();
+        assert_eq!(st.drift.perturbed_pages, ra.perturbed_pages);
+        assert_eq!(st.gets, 0);
+    }
+
+    #[test]
+    fn drift_drop_links_breaks_inclusion_deterministically() {
+        let plan = DriftPlan::new(23).with_rule(DriftRule::drop_links(
+            "SessionPage",
+            &["CourseList", "ToCourse"],
+            0.4,
+        ));
+        let mut a = uni();
+        let ra = plan.apply(&mut a.site).unwrap();
+        assert!(ra.dropped_links > 0);
+        assert!(
+            !a.site.verify_constraints().is_empty(),
+            "dropping sup-side links must violate an inclusion constraint"
+        );
+        let mut b = uni();
+        assert_eq!(plan.apply(&mut b.site).unwrap(), ra);
+        assert_eq!(
+            a.site.instance("SessionPage"),
+            b.site.instance("SessionPage")
+        );
+        assert_eq!(a.site.server.stats().drift.dropped_links, ra.dropped_links);
+    }
+
+    #[test]
+    fn zero_rate_drift_is_pristine() {
+        let plan = DriftPlan::new(99)
+            .with_rule(DriftRule::perturb_attr("CoursePage", "CName", 0.0))
+            .with_rule(DriftRule::drop_links(
+                "DepartmentPage",
+                &["CourseList", "ToCourse"],
+                0.0,
+            ));
+        let mut u = uni();
+        let clock = u.site.server.now();
+        let report = plan.apply(&mut u.site).unwrap();
+        assert_eq!(report, DriftReport::default());
+        assert_eq!(u.site.server.now(), clock, "no republish, no tick");
+        assert_eq!(u.site.server.stats().drift.total(), 0);
+        assert!(u.site.verify_constraints().is_empty());
     }
 
     #[test]

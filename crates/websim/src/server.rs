@@ -90,6 +90,33 @@ impl FaultSnapshot {
     }
 }
 
+/// Counts of applied constraint drift (all zero until a
+/// [`crate::mutation::DriftPlan`] is applied). Like [`FaultSnapshot`],
+/// these never feed `gets`/`heads`: drifting a site is a publishing
+/// operation, not a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DriftSnapshot {
+    /// Pages whose replicated attribute was perturbed.
+    pub perturbed_pages: u64,
+    /// Individual links dropped from link collections.
+    pub dropped_links: u64,
+}
+
+impl DriftSnapshot {
+    /// Difference of two snapshots (self − earlier), saturating per field.
+    pub fn since(&self, earlier: &DriftSnapshot) -> DriftSnapshot {
+        DriftSnapshot {
+            perturbed_pages: self.perturbed_pages.saturating_sub(earlier.perturbed_pages),
+            dropped_links: self.dropped_links.saturating_sub(earlier.dropped_links),
+        }
+    }
+
+    /// Total drift events of either kind.
+    pub fn total(&self) -> u64 {
+        self.perturbed_pages + self.dropped_links
+    }
+}
+
 /// A snapshot of the access counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct AccessSnapshot {
@@ -103,6 +130,9 @@ pub struct AccessSnapshot {
     pub not_found: u64,
     /// Injected faults by kind (zero without a [`FaultPlan`]).
     pub faults: FaultSnapshot,
+    /// Applied constraint drift (zero without a
+    /// [`crate::mutation::DriftPlan`]).
+    pub drift: DriftSnapshot,
 }
 
 impl AccessSnapshot {
@@ -117,6 +147,7 @@ impl AccessSnapshot {
             bytes: self.bytes.saturating_sub(earlier.bytes),
             not_found: self.not_found.saturating_sub(earlier.not_found),
             faults: self.faults.since(&earlier.faults),
+            drift: self.drift.since(&earlier.drift),
         }
     }
 }
@@ -164,6 +195,8 @@ pub struct VirtualServer {
     f_link_rot: Counter,
     f_slow: Counter,
     f_truncated: Counter,
+    d_perturbed: Counter,
+    d_dropped: Counter,
 }
 
 impl Default for VirtualServer {
@@ -187,6 +220,8 @@ impl Default for VirtualServer {
             f_link_rot: registry.counter("fault_link_rot"),
             f_slow: registry.counter("fault_slow"),
             f_truncated: registry.counter("fault_truncated"),
+            d_perturbed: registry.counter("drift_perturbed"),
+            d_dropped: registry.counter("drift_dropped"),
             registry,
         }
     }
@@ -475,7 +510,18 @@ impl VirtualServer {
                 slow: self.f_slow.get(),
                 truncated: self.f_truncated.get(),
             },
+            drift: DriftSnapshot {
+                perturbed_pages: self.d_perturbed.get(),
+                dropped_links: self.d_dropped.get(),
+            },
         }
+    }
+
+    /// Records drift applied to the stored site (called by
+    /// [`crate::mutation::DriftPlan::apply`]).
+    pub(crate) fn note_drift(&self, perturbed_pages: u64, dropped_links: u64) {
+        self.d_perturbed.add(perturbed_pages);
+        self.d_dropped.add(dropped_links);
     }
 
     /// GET counts broken down by page-scheme.
@@ -495,6 +541,8 @@ impl VirtualServer {
         self.f_link_rot.reset();
         self.f_slow.reset();
         self.f_truncated.reset();
+        self.d_perturbed.reset();
+        self.d_dropped.reset();
         self.gets_by_scheme.write().clear();
     }
 }
@@ -649,22 +697,30 @@ mod tests {
             gets: 5,
             heads: 1,
             bytes: 100,
-            not_found: 0,
             faults: FaultSnapshot {
                 timeout: 2,
                 ..FaultSnapshot::default()
             },
+            drift: DriftSnapshot {
+                perturbed_pages: 3,
+                dropped_links: 0,
+            },
+            ..AccessSnapshot::default()
         };
         let earlier = AccessSnapshot {
             gets: 2,
             heads: 4, // went backwards
             bytes: 300,
-            not_found: 0,
             faults: FaultSnapshot {
                 timeout: 9, // went backwards
                 link_rot: 1,
                 ..FaultSnapshot::default()
             },
+            drift: DriftSnapshot {
+                perturbed_pages: 1,
+                dropped_links: 4, // went backwards
+            },
+            ..AccessSnapshot::default()
         };
         let d = newer.since(&earlier);
         assert_eq!(d.gets, 3, "forward fields still subtract exactly");
@@ -673,6 +729,9 @@ mod tests {
         assert_eq!(d.faults.timeout, 0);
         assert_eq!(d.faults.link_rot, 0);
         assert_eq!(d.faults.total(), 0);
+        assert_eq!(d.drift.perturbed_pages, 2);
+        assert_eq!(d.drift.dropped_links, 0, "backwards drift field saturates");
+        assert_eq!(d.drift.total(), 2);
         // the degenerate cases: X.since(X) == 0, X.since(0) == X
         assert_eq!(newer.since(&newer), AccessSnapshot::default());
         assert_eq!(newer.since(&AccessSnapshot::default()), newer);

@@ -5,6 +5,7 @@
 //! void elements (`br`, `img`, …) never take children; anything left open
 //! at end-of-input is closed implicitly.
 
+use crate::error::WrapError;
 use crate::lexer::{tokenize, Token};
 use crate::Result;
 
@@ -146,15 +147,20 @@ impl Document {
                     }
                 }
                 Token::Close(name) => {
-                    // Find the matching open element in the stack.
+                    // Find the matching open element in the stack, then
+                    // close it together with everything auto-closed above
+                    // it. The pops are bounded by `pos`, so an exhausted
+                    // stack means the parser lost track of nesting — an
+                    // error, not a panic.
                     if let Some(pos) = stack.iter().rposition(|e| e.tag == name) {
-                        // auto-close everything above it
-                        while stack.len() > pos + 1 {
-                            let closed = stack.pop().expect("len > pos+1");
+                        while stack.len() > pos {
+                            let Some(closed) = stack.pop() else {
+                                return Err(WrapError::BadStructure(format!(
+                                    "element stack exhausted while closing </{name}>"
+                                )));
+                            };
                             attach(&mut stack, &mut roots, Node::Element(closed));
                         }
-                        let closed = stack.pop().expect("pos in bounds");
-                        attach(&mut stack, &mut roots, Node::Element(closed));
                     }
                     // otherwise: stray close tag, ignored
                 }

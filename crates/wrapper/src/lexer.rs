@@ -32,15 +32,17 @@ pub enum Token {
 }
 
 /// Decodes the HTML entities the generator emits (plus numeric forms).
-/// Unknown entities are passed through unchanged.
-pub fn decode_entities(s: &str) -> String {
+/// Unknown entities are passed through unchanged. Fails (instead of
+/// panicking) if the scan ever lands between UTF-8 char boundaries —
+/// which garbled input must not be able to provoke.
+pub fn decode_entities(s: &str) -> Result<String> {
     let mut out = String::with_capacity(s.len());
     let bytes = s.as_bytes();
     let mut i = 0;
     while i < bytes.len() {
         if bytes[i] == b'&' {
-            if let Some(semi) = s[i..].find(';').map(|j| i + j) {
-                let entity = &s[i + 1..semi];
+            if let Some(semi) = s.get(i..).and_then(|r| r.find(';')).map(|j| i + j) {
+                let entity = s.get(i + 1..semi).unwrap_or("");
                 let decoded = match entity {
                     "amp" => Some('&'),
                     "lt" => Some('<'),
@@ -66,11 +68,16 @@ pub fn decode_entities(s: &str) -> String {
             }
         }
         // plain byte — copy the full UTF-8 char
-        let ch = s[i..].chars().next().expect("in-bounds char");
+        let Some(ch) = s.get(i..).and_then(|r| r.chars().next()) else {
+            return Err(WrapError::Lex {
+                offset: i,
+                message: "entity scan desynchronized from char boundaries".into(),
+            });
+        };
         out.push(ch);
         i += ch.len_utf8();
     }
-    out
+    Ok(out)
 }
 
 /// Tokenizes an HTML document.
@@ -113,7 +120,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
         } else {
             let end = input[i..].find('<').map(|j| i + j).unwrap_or(bytes.len());
-            let text = decode_entities(&input[i..end]);
+            let text = decode_entities(&input[i..end])?;
             push_text(&mut tokens, &text);
             i = end;
         }
@@ -203,7 +210,7 @@ fn lex_open_tag(input: &str, start: usize) -> Result<(Token, usize)> {
                                 message: "unterminated attribute value".into(),
                             });
                         }
-                        let v = decode_entities(&input[v_start..i]);
+                        let v = decode_entities(&input[v_start..i])?;
                         i += 1; // past quote
                         v
                     } else {
@@ -212,7 +219,7 @@ fn lex_open_tag(input: &str, start: usize) -> Result<(Token, usize)> {
                         {
                             i += 1;
                         }
-                        decode_entities(&input[v_start..i])
+                        decode_entities(&input[v_start..i])?
                     }
                 } else {
                     String::new() // boolean attribute
@@ -237,9 +244,23 @@ mod tests {
 
     #[test]
     fn decodes_entities() {
-        assert_eq!(decode_entities("a &amp; b &lt;c&gt;"), "a & b <c>");
-        assert_eq!(decode_entities("&#65;&#x42;"), "AB");
-        assert_eq!(decode_entities("&bogus; &"), "&bogus; &");
+        assert_eq!(decode_entities("a &amp; b &lt;c&gt;").unwrap(), "a & b <c>");
+        assert_eq!(decode_entities("&#65;&#x42;").unwrap(), "AB");
+        assert_eq!(decode_entities("&bogus; &").unwrap(), "&bogus; &");
+    }
+
+    #[test]
+    fn hostile_entities_pass_through() {
+        // overlong / out-of-range / surrogate numeric entities decode to
+        // nothing sensible and must fall through as literal text
+        assert_eq!(decode_entities("&#x110000;").unwrap(), "&#x110000;");
+        assert_eq!(decode_entities("&#xD800;").unwrap(), "&#xD800;");
+        assert_eq!(decode_entities("&#;&#x;&;").unwrap(), "&#;&#x;&;");
+        // trailing lone ampersand and unterminated entity
+        assert_eq!(decode_entities("a&amp").unwrap(), "a&amp");
+        assert_eq!(decode_entities("&").unwrap(), "&");
+        // multi-byte text around entities survives
+        assert_eq!(decode_entities("é&amp;ß").unwrap(), "é&ß");
     }
 
     #[test]

@@ -65,14 +65,18 @@ pub mod prelude {
     pub use matview::{MatAnalyzedOutcome, MatOutcome, MatSession, MatStore};
     pub use nalg::{DegradationMode, EvalReport, Evaluator, NalgExpr, PageSource, Pred};
     pub use obs::{EventKind, MetricsRegistry, TraceSink};
-    pub use resilience::{ResilienceSnapshot, ResilientServer, ResilientSource, RetryPolicy};
+    pub use resilience::{
+        ConstraintHealth, ResilienceSnapshot, ResilientServer, ResilientSource, RetryPolicy,
+    };
+    pub use websim::mutation::{DriftPlan, DriftRule};
     pub use websim::sitegen::{BibConfig, Bibliography, University, UniversityConfig};
     pub use websim::{FaultPlan, FaultRule, Site, VirtualServer};
     pub use wrapper::wrap_page;
     pub use wvcore::views::{bibliography_catalog, university_catalog};
     pub use wvcore::{
-        AnalyzedOutcome, ConjunctiveQuery, Cost, Explain, ExplainAnalyze, LiveSource, Optimizer,
-        QueryOutcome, QuerySession, RuleMask, SiteStatistics, ViewCatalog,
+        AnalyzedOutcome, ConjunctiveQuery, ConstraintDependency, Cost, Explain, ExplainAnalyze,
+        FallbackOutcome, LiveSource, Optimizer, QueryOutcome, QuerySession, RuleMask,
+        SiteStatistics, ViewCatalog,
     };
     pub use wvquery::parse_query;
 }
@@ -89,5 +93,39 @@ mod tests {
             .atom("Professor")
             .project((0, "PName"));
         assert_eq!(q.atoms.len(), 1);
+    }
+
+    // The README's "Surviving site drift" walkthrough, verbatim in spirit:
+    // drift breaks a constraint, the audit catches it, the fallback answers,
+    // and the next run routes around the quarantined constraint.
+    #[test]
+    fn readme_drift_walkthrough() {
+        let mut site = University::generate(UniversityConfig::default()).unwrap();
+        DriftPlan::new(3)
+            .with_rule(DriftRule::perturb_attr("DeptPage", "DName", 1.0))
+            .apply(&mut site.site)
+            .unwrap();
+
+        let stats = SiteStatistics::from_site(&site.site);
+        let catalog = university_catalog();
+        let source = LiveSource::for_site(&site.site);
+        let health = ConstraintHealth::new();
+        let session = QuerySession::new(&site.site.scheme, &catalog, &stats, &source)
+            .with_audit(1.0, 7)
+            .with_constraint_health(&health);
+
+        let q = ConjunctiveQuery::new("cs-dept")
+            .atom("Dept")
+            .select((0, "DName"), "Computer Science")
+            .project((0, "Address"));
+        let outcome = session.run(&q).unwrap();
+        assert!(outcome.fell_back());
+        let fb = outcome.fallback.as_ref().unwrap();
+        assert!(!fb.violated.is_empty());
+        assert!(fb.diverged);
+
+        let again = session.run(&q).unwrap();
+        assert!(!again.fell_back());
+        assert!(again.explain.report().contains("quarantined (excluded"));
     }
 }
