@@ -1,0 +1,272 @@
+//! `harness benchcmp A.json B.json` — diff two `BENCH_<ID>.json` files.
+//!
+//! Regression tooling wants "did the numbers move?", not a JSON diff: the
+//! comparator parses the harness's own flat format (see [`crate::json`]),
+//! matches rows by position, and reports every numeric cell whose value
+//! changed, plus the wall-clock delta. Cells that are not plain numbers
+//! (labels, `25.0 / 25` composites, `93%`) are compared textually. The
+//! parser is hand-rolled for exactly the subset `experiment_json` emits —
+//! the harness has no JSON dependency and does not need one.
+
+/// One parsed `BENCH_<ID>.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchFile {
+    /// The `experiment` field (e.g. `"x5"`).
+    pub experiment: String,
+    /// The table title.
+    pub title: String,
+    /// Wall-clock of the run, milliseconds.
+    pub wall_clock_ms: f64,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Table rows (cells as written).
+    pub rows: Vec<Vec<String>>,
+}
+
+/// Scans a JSON string literal starting at the opening quote; returns the
+/// unescaped contents and the index just past the closing quote.
+fn scan_string(s: &[u8], mut i: usize) -> Result<(String, usize), String> {
+    if s.get(i) != Some(&b'"') {
+        return Err(format!("expected string at byte {i}"));
+    }
+    i += 1;
+    let mut out = String::new();
+    while let Some(&c) = s.get(i) {
+        match c {
+            b'"' => return Ok((out, i + 1)),
+            b'\\' => {
+                let esc = s.get(i + 1).ok_or("dangling escape")?;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = s.get(i + 2..i + 6).ok_or("short \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                        i += 4;
+                    }
+                    other => return Err(format!("unknown escape \\{}", *other as char)),
+                }
+                i += 2;
+            }
+            _ => {
+                // multi-byte UTF-8: copy the whole scalar
+                let rest = std::str::from_utf8(&s[i..]).map_err(|e| e.to_string())?;
+                let ch = rest.chars().next().ok_or("truncated string")?;
+                out.push(ch);
+                i += ch.len_utf8();
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn skip_ws(s: &[u8], mut i: usize) -> usize {
+    while matches!(s.get(i), Some(b' ' | b'\n' | b'\r' | b'\t')) {
+        i += 1;
+    }
+    i
+}
+
+/// Scans `["a", "b", ...]` starting at the opening bracket.
+fn scan_string_array(s: &[u8], mut i: usize) -> Result<(Vec<String>, usize), String> {
+    if s.get(i) != Some(&b'[') {
+        return Err(format!("expected array at byte {i}"));
+    }
+    i = skip_ws(s, i + 1);
+    let mut out = Vec::new();
+    if s.get(i) == Some(&b']') {
+        return Ok((out, i + 1));
+    }
+    loop {
+        let (item, next) = scan_string(s, i)?;
+        out.push(item);
+        i = skip_ws(s, next);
+        match s.get(i) {
+            Some(b',') => i = skip_ws(s, i + 1),
+            Some(b']') => return Ok((out, i + 1)),
+            _ => return Err(format!("expected , or ] at byte {i}")),
+        }
+    }
+}
+
+/// Finds the value position of a top-level `"key":` occurrence.
+fn value_of(text: &str, key: &str) -> Result<usize, String> {
+    let needle = format!("\"{key}\":");
+    let at = text
+        .find(&needle)
+        .ok_or_else(|| format!("no \"{key}\" field"))?;
+    Ok(skip_ws(text.as_bytes(), at + needle.len()))
+}
+
+/// Parses one `BENCH_<ID>.json` produced by [`crate::json`].
+pub fn parse(text: &str) -> Result<BenchFile, String> {
+    let bytes = text.as_bytes();
+    let (experiment, _) = scan_string(bytes, value_of(text, "experiment")?)?;
+    let (title, _) = scan_string(bytes, value_of(text, "title")?)?;
+    let wall_start = value_of(text, "wall_clock_ms")?;
+    let wall_end = text[wall_start..]
+        .find([',', '\n', '}'])
+        .map(|d| wall_start + d)
+        .ok_or("unterminated wall_clock_ms")?;
+    let wall_clock_ms: f64 = text[wall_start..wall_end]
+        .trim()
+        .parse()
+        .map_err(|e| format!("wall_clock_ms: {e}"))?;
+    let (headers, _) = scan_string_array(bytes, value_of(text, "headers")?)?;
+    let mut i = value_of(text, "rows")?;
+    if bytes.get(i) != Some(&b'[') {
+        return Err("rows is not an array".to_string());
+    }
+    i = skip_ws(bytes, i + 1);
+    let mut rows = Vec::new();
+    if bytes.get(i) != Some(&b']') {
+        loop {
+            let (row, next) = scan_string_array(bytes, i)?;
+            rows.push(row);
+            i = skip_ws(bytes, next);
+            match bytes.get(i) {
+                Some(b',') => i = skip_ws(bytes, i + 1),
+                Some(b']') => break,
+                _ => return Err(format!("expected , or ] at byte {i}")),
+            }
+        }
+    }
+    Ok(BenchFile {
+        experiment,
+        title,
+        wall_clock_ms,
+        headers,
+        rows,
+    })
+}
+
+fn numeric(cell: &str) -> Option<f64> {
+    cell.trim().parse::<f64>().ok()
+}
+
+/// Renders the comparison of two parsed files (`a` = before, `b` =
+/// after): per-cell numeric deltas, textual changes, row-count changes,
+/// and the wall-clock delta. Identical tables yield a single "no
+/// differences" line after the header.
+pub fn compare(a_name: &str, a: &BenchFile, b_name: &str, b: &BenchFile) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "benchcmp {a_name} ({}) -> {b_name} ({})\n",
+        a.experiment, b.experiment
+    ));
+    if a.headers != b.headers {
+        out.push_str(&format!(
+            "  headers differ:\n    before: {:?}\n    after:  {:?}\n",
+            a.headers, b.headers
+        ));
+    }
+    if a.rows.len() != b.rows.len() {
+        out.push_str(&format!(
+            "  row count: {} -> {}\n",
+            a.rows.len(),
+            b.rows.len()
+        ));
+    }
+    let mut changes = 0usize;
+    for (r, (ra, rb)) in a.rows.iter().zip(&b.rows).enumerate() {
+        let label = ra.first().map(String::as_str).unwrap_or("");
+        for (c, (ca, cb)) in ra.iter().zip(rb).enumerate() {
+            if ca == cb {
+                continue;
+            }
+            changes += 1;
+            let header = a
+                .headers
+                .get(c)
+                .map(String::as_str)
+                .unwrap_or("<no header>");
+            match (numeric(ca), numeric(cb)) {
+                (Some(va), Some(vb)) => {
+                    let pct = if va.abs() > f64::EPSILON {
+                        format!(" ({:+.1}%)", 100.0 * (vb - va) / va)
+                    } else {
+                        String::new()
+                    };
+                    out.push_str(&format!(
+                        "  row {r} [{label}] {header}: {va} -> {vb}{pct}\n"
+                    ));
+                }
+                _ => out.push_str(&format!(
+                    "  row {r} [{label}] {header}: \"{ca}\" -> \"{cb}\"\n"
+                )),
+            }
+        }
+    }
+    if changes == 0 && a.rows.len() == b.rows.len() && a.headers == b.headers {
+        out.push_str("  no differences in table cells\n");
+    }
+    out.push_str(&format!(
+        "  wall clock: {:.1} ms -> {:.1} ms\n",
+        a.wall_clock_ms, b.wall_clock_ms
+    ));
+    out
+}
+
+/// The `benchcmp` subcommand: reads two files, prints the comparison.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let [a_path, b_path] = args else {
+        return Err("usage: harness benchcmp <before.json> <after.json>".to_string());
+    };
+    let read = |p: &String| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
+    let a = parse(&read(a_path)?).map_err(|e| format!("{a_path}: {e}"))?;
+    let b = parse(&read(b_path)?).map_err(|e| format!("{b_path}: {e}"))?;
+    Ok(compare(a_path, &a, b_path, &b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::experiment_json;
+    use crate::table::Table;
+
+    fn sample(pages: u64, wall: f64) -> String {
+        let mut t = Table::new("T — \"sample\"", vec!["query", "pages", "note"]);
+        t.row(vec!["q1".into(), pages.to_string(), "25.0 / 25".into()]);
+        t.row(vec!["q2".into(), "7".into(), "x\ny".into()]);
+        experiment_json("x9", &[("scale", "[1]".into())], wall, &t)
+    }
+
+    #[test]
+    fn parses_the_harness_format_round_trip() {
+        let f = parse(&sample(40, 12.3)).expect("parses");
+        assert_eq!(f.experiment, "x9");
+        assert_eq!(f.title, "T — \"sample\"");
+        assert_eq!(f.wall_clock_ms, 12.3);
+        assert_eq!(f.headers, vec!["query", "pages", "note"]);
+        assert_eq!(f.rows.len(), 2);
+        assert_eq!(f.rows[0][1], "40");
+        assert_eq!(f.rows[1][2], "x\ny", "escapes survive the round trip");
+    }
+
+    #[test]
+    fn compare_reports_numeric_deltas_and_no_change() {
+        let a = parse(&sample(40, 10.0)).unwrap();
+        let b = parse(&sample(50, 11.0)).unwrap();
+        let report = compare("a.json", &a, "b.json", &b);
+        assert!(report.contains("pages: 40 -> 50 (+25.0%)"), "{report}");
+        assert!(report.contains("wall clock: 10.0 ms -> 11.0 ms"));
+        let same = compare("a.json", &a, "a.json", &a.clone());
+        assert!(same.contains("no differences in table cells"), "{same}");
+    }
+
+    #[test]
+    fn run_rejects_bad_usage() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["only-one.json".to_string()]).is_err());
+        let err = run(&["/no/such/a.json".to_string(), "/no/such/b.json".to_string()]).unwrap_err();
+        assert!(err.contains("/no/such/a.json"));
+    }
+}

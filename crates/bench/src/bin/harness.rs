@@ -8,6 +8,8 @@
 //! cargo run --release -p bench --bin harness -- e3 --json  # + BENCH_E3.json
 //! cargo run --release -p bench --bin harness -- --explain-analyze
 //! cargo run --release -p bench --bin harness -- --explain-analyze --check 4.0
+//! cargo run --release -p bench --bin harness -- x5 --json --serve-check
+//! cargo run --release -p bench --bin harness -- benchcmp old.json new.json
 //! ```
 //!
 //! With `--json`, every table experiment also writes a machine-readable
@@ -16,7 +18,10 @@
 //! embeds the full per-query EXPLAIN ANALYZE join plus trace.
 //! `--explain-analyze --check <tol>` exits non-zero when the worst
 //! per-operator predicted/observed page ratio exceeds `<tol>` — the CI
-//! drift gate.
+//! drift gate. `--serve-check` runs X5 at smoke scale and exits non-zero
+//! unless the plan cache hit and every served answer matched the
+//! sequential-uncached oracle. `benchcmp <a> <b>` diffs two
+//! `BENCH_<ID>.json` files cell by cell.
 
 use bench::table::Table;
 use bench::*;
@@ -24,6 +29,18 @@ use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("benchcmp") {
+        match bench::benchcmp::run(&args[1..]) {
+            Ok(report) => {
+                print!("{report}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("benchcmp: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     let full = args.iter().any(|a| a == "full");
     let markdown = args.iter().any(|a| a == "--markdown" || a == "md");
     let json = args.iter().any(|a| a == "--json" || a == "json");
@@ -35,6 +52,7 @@ fn main() {
         .and_then(|v| v.parse().ok());
     let check_value: Vec<String> = check.map(|t| t.to_string()).into_iter().collect();
     let drift_check = args.iter().any(|a| a == "--drift-check");
+    let serve_check = args.iter().any(|a| a == "--serve-check");
     let passthrough = |a: &String| {
         a == "full"
             || a == "--markdown"
@@ -45,6 +63,7 @@ fn main() {
             || a == "xa"
             || a == "--check"
             || a == "--drift-check"
+            || a == "--serve-check"
             || check_value.contains(a)
     };
     let want = |id: &str| {
@@ -191,6 +210,65 @@ fn main() {
                 std::process::exit(1);
             }
             eprintln!("drift check ok: quarantine fired and every fallback matched the default navigation");
+        }
+    }
+    if want("x5") || serve_check {
+        let cfg = if serve_check && !full {
+            // CI smoke scale: small stream, short simulated latency.
+            bench::ServeLoadConfig {
+                requests: 48,
+                workers: 4,
+                latency: std::time::Duration::from_millis(1),
+                open_loop_interval: std::time::Duration::from_millis(2),
+                ..bench::ServeLoadConfig::default()
+            }
+        } else {
+            bench::ServeLoadConfig::default()
+        };
+        let t0 = Instant::now();
+        let smoke = x5_serving(&cfg);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        if markdown {
+            println!("{}", smoke.table.render_markdown());
+        } else {
+            println!("{}", smoke.table);
+        }
+        if json {
+            match bench::json::write_experiment_json_with_extras(
+                std::path::Path::new("."),
+                "x5",
+                &[
+                    ("seed", cfg.seed.to_string()),
+                    ("requests", cfg.requests.to_string()),
+                    ("workers", cfg.workers.to_string()),
+                    ("zipf_s", cfg.zipf_s.to_string()),
+                    ("latency_ms", cfg.latency.as_millis().to_string()),
+                ],
+                wall_ms,
+                &smoke.table,
+                &smoke.extras,
+            ) {
+                Ok(p) => eprintln!("wrote {}", p.display()),
+                Err(e) => eprintln!("BENCH_X5.json: {e}"),
+            }
+        }
+        if serve_check {
+            if smoke.hit_rate <= 0.0 {
+                eprintln!("serve check FAILED: plan-cache hit rate is zero");
+                std::process::exit(1);
+            }
+            if smoke.rows_diverged > 0 {
+                eprintln!(
+                    "serve check FAILED: {} served answer(s) diverged from the sequential-uncached oracle",
+                    smoke.rows_diverged
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "serve check ok: plan-cache hit rate {:.0}%, zero divergence, {:.1}% GETs saved by coalescing",
+                smoke.hit_rate * 100.0,
+                smoke.gets_saved_pct
+            );
         }
     }
     if explain_analyze || want("xa") {

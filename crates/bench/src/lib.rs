@@ -16,9 +16,13 @@
 //! | E8 | §6–7 — rule ablations | [`e8_ablation`] |
 //! | F1 | Figure 1 — the web schemes + constraint checks | [`f1_schemes`] |
 
+pub mod benchcmp;
 pub mod fixtures;
 pub mod json;
+pub mod serving;
 pub mod table;
+
+pub use serving::{x5_serving, ServeLoadConfig, ServeSmoke};
 
 use fixtures::*;
 use nalg::Evaluator;

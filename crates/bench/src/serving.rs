@@ -1,0 +1,413 @@
+//! X5 (extension) — the serving-layer load benchmark.
+//!
+//! The paper costs one query in isolation; a server fields many concurrent
+//! sessions whose popularity is heavily skewed. X5 drives a seeded
+//! Zipf-distributed request stream over the E4 university workload through
+//! [`serve::QueryServer`] and isolates the two serving-layer levers:
+//!
+//! * **plan cache** — repeated queries skip rule 1–9 enumeration (the hit
+//!   rate is the table's second-to-last column);
+//! * **single-flight coalescing** — concurrent sessions chasing the same
+//!   hot URL share one server GET ([`nalg::CoalescingSource`]); the GET
+//!   delta between the coalesce-off and coalesce-on rows is pure
+//!   coalescing, because the plan cache never touches GET counts.
+//!
+//! Three load shapes run over one identical schedule: a sequential
+//! uncached baseline (also the row/page-access oracle), a closed loop
+//! (each of W workers fires its next request the moment the previous
+//! answer lands), and an open loop (arrivals pinned to a fixed schedule
+//! regardless of completions, so latency includes queueing). Every served
+//! answer is checked against the oracle — the `diverged` column must stay
+//! zero: coalescing and plan caching are invisible to the paper's rows
+//! *and* to each session's `page_accesses`.
+
+use crate::fixtures::university_workload;
+use crate::table::Table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serve::QueryServer;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use websim::sitegen::{University, UniversityConfig};
+use wvcore::{ConjunctiveQuery, LiveSource, QuerySession, SiteStatistics};
+
+/// Knobs of the X5 load generator. `Default` is the full benchmark scale;
+/// CI's `serve-smoke` runs a reduced copy.
+#[derive(Debug, Clone)]
+pub struct ServeLoadConfig {
+    /// Seed of the Zipf schedule (and nothing else — sites are fixed).
+    pub seed: u64,
+    /// Total requests per load shape.
+    pub requests: usize,
+    /// Serving threads; also the admission capacity (nothing is shed).
+    pub workers: usize,
+    /// Zipf skew exponent `s` (weight of rank `r` is `1/r^s`).
+    pub zipf_s: f64,
+    /// Simulated server latency per GET — the overlap that coalescing
+    /// and latency hiding exploit.
+    pub latency: Duration,
+    /// Open-loop inter-arrival gap.
+    pub open_loop_interval: Duration,
+}
+
+impl Default for ServeLoadConfig {
+    fn default() -> Self {
+        ServeLoadConfig {
+            seed: 0x5E41E,
+            requests: 120,
+            workers: 8,
+            zipf_s: 1.1,
+            latency: Duration::from_millis(2),
+            open_loop_interval: Duration::from_millis(5),
+        }
+    }
+}
+
+/// Output of the X5 run (see [`x5_serving`]).
+pub struct ServeSmoke {
+    /// One row per load shape.
+    pub table: Table,
+    /// Raw-JSON extras for `BENCH_X5.json`: GET counts per shape,
+    /// plan-cache counters, coalescing counters.
+    pub extras: Vec<(String, String)>,
+    /// Plan-cache hit rate of the closed-loop coalesce-on run — the CI
+    /// smoke gate asserts it is positive.
+    pub hit_rate: f64,
+    /// Served answers that diverged from the sequential-uncached oracle
+    /// (rows or per-session `page_accesses`) — the gate asserts zero.
+    pub rows_diverged: u64,
+    /// Server GETs saved by coalescing: `(off - on) / off`, in percent,
+    /// at identical schedule and worker count.
+    pub gets_saved_pct: f64,
+}
+
+/// A seeded Zipf schedule: `count` indices into `0..n`, rank `r`
+/// weighted `1/(r+1)^s`. Hand-rolled inverse-CDF sampling — the offline
+/// `rand` shim has no distribution zoo.
+fn zipf_schedule(seed: u64, n: usize, count: usize, s: f64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cdf = Vec::with_capacity(n);
+    let mut total = 0.0f64;
+    for rank in 1..=n {
+        total += 1.0 / (rank as f64).powf(s);
+        cdf.push(total);
+    }
+    (0..count)
+        .map(|_| {
+            let x = rng.gen_range(0.0..total);
+            cdf.iter().position(|&c| x < c).unwrap_or(n - 1)
+        })
+        .collect()
+}
+
+/// Latency percentile (ms) over a sorted slice of microsecond samples.
+fn pct_ms(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx] as f64 / 1e3
+}
+
+struct LoadOut {
+    latencies_us: Vec<u64>,
+    diverged: u64,
+    wall_ms: f64,
+}
+
+impl LoadOut {
+    fn row(&self, label: &str, requests: usize, gets: u64, hit_rate: Option<f64>) -> Vec<String> {
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        vec![
+            label.to_string(),
+            requests.to_string(),
+            format!("{:.0}", self.wall_ms),
+            format!("{:.0}", requests as f64 / (self.wall_ms / 1e3).max(1e-9)),
+            format!("{:.1}", pct_ms(&sorted, 0.50)),
+            format!("{:.1}", pct_ms(&sorted, 0.99)),
+            format!("{:.1}", pct_ms(&sorted, 0.999)),
+            gets.to_string(),
+            hit_rate.map_or("—".to_string(), |r| format!("{:.0}%", r * 100.0)),
+            self.diverged.to_string(),
+        ]
+    }
+}
+
+type Oracle = (adm::Relation, u64);
+
+fn check(outcome: Option<&wvcore::QueryOutcome>, oracle: &Oracle, diverged: &AtomicU64) {
+    let ok = outcome.is_some_and(|o| {
+        o.report.relation.sorted() == oracle.0 && o.report.page_accesses == oracle.1
+    });
+    if !ok {
+        diverged.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Drives one schedule through a server with `workers` threads. Closed
+/// loop (`open_loop_interval: None`): a shared queue, each worker fires
+/// its next request on completion. Open loop: request `i` is due at
+/// `start + i·interval` whatever the server's progress, and its latency
+/// is measured from that due time (queueing included).
+fn drive<S: nalg::PageSource + Sync>(
+    server: &QueryServer<'_, S>,
+    queries: &[(&'static str, ConjunctiveQuery)],
+    schedule: &[usize],
+    oracle: &[Oracle],
+    workers: usize,
+    open_loop_interval: Option<Duration>,
+) -> LoadOut {
+    let next = AtomicUsize::new(0);
+    let diverged = AtomicU64::new(0);
+    let latencies = Mutex::new(Vec::with_capacity(schedule.len()));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let (next, diverged, latencies) = (&next, &diverged, &latencies);
+            scope.spawn(move || {
+                let mut local = Vec::new();
+                if let Some(interval) = open_loop_interval {
+                    let mut i = w;
+                    while i < schedule.len() {
+                        let due = start + interval * (i as u32);
+                        let now = Instant::now();
+                        if due > now {
+                            std::thread::sleep(due - now);
+                        }
+                        let out = server.serve(&queries[schedule[i]].1).expect("serve");
+                        local
+                            .push(Instant::now().saturating_duration_since(due).as_micros() as u64);
+                        check(out.outcome.as_ref(), &oracle[schedule[i]], diverged);
+                        i += workers;
+                    }
+                } else {
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= schedule.len() {
+                            break;
+                        }
+                        let t0 = Instant::now();
+                        let out = server.serve(&queries[schedule[i]].1).expect("serve");
+                        local.push(t0.elapsed().as_micros() as u64);
+                        check(out.outcome.as_ref(), &oracle[schedule[i]], diverged);
+                    }
+                }
+                latencies.lock().unwrap().extend(local);
+            });
+        }
+    });
+    LoadOut {
+        latencies_us: latencies.into_inner().unwrap(),
+        diverged: diverged.load(Ordering::Relaxed),
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+/// X5 — see the module docs. One fixed-seed site, one Zipf schedule,
+/// four runs over it: sequential uncached (the oracle and timing
+/// baseline), closed loop without and with coalescing, open loop with
+/// coalescing. The plan cache is on for every served run.
+pub fn x5_serving(cfg: &ServeLoadConfig) -> ServeSmoke {
+    let u = University::generate(UniversityConfig::default()).expect("site");
+    let stats = SiteStatistics::from_site(&u.site);
+    let catalog = wvcore::views::university_catalog();
+    let queries = university_workload();
+    let schedule = zipf_schedule(cfg.seed, queries.len(), cfg.requests, cfg.zipf_s);
+    let live = LiveSource::for_site(&u.site);
+
+    // The oracle: each distinct query once, sequentially, no caches, no
+    // latency — the rows and per-session page accesses every served
+    // answer must reproduce byte-for-byte.
+    let oracle: Vec<Oracle> = queries
+        .iter()
+        .map(|(_, q)| {
+            let out = QuerySession::new(&u.site.scheme, &catalog, &stats, &live)
+                .run(q)
+                .expect("oracle run");
+            (out.report.relation.sorted(), out.report.page_accesses)
+        })
+        .collect();
+
+    let mut t = Table::new(
+        "X5 — serving layer: Zipf load, plan cache + single-flight coalescing",
+        vec![
+            "config",
+            "requests",
+            "wall ms",
+            "req/s",
+            "p50 ms",
+            "p99 ms",
+            "p99.9 ms",
+            "server GETs",
+            "plan hit rate",
+            "diverged",
+        ],
+    );
+    u.site.server.set_latency(cfg.latency);
+
+    // 1 — sequential uncached: one plain session per request, in
+    // schedule order, re-optimizing every time.
+    u.site.server.reset_stats();
+    let seq = {
+        let diverged = AtomicU64::new(0);
+        let mut latencies = Vec::with_capacity(schedule.len());
+        let start = Instant::now();
+        for &qi in &schedule {
+            let t0 = Instant::now();
+            let out = QuerySession::new(&u.site.scheme, &catalog, &stats, &live)
+                .run(&queries[qi].1)
+                .expect("sequential run");
+            latencies.push(t0.elapsed().as_micros() as u64);
+            check(Some(&out), &oracle[qi], &diverged);
+        }
+        LoadOut {
+            latencies_us: latencies,
+            diverged: diverged.load(Ordering::Relaxed),
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        }
+    };
+    let seq_gets = u.site.server.stats().gets;
+    t.row(seq.row("sequential uncached", cfg.requests, seq_gets, None));
+
+    // 2 — closed loop, coalescing OFF (plan cache on).
+    u.site.server.reset_stats();
+    let server = QueryServer::new(&u.site.scheme, &catalog, &stats, &live)
+        .with_admission_capacity(cfg.workers);
+    let off = drive(&server, &queries, &schedule, &oracle, cfg.workers, None);
+    let off_hit_rate = server.stats().plan_cache.hit_rate();
+    let off_gets = u.site.server.stats().gets;
+    t.row(off.row(
+        "closed loop, coalesce off",
+        cfg.requests,
+        off_gets,
+        Some(off_hit_rate),
+    ));
+
+    // 3 — closed loop, coalescing ON: the GET delta vs row 2 is pure
+    // single-flight sharing (identical schedule and workers).
+    u.site.server.reset_stats();
+    let coalesced = nalg::CoalescingSource::new(&live);
+    let server = QueryServer::new(&u.site.scheme, &catalog, &stats, &coalesced)
+        .with_admission_capacity(cfg.workers);
+    let on = drive(&server, &queries, &schedule, &oracle, cfg.workers, None);
+    let on_stats = server.stats();
+    let on_gets = u.site.server.stats().gets;
+    let coalesce = coalesced.stats();
+    t.row(on.row(
+        "closed loop, coalesce on",
+        cfg.requests,
+        on_gets,
+        Some(on_stats.plan_cache.hit_rate()),
+    ));
+
+    // 4 — open loop, coalescing ON: fixed arrivals, latency includes
+    // queueing behind slower requests.
+    u.site.server.reset_stats();
+    let coalesced_open = nalg::CoalescingSource::new(&live);
+    let server = QueryServer::new(&u.site.scheme, &catalog, &stats, &coalesced_open)
+        .with_admission_capacity(cfg.workers);
+    let open = drive(
+        &server,
+        &queries,
+        &schedule,
+        &oracle,
+        cfg.workers,
+        Some(cfg.open_loop_interval),
+    );
+    let open_gets = u.site.server.stats().gets;
+    t.row(open.row(
+        "open loop, coalesce on",
+        cfg.requests,
+        open_gets,
+        Some(server.stats().plan_cache.hit_rate()),
+    ));
+    u.site.server.set_latency(Duration::ZERO);
+
+    let gets_saved_pct = if off_gets > 0 {
+        100.0 * (off_gets.saturating_sub(on_gets)) as f64 / off_gets as f64
+    } else {
+        0.0
+    };
+    let pc = on_stats.plan_cache;
+    let extras = vec![
+        (
+            "gets".to_string(),
+            format!(
+                "{{\"sequential\": {seq_gets}, \"coalesce_off\": {off_gets}, \"coalesce_on\": {on_gets}, \"open_loop\": {open_gets}, \"saved_pct\": {gets_saved_pct:.1}}}"
+            ),
+        ),
+        (
+            "plan_cache".to_string(),
+            format!(
+                "{{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"invalidations\": {}, \"quarantine_rejections\": {}, \"hit_rate\": {:.3}}}",
+                pc.hits, pc.misses, pc.evictions, pc.invalidations, pc.quarantine_rejections,
+                pc.hit_rate()
+            ),
+        ),
+        (
+            "coalescing".to_string(),
+            format!(
+                "{{\"leaders\": {}, \"followers\": {}, \"saved_gets\": {}}}",
+                coalesce.leaders,
+                coalesce.followers,
+                coalesce.saved_gets()
+            ),
+        ),
+    ];
+    ServeSmoke {
+        table: t,
+        extras,
+        hit_rate: pc.hit_rate(),
+        rows_diverged: seq.diverged + off.diverged + on.diverged + open.diverged,
+        gets_saved_pct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_schedule_is_seeded_and_skewed() {
+        let a = zipf_schedule(7, 7, 200, 1.1);
+        assert_eq!(a, zipf_schedule(7, 7, 200, 1.1));
+        assert_ne!(a, zipf_schedule(8, 7, 200, 1.1));
+        let head = a.iter().filter(|&&q| q == 0).count();
+        let tail = a.iter().filter(|&&q| q == 6).count();
+        assert!(head > tail, "rank 1 ({head}) must beat rank 7 ({tail})");
+        assert!(a.iter().all(|&q| q < 7));
+    }
+
+    #[test]
+    fn percentiles_read_the_sorted_tail() {
+        let us: Vec<u64> = (0..1000).collect();
+        assert_eq!(pct_ms(&us, 0.50), 0.5);
+        assert_eq!(pct_ms(&us, 0.99), 0.989);
+        assert_eq!(pct_ms(&us, 0.999), 0.998);
+        assert_eq!(pct_ms(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn x5_small_load_is_divergence_free_and_cache_effective() {
+        let cfg = ServeLoadConfig {
+            requests: 42,
+            workers: 4,
+            latency: Duration::from_millis(1),
+            open_loop_interval: Duration::from_millis(2),
+            ..ServeLoadConfig::default()
+        };
+        let smoke = x5_serving(&cfg);
+        assert_eq!(smoke.table.rows.len(), 4);
+        assert_eq!(smoke.rows_diverged, 0, "serving must be paper-blind");
+        assert!(
+            smoke.hit_rate > 0.5,
+            "42 Zipf requests over 7 plans: hit rate {} too low",
+            smoke.hit_rate
+        );
+        assert!(smoke.gets_saved_pct >= 0.0);
+        // every row answered: diverged column is "0" everywhere
+        assert!(smoke.table.rows.iter().all(|r| r[9] == "0"));
+    }
+}

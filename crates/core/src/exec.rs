@@ -303,6 +303,23 @@ impl<'a, S: PageSource> QuerySession<'a, S> {
             h.tick();
         }
         let explain = self.explain(q)?;
+        self.run_planned(q, explain)
+    }
+
+    /// Executes an already-optimized plan set for `q`, skipping rule 1–9
+    /// enumeration entirely — the serving layer's plan-cache hit path.
+    /// Auditing, constraint-health booking, and the drift fallback behave
+    /// exactly as in [`QuerySession::run`]; the only difference is that
+    /// this does **not** advance the health registry's logical clock (the
+    /// caller owns the tick, so a cache hit and a cache miss age
+    /// quarantines identically).
+    ///
+    /// Correctness is the caller's contract: `explain` must have been
+    /// produced for this `q` over the session's current statistics and
+    /// quarantine set (a [`crate::CandidatePlan`] licensed by a
+    /// since-quarantined constraint would execute here unchallenged —
+    /// the serve-layer plan cache guards exactly that).
+    pub fn run_planned(&self, q: &ConjunctiveQuery, explain: Explain) -> Result<QueryOutcome> {
         let mut ev = self.evaluator();
         if let Some(cfg) = self.audit_config(explain.best()) {
             ev = ev.with_audit(cfg);
@@ -647,6 +664,38 @@ mod tests {
             second.report.relation.sorted(),
             naive.report.relation.sorted()
         );
+    }
+
+    #[test]
+    fn run_planned_matches_run_and_skips_optimization() {
+        let u = University::generate(UniversityConfig {
+            departments: 3,
+            professors: 10,
+            courses: 20,
+            seed: 21,
+            ..UniversityConfig::default()
+        })
+        .unwrap();
+        let stats = SiteStatistics::from_site(&u.site);
+        let catalog = university_catalog();
+        let source = LiveSource::for_site(&u.site);
+        let session = QuerySession::new(&u.site.scheme, &catalog, &stats, &source);
+        let q = ConjunctiveQuery::new("graduate-courses")
+            .atom("Course")
+            .select((0, "Type"), "Graduate")
+            .project((0, "CName"));
+        let plain = session.run(&q).unwrap();
+        let replayed = session.run_planned(&q, plain.explain.clone()).unwrap();
+        assert_eq!(
+            replayed.report.relation.sorted(),
+            plain.report.relation.sorted()
+        );
+        assert_eq!(replayed.report.page_accesses, plain.report.page_accesses);
+        assert_eq!(
+            replayed.report.accesses_by_operator,
+            plain.report.accesses_by_operator
+        );
+        assert_eq!(replayed.explain.best().expr, plain.explain.best().expr);
     }
 
     #[test]

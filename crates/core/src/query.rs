@@ -70,6 +70,42 @@ impl ConjunctiveQuery {
         self
     }
 
+    /// The query's canonical cache key: a normalized rendering under
+    /// which two queries compare equal iff they ask for the same thing.
+    ///
+    /// Normalization: the report [`ConjunctiveQuery::name`] is excluded
+    /// (it never affects planning); each join pair is ordered so
+    /// `a.X = b.Y` and `b.Y = a.X` agree; joins and selections are
+    /// sorted. Atom order and projection order are preserved — both are
+    /// semantically significant (atom indices anchor every attribute
+    /// reference, and the projection fixes the output column order).
+    pub fn cache_key(&self) -> String {
+        let pos = |(i, a): &AttrPos| format!("{i}.{a}");
+        let mut joins: Vec<String> = self
+            .joins
+            .iter()
+            .map(|(l, r)| {
+                let (l, r) = if l <= r { (l, r) } else { (r, l) };
+                format!("{}={}", pos(l), pos(r))
+            })
+            .collect();
+        joins.sort();
+        let mut selections: Vec<String> = self
+            .selections
+            .iter()
+            .map(|(a, v)| format!("{}='{v}'", pos(a)))
+            .collect();
+        selections.sort();
+        let projection: Vec<String> = self.projection.iter().map(pos).collect();
+        format!(
+            "atoms[{}] joins[{}] sel[{}] proj[{}]",
+            self.atoms.join(","),
+            joins.join(","),
+            selections.join(","),
+            projection.join(",")
+        )
+    }
+
     /// Validates the query against a catalog: atoms exist, attribute
     /// references are in range and belong to their relations, the
     /// projection is non-empty.
@@ -213,6 +249,39 @@ mod tests {
             .atom("Professor")
             .validate(&cat)
             .is_err());
+    }
+
+    #[test]
+    fn cache_key_normalizes_names_join_order_and_listing_order() {
+        let a = example_71();
+        // Same query, different report name, joins flipped and reordered,
+        // selections reordered.
+        let b = ConjunctiveQuery::new("some other label")
+            .atom("Professor")
+            .atom("CourseInstructor")
+            .atom("Course")
+            .join((2, "CName"), (1, "CName"))
+            .join((1, "PName"), (0, "PName"))
+            .select((2, "Session"), "Fall")
+            .select((0, "Rank"), "Full")
+            .project((2, "CName"))
+            .project((2, "Description"));
+        assert_eq!(a.cache_key(), b.cache_key());
+        // Projection order is significant (output column order).
+        let c = ConjunctiveQuery::new("ex71")
+            .atom("Professor")
+            .atom("CourseInstructor")
+            .atom("Course")
+            .join((0, "PName"), (1, "PName"))
+            .join((1, "CName"), (2, "CName"))
+            .select((0, "Rank"), "Full")
+            .select((2, "Session"), "Fall")
+            .project((2, "Description"))
+            .project((2, "CName"));
+        assert_ne!(a.cache_key(), c.cache_key());
+        // And so is the selection constant.
+        let d = example_71().select((0, "Rank"), "Associate");
+        assert_ne!(a.cache_key(), d.cache_key());
     }
 
     #[test]

@@ -1,20 +1,33 @@
-//! Persistent fetch worker pool.
+//! Persistent fetch worker pool and single-flight request coalescing.
 //!
-//! Replaces per-batch scoped threads: the pool's workers are spawned
-//! **once per evaluation** and serve every `follow` operator in the plan
-//! through a pair of MPMC channels. The evaluator streams distinct links
-//! into the job channel and consumes wrapped tuples as they complete, so
-//! CPU-side work (wrapping, row assembly) overlaps network latency instead
-//! of waiting on a per-batch barrier.
+//! **Pool.** Replaces per-batch scoped threads: the pool's workers are
+//! spawned **once per evaluation** and serve every `follow` operator in
+//! the plan through a pair of MPMC channels. The evaluator streams
+//! distinct links into the job channel and consumes wrapped tuples as they
+//! complete, so CPU-side work (wrapping, row assembly) overlaps network
+//! latency instead of waiting on a per-batch barrier.
 //!
 //! Completions arrive out of order; the evaluator's `follow` assembly is
 //! keyed by URL, so results are independent of completion order.
+//!
+//! **Coalescing.** [`CoalescingSource`] wraps any `PageSource + Sync` with
+//! single-flight semantics: when N callers (concurrent sessions, pool
+//! workers) request the same URL at the same time, exactly one — the
+//! *leader* — performs the inner fetch; the rest — *followers* — block and
+//! receive a clone of the leader's result. This deduplicates server GETs
+//! without touching the paper's accounting: `page_accesses` is counted by
+//! each evaluation at fetch *completion*, above this layer, so every
+//! session reports exactly the numbers it would report uncoalesced (pinned
+//! by the serving-equivalence proptests in `tests/serving.rs`).
 
 use crate::eval::{PageSource, SourceError};
 use adm::{Tuple, Url};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use obs::trace::{EventKind, TraceSink};
 use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
 /// A fetch request: the URL and the page-scheme it is expected to match.
 #[derive(Debug)]
@@ -23,11 +36,15 @@ struct Job {
     scheme: String,
 }
 
+/// The result of one page fetch: the wrapped tuple plus the source's
+/// Last-Modified stamp when known.
+pub(crate) type FetchOutcome = Result<(Tuple, Option<u64>), SourceError>;
+
 /// A completed fetch: the wrapped tuple plus the source's Last-Modified
 /// stamp when known.
 pub(crate) struct Done {
     pub url: Url,
-    pub outcome: Result<(Tuple, Option<u64>), SourceError>,
+    pub outcome: FetchOutcome,
 }
 
 /// Handle to a running pool. Only valid inside [`with_pool`]'s closure;
@@ -149,6 +166,205 @@ where
         }
     }
     result
+}
+
+/// One in-flight fetch: followers park on the condvar until the leader
+/// (or a shutdown) publishes into the slot.
+struct Flight {
+    slot: StdMutex<Option<FetchOutcome>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            slot: StdMutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, outcome: FetchOutcome) {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        // First write wins: a shutdown that already woke the followers
+        // must not be overwritten by the leader completing afterwards
+        // (the leader returns its own result directly either way).
+        if slot.is_none() {
+            *slot = Some(outcome);
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// Point-in-time counters of a [`CoalescingSource`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CoalesceStats {
+    /// Fetches that went to the inner source (one per coalition).
+    pub leaders: u64,
+    /// Fetches served by joining an in-flight leader — each one is a
+    /// server GET that did not happen.
+    pub followers: u64,
+    /// Followers woken early by [`CoalescingSource::shutdown`].
+    pub shutdown_wakes: u64,
+}
+
+impl CoalesceStats {
+    /// Server GETs avoided: one per follower that shared a leader's fetch.
+    pub fn saved_gets(&self) -> u64 {
+        self.followers.saturating_sub(self.shutdown_wakes)
+    }
+}
+
+/// Single-flight coalescing wrapper around a thread-safe [`PageSource`].
+///
+/// Composes like the other source wrappers (`CachedSource`,
+/// `ResilientSource`): it borrows the inner source, so retry/breaker
+/// machinery stacks *underneath* — one coalesced fetch runs the full
+/// resilient path once and every follower shares the outcome, including
+/// an error outcome (an error is cheaper to share than to rediscover
+/// N times; the per-evaluation degradation policy still applies above).
+///
+/// The paper's `page_accesses` counter is charged per evaluation at fetch
+/// completion, above this layer, so coalescing never changes any
+/// E1–E8 number — only the server's GET counter shrinks.
+pub struct CoalescingSource<'a, S> {
+    inner: &'a S,
+    flights: StdMutex<HashMap<Url, Arc<Flight>>>,
+    shutdown: AtomicBool,
+    leaders: AtomicU64,
+    followers: AtomicU64,
+    shutdown_wakes: AtomicU64,
+}
+
+impl<'a, S: PageSource + Sync> CoalescingSource<'a, S> {
+    /// Wraps `inner` with single-flight semantics.
+    pub fn new(inner: &'a S) -> Self {
+        CoalescingSource {
+            inner,
+            flights: StdMutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+            leaders: AtomicU64::new(0),
+            followers: AtomicU64::new(0),
+            shutdown_wakes: AtomicU64::new(0),
+        }
+    }
+
+    /// Shuts the coalescer down: every *waiting follower* is woken
+    /// immediately with a clean [`SourceError::Unavailable`] (no hang, no
+    /// panic), and subsequent fetches fail fast with the same error.
+    /// Leaders already executing their inner fetch run to completion and
+    /// return their own result.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let flights: Vec<(Url, Arc<Flight>)> = {
+            let mut map = self.flights.lock().unwrap_or_else(|e| e.into_inner());
+            map.drain().collect()
+        };
+        for (url, flight) in flights {
+            flight.publish(Err(SourceError::Unavailable {
+                url,
+                reason: "fetch coalescer shut down".to_string(),
+            }));
+        }
+    }
+
+    /// True once [`CoalescingSource::shutdown`] has been called.
+    pub fn is_shut_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Current leader/follower counters.
+    pub fn stats(&self) -> CoalesceStats {
+        CoalesceStats {
+            leaders: self.leaders.load(Ordering::SeqCst),
+            followers: self.followers.load(Ordering::SeqCst),
+            shutdown_wakes: self.shutdown_wakes.load(Ordering::SeqCst),
+        }
+    }
+
+    fn lead(&self, url: &Url, scheme: &str, flight: &Arc<Flight>) -> FetchOutcome {
+        self.leaders.fetch_add(1, Ordering::SeqCst);
+        // Panic safety: if the inner fetch unwinds, the guard still
+        // retires the flight and wakes the followers with an error —
+        // a follower must never hang on a dead leader.
+        struct Retire<'g, 'a, S> {
+            src: &'g CoalescingSource<'a, S>,
+            url: &'g Url,
+            flight: &'g Arc<Flight>,
+            outcome: Option<FetchOutcome>,
+        }
+        impl<S> Drop for Retire<'_, '_, S> {
+            fn drop(&mut self) {
+                {
+                    let mut map = self.src.flights.lock().unwrap_or_else(|e| e.into_inner());
+                    map.remove(self.url);
+                }
+                let outcome = self.outcome.take().unwrap_or_else(|| {
+                    Err(SourceError::Other(format!(
+                        "coalesced fetch leader panicked for {}",
+                        self.url
+                    )))
+                });
+                self.flight.publish(outcome);
+            }
+        }
+        let mut retire = Retire {
+            src: self,
+            url,
+            flight,
+            outcome: None,
+        };
+        let outcome = self.inner.fetch_stamped(url, scheme);
+        retire.outcome = Some(outcome.clone());
+        drop(retire);
+        outcome
+    }
+
+    fn follow_flight(&self, flight: &Arc<Flight>) -> FetchOutcome {
+        self.followers.fetch_add(1, Ordering::SeqCst);
+        let mut slot = flight.slot.lock().unwrap_or_else(|e| e.into_inner());
+        while slot.is_none() {
+            slot = flight.cv.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+        let outcome = slot.as_ref().expect("published").clone();
+        if matches!(
+            &outcome,
+            Err(SourceError::Unavailable { reason, .. }) if reason == "fetch coalescer shut down"
+        ) {
+            self.shutdown_wakes.fetch_add(1, Ordering::SeqCst);
+        }
+        outcome
+    }
+}
+
+impl<S: PageSource + Sync> PageSource for CoalescingSource<'_, S> {
+    fn fetch(&self, url: &Url, scheme: &str) -> Result<Tuple, SourceError> {
+        self.fetch_stamped(url, scheme).map(|(t, _)| t)
+    }
+
+    fn fetch_stamped(&self, url: &Url, scheme: &str) -> FetchOutcome {
+        if self.is_shut_down() {
+            return Err(SourceError::Unavailable {
+                url: url.clone(),
+                reason: "fetch coalescer shut down".to_string(),
+            });
+        }
+        let (flight, is_leader) = {
+            let mut map = self.flights.lock().unwrap_or_else(|e| e.into_inner());
+            match map.get(url) {
+                Some(f) => (Arc::clone(f), false),
+                None => {
+                    let f = Arc::new(Flight::new());
+                    map.insert(url.clone(), Arc::clone(&f));
+                    (f, true)
+                }
+            }
+        };
+        if is_leader {
+            self.lead(url, scheme, &flight)
+        } else {
+            self.follow_flight(&flight)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -284,6 +500,202 @@ mod tests {
                 .iter()
                 .any(|e| e.field_str("reason") == Some("abandoned")),
             "an early-abort shutdown must be visible in the trace"
+        );
+    }
+
+    /// A source that blocks each fetch until released, reporting arrivals.
+    struct GatedSource {
+        entered_tx: crossbeam::channel::Sender<()>,
+        release_rx: crossbeam::channel::Receiver<()>,
+        fetches: AtomicUsize,
+    }
+
+    impl GatedSource {
+        fn new() -> (
+            Self,
+            crossbeam::channel::Receiver<()>,
+            crossbeam::channel::Sender<()>,
+        ) {
+            let (entered_tx, entered_rx) = unbounded();
+            let (release_tx, release_rx) = unbounded();
+            (
+                GatedSource {
+                    entered_tx,
+                    release_rx,
+                    fetches: AtomicUsize::new(0),
+                },
+                entered_rx,
+                release_tx,
+            )
+        }
+    }
+
+    impl PageSource for GatedSource {
+        fn fetch(&self, url: &Url, _scheme: &str) -> Result<Tuple, SourceError> {
+            self.fetches.fetch_add(1, Ordering::SeqCst);
+            self.entered_tx.send(()).unwrap();
+            self.release_rx.recv().unwrap();
+            Ok(Tuple::new().with("Path", url.as_str()))
+        }
+    }
+
+    /// Spins until `src` has `n` parked followers (bounded wait).
+    fn await_followers<S: PageSource + Sync>(src: &CoalescingSource<'_, S>, n: u64) {
+        for _ in 0..2000 {
+            if src.stats().followers >= n {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        panic!("followers never parked: {:?}", src.stats());
+    }
+
+    #[test]
+    fn concurrent_fetches_of_one_url_share_one_inner_fetch() {
+        let (gated, entered_rx, release_tx) = GatedSource::new();
+        let coalesced = CoalescingSource::new(&gated);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..5)
+                .map(|_| scope.spawn(|| coalesced.fetch_stamped(&Url::new("/hot"), "P")))
+                .collect();
+            entered_rx.recv().unwrap(); // the single leader is inside
+            await_followers(&coalesced, 4);
+            release_tx.send(()).unwrap();
+            for h in handles {
+                let (tuple, _) = h.join().unwrap().expect("shared fetch succeeds");
+                assert_eq!(tuple.get("Path").unwrap().as_text().unwrap(), "/hot");
+            }
+        });
+        assert_eq!(
+            gated.fetches.load(Ordering::SeqCst),
+            1,
+            "one GET for five callers"
+        );
+        let stats = coalesced.stats();
+        assert_eq!((stats.leaders, stats.followers), (1, 4));
+        assert_eq!(stats.saved_gets(), 4);
+    }
+
+    #[test]
+    fn distinct_urls_do_not_coalesce_and_errors_are_shared() {
+        struct FailingSource;
+        impl PageSource for FailingSource {
+            fn fetch(&self, url: &Url, _scheme: &str) -> Result<Tuple, SourceError> {
+                if url.as_str() == "/missing" {
+                    Err(SourceError::NotFound(url.clone()))
+                } else {
+                    Ok(Tuple::new().with("Path", url.as_str()))
+                }
+            }
+        }
+        let coalesced = CoalescingSource::new(&FailingSource);
+        assert!(coalesced.fetch_stamped(&Url::new("/a"), "P").is_ok());
+        assert!(matches!(
+            coalesced.fetch_stamped(&Url::new("/missing"), "P"),
+            Err(SourceError::NotFound(_))
+        ));
+        let stats = coalesced.stats();
+        assert_eq!((stats.leaders, stats.followers), (2, 0));
+        // A retired flight leaves no residue: the same URL fetches again.
+        assert!(coalesced.fetch_stamped(&Url::new("/a"), "P").is_ok());
+        assert_eq!(coalesced.stats().leaders, 3);
+    }
+
+    #[test]
+    fn shutdown_wakes_waiting_followers_with_clean_error() {
+        let (gated, entered_rx, release_tx) = GatedSource::new();
+        let coalesced = CoalescingSource::new(&gated);
+        std::thread::scope(|scope| {
+            let leader = scope.spawn(|| coalesced.fetch_stamped(&Url::new("/slow"), "P"));
+            entered_rx.recv().unwrap(); // leader is blocked inside the source
+            let followers: Vec<_> = (0..3)
+                .map(|_| scope.spawn(|| coalesced.fetch_stamped(&Url::new("/slow"), "P")))
+                .collect();
+            await_followers(&coalesced, 3);
+            // Shut down while the coalesced fetch has parked followers:
+            // all of them must wake promptly with a clean error.
+            coalesced.shutdown();
+            for f in followers {
+                match f.join().expect("no panic") {
+                    Err(SourceError::Unavailable { reason, .. }) => {
+                        assert!(reason.contains("shut down"), "got: {reason}");
+                    }
+                    other => panic!("follower should see shutdown error, got {other:?}"),
+                }
+            }
+            // New fetches fail fast rather than hanging.
+            assert!(matches!(
+                coalesced.fetch_stamped(&Url::new("/other"), "P"),
+                Err(SourceError::Unavailable { .. })
+            ));
+            // The in-flight leader still completes normally.
+            release_tx.send(()).unwrap();
+            assert!(leader.join().unwrap().is_ok());
+        });
+        let stats = coalesced.stats();
+        assert_eq!(stats.shutdown_wakes, 3);
+        assert_eq!(stats.saved_gets(), 0, "shutdown wakes are not savings");
+    }
+
+    #[test]
+    fn leader_panic_wakes_followers_with_error_not_hang() {
+        struct PanicAfterSignal {
+            entered_tx: crossbeam::channel::Sender<()>,
+            release_rx: crossbeam::channel::Receiver<()>,
+        }
+        impl PageSource for PanicAfterSignal {
+            fn fetch(&self, _url: &Url, _scheme: &str) -> Result<Tuple, SourceError> {
+                self.entered_tx.send(()).unwrap();
+                self.release_rx.recv().unwrap();
+                panic!("leader exploded");
+            }
+        }
+        let (entered_tx, entered_rx) = unbounded();
+        let (release_tx, release_rx) = unbounded();
+        let src = PanicAfterSignal {
+            entered_tx,
+            release_rx,
+        };
+        let coalesced = CoalescingSource::new(&src);
+        std::thread::scope(|scope| {
+            let leader = scope.spawn(|| {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    coalesced.fetch_stamped(&Url::new("/boom"), "P")
+                }))
+            });
+            entered_rx.recv().unwrap();
+            let follower = scope.spawn(|| coalesced.fetch_stamped(&Url::new("/boom"), "P"));
+            await_followers(&coalesced, 1);
+            release_tx.send(()).unwrap();
+            assert!(leader.join().unwrap().is_err(), "leader unwound");
+            match follower.join().expect("follower must not hang or panic") {
+                Err(SourceError::Other(m)) => assert!(m.contains("panicked"), "got: {m}"),
+                other => panic!("expected leader-panic error, got {other:?}"),
+            }
+        });
+    }
+
+    #[test]
+    fn coalescing_composes_with_the_fetch_pool() {
+        let src = CountingSource(AtomicUsize::new(0));
+        let coalesced = CoalescingSource::new(&src);
+        let total = with_pool(&coalesced, 4, None, |pool| {
+            for _ in 0..4 {
+                for i in 0..5 {
+                    assert!(pool.submit(Url::new(format!("/{i}")), "P".into()));
+                }
+            }
+            (0..20)
+                .filter(|_| pool.recv().expect("pool alive").outcome.is_ok())
+                .count()
+        });
+        assert_eq!(total, 20, "every submitted job completes");
+        let stats = coalesced.stats();
+        assert_eq!(stats.leaders + stats.followers, 20);
+        assert_eq!(
+            src.0.load(Ordering::SeqCst) as u64,
+            stats.leaders,
+            "inner fetches = leaders only"
         );
     }
 

@@ -50,6 +50,7 @@ pub use eval::{
     SourceError,
 };
 pub use expr::{NalgExpr, Pred};
+pub use fetch::{CoalesceStats, CoalescingSource};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, EvalError>;

@@ -19,6 +19,10 @@
 //!   errors transparently;
 //! * [`ResilientServer`] — wraps any [`websim::PageServer`] so
 //!   materialized-view URL-checks and refreshes get the same treatment;
+//! * [`AdmissionControl`] — a bounded-concurrency gate for serving
+//!   layers: at most `capacity` sessions hold permits at a time, and
+//!   requests beyond the limit are shed (answered as empty partial
+//!   results upstream) instead of queueing;
 //! * [`ConstraintHealth`] — the constraint-drift defense: per-constraint
 //!   violation accounting fed by runtime auditing, quarantine with TTL
 //!   re-admission, and the registry the optimizer consults so quarantined
@@ -33,6 +37,7 @@
 //! byte-identical to running without them (pinned by the equivalence
 //! proptests in `tests/chaos_equivalence.rs`).
 
+pub mod admission;
 pub mod breaker;
 mod govern;
 pub mod health;
@@ -41,6 +46,7 @@ pub mod server;
 pub mod source;
 pub mod stats;
 
+pub use admission::{AdmissionControl, AdmissionPermit, AdmissionStats};
 pub use breaker::{BreakerConfig, BreakerState};
 pub use health::{ConstraintHealth, ConstraintHealthSnapshot};
 pub use policy::RetryPolicy;

@@ -1,0 +1,359 @@
+//! The plan cache: repeated queries skip rule 1–9 enumeration.
+//!
+//! Algorithm 1 re-derives the same winning plan every time a popular
+//! query arrives; on a serving workload that CPU is pure waste. The cache
+//! maps a [`PlanKey`] — the *normalized* query
+//! ([`wvcore::ConjunctiveQuery::cache_key`]), the statistics epoch, and a
+//! fingerprint of the current quarantine set — to the full [`Explain`]
+//! the optimizer produced, so a hit replays plan selection for free via
+//! [`wvcore::QuerySession::run_planned`].
+//!
+//! **Invalidation.** All three key components exist to invalidate:
+//! recollecting statistics bumps the epoch, and any
+//! [`resilience::ConstraintHealth`] quarantine or TTL re-admission
+//! changes the fingerprint — either way cached plans stop matching and
+//! [`PlanCache::sync`] purges them (counted as `serve_plan_invalidations`).
+//! On top of that, [`PlanCache::lookup`] re-checks the served plan's own
+//! [`wvcore::rules::ConstraintDependency`] set against the quarantine list
+//! at hit time:
+//! a cached plan licensed by a since-quarantined constraint is **never
+//! served**, even if a stale fingerprint were to collide (counted as
+//! `serve_plan_quarantine_rejections`).
+//!
+//! Counters live under the `serve` prefix of an [`obs::MetricsRegistry`],
+//! mirroring the `cache`/`resilience`/`constraint` registries elsewhere.
+
+use obs::{Counter, MetricsRegistry};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use wvcore::Explain;
+
+/// What a cached plan is keyed on. Any component changing is a miss.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// [`wvcore::ConjunctiveQuery::cache_key`] — the normalized query AST.
+    pub query: String,
+    /// The serving layer's statistics epoch (bumped on recollection).
+    pub stats_epoch: u64,
+    /// [`quarantine_fingerprint`] of the quarantined constraint keys.
+    pub quarantine_fp: u64,
+}
+
+/// A stable order-sensitive fingerprint of the (sorted) quarantine set,
+/// FNV-1a over the keys with a splitmix64 finisher. The empty set is 0.
+pub fn quarantine_fingerprint(quarantined: &[String]) -> u64 {
+    if quarantined.is_empty() {
+        return 0;
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for key in quarantined {
+        for b in key.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= 0xff; // key separator
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // splitmix64 finisher for avalanche
+    let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+struct Entry {
+    explain: Arc<Explain>,
+    last_used: u64,
+}
+
+struct CacheState {
+    map: HashMap<PlanKey, Entry>,
+    clock: u64,
+}
+
+/// A bounded LRU plan cache with `serve`-prefixed metrics.
+pub struct PlanCache {
+    capacity: usize,
+    state: Mutex<CacheState>,
+    registry: MetricsRegistry,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    invalidations: Counter,
+    quarantine_rejections: Counter,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans (minimum 1), with a fresh
+    /// `serve`-prefixed registry.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_registry(capacity, &MetricsRegistry::with_prefix("serve"))
+    }
+
+    /// [`PlanCache::new`] registering its counters on an existing registry
+    /// (the serving layer shares one `serve` registry across subsystems).
+    pub fn with_registry(capacity: usize, registry: &MetricsRegistry) -> Self {
+        PlanCache {
+            capacity: capacity.max(1),
+            state: Mutex::new(CacheState {
+                map: HashMap::new(),
+                clock: 0,
+            }),
+            hits: registry.counter("plan_hits"),
+            misses: registry.counter("plan_misses"),
+            evictions: registry.counter("plan_evictions"),
+            invalidations: registry.counter("plan_invalidations"),
+            quarantine_rejections: registry.counter("plan_quarantine_rejections"),
+            registry: registry.clone(),
+        }
+    }
+
+    /// The registry carrying this cache's counters (prefix `serve`).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Purges every entry whose epoch or quarantine fingerprint disagrees
+    /// with the current `(stats_epoch, quarantine_fp)` — the explicit
+    /// invalidation on statistics recollection and on quarantine /
+    /// re-admission. Returns how many entries were dropped.
+    pub fn sync(&self, stats_epoch: u64, quarantine_fp: u64) -> u64 {
+        let mut state = self.state.lock();
+        let before = state.map.len();
+        state
+            .map
+            .retain(|k, _| k.stats_epoch == stats_epoch && k.quarantine_fp == quarantine_fp);
+        let dropped = (before - state.map.len()) as u64;
+        self.invalidations.add(dropped);
+        dropped
+    }
+
+    /// Looks up a plan. Counted as a hit only when the key matches **and**
+    /// the served (best) plan's constraint-dependency set is disjoint from
+    /// `quarantined` — a cached plan licensed by a quarantined constraint
+    /// is removed and reported as a miss (the correctness guard).
+    pub fn lookup(&self, key: &PlanKey, quarantined: &[String]) -> Option<Arc<Explain>> {
+        let mut state = self.state.lock();
+        state.clock += 1;
+        let clock = state.clock;
+        let Some(entry) = state.map.get_mut(key) else {
+            self.misses.inc();
+            return None;
+        };
+        let tainted = entry
+            .explain
+            .best()
+            .dependencies
+            .iter()
+            .any(|d| quarantined.iter().any(|q| *q == d.key()));
+        if tainted {
+            state.map.remove(key);
+            self.quarantine_rejections.inc();
+            self.misses.inc();
+            return None;
+        }
+        entry.last_used = clock;
+        let plan = Arc::clone(&entry.explain);
+        self.hits.inc();
+        Some(plan)
+    }
+
+    /// Inserts a plan, evicting the least-recently-used entry when full.
+    pub fn insert(&self, key: PlanKey, explain: Arc<Explain>) {
+        let mut state = self.state.lock();
+        state.clock += 1;
+        let clock = state.clock;
+        if !state.map.contains_key(&key) && state.map.len() >= self.capacity {
+            if let Some(victim) = state
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                state.map.remove(&victim);
+                self.evictions.inc();
+            }
+        }
+        state.map.insert(
+            key,
+            Entry {
+                explain,
+                last_used: clock,
+            },
+        );
+    }
+
+    /// Drops one entry (e.g. a plan whose audit just failed).
+    pub fn remove(&self, key: &PlanKey) -> bool {
+        let removed = self.state.lock().map.remove(key).is_some();
+        if removed {
+            self.invalidations.inc();
+        }
+        removed
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.state.lock().map.len()
+    }
+
+    /// True when the cache holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+            invalidations: self.invalidations.get(),
+            quarantine_rejections: self.quarantine_rejections.get(),
+            entries: self.len(),
+        }
+    }
+}
+
+/// A point-in-time copy of the plan-cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to optimize (absent, invalidated, or rejected).
+    pub misses: u64,
+    /// Entries evicted by the LRU capacity bound.
+    pub evictions: u64,
+    /// Entries purged by epoch/fingerprint sync or explicit removal.
+    pub invalidations: u64,
+    /// Hits refused because the plan depended on a quarantined constraint.
+    pub quarantine_rejections: u64,
+    /// Entries resident right now (a gauge).
+    pub entries: usize,
+}
+
+impl PlanCacheStats {
+    /// Hit rate over all lookups, in `[0, 1]`; 0 when nothing was looked
+    /// up yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wvcore::{CandidatePlan, ConstraintDependency};
+
+    fn key(q: &str, epoch: u64, fp: u64) -> PlanKey {
+        PlanKey {
+            query: q.to_string(),
+            stats_epoch: epoch,
+            quarantine_fp: fp,
+        }
+    }
+
+    // A minimal Explain whose best plan depends on the given constraints.
+    fn explain_with(deps: Vec<ConstraintDependency>) -> Arc<Explain> {
+        let expr = nalg::NalgExpr::entry("HomePage");
+        let estimate = wvcore::cost::estimate(
+            &expr,
+            &websim::sitegen::university::university_scheme(),
+            &wvcore::SiteStatistics::default(),
+        )
+        .expect("entry estimates");
+        Arc::new(Explain {
+            query: "q".to_string(),
+            candidates: vec![CandidatePlan {
+                expr,
+                estimate,
+                dependencies: deps,
+            }],
+            quarantined: Vec::new(),
+        })
+    }
+
+    fn link_dep() -> ConstraintDependency {
+        let ws = websim::sitegen::university::university_scheme();
+        ConstraintDependency::Link(ws.link_constraints()[0].clone())
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        assert_eq!(quarantine_fingerprint(&[]), 0);
+        let a = vec!["c1".to_string(), "c2".to_string()];
+        assert_eq!(quarantine_fingerprint(&a), quarantine_fingerprint(&a));
+        assert_ne!(
+            quarantine_fingerprint(&a),
+            quarantine_fingerprint(&["c1".to_string()])
+        );
+        // Not concatenation-confusable: ["ab"] vs ["a","b"].
+        assert_ne!(
+            quarantine_fingerprint(&["ab".to_string()]),
+            quarantine_fingerprint(&["a".to_string(), "b".to_string()])
+        );
+    }
+
+    #[test]
+    fn hit_miss_and_lru_eviction() {
+        let cache = PlanCache::new(2);
+        assert!(cache.lookup(&key("q1", 0, 0), &[]).is_none());
+        cache.insert(key("q1", 0, 0), explain_with(vec![]));
+        cache.insert(key("q2", 0, 0), explain_with(vec![]));
+        assert!(cache.lookup(&key("q1", 0, 0), &[]).is_some());
+        // q2 is now least recently used; inserting q3 evicts it.
+        cache.insert(key("q3", 0, 0), explain_with(vec![]));
+        assert!(cache.lookup(&key("q2", 0, 0), &[]).is_none());
+        assert!(cache.lookup(&key("q1", 0, 0), &[]).is_some());
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.entries, 2);
+    }
+
+    #[test]
+    fn sync_purges_stale_epochs_and_fingerprints() {
+        let cache = PlanCache::new(8);
+        cache.insert(key("q1", 0, 0), explain_with(vec![]));
+        cache.insert(key("q2", 0, 7), explain_with(vec![]));
+        cache.insert(key("q3", 1, 0), explain_with(vec![]));
+        assert_eq!(cache.sync(1, 0), 2, "old epoch and old fingerprint go");
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup(&key("q3", 1, 0), &[]).is_some());
+        assert_eq!(cache.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn quarantined_dependency_is_never_served() {
+        let cache = PlanCache::new(8);
+        let dep = link_dep();
+        cache.insert(key("q", 0, 0), explain_with(vec![dep.clone()]));
+        // Clean quarantine set: served.
+        assert!(cache.lookup(&key("q", 0, 0), &[]).is_some());
+        // The plan's own constraint is quarantined: refused AND removed,
+        // even though the key (with its stale fingerprint) still matches.
+        assert!(cache.lookup(&key("q", 0, 0), &[dep.key()]).is_none());
+        assert!(cache.lookup(&key("q", 0, 0), &[]).is_none(), "entry gone");
+        let s = cache.stats();
+        assert_eq!(s.quarantine_rejections, 1);
+    }
+
+    #[test]
+    fn registers_under_serve_prefix() {
+        let cache = PlanCache::new(2);
+        let _ = cache.lookup(&key("q", 0, 0), &[]);
+        cache.insert(key("q", 0, 0), explain_with(vec![]));
+        let _ = cache.lookup(&key("q", 0, 0), &[]);
+        let prom = cache.metrics().render_prometheus();
+        assert!(prom.contains("serve_plan_hits 1"));
+        assert!(prom.contains("serve_plan_misses 1"));
+        assert!(prom.contains("serve_plan_evictions 0"));
+    }
+}

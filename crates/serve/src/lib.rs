@@ -1,0 +1,194 @@
+//! # serve — the multi-tenant query-serving layer
+//!
+//! The paper optimizes one query at a time; production is a long-lived
+//! server fielding many concurrent sessions over one site — interactive,
+//! read-heavy, and heavily skewed toward a few popular queries. This
+//! crate supplies the layer that exploits exactly that shape:
+//!
+//! * [`PlanCache`] — repeated queries skip rule 1–9 enumeration: plans
+//!   are cached under `(normalized query AST, statistics epoch,
+//!   quarantine fingerprint)` and explicitly invalidated when statistics
+//!   are recollected or [`resilience::ConstraintHealth`]
+//!   quarantines/readmits a constraint, with hit/miss/evict counters
+//!   under the `serve` metrics prefix;
+//! * [`QueryServer`] — admission control (bounded concurrent sessions,
+//!   shed-with-partial beyond the limit, via
+//!   [`resilience::AdmissionControl`]), a cheap borrowed
+//!   [`wvcore::QuerySession`] per request, and audit-driven cache
+//!   poisoning control;
+//! * pairs with [`nalg::CoalescingSource`] so concurrent sessions
+//!   chasing the same hot URL share one in-flight GET.
+//!
+//! Everything stays **paper-blind**: plan caching and coalescing change
+//! server CPU and GET counts only — every session's answer rows and
+//! `page_accesses` are byte-identical to an unserved sequential run
+//! (pinned by `tests/serving.rs` at the workspace root).
+//!
+//! ```
+//! use serve::QueryServer;
+//! use websim::sitegen::{University, UniversityConfig};
+//! use wvcore::views::university_catalog;
+//! use wvcore::{ConjunctiveQuery, LiveSource, SiteStatistics};
+//!
+//! let site = University::generate(UniversityConfig::default()).unwrap();
+//! let stats = SiteStatistics::from_site(&site.site);
+//! let catalog = university_catalog();
+//! let live = LiveSource::for_site(&site.site);
+//! let coalesced = nalg::CoalescingSource::new(&live);
+//! let server = QueryServer::new(&site.site.scheme, &catalog, &stats, &coalesced);
+//!
+//! let q = ConjunctiveQuery::new("full professors")
+//!     .atom("Professor")
+//!     .select((0, "Rank"), "Full")
+//!     .project((0, "PName"));
+//! let first = server.serve(&q).unwrap();
+//! let second = server.serve(&q).unwrap();
+//! assert!(!first.cached_plan && second.cached_plan);
+//! assert_eq!(server.stats().plan_cache.hits, 1);
+//! ```
+
+pub mod cache;
+pub mod server;
+
+pub use cache::{quarantine_fingerprint, PlanCache, PlanCacheStats, PlanKey};
+pub use server::{QueryServer, ServeOutcome, ServerStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websim::sitegen::{University, UniversityConfig};
+    use wvcore::views::university_catalog;
+    use wvcore::{ConjunctiveQuery, LiveSource, SiteStatistics};
+
+    fn query(name: &str) -> ConjunctiveQuery {
+        match name {
+            "profs" => ConjunctiveQuery::new("profs")
+                .atom("Professor")
+                .select((0, "Rank"), "Full")
+                .project((0, "PName")),
+            "depts" => ConjunctiveQuery::new("depts")
+                .atom("Dept")
+                .project((0, "DName"))
+                .project((0, "Address")),
+            other => panic!("unknown query {other}"),
+        }
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_plan_cache_with_identical_answers() {
+        let u = University::generate(UniversityConfig::default()).unwrap();
+        let stats = SiteStatistics::from_site(&u.site);
+        let catalog = university_catalog();
+        let source = LiveSource::for_site(&u.site);
+        let server = QueryServer::new(&u.site.scheme, &catalog, &stats, &source);
+        let q = query("profs");
+        let cold = server.serve(&q).unwrap();
+        let warm = server.serve(&q).unwrap();
+        assert!(!cold.cached_plan);
+        assert!(warm.cached_plan);
+        let (cold, warm) = (cold.outcome.unwrap(), warm.outcome.unwrap());
+        assert_eq!(cold.report.relation.sorted(), warm.report.relation.sorted());
+        assert_eq!(cold.report.page_accesses, warm.report.page_accesses);
+        // A differently *named* but identical query still hits.
+        let renamed = query("profs");
+        let mut renamed = renamed;
+        renamed.name = "another label".to_string();
+        assert!(server.serve(&renamed).unwrap().cached_plan);
+        let s = server.stats();
+        assert_eq!((s.plan_cache.hits, s.plan_cache.misses), (2, 1));
+        assert_eq!(s.requests, 3);
+    }
+
+    #[test]
+    fn recollecting_statistics_invalidates_cached_plans() {
+        let u = University::generate(UniversityConfig::default()).unwrap();
+        let stats = SiteStatistics::from_site(&u.site);
+        let stats2 = stats.clone();
+        let catalog = university_catalog();
+        let source = LiveSource::for_site(&u.site);
+        let server = QueryServer::new(&u.site.scheme, &catalog, &stats, &source);
+        let q = query("depts");
+        server.serve(&q).unwrap();
+        assert!(server.serve(&q).unwrap().cached_plan);
+        assert_eq!(server.recollect_statistics(&stats2), 1);
+        assert_eq!(server.stats_epoch(), 1);
+        let refreshed = server.serve(&q).unwrap();
+        assert!(!refreshed.cached_plan, "old-epoch plan must not serve");
+        let s = server.stats();
+        assert!(s.plan_cache.invalidations >= 1);
+        // …and the re-optimized plan caches under the new epoch.
+        assert!(server.serve(&q).unwrap().cached_plan);
+    }
+
+    #[test]
+    fn admission_sheds_beyond_capacity_with_partial_outcome() {
+        let u = University::generate(UniversityConfig::default()).unwrap();
+        let stats = SiteStatistics::from_site(&u.site);
+        let catalog = university_catalog();
+        let source = LiveSource::for_site(&u.site);
+        let server =
+            QueryServer::new(&u.site.scheme, &catalog, &stats, &source).with_admission_capacity(1);
+        // Hold the only slot, then serve: the request is shed, not run.
+        let permit = server.admission().try_admit().expect("slot");
+        let shed = server.serve(&query("profs")).unwrap();
+        assert!(shed.shed && !shed.is_complete());
+        assert!(shed.outcome.is_none(), "no rows: an empty partial answer");
+        drop(permit);
+        let ok = server.serve(&query("profs")).unwrap();
+        assert!(ok.is_complete() && ok.outcome.is_some());
+        let s = server.stats();
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.requests, 2);
+    }
+
+    #[test]
+    fn serve_metrics_register_under_serve_prefix() {
+        let u = University::generate(UniversityConfig::default()).unwrap();
+        let stats = SiteStatistics::from_site(&u.site);
+        let catalog = university_catalog();
+        let source = LiveSource::for_site(&u.site);
+        let server = QueryServer::new(&u.site.scheme, &catalog, &stats, &source);
+        server.serve(&query("profs")).unwrap();
+        server.serve(&query("profs")).unwrap();
+        let prom = server.metrics().render_prometheus();
+        assert!(prom.contains("serve_requests 2"));
+        assert!(prom.contains("serve_plan_hits 1"));
+        assert!(prom.contains("serve_plan_misses 1"));
+        assert!(prom.contains("serve_shed 0"));
+    }
+
+    #[test]
+    fn concurrent_serving_matches_sequential_answers() {
+        let u = University::generate(UniversityConfig::default()).unwrap();
+        let stats = SiteStatistics::from_site(&u.site);
+        let catalog = university_catalog();
+        let live = LiveSource::for_site(&u.site);
+        let coalesced = nalg::CoalescingSource::new(&live);
+        let server = QueryServer::new(&u.site.scheme, &catalog, &stats, &coalesced)
+            .with_admission_capacity(16);
+        let oracle_profs = server.serve(&query("profs")).unwrap().outcome.unwrap();
+        let oracle_depts = server.serve(&query("depts")).unwrap().outcome.unwrap();
+        std::thread::scope(|scope| {
+            for i in 0..8 {
+                let (server, oracle_profs, oracle_depts) = (&server, &oracle_profs, &oracle_depts);
+                scope.spawn(move || {
+                    let (q, oracle) = if i % 2 == 0 {
+                        (query("profs"), oracle_profs)
+                    } else {
+                        (query("depts"), oracle_depts)
+                    };
+                    let out = server.serve(&q).unwrap().outcome.unwrap();
+                    assert_eq!(
+                        out.report.relation.sorted(),
+                        oracle.report.relation.sorted()
+                    );
+                    assert_eq!(out.report.page_accesses, oracle.report.page_accesses);
+                });
+            }
+        });
+        let s = server.stats();
+        assert_eq!(s.requests, 10);
+        assert_eq!(s.shed, 0);
+        assert_eq!(s.plan_cache.hits, 8, "both plans cached after the oracles");
+    }
+}

@@ -1,0 +1,284 @@
+//! The long-lived query server: admission → plan cache → session.
+//!
+//! A [`QueryServer`] owns what is shared between concurrent sessions over
+//! one site — the plan cache, the admission gate, the statistics epoch,
+//! and optional shared page cache / constraint health — and builds a
+//! cheap borrowed [`QuerySession`] per request. `serve` is `&self` and
+//! thread-safe: N serving threads call it concurrently over one server.
+//!
+//! Per request:
+//! 1. **admission** — beyond the concurrency limit the request is shed
+//!    immediately: an empty, explicitly incomplete answer in the spirit
+//!    of [`nalg::DegradationMode::Partial`], never an error or a queue;
+//! 2. **health tick** — one logical tick per served request (exactly like
+//!    [`QuerySession::run`]), so quarantine TTLs age identically whether
+//!    plans come from the cache or the optimizer;
+//! 3. **plan cache** — lookup under the current
+//!    `(normalized query, statistics epoch, quarantine fingerprint)`;
+//!    a hit skips rule 1–9 enumeration via
+//!    [`QuerySession::run_planned`], a miss optimizes and fills the
+//!    cache;
+//! 4. **audit settlement** — when runtime auditing catches a violated
+//!    plan assumption, the drift fallback answers (as in `run`) and the
+//!    poisoned plan is dropped from the cache.
+
+use crate::cache::{quarantine_fingerprint, PlanCache, PlanCacheStats};
+use adm::WebScheme;
+use nalg::{DegradationMode, PageSource, SharedPageCache};
+use obs::{Counter, MetricsRegistry};
+use parking_lot::RwLock;
+use resilience::{AdmissionControl, AdmissionStats, ConstraintHealth};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use wvcore::{ConjunctiveQuery, QueryOutcome, QuerySession, Result, SiteStatistics, ViewCatalog};
+
+/// What the server answered for one request.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// The executed query's outcome; `None` when the request was shed at
+    /// admission (an empty partial answer: no rows, not complete).
+    pub outcome: Option<QueryOutcome>,
+    /// True when the plan came from the cache (rule 1–9 enumeration was
+    /// skipped).
+    pub cached_plan: bool,
+    /// True when admission control shed this request.
+    pub shed: bool,
+}
+
+impl ServeOutcome {
+    /// True when the answer covers the whole query — i.e. the request was
+    /// not shed (a shed answer is an empty `Partial`-style result).
+    pub fn is_complete(&self) -> bool {
+        !self.shed
+    }
+}
+
+/// A multi-tenant serving layer over one site. `S` must be `Sync` — the
+/// whole point is concurrent sessions sharing one source (typically a
+/// [`nalg::CoalescingSource`] stacked on the live/resilient source).
+pub struct QueryServer<'a, S: PageSource + Sync> {
+    ws: &'a WebScheme,
+    catalog: &'a ViewCatalog,
+    stats: RwLock<&'a SiteStatistics>,
+    source: &'a S,
+    stats_epoch: AtomicU64,
+    plan_cache: PlanCache,
+    admission: AdmissionControl,
+    health: Option<&'a ConstraintHealth>,
+    shared_cache: Option<&'a SharedPageCache>,
+    degradation: DegradationMode,
+    audit: Option<(f64, u64)>,
+    fetch_workers: Option<usize>,
+    registry: MetricsRegistry,
+    requests: Counter,
+    shed: Counter,
+}
+
+impl<'a, S: PageSource + Sync> QueryServer<'a, S> {
+    /// A server with default policy: 64 cached plans, 8 concurrent
+    /// sessions, fail-fast degradation, no audit, sequential fetches.
+    pub fn new(
+        ws: &'a WebScheme,
+        catalog: &'a ViewCatalog,
+        stats: &'a SiteStatistics,
+        source: &'a S,
+    ) -> Self {
+        let registry = MetricsRegistry::with_prefix("serve");
+        QueryServer {
+            ws,
+            catalog,
+            stats: RwLock::new(stats),
+            source,
+            stats_epoch: AtomicU64::new(0),
+            plan_cache: PlanCache::with_registry(64, &registry),
+            admission: AdmissionControl::new(8),
+            health: None,
+            shared_cache: None,
+            degradation: DegradationMode::FailFast,
+            audit: None,
+            fetch_workers: None,
+            requests: registry.counter("requests"),
+            shed: registry.counter("shed"),
+            registry,
+        }
+    }
+
+    /// Sets the plan-cache capacity (builder style).
+    pub fn with_plan_cache_capacity(mut self, capacity: usize) -> Self {
+        self.plan_cache = PlanCache::with_registry(capacity, &self.registry);
+        self
+    }
+
+    /// Sets the admission limit: at most `capacity` concurrent sessions,
+    /// the rest shed (builder style).
+    pub fn with_admission_capacity(mut self, capacity: usize) -> Self {
+        self.admission = AdmissionControl::new(capacity);
+        self
+    }
+
+    /// Attaches a [`ConstraintHealth`] registry — quarantines invalidate
+    /// cached plans and bar constraints from licensing new ones.
+    pub fn with_constraint_health(mut self, health: &'a ConstraintHealth) -> Self {
+        self.health = Some(health);
+        self
+    }
+
+    /// Shares a cross-query page cache between every served session.
+    pub fn with_shared_cache(mut self, cache: &'a SharedPageCache) -> Self {
+        self.shared_cache = Some(cache);
+        self
+    }
+
+    /// Sets the degradation mode of served sessions (see
+    /// [`QuerySession::with_degradation`]).
+    pub fn with_degradation(mut self, mode: DegradationMode) -> Self {
+        self.degradation = mode;
+        self
+    }
+
+    /// Enables runtime constraint auditing on served sessions (see
+    /// [`QuerySession::with_audit`]).
+    pub fn with_audit(mut self, rate: f64, seed: u64) -> Self {
+        self.audit = (rate > 0.0).then_some((rate.min(1.0), seed));
+        self
+    }
+
+    /// Served sessions evaluate with a pool of `workers` fetch threads.
+    pub fn with_concurrent_fetch(mut self, workers: usize) -> Self {
+        self.fetch_workers = Some(workers.max(1));
+        self
+    }
+
+    /// The `serve`-prefixed registry (requests, shed, plan-cache
+    /// counters).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The plan cache (inspection/reporting).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
+    }
+
+    /// The admission gate (inspection/reporting).
+    pub fn admission(&self) -> &AdmissionControl {
+        &self.admission
+    }
+
+    /// The current statistics epoch (starts at 0, bumped by
+    /// [`QueryServer::recollect_statistics`]).
+    pub fn stats_epoch(&self) -> u64 {
+        self.stats_epoch.load(Ordering::SeqCst)
+    }
+
+    /// Swaps in freshly collected statistics: bumps the epoch and
+    /// explicitly invalidates every cached plan (their cost ranking was
+    /// computed against the old statistics). Returns the new epoch.
+    pub fn recollect_statistics(&self, stats: &'a SiteStatistics) -> u64 {
+        let epoch = {
+            let mut slot = self.stats.write();
+            *slot = stats;
+            self.stats_epoch.fetch_add(1, Ordering::SeqCst) + 1
+        };
+        self.plan_cache.sync(epoch, self.current_quarantine_fp().1);
+        epoch
+    }
+
+    fn current_quarantine_fp(&self) -> (Vec<String>, u64) {
+        let quarantined = self.health.map(|h| h.quarantined()).unwrap_or_default();
+        let fp = quarantine_fingerprint(&quarantined);
+        (quarantined, fp)
+    }
+
+    /// Builds the per-request session over the current statistics.
+    fn session(&self) -> QuerySession<'a, S> {
+        let stats: &'a SiteStatistics = *self.stats.read();
+        let mut session = QuerySession::new(self.ws, self.catalog, stats, self.source)
+            .with_degradation(self.degradation);
+        if let Some(cache) = self.shared_cache {
+            session = session.with_shared_cache(cache);
+        }
+        if let Some(h) = self.health {
+            session = session.with_constraint_health(h);
+        }
+        if let Some((rate, seed)) = self.audit {
+            session = session.with_audit(rate, seed);
+        }
+        if let Some(workers) = self.fetch_workers {
+            session = session.with_concurrent_fetch(workers);
+        }
+        session
+    }
+
+    /// Serves one query (thread-safe). See the module docs for the
+    /// admission → tick → plan-cache → settle pipeline.
+    pub fn serve(&self, q: &ConjunctiveQuery) -> Result<ServeOutcome> {
+        self.requests.inc();
+        let Some(_permit) = self.admission.try_admit() else {
+            self.shed.inc();
+            return Ok(ServeOutcome {
+                outcome: None,
+                cached_plan: false,
+                shed: true,
+            });
+        };
+        // One logical tick per served request, exactly like
+        // `QuerySession::run`; re-admissions change the quarantine set,
+        // which the sync below turns into explicit invalidation.
+        if let Some(h) = self.health {
+            h.tick();
+        }
+        let epoch = self.stats_epoch();
+        let (quarantined, fp) = self.current_quarantine_fp();
+        self.plan_cache.sync(epoch, fp);
+        let key = crate::cache::PlanKey {
+            query: q.cache_key(),
+            stats_epoch: epoch,
+            quarantine_fp: fp,
+        };
+        let session = self.session();
+        let (explain, cached_plan) = match self.plan_cache.lookup(&key, &quarantined) {
+            Some(plan) => ((*plan).clone(), true),
+            None => (session.explain(q)?, false),
+        };
+        let outcome = session.run_planned(q, explain)?;
+        if outcome.fell_back() {
+            // The plan's own audit falsified it — never serve it again.
+            self.plan_cache.remove(&key);
+        } else if !cached_plan {
+            self.plan_cache
+                .insert(key, Arc::new(outcome.explain.clone()));
+        }
+        Ok(ServeOutcome {
+            outcome: Some(outcome),
+            cached_plan,
+            shed: false,
+        })
+    }
+
+    /// A point-in-time copy of every serving counter.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            requests: self.requests.get(),
+            shed: self.shed.get(),
+            stats_epoch: self.stats_epoch(),
+            plan_cache: self.plan_cache.stats(),
+            admission: self.admission.snapshot(),
+        }
+    }
+}
+
+/// A point-in-time copy of a server's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ServerStats {
+    /// Requests received (served + shed).
+    pub requests: u64,
+    /// Requests shed at admission.
+    pub shed: u64,
+    /// The statistics epoch at snapshot time.
+    pub stats_epoch: u64,
+    /// Plan-cache counters.
+    pub plan_cache: PlanCacheStats,
+    /// Admission counters.
+    pub admission: AdmissionStats,
+}

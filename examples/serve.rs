@@ -1,0 +1,103 @@
+//! The serving layer end to end: a multi-tenant [`QueryServer`] over the
+//! university site fields a concurrent mix of SQL queries through the
+//! plan cache and the single-flight fetch coalescer, then prints the
+//! serving counters next to the paper's per-query numbers.
+//!
+//! ```sh
+//! cargo run --example serve
+//! cargo run --example serve -- 32 8    # requests, workers
+//! ```
+
+use webviews::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let requests: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(24);
+    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+
+    let u = University::generate(UniversityConfig::default())?;
+    let stats = SiteStatistics::from_site(&u.site);
+    let catalog = university_catalog();
+
+    // The query mix: a skewed rotation over three SQL queries.
+    let mix: Vec<ConjunctiveQuery> = [
+        "SELECT PName FROM Professor WHERE Rank = 'Full'",
+        "SELECT PName FROM Professor WHERE Rank = 'Full'",
+        "SELECT p.PName, Email FROM Professor p, ProfDept pd \
+         WHERE p.PName = pd.PName AND pd.DName = 'Computer Science'",
+        "SELECT DName, Address FROM Dept",
+    ]
+    .iter()
+    .map(|sql| parse_query(sql, &catalog))
+    .collect::<Result<_, _>>()?;
+
+    // The serving stack: live site → single-flight coalescer → server.
+    // 2 ms of simulated latency per GET gives the coalescer overlapping
+    // fetches to merge.
+    u.site
+        .server
+        .set_latency(std::time::Duration::from_millis(2));
+    let live = LiveSource::for_site(&u.site);
+    let coalesced = CoalescingSource::new(&live);
+    let server = QueryServer::new(&u.site.scheme, &catalog, &stats, &coalesced)
+        .with_admission_capacity(workers);
+
+    println!("serving {requests} requests over {workers} workers...\n");
+    let t0 = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let (server, mix) = (&server, &mix);
+            scope.spawn(move || {
+                let mut i = w;
+                while i < requests {
+                    let q = &mix[i % mix.len()];
+                    let out = server.serve(q).expect("serve");
+                    let o = out.outcome.expect("not shed");
+                    println!(
+                        "  [{w}] {:<28} {:>3} rows, {:>3} page accesses, plan {}",
+                        q.name,
+                        o.report.relation.len(),
+                        o.report.page_accesses,
+                        if out.cached_plan {
+                            "cached"
+                        } else {
+                            "optimized"
+                        },
+                    );
+                    i += workers;
+                }
+            });
+        }
+    });
+    let wall = t0.elapsed();
+    u.site.server.set_latency(std::time::Duration::ZERO);
+
+    let s = server.stats();
+    let c = coalesced.stats();
+    println!(
+        "\n{requests} requests in {wall:.2?} ({:.0} req/s)",
+        requests as f64 / wall.as_secs_f64()
+    );
+    println!(
+        "plan cache: {} hits / {} misses ({:.0}% hit rate), {} entries",
+        s.plan_cache.hits,
+        s.plan_cache.misses,
+        s.plan_cache.hit_rate() * 100.0,
+        s.plan_cache.entries,
+    );
+    println!(
+        "coalescing: {} leaders, {} followers — {} server GETs saved",
+        c.leaders,
+        c.followers,
+        c.saved_gets()
+    );
+    println!(
+        "server GETs: {} (admission: {} admitted, {} shed, peak {} concurrent)",
+        u.site.server.stats().gets,
+        s.admission.admitted,
+        s.admission.shed,
+        s.admission.peak_active,
+    );
+    println!("\nmetrics:\n{}", server.metrics().render_prometheus());
+    Ok(())
+}

@@ -19,6 +19,7 @@
 //! | [`matview`] | materialized views: URLCheck, Algorithm 3 lazy maintenance |
 //! | [`resilience`] | fault tolerance: retry policies, circuit breakers, partial-result degradation over a chaos-capable web |
 //! | [`obs`] | observability: structured tracing, metrics registry, EXPLAIN ANALYZE plumbing |
+//! | [`serve`] | multi-tenant serving: plan cache, admission control, single-flight fetch coalescing |
 //!
 //! ## Quickstart
 //!
@@ -51,6 +52,7 @@ pub use matview;
 pub use nalg;
 pub use obs;
 pub use resilience;
+pub use serve;
 pub use websim;
 pub use wrapper;
 pub use wvcore;
@@ -63,11 +65,14 @@ pub mod prelude {
         Value, WebScheme, WebType,
     };
     pub use matview::{MatAnalyzedOutcome, MatOutcome, MatSession, MatStore};
-    pub use nalg::{DegradationMode, EvalReport, Evaluator, NalgExpr, PageSource, Pred};
+    pub use nalg::{
+        CoalescingSource, DegradationMode, EvalReport, Evaluator, NalgExpr, PageSource, Pred,
+    };
     pub use obs::{EventKind, MetricsRegistry, TraceSink};
     pub use resilience::{
         ConstraintHealth, ResilienceSnapshot, ResilientServer, ResilientSource, RetryPolicy,
     };
+    pub use serve::{PlanCache, QueryServer, ServeOutcome, ServerStats};
     pub use websim::mutation::{DriftPlan, DriftRule};
     pub use websim::sitegen::{BibConfig, Bibliography, University, UniversityConfig};
     pub use websim::{FaultPlan, FaultRule, Site, VirtualServer};
@@ -127,5 +132,54 @@ mod tests {
         let again = session.run(&q).unwrap();
         assert!(!again.fell_back());
         assert!(again.explain.report().contains("quarantined (excluded"));
+    }
+
+    // The README's "Running the server workload" walkthrough: a shared
+    // QueryServer over a coalescing source serves concurrent sessions,
+    // repeated queries hit the plan cache, and the answers stay
+    // byte-identical to a plain sequential session.
+    #[test]
+    fn readme_serving_walkthrough() {
+        let site = University::generate(UniversityConfig::default()).unwrap();
+        let stats = SiteStatistics::from_site(&site.site);
+        let catalog = university_catalog();
+        let live = LiveSource::for_site(&site.site);
+        let coalesced = CoalescingSource::new(&live);
+        let server = QueryServer::new(&site.site.scheme, &catalog, &stats, &coalesced)
+            .with_admission_capacity(4);
+
+        let q = ConjunctiveQuery::new("full professors")
+            .atom("Professor")
+            .select((0, "Rank"), "Full")
+            .project((0, "PName"));
+        let baseline = QuerySession::new(&site.site.scheme, &catalog, &stats, &live)
+            .run(&q)
+            .unwrap();
+
+        // First request optimizes and fills the plan cache...
+        assert!(!server.serve(&q).unwrap().cached_plan);
+        // ...then concurrent sessions reuse the plan and share fetches.
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let (server, q, baseline) = (&server, &q, &baseline);
+                scope.spawn(move || {
+                    let out = server.serve(q).unwrap();
+                    assert!(out.cached_plan);
+                    let out = out.outcome.unwrap();
+                    assert_eq!(
+                        out.report.relation.sorted(),
+                        baseline.report.relation.sorted()
+                    );
+                    assert_eq!(out.report.page_accesses, baseline.report.page_accesses);
+                });
+            }
+        });
+        let s = server.stats();
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.plan_cache.hits, 3, "one miss fills, the rest hit");
+        assert!(server
+            .metrics()
+            .render_prometheus()
+            .contains("serve_requests 4"));
     }
 }

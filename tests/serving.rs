@@ -1,0 +1,315 @@
+//! Serving-layer equivalence and regression suite.
+//!
+//! The serving layer's contract is that it is invisible to the paper's
+//! accounting: a Zipf-skewed concurrent run through the plan cache and
+//! the single-flight fetch coalescer returns byte-identical rows and
+//! identical per-session `page_accesses` to a sequential uncached run of
+//! the same schedule. Coalescing may only shrink *server GET* counts —
+//! never a session's page-access numbers (E1–E8 are coalescing-blind).
+//! The drift regression pins the plan-cache/quarantine interaction: a
+//! cached plan must never outlive the quarantine of a constraint it
+//! depends on.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::OnceLock;
+use webviews::prelude::*;
+use webviews::serve::QueryServer;
+
+fn workload() -> Vec<ConjunctiveQuery> {
+    vec![
+        ConjunctiveQuery::new("full professors")
+            .atom("Professor")
+            .select((0, "Rank"), "Full")
+            .project((0, "PName")),
+        ConjunctiveQuery::new("CS professors")
+            .atom("Professor")
+            .atom("ProfDept")
+            .join((0, "PName"), (1, "PName"))
+            .select((1, "DName"), "Computer Science")
+            .project((0, "PName"))
+            .project((0, "Email")),
+        ConjunctiveQuery::new("example 7.1")
+            .atom("Professor")
+            .atom("CourseInstructor")
+            .atom("Course")
+            .join((0, "PName"), (1, "PName"))
+            .join((1, "CName"), (2, "CName"))
+            .select((0, "Rank"), "Full")
+            .select((2, "Session"), "Fall")
+            .project((2, "CName"))
+            .project((2, "Description")),
+        ConjunctiveQuery::new("departments")
+            .atom("Dept")
+            .project((0, "DName"))
+            .project((0, "Address")),
+        ConjunctiveQuery::new("fall graduate courses")
+            .atom("Course")
+            .select((0, "Session"), "Fall")
+            .select((0, "Type"), "Graduate")
+            .project((0, "CName")),
+    ]
+}
+
+/// One fixed university site + statistics + per-query oracle, shared by
+/// every proptest case (generation is deterministic, so sharing is safe).
+struct Fixture {
+    site: University,
+    stats: SiteStatistics,
+    catalog: ViewCatalog,
+    oracle: Vec<(Relation, u64)>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let site = University::generate(UniversityConfig::default()).unwrap();
+        let stats = SiteStatistics::from_site(&site.site);
+        let catalog = university_catalog();
+        let source = LiveSource::for_site(&site.site);
+        let oracle = workload()
+            .iter()
+            .map(|q| {
+                let out = QuerySession::new(&site.site.scheme, &catalog, &stats, &source)
+                    .run(q)
+                    .unwrap();
+                (out.report.relation.sorted(), out.report.page_accesses)
+            })
+            .collect();
+        Fixture {
+            site,
+            stats,
+            catalog,
+            oracle,
+        }
+    })
+}
+
+/// A seeded Zipf-skewed schedule of query indices (rank r weighted 1/r).
+fn zipf_schedule(seed: u64, n: usize, count: usize) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cdf = Vec::with_capacity(n);
+    let mut total = 0.0f64;
+    for rank in 1..=n {
+        total += 1.0 / rank as f64;
+        cdf.push(total);
+    }
+    (0..count)
+        .map(|_| {
+            let x = rng.gen_range(0.0..total);
+            cdf.iter().position(|&c| x < c).unwrap_or(n - 1)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // Satellite pin: a concurrent, coalesced, plan-cached Zipf run is
+    // byte-identical (rows and per-session page accesses) to the
+    // sequential uncached oracle, for every schedule seed.
+    #[test]
+    fn concurrent_coalesced_serving_equals_sequential_uncached(seed in 0u64..500) {
+        let f = fixture();
+        let queries = workload();
+        let schedule = zipf_schedule(seed, queries.len(), 24);
+        let live = LiveSource::for_site(&f.site.site);
+        let coalesced = nalg::CoalescingSource::new(&live);
+        let server = QueryServer::new(&f.site.site.scheme, &f.catalog, &f.stats, &coalesced)
+            .with_admission_capacity(4);
+        std::thread::scope(|scope| {
+            for w in 0..4usize {
+                let (server, schedule, queries, f) = (&server, &schedule, &queries, &f);
+                scope.spawn(move || {
+                    let mut i = w;
+                    while i < schedule.len() {
+                        let qi = schedule[i];
+                        let out = server.serve(&queries[qi]).unwrap().outcome.unwrap();
+                        assert_eq!(
+                            out.report.relation.sorted(),
+                            f.oracle[qi].0,
+                            "rows diverged for {:?} (seed {seed})",
+                            queries[qi].name
+                        );
+                        assert_eq!(
+                            out.report.page_accesses,
+                            f.oracle[qi].1,
+                            "page accesses diverged for {:?} (seed {seed})",
+                            queries[qi].name
+                        );
+                        i += 4;
+                    }
+                });
+            }
+        });
+        let s = server.stats();
+        prop_assert_eq!(s.requests, 24);
+        prop_assert_eq!(s.shed, 0);
+        // 24 requests over 5 distinct plans: the cache must be hitting.
+        // (Concurrent cold lookups of one query may each miss, so the
+        // floor is requests − queries×workers, not requests − queries.)
+        prop_assert!(s.plan_cache.hits >= 24 - (queries.len() * 4) as u64);
+        prop_assert_eq!(s.plan_cache.hits + s.plan_cache.misses, 24);
+    }
+}
+
+// Coalescing-blind pin on one hot query: many concurrent sessions, every
+// session's page accesses equal the oracle's, while the server sees at
+// most the sequential GET count (single-flight can only remove GETs).
+#[test]
+fn coalescing_never_changes_page_accesses_and_only_removes_gets() {
+    // A private site: this test reads the server's GET counters, which
+    // the shared fixture's concurrent tests would pollute.
+    let u = University::generate(UniversityConfig::default()).unwrap();
+    let stats = SiteStatistics::from_site(&u.site);
+    let catalog = university_catalog();
+    let q = &workload()[1]; // CS professors: a multi-page navigation
+
+    let live = LiveSource::for_site(&u.site);
+    let oracle = {
+        let out = QuerySession::new(&u.site.scheme, &catalog, &stats, &live)
+            .run(q)
+            .unwrap();
+        (out.report.relation.sorted(), out.report.page_accesses)
+    };
+    u.site.server.reset_stats();
+    QuerySession::new(&u.site.scheme, &catalog, &stats, &live)
+        .run(q)
+        .unwrap();
+    let sequential_gets = u.site.server.stats().gets;
+
+    u.site
+        .server
+        .set_latency(std::time::Duration::from_millis(1));
+    u.site.server.reset_stats();
+    let coalesced = nalg::CoalescingSource::new(&live);
+    let server =
+        QueryServer::new(&u.site.scheme, &catalog, &stats, &coalesced).with_admission_capacity(6);
+    std::thread::scope(|scope| {
+        for _ in 0..6 {
+            let (server, oracle) = (&server, &oracle);
+            scope.spawn(move || {
+                let out = server.serve(q).unwrap().outcome.unwrap();
+                assert_eq!(out.report.relation.sorted(), oracle.0);
+                assert_eq!(out.report.page_accesses, oracle.1);
+            });
+        }
+    });
+    u.site.server.set_latency(std::time::Duration::ZERO);
+    let served_gets = u.site.server.stats().gets;
+    assert!(
+        served_gets <= 6 * sequential_gets,
+        "coalescing can only remove GETs: {served_gets} > 6×{sequential_gets}"
+    );
+    let c = coalesced.stats();
+    assert_eq!(
+        served_gets,
+        6 * sequential_gets - c.saved_gets(),
+        "every saved GET is an accounted follower"
+    );
+}
+
+// Drift regression: quarantining a constraint must invalidate every
+// cached plan that depended on it — a re-query after drift is detected
+// never answers from the stale plan.
+#[test]
+fn quarantine_invalidates_dependent_cached_plans() {
+    let mut site = University::generate(UniversityConfig::default()).unwrap();
+    // The optimizer's knowledge predates the drift.
+    let stats = SiteStatistics::from_site(&site.site);
+    let catalog = university_catalog();
+    let q = ConjunctiveQuery::new("cs-dept")
+        .atom("Dept")
+        .select((0, "DName"), "Computer Science")
+        .project((0, "Address"));
+
+    // Pristine phase: the constraint-licensed plan answers and is cached.
+    let health = ConstraintHealth::new();
+    {
+        let source = LiveSource::for_site(&site.site);
+        let server = QueryServer::new(&site.site.scheme, &catalog, &stats, &source)
+            .with_audit(1.0, 7)
+            .with_constraint_health(&health);
+        let cold = server.serve(&q).unwrap();
+        assert!(!cold.cached_plan && !cold.outcome.as_ref().unwrap().fell_back());
+        assert!(
+            server.serve(&q).unwrap().cached_plan,
+            "plan cached while healthy"
+        );
+    }
+
+    // The site drifts under the cached plan's feet.
+    DriftPlan::new(3)
+        .with_rule(DriftRule::perturb_attr("DeptPage", "DName", 1.0))
+        .apply(&mut site.site)
+        .unwrap();
+    let source = LiveSource::for_site(&site.site);
+    let server = QueryServer::new(&site.site.scheme, &catalog, &stats, &source)
+        .with_audit(1.0, 7)
+        .with_constraint_health(&health);
+
+    // Ground truth on the drifted site: the default navigation.
+    let naive = QuerySession::new(&site.site.scheme, &catalog, &stats, &source)
+        .with_mask(RuleMask::none())
+        .run(&q)
+        .unwrap();
+
+    // Post-drift serve 1: the audit catches the violation, the answer
+    // falls back (correct), and the poisoned plan is dropped — it is
+    // NOT left in the cache.
+    let caught = server.serve(&q).unwrap();
+    let out = caught.outcome.as_ref().unwrap();
+    assert!(out.fell_back(), "full audit must catch the drifted anchor");
+    assert_eq!(
+        out.report.relation.sorted(),
+        naive.report.relation.sorted(),
+        "fallback answers like the default navigation"
+    );
+    assert!(!health.quarantined().is_empty(), "violation quarantines");
+
+    // Post-drift serve 2: the quarantine changed the cache key space and
+    // bars the constraint, so this is a fresh optimization (never the
+    // stale plan) to a constraint-free plan that answers correctly
+    // without falling back.
+    let clean = server.serve(&q).unwrap();
+    assert!(
+        !clean.cached_plan,
+        "stale pre-quarantine plan must not serve"
+    );
+    let out = clean.outcome.as_ref().unwrap();
+    assert!(
+        !out.fell_back(),
+        "quarantine steers around the bad constraint"
+    );
+    assert_eq!(out.report.relation.sorted(), naive.report.relation.sorted());
+
+    // ...and the constraint-free plan is cacheable like any other.
+    assert!(server.serve(&q).unwrap().cached_plan);
+}
+
+// Statistics recollection on a live server: the epoch bump invalidates
+// every cached plan exactly once, and serving continues correctly.
+#[test]
+fn recollection_is_a_single_epoch_invalidation() {
+    let f = fixture();
+    let fresh = SiteStatistics::from_site(&f.site.site);
+    let live = LiveSource::for_site(&f.site.site);
+    let server = QueryServer::new(&f.site.site.scheme, &f.catalog, &f.stats, &live);
+    let queries = workload();
+    for q in &queries {
+        server.serve(q).unwrap();
+    }
+    assert_eq!(server.stats().plan_cache.entries, queries.len());
+    assert_eq!(server.recollect_statistics(&fresh), 1);
+    let s = server.stats();
+    assert_eq!(s.plan_cache.entries, 0, "every plan belonged to epoch 0");
+    assert_eq!(s.plan_cache.invalidations, queries.len() as u64);
+    for (i, q) in queries.iter().enumerate() {
+        let out = server.serve(q).unwrap();
+        assert!(!out.cached_plan);
+        let o = out.outcome.unwrap();
+        assert_eq!(o.report.relation.sorted(), f.oracle[i].0);
+        assert_eq!(o.report.page_accesses, f.oracle[i].1);
+    }
+}
