@@ -9,6 +9,7 @@
 //! cargo run --release -p bench --bin harness -- --explain-analyze
 //! cargo run --release -p bench --bin harness -- --explain-analyze --check 4.0
 //! cargo run --release -p bench --bin harness -- x5 --json --serve-check
+//! cargo run --release -p bench --bin harness -- x6 --json --dataflow-check
 //! cargo run --release -p bench --bin harness -- benchcmp old.json new.json
 //! ```
 //!
@@ -20,7 +21,10 @@
 //! per-operator predicted/observed page ratio exceeds `<tol>` — the CI
 //! drift gate. `--serve-check` runs X5 at smoke scale and exits non-zero
 //! unless the plan cache hit and every served answer matched the
-//! sequential-uncached oracle. `benchcmp <a> <b>` diffs two
+//! sequential-uncached oracle. `--dataflow-check` runs X6 at smoke scale
+//! and exits non-zero unless the delta path fetched strictly fewer pages
+//! than full refresh at equal answers, with the byte budget held and
+//! upqueries backfilling exactly. `benchcmp <a> <b>` diffs two
 //! `BENCH_<ID>.json` files cell by cell.
 
 use bench::table::Table;
@@ -53,6 +57,7 @@ fn main() {
     let check_value: Vec<String> = check.map(|t| t.to_string()).into_iter().collect();
     let drift_check = args.iter().any(|a| a == "--drift-check");
     let serve_check = args.iter().any(|a| a == "--serve-check");
+    let dataflow_check = args.iter().any(|a| a == "--dataflow-check");
     let passthrough = |a: &String| {
         a == "full"
             || a == "--markdown"
@@ -64,6 +69,7 @@ fn main() {
             || a == "--check"
             || a == "--drift-check"
             || a == "--serve-check"
+            || a == "--dataflow-check"
             || check_value.contains(a)
     };
     let want = |id: &str| {
@@ -268,6 +274,83 @@ fn main() {
                 "serve check ok: plan-cache hit rate {:.0}%, zero divergence, {:.1}% GETs saved by coalescing",
                 smoke.hit_rate * 100.0,
                 smoke.gets_saved_pct
+            );
+        }
+    }
+    if want("x6") || dataflow_check {
+        let cfg = if dataflow_check && !full {
+            // CI smoke scale: a small site, fewer rounds, tight budget.
+            bench::DataflowConfig {
+                rounds: 3,
+                departments: 3,
+                professors: 6,
+                courses: 8,
+                budget: 2048,
+                ..bench::DataflowConfig::default()
+            }
+        } else {
+            bench::DataflowConfig::default()
+        };
+        let t0 = Instant::now();
+        let smoke = x6_dataflow(&cfg);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        if markdown {
+            println!("{}", smoke.table.render_markdown());
+        } else {
+            println!("{}", smoke.table);
+        }
+        if json {
+            match bench::json::write_experiment_json_with_extras(
+                std::path::Path::new("."),
+                "x6",
+                &[
+                    ("site_seed", cfg.site_seed.to_string()),
+                    ("plan_seed", cfg.plan_seed.to_string()),
+                    ("rounds", cfg.rounds.to_string()),
+                    ("budget_bytes", cfg.budget.to_string()),
+                    (
+                        "scale",
+                        format!("{}d/{}p/{}c", cfg.departments, cfg.professors, cfg.courses),
+                    ),
+                ],
+                wall_ms,
+                &smoke.table,
+                &smoke.extras,
+            ) {
+                Ok(p) => eprintln!("wrote {}", p.display()),
+                Err(e) => eprintln!("BENCH_X6.json: {e}"),
+            }
+        }
+        if dataflow_check {
+            if smoke.delta_accesses >= smoke.refresh_accesses {
+                eprintln!(
+                    "dataflow check FAILED: delta fetched {} pages, full refresh {} — no win",
+                    smoke.delta_accesses, smoke.refresh_accesses
+                );
+                std::process::exit(1);
+            }
+            if !smoke.answers_match {
+                eprintln!("dataflow check FAILED: a maintained view diverged from live evaluation");
+                std::process::exit(1);
+            }
+            if !smoke.store_equivalent {
+                eprintln!("dataflow check FAILED: the delta store diverged from full refresh");
+                std::process::exit(1);
+            }
+            if !smoke.budget_held {
+                eprintln!("dataflow check FAILED: the budgeted store exceeded its byte budget");
+                std::process::exit(1);
+            }
+            if !smoke.backfill_identical || smoke.upqueries == 0 {
+                eprintln!("dataflow check FAILED: upqueries did not restore evicted pages exactly");
+                std::process::exit(1);
+            }
+            eprintln!(
+                "dataflow check ok: delta {} vs refresh {} page fetches ({}% saved), answers and store equivalent, budget held through {} upqueries",
+                smoke.delta_accesses,
+                smoke.refresh_accesses,
+                100 * (smoke.refresh_accesses - smoke.delta_accesses) / smoke.refresh_accesses.max(1),
+                smoke.upqueries
             );
         }
     }

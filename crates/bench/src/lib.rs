@@ -17,11 +17,13 @@
 //! | F1 | Figure 1 — the web schemes + constraint checks | [`f1_schemes`] |
 
 pub mod benchcmp;
+pub mod dataflow_x6;
 pub mod fixtures;
 pub mod json;
 pub mod serving;
 pub mod table;
 
+pub use dataflow_x6::{x6_dataflow, DataflowConfig, DataflowSmoke};
 pub use serving::{x5_serving, ServeLoadConfig, ServeSmoke};
 
 use fixtures::*;

@@ -1,0 +1,131 @@
+//! # dataflow — partially-stateful incremental view maintenance
+//!
+//! The paper's lazy protocol (Algorithm 3) re-checks a page whenever a
+//! query touches it, and the periodic consistency pass re-crawls the whole
+//! view. This crate adds the Noria-style alternative for sites that expose
+//! a change feed: propagate **deltas** instead of re-reading the world.
+//!
+//! * every [`websim::SiteChange`] becomes a ±page delta pushed through a
+//!   compiled operator tree over the existing σ/π/⋈/unnest/follow algebra
+//!   ([`ops`]): filters pass deltas through, projections fold them through
+//!   set-semantics counts, joins keep keyed state on both sides and apply
+//!   the bilinear rule `Δ(L⋈R) = ΔL⋈R_old + L_new⋈ΔR`, unnests fan out,
+//!   and follow resolves only the *touched* URLs;
+//! * state is **partial** ([`PartialStore`], follow slices): page payloads
+//!   and per-key operator slices are evictable under a configurable byte
+//!   budget (LRU, the `nalg::cache` shape), leaving behind a skeleton of
+//!   outlinks so reachability stays free;
+//! * a read that misses evicted state triggers a targeted **upquery** — a
+//!   bounded re-navigation of just the missing key, issued against the
+//!   ordinary [`websim::PageServer`] surface so it is counted in the
+//!   paper's page-access statistics like any other fetch (and can be
+//!   wrapped in a `resilience::ResilientServer` transparently);
+//! * registered queries keep a maintained answer ([`IncrementalView`])
+//!   that the serving layer reads directly, falling back to live
+//!   evaluation when an upquery fails and the view degrades.
+//!
+//! The per-page GET/HEAD counters stay paper-exact throughout: delta
+//! maintenance only ever touches the server for changed pages, fan-out
+//! discoveries, and upqueries — each a real, counted fetch.
+//!
+//! ```
+//! use dataflow::IncrementalView;
+//! use nalg::NalgExpr;
+//! use websim::sitegen::{University, UniversityConfig};
+//! use websim::{MutationPlan, MutationRule};
+//!
+//! let mut site = University::generate(UniversityConfig::default()).unwrap();
+//! let ws = site.site.scheme.clone();
+//!
+//! // materialize once, then register a view over the store
+//! let mut views = IncrementalView::new(&ws);
+//! views.materialize(&site.site.server).unwrap();
+//! views.set_cursor(site.site.change_cursor());
+//! let profs = NalgExpr::entry("DeptListPage")
+//!     .unnest("DeptList")
+//!     .follow("ToDept", "DeptPage")
+//!     .unnest("ProfList")
+//!     .follow("ToProf", "ProfPage")
+//!     .project(vec!["ProfPage.PName", "ProfPage.Rank"]);
+//! views.register("profs", "profs", &profs, &site.site.server).unwrap();
+//!
+//! // the site drifts: some professors change rank
+//! let plan = MutationPlan::new(5)
+//!     .with_rule(MutationRule::edit_attr("ProfPage", "Rank", 0.4));
+//! plan.apply_round(&mut site.site, 0).unwrap();
+//!
+//! // one sync drains the feed, fetching only the changed pages
+//! let report = views.sync(&site.site).unwrap();
+//! assert!(report.pages_fetched <= report.changes_seen);
+//! let answer = views.answer("profs").unwrap();   // matches live evaluation
+//! assert!(!answer.is_empty());
+//! ```
+
+pub mod delta;
+pub mod ops;
+pub mod store;
+pub mod view;
+
+pub use delta::PageDelta;
+pub use store::{PartialStore, StoreStats};
+pub use view::{DeltaReport, IncrementalView};
+
+use adm::Url;
+
+/// Errors of the incremental-maintenance layer.
+#[derive(Debug)]
+pub enum DataflowError {
+    /// An underlying ADM operation failed.
+    Adm(adm::AdmError),
+    /// Wrapping a fetched page failed.
+    Wrap(String),
+    /// Static analysis of a registered expression failed.
+    Eval(nalg::EvalError),
+    /// A registered expression cannot be maintained (e.g. external leaf).
+    NotMaintainable(String),
+    /// A targeted upquery could not complete (transient failure at the
+    /// server); the affected view degrades and the caller should fall
+    /// back to live evaluation.
+    Upquery {
+        /// The URL whose recomputation failed.
+        url: Url,
+        /// The underlying failure.
+        reason: String,
+    },
+    /// Needed operator state was evicted and could not be restored in
+    /// time; the view must rebuild from the store.
+    StateGone(String),
+    /// No view is registered under the given key.
+    UnknownView(String),
+}
+
+impl std::fmt::Display for DataflowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataflowError::Adm(e) => write!(f, "adm: {e}"),
+            DataflowError::Wrap(m) => write!(f, "wrap: {m}"),
+            DataflowError::Eval(e) => write!(f, "eval: {e}"),
+            DataflowError::NotMaintainable(m) => write!(f, "not maintainable: {m}"),
+            DataflowError::Upquery { url, reason } => write!(f, "upquery {url} failed: {reason}"),
+            DataflowError::StateGone(m) => write!(f, "state evicted: {m}"),
+            DataflowError::UnknownView(k) => write!(f, "no view registered for {k}"),
+        }
+    }
+}
+
+impl std::error::Error for DataflowError {}
+
+impl From<adm::AdmError> for DataflowError {
+    fn from(e: adm::AdmError) -> Self {
+        DataflowError::Adm(e)
+    }
+}
+
+impl From<nalg::EvalError> for DataflowError {
+    fn from(e: nalg::EvalError) -> Self {
+        DataflowError::Eval(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DataflowError>;

@@ -1,0 +1,907 @@
+//! Compiled operator trees: one node per NALG operator, each holding just
+//! enough state to turn page deltas into output-row deltas.
+//!
+//! * **entry** keeps its last expanded row (retraction needs no store);
+//! * **σ** is stateless — deltas pass through the predicate;
+//! * **π** keeps set-semantics counts and emits only 0↔positive
+//!   transitions (projection dedups, so a duplicate insert is silent);
+//! * **⋈** keeps keyed multisets of both inputs and applies the bilinear
+//!   rule `Δ(L⋈R) = ΔL ⋈ R_old + L_new ⋈ ΔR` (null keys never join);
+//! * **unnest** is stateless — each delta row fans out over its list;
+//! * **follow** keeps a per-target-URL *slice* of its input multiset, so a
+//!   page delta touches exactly the rows that point at it. Slices are the
+//!   evictable per-operator partial state: under a byte budget the
+//!   coldest slices are dropped, deltas aimed at a hole are discarded
+//!   (Noria-style), and a page change that needs a missing slice triggers
+//!   a targeted upquery — `prewarm` recomputes just that key's slice from
+//!   the *pre-delta* store, keeping the bilinear rule exact.
+
+use crate::delta::{add_row, row_bytes, PageDelta, RowDeltas, RowSet};
+use crate::store::PartialStore;
+use crate::{DataflowError, Result};
+use adm::{Url, Value, WebScheme};
+use nalg::expr::{field_of_column, resolve_column};
+use nalg::{NalgExpr, Pred};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use websim::PageServer;
+
+/// A predicate with its columns resolved to indices at compile time.
+#[derive(Debug, Clone)]
+enum RPred {
+    Eq(usize, Value),
+    EqAttr(usize, usize),
+    And(Vec<RPred>),
+}
+
+fn compile_pred(p: &Pred, cols: &[String]) -> Result<RPred> {
+    Ok(match p {
+        Pred::Eq(attr, v) => RPred::Eq(resolve_column(cols, attr)?, v.clone()),
+        Pred::EqAttr(a, b) => RPred::EqAttr(resolve_column(cols, a)?, resolve_column(cols, b)?),
+        Pred::And(ps) => RPred::And(
+            ps.iter()
+                .map(|p| compile_pred(p, cols))
+                .collect::<Result<_>>()?,
+        ),
+    })
+}
+
+fn eval_pred(p: &RPred, row: &[Value]) -> bool {
+    match p {
+        RPred::Eq(i, v) => &row[*i] == v,
+        RPred::EqAttr(i, j) => !row[*i].is_null() && row[*i] == row[*j],
+        RPred::And(ps) => ps.iter().all(|p| eval_pred(p, row)),
+    }
+}
+
+/// Expands a page into its row values: `URL` then one value per top-level
+/// field — exactly the evaluator's `expand_page` shape.
+fn expand(url: &Url, tuple: &adm::Tuple, fields: &[String]) -> Vec<Value> {
+    let mut vals = Vec::with_capacity(fields.len() + 1);
+    vals.push(Value::Link(url.clone()));
+    for f in fields {
+        vals.push(tuple.get(f).cloned().unwrap_or(Value::Null));
+    }
+    vals
+}
+
+fn concat(row: &[Value], vals: &[Value]) -> Vec<Value> {
+    let mut out = Vec::with_capacity(row.len() + vals.len());
+    out.extend_from_slice(row);
+    out.extend_from_slice(vals);
+    out
+}
+
+/// A store read that refuses to fill a hole for a page that is *dirty* —
+/// changed in the current sync batch but not yet applied. An upquery
+/// would see the post-change server and corrupt the bilinear rule, so
+/// the only safe answer is "that state is gone, rebuild".
+fn read_guarded(
+    store: &mut PartialStore,
+    ws: &WebScheme,
+    server: &impl PageServer,
+    url: &Url,
+    dirty: &HashSet<Url>,
+) -> Result<Option<(adm::Tuple, String)>> {
+    if dirty.contains(url) && store.knows(url) && store.resident(url).is_none() {
+        return Err(DataflowError::StateGone(format!(
+            "{url} changed this sync and its old payload is evicted"
+        )));
+    }
+    store.read(ws, server, url)
+}
+
+fn join_key(row: &[Value], idx: &[usize]) -> Option<Vec<Value>> {
+    let mut key = Vec::with_capacity(idx.len());
+    for i in idx {
+        if row[*i].is_null() {
+            return None; // nulls never join
+        }
+        key.push(row[*i].clone());
+    }
+    Some(key)
+}
+
+/// The evictable per-key state of a follow operator.
+#[derive(Debug, Default)]
+struct SliceState {
+    slices: HashMap<Url, RowSet>,
+    evicted: HashSet<Url>,
+    budget: Option<usize>,
+    clock: u64,
+    stamps: HashMap<Url, u64>,
+    by_stamp: BTreeMap<u64, Url>,
+    evictions: u64,
+    upqueries: u64,
+}
+
+impl SliceState {
+    fn touch(&mut self, url: &Url) {
+        if let Some(old) = self.stamps.get(url).copied() {
+            self.by_stamp.remove(&old);
+        }
+        self.clock += 1;
+        self.stamps.insert(url.clone(), self.clock);
+        self.by_stamp.insert(self.clock, url.clone());
+    }
+
+    fn forget(&mut self, url: &Url) {
+        self.slices.remove(url);
+        if let Some(s) = self.stamps.remove(url) {
+            self.by_stamp.remove(&s);
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        self.slices
+            .iter()
+            .map(|(u, s)| u.as_str().len() + s.keys().map(|r| row_bytes(r)).sum::<usize>())
+            .sum()
+    }
+
+    fn evict_to_budget(&mut self) {
+        let Some(budget) = self.budget else {
+            return;
+        };
+        while self.bytes() > budget && self.slices.len() > 1 {
+            let Some(url) = self.by_stamp.values().next().cloned() else {
+                break;
+            };
+            self.forget(&url);
+            self.evicted.insert(url);
+            self.evictions += 1;
+        }
+    }
+}
+
+/// One compiled operator.
+#[derive(Debug)]
+pub(crate) struct Node {
+    /// Display label (trace events).
+    pub label: String,
+    /// Rows inserted downstream this sync.
+    pub adds: u64,
+    /// Rows retracted downstream this sync.
+    pub removes: u64,
+    kind: Kind,
+}
+
+#[derive(Debug)]
+enum Kind {
+    Entry {
+        url: Url,
+        fields: Vec<String>,
+        last: Option<Vec<Value>>,
+    },
+    Select {
+        input: Box<Node>,
+        pred: RPred,
+    },
+    Project {
+        input: Box<Node>,
+        idx: Vec<usize>,
+        counts: RowSet,
+    },
+    Unnest {
+        input: Box<Node>,
+        ci: usize,
+        inner: Vec<String>,
+    },
+    Join {
+        left: Box<Node>,
+        right: Box<Node>,
+        lk: Vec<usize>,
+        rk: Vec<usize>,
+        lstate: HashMap<Vec<Value>, RowSet>,
+        rstate: HashMap<Vec<Value>, RowSet>,
+    },
+    Follow {
+        input: Box<Node>,
+        li: usize,
+        target: String,
+        fields: Vec<String>,
+        state: SliceState,
+    },
+}
+
+/// A compiled expression: the operator tree plus its output header.
+#[derive(Debug)]
+pub(crate) struct OpTree {
+    pub root: Node,
+    pub columns: Vec<String>,
+}
+
+/// Compiles a computable NALG expression into an operator tree.
+/// `slice_budget` bounds each follow operator's slice bytes (None =
+/// unbounded).
+pub(crate) fn compile(
+    expr: &NalgExpr,
+    ws: &WebScheme,
+    slice_budget: Option<usize>,
+) -> Result<OpTree> {
+    let columns = expr.output_columns(ws)?;
+    let root = compile_node(expr, ws, slice_budget)?;
+    Ok(OpTree { root, columns })
+}
+
+fn field_names(ws: &WebScheme, scheme: &str) -> Result<Vec<String>> {
+    Ok(ws
+        .scheme(scheme)?
+        .fields
+        .iter()
+        .map(|f| f.name.clone())
+        .collect())
+}
+
+fn compile_node(expr: &NalgExpr, ws: &WebScheme, slice_budget: Option<usize>) -> Result<Node> {
+    Ok(match expr {
+        NalgExpr::Entry { scheme, alias: _ } => {
+            let ep = ws.entry_point(scheme).ok_or_else(|| {
+                DataflowError::NotMaintainable(format!("{scheme} is not an entry point"))
+            })?;
+            Node {
+                label: format!("entry {scheme}"),
+                adds: 0,
+                removes: 0,
+                kind: Kind::Entry {
+                    url: ep.url.clone(),
+                    fields: field_names(ws, scheme)?,
+                    last: None,
+                },
+            }
+        }
+        NalgExpr::External { name } => {
+            return Err(DataflowError::NotMaintainable(format!(
+                "external relation {name}: run the optimizer first (rule 1)"
+            )))
+        }
+        NalgExpr::Select { input, pred } => {
+            let cols = input.output_columns(ws)?;
+            Node {
+                label: "σ".to_string(),
+                adds: 0,
+                removes: 0,
+                kind: Kind::Select {
+                    pred: compile_pred(pred, &cols)?,
+                    input: Box::new(compile_node(input, ws, slice_budget)?),
+                },
+            }
+        }
+        NalgExpr::Project { input, cols } => {
+            let in_cols = input.output_columns(ws)?;
+            let idx = cols
+                .iter()
+                .map(|c| resolve_column(&in_cols, c).map_err(DataflowError::from))
+                .collect::<Result<Vec<_>>>()?;
+            Node {
+                label: format!("π[{}]", cols.join(",")),
+                adds: 0,
+                removes: 0,
+                kind: Kind::Project {
+                    idx,
+                    counts: RowSet::new(),
+                    input: Box::new(compile_node(input, ws, slice_budget)?),
+                },
+            }
+        }
+        NalgExpr::Join { left, right, on } => {
+            let lcols = left.output_columns(ws)?;
+            let rcols = right.output_columns(ws)?;
+            let mut lk = Vec::new();
+            let mut rk = Vec::new();
+            for (l, r) in on {
+                lk.push(resolve_column(&lcols, l)?);
+                rk.push(resolve_column(&rcols, r)?);
+            }
+            Node {
+                label: "⋈".to_string(),
+                adds: 0,
+                removes: 0,
+                kind: Kind::Join {
+                    left: Box::new(compile_node(left, ws, slice_budget)?),
+                    right: Box::new(compile_node(right, ws, slice_budget)?),
+                    lk,
+                    rk,
+                    lstate: HashMap::new(),
+                    rstate: HashMap::new(),
+                },
+            }
+        }
+        NalgExpr::Unnest { input, attr } => {
+            let in_cols = input.output_columns(ws)?;
+            let ci = resolve_column(&in_cols, attr)?;
+            let qualified = in_cols[ci].clone();
+            let field = field_of_column(ws, &expr.alias_map()?, &qualified)?;
+            let inner: Vec<String> = field
+                .ty
+                .list_fields()
+                .ok_or_else(|| {
+                    DataflowError::NotMaintainable(format!("unnest over non-list {qualified}"))
+                })?
+                .iter()
+                .map(|f| f.name.clone())
+                .collect();
+            Node {
+                label: format!("∘ {attr}"),
+                adds: 0,
+                removes: 0,
+                kind: Kind::Unnest {
+                    ci,
+                    inner,
+                    input: Box::new(compile_node(input, ws, slice_budget)?),
+                },
+            }
+        }
+        NalgExpr::Follow {
+            input,
+            link,
+            target,
+            alias: _,
+        } => {
+            let in_cols = input.output_columns(ws)?;
+            let li = resolve_column(&in_cols, link)?;
+            Node {
+                label: format!("–{link}→ {target}"),
+                adds: 0,
+                removes: 0,
+                kind: Kind::Follow {
+                    li,
+                    target: target.clone(),
+                    fields: field_names(ws, target)?,
+                    state: SliceState {
+                        budget: slice_budget,
+                        ..SliceState::default()
+                    },
+                    input: Box::new(compile_node(input, ws, slice_budget)?),
+                },
+            }
+        }
+    })
+}
+
+impl Node {
+    fn note(&mut self, out: &RowDeltas) {
+        for (_, w) in out {
+            if *w > 0 {
+                self.adds += *w as u64;
+            } else {
+                self.removes += (-*w) as u64;
+            }
+        }
+    }
+
+    /// Resets the per-sync delta counters, recursively.
+    pub fn reset_counters(&mut self) {
+        self.adds = 0;
+        self.removes = 0;
+        match &mut self.kind {
+            Kind::Entry { .. } => {}
+            Kind::Select { input, .. }
+            | Kind::Project { input, .. }
+            | Kind::Unnest { input, .. }
+            | Kind::Follow { input, .. } => input.reset_counters(),
+            Kind::Join { left, right, .. } => {
+                left.reset_counters();
+                right.reset_counters();
+            }
+        }
+    }
+
+    /// Visits every node pre-order with (label, adds, removes).
+    pub fn visit_counters(&self, f: &mut impl FnMut(&str, u64, u64)) {
+        f(&self.label, self.adds, self.removes);
+        match &self.kind {
+            Kind::Entry { .. } => {}
+            Kind::Select { input, .. }
+            | Kind::Project { input, .. }
+            | Kind::Unnest { input, .. }
+            | Kind::Follow { input, .. } => input.visit_counters(f),
+            Kind::Join { left, right, .. } => {
+                left.visit_counters(f);
+                right.visit_counters(f);
+            }
+        }
+    }
+
+    /// Upqueries this sync will need: restores any evicted follow slice
+    /// keyed on `url` *before* the page delta lands in the store, so the
+    /// slice reflects the pre-delta input (the bilinear `In_old ⋈ ΔP`
+    /// term stays exact).
+    pub fn prewarm(
+        &mut self,
+        url: &Url,
+        scheme: &str,
+        store: &mut PartialStore,
+        ws: &WebScheme,
+        server: &impl PageServer,
+        dirty: &HashSet<Url>,
+    ) -> Result<()> {
+        match &mut self.kind {
+            Kind::Entry { .. } => Ok(()),
+            Kind::Select { input, .. }
+            | Kind::Project { input, .. }
+            | Kind::Unnest { input, .. } => input.prewarm(url, scheme, store, ws, server, dirty),
+            Kind::Join { left, right, .. } => {
+                left.prewarm(url, scheme, store, ws, server, dirty)?;
+                right.prewarm(url, scheme, store, ws, server, dirty)
+            }
+            Kind::Follow {
+                input,
+                li,
+                target,
+                state,
+                ..
+            } => {
+                input.prewarm(url, scheme, store, ws, server, dirty)?;
+                if target == scheme && state.evicted.contains(url) {
+                    // targeted upquery: recompute just this key's slice
+                    let rows = input.eval_pure(store, ws, server, dirty)?;
+                    let mut slice = RowSet::new();
+                    for (row, w) in rows {
+                        if matches!(&row[*li], Value::Link(u) if u == url) {
+                            add_row(&mut slice, row, w);
+                        }
+                    }
+                    state.evicted.remove(url);
+                    state.slices.insert(url.clone(), slice);
+                    state.touch(url);
+                    state.upqueries += 1;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Full stateless evaluation against the current store (reads may
+    /// upquery evicted pages). Used for slice upqueries and rebuilds.
+    pub fn eval_pure(
+        &self,
+        store: &mut PartialStore,
+        ws: &WebScheme,
+        server: &impl PageServer,
+        dirty: &HashSet<Url>,
+    ) -> Result<RowDeltas> {
+        match &self.kind {
+            Kind::Entry { url, fields, .. } => match read_guarded(store, ws, server, url, dirty)? {
+                Some((t, _)) => Ok(vec![(expand(url, &t, fields), 1)]),
+                None => Err(DataflowError::StateGone(format!("entry page {url} gone"))),
+            },
+            Kind::Select { input, pred } => Ok(input
+                .eval_pure(store, ws, server, dirty)?
+                .into_iter()
+                .filter(|(r, _)| eval_pred(pred, r))
+                .collect()),
+            Kind::Project { input, idx, .. } => {
+                let mut counts = RowSet::new();
+                let mut out = Vec::new();
+                for (row, w) in input.eval_pure(store, ws, server, dirty)? {
+                    let p: Vec<Value> = idx.iter().map(|i| row[*i].clone()).collect();
+                    let before = counts.get(&p).copied().unwrap_or(0);
+                    add_row(&mut counts, p.clone(), w);
+                    if before == 0 && w > 0 {
+                        out.push((p, 1));
+                    }
+                }
+                Ok(out)
+            }
+            Kind::Unnest { input, ci, inner } => {
+                let mut out = Vec::new();
+                for (row, w) in input.eval_pure(store, ws, server, dirty)? {
+                    unnest_row(&row, *ci, inner, w, &mut out)?;
+                }
+                Ok(out)
+            }
+            Kind::Join {
+                left,
+                right,
+                lk,
+                rk,
+                ..
+            } => {
+                let l = left.eval_pure(store, ws, server, dirty)?;
+                let r = right.eval_pure(store, ws, server, dirty)?;
+                let mut by_key: HashMap<Vec<Value>, Vec<(Vec<Value>, i64)>> = HashMap::new();
+                for (row, w) in r {
+                    if let Some(k) = join_key(&row, rk) {
+                        by_key.entry(k).or_default().push((row, w));
+                    }
+                }
+                let mut out = Vec::new();
+                for (lrow, lw) in l {
+                    let Some(k) = join_key(&lrow, lk) else {
+                        continue;
+                    };
+                    if let Some(rs) = by_key.get(&k) {
+                        for (rrow, rw) in rs {
+                            out.push((concat(&lrow, rrow), lw * rw));
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Kind::Follow {
+                input, li, fields, ..
+            } => {
+                let mut out = Vec::new();
+                for (row, w) in input.eval_pure(store, ws, server, dirty)? {
+                    let Value::Link(u) = &row[*li] else {
+                        continue;
+                    };
+                    let u = u.clone();
+                    if let Some((t, _)) = read_guarded(store, ws, server, &u, dirty)? {
+                        out.push((concat(&row, &expand(&u, &t, fields)), w));
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Full evaluation that (re)populates every operator's state; returns
+    /// the initial row multiset.
+    pub fn init(
+        &mut self,
+        store: &mut PartialStore,
+        ws: &WebScheme,
+        server: &impl PageServer,
+    ) -> Result<RowDeltas> {
+        let out = match &mut self.kind {
+            Kind::Entry { url, fields, last } => match store.read(ws, server, url)? {
+                Some((t, _)) => {
+                    let row = expand(url, &t, fields);
+                    *last = Some(row.clone());
+                    vec![(row, 1)]
+                }
+                None => return Err(DataflowError::StateGone(format!("entry page {url} gone"))),
+            },
+            Kind::Select { input, pred } => {
+                let pred = pred.clone();
+                input
+                    .init(store, ws, server)?
+                    .into_iter()
+                    .filter(|(r, _)| eval_pred(&pred, r))
+                    .collect()
+            }
+            Kind::Project { input, idx, counts } => {
+                counts.clear();
+                let mut out = Vec::new();
+                for (row, w) in input.init(store, ws, server)? {
+                    let p: Vec<Value> = idx.iter().map(|i| row[*i].clone()).collect();
+                    let before = counts.get(&p).copied().unwrap_or(0);
+                    add_row(counts, p.clone(), w);
+                    if before == 0 && w > 0 {
+                        out.push((p, 1));
+                    }
+                }
+                out
+            }
+            Kind::Unnest { input, ci, inner } => {
+                let ci = *ci;
+                let inner = inner.clone();
+                let mut out = Vec::new();
+                for (row, w) in input.init(store, ws, server)? {
+                    unnest_row(&row, ci, &inner, w, &mut out)?;
+                }
+                out
+            }
+            Kind::Join {
+                left,
+                right,
+                lk,
+                rk,
+                lstate,
+                rstate,
+            } => {
+                lstate.clear();
+                rstate.clear();
+                for (row, w) in left.init(store, ws, server)? {
+                    if let Some(k) = join_key(&row, lk) {
+                        add_row(lstate.entry(k).or_default(), row, w);
+                    }
+                }
+                for (row, w) in right.init(store, ws, server)? {
+                    if let Some(k) = join_key(&row, rk) {
+                        add_row(rstate.entry(k).or_default(), row, w);
+                    }
+                }
+                let mut out = Vec::new();
+                for (k, ls) in lstate.iter() {
+                    if let Some(rs) = rstate.get(k) {
+                        for (lrow, lw) in ls {
+                            for (rrow, rw) in rs {
+                                out.push((concat(lrow, rrow), lw * rw));
+                            }
+                        }
+                    }
+                }
+                out
+            }
+            Kind::Follow {
+                input,
+                li,
+                fields,
+                state,
+                ..
+            } => {
+                state.slices.clear();
+                state.evicted.clear();
+                state.stamps.clear();
+                state.by_stamp.clear();
+                let li = *li;
+                let fields = fields.clone();
+                let in_rows = input.init(store, ws, server)?;
+                let mut out = Vec::new();
+                for (row, w) in in_rows {
+                    let Value::Link(u) = &row[li] else {
+                        continue;
+                    };
+                    let u = u.clone();
+                    if !state.slices.contains_key(&u) {
+                        state.touch(&u);
+                    }
+                    add_row(state.slices.entry(u.clone()).or_default(), row.clone(), w);
+                    if let Some((t, _)) = store.read(ws, server, &u)? {
+                        out.push((concat(&row, &expand(&u, &t, &fields)), w));
+                    }
+                }
+                state.evict_to_budget();
+                out
+            }
+        };
+        self.note(&out);
+        Ok(out)
+    }
+
+    /// Propagates one page delta, updating state and returning output-row
+    /// deltas.
+    pub fn on_delta(
+        &mut self,
+        d: &PageDelta,
+        store: &mut PartialStore,
+        ws: &WebScheme,
+        server: &impl PageServer,
+        dirty: &HashSet<Url>,
+    ) -> Result<RowDeltas> {
+        let out = match &mut self.kind {
+            Kind::Entry { url, fields, last } => {
+                if d.url != *url {
+                    Vec::new()
+                } else {
+                    let mut out = Vec::new();
+                    if let Some(prev) = last.take() {
+                        out.push((prev, -1));
+                    }
+                    if let Some(t) = &d.new {
+                        let row = expand(url, t, fields);
+                        *last = Some(row.clone());
+                        out.push((row, 1));
+                    }
+                    out
+                }
+            }
+            Kind::Select { input, pred } => {
+                let pred = pred.clone();
+                input
+                    .on_delta(d, store, ws, server, dirty)?
+                    .into_iter()
+                    .filter(|(r, _)| eval_pred(&pred, r))
+                    .collect()
+            }
+            Kind::Project { input, idx, counts } => {
+                let mut out = Vec::new();
+                for (row, w) in input.on_delta(d, store, ws, server, dirty)? {
+                    let p: Vec<Value> = idx.iter().map(|i| row[*i].clone()).collect();
+                    let before = counts.get(&p).copied().unwrap_or(0);
+                    add_row(counts, p.clone(), w);
+                    let after = counts.get(&p).copied().unwrap_or(0);
+                    if before <= 0 && after > 0 {
+                        out.push((p, 1));
+                    } else if before > 0 && after <= 0 {
+                        out.push((p, -1));
+                    }
+                }
+                out
+            }
+            Kind::Unnest { input, ci, inner } => {
+                let ci = *ci;
+                let inner = inner.clone();
+                let mut out = Vec::new();
+                for (row, w) in input.on_delta(d, store, ws, server, dirty)? {
+                    unnest_row(&row, ci, &inner, w, &mut out)?;
+                }
+                out
+            }
+            Kind::Join {
+                left,
+                right,
+                lk,
+                rk,
+                lstate,
+                rstate,
+            } => {
+                let dl = left.on_delta(d, store, ws, server, dirty)?;
+                let dr = right.on_delta(d, store, ws, server, dirty)?;
+                let mut out = Vec::new();
+                // ΔL ⋈ R_old
+                for (lrow, lw) in &dl {
+                    if let Some(k) = join_key(lrow, lk) {
+                        if let Some(rs) = rstate.get(&k) {
+                            for (rrow, rw) in rs {
+                                out.push((concat(lrow, rrow), lw * rw));
+                            }
+                        }
+                    }
+                }
+                for (lrow, lw) in dl {
+                    if let Some(k) = join_key(&lrow, lk) {
+                        add_row(lstate.entry(k).or_default(), lrow, lw);
+                    }
+                }
+                // L_new ⋈ ΔR
+                for (rrow, rw) in &dr {
+                    if let Some(k) = join_key(rrow, rk) {
+                        if let Some(ls) = lstate.get(&k) {
+                            for (lrow, lw) in ls {
+                                out.push((concat(lrow, rrow), lw * rw));
+                            }
+                        }
+                    }
+                }
+                for (rrow, rw) in dr {
+                    if let Some(k) = join_key(&rrow, rk) {
+                        add_row(rstate.entry(k).or_default(), rrow, rw);
+                    }
+                }
+                out
+            }
+            Kind::Follow {
+                input,
+                li,
+                target,
+                fields,
+                state,
+            } => {
+                let li = *li;
+                let fields2 = fields.clone();
+                let mut out = Vec::new();
+                // (b) page-driven: In_old ⋈ ΔP, from the slice as it was
+                // before this delta's input rows are folded in
+                if d.scheme == *target {
+                    let slice_rows: Vec<(Vec<Value>, i64)> = match state.slices.get(&d.url) {
+                        Some(s) => s.iter().map(|(r, w)| (r.clone(), *w)).collect(),
+                        None if state.evicted.contains(&d.url) => {
+                            return Err(DataflowError::StateGone(format!(
+                                "follow slice for {} evicted and not prewarmed",
+                                d.url
+                            )))
+                        }
+                        None => Vec::new(),
+                    };
+                    if !slice_rows.is_empty() {
+                        let old_vals = match &d.old {
+                            Some(t) => Some(expand(&d.url, t, &fields2)),
+                            None if d.was_known => {
+                                return Err(DataflowError::StateGone(format!(
+                                    "old payload of {} evicted before its change",
+                                    d.url
+                                )))
+                            }
+                            None => None,
+                        };
+                        let new_vals = d.new.as_ref().map(|t| expand(&d.url, t, &fields2));
+                        for (row, w) in &slice_rows {
+                            if let Some(ov) = &old_vals {
+                                out.push((concat(row, ov), -w));
+                            }
+                            if let Some(nv) = &new_vals {
+                                out.push((concat(row, nv), *w));
+                            }
+                        }
+                        state.touch(&d.url);
+                    }
+                }
+                // (a) input-driven: ΔIn ⋈ P_new (the store already holds
+                // the post-delta page)
+                let din = input.on_delta(d, store, ws, server, dirty)?;
+                for (row, w) in din {
+                    let Value::Link(u) = &row[li] else {
+                        continue;
+                    };
+                    let u = u.clone();
+                    if !state.evicted.contains(&u) {
+                        // fold into the slice; deltas aimed at an evicted
+                        // hole are discarded (the upquery recomputes)
+                        if !state.slices.contains_key(&u) {
+                            state.touch(&u);
+                        }
+                        add_row(state.slices.entry(u.clone()).or_default(), row.clone(), w);
+                        if state.slices.get(&u).is_some_and(|s| s.is_empty()) {
+                            state.forget(&u);
+                        }
+                    }
+                    if let Some((t, _)) = read_guarded(store, ws, server, &u, dirty)? {
+                        out.push((concat(&row, &expand(&u, &t, &fields2)), w));
+                    }
+                }
+                state.evict_to_budget();
+                out
+            }
+        };
+        self.note(&out);
+        Ok(out)
+    }
+
+    /// (slice evictions, slice upqueries) accumulated across all follow
+    /// operators in this subtree.
+    pub fn slice_stats(&self) -> (u64, u64) {
+        match &self.kind {
+            Kind::Entry { .. } => (0, 0),
+            Kind::Select { input, .. }
+            | Kind::Project { input, .. }
+            | Kind::Unnest { input, .. } => input.slice_stats(),
+            Kind::Join { left, right, .. } => {
+                let (a, b) = left.slice_stats();
+                let (c, d) = right.slice_stats();
+                (a + c, b + d)
+            }
+            Kind::Follow { input, state, .. } => {
+                let (a, b) = input.slice_stats();
+                (a + state.evictions, b + state.upqueries)
+            }
+        }
+    }
+
+    /// Force-evicts the follow slices keyed on `url` (tests/experiments).
+    pub fn evict_slice(&mut self, url: &Url) -> bool {
+        match &mut self.kind {
+            Kind::Entry { .. } => false,
+            Kind::Select { input, .. }
+            | Kind::Project { input, .. }
+            | Kind::Unnest { input, .. } => input.evict_slice(url),
+            Kind::Join { left, right, .. } => {
+                let a = left.evict_slice(url);
+                let b = right.evict_slice(url);
+                a || b
+            }
+            Kind::Follow { input, state, .. } => {
+                let mut hit = input.evict_slice(url);
+                if state.slices.contains_key(url) {
+                    state.forget(url);
+                    state.evicted.insert(url.clone());
+                    state.evictions += 1;
+                    hit = true;
+                }
+                hit
+            }
+        }
+    }
+}
+
+fn unnest_row(
+    row: &[Value],
+    ci: usize,
+    inner: &[String],
+    w: i64,
+    out: &mut RowDeltas,
+) -> Result<()> {
+    match &row[ci] {
+        Value::Null => Ok(()), // null list ≡ empty list
+        Value::List(ts) => {
+            for t in ts {
+                let mut r = Vec::with_capacity(row.len() - 1 + inner.len());
+                for (i, v) in row.iter().enumerate() {
+                    if i != ci {
+                        r.push(v.clone());
+                    }
+                }
+                for f in inner {
+                    r.push(t.get(f).cloned().unwrap_or(Value::Null));
+                }
+                out.push((r, w));
+            }
+            Ok(())
+        }
+        other => Err(DataflowError::NotMaintainable(format!(
+            "unnest over non-list value {other:?}"
+        ))),
+    }
+}

@@ -1,0 +1,313 @@
+//! End-to-end incremental maintenance over a mutating university site:
+//! delta syncs must track live evaluation and the full-refresh store while
+//! fetching only what changed, partial state must stay under budget and
+//! backfill via upqueries, and transient failures must degrade (not
+//! corrupt) a view until a rebuild recovers it.
+
+use adm::{Relation, Value};
+use dataflow::IncrementalView;
+use matview::maintain::full_refresh;
+use matview::MatStore;
+use nalg::{Evaluator, NalgExpr};
+use websim::sitegen::{University, UniversityConfig};
+use websim::{FaultPlan, FaultRule, MutationPlan, MutationRule};
+use wvcore::LiveSource;
+
+fn university(seed: u64) -> University {
+    University::generate(UniversityConfig {
+        departments: 4,
+        professors: 8,
+        courses: 10,
+        seed,
+        ..UniversityConfig::default()
+    })
+    .unwrap()
+}
+
+fn dept_expr() -> NalgExpr {
+    NalgExpr::entry("DeptListPage")
+        .unnest("DeptList")
+        .follow("ToDept", "DeptPage")
+        .project(vec!["DeptPage.DName", "DeptPage.Address"])
+}
+
+fn prof_expr() -> NalgExpr {
+    NalgExpr::entry("DeptListPage")
+        .unnest("DeptList")
+        .follow("ToDept", "DeptPage")
+        .unnest("ProfList")
+        .follow("ToProf", "ProfPage")
+        .project(vec!["ProfPage.PName", "ProfPage.Rank", "DeptPage.DName"])
+}
+
+fn course_expr() -> NalgExpr {
+    NalgExpr::entry("ProfListPage")
+        .unnest("ProfList")
+        .follow("ToProf", "ProfPage")
+        .unnest("CourseList")
+        .follow("ToCourse", "CoursePage")
+        .project(vec!["CoursePage.CName", "CoursePage.Description"])
+}
+
+fn sorted(rel: &Relation) -> Vec<Vec<Value>> {
+    let mut rows = rel.rows().to_vec();
+    rows.sort_by(|a, b| {
+        for (x, y) in a.iter().zip(b.iter()) {
+            let o = x.total_cmp(y);
+            if o != std::cmp::Ordering::Equal {
+                return o;
+            }
+        }
+        a.len().cmp(&b.len())
+    });
+    rows
+}
+
+/// (url, scheme, tuple, stale) for every stored page — everything except
+/// `access_date`, which legitimately differs between maintenance paths
+/// (each fetch stamps the server clock at its own time).
+fn fingerprint(store: &MatStore) -> Vec<(String, String, adm::Tuple, bool)> {
+    store
+        .pages_sorted()
+        .into_iter()
+        .map(|(u, p)| {
+            (
+                u.as_str().to_string(),
+                p.scheme.clone(),
+                p.tuple.clone(),
+                p.stale,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn delta_sync_tracks_live_eval_and_full_refresh() {
+    let mut u = university(11);
+    let ws = u.site.scheme.clone();
+    let mut iv = IncrementalView::new(&ws);
+    iv.materialize(&u.site.server).unwrap();
+    iv.set_cursor(u.site.change_cursor());
+    iv.register("depts", "depts", &dept_expr(), &u.site.server)
+        .unwrap();
+    iv.register("profs", "profs", &prof_expr(), &u.site.server)
+        .unwrap();
+    iv.register("courses", "courses", &course_expr(), &u.site.server)
+        .unwrap();
+
+    // the full-refresh twin, maintained across the same rounds
+    let mut oracle = MatStore::new();
+    oracle.materialize(&ws, &u.site.server).unwrap();
+
+    let plan = MutationPlan::new(77)
+        .with_rule(MutationRule::edit_attr("DeptPage", "Address", 0.6))
+        .with_rule(MutationRule::edit_attr("ProfPage", "Rank", 0.5))
+        .with_rule(MutationRule::delete("CoursePage", 0.25));
+    let mut saw_delete = false;
+    for round in 0..4 {
+        let mutated = plan.apply_round(&mut u.site, round).unwrap();
+        saw_delete |= mutated.deleted_pages > 0;
+
+        let rep = iv.sync(&u.site).unwrap();
+        assert_eq!(
+            rep.changes_seen,
+            mutated.total(),
+            "every mutation lands in the feed (round {round})"
+        );
+        assert!(
+            rep.pages_fetched <= rep.changes_seen,
+            "delta path fetches at most the changed pages (round {round})"
+        );
+        assert!(rep.failed.is_empty(), "fault-free site: {:?}", rep.failed);
+
+        full_refresh(&mut oracle, &ws, &u.site.server).unwrap();
+        assert_eq!(
+            fingerprint(iv.store().mat()),
+            fingerprint(&oracle),
+            "store diverged from full refresh after round {round}"
+        );
+
+        let src = LiveSource::new(&ws, &u.site.server);
+        let live = Evaluator::new(&ws, &src);
+        for (key, expr) in [
+            ("depts", dept_expr()),
+            ("profs", prof_expr()),
+            ("courses", course_expr()),
+        ] {
+            let want = sorted(&live.eval(&expr).unwrap().relation);
+            let got = iv.answer(key).expect("fault-free view never degrades");
+            assert_eq!(
+                got.rows().to_vec(),
+                want,
+                "view {key} diverged from live eval after round {round}"
+            );
+        }
+    }
+    assert!(saw_delete, "seed 77 must exercise the removal path");
+}
+
+#[test]
+fn link_drops_cascade_retractions_without_refetching_targets() {
+    let mut u = university(23);
+    let ws = u.site.scheme.clone();
+    let mut iv = IncrementalView::new(&ws);
+    iv.materialize(&u.site.server).unwrap();
+    iv.set_cursor(u.site.change_cursor());
+    iv.register("depts", "depts", &dept_expr(), &u.site.server)
+        .unwrap();
+    let before = iv.answer("depts").unwrap().rows().len();
+
+    let plan = MutationPlan::new(5).with_rule(MutationRule::drop_links(
+        "DeptListPage",
+        &["DeptList", "ToDept"],
+        0.5,
+    ));
+    let mutated = plan.apply_round(&mut u.site, 0).unwrap();
+    assert!(mutated.dropped_links > 0, "seed 5 must drop something");
+
+    u.site.server.reset_stats();
+    let rep = iv.sync(&u.site).unwrap();
+    // one list page changed → one GET; the dangling targets are retracted
+    // from operator state, never re-fetched
+    assert_eq!(rep.pages_fetched, 1);
+    assert_eq!(u.site.server.stats().gets, 1);
+    assert!(rep.rows_removed > 0);
+
+    let src = LiveSource::new(&ws, &u.site.server);
+    let want = sorted(
+        &Evaluator::new(&ws, &src)
+            .eval(&dept_expr())
+            .unwrap()
+            .relation,
+    );
+    let got = iv.answer("depts").unwrap();
+    assert_eq!(got.rows().to_vec(), want);
+    assert!(got.rows().len() < before, "dropped depts leave the view");
+}
+
+#[test]
+fn budgeted_store_stays_under_budget_and_upqueries_backfill() {
+    let mut u = university(3);
+    let ws = u.site.scheme.clone();
+    let budget = 2048usize;
+    let mut iv = IncrementalView::new(&ws).with_byte_budget(budget);
+    iv.materialize(&u.site.server).unwrap();
+    iv.set_cursor(u.site.change_cursor());
+
+    let s = iv.store().stats();
+    assert!(
+        s.resident_bytes <= budget as u64,
+        "{} bytes resident over budget {budget}",
+        s.resident_bytes
+    );
+    assert!(s.skeleton_pages > 0, "a {budget}-byte budget must evict");
+
+    // every evicted page comes back byte-identical via one upquery, and
+    // the budget holds throughout
+    for (url, truth) in u.site.instance("ProfPage") {
+        let (tuple, scheme) = iv
+            .store_mut()
+            .read(&ws, &u.site.server, &url)
+            .unwrap()
+            .expect("live page");
+        assert_eq!(tuple, truth, "upquery must restore {url} exactly");
+        assert_eq!(scheme, "ProfPage");
+        assert!(iv.store().stats().resident_bytes <= budget as u64);
+    }
+    assert!(iv.store().stats().upqueries > 0);
+
+    // maintenance under mutation keeps respecting the budget
+    let plan = MutationPlan::new(41).with_rule(MutationRule::edit_attr("ProfPage", "Rank", 0.5));
+    for round in 0..3 {
+        plan.apply_round(&mut u.site, round).unwrap();
+        iv.sync(&u.site).unwrap();
+        assert!(iv.store().stats().resident_bytes <= budget as u64);
+    }
+}
+
+#[test]
+fn transient_upquery_failure_degrades_then_rebuild_recovers() {
+    let mut u = university(9);
+    let ws = u.site.scheme.clone();
+    let mut iv = IncrementalView::new(&ws);
+    iv.materialize(&u.site.server).unwrap();
+    iv.set_cursor(u.site.change_cursor());
+    iv.register("depts", "depts", &dept_expr(), &u.site.server)
+        .unwrap();
+
+    // lose both the follow slice for one dept and the entry payload, so
+    // the prewarm upquery has to hit the server — which is down
+    let (dept_url, dept_tuple) = u.site.instance("DeptPage")[0].clone();
+    let entry_url = ws.entry_point("DeptListPage").unwrap().url.clone();
+    assert!(iv.evict_slices(&dept_url));
+    assert!(iv.evict_page(&entry_url));
+    u.site
+        .server
+        .set_fault_plan(FaultPlan::new(1).with_rule(FaultRule::timeouts(1.0)));
+
+    u.site
+        .republish("DeptPage", dept_url.clone(), dept_tuple, "Dept")
+        .unwrap();
+    let rep = iv.sync(&u.site).unwrap();
+    assert!(!rep.failed.is_empty());
+    assert!(iv.is_degraded("depts"));
+    assert!(
+        iv.answer("depts").is_none(),
+        "a degraded view must not serve a possibly-wrong answer"
+    );
+
+    // server recovers; the next (change-free) sync retries the rebuild
+    u.site.server.clear_fault_plan();
+    let rep = iv.sync(&u.site).unwrap();
+    assert_eq!(rep.changes_seen, 0);
+    assert_eq!(rep.view_rebuilds, 1);
+    assert!(!iv.is_degraded("depts"));
+    assert!(iv.rebuild_count("depts") >= 1);
+
+    let src = LiveSource::new(&ws, &u.site.server);
+    let want = sorted(
+        &Evaluator::new(&ws, &src)
+            .eval(&dept_expr())
+            .unwrap()
+            .relation,
+    );
+    assert_eq!(iv.answer("depts").unwrap().rows().to_vec(), want);
+}
+
+#[test]
+fn evicted_slices_are_restored_by_targeted_upqueries() {
+    let mut u = university(31);
+    let ws = u.site.scheme.clone();
+    let mut iv = IncrementalView::new(&ws);
+    iv.materialize(&u.site.server).unwrap();
+    iv.set_cursor(u.site.change_cursor());
+    iv.register("profs", "profs", &prof_expr(), &u.site.server)
+        .unwrap();
+
+    // evict the slices of every prof page, then edit some profs: each
+    // affected slice must be prewarmed back before its delta applies
+    for (url, _) in u.site.instance("ProfPage") {
+        iv.evict_slices(&url);
+    }
+    let plan = MutationPlan::new(13).with_rule(MutationRule::edit_attr("ProfPage", "Rank", 0.7));
+    let mutated = plan.apply_round(&mut u.site, 0).unwrap();
+    assert!(mutated.edited_pages > 0);
+
+    let rep = iv.sync(&u.site).unwrap();
+    assert!(rep.failed.is_empty());
+    let (_, slice_upqueries) = iv.slice_stats();
+    assert!(
+        slice_upqueries >= mutated.edited_pages,
+        "each edited prof needs its slice restored ({slice_upqueries} < {})",
+        mutated.edited_pages
+    );
+
+    let src = LiveSource::new(&ws, &u.site.server);
+    let want = sorted(
+        &Evaluator::new(&ws, &src)
+            .eval(&prof_expr())
+            .unwrap()
+            .relation,
+    );
+    assert_eq!(iv.answer("profs").unwrap().rows().to_vec(), want);
+}

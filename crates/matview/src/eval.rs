@@ -11,7 +11,7 @@
 
 use crate::store::{MatStore, UrlStatus};
 use crate::urlcheck::{url_check, CheckCounters};
-use crate::Result;
+use crate::{MatError, Result};
 use adm::{Relation, Tuple, Url, WebScheme};
 use nalg::{DegradationMode, Evaluator, NalgExpr, PageSource, SharedPageCache, SourceError};
 use obs::trace::{EventKind, TraceSink};
@@ -252,7 +252,14 @@ impl<'a, P: websim::PageServer> MatSession<'a, P> {
             opt = opt.with_trace(sink);
         }
         let explain = opt.optimize(q)?;
-        let best = explain.best().expr.clone();
+        // `Explain::best` indexes candidates[0]; go through `first` so an
+        // empty candidate set is an error, not a panic.
+        let best = explain
+            .candidates
+            .first()
+            .ok_or_else(|| MatError::Opt("optimizer produced no candidate plans".into()))?
+            .expr
+            .clone();
         let (relation, counters, broken, unreachable) = self.execute_traced(store, &best, trace)?;
         Ok(MatOutcome {
             explain,
@@ -277,7 +284,12 @@ impl<'a, P: websim::PageServer> MatSession<'a, P> {
     ) -> Result<MatAnalyzedOutcome> {
         let sink = TraceSink::with_seed(0);
         let outcome = self.run_traced(store, q, Some(&sink))?;
-        let analysis = ExplainAnalyze::from_parts(&outcome.explain.best().estimate, &sink.events());
+        let best = outcome
+            .explain
+            .candidates
+            .first()
+            .ok_or_else(|| MatError::Opt("optimizer produced no candidate plans".into()))?;
+        let analysis = ExplainAnalyze::from_parts(&best.estimate, &sink.events());
         Ok(MatAnalyzedOutcome {
             outcome,
             analysis,

@@ -27,6 +27,10 @@ pub struct PurgeReport {
     /// Checks that failed transiently: the page is retained and left on
     /// the queue for the next sweep (a 503 is not a deletion).
     pub inconclusive: u64,
+    /// Queue entries skipped because the same URL already appeared earlier
+    /// in this sweep — each URL is checked (and counted in `checked`)
+    /// exactly once per sweep, however many times it was queued.
+    pub duplicates_skipped: u64,
 }
 
 /// Drains the `CheckMissing` queue, verifying each URL with a light
@@ -51,6 +55,10 @@ pub fn purge_missing_traced(
     let mut requeue = Vec::new();
     while let Some(url) = store.check_missing.pop_front() {
         if !seen.insert(url.clone()) {
+            // same URL queued more than once (e.g. discovered missing from
+            // several referrers): dedup explicitly so one sweep never
+            // double-checks — and never double-counts — a URL
+            report.duplicates_skipped += 1;
             continue;
         }
         report.checked += 1;
@@ -88,6 +96,10 @@ pub fn purge_missing_traced(
                 ),
                 ("still_alive".to_string(), report.still_alive.into()),
                 ("inconclusive".to_string(), report.inconclusive.into()),
+                (
+                    "duplicates_skipped".to_string(),
+                    report.duplicates_skipped.into(),
+                ),
             ],
         );
     }
@@ -225,6 +237,38 @@ mod tests {
         }
         let report = purge_missing(&mut store, &u.site.server);
         assert_eq!(report.checked, 1);
+        assert_eq!(
+            report.duplicates_skipped, 4,
+            "dedup is explicit, not silent"
+        );
+        assert_eq!(report.still_alive, 1);
+    }
+
+    #[test]
+    fn purge_never_double_counts_a_requeued_url() {
+        let (u, mut store) = setup();
+        let url = University::course_url(1);
+        for _ in 0..3 {
+            store.check_missing.push_back(url.clone());
+        }
+        u.site.server.set_fault_plan(
+            websim::FaultPlan::new(2)
+                .with_rule(websim::FaultRule::unavailable(1.0).with_max_per_url(None)),
+        );
+        let report = purge_missing(&mut store, &u.site.server);
+        // one check, one transient result, two duplicates — never three
+        // checks for one URL in one sweep
+        assert_eq!(report.checked, 1);
+        assert_eq!(report.inconclusive, 1);
+        assert_eq!(report.duplicates_skipped, 2);
+        // the requeue holds the URL exactly once for the next sweep
+        assert_eq!(store.check_missing.len(), 1);
+        u.site.server.clear_fault_plan();
+        let next = purge_missing(&mut store, &u.site.server);
+        assert_eq!(next.checked, 1);
+        assert_eq!(next.duplicates_skipped, 0);
+        assert_eq!(next.still_alive, 1);
+        assert!(store.check_missing.is_empty());
     }
 
     #[test]

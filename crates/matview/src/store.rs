@@ -41,7 +41,7 @@ pub enum UrlStatus {
 }
 
 /// The local materialized store.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct MatStore {
     pages: HashMap<Url, StoredPage>,
     status: HashMap<Url, UrlStatus>,
@@ -81,6 +81,16 @@ impl MatStore {
     /// The stored page at a URL.
     pub fn get(&self, url: &Url) -> Option<&StoredPage> {
         self.pages.get(url)
+    }
+
+    /// Every stored page, URL-ordered — the deterministic inventory the
+    /// incremental-maintenance layer and the equivalence proptests compare
+    /// against (queries still go through URLCheck; this is maintenance
+    /// plumbing, not a query path).
+    pub fn pages_sorted(&self) -> Vec<(&Url, &StoredPage)> {
+        let mut out: Vec<_> = self.pages.iter().collect();
+        out.sort_by(|a, b| a.0.as_str().cmp(b.0.as_str()));
+        out
     }
 
     /// Inserts or replaces a page. A fresh download is never stale.

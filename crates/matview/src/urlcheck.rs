@@ -63,28 +63,33 @@ pub fn url_check(
         counters.from_store += 1;
         return Ok(store.get(url).map(|p| p.tuple.clone()));
     }
-    let must_download = if store.status(url) == UrlStatus::New || store.get(url).is_none() {
+    // Capture the stored access date up front: the freshness comparison
+    // below must not assume the entry is still there after the light
+    // connection (no `expect` — a missing entry means "download").
+    let stored_date = store.get(url).map(|p| p.access_date);
+    let must_download = match stored_date {
         // a brand-new page (or one we never materialized): no point in a
         // light connection, we need the content anyway
-        true
-    } else {
-        counters.light_connections += 1;
-        match server.head(url) {
-            Ok(head) => {
-                let stored = store.get(url).expect("checked above");
-                stored.access_date < head.last_modified
-            }
-            Err(e) if e.is_transient() => {
-                // can't verify freshness right now: serve the stored copy
-                // stale-but-retained instead of deleting a live page
-                return Ok(serve_stale(store, counters, url));
-            }
-            Err(_) => {
-                // the page is gone: forget it, queue for the off-line sweep
-                store.remove(url);
-                store.set_status(url.clone(), UrlStatus::Missing);
-                store.check_missing.push_back(url.clone());
-                return Ok(None);
+        None => true,
+        Some(_) if store.status(url) == UrlStatus::New => true,
+        Some(access_date) => {
+            counters.light_connections += 1;
+            match server.head(url) {
+                Ok(head) => access_date < head.last_modified,
+                Err(e) if e.is_transient() => {
+                    // can't verify freshness right now: serve the stored
+                    // copy stale-but-retained instead of deleting a live
+                    // page
+                    return Ok(serve_stale(store, counters, url));
+                }
+                Err(_) => {
+                    // the page is gone: forget it, queue for the off-line
+                    // sweep
+                    store.remove(url);
+                    store.set_status(url.clone(), UrlStatus::Missing);
+                    store.check_missing.push_back(url.clone());
+                    return Ok(None);
+                }
             }
         }
     };
@@ -414,6 +419,51 @@ mod tests {
             "got {err}"
         );
         assert_eq!(c.stale_served, 0);
+    }
+
+    #[test]
+    fn every_status_and_storage_combination_is_panic_free() {
+        // Regression for the `expect("checked above")` that used to sit on
+        // the freshness comparison: drive the check through every
+        // (status, stored copy) combination and assert it answers — never
+        // panics — in each.
+        let (u, mut store) = setup();
+        let url = University::course_url(2);
+        let combos: [(Option<UrlStatus>, bool); 6] = [
+            (None, true),                     // no status, stored → HEAD path
+            (None, false),                    // no status, nothing stored → download
+            (Some(UrlStatus::New), true),     // flagged new with a stored copy
+            (Some(UrlStatus::New), false),    // flagged new, nothing stored
+            (Some(UrlStatus::Missing), true), // suspected missing, still stored
+            (Some(UrlStatus::Missing), false),
+        ];
+        for (status, keep_copy) in combos {
+            let mut s = store.clone();
+            s.reset_status();
+            if let Some(st) = status {
+                s.set_status(url.clone(), st);
+            }
+            if !keep_copy {
+                s.remove(&url);
+            }
+            let mut c = CheckCounters::default();
+            let t = url_check(
+                &mut s,
+                &mut c,
+                &u.site.scheme,
+                &u.site.server,
+                &url,
+                "CoursePage",
+            )
+            .unwrap();
+            assert_eq!(
+                t.as_ref(),
+                u.site.ground_truth("CoursePage", &url),
+                "status {status:?}, stored {keep_copy}"
+            );
+            assert_eq!(s.status(&url), UrlStatus::Checked);
+        }
+        let _ = &mut store;
     }
 
     #[test]

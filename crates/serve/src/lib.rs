@@ -158,6 +158,72 @@ mod tests {
     }
 
     #[test]
+    fn maintained_views_answer_without_navigation_and_degrade_to_live() {
+        use dataflow::IncrementalView;
+        use nalg::NalgExpr;
+        use parking_lot::RwLock;
+        use websim::{FaultPlan, FaultRule};
+
+        let mut u = University::generate(UniversityConfig::default()).unwrap();
+        let ws = u.site.scheme.clone();
+        let q = query("depts");
+        let expr = NalgExpr::entry("DeptListPage")
+            .unnest("DeptList")
+            .follow("ToDept", "DeptPage")
+            .project(vec!["DeptPage.DName", "DeptPage.Address"]);
+
+        let mut iv = IncrementalView::new(&ws);
+        iv.materialize(&u.site.server).unwrap();
+        iv.set_cursor(u.site.change_cursor());
+        iv.register("depts", q.cache_key(), &expr, &u.site.server)
+            .unwrap();
+
+        // Degrade the view before the server exists: evict the state an
+        // upquery would need, time the server out, and push a change.
+        let (dept_url, dept_tuple) = u.site.instance("DeptPage")[0].clone();
+        let entry_url = ws.entry_point("DeptListPage").unwrap().url.clone();
+        assert!(iv.evict_slices(&dept_url));
+        assert!(iv.evict_page(&entry_url));
+        u.site
+            .server
+            .set_fault_plan(FaultPlan::new(1).with_rule(FaultRule::timeouts(1.0)));
+        u.site
+            .republish("DeptPage", dept_url, dept_tuple, "Dept")
+            .unwrap();
+        iv.sync(&u.site).unwrap();
+        assert!(iv.is_degraded(&q.cache_key()));
+        u.site.server.clear_fault_plan();
+        let views = RwLock::new(iv);
+
+        let stats = SiteStatistics::from_site(&u.site);
+        let catalog = university_catalog();
+        let source = LiveSource::for_site(&u.site);
+        let server = QueryServer::new(&u.site.scheme, &catalog, &stats, &source).with_views(&views);
+
+        // Degraded view → live evaluation, with real page accesses.
+        let live = server.serve(&q).unwrap();
+        assert!(!live.from_view());
+        let oracle = live.relation().unwrap().sorted();
+        assert!(live.outcome.as_ref().unwrap().report.page_accesses > 0);
+
+        // One change-free sync rebuilds the view; the server now answers
+        // from maintained state with zero page accesses.
+        views.write().sync(&u.site).unwrap();
+        u.site.server.reset_stats();
+        let hit = server.serve(&q).unwrap();
+        assert!(hit.from_view() && hit.outcome.is_none());
+        assert_eq!(u.site.server.stats().gets, 0, "view answers fetch nothing");
+        assert_eq!(hit.relation().unwrap().sorted(), oracle);
+
+        let s = server.stats();
+        assert_eq!((s.view_hits, s.view_fallbacks), (1, 1));
+        assert_eq!(s.requests, 2);
+        let prom = server.metrics().render_prometheus();
+        assert!(prom.contains("serve_views_answered 1"));
+        assert!(prom.contains("serve_views_fallback 1"));
+    }
+
+    #[test]
     fn concurrent_serving_matches_sequential_answers() {
         let u = University::generate(UniversityConfig::default()).unwrap();
         let stats = SiteStatistics::from_site(&u.site);

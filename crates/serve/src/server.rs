@@ -23,7 +23,8 @@
 //!    poisoned plan is dropped from the cache.
 
 use crate::cache::{quarantine_fingerprint, PlanCache, PlanCacheStats};
-use adm::WebScheme;
+use adm::{Relation, WebScheme};
+use dataflow::IncrementalView;
 use nalg::{DegradationMode, PageSource, SharedPageCache};
 use obs::{Counter, MetricsRegistry};
 use parking_lot::RwLock;
@@ -43,6 +44,11 @@ pub struct ServeOutcome {
     pub cached_plan: bool,
     /// True when admission control shed this request.
     pub shed: bool,
+    /// The answer read from an incrementally maintained view — no
+    /// navigation, no optimizer, zero page accesses. `Some` exactly when
+    /// the request was answered by [`QueryServer::with_views`] state;
+    /// `outcome` is `None` in that case.
+    pub view_answer: Option<Relation>,
 }
 
 impl ServeOutcome {
@@ -50,6 +56,19 @@ impl ServeOutcome {
     /// not shed (a shed answer is an empty `Partial`-style result).
     pub fn is_complete(&self) -> bool {
         !self.shed
+    }
+
+    /// True when a maintained view answered (no live navigation ran).
+    pub fn from_view(&self) -> bool {
+        self.view_answer.is_some()
+    }
+
+    /// The answer relation, wherever it came from: the maintained view or
+    /// the executed session. `None` only for shed requests.
+    pub fn relation(&self) -> Option<&Relation> {
+        self.view_answer
+            .as_ref()
+            .or_else(|| self.outcome.as_ref().map(|o| &o.report.relation))
     }
 }
 
@@ -69,9 +88,12 @@ pub struct QueryServer<'a, S: PageSource + Sync> {
     degradation: DegradationMode,
     audit: Option<(f64, u64)>,
     fetch_workers: Option<usize>,
+    views: Option<&'a RwLock<IncrementalView<'a>>>,
     registry: MetricsRegistry,
     requests: Counter,
     shed: Counter,
+    view_hits: Counter,
+    view_fallbacks: Counter,
 }
 
 impl<'a, S: PageSource + Sync> QueryServer<'a, S> {
@@ -97,8 +119,11 @@ impl<'a, S: PageSource + Sync> QueryServer<'a, S> {
             degradation: DegradationMode::FailFast,
             audit: None,
             fetch_workers: None,
+            views: None,
             requests: registry.counter("requests"),
             shed: registry.counter("shed"),
+            view_hits: registry.counter("views_answered"),
+            view_fallbacks: registry.counter("views_fallback"),
             registry,
         }
     }
@@ -146,6 +171,17 @@ impl<'a, S: PageSource + Sync> QueryServer<'a, S> {
     /// Served sessions evaluate with a pool of `workers` fetch threads.
     pub fn with_concurrent_fetch(mut self, workers: usize) -> Self {
         self.fetch_workers = Some(workers.max(1));
+        self
+    }
+
+    /// Attaches incrementally maintained views (keyed by
+    /// [`ConjunctiveQuery::cache_key`]): a request whose key has a live
+    /// maintained answer is served from it directly — no optimizer, no
+    /// navigation, zero page accesses. A degraded view (its maintenance
+    /// hit a transient failure) falls back to ordinary live evaluation
+    /// until a later sync rebuilds it.
+    pub fn with_views(mut self, views: &'a RwLock<IncrementalView<'a>>) -> Self {
+        self.views = Some(views);
         self
     }
 
@@ -220,8 +256,30 @@ impl<'a, S: PageSource + Sync> QueryServer<'a, S> {
                 outcome: None,
                 cached_plan: false,
                 shed: true,
+                view_answer: None,
             });
         };
+        // Maintained views first: a registered, healthy view answers with
+        // zero page accesses. A degraded one falls through to the full
+        // optimize-and-navigate pipeline below.
+        if let Some(views) = self.views {
+            let guard = views.read();
+            let key = q.cache_key();
+            if guard.is_registered(&key) {
+                match guard.answer(&key) {
+                    Some(rel) => {
+                        self.view_hits.inc();
+                        return Ok(ServeOutcome {
+                            outcome: None,
+                            cached_plan: false,
+                            shed: false,
+                            view_answer: Some(rel),
+                        });
+                    }
+                    None => self.view_fallbacks.inc(),
+                }
+            }
+        }
         // One logical tick per served request, exactly like
         // `QuerySession::run`; re-admissions change the quarantine set,
         // which the sync below turns into explicit invalidation.
@@ -253,6 +311,7 @@ impl<'a, S: PageSource + Sync> QueryServer<'a, S> {
             outcome: Some(outcome),
             cached_plan,
             shed: false,
+            view_answer: None,
         })
     }
 
@@ -261,6 +320,8 @@ impl<'a, S: PageSource + Sync> QueryServer<'a, S> {
         ServerStats {
             requests: self.requests.get(),
             shed: self.shed.get(),
+            view_hits: self.view_hits.get(),
+            view_fallbacks: self.view_fallbacks.get(),
             stats_epoch: self.stats_epoch(),
             plan_cache: self.plan_cache.stats(),
             admission: self.admission.snapshot(),
@@ -275,6 +336,10 @@ pub struct ServerStats {
     pub requests: u64,
     /// Requests shed at admission.
     pub shed: u64,
+    /// Requests answered directly from a maintained incremental view.
+    pub view_hits: u64,
+    /// Requests whose registered view was degraded, served live instead.
+    pub view_fallbacks: u64,
     /// The statistics epoch at snapshot time.
     pub stats_epoch: u64,
     /// Plan-cache counters.

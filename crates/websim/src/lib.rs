@@ -18,7 +18,10 @@
 //! * [`mutation`] — a site-update API (the autonomous site manager of the
 //!   paper's Section 1), used by the materialized-view experiments, plus
 //!   seeded constraint-drift injection ([`DriftPlan`]) that breaks declared
-//!   link/inclusion constraints for the constraint-auditing experiments;
+//!   link/inclusion constraints for the constraint-auditing experiments,
+//!   and seeded ordinary-life mutation rounds ([`MutationPlan`]) whose
+//!   edits/deletions land in the site's [`SiteChange`] feed for
+//!   incremental view maintenance to consume;
 //! * [`fault`] — deterministic, seed-driven fault injection ([`FaultPlan`])
 //!   for chaos testing: transient 5xx/timeouts, permanent link rot, slow
 //!   responses, and truncated bodies, all counted separately from the
@@ -35,12 +38,15 @@ pub mod sitegen;
 
 pub use error::WebError;
 pub use fault::{FaultKind, FaultPlan, FaultRule};
-pub use mutation::{DriftKind, DriftPlan, DriftReport, DriftRule};
+pub use mutation::{
+    DriftKind, DriftPlan, DriftReport, DriftRule, MutationKind, MutationPlan, MutationReport,
+    MutationRule,
+};
 pub use server::{
     AccessSnapshot, DriftSnapshot, FaultSnapshot, HeadResponse, PageResponse, PageServer,
     VirtualServer,
 };
-pub use site::Site;
+pub use site::{ChangeKind, Site, SiteChange};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, WebError>;

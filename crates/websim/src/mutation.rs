@@ -212,6 +212,206 @@ impl DriftPlan {
     }
 }
 
+/// What one mutation rule does to the pages of its scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MutationKind {
+    /// Rewrites the named top-level text attribute on chosen pages (a
+    /// content-only edit: link structure is untouched).
+    EditAttr {
+        /// The mono-valued text attribute to rewrite.
+        attr: String,
+    },
+    /// Drops individual links at `path`, exactly like
+    /// [`DriftKind::DropLinks`] — a link-removal edit.
+    DropLinks {
+        /// Path to the link attribute, e.g. `["CourseList", "ToCourse"]`.
+        path: Vec<String>,
+    },
+    /// Unpublishes chosen pages (a deletion; referencing pages are *not*
+    /// rewritten — the site manager "deletes pages without notifying
+    /// remote users").
+    Delete,
+}
+
+/// One mutation rule: a scheme, a kind, and a per-page (per-link for
+/// [`MutationKind::DropLinks`]) probability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MutationRule {
+    /// The page-scheme whose pages mutate.
+    pub scheme: String,
+    /// What happens to a chosen page.
+    pub kind: MutationKind,
+    /// Mutation probability per round.
+    pub rate: f64,
+}
+
+impl MutationRule {
+    /// Rewrites `attr` on `rate` of the pages of `scheme` each round.
+    pub fn edit_attr(scheme: impl Into<String>, attr: impl Into<String>, rate: f64) -> Self {
+        MutationRule {
+            scheme: scheme.into(),
+            kind: MutationKind::EditAttr { attr: attr.into() },
+            rate,
+        }
+    }
+
+    /// Drops `rate` of the links at `path` on pages of `scheme` each round.
+    pub fn drop_links(scheme: impl Into<String>, path: &[&str], rate: f64) -> Self {
+        MutationRule {
+            scheme: scheme.into(),
+            kind: MutationKind::DropLinks {
+                path: path.iter().map(|s| s.to_string()).collect(),
+            },
+            rate,
+        }
+    }
+
+    /// Deletes `rate` of the pages of `scheme` each round.
+    pub fn delete(scheme: impl Into<String>, rate: f64) -> Self {
+        MutationRule {
+            scheme: scheme.into(),
+            kind: MutationKind::Delete,
+            rate,
+        }
+    }
+}
+
+/// What one applied mutation round changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MutationReport {
+    /// Pages whose attribute was rewritten.
+    pub edited_pages: u64,
+    /// Links removed from link collections.
+    pub dropped_links: u64,
+    /// Pages unpublished.
+    pub deleted_pages: u64,
+}
+
+impl MutationReport {
+    /// Total mutation events of any kind.
+    pub fn total(&self) -> u64 {
+        self.edited_pages + self.dropped_links + self.deleted_pages
+    }
+}
+
+/// A seeded, round-based site mutator feeding the change feed.
+///
+/// Where [`DriftPlan`] models *silent inconsistency* (drift the auditing
+/// defense must catch), a `MutationPlan` models the ordinary life of a
+/// site: edits, link removals, and deletions that land in the site's
+/// [`crate::SiteChange`] feed for incremental maintenance to consume.
+/// Every decision is a pure function of (seed, rule, URL, round) — same
+/// plan, same round, same site ⇒ byte-identical mutations — and different
+/// rounds pick different pages, so a multi-round experiment exercises a
+/// changing working set deterministically.
+#[derive(Debug, Clone, Default)]
+pub struct MutationPlan {
+    /// Seed of every mutation decision.
+    pub seed: u64,
+    rules: Vec<MutationRule>,
+}
+
+impl MutationPlan {
+    /// An empty plan with a seed.
+    pub fn new(seed: u64) -> Self {
+        MutationPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Adds a rule (builder style).
+    pub fn with_rule(mut self, rule: MutationRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// True if the plan has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// True if rule `i` mutates the page at `url` in `round` — exposed so
+    /// tests can compute the exact expected mutation set without applying
+    /// the plan.
+    pub fn mutates_page(&self, i: usize, url: &Url, round: u64) -> bool {
+        self.rules
+            .get(i)
+            .is_some_and(|r| decision_fraction(self.seed, i as u64, url, round) < r.rate)
+    }
+
+    /// Applies one round of every rule to `site`. Edits republish (which
+    /// bumps Last-Modified and records `Edited`), deletions unpublish
+    /// (recording `Removed`); a round that chooses nothing leaves the
+    /// site byte-identical — no republish, no clock tick, no feed entry.
+    pub fn apply_round(&self, site: &mut Site, round: u64) -> Result<MutationReport> {
+        let mut report = MutationReport::default();
+        for (i, rule) in self.rules.iter().enumerate() {
+            for (url, tuple) in site.instance(&rule.scheme) {
+                match &rule.kind {
+                    MutationKind::EditAttr { attr } => {
+                        if !self.mutates_page(i, &url, round) {
+                            continue;
+                        }
+                        report.edited_pages += 1;
+                        let edited = edit_attr(&tuple, attr, self.seed, i as u64, round);
+                        site.republish(
+                            &rule.scheme,
+                            url,
+                            edited,
+                            &format!("{} (edit)", rule.scheme),
+                        )?;
+                    }
+                    MutationKind::DropLinks { path } => {
+                        let (t, dropped) = drop_links(&tuple, path, &|u: &Url| {
+                            decision_fraction(self.seed, i as u64, u, round) < rule.rate
+                        });
+                        if dropped == 0 {
+                            continue;
+                        }
+                        report.dropped_links += dropped;
+                        site.republish(&rule.scheme, url, t, &format!("{} (edit)", rule.scheme))?;
+                    }
+                    MutationKind::Delete => {
+                        if !self.mutates_page(i, &url, round) {
+                            continue;
+                        }
+                        if site.unpublish(&rule.scheme, &url) {
+                            report.deleted_pages += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// Rewrites `attr` with a deterministic edit marker (non-stacking, and
+/// distinct per round so every chosen round really changes the content).
+fn edit_attr(t: &Tuple, attr: &str, seed: u64, rule: u64, round: u64) -> Tuple {
+    let pairs = t
+        .clone()
+        .into_pairs()
+        .into_iter()
+        .map(|(n, v)| {
+            if n == attr {
+                let base = match &v {
+                    Value::Text(s) => s.split(" [edit ").next().unwrap_or_default().to_string(),
+                    _ => String::new(),
+                };
+                (
+                    n,
+                    Value::Text(format!("{base} [edit {seed}.{rule}.{round}]")),
+                )
+            } else {
+                (n, v)
+            }
+        })
+        .collect();
+    Tuple::from_pairs(pairs)
+}
+
 /// Rewrites `attr` with a deterministic drift marker (replacing any marker
 /// from an earlier drift application, so repeated drift does not stack).
 fn drift_attr(t: &Tuple, attr: &str, seed: u64, rule: u64) -> Tuple {
@@ -425,6 +625,68 @@ mod tests {
         assert_eq!(u.site.server.now(), clock, "no republish, no tick");
         assert_eq!(u.site.server.stats().drift.total(), 0);
         assert!(u.site.verify_constraints().is_empty());
+    }
+
+    #[test]
+    fn mutation_rounds_are_deterministic_and_feed_the_change_log() {
+        let plan = MutationPlan::new(41)
+            .with_rule(MutationRule::edit_attr("CoursePage", "Description", 0.4))
+            .with_rule(MutationRule::delete("CoursePage", 0.1));
+        let mut a = uni();
+        let cursor = a.site.change_cursor();
+        let ra = plan.apply_round(&mut a.site, 0).unwrap();
+        assert!(ra.total() > 0, "rates must choose something over 10 pages");
+        let feed: Vec<_> = a.site.changes_since(cursor).to_vec();
+        assert_eq!(
+            feed.len() as u64,
+            ra.edited_pages + ra.deleted_pages,
+            "every edit/delete lands in the feed"
+        );
+        // Identical plan on an identically generated site: identical feed.
+        let mut b = uni();
+        let rb = plan.apply_round(&mut b.site, 0).unwrap();
+        assert_eq!(ra, rb);
+        assert_eq!(b.site.changes_since(cursor), &feed[..]);
+        // A later round picks a different (still deterministic) page set.
+        let r1 = plan.apply_round(&mut a.site, 1).unwrap();
+        let r1b = plan.apply_round(&mut b.site, 1).unwrap();
+        assert_eq!(r1, r1b);
+    }
+
+    #[test]
+    fn zero_rate_mutation_round_is_pristine() {
+        let plan = MutationPlan::new(7)
+            .with_rule(MutationRule::edit_attr("CoursePage", "Description", 0.0))
+            .with_rule(MutationRule::drop_links(
+                "SessionPage",
+                &["CourseList", "ToCourse"],
+                0.0,
+            ))
+            .with_rule(MutationRule::delete("CoursePage", 0.0));
+        let mut u = uni();
+        let clock = u.site.server.now();
+        let cursor = u.site.change_cursor();
+        let report = plan.apply_round(&mut u.site, 0).unwrap();
+        assert_eq!(report, MutationReport::default());
+        assert_eq!(u.site.server.now(), clock, "no republish, no tick");
+        assert!(u.site.changes_since(cursor).is_empty());
+    }
+
+    #[test]
+    fn repeated_edits_do_not_stack_markers() {
+        let plan = MutationPlan::new(3).with_rule(MutationRule::edit_attr(
+            "CoursePage",
+            "Description",
+            1.0,
+        ));
+        let mut u = uni();
+        plan.apply_round(&mut u.site, 0).unwrap();
+        plan.apply_round(&mut u.site, 1).unwrap();
+        for (_, t) in u.site.instance("CoursePage") {
+            let d = t.get("Description").unwrap().as_text().unwrap().to_string();
+            assert_eq!(d.matches("[edit").count(), 1, "{d}");
+            assert!(d.contains(".1]"), "round 1 marker wins: {d}");
+        }
     }
 
     #[test]

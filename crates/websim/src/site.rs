@@ -14,6 +14,31 @@ use adm::constraints::{verify_inclusion_constraint, verify_link_constraint, Viol
 use adm::{Tuple, Url, WebScheme};
 use std::collections::BTreeMap;
 
+/// What happened to one page, as recorded in the site's change feed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChangeKind {
+    /// The page was published at a URL that had no page before.
+    Added,
+    /// An existing page was re-published with new content.
+    Edited,
+    /// The page was removed from the server.
+    Removed,
+}
+
+/// One entry of the site's change feed — the deterministic mutation log a
+/// maintenance process can subscribe to instead of re-crawling the world.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteChange {
+    /// Position in the feed (0-based, dense).
+    pub seq: u64,
+    /// The page-scheme of the affected page.
+    pub scheme: String,
+    /// The affected URL.
+    pub url: Url,
+    /// What happened.
+    pub kind: ChangeKind,
+}
+
 /// A generated web site.
 #[derive(Debug)]
 pub struct Site {
@@ -27,6 +52,10 @@ pub struct Site {
     /// from. This is the generator's knowledge, *not* available to the
     /// query engine (which must navigate and wrap).
     instances: BTreeMap<String, BTreeMap<Url, Tuple>>,
+    /// Append-only change feed: every publish/republish/unpublish since
+    /// the site was created, in order. Readers keep a cursor
+    /// ([`Site::change_cursor`]) and poll [`Site::changes_since`].
+    changes: Vec<SiteChange>,
 }
 
 impl Site {
@@ -37,7 +66,31 @@ impl Site {
             scheme,
             server: VirtualServer::new(),
             instances: BTreeMap::new(),
+            changes: Vec::new(),
         }
+    }
+
+    fn record_change(&mut self, scheme: &str, url: Url, kind: ChangeKind) {
+        let seq = self.changes.len() as u64;
+        self.changes.push(SiteChange {
+            seq,
+            scheme: scheme.to_string(),
+            url,
+            kind,
+        });
+    }
+
+    /// The current end-of-feed cursor. `changes_since(change_cursor())` is
+    /// always empty; take a cursor *before* mutating and the slice after
+    /// covers exactly those mutations.
+    pub fn change_cursor(&self) -> u64 {
+        self.changes.len() as u64
+    }
+
+    /// Every change recorded at or after `cursor`, in feed order.
+    pub fn changes_since(&self, cursor: u64) -> &[SiteChange] {
+        let at = (cursor as usize).min(self.changes.len());
+        &self.changes[at..]
     }
 
     /// Validates, renders, and publishes a page; records ground truth.
@@ -55,11 +108,21 @@ impl Site {
             ))));
         }
         let html = render_page(ps, &tuple, title);
+        let kind = if self
+            .instances
+            .get(scheme_name)
+            .is_some_and(|m| m.contains_key(&url))
+        {
+            ChangeKind::Edited
+        } else {
+            ChangeKind::Added
+        };
         self.server.put(url.clone(), scheme_name, html);
         self.instances
             .entry(scheme_name.to_string())
             .or_default()
-            .insert(url, tuple);
+            .insert(url.clone(), tuple);
+        self.record_change(scheme_name, url, kind);
         Ok(())
     }
 
@@ -81,6 +144,9 @@ impl Site {
         let existed = self.server.remove(url);
         if let Some(m) = self.instances.get_mut(scheme_name) {
             m.remove(url);
+        }
+        if existed {
+            self.record_change(scheme_name, url.clone(), ChangeKind::Removed);
         }
         existed
     }
@@ -256,6 +322,33 @@ mod tests {
             s.ground_truth("ItemPage", &u).unwrap().get("Name").unwrap(),
             &Value::text("two")
         );
+    }
+
+    #[test]
+    fn change_feed_records_publish_edit_remove_in_order() {
+        let mut s = mini_site();
+        let u = Url::new("/i1.html");
+        assert_eq!(s.change_cursor(), 0);
+        s.publish("ItemPage", u.clone(), Tuple::new().with("Name", "one"), "t")
+            .unwrap();
+        let cursor = s.change_cursor();
+        assert_eq!(cursor, 1);
+        assert_eq!(s.changes_since(0)[0].kind, ChangeKind::Added);
+        s.republish("ItemPage", u.clone(), Tuple::new().with("Name", "two"), "t")
+            .unwrap();
+        s.unpublish("ItemPage", &u);
+        let tail = s.changes_since(cursor);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].kind, ChangeKind::Edited);
+        assert_eq!(tail[0].url, u);
+        assert_eq!(tail[0].seq, 1);
+        assert_eq!(tail[1].kind, ChangeKind::Removed);
+        assert_eq!(tail[1].seq, 2);
+        // removing a page that is already gone records nothing
+        assert!(!s.unpublish("ItemPage", &u));
+        assert_eq!(s.change_cursor(), 3);
+        // cursor past the end is an empty slice, not a panic
+        assert!(s.changes_since(99).is_empty());
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! | [`resilience`] | fault tolerance: retry policies, circuit breakers, partial-result degradation over a chaos-capable web |
 //! | [`obs`] | observability: structured tracing, metrics registry, EXPLAIN ANALYZE plumbing |
 //! | [`serve`] | multi-tenant serving: plan cache, admission control, single-flight fetch coalescing |
+//! | [`dataflow`] | partially-stateful incremental view maintenance: change feeds, ± delta propagation, byte-budgeted partial state with upqueries |
 //!
 //! ## Quickstart
 //!
@@ -48,6 +49,7 @@
 //! ```
 
 pub use adm;
+pub use dataflow;
 pub use matview;
 pub use nalg;
 pub use obs;
@@ -64,6 +66,7 @@ pub mod prelude {
         AttrRef, Field, InclusionConstraint, LinkConstraint, PageScheme, Relation, Tuple, Url,
         Value, WebScheme, WebType,
     };
+    pub use dataflow::{DeltaReport, IncrementalView, PartialStore};
     pub use matview::{MatAnalyzedOutcome, MatOutcome, MatSession, MatStore};
     pub use nalg::{
         CoalescingSource, DegradationMode, EvalReport, Evaluator, NalgExpr, PageSource, Pred,
@@ -73,7 +76,7 @@ pub mod prelude {
         ConstraintHealth, ResilienceSnapshot, ResilientServer, ResilientSource, RetryPolicy,
     };
     pub use serve::{PlanCache, QueryServer, ServeOutcome, ServerStats};
-    pub use websim::mutation::{DriftPlan, DriftRule};
+    pub use websim::mutation::{DriftPlan, DriftRule, MutationPlan, MutationRule};
     pub use websim::sitegen::{BibConfig, Bibliography, University, UniversityConfig};
     pub use websim::{FaultPlan, FaultRule, Site, VirtualServer};
     pub use wrapper::wrap_page;
@@ -132,6 +135,49 @@ mod tests {
         let again = session.run(&q).unwrap();
         assert!(!again.fell_back());
         assert!(again.explain.report().contains("quarantined (excluded"));
+    }
+
+    // The README's "Keeping a view fresh incrementally" walkthrough: a
+    // registered view tracks a mutating site through ± delta propagation,
+    // fetching only changed pages, and the answer always matches live
+    // evaluation.
+    #[test]
+    fn readme_incremental_walkthrough() {
+        let mut site = University::generate(UniversityConfig::default()).unwrap();
+        let ws = site.site.scheme.clone();
+
+        // Materialize the site once, then register a view over it.
+        let mut views = IncrementalView::new(&ws);
+        views.materialize(&site.site.server).unwrap();
+        views.set_cursor(site.site.change_cursor());
+        let profs = NalgExpr::entry("DeptListPage")
+            .unnest("DeptList")
+            .follow("ToDept", "DeptPage")
+            .unnest("ProfList")
+            .follow("ToProf", "ProfPage")
+            .project(vec!["ProfPage.PName", "ProfPage.Rank"]);
+        views
+            .register("profs", "profs", &profs, &site.site.server)
+            .unwrap();
+
+        // The site drifts: some professors change rank.
+        let plan = MutationPlan::new(5).with_rule(MutationRule::edit_attr("ProfPage", "Rank", 0.4));
+        let mutated = plan.apply_round(&mut site.site, 0).unwrap();
+        assert!(mutated.edited_pages > 0);
+
+        // One sync drains the change feed — fetching only what changed.
+        let report = views.sync(&site.site).unwrap();
+        assert_eq!(report.changes_seen, mutated.total());
+        assert!(report.pages_fetched <= report.changes_seen);
+
+        // The maintained answer matches a from-scratch live evaluation.
+        let source = LiveSource::new(&ws, &site.site.server);
+        let live = Evaluator::new(&ws, &source)
+            .eval(&profs)
+            .unwrap()
+            .relation
+            .sorted();
+        assert_eq!(views.answer("profs").unwrap().sorted(), live);
     }
 
     // The README's "Running the server workload" walkthrough: a shared
