@@ -13,6 +13,9 @@
 pub struct BenchFile {
     /// The `experiment` field (e.g. `"x5"`).
     pub experiment: String,
+    /// The file's layout version ([`crate::json::SCHEMA_VERSION`]);
+    /// files written before the field existed parse as version 1.
+    pub schema_version: u64,
     /// The table title.
     pub title: String,
     /// Wall-clock of the run, milliseconds.
@@ -21,6 +24,9 @@ pub struct BenchFile {
     pub headers: Vec<String>,
     /// Table rows (cells as written).
     pub rows: Vec<Vec<String>>,
+    /// Latency-histogram resolution tag (e.g. `"hdr32"`), when the
+    /// experiment reports percentile columns backed by a histogram.
+    pub histogram: Option<String>,
 }
 
 /// Scans a JSON string literal starting at the opening quote; returns the
@@ -110,6 +116,24 @@ fn value_of(text: &str, key: &str) -> Result<usize, String> {
 pub fn parse(text: &str) -> Result<BenchFile, String> {
     let bytes = text.as_bytes();
     let (experiment, _) = scan_string(bytes, value_of(text, "experiment")?)?;
+    // Optional: absent in files written before the field existed.
+    let schema_version = match value_of(text, "schema_version") {
+        Ok(at) => {
+            let end = text[at..]
+                .find([',', '\n', '}'])
+                .map(|d| at + d)
+                .ok_or("unterminated schema_version")?;
+            text[at..end]
+                .trim()
+                .parse()
+                .map_err(|e| format!("schema_version: {e}"))?
+        }
+        Err(_) => 1,
+    };
+    let histogram = match value_of(text, "histogram") {
+        Ok(at) => Some(scan_string(bytes, at)?.0),
+        Err(_) => None,
+    };
     let (title, _) = scan_string(bytes, value_of(text, "title")?)?;
     let wall_start = value_of(text, "wall_clock_ms")?;
     let wall_end = text[wall_start..]
@@ -141,10 +165,12 @@ pub fn parse(text: &str) -> Result<BenchFile, String> {
     }
     Ok(BenchFile {
         experiment,
+        schema_version,
         title,
         wall_clock_ms,
         headers,
         rows,
+        histogram,
     })
 }
 
@@ -162,6 +188,15 @@ pub fn compare(a_name: &str, a: &BenchFile, b_name: &str, b: &BenchFile) -> Stri
         "benchcmp {a_name} ({}) -> {b_name} ({})\n",
         a.experiment, b.experiment
     ));
+    if a.histogram != b.histogram {
+        let name = |h: &Option<String>| h.clone().unwrap_or_else(|| "<none>".to_string());
+        out.push_str(&format!(
+            "  histogram resolution changed: {} -> {} — percentile columns are \
+             quantized on different grids; their deltas below are not comparable\n",
+            name(&a.histogram),
+            name(&b.histogram)
+        ));
+    }
     if a.headers != b.headers {
         out.push_str(&format!(
             "  headers differ:\n    before: {:?}\n    after:  {:?}\n",
@@ -223,6 +258,14 @@ pub fn run(args: &[String]) -> Result<String, String> {
     let read = |p: &String| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
     let a = parse(&read(a_path)?).map_err(|e| format!("{a_path}: {e}"))?;
     let b = parse(&read(b_path)?).map_err(|e| format!("{b_path}: {e}"))?;
+    if a.schema_version != b.schema_version {
+        return Err(format!(
+            "schema_version mismatch: {a_path} is version {}, {b_path} is version {} — \
+             the file layouts are not comparable; regenerate the older file with the \
+             current harness (`cargo run -p bench --bin harness -- <id> --json`)",
+            a.schema_version, b.schema_version
+        ));
+    }
     Ok(compare(a_path, &a, b_path, &b))
 }
 
@@ -260,6 +303,66 @@ mod tests {
         assert!(report.contains("wall clock: 10.0 ms -> 11.0 ms"));
         let same = compare("a.json", &a, "a.json", &a.clone());
         assert!(same.contains("no differences in table cells"), "{same}");
+    }
+
+    #[test]
+    fn schema_version_parses_and_legacy_defaults_to_one() {
+        let current = parse(&sample(1, 1.0)).unwrap();
+        assert_eq!(current.schema_version, crate::json::SCHEMA_VERSION);
+        // A file from before the field existed.
+        let legacy = sample(1, 1.0).replace(
+            &format!("\n  \"schema_version\": {},", crate::json::SCHEMA_VERSION),
+            "",
+        );
+        assert!(!legacy.contains("schema_version"));
+        assert_eq!(parse(&legacy).unwrap().schema_version, 1);
+    }
+
+    #[test]
+    fn run_refuses_cross_version_diffs() {
+        let dir = std::env::temp_dir().join("wv_benchcmp_ver_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let new = dir.join("new.json");
+        let old = dir.join("old.json");
+        std::fs::write(&new, sample(4, 1.0)).unwrap();
+        let legacy = sample(4, 1.0).replace(
+            &format!("\n  \"schema_version\": {},", crate::json::SCHEMA_VERSION),
+            "",
+        );
+        std::fs::write(&old, legacy).unwrap();
+        let err = run(&[
+            old.to_str().unwrap().to_string(),
+            new.to_str().unwrap().to_string(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("schema_version mismatch"), "{err}");
+        assert!(err.contains("regenerate"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn histogram_resolution_change_is_flagged() {
+        let mk = |res: &str| {
+            let mut t = Table::new("T", vec!["q", "p99 ms"]);
+            t.row(vec!["q1".into(), "4.2".into()]);
+            crate::json::experiment_json_with_extras(
+                "x5",
+                &[],
+                1.0,
+                &t,
+                &[("histogram".to_string(), format!("\"{res}\""))],
+            )
+        };
+        let a = parse(&mk("sorted")).unwrap();
+        let b = parse(&mk("hdr32")).unwrap();
+        assert_eq!(b.histogram.as_deref(), Some("hdr32"));
+        let report = compare("a", &a, "b", &b);
+        assert!(
+            report.contains("histogram resolution changed: sorted -> hdr32"),
+            "{report}"
+        );
+        let same = compare("b", &b, "b", &b.clone());
+        assert!(!same.contains("histogram resolution"), "{same}");
     }
 
     #[test]

@@ -9,8 +9,10 @@
 //! cargo run --release -p bench --bin harness -- --explain-analyze
 //! cargo run --release -p bench --bin harness -- --explain-analyze --check 4.0
 //! cargo run --release -p bench --bin harness -- x5 --json --serve-check
+//! cargo run --release -p bench --bin harness -- x5 --json --obs-check
 //! cargo run --release -p bench --bin harness -- x6 --json --dataflow-check
 //! cargo run --release -p bench --bin harness -- benchcmp old.json new.json
+//! cargo run --release -p bench --bin harness -- trace TRACE_X5.jsonl
 //! ```
 //!
 //! With `--json`, every table experiment also writes a machine-readable
@@ -24,8 +26,14 @@
 //! sequential-uncached oracle. `--dataflow-check` runs X6 at smoke scale
 //! and exits non-zero unless the delta path fetched strictly fewer pages
 //! than full refresh at equal answers, with the byte budget held and
-//! upqueries backfilling exactly. `benchcmp <a> <b>` diffs two
-//! `BENCH_<ID>.json` files cell by cell.
+//! upqueries backfilling exactly. `--obs-check` runs X5 at smoke scale
+//! under latency-only chaos with a 500µs SLO, and exits non-zero unless
+//! the run stayed divergence-free AND produced at least one schema-valid
+//! flight-recorder dump. With `--json`, X5 also writes the observed
+//! run's causal exports as `TRACE_X5.jsonl` / `FLIGHT_X5.jsonl`.
+//! `benchcmp <a> <b>` diffs two `BENCH_<ID>.json` files cell by cell;
+//! `trace <export.jsonl>` renders the per-phase latency breakdown and
+//! the slowest request's causal critical path.
 
 use bench::table::Table;
 use bench::*;
@@ -45,6 +53,18 @@ fn main() {
             }
         }
     }
+    if args.first().map(String::as_str) == Some("trace") {
+        match bench::tracecmd::run(&args[1..]) {
+            Ok(report) => {
+                print!("{report}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("trace: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     let full = args.iter().any(|a| a == "full");
     let markdown = args.iter().any(|a| a == "--markdown" || a == "md");
     let json = args.iter().any(|a| a == "--json" || a == "json");
@@ -58,6 +78,7 @@ fn main() {
     let drift_check = args.iter().any(|a| a == "--drift-check");
     let serve_check = args.iter().any(|a| a == "--serve-check");
     let dataflow_check = args.iter().any(|a| a == "--dataflow-check");
+    let obs_check = args.iter().any(|a| a == "--obs-check");
     let passthrough = |a: &String| {
         a == "full"
             || a == "--markdown"
@@ -70,6 +91,7 @@ fn main() {
             || a == "--drift-check"
             || a == "--serve-check"
             || a == "--dataflow-check"
+            || a == "--obs-check"
             || check_value.contains(a)
     };
     let want = |id: &str| {
@@ -218,8 +240,22 @@ fn main() {
             eprintln!("drift check ok: quarantine fired and every fallback matched the default navigation");
         }
     }
-    if want("x5") || serve_check {
-        let cfg = if serve_check && !full {
+    if want("x5") || serve_check || obs_check {
+        let cfg = if obs_check && !full {
+            // Observability smoke: smoke scale plus latency-only chaos
+            // and an unmeetable SLO, so the run is guaranteed to breach
+            // its objective and take at least one flight dump.
+            bench::ServeLoadConfig {
+                requests: 48,
+                workers: 4,
+                latency: std::time::Duration::from_millis(1),
+                open_loop_interval: std::time::Duration::from_millis(2),
+                slo: std::time::Duration::from_micros(500),
+                chaos_slow_rate: 0.3,
+                chaos_slow_delay: std::time::Duration::from_millis(10),
+                ..bench::ServeLoadConfig::default()
+            }
+        } else if serve_check && !full {
             // CI smoke scale: small stream, short simulated latency.
             bench::ServeLoadConfig {
                 requests: 48,
@@ -257,6 +293,46 @@ fn main() {
                 Ok(p) => eprintln!("wrote {}", p.display()),
                 Err(e) => eprintln!("BENCH_X5.json: {e}"),
             }
+            // The observed run's causal exports ride along as JSONL:
+            // one request per line (TRACE), plus every flight dump
+            // (FLIGHT) when something triggered.
+            match std::fs::write("TRACE_X5.jsonl", &smoke.trace_jsonl) {
+                Ok(()) => eprintln!("wrote TRACE_X5.jsonl"),
+                Err(e) => eprintln!("TRACE_X5.jsonl: {e}"),
+            }
+            if !smoke.flight_jsonl.is_empty() {
+                match std::fs::write("FLIGHT_X5.jsonl", &smoke.flight_jsonl) {
+                    Ok(()) => eprintln!("wrote FLIGHT_X5.jsonl"),
+                    Err(e) => eprintln!("FLIGHT_X5.jsonl: {e}"),
+                }
+            }
+        }
+        if obs_check {
+            if smoke.rows_diverged > 0 {
+                eprintln!(
+                    "obs check FAILED: {} served answer(s) diverged under chaos — tracing or faults changed bytes",
+                    smoke.rows_diverged
+                );
+                std::process::exit(1);
+            }
+            if smoke.flight_dumps == 0 || smoke.flight_jsonl.is_empty() {
+                eprintln!("obs check FAILED: no flight-recorder dump was taken");
+                std::process::exit(1);
+            }
+            let dumped = bench::tracecmd::parse_export(&smoke.flight_jsonl);
+            if dumped.is_empty() {
+                eprintln!(
+                    "obs check FAILED: flight dump did not schema-validate as request traces"
+                );
+                std::process::exit(1);
+            }
+            println!("{}", bench::tracecmd::render(&dumped));
+            eprintln!(
+                "obs check ok: zero divergence under chaos, {} flight dump(s), {} traced request(s) schema-validated, slo_burning={}",
+                smoke.flight_dumps,
+                dumped.len(),
+                smoke.slo_burning
+            );
         }
         if serve_check {
             if smoke.hit_rate <= 0.0 {

@@ -22,6 +22,12 @@
 use crate::table::Table;
 use std::path::{Path, PathBuf};
 
+/// Version of the `BENCH_<ID>.json` layout. Bump it whenever a change
+/// makes old and new files non-comparable (fields added/removed,
+/// percentile backing changed); `benchcmp` refuses to diff across
+/// versions. Files written before the field existed are version 1.
+pub const SCHEMA_VERSION: u64 = 2;
+
 /// Escapes a string for a JSON string literal.
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -81,8 +87,9 @@ pub fn experiment_json_with_extras(
         .map(|(k, raw)| format!(",\n  \"{}\": {}", escape(k), raw))
         .collect();
     format!(
-        "{{\n  \"experiment\": \"{}\",\n  \"title\": \"{}\",\n  \"parameters\": {{ {} }},\n  \"wall_clock_ms\": {:.1},\n  \"headers\": {},\n  \"rows\": [\n{}\n  ]{}\n}}\n",
+        "{{\n  \"experiment\": \"{}\",\n  \"schema_version\": {},\n  \"title\": \"{}\",\n  \"parameters\": {{ {} }},\n  \"wall_clock_ms\": {:.1},\n  \"headers\": {},\n  \"rows\": [\n{}\n  ]{}\n}}\n",
         escape(id),
+        SCHEMA_VERSION,
         escape(&table.title),
         params.join(", "),
         wall_clock_ms,
@@ -144,6 +151,7 @@ mod tests {
         t.row(vec!["1".into(), "x\ny".into()]);
         let j = experiment_json("e9", &[("scale", "[1, 2]".into())], 12.34, &t);
         assert!(j.contains("\"experiment\": \"e9\""));
+        assert!(j.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")));
         assert!(j.contains("\"title\": \"T \\\"quoted\\\"\""));
         assert!(j.contains("\"scale\": \"[1, 2]\""));
         assert!(j.contains("\"wall_clock_ms\": 12.3"));

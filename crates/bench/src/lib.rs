@@ -22,6 +22,7 @@ pub mod fixtures;
 pub mod json;
 pub mod serving;
 pub mod table;
+pub mod tracecmd;
 
 pub use dataflow_x6::{x6_dataflow, DataflowConfig, DataflowSmoke};
 pub use serving::{x5_serving, ServeLoadConfig, ServeSmoke};

@@ -23,6 +23,7 @@
 
 use crate::fixtures::university_workload;
 use crate::table::Table;
+use obs::{FixedHistogram, FlightRecorder, LatencyObjective, PhaseBreakdown, SloTracker};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serve::QueryServer;
@@ -49,6 +50,18 @@ pub struct ServeLoadConfig {
     pub latency: Duration,
     /// Open-loop inter-arrival gap.
     pub open_loop_interval: Duration,
+    /// Per-request latency objective for the observed (open-loop) run:
+    /// a request over this threshold breaches the SLO and fires the
+    /// flight recorder. CI's `obs-smoke` shrinks it to force breaches.
+    pub slo: Duration,
+    /// Latency-only chaos on the observed run: with probability
+    /// `chaos_slow_rate` a GET is delayed by `chaos_slow_delay`
+    /// ([`websim::FaultRule::slow`], seeded by `seed`). Slowdowns never
+    /// change bytes, so the divergence gate still holds — this is how
+    /// `--obs-check` guarantees an SLO breach and a flight dump.
+    pub chaos_slow_rate: f64,
+    /// Injected delay per slowed GET (see `chaos_slow_rate`).
+    pub chaos_slow_delay: Duration,
 }
 
 impl Default for ServeLoadConfig {
@@ -60,6 +73,9 @@ impl Default for ServeLoadConfig {
             zipf_s: 1.1,
             latency: Duration::from_millis(2),
             open_loop_interval: Duration::from_millis(5),
+            slo: Duration::from_millis(250),
+            chaos_slow_rate: 0.0,
+            chaos_slow_delay: Duration::from_millis(20),
         }
     }
 }
@@ -69,7 +85,8 @@ pub struct ServeSmoke {
     /// One row per load shape.
     pub table: Table,
     /// Raw-JSON extras for `BENCH_X5.json`: GET counts per shape,
-    /// plan-cache counters, coalescing counters.
+    /// plan-cache counters, coalescing counters, per-phase latency
+    /// totals, the SLO snapshot, and flight-recorder trigger counts.
     pub extras: Vec<(String, String)>,
     /// Plan-cache hit rate of the closed-loop coalesce-on run — the CI
     /// smoke gate asserts it is positive.
@@ -80,6 +97,19 @@ pub struct ServeSmoke {
     /// Server GETs saved by coalescing: `(off - on) / off`, in percent,
     /// at identical schedule and worker count.
     pub gets_saved_pct: f64,
+    /// Full request traces of the observed open-loop run, one JSON line
+    /// per request sorted by request id (`TRACE_X5.jsonl`).
+    pub trace_jsonl: String,
+    /// Every flight-recorder dump taken during the observed run, as
+    /// concatenated JSON-lines exports (`FLIGHT_X5.jsonl`); empty when
+    /// nothing triggered.
+    pub flight_jsonl: String,
+    /// Flight dumps taken during the observed run.
+    pub flight_dumps: usize,
+    /// True when any SLO burn window ended the run over budget.
+    pub slo_burning: bool,
+    /// Summed per-phase latency of the observed run's requests.
+    pub phase_totals: PhaseBreakdown,
 }
 
 /// A seeded Zipf schedule: `count` indices into `0..n`, rank `r`
@@ -101,38 +131,42 @@ fn zipf_schedule(seed: u64, n: usize, count: usize, s: f64) -> Vec<usize> {
         .collect()
 }
 
-/// Latency percentile (ms) over a sorted slice of microsecond samples.
-fn pct_ms(sorted_us: &[u64], p: f64) -> f64 {
-    if sorted_us.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
-    sorted_us[idx] as f64 / 1e3
-}
-
 struct LoadOut {
-    latencies_us: Vec<u64>,
+    /// Fixed-precision latency histogram (µs): the p50/p99/p99.9 columns
+    /// read it, so their quantization error is bounded at ~3.1% instead
+    /// of the coarse sorted-index estimate older runs reported.
+    hist: FixedHistogram,
     diverged: u64,
     wall_ms: f64,
+    /// Summed per-phase latency across requests that reported phases
+    /// (only the observed run does; zero elsewhere).
+    phases: PhaseBreakdown,
 }
 
 impl LoadOut {
     fn row(&self, label: &str, requests: usize, gets: u64, hit_rate: Option<f64>) -> Vec<String> {
-        let mut sorted = self.latencies_us.clone();
-        sorted.sort_unstable();
+        let pct_ms = |q: f64| self.hist.value_at_quantile(q) as f64 / 1e3;
         vec![
             label.to_string(),
             requests.to_string(),
             format!("{:.0}", self.wall_ms),
             format!("{:.0}", requests as f64 / (self.wall_ms / 1e3).max(1e-9)),
-            format!("{:.1}", pct_ms(&sorted, 0.50)),
-            format!("{:.1}", pct_ms(&sorted, 0.99)),
-            format!("{:.1}", pct_ms(&sorted, 0.999)),
+            format!("{:.1}", pct_ms(0.50)),
+            format!("{:.1}", pct_ms(0.99)),
+            format!("{:.1}", pct_ms(0.999)),
             gets.to_string(),
             hit_rate.map_or("—".to_string(), |r| format!("{:.0}%", r * 100.0)),
             self.diverged.to_string(),
         ]
     }
+}
+
+fn add_phases(acc: &mut PhaseBreakdown, p: &PhaseBreakdown) {
+    acc.queue_us += p.queue_us;
+    acc.plan_us += p.plan_us;
+    acc.fetch_us += p.fetch_us;
+    acc.eval_us += p.eval_us;
+    acc.view_us += p.view_us;
 }
 
 type Oracle = (adm::Relation, u64);
@@ -161,13 +195,15 @@ fn drive<S: nalg::PageSource + Sync>(
 ) -> LoadOut {
     let next = AtomicUsize::new(0);
     let diverged = AtomicU64::new(0);
-    let latencies = Mutex::new(Vec::with_capacity(schedule.len()));
+    let hist = FixedHistogram::new();
+    let phases = Mutex::new(PhaseBreakdown::default());
     let start = Instant::now();
     std::thread::scope(|scope| {
         for w in 0..workers {
-            let (next, diverged, latencies) = (&next, &diverged, &latencies);
+            let (next, diverged, phases) = (&next, &diverged, &phases);
+            let hist = hist.clone();
             scope.spawn(move || {
-                let mut local = Vec::new();
+                let mut local = PhaseBreakdown::default();
                 if let Some(interval) = open_loop_interval {
                     let mut i = w;
                     while i < schedule.len() {
@@ -176,9 +212,18 @@ fn drive<S: nalg::PageSource + Sync>(
                         if due > now {
                             std::thread::sleep(due - now);
                         }
+                        // Scheduling delay behind slower requests: how
+                        // late this request started past its due time.
+                        let queue_us =
+                            Instant::now().saturating_duration_since(due).as_micros() as u64;
                         let out = server.serve(&queries[schedule[i]].1).expect("serve");
-                        local
-                            .push(Instant::now().saturating_duration_since(due).as_micros() as u64);
+                        hist.observe(
+                            Instant::now().saturating_duration_since(due).as_micros() as u64
+                        );
+                        if let Some(mut p) = out.phases {
+                            p.queue_us = queue_us;
+                            add_phases(&mut local, &p);
+                        }
                         check(out.outcome.as_ref(), &oracle[schedule[i]], diverged);
                         i += workers;
                     }
@@ -190,18 +235,22 @@ fn drive<S: nalg::PageSource + Sync>(
                         }
                         let t0 = Instant::now();
                         let out = server.serve(&queries[schedule[i]].1).expect("serve");
-                        local.push(t0.elapsed().as_micros() as u64);
+                        hist.observe(t0.elapsed().as_micros() as u64);
+                        if let Some(p) = out.phases {
+                            add_phases(&mut local, &p);
+                        }
                         check(out.outcome.as_ref(), &oracle[schedule[i]], diverged);
                     }
                 }
-                latencies.lock().unwrap().extend(local);
+                add_phases(&mut phases.lock().unwrap(), &local);
             });
         }
     });
     LoadOut {
-        latencies_us: latencies.into_inner().unwrap(),
+        hist,
         diverged: diverged.load(Ordering::Relaxed),
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        phases: phases.into_inner().unwrap(),
     }
 }
 
@@ -252,20 +301,21 @@ pub fn x5_serving(cfg: &ServeLoadConfig) -> ServeSmoke {
     u.site.server.reset_stats();
     let seq = {
         let diverged = AtomicU64::new(0);
-        let mut latencies = Vec::with_capacity(schedule.len());
+        let hist = FixedHistogram::new();
         let start = Instant::now();
         for &qi in &schedule {
             let t0 = Instant::now();
             let out = QuerySession::new(&u.site.scheme, &catalog, &stats, &live)
                 .run(&queries[qi].1)
                 .expect("sequential run");
-            latencies.push(t0.elapsed().as_micros() as u64);
+            hist.observe(t0.elapsed().as_micros() as u64);
             check(Some(&out), &oracle[qi], &diverged);
         }
         LoadOut {
-            latencies_us: latencies,
+            hist,
             diverged: diverged.load(Ordering::Relaxed),
             wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            phases: PhaseBreakdown::default(),
         }
     };
     let seq_gets = u.site.server.stats().gets;
@@ -303,11 +353,33 @@ pub fn x5_serving(cfg: &ServeLoadConfig) -> ServeSmoke {
     ));
 
     // 4 — open loop, coalescing ON: fixed arrivals, latency includes
-    // queueing behind slower requests.
+    // queueing behind slower requests. This run is fully observed:
+    // request-scoped tracing, the latency SLO, and the flight recorder
+    // ride along (the oracle check still pins rows and accesses, so the
+    // run itself proves tracing is paper-blind under load).
     u.site.server.reset_stats();
+    if cfg.chaos_slow_rate > 0.0 {
+        u.site
+            .server
+            .set_fault_plan(
+                websim::FaultPlan::new(cfg.seed).with_rule(websim::FaultRule::slow(
+                    cfg.chaos_slow_rate,
+                    cfg.chaos_slow_delay.as_micros() as u64,
+                )),
+            );
+    }
     let coalesced_open = nalg::CoalescingSource::new(&live);
+    let slo = SloTracker::new(LatencyObjective::new(
+        "serve",
+        cfg.slo.as_micros() as u64,
+        0.99,
+    ));
+    let recorder = FlightRecorder::with_capacity(cfg.requests.max(16), 8);
     let server = QueryServer::new(&u.site.scheme, &catalog, &stats, &coalesced_open)
-        .with_admission_capacity(cfg.workers);
+        .with_admission_capacity(cfg.workers)
+        .with_trace(cfg.seed)
+        .with_slo(&slo)
+        .with_flight_recorder(&recorder);
     let open = drive(
         &server,
         &queries,
@@ -323,6 +395,7 @@ pub fn x5_serving(cfg: &ServeLoadConfig) -> ServeSmoke {
         open_gets,
         Some(server.stats().plan_cache.hit_rate()),
     ));
+    u.site.server.clear_fault_plan();
     u.site.server.set_latency(Duration::ZERO);
 
     let gets_saved_pct = if off_gets > 0 {
@@ -331,7 +404,44 @@ pub fn x5_serving(cfg: &ServeLoadConfig) -> ServeSmoke {
         0.0
     };
     let pc = on_stats.plan_cache;
+    let slo_snapshot = slo.snapshot();
+    let dumps = recorder.dumps();
+    let flight_jsonl: String = dumps.iter().map(|d| d.export_jsonl()).collect();
+    let triggers: String = recorder
+        .fired()
+        .iter()
+        .map(|(k, n)| format!("\"{}\": {n}", k.as_str()))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let p = &open.phases;
+    let n = cfg.requests.max(1) as u64;
     let extras = vec![
+        (
+            "histogram".to_string(),
+            format!("\"{}\"", obs::hist::RESOLUTION),
+        ),
+        (
+            "phases".to_string(),
+            format!(
+                "{{\"requests\": {}, \"totals\": {}, \"mean_us\": {{\"queue\": {}, \"plan\": {}, \"fetch\": {}, \"eval\": {}, \"view\": {}}}}}",
+                cfg.requests,
+                p.to_json(),
+                p.queue_us / n,
+                p.plan_us / n,
+                p.fetch_us / n,
+                p.eval_us / n,
+                p.view_us / n,
+            ),
+        ),
+        ("slo".to_string(), slo_snapshot.to_json()),
+        (
+            "trace".to_string(),
+            format!(
+                "{{\"requests_traced\": {}, \"flight_dumps\": {}, \"triggers\": {{{triggers}}}}}",
+                recorder.recent().len(),
+                dumps.len(),
+            ),
+        ),
         (
             "gets".to_string(),
             format!(
@@ -362,6 +472,11 @@ pub fn x5_serving(cfg: &ServeLoadConfig) -> ServeSmoke {
         hit_rate: pc.hit_rate(),
         rows_diverged: seq.diverged + off.diverged + on.diverged + open.diverged,
         gets_saved_pct,
+        trace_jsonl: recorder.export_recent_jsonl(),
+        flight_jsonl,
+        flight_dumps: dumps.len(),
+        slo_burning: slo_snapshot.burning(),
+        phase_totals: open.phases,
     }
 }
 
@@ -381,12 +496,23 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_read_the_sorted_tail() {
-        let us: Vec<u64> = (0..1000).collect();
-        assert_eq!(pct_ms(&us, 0.50), 0.5);
-        assert_eq!(pct_ms(&us, 0.99), 0.989);
-        assert_eq!(pct_ms(&us, 0.999), 0.998);
-        assert_eq!(pct_ms(&[], 0.5), 0.0);
+    fn percentile_columns_read_the_fixed_histogram() {
+        let h = FixedHistogram::new();
+        for v in 1..=1000u64 {
+            h.observe(v * 100); // 0.1ms .. 100ms
+        }
+        let out = LoadOut {
+            hist: h,
+            diverged: 0,
+            wall_ms: 10.0,
+            phases: PhaseBreakdown::default(),
+        };
+        let row = out.row("x", 1000, 0, None);
+        let p50: f64 = row[4].parse().unwrap();
+        let p99: f64 = row[5].parse().unwrap();
+        // Within the histogram's 3.1% resolution of the true 50ms/99ms.
+        assert!((p50 - 50.0).abs() <= 50.0 / 30.0, "p50 {p50}");
+        assert!((p99 - 99.0).abs() <= 99.0 / 30.0, "p99 {p99}");
     }
 
     #[test]
@@ -409,5 +535,45 @@ mod tests {
         assert!(smoke.gets_saved_pct >= 0.0);
         // every row answered: diverged column is "0" everywhere
         assert!(smoke.table.rows.iter().all(|r| r[9] == "0"));
+        // The observed open-loop run traced every request…
+        assert_eq!(smoke.trace_jsonl.lines().count(), 42);
+        assert!(smoke.trace_jsonl.contains("serve.request"));
+        // …with phases measured (42 plans were all run or cache-hit).
+        assert!(smoke.phase_totals.plan_us > 0);
+        assert!(smoke.phase_totals.fetch_us > 0, "2ms GETs must show up");
+        // Extras carry the new observability fields.
+        let keys: Vec<&str> = smoke.extras.iter().map(|(k, _)| k.as_str()).collect();
+        for k in ["histogram", "phases", "slo", "trace", "gets", "plan_cache"] {
+            assert!(keys.contains(&k), "missing extra {k}");
+        }
+        let slo = &smoke.extras.iter().find(|(k, _)| k == "slo").unwrap().1;
+        assert!(slo.contains("\"p99_us\":"), "{slo}");
+    }
+
+    #[test]
+    fn x5_same_seed_runs_export_byte_identical_causal_traces() {
+        let cfg = ServeLoadConfig {
+            requests: 12,
+            workers: 3,
+            latency: Duration::from_micros(200),
+            open_loop_interval: Duration::from_micros(500),
+            ..ServeLoadConfig::default()
+        };
+        let causal = |smoke: &ServeSmoke| {
+            // Strip the wall-clock facets: keep only the request lines'
+            // deterministic prefix order (request ids) — full causal
+            // byte-identity is pinned at the workspace level.
+            smoke
+                .trace_jsonl
+                .lines()
+                .map(|l| {
+                    let at = l.find("\"latency_us\"").unwrap();
+                    l[..at].to_string()
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = x5_serving(&cfg);
+        let b = x5_serving(&cfg);
+        assert_eq!(causal(&a), causal(&b), "same seed, same request ids");
     }
 }

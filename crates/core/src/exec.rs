@@ -125,6 +125,9 @@ pub struct QuerySession<'a, S: PageSource> {
     shared_cache: Option<&'a SharedPageCache>,
     degradation: DegradationMode,
     trace: Option<TraceSink>,
+    /// Parent span id planner events and the top-level operator span
+    /// nest under (set by the serving layer's request root span).
+    trace_parent: Option<u64>,
     /// `(rate, seed)` for runtime constraint auditing; `None` (or a zero
     /// rate) disables it.
     audit: Option<(f64, u64)>,
@@ -159,6 +162,7 @@ impl<'a, S: PageSource> QuerySession<'a, S> {
             shared_cache: None,
             degradation: DegradationMode::FailFast,
             trace: None,
+            trace_parent: None,
             audit: None,
             health: None,
             concurrency: None,
@@ -193,6 +197,15 @@ impl<'a, S: PageSource> QuerySession<'a, S> {
     /// with or without a sink attached.
     pub fn with_trace(mut self, sink: &TraceSink) -> Self {
         self.trace = Some(sink.clone());
+        self
+    }
+
+    /// Parents everything this session traces — optimizer rule events,
+    /// the top-level operator span, audit events — under `parent`, so a
+    /// served request's planning and execution form one causal tree
+    /// rooted at the server's request span. A no-op without a sink.
+    pub fn with_trace_parent(mut self, parent: u64) -> Self {
+        self.trace_parent = Some(parent);
         self
     }
 
@@ -247,6 +260,9 @@ impl<'a, S: PageSource> QuerySession<'a, S> {
         }
         if let Some(sink) = trace {
             ev = ev.with_trace(sink);
+            if let Some(parent) = self.trace_parent {
+                ev = ev.with_trace_parent(parent);
+            }
         }
         if let Some((workers, enable)) = self.concurrency {
             ev = enable(ev, workers);
@@ -261,6 +277,9 @@ impl<'a, S: PageSource> QuerySession<'a, S> {
         }
         if let Some(sink) = trace {
             opt = opt.with_trace(sink);
+            if let Some(parent) = self.trace_parent {
+                opt = opt.with_trace_parent(parent);
+            }
         }
         if let Some(h) = self.health {
             opt = opt.with_constraint_health(h);

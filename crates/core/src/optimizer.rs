@@ -175,6 +175,7 @@ pub struct Optimizer<'a> {
     /// (see [`crate::views`]); off by default.
     pub use_incomplete_navigations: bool,
     trace: Option<TraceSink>,
+    trace_parent: Option<u64>,
     health: Option<&'a ConstraintHealth>,
 }
 
@@ -189,6 +190,7 @@ impl<'a> Optimizer<'a> {
             max_candidates: 128,
             use_incomplete_navigations: false,
             trace: None,
+            trace_parent: None,
             health: None,
         }
     }
@@ -219,6 +221,15 @@ impl<'a> Optimizer<'a> {
         self
     }
 
+    /// Parents every traced rule event (and the summary) under `parent`
+    /// — the serving layer passes its request root span so rule 1–9
+    /// planning shows up inside the request's causal tree. A no-op
+    /// without a sink.
+    pub fn with_trace_parent(mut self, parent: u64) -> Self {
+        self.trace_parent = Some(parent);
+        self
+    }
+
     /// Records one rule application: the rule's name plus the cost
     /// estimate of the expression before (when there is one — rule 1
     /// conjures plans out of the query) and after the rewrite.
@@ -242,7 +253,7 @@ impl<'a> Optimizer<'a> {
             fields.push(("pages_after".to_string(), est.cost.pages.into()));
             fields.push(("bytes_after".to_string(), est.cost.bytes.into()));
         }
-        sink.event(EventKind::Optimizer, rule, None, fields);
+        sink.event(EventKind::Optimizer, rule, self.trace_parent, fields);
     }
 
     /// Allows incomplete navigations (builder style).
@@ -415,7 +426,7 @@ impl<'a> Optimizer<'a> {
             sink.event(
                 EventKind::Optimizer,
                 "optimizer.summary",
-                None,
+                self.trace_parent,
                 vec![
                     ("seeds".to_string(), (seed_count as u64).into()),
                     ("pool".to_string(), (pool_count as u64).into()),

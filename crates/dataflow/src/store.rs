@@ -226,6 +226,17 @@ impl PartialStore {
         };
         // Upquery: one ordinary GET, counted by the server like any fetch.
         self.upqueries.inc();
+        if let Some(ctx) = obs::reqctx::current() {
+            ctx.sink.event(
+                obs::EventKind::Dataflow,
+                "dataflow.upquery",
+                Some(ctx.parent),
+                vec![
+                    ("url".to_string(), url.as_str().into()),
+                    ("request".to_string(), ctx.request_id.into()),
+                ],
+            );
+        }
         match server.get(url) {
             Ok(resp) => {
                 let ps = ws.scheme(&skel.scheme)?;

@@ -292,7 +292,63 @@ impl<'a> IncrementalView<'a> {
 
     /// Applies a batch of feed entries (the three-phase protocol in the
     /// module docs) and rebuilds or retries any view whose state was lost.
+    ///
+    /// With a trace sink attached the whole batch runs under a
+    /// `dataflow.sync` span, and an [`obs::reqctx`] context is installed
+    /// for its duration so store upqueries issued on the views' behalf
+    /// attribute themselves to the sync (as `dataflow.upquery` events
+    /// parented under the span).
     pub fn apply_changes(
+        &mut self,
+        server: &impl PageServer,
+        changes: &[SiteChange],
+    ) -> Result<DeltaReport> {
+        let Some(trace) = self.trace.clone() else {
+            return self.apply_changes_inner(server, changes);
+        };
+        let mut span = trace.begin(EventKind::Dataflow, "dataflow.sync", None);
+        let parent = span.id();
+        let ctx = obs::reqctx::RequestCtx {
+            sink: trace.clone(),
+            parent,
+            request_id: 0,
+            clock: obs::reqctx::FetchClock::new(),
+        };
+        let res = obs::reqctx::with_ctx(Some(ctx), || self.apply_changes_inner(server, changes));
+        match &res {
+            Ok(rep) => {
+                span.set("changes", rep.changes_seen);
+                span.set("pages_fetched", rep.pages_fetched);
+                span.set("pages_dropped", rep.pages_dropped);
+                span.set("upqueries", rep.upqueries);
+                span.set("rows_added", rep.rows_added);
+                span.set("rows_removed", rep.rows_removed);
+                span.set("view_rebuilds", rep.view_rebuilds);
+                for v in &self.views {
+                    let name = v.name.clone();
+                    v.tree.root.visit_counters(&mut |label, adds, removes| {
+                        if adds > 0 || removes > 0 {
+                            trace.event(
+                                EventKind::Dataflow,
+                                format!("dataflow.δ {label}"),
+                                Some(parent),
+                                vec![
+                                    ("view".to_string(), name.as_str().into()),
+                                    ("adds".to_string(), adds.into()),
+                                    ("removes".to_string(), removes.into()),
+                                ],
+                            );
+                        }
+                    });
+                }
+            }
+            Err(e) => span.set("error", e.to_string()),
+        }
+        trace.finish(span);
+        res
+    }
+
+    fn apply_changes_inner(
         &mut self,
         server: &impl PageServer,
         changes: &[SiteChange],
@@ -486,35 +542,6 @@ impl<'a> IncrementalView<'a> {
         self.rows_added_c.add(rep.rows_added);
         self.rows_removed_c.add(rep.rows_removed);
 
-        if let Some(trace) = &self.trace {
-            let mut span = trace.begin(EventKind::Maintenance, "dataflow.sync", None);
-            span.set("changes", rep.changes_seen);
-            span.set("pages_fetched", rep.pages_fetched);
-            span.set("pages_dropped", rep.pages_dropped);
-            span.set("upqueries", rep.upqueries);
-            span.set("rows_added", rep.rows_added);
-            span.set("rows_removed", rep.rows_removed);
-            span.set("view_rebuilds", rep.view_rebuilds);
-            let parent = span.id();
-            for v in &self.views {
-                let name = v.name.clone();
-                v.tree.root.visit_counters(&mut |label, adds, removes| {
-                    if adds > 0 || removes > 0 {
-                        trace.event(
-                            EventKind::Operator,
-                            format!("dataflow.δ {label}"),
-                            Some(parent),
-                            vec![
-                                ("view".to_string(), name.as_str().into()),
-                                ("adds".to_string(), adds.into()),
-                                ("removes".to_string(), removes.into()),
-                            ],
-                        );
-                    }
-                });
-            }
-            trace.finish(span);
-        }
         Ok(rep)
     }
 }

@@ -278,14 +278,22 @@ pub struct Evaluator<'a, S: PageSource> {
     /// Optional trace sink: one [`EventKind::Operator`] span per operator
     /// in the evaluated plan. `None` (the default) costs nothing.
     trace: Option<TraceSink>,
+    /// Parent span id the top-level operator span (and pool/audit
+    /// events) nest under — set by the serving layer so a whole
+    /// evaluation hangs off its request's root span.
+    trace_parent: Option<u64>,
 }
 
 type PooledRun<'a, S> = fn(&Evaluator<'a, S>, &NalgExpr) -> Result<EvalReport>;
 
 fn run_pooled<S: PageSource + Sync>(ev: &Evaluator<'_, S>, expr: &NalgExpr) -> Result<EvalReport> {
-    crate::fetch::with_pool(ev.source, ev.fetch_workers, ev.trace.as_ref(), |pool| {
-        ev.eval_with(expr, Some(pool))
-    })
+    crate::fetch::with_pool(
+        ev.source,
+        ev.fetch_workers,
+        ev.trace.as_ref(),
+        ev.trace_parent,
+        |pool| ev.eval_with(expr, Some(pool)),
+    )
 }
 
 struct Ctx {
@@ -320,6 +328,7 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
             audit: None,
             pooled_run: None,
             trace: None,
+            trace_parent: None,
         }
     }
 
@@ -383,6 +392,15 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
         self
     }
 
+    /// Parents every span this evaluation opens (the top-level operator
+    /// span, fetch-worker terminals, audit events) under `parent`, so a
+    /// request's whole evaluation is one connected causal tree. A no-op
+    /// without a trace sink.
+    pub fn with_trace_parent(mut self, parent: u64) -> Self {
+        self.trace_parent = Some(parent);
+        self
+    }
+
     /// Evaluates a computable expression.
     pub fn eval(&self, expr: &NalgExpr) -> Result<EvalReport> {
         if !expr.is_computable() {
@@ -410,7 +428,7 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
             audit_seen: HashSet::new(),
             audit_sampled: BTreeSet::new(),
         };
-        let relation = self.eval_expr(expr, &mut ctx, pool, None)?;
+        let relation = self.eval_expr(expr, &mut ctx, pool, self.trace_parent)?;
         let audit = self.run_audit(&mut ctx);
         Ok(EvalReport {
             relation,
@@ -498,7 +516,7 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                 sink.event(
                     EventKind::Constraint,
                     "audit",
-                    None,
+                    self.trace_parent,
                     vec![
                         ("constraint".to_string(), row.key.as_str().into()),
                         ("checks".to_string(), row.checks.into()),
@@ -512,7 +530,7 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                     sink.event(
                         EventKind::Constraint,
                         "violation",
-                        None,
+                        self.trace_parent,
                         vec![
                             ("constraint".to_string(), row.key.as_str().into()),
                             ("detail".to_string(), detail.as_str().into()),
@@ -541,7 +559,7 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                 return Ok(Some(t));
             }
         }
-        match self.source.fetch_stamped(url, scheme) {
+        match timed_fetch_stamped(self.source, url, scheme) {
             Ok((t, lm)) => {
                 ctx.page_accesses += 1;
                 if self.cache_enabled {
@@ -816,7 +834,7 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                     }
                     None => {
                         for u in misses {
-                            let outcome = self.source.fetch_stamped(&u, target);
+                            let outcome = timed_fetch_stamped(self.source, &u, target);
                             complete(ctx, &mut seen, &mut target_cols, u, outcome)?;
                         }
                     }
@@ -841,6 +859,26 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                 Ok(out)
             }
         }
+    }
+}
+
+/// Fetches through the source, charging wall-clock time to the ambient
+/// request's fetch clock when one is installed (see [`obs::reqctx`]).
+/// Without a context this is a plain passthrough — timing never touches
+/// results or counters.
+pub(crate) fn timed_fetch_stamped<S: PageSource + ?Sized>(
+    source: &S,
+    url: &Url,
+    scheme: &str,
+) -> std::result::Result<(Tuple, Option<u64>), SourceError> {
+    match obs::reqctx::current() {
+        Some(ctx) => {
+            let t0 = std::time::Instant::now();
+            let out = source.fetch_stamped(url, scheme);
+            ctx.clock.add_us(t0.elapsed().as_micros() as u64);
+            out
+        }
+        None => source.fetch_stamped(url, scheme),
     }
 }
 

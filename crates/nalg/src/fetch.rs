@@ -89,6 +89,7 @@ pub(crate) fn with_pool<S, R>(
     source: &S,
     workers: usize,
     trace: Option<&TraceSink>,
+    trace_parent: Option<u64>,
     f: impl FnOnce(&FetchPool) -> R,
 ) -> R
 where
@@ -98,47 +99,60 @@ where
     let (job_tx, job_rx) = unbounded::<Job>();
     let (done_tx, done_rx) = unbounded::<Done>();
     let terminals: Mutex<Vec<(usize, u64, &'static str)>> = Mutex::new(Vec::new());
+    // Capture the spawning thread's ambient request context so worker
+    // threads charge fetch time (and attribute coalesced waits) to the
+    // same request the evaluation serves.
+    let reqctx = obs::reqctx::current();
     let result = std::thread::scope(|scope| {
         for idx in 0..workers {
             let job_rx = job_rx.clone();
             let done_tx = done_tx.clone();
             let terminals = &terminals;
             let traced = trace.is_some();
+            let reqctx = reqctx.clone();
             scope.spawn(move || {
-                let mut jobs = 0u64;
-                let mut reason = "drained";
-                while let Ok(job) = job_rx.recv() {
-                    // A panicking source must not take the worker (and with
-                    // it the whole process, via the scope join) down: catch
-                    // it and report the job as a source error instead.
-                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        source.fetch_stamped(&job.url, &job.scheme)
-                    }))
-                    .unwrap_or_else(|payload| {
-                        let msg = payload
-                            .downcast_ref::<&str>()
-                            .map(|s| (*s).to_string())
-                            .or_else(|| payload.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "unknown panic".to_string());
-                        Err(SourceError::Other(format!("fetch worker panicked: {msg}")))
-                    });
-                    jobs += 1;
-                    if done_tx
-                        .send(Done {
-                            url: job.url,
-                            outcome,
-                        })
-                        .is_err()
-                    {
-                        // Evaluation aborted early (e.g. a source error):
-                        // nobody is listening any more.
-                        reason = "abandoned";
-                        break;
+                let clock = reqctx.as_ref().map(|c| c.clock.clone());
+                obs::reqctx::with_ctx(reqctx, || {
+                    let mut jobs = 0u64;
+                    let mut reason = "drained";
+                    while let Ok(job) = job_rx.recv() {
+                        let t0 = clock.as_ref().map(|_| std::time::Instant::now());
+                        // A panicking source must not take the worker (and with
+                        // it the whole process, via the scope join) down: catch
+                        // it and report the job as a source error instead.
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                source.fetch_stamped(&job.url, &job.scheme)
+                            }))
+                            .unwrap_or_else(|payload| {
+                                let msg = payload
+                                    .downcast_ref::<&str>()
+                                    .map(|s| (*s).to_string())
+                                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                                    .unwrap_or_else(|| "unknown panic".to_string());
+                                Err(SourceError::Other(format!("fetch worker panicked: {msg}")))
+                            });
+                        if let (Some(clock), Some(t0)) = (&clock, t0) {
+                            clock.add_us(t0.elapsed().as_micros() as u64);
+                        }
+                        jobs += 1;
+                        if done_tx
+                            .send(Done {
+                                url: job.url,
+                                outcome,
+                            })
+                            .is_err()
+                        {
+                            // Evaluation aborted early (e.g. a source error):
+                            // nobody is listening any more.
+                            reason = "abandoned";
+                            break;
+                        }
                     }
-                }
-                if traced {
-                    terminals.lock().push((idx, jobs, reason));
-                }
+                    if traced {
+                        terminals.lock().push((idx, jobs, reason));
+                    }
+                });
             });
         }
         // The pool handle owns the only remaining sender/receiver ends.
@@ -156,7 +170,7 @@ where
             sink.event(
                 EventKind::Fetch,
                 "fetch.worker",
-                None,
+                trace_parent,
                 vec![
                     ("worker".to_string(), idx.into()),
                     ("jobs".to_string(), jobs.into()),
@@ -173,6 +187,10 @@ where
 struct Flight {
     slot: StdMutex<Option<FetchOutcome>>,
     cv: Condvar,
+    /// `(request id, fetch.lead event id)` of the leader, when the
+    /// leader carried a request context — lets followers link their
+    /// join events to the fetch they waited on, across requests.
+    leader_tag: StdMutex<Option<(u64, u64)>>,
 }
 
 impl Flight {
@@ -180,6 +198,7 @@ impl Flight {
         Flight {
             slot: StdMutex::new(None),
             cv: Condvar::new(),
+            leader_tag: StdMutex::new(None),
         }
     }
 
@@ -348,12 +367,29 @@ impl<S: PageSource + Sync> PageSource for CoalescingSource<'_, S> {
                 reason: "fetch coalescer shut down".to_string(),
             });
         }
+        let ctx = obs::reqctx::current();
         let (flight, is_leader) = {
             let mut map = self.flights.lock().unwrap_or_else(|e| e.into_inner());
             match map.get(url) {
                 Some(f) => (Arc::clone(f), false),
                 None => {
                     let f = Arc::new(Flight::new());
+                    if let Some(ctx) = &ctx {
+                        // Tag the flight inside the map lock, before any
+                        // follower can join: the join event's linkage
+                        // must never observe a half-initialized leader.
+                        let id = ctx.sink.event(
+                            EventKind::Fetch,
+                            "fetch.lead",
+                            Some(ctx.parent),
+                            vec![
+                                ("url".to_string(), url.as_str().into()),
+                                ("request".to_string(), ctx.request_id.into()),
+                            ],
+                        );
+                        *f.leader_tag.lock().unwrap_or_else(|e| e.into_inner()) =
+                            Some((ctx.request_id, id));
+                    }
                     map.insert(url.clone(), Arc::clone(&f));
                     (f, true)
                 }
@@ -362,7 +398,30 @@ impl<S: PageSource + Sync> PageSource for CoalescingSource<'_, S> {
         if is_leader {
             self.lead(url, scheme, &flight)
         } else {
-            self.follow_flight(&flight)
+            let t0 = ctx.as_ref().map(|_| std::time::Instant::now());
+            let outcome = self.follow_flight(&flight);
+            if let Some(ctx) = &ctx {
+                // The coalesced wait is attributed, not invisible: the
+                // follower's own request records where the time went and
+                // which leader fetch it shared.
+                let mut fields = vec![
+                    ("url".to_string(), url.as_str().into()),
+                    ("request".to_string(), ctx.request_id.into()),
+                    (
+                        "waited_us".to_string(),
+                        (t0.map(|t| t.elapsed().as_micros() as u64).unwrap_or(0)).into(),
+                    ),
+                ];
+                if let Some((lreq, lid)) =
+                    *flight.leader_tag.lock().unwrap_or_else(|e| e.into_inner())
+                {
+                    fields.push(("leader_request".to_string(), lreq.into()));
+                    fields.push(("leader_fetch".to_string(), lid.into()));
+                }
+                ctx.sink
+                    .event(EventKind::Fetch, "fetch.join", Some(ctx.parent), fields);
+            }
+            outcome
         }
     }
 }
@@ -388,7 +447,7 @@ mod tests {
     #[test]
     fn pool_serves_multiple_batches_with_same_workers() {
         let src = CountingSource(AtomicUsize::new(0));
-        let total = with_pool(&src, 4, None, |pool| {
+        let total = with_pool(&src, 4, None, None, |pool| {
             let mut done = 0;
             for batch in 0..3 {
                 for i in 0..10 {
@@ -409,7 +468,7 @@ mod tests {
     #[test]
     fn completions_report_not_found() {
         let src = CountingSource(AtomicUsize::new(0));
-        with_pool(&src, 2, None, |pool| {
+        with_pool(&src, 2, None, None, |pool| {
             assert!(pool.submit(Url::new("/ok"), "P".into()));
             assert!(pool.submit(Url::new("/missing"), "P".into()));
             let outcomes: Vec<_> = (0..2)
@@ -427,7 +486,7 @@ mod tests {
         let src = CountingSource(AtomicUsize::new(0));
         // Submit work but consume only part of it; dropping the pool must
         // still terminate the workers (scope join would hang otherwise).
-        with_pool(&src, 3, None, |pool| {
+        with_pool(&src, 3, None, None, |pool| {
             for i in 0..20 {
                 assert!(pool.submit(Url::new(format!("/{i}")), "P".into()));
             }
@@ -451,7 +510,7 @@ mod tests {
     fn terminal_events_distinguish_drained_from_abandoned() {
         let sink = TraceSink::with_seed(1);
         let src = CountingSource(AtomicUsize::new(0));
-        with_pool(&src, 3, Some(&sink), |pool| {
+        with_pool(&src, 3, Some(&sink), None, |pool| {
             for i in 0..6 {
                 assert!(pool.submit(Url::new(format!("/{i}")), "P".into()));
             }
@@ -483,7 +542,7 @@ mod tests {
             }
         }
         let sink = TraceSink::with_seed(1);
-        with_pool(&SlowSource, 2, Some(&sink), |pool| {
+        with_pool(&SlowSource, 2, Some(&sink), None, |pool| {
             for i in 0..50 {
                 assert!(pool.submit(Url::new(format!("/{i}")), "P".into()));
             }
@@ -679,7 +738,7 @@ mod tests {
     fn coalescing_composes_with_the_fetch_pool() {
         let src = CountingSource(AtomicUsize::new(0));
         let coalesced = CoalescingSource::new(&src);
-        let total = with_pool(&coalesced, 4, None, |pool| {
+        let total = with_pool(&coalesced, 4, None, None, |pool| {
             for _ in 0..4 {
                 for i in 0..5 {
                     assert!(pool.submit(Url::new(format!("/{i}")), "P".into()));
@@ -700,8 +759,54 @@ mod tests {
     }
 
     #[test]
+    fn follower_join_links_to_the_leader_fetch_across_requests() {
+        use obs::reqctx::{with_ctx, FetchClock, RequestCtx};
+
+        let ctx = |req: u64| RequestCtx {
+            sink: TraceSink::with_seed(req),
+            parent: req * 100,
+            request_id: req,
+            clock: FetchClock::new(),
+        };
+        let (leader_ctx, follower_ctx) = (ctx(1), ctx(2));
+
+        let (gated, entered_rx, release_tx) = GatedSource::new();
+        let coalesced = CoalescingSource::new(&gated);
+        std::thread::scope(|scope| {
+            let lc = leader_ctx.clone();
+            let leader = scope
+                .spawn(|| with_ctx(Some(lc), || coalesced.fetch_stamped(&Url::new("/hot"), "P")));
+            entered_rx.recv().unwrap(); // leader is inside the source
+            let fc = follower_ctx.clone();
+            let follower = scope
+                .spawn(|| with_ctx(Some(fc), || coalesced.fetch_stamped(&Url::new("/hot"), "P")));
+            await_followers(&coalesced, 1);
+            release_tx.send(()).unwrap();
+            assert!(leader.join().unwrap().is_ok());
+            assert!(follower.join().unwrap().is_ok());
+        });
+
+        // The leader's request recorded the fetch it led...
+        let lead_events = leader_ctx.sink.events();
+        assert_eq!(lead_events.len(), 1);
+        let lead = &lead_events[0];
+        assert_eq!(lead.name, "fetch.lead");
+        assert_eq!(lead.parent, Some(100));
+        assert_eq!(lead.field_u64("request"), Some(1));
+        // ...and the follower's request attributes its wait to it.
+        let join_events = follower_ctx.sink.events();
+        assert_eq!(join_events.len(), 1);
+        let join = &join_events[0];
+        assert_eq!(join.name, "fetch.join");
+        assert_eq!(join.parent, Some(200));
+        assert_eq!(join.field_u64("leader_request"), Some(1));
+        assert_eq!(join.field_u64("leader_fetch"), Some(lead.id));
+        assert!(join.field_u64("waited_us").is_some());
+    }
+
+    #[test]
     fn worker_panic_surfaces_as_source_error() {
-        with_pool(&PanickySource, 2, None, |pool| {
+        with_pool(&PanickySource, 2, None, None, |pool| {
             assert!(pool.submit(Url::new("/ok"), "P".into()));
             assert!(pool.submit(Url::new("/boom"), "P".into()));
             assert!(pool.submit(Url::new("/ok2"), "P".into()));

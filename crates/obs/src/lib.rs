@@ -1,6 +1,6 @@
 //! Observability for the web-view engine.
 //!
-//! Two independent facilities:
+//! Independent facilities, composable per subsystem:
 //!
 //! * [`trace`] — a lightweight structured tracing core: spans and
 //!   instantaneous events collected into a bounded ring buffer with
@@ -14,12 +14,30 @@
 //!   `AccessSnapshot`, `ResilienceSnapshot`, …) are views over
 //!   registry-backed handles, so the registry is the single
 //!   registration point without changing any public API.
+//! * [`hist`] — a [`FixedHistogram`]: HDR-style sub-bucketed latency
+//!   histogram bounding quantile quantization error at ~3.1%, where the
+//!   log2 [`Histogram`] can be off by almost 2×.
+//! * [`slo`] — latency objectives with deterministic request-count
+//!   multi-window burn-rate accounting over a [`FixedHistogram`].
+//! * [`flight`] — a [`FlightRecorder`]: a bounded ring of recent
+//!   per-request causal traces, frozen into a JSONL dump when a request
+//!   is shed, falls back, misses a degraded view, or breaches the SLO.
+//! * [`reqctx`] — ambient per-request context so the fetch layer
+//!   (coalescing, pool workers, upqueries) can attribute work to the
+//!   request it serves without any API threading.
 //!
-//! Both are offline-shim compatible: the only dependency is the
+//! Everything is offline-shim compatible: the only dependency is the
 //! workspace `parking_lot` shim.
 
+pub mod flight;
+pub mod hist;
 pub mod metrics;
+pub mod reqctx;
+pub mod slo;
 pub mod trace;
 
+pub use flight::{FlightDump, FlightRecorder, PhaseBreakdown, RequestTrace, TriggerKind};
+pub use hist::FixedHistogram;
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use slo::{LatencyObjective, SloSnapshot, SloTracker};
 pub use trace::{EventKind, FieldValue, Span, TraceEvent, TraceSink};

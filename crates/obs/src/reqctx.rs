@@ -1,0 +1,159 @@
+//! Ambient per-request context for fetch-layer attribution.
+//!
+//! The fetch layer (`nalg`'s coalescing source, pool workers, the
+//! dataflow store's upqueries) sits below the evaluator and has no
+//! request parameter to thread a trace handle through — a
+//! `PageSource::fetch` call carries a URL and nothing else. This module
+//! provides the missing channel: the serving layer installs a
+//! [`RequestCtx`] for the duration of a request's evaluation (and
+//! re-installs it inside pool worker threads), and the fetch layer
+//! picks it up with [`current`] to emit attribution events and charge
+//! fetch time to the right request.
+//!
+//! The context is deliberately *optional everywhere*: when nothing is
+//! installed, [`current`] is a thread-local read returning `None` and
+//! the fetch layer does no extra work — tracing off stays free, and
+//! results never depend on it.
+
+use crate::trace::TraceSink;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Accumulates wall-clock microseconds spent inside fetch calls on a
+/// request's behalf, across every thread that worked for it. With a
+/// worker pool the total can exceed the request's elapsed wall clock.
+#[derive(Debug, Clone, Default)]
+pub struct FetchClock {
+    total: Arc<AtomicU64>,
+}
+
+impl FetchClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges `us` microseconds of fetch time.
+    pub fn add_us(&self, us: u64) {
+        self.total.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Total charged so far.
+    pub fn total_us(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+}
+
+/// The ambient identity of the request the current thread is working
+/// for.
+#[derive(Debug, Clone)]
+pub struct RequestCtx {
+    /// Sink receiving fetch attribution events (leader/follower links,
+    /// upqueries). The serving layer points this at a side sink so the
+    /// request's deterministic causal trace is not perturbed by
+    /// scheduling-dependent events.
+    pub sink: TraceSink,
+    /// Span id attribution events should parent under.
+    pub parent: u64,
+    /// The owning request's id.
+    pub request_id: u64,
+    /// Where fetch time is charged.
+    pub clock: FetchClock,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<RequestCtx>> = const { RefCell::new(None) };
+}
+
+/// The context installed on this thread, if any.
+pub fn current() -> Option<RequestCtx> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Runs `f` with `ctx` installed as this thread's request context,
+/// restoring the previous context afterwards (also on panic). Passing
+/// `None` explicitly clears the context for the duration — pool workers
+/// use this to mirror their spawner's state exactly.
+pub fn with_ctx<R>(ctx: Option<RequestCtx>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<RequestCtx>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT.with(|c| *c.borrow_mut() = self.0.take());
+        }
+    }
+    let prev = CURRENT.with(|c| std::mem::replace(&mut *c.borrow_mut(), ctx));
+    let _restore = Restore(prev);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{EventKind, TraceSink};
+
+    fn ctx(req: u64) -> RequestCtx {
+        RequestCtx {
+            sink: TraceSink::with_seed(req),
+            parent: 1,
+            request_id: req,
+            clock: FetchClock::new(),
+        }
+    }
+
+    #[test]
+    fn install_read_restore() {
+        assert!(current().is_none());
+        with_ctx(Some(ctx(7)), || {
+            let c = current().unwrap();
+            assert_eq!(c.request_id, 7);
+            // Nested install shadows, then restores.
+            with_ctx(Some(ctx(8)), || {
+                assert_eq!(current().unwrap().request_id, 8);
+            });
+            assert_eq!(current().unwrap().request_id, 7);
+            // Explicit None clears for the duration.
+            with_ctx(None, || assert!(current().is_none()));
+            assert_eq!(current().unwrap().request_id, 7);
+        });
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn restores_on_panic() {
+        let result = std::panic::catch_unwind(|| {
+            with_ctx(Some(ctx(1)), || panic!("boom"));
+        });
+        assert!(result.is_err());
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn clock_is_shared_across_clones_and_threads() {
+        let c = ctx(3);
+        with_ctx(Some(c.clone()), || {
+            let grabbed = current().unwrap();
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    // A worker thread re-installs the captured context.
+                    with_ctx(Some(grabbed), || {
+                        current().unwrap().clock.add_us(40);
+                    });
+                });
+            });
+            current().unwrap().clock.add_us(2);
+        });
+        assert_eq!(c.clock.total_us(), 42);
+    }
+
+    #[test]
+    fn sink_receives_attribution_events() {
+        let c = ctx(5);
+        with_ctx(Some(c.clone()), || {
+            let cur = current().unwrap();
+            cur.sink
+                .event(EventKind::Fetch, "fetch.join", Some(cur.parent), vec![]);
+        });
+        assert_eq!(c.sink.len(), 1);
+        assert_eq!(c.sink.events()[0].parent, Some(1));
+    }
+}

@@ -1,0 +1,311 @@
+//! Latency objectives and multi-window burn-rate accounting.
+//!
+//! An SLO here is "fraction `target` of requests complete within
+//! `threshold_us`". The unspent fraction `1 - target` is the **error
+//! budget**; the *burn rate* over a window is the observed breach
+//! fraction divided by the budget — 1.0 means the budget is being spent
+//! exactly as fast as it accrues, 14.4 is the classic "page somebody"
+//! threshold. Because everything else in this workspace is
+//! seed-deterministic, windows are **request-count** windows (the last
+//! N requests), not wall-clock windows: the same request sequence
+//! always yields the same burn rates, so tests can pin them.
+//!
+//! Latencies feed a [`FixedHistogram`], so the quantiles a tracker
+//! reports are within ~3.1% of the true order statistics — tight enough
+//! to compare against the objective threshold meaningfully.
+
+use crate::hist::FixedHistogram;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A latency service-level objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyObjective {
+    /// Label for rendered output (e.g. `"serve"`).
+    pub name: String,
+    /// Per-request latency threshold, microseconds.
+    pub threshold_us: u64,
+    /// Fraction of requests that must land under the threshold
+    /// (e.g. `0.999`). Clamped to `[0, 1)` — a target of 1.0 has no
+    /// error budget and would make every burn rate infinite.
+    pub target: f64,
+}
+
+impl LatencyObjective {
+    pub fn new(name: impl Into<String>, threshold_us: u64, target: f64) -> Self {
+        LatencyObjective {
+            name: name.into(),
+            threshold_us,
+            target: target.clamp(0.0, 0.999_999),
+        }
+    }
+
+    /// The error budget: the tolerated breach fraction.
+    pub fn budget(&self) -> f64 {
+        1.0 - self.target
+    }
+}
+
+/// One request-count burn window: breach count over the last `size`
+/// recorded requests.
+#[derive(Debug)]
+struct BurnWindow {
+    size: usize,
+    ring: VecDeque<bool>,
+    breaches: usize,
+}
+
+impl BurnWindow {
+    fn new(size: usize) -> Self {
+        BurnWindow {
+            size: size.max(1),
+            ring: VecDeque::new(),
+            breaches: 0,
+        }
+    }
+
+    fn record(&mut self, breach: bool) {
+        if self.ring.len() == self.size && self.ring.pop_front() == Some(true) {
+            self.breaches -= 1;
+        }
+        self.ring.push_back(breach);
+        if breach {
+            self.breaches += 1;
+        }
+    }
+
+    /// Breach fraction over the window's current contents (0.0 empty).
+    fn breach_fraction(&self) -> f64 {
+        if self.ring.is_empty() {
+            0.0
+        } else {
+            self.breaches as f64 / self.ring.len() as f64
+        }
+    }
+}
+
+/// Point-in-time view of a tracker, safe to render or assert on.
+#[derive(Debug, Clone)]
+pub struct SloSnapshot {
+    pub objective: LatencyObjective,
+    /// Requests recorded.
+    pub total: u64,
+    /// Requests over the threshold.
+    pub breaches: u64,
+    /// Lifetime fraction under the threshold (1.0 when empty).
+    pub compliance: f64,
+    /// `(window size, burn rate)` per configured window, short first.
+    pub burn: Vec<(usize, f64)>,
+    /// Latency quantiles from the fixed-precision histogram, µs.
+    pub p50_us: u64,
+    pub p99_us: u64,
+    pub p999_us: u64,
+    pub max_us: u64,
+}
+
+impl SloSnapshot {
+    /// True when any window is burning budget faster than it accrues.
+    pub fn burning(&self) -> bool {
+        self.burn.iter().any(|(_, r)| *r > 1.0)
+    }
+
+    /// Renders the snapshot as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(192);
+        out.push_str(&format!(
+            "{{\"objective\": \"{}\", \"threshold_us\": {}, \"target\": {}, \
+             \"total\": {}, \"breaches\": {}, \"compliance\": {:.6}, ",
+            self.objective.name,
+            self.objective.threshold_us,
+            self.objective.target,
+            self.total,
+            self.breaches,
+            self.compliance,
+        ));
+        out.push_str("\"burn\": {");
+        for (i, (size, rate)) in self.burn.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"last_{size}\": {rate:.4}"));
+        }
+        out.push_str(&format!(
+            "}}, \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}, \"max_us\": {}}}",
+            self.p50_us, self.p99_us, self.p999_us, self.max_us
+        ));
+        out
+    }
+}
+
+#[derive(Debug)]
+struct TrackerState {
+    windows: Vec<BurnWindow>,
+    total: u64,
+    breaches: u64,
+}
+
+/// Tracks one latency objective: a fixed-precision latency histogram
+/// plus multi-window burn-rate accounting. Cheap to clone; all clones
+/// feed the same state.
+#[derive(Debug, Clone)]
+pub struct SloTracker {
+    objective: LatencyObjective,
+    hist: FixedHistogram,
+    state: Arc<Mutex<TrackerState>>,
+}
+
+/// Default burn windows: a short window that reacts fast and a long
+/// window that filters blips — the standard multi-window pairing.
+pub const DEFAULT_WINDOWS: [usize; 2] = [50, 500];
+
+impl SloTracker {
+    /// A tracker with the default short/long windows.
+    pub fn new(objective: LatencyObjective) -> Self {
+        Self::with_windows(objective, &DEFAULT_WINDOWS)
+    }
+
+    /// A tracker with explicit request-count windows (short first).
+    pub fn with_windows(objective: LatencyObjective, windows: &[usize]) -> Self {
+        SloTracker {
+            objective,
+            hist: FixedHistogram::new(),
+            state: Arc::new(Mutex::new(TrackerState {
+                windows: windows.iter().map(|w| BurnWindow::new(*w)).collect(),
+                total: 0,
+                breaches: 0,
+            })),
+        }
+    }
+
+    pub fn objective(&self) -> &LatencyObjective {
+        &self.objective
+    }
+
+    /// True when `latency_us` misses the objective.
+    pub fn breached(&self, latency_us: u64) -> bool {
+        latency_us > self.objective.threshold_us
+    }
+
+    /// Records one request latency; returns whether it breached.
+    pub fn record(&self, latency_us: u64) -> bool {
+        let breach = self.breached(latency_us);
+        self.hist.observe(latency_us);
+        let mut st = self.state.lock();
+        st.total += 1;
+        if breach {
+            st.breaches += 1;
+        }
+        for w in &mut st.windows {
+            w.record(breach);
+        }
+        breach
+    }
+
+    /// The underlying latency histogram (shared handle).
+    pub fn histogram(&self) -> &FixedHistogram {
+        &self.hist
+    }
+
+    /// Takes a consistent point-in-time snapshot.
+    pub fn snapshot(&self) -> SloSnapshot {
+        let st = self.state.lock();
+        let budget = self.objective.budget().max(f64::EPSILON);
+        SloSnapshot {
+            objective: self.objective.clone(),
+            total: st.total,
+            breaches: st.breaches,
+            compliance: if st.total == 0 {
+                1.0
+            } else {
+                1.0 - st.breaches as f64 / st.total as f64
+            },
+            burn: st
+                .windows
+                .iter()
+                .map(|w| (w.size, w.breach_fraction() / budget))
+                .collect(),
+            p50_us: self.hist.value_at_quantile(0.50),
+            p99_us: self.hist.value_at_quantile(0.99),
+            p999_us: self.hist.value_at_quantile(0.999),
+            max_us: self.hist.max(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(threshold_us: u64, target: f64) -> SloTracker {
+        SloTracker::with_windows(
+            LatencyObjective::new("test", threshold_us, target),
+            &[4, 10],
+        )
+    }
+
+    #[test]
+    fn burn_rate_is_breach_fraction_over_budget() {
+        let t = tracker(100, 0.9); // budget = 0.1
+        for _ in 0..9 {
+            assert!(!t.record(50));
+        }
+        assert!(t.record(500)); // 1 breach in 10
+        let s = t.snapshot();
+        assert_eq!((s.total, s.breaches), (10, 1));
+        // short window (last 4): 1/4 breach over 0.1 budget = 2.5
+        assert!((s.burn[0].1 - 2.5).abs() < 1e-9);
+        // long window (last 10): 1/10 over 0.1 = 1.0
+        assert!((s.burn[1].1 - 1.0).abs() < 1e-9);
+        assert!(s.burning());
+        assert!((s.compliance - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windows_slide_and_recover() {
+        let t = tracker(100, 0.9);
+        t.record(500);
+        for _ in 0..10 {
+            t.record(10);
+        }
+        let s = t.snapshot();
+        // The breach has slid out of both windows.
+        assert_eq!(s.burn[0].1, 0.0);
+        assert_eq!(s.burn[1].1, 0.0);
+        assert!(!s.burning());
+        assert_eq!(s.breaches, 1, "lifetime counters keep the history");
+    }
+
+    #[test]
+    fn empty_tracker_is_compliant() {
+        let s = tracker(100, 0.999).snapshot();
+        assert_eq!(s.total, 0);
+        assert_eq!(s.compliance, 1.0);
+        assert!(!s.burning());
+    }
+
+    #[test]
+    fn snapshot_renders_json() {
+        let t = tracker(100, 0.99);
+        t.record(42);
+        t.record(4242);
+        let json = t.snapshot().to_json();
+        assert!(json.contains("\"objective\": \"test\""));
+        assert!(json.contains("\"threshold_us\": 100"));
+        assert!(json.contains("\"breaches\": 1"));
+        assert!(json.contains("\"last_4\":"));
+        assert!(json.contains("\"p99_us\":"));
+    }
+
+    #[test]
+    fn quantiles_come_from_the_fixed_histogram() {
+        let t = tracker(1_000_000, 0.999);
+        for v in 1..=1000u64 {
+            t.record(v);
+        }
+        let s = t.snapshot();
+        assert!(s.p50_us >= 500 && s.p50_us <= 516, "p50 {}", s.p50_us);
+        assert!(s.p99_us >= 990 && s.p99_us <= 1000, "p99 {}", s.p99_us);
+        assert_eq!(s.max_us, 1000);
+    }
+}

@@ -41,6 +41,12 @@ pub enum EventKind {
     Maintenance,
     /// Constraint auditing: sampled checks, violations, quarantine.
     Constraint,
+    /// Serving-layer request lifecycle: admission, plan-cache lookups,
+    /// view answers, request root spans.
+    Serve,
+    /// Dataflow view maintenance: sync batches, delta propagation,
+    /// targeted upqueries.
+    Dataflow,
     /// Anything else (session-level markers, notes).
     Info,
 }
@@ -56,6 +62,8 @@ impl EventKind {
             EventKind::Resilience => "resilience",
             EventKind::Maintenance => "maintenance",
             EventKind::Constraint => "constraint",
+            EventKind::Serve => "serve",
+            EventKind::Dataflow => "dataflow",
             EventKind::Info => "info",
         }
     }
@@ -412,7 +420,7 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -505,6 +513,30 @@ mod tests {
         assert!(line.contains("\"ok\":true"));
         assert!(line.contains("\"what\":\"a\\nb\""));
         assert!(line.ends_with('\n'));
+    }
+
+    #[test]
+    fn every_kind_renders_a_distinct_stable_name() {
+        let kinds = [
+            EventKind::Operator,
+            EventKind::Optimizer,
+            EventKind::Fetch,
+            EventKind::Cache,
+            EventKind::Resilience,
+            EventKind::Maintenance,
+            EventKind::Constraint,
+            EventKind::Serve,
+            EventKind::Dataflow,
+            EventKind::Info,
+        ];
+        let names: Vec<_> = kinds.iter().map(|k| k.as_str()).collect();
+        let unique: std::collections::BTreeSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), kinds.len(), "kind names must be distinct");
+        assert_eq!(EventKind::Serve.as_str(), "serve");
+        assert_eq!(EventKind::Dataflow.as_str(), "dataflow");
+        for k in kinds {
+            assert_eq!(format!("{k}"), k.as_str());
+        }
     }
 
     #[test]

@@ -224,6 +224,117 @@ mod tests {
     }
 
     #[test]
+    fn traced_serving_is_paper_blind_and_causally_deterministic() {
+        use obs::{EventKind, FlightRecorder};
+
+        let u = University::generate(UniversityConfig::default()).unwrap();
+        let stats = SiteStatistics::from_site(&u.site);
+        let catalog = university_catalog();
+        let source = LiveSource::for_site(&u.site);
+
+        let plain = QueryServer::new(&u.site.scheme, &catalog, &stats, &source);
+        let serve_all = |server: &QueryServer<'_, _>| {
+            ["profs", "depts", "profs"]
+                .iter()
+                .map(|n| server.serve(&query(n)).unwrap())
+                .collect::<Vec<_>>()
+        };
+        let oracle = serve_all(&plain);
+
+        let runs: Vec<(Vec<ServeOutcome>, Vec<String>)> = (0..2)
+            .map(|_| {
+                let rec = FlightRecorder::new();
+                let server = QueryServer::new(&u.site.scheme, &catalog, &stats, &source)
+                    .with_trace(42)
+                    .with_flight_recorder(&rec);
+                let outs = serve_all(&server);
+                let causal: Vec<String> = rec.recent().iter().map(|t| t.causal_jsonl()).collect();
+                (outs, causal)
+            })
+            .collect();
+
+        for (outs, _) in &runs {
+            for (o, base) in outs.iter().zip(&oracle) {
+                // Tracing on/off is byte-identical in rows and accesses.
+                assert_eq!(
+                    o.relation().unwrap().sorted(),
+                    base.relation().unwrap().sorted()
+                );
+                assert_eq!(
+                    o.outcome.as_ref().unwrap().report.page_accesses,
+                    base.outcome.as_ref().unwrap().report.page_accesses
+                );
+                assert!(o.request_id.is_some() && o.phases.is_some());
+            }
+            // Repeats of the same query get distinct request ids.
+            assert_ne!(outs[0].request_id, outs[2].request_id);
+        }
+        // Same seed, same sequence → byte-identical causal exports.
+        assert_eq!(runs[0].1, runs[1].1);
+
+        // The trace is a tree under one serve.request root: admission,
+        // plan-cache, planner, and operator activity all parent into it.
+        let trace = &runs[0].1[0];
+        assert!(trace.contains("serve.request"));
+        assert!(trace.contains("serve.admission"));
+        assert!(trace.contains("serve.plan_cache"));
+        let rec = FlightRecorder::new();
+        let traced = QueryServer::new(&u.site.scheme, &catalog, &stats, &source)
+            .with_trace(42)
+            .with_flight_recorder(&rec);
+        traced.serve(&query("profs")).unwrap();
+        let t = &rec.recent()[0];
+        let root = t
+            .events
+            .iter()
+            .find(|e| e.name == "serve.request")
+            .expect("root span recorded");
+        assert!(t
+            .events
+            .iter()
+            .any(|e| e.kind == EventKind::Optimizer && e.parent == Some(root.id)));
+        assert!(t.events.iter().any(|e| e.kind == EventKind::Serve
+            && e.name == "serve.plan_cache"
+            && e.parent == Some(root.id)));
+    }
+
+    #[test]
+    fn slo_breaches_and_sheds_fire_the_flight_recorder() {
+        use obs::{FlightRecorder, LatencyObjective, SloTracker, TriggerKind};
+
+        let u = University::generate(UniversityConfig::default()).unwrap();
+        let stats = SiteStatistics::from_site(&u.site);
+        let catalog = university_catalog();
+        let source = LiveSource::for_site(&u.site);
+        let rec = FlightRecorder::new();
+        // threshold 0µs: every real request breaches the objective.
+        let slo = SloTracker::new(LatencyObjective::new("serve", 0, 0.999));
+        let server = QueryServer::new(&u.site.scheme, &catalog, &stats, &source)
+            .with_admission_capacity(1)
+            .with_trace(7)
+            .with_slo(&slo)
+            .with_flight_recorder(&rec);
+
+        let permit = server.admission().try_admit().expect("slot");
+        let shed = server.serve(&query("profs")).unwrap();
+        assert!(shed.shed);
+        drop(permit);
+        server.serve(&query("profs")).unwrap();
+
+        let fired = server.stats().requests; // 2 requests in
+        assert_eq!(fired, 2);
+        let counts: std::collections::HashMap<_, _> = rec.fired().into_iter().collect();
+        assert!(counts[&TriggerKind::Shed] >= 1);
+        assert!(counts[&TriggerKind::SloBreach] >= 1, "0µs SLO must breach");
+        assert!(rec.dump_count() >= 2);
+        let snap = slo.snapshot();
+        assert_eq!(snap.total, 2);
+        assert!(snap.breaches >= 1 && snap.burning());
+        // The shed request's trace is in the ring, flagged as such.
+        assert!(rec.recent().iter().any(|t| t.shed));
+    }
+
+    #[test]
     fn concurrent_serving_matches_sequential_answers() {
         let u = University::generate(UniversityConfig::default()).unwrap();
         let stats = SiteStatistics::from_site(&u.site);

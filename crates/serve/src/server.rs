@@ -26,12 +26,83 @@ use crate::cache::{quarantine_fingerprint, PlanCache, PlanCacheStats};
 use adm::{Relation, WebScheme};
 use dataflow::IncrementalView;
 use nalg::{DegradationMode, PageSource, SharedPageCache};
-use obs::{Counter, MetricsRegistry};
-use parking_lot::RwLock;
+use obs::reqctx::{FetchClock, RequestCtx};
+use obs::{
+    Counter, EventKind, FlightRecorder, MetricsRegistry, PhaseBreakdown, RequestTrace, SloTracker,
+    TraceSink, TriggerKind,
+};
+use parking_lot::{Mutex, RwLock};
 use resilience::{AdmissionControl, AdmissionStats, ConstraintHealth};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 use wvcore::{ConjunctiveQuery, QueryOutcome, QuerySession, Result, SiteStatistics, ViewCatalog};
+
+/// Finalizer of the splitmix64 generator — a cheap, well-mixed 64-bit
+/// permutation used to derive request ids.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Seed salt separating a request's attribution sink from its causal
+/// sink (same request id, disjoint event-id streams).
+const ATTR_SALT: u64 = 0x5eed_a77e_f17c_9b3d;
+
+/// Per-server tracing state: the base seed and a per-query occurrence
+/// counter, so the k-th serve of a given query gets the same request id
+/// on every same-seed run — regardless of which thread serves it.
+struct ServeTracing {
+    base_seed: u64,
+    per_query: Mutex<HashMap<String, u64>>,
+}
+
+impl ServeTracing {
+    fn new(base_seed: u64) -> Self {
+        ServeTracing {
+            base_seed,
+            per_query: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Deterministic request id for the next serve of `key`: a mix of
+    /// the base seed, the query key's hash, and how many times this
+    /// query has been served before.
+    fn request_id(&self, key: &str) -> u64 {
+        let occurrence = {
+            let mut m = self.per_query.lock();
+            let n = m.entry(key.to_string()).or_insert(0);
+            let k = *n;
+            *n += 1;
+            k
+        };
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a over the key bytes
+        for b in key.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        mix64(self.base_seed ^ mix64(h) ^ mix64(occurrence))
+    }
+}
+
+/// Everything one observed request carries through the pipeline: its
+/// identity, sinks, fetch clock, and the phase timings measured so far.
+struct RequestObs {
+    rid: u64,
+    /// Deterministic causal sink (root span, planner, operators).
+    sink: TraceSink,
+    /// Side sink for scheduling-dependent fetch attribution events.
+    attr: TraceSink,
+    /// The root `serve.request` span's id.
+    root: u64,
+    clock: FetchClock,
+    /// Set when a registered view was degraded and the request fell
+    /// through to live evaluation.
+    view_fallback: bool,
+    phases: PhaseBreakdown,
+}
 
 /// What the server answered for one request.
 #[derive(Debug)]
@@ -49,6 +120,13 @@ pub struct ServeOutcome {
     /// the request was answered by [`QueryServer::with_views`] state;
     /// `outcome` is `None` in that case.
     pub view_answer: Option<Relation>,
+    /// The request's seeded-deterministic id; `Some` exactly when the
+    /// server was built [`QueryServer::with_trace`].
+    pub request_id: Option<u64>,
+    /// Wall-clock phase breakdown (queue is left 0 — the caller knows
+    /// scheduling delay, the server does not); `Some` exactly when
+    /// tracing is on.
+    pub phases: Option<PhaseBreakdown>,
 }
 
 impl ServeOutcome {
@@ -89,6 +167,9 @@ pub struct QueryServer<'a, S: PageSource + Sync> {
     audit: Option<(f64, u64)>,
     fetch_workers: Option<usize>,
     views: Option<&'a RwLock<IncrementalView<'a>>>,
+    tracing: Option<ServeTracing>,
+    slo: Option<SloTracker>,
+    recorder: Option<FlightRecorder>,
     registry: MetricsRegistry,
     requests: Counter,
     shed: Counter,
@@ -120,6 +201,9 @@ impl<'a, S: PageSource + Sync> QueryServer<'a, S> {
             audit: None,
             fetch_workers: None,
             views: None,
+            tracing: None,
+            slo: None,
+            recorder: None,
             requests: registry.counter("requests"),
             shed: registry.counter("shed"),
             view_hits: registry.counter("views_answered"),
@@ -182,6 +266,38 @@ impl<'a, S: PageSource + Sync> QueryServer<'a, S> {
     /// until a later sync rebuilds it.
     pub fn with_views(mut self, views: &'a RwLock<IncrementalView<'a>>) -> Self {
         self.views = Some(views);
+        self
+    }
+
+    /// Enables request-scoped causal tracing. Every [`QueryServer::serve`]
+    /// call gets a deterministic request id (a mix of `seed`, the
+    /// query's cache key, and its per-query occurrence count) and a root
+    /// `serve.request` span; admission, plan-cache, view, planner, and
+    /// evaluator activity parent under it, and fetch-layer attribution
+    /// (pool workers, coalescing leader/follower links, dataflow
+    /// upqueries) is routed to a per-request side sink via
+    /// [`obs::reqctx`]. Same seed, same request sequence → byte-identical
+    /// causal exports; answers and page accesses are untouched.
+    pub fn with_trace(mut self, seed: u64) -> Self {
+        self.tracing = Some(ServeTracing::new(seed));
+        self
+    }
+
+    /// Attaches a latency SLO: every request's end-to-end latency is
+    /// recorded into the (shared) tracker's fixed-precision histogram
+    /// and burn windows. A breach fires the flight recorder's
+    /// [`TriggerKind::SloBreach`] when one is attached.
+    pub fn with_slo(mut self, slo: &SloTracker) -> Self {
+        self.slo = Some(slo.clone());
+        self
+    }
+
+    /// Attaches a (shared) flight recorder: with tracing on, every
+    /// completed request's [`RequestTrace`] is recorded into the ring,
+    /// and shed / constraint-fallback / degraded-view / SLO-breach
+    /// requests freeze it into a dump.
+    pub fn with_flight_recorder(mut self, recorder: &FlightRecorder) -> Self {
+        self.recorder = Some(recorder.clone());
         self
     }
 
@@ -248,16 +364,123 @@ impl<'a, S: PageSource + Sync> QueryServer<'a, S> {
 
     /// Serves one query (thread-safe). See the module docs for the
     /// admission → tick → plan-cache → settle pipeline.
+    ///
+    /// With tracing/SLO/flight-recorder attached the same pipeline runs
+    /// under a root `serve.request` span with per-phase timing; the
+    /// answer (rows, completeness, page accesses) never depends on
+    /// whether observation is on.
     pub fn serve(&self, q: &ConjunctiveQuery) -> Result<ServeOutcome> {
         self.requests.inc();
-        let Some(_permit) = self.admission.try_admit() else {
+        if self.tracing.is_none() && self.slo.is_none() && self.recorder.is_none() {
+            return self.serve_pipeline(q, None);
+        }
+        let key = q.cache_key();
+        let mut obs = self.tracing.as_ref().map(|t| {
+            let rid = t.request_id(&key);
+            let sink = TraceSink::with_seed(rid);
+            let attr = TraceSink::with_seed(rid ^ ATTR_SALT);
+            let mut root = sink.begin(EventKind::Serve, "serve.request", None);
+            root.set("request", rid);
+            root.set("query", key.as_str());
+            (
+                root,
+                RequestObs {
+                    rid,
+                    sink,
+                    attr,
+                    root: 0,
+                    clock: FetchClock::new(),
+                    view_fallback: false,
+                    phases: PhaseBreakdown::default(),
+                },
+            )
+        });
+        if let Some((root, o)) = obs.as_mut() {
+            o.root = root.id();
+        }
+        let t0 = Instant::now();
+        let res = self.serve_pipeline(q, obs.as_mut().map(|(_, o)| o));
+        let latency_us = t0.elapsed().as_micros() as u64;
+        let out = res?;
+        let fell_back = out.outcome.as_ref().map(|o| o.fell_back()).unwrap_or(false);
+        let rid = out.request_id.unwrap_or(0);
+        let view_degraded = obs.as_ref().map(|(_, o)| o.view_fallback).unwrap_or(false);
+        if let Some((mut root, o)) = obs {
+            root.set("shed", u64::from(out.shed));
+            root.set("cached_plan", u64::from(out.cached_plan));
+            root.set("from_view", u64::from(out.from_view()));
+            o.sink.finish(root);
+            if let Some(rec) = &self.recorder {
+                rec.record(RequestTrace {
+                    request_id: o.rid,
+                    query: key.clone(),
+                    latency_us,
+                    shed: out.shed,
+                    cached_plan: out.cached_plan,
+                    from_view: out.from_view(),
+                    fell_back,
+                    phases: out.phases.unwrap_or_default(),
+                    events: o.sink.events(),
+                    fetch_events: o.attr.events(),
+                });
+            }
+        }
+        let breached = self
+            .slo
+            .as_ref()
+            .map(|s| s.record(latency_us))
+            .unwrap_or(false);
+        if let Some(rec) = &self.recorder {
+            if out.shed {
+                rec.trigger(TriggerKind::Shed, rid);
+            }
+            if fell_back {
+                rec.trigger(TriggerKind::ConstraintFallback, rid);
+            }
+            if view_degraded {
+                rec.trigger(TriggerKind::ViewDegraded, rid);
+            }
+            if breached {
+                rec.trigger(TriggerKind::SloBreach, rid);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The untimed pipeline shared by observed and unobserved requests.
+    /// `obs`, when present, receives phase timings and causal events;
+    /// control flow is identical either way.
+    fn serve_pipeline(
+        &self,
+        q: &ConjunctiveQuery,
+        mut obs: Option<&mut RequestObs>,
+    ) -> Result<ServeOutcome> {
+        let outcome_of = |obs: &Option<&mut RequestObs>,
+                          outcome: Option<QueryOutcome>,
+                          cached_plan: bool,
+                          shed: bool,
+                          view_answer: Option<Relation>| {
+            ServeOutcome {
+                outcome,
+                cached_plan,
+                shed,
+                view_answer,
+                request_id: obs.as_ref().map(|o| o.rid),
+                phases: obs.as_ref().map(|o| o.phases),
+            }
+        };
+        let admitted = self.admission.try_admit();
+        if let Some(o) = obs.as_deref_mut() {
+            o.sink.event(
+                EventKind::Serve,
+                "serve.admission",
+                Some(o.root),
+                vec![("admitted".to_string(), u64::from(admitted.is_some()).into())],
+            );
+        }
+        let Some(_permit) = admitted else {
             self.shed.inc();
-            return Ok(ServeOutcome {
-                outcome: None,
-                cached_plan: false,
-                shed: true,
-                view_answer: None,
-            });
+            return Ok(outcome_of(&obs, None, false, true, None));
         };
         // Maintained views first: a registered, healthy view answers with
         // zero page accesses. A degraded one falls through to the full
@@ -266,17 +489,28 @@ impl<'a, S: PageSource + Sync> QueryServer<'a, S> {
             let guard = views.read();
             let key = q.cache_key();
             if guard.is_registered(&key) {
-                match guard.answer(&key) {
+                let t_view = Instant::now();
+                let answer = guard.answer(&key);
+                if let Some(o) = obs.as_deref_mut() {
+                    o.phases.view_us = t_view.elapsed().as_micros() as u64;
+                    o.sink.event(
+                        EventKind::Serve,
+                        "serve.view",
+                        Some(o.root),
+                        vec![("answered".to_string(), u64::from(answer.is_some()).into())],
+                    );
+                }
+                match answer {
                     Some(rel) => {
                         self.view_hits.inc();
-                        return Ok(ServeOutcome {
-                            outcome: None,
-                            cached_plan: false,
-                            shed: false,
-                            view_answer: Some(rel),
-                        });
+                        return Ok(outcome_of(&obs, None, false, false, Some(rel)));
                     }
-                    None => self.view_fallbacks.inc(),
+                    None => {
+                        self.view_fallbacks.inc();
+                        if let Some(o) = obs.as_deref_mut() {
+                            o.view_fallback = true;
+                        }
+                    }
                 }
             }
         }
@@ -286,6 +520,7 @@ impl<'a, S: PageSource + Sync> QueryServer<'a, S> {
         if let Some(h) = self.health {
             h.tick();
         }
+        let t_plan = Instant::now();
         let epoch = self.stats_epoch();
         let (quarantined, fp) = self.current_quarantine_fp();
         self.plan_cache.sync(epoch, fp);
@@ -294,12 +529,41 @@ impl<'a, S: PageSource + Sync> QueryServer<'a, S> {
             stats_epoch: epoch,
             quarantine_fp: fp,
         };
-        let session = self.session();
+        let mut session = self.session();
+        if let Some(o) = obs.as_deref_mut() {
+            session = session.with_trace(&o.sink).with_trace_parent(o.root);
+        }
         let (explain, cached_plan) = match self.plan_cache.lookup(&key, &quarantined) {
             Some(plan) => ((*plan).clone(), true),
             None => (session.explain(q)?, false),
         };
-        let outcome = session.run_planned(q, explain)?;
+        if let Some(o) = obs.as_deref_mut() {
+            o.phases.plan_us = t_plan.elapsed().as_micros() as u64;
+            o.sink.event(
+                EventKind::Serve,
+                "serve.plan_cache",
+                Some(o.root),
+                vec![("hit".to_string(), u64::from(cached_plan).into())],
+            );
+        }
+        let t_eval = Instant::now();
+        let outcome = match obs.as_deref_mut() {
+            Some(o) => {
+                let ctx = RequestCtx {
+                    sink: o.attr.clone(),
+                    parent: o.root,
+                    request_id: o.rid,
+                    clock: o.clock.clone(),
+                };
+                obs::reqctx::with_ctx(Some(ctx), || session.run_planned(q, explain))?
+            }
+            None => session.run_planned(q, explain)?,
+        };
+        if let Some(o) = obs.as_deref_mut() {
+            let total = t_eval.elapsed().as_micros() as u64;
+            o.phases.fetch_us = o.clock.total_us();
+            o.phases.eval_us = total.saturating_sub(o.phases.fetch_us);
+        }
         if outcome.fell_back() {
             // The plan's own audit falsified it — never serve it again.
             self.plan_cache.remove(&key);
@@ -307,12 +571,7 @@ impl<'a, S: PageSource + Sync> QueryServer<'a, S> {
             self.plan_cache
                 .insert(key, Arc::new(outcome.explain.clone()));
         }
-        Ok(ServeOutcome {
-            outcome: Some(outcome),
-            cached_plan,
-            shed: false,
-            view_answer: None,
-        })
+        Ok(outcome_of(&obs, Some(outcome), cached_plan, false, None))
     }
 
     /// A point-in-time copy of every serving counter.

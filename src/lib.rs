@@ -71,7 +71,10 @@ pub mod prelude {
     pub use nalg::{
         CoalescingSource, DegradationMode, EvalReport, Evaluator, NalgExpr, PageSource, Pred,
     };
-    pub use obs::{EventKind, MetricsRegistry, TraceSink};
+    pub use obs::{
+        EventKind, FixedHistogram, FlightDump, FlightRecorder, LatencyObjective, MetricsRegistry,
+        PhaseBreakdown, RequestTrace, SloSnapshot, SloTracker, TraceSink, TriggerKind,
+    };
     pub use resilience::{
         ConstraintHealth, ResilienceSnapshot, ResilientServer, ResilientSource, RetryPolicy,
     };
@@ -135,6 +138,44 @@ mod tests {
         let again = session.run(&q).unwrap();
         assert!(!again.fell_back());
         assert!(again.explain.report().contains("quarantined (excluded"));
+    }
+
+    // The README's "Operating the server" walkthrough: a fully observed
+    // server hands every request a deterministic id, a phase breakdown,
+    // a causal trace in the flight recorder, and an SLO score — without
+    // touching the answer.
+    #[test]
+    fn readme_operating_walkthrough() {
+        let site = University::generate(UniversityConfig::default()).unwrap();
+        let stats = SiteStatistics::from_site(&site.site);
+        let catalog = university_catalog();
+        let live = LiveSource::for_site(&site.site);
+        let coalesced = CoalescingSource::new(&live);
+
+        let slo = SloTracker::new(LatencyObjective::new("serve", 250_000, 0.99));
+        let recorder = FlightRecorder::new();
+        let server = QueryServer::new(&site.site.scheme, &catalog, &stats, &coalesced)
+            .with_admission_capacity(4)
+            .with_trace(42)
+            .with_slo(&slo)
+            .with_flight_recorder(&recorder);
+
+        let q = ConjunctiveQuery::new("full professors")
+            .atom("Professor")
+            .select((0, "Rank"), "Full")
+            .project((0, "PName"));
+        let out = server.serve(&q).unwrap();
+
+        let rid = out.request_id.unwrap();
+        let _phases = out.phases.unwrap();
+
+        let trace = &recorder.recent()[0];
+        assert_eq!(trace.request_id, rid);
+        assert!(trace.causal_jsonl().contains("serve.request"));
+
+        let snap = slo.snapshot();
+        assert_eq!(snap.total, 1);
+        assert!(snap.to_json().contains("p99_us"));
     }
 
     // The README's "Keeping a view fresh incrementally" walkthrough: a

@@ -219,6 +219,53 @@ fn explain_analyze_matches_untraced_runs_on_both_fixture_sites() {
     }
 }
 
+// ── incremental maintenance tracing ────────────────────────────────────
+
+// Dataflow syncs are observer-pure too: attaching a trace sink to an
+// `IncrementalView` changes neither the delta accounting nor the
+// maintained answer, and two traced twins with the same sink seed export
+// byte-identical `dataflow.sync` traces.
+#[test]
+fn dataflow_sync_traced_equals_untraced_with_byte_identical_exports() {
+    let run = |trace_seed: Option<u64>| {
+        let mut site = University::generate(UniversityConfig::default()).unwrap();
+        let ws = site.site.scheme.clone();
+        let sink = trace_seed.map(TraceSink::with_seed);
+        let mut views = IncrementalView::new(&ws);
+        if let Some(s) = &sink {
+            views = views.with_trace(s.clone());
+        }
+        views.materialize(&site.site.server).unwrap();
+        views.set_cursor(site.site.change_cursor());
+        let profs = NalgExpr::entry("DeptListPage")
+            .unnest("DeptList")
+            .follow("ToDept", "DeptPage")
+            .unnest("ProfList")
+            .follow("ToProf", "ProfPage")
+            .project(vec!["ProfPage.PName", "ProfPage.Rank"]);
+        views
+            .register("profs", "profs", &profs, &site.site.server)
+            .unwrap();
+        let plan = MutationPlan::new(5).with_rule(MutationRule::edit_attr("ProfPage", "Rank", 0.4));
+        plan.apply_round(&mut site.site, 0).unwrap();
+        let report = views.sync(&site.site).unwrap();
+        (
+            format!("{report:?}"),
+            views.answer("profs").unwrap().sorted(),
+            sink.map(|s| s.export_jsonl()),
+        )
+    };
+
+    let plain = run(None);
+    let traced = run(Some(31));
+    let again = run(Some(31));
+    assert_eq!(plain.0, traced.0, "tracing changed the delta accounting");
+    assert_eq!(plain.1, traced.1, "tracing changed the maintained answer");
+    let (e1, e2) = (traced.2.unwrap(), again.2.unwrap());
+    assert!(e1.contains("dataflow.sync"), "sync span missing:\n{e1}");
+    assert_eq!(e1, e2, "same-seed dataflow trace exports drifted");
+}
+
 // ── materialized sessions ──────────────────────────────────────────────
 
 #[test]
