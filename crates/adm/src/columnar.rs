@@ -1,0 +1,1426 @@
+//! Columnar page-relations with chunk-at-a-time kernels.
+//!
+//! [`ColumnRel`] is the evaluator's internal representation of a
+//! [`Relation`]: one typed vector per attribute (interned text ids, interned
+//! link ids, nested relations as child columns plus an offset list) with
+//! validity bitmaps for nulls. [`Value`]/[`Tuple`] remain the public
+//! boundary type — `to_relation`/`from_relation` convert at the edges.
+//!
+//! The kernels mirror the row-at-a-time operators of [`Relation`] exactly:
+//! selection produces index vectors, projection deduplicates by hashing
+//! token-encoded column slices, the equi-join probes a hash table of
+//! interned ids in batches, and unnest expands offset ranges. Output *order*
+//! is identical to the row path (selection preserves input order, projection
+//! keeps first appearance, join emits left order × right match order), so
+//! results are byte-identical, not merely set-equal.
+//!
+//! # Null vs empty list
+//!
+//! A nested column's validity bitmap distinguishes `Null` from `List([])` —
+//! both produce zero child rows, but they are different values and must
+//! round-trip exactly.
+//!
+//! # Heterogeneous columns
+//!
+//! Page data is schema-driven and always columnarizes into typed vectors.
+//! Hand-built relations (tests, external sources) can mix types within a
+//! column or nest tuples with differing field names; such columns degrade to
+//! a [`ColumnData::Values`] fallback that stores boundary values directly
+//! and keeps row-compatible semantics.
+
+use crate::error::AdmError;
+use crate::intern::Symbol;
+use crate::relation::Relation;
+use crate::value::{Tuple, Value};
+use crate::Result;
+use std::collections::{HashMap, HashSet};
+
+/// A validity bitmap: bit *i* set ⇔ row *i* is non-null.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bitmap {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// An empty bitmap.
+    pub fn new() -> Self {
+        Bitmap::default()
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, valid: bool) {
+        let word = self.len / 64;
+        if word == self.bits.len() {
+            self.bits.push(0);
+        }
+        if valid {
+            self.bits[word] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Appends `n` valid bits.
+    pub fn push_valid_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.push(true);
+        }
+    }
+
+    /// The bit at `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.bits[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of set (valid) bits.
+    pub fn count_valid(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// The typed payload of one column.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// Interned text ids; entries at invalid rows are placeholders.
+    Text(Vec<Symbol>),
+    /// Interned link (URL) ids; entries at invalid rows are placeholders.
+    Link(Vec<Symbol>),
+    /// Nested relation: row *i* spans child rows `offsets[i]..offsets[i+1]`.
+    Nested {
+        /// `len + 1` monotone offsets into the child relation.
+        offsets: Vec<u32>,
+        /// The child columns (inner tuple fields, unqualified names).
+        child: Box<ColumnRel>,
+    },
+    /// Fallback for heterogeneous columns: boundary values stored directly.
+    Values(Vec<Value>),
+}
+
+/// One column: typed data plus a validity bitmap.
+#[derive(Debug, Clone)]
+pub struct Column {
+    /// The typed payload.
+    pub data: ColumnData,
+    /// Validity: set ⇔ non-null. (For [`ColumnData::Values`] the stored
+    /// value is authoritative; the bitmap is kept consistent anyway.)
+    pub validity: Bitmap,
+}
+
+/// A columnar relation: named typed columns of equal length.
+#[derive(Debug, Clone)]
+pub struct ColumnRel {
+    names: Vec<Symbol>,
+    cols: Vec<Column>,
+    len: usize,
+}
+
+fn placeholder() -> Symbol {
+    Symbol::intern("")
+}
+
+impl ColumnRel {
+    /// An empty relation with the given header.
+    pub fn empty<S: AsRef<str>>(names: &[S]) -> Self {
+        ColumnRel {
+            names: names.iter().map(|n| Symbol::intern(n.as_ref())).collect(),
+            cols: names
+                .iter()
+                .map(|_| Column {
+                    data: ColumnData::Values(Vec::new()),
+                    validity: Bitmap::new(),
+                })
+                .collect(),
+            len: 0,
+        }
+    }
+
+    /// Column header symbols.
+    pub fn names(&self) -> &[Symbol] {
+        &self.names
+    }
+
+    /// Column header as strings (allocates).
+    pub fn column_strings(&self) -> Vec<String> {
+        self.names.iter().map(|s| s.as_str().to_string()).collect()
+    }
+
+    /// The columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.cols
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Resolves a column reference: exact match first, then unique dotted
+    /// suffix, mirroring [`Relation::resolve`] including its errors.
+    pub fn resolve(&self, name: &str) -> Result<usize> {
+        if let Some(i) = self.names.iter().position(|c| c.as_str() == name) {
+            return Ok(i);
+        }
+        let suffix = format!(".{name}");
+        let hits: Vec<usize> = self
+            .names
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.as_str().ends_with(&suffix))
+            .map(|(i, _)| i)
+            .collect();
+        match hits.len() {
+            1 => Ok(hits[0]),
+            0 => Err(AdmError::UnknownAttribute {
+                attr: name.to_string(),
+                within: format!(
+                    "relation [{}]",
+                    self.names
+                        .iter()
+                        .map(|s| s.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            }),
+            _ => Err(AdmError::AmbiguousAttribute {
+                attr: name.to_string(),
+                candidates: hits
+                    .iter()
+                    .map(|&i| self.names[i].as_str().to_string())
+                    .collect(),
+            }),
+        }
+    }
+
+    /// True if the cell at `(row, col)` is null.
+    #[inline]
+    pub fn is_null_at(&self, row: usize, col: usize) -> bool {
+        match &self.cols[col].data {
+            ColumnData::Values(vs) => vs[row].is_null(),
+            _ => !self.cols[col].validity.get(row),
+        }
+    }
+
+    /// Materializes the cell at `(row, col)` as a boundary [`Value`].
+    pub fn value_at(&self, row: usize, col: usize) -> Value {
+        let c = &self.cols[col];
+        match &c.data {
+            ColumnData::Text(ids) => {
+                if c.validity.get(row) {
+                    Value::Text(ids[row].as_str().to_string())
+                } else {
+                    Value::Null
+                }
+            }
+            ColumnData::Link(ids) => {
+                if c.validity.get(row) {
+                    Value::Link(ids[row].to_url())
+                } else {
+                    Value::Null
+                }
+            }
+            ColumnData::Nested { offsets, child } => {
+                if c.validity.get(row) {
+                    let lo = offsets[row] as usize;
+                    let hi = offsets[row + 1] as usize;
+                    Value::List((lo..hi).map(|r| child.tuple_at(r)).collect())
+                } else {
+                    Value::Null
+                }
+            }
+            ColumnData::Values(vs) => vs[row].clone(),
+        }
+    }
+
+    /// Materializes row `r` as a [`Tuple`] over the column names.
+    pub fn tuple_at(&self, row: usize) -> Tuple {
+        Tuple::from_pairs(
+            (0..self.cols.len())
+                .map(|c| (self.names[c].as_str().to_string(), self.value_at(row, c)))
+                .collect(),
+        )
+    }
+
+    /// The interned link id at `(row, col)`, or `None` for null. Errors with
+    /// the same `TypeMismatch` as the row path when the cell holds a
+    /// non-link, non-null value.
+    pub fn link_at(&self, row: usize, col: usize) -> Result<Option<Symbol>> {
+        let c = &self.cols[col];
+        let type_err = |found: String| AdmError::TypeMismatch {
+            attr: self.names[col].as_str().to_string(),
+            expected: "link",
+            found,
+        };
+        match &c.data {
+            ColumnData::Link(ids) => Ok(c.validity.get(row).then(|| ids[row])),
+            ColumnData::Text(ids) => {
+                if c.validity.get(row) {
+                    Err(type_err(format!(
+                        "{:?}",
+                        Value::Text(ids[row].as_str().to_string())
+                    )))
+                } else {
+                    Ok(None)
+                }
+            }
+            ColumnData::Nested { .. } => {
+                if c.validity.get(row) {
+                    Err(type_err(format!("{:?}", self.value_at(row, col))))
+                } else {
+                    Ok(None)
+                }
+            }
+            ColumnData::Values(vs) => match &vs[row] {
+                Value::Link(u) => Ok(Some(Symbol::from_url(u))),
+                Value::Null => Ok(None),
+                other => Err(type_err(format!("{other:?}"))),
+            },
+        }
+    }
+
+    // ---- token encoding (equality keys for dedup / join) ----------------
+
+    /// Appends a prefix-free token encoding of the cell to `out`. Two cells
+    /// encode identically iff their boundary [`Value`]s are equal, so token
+    /// vectors are exact hash/equality keys for dedup and join.
+    fn encode_cell(&self, row: usize, col: usize, out: &mut Vec<u64>) {
+        let c = &self.cols[col];
+        match &c.data {
+            ColumnData::Text(ids) => {
+                if c.validity.get(row) {
+                    out.push(1);
+                    out.push(ids[row].id() as u64);
+                } else {
+                    out.push(0);
+                }
+            }
+            ColumnData::Link(ids) => {
+                if c.validity.get(row) {
+                    out.push(2);
+                    out.push(ids[row].id() as u64);
+                } else {
+                    out.push(0);
+                }
+            }
+            ColumnData::Nested { offsets, child } => {
+                if c.validity.get(row) {
+                    let lo = offsets[row] as usize;
+                    let hi = offsets[row + 1] as usize;
+                    out.push(3);
+                    out.push((hi - lo) as u64);
+                    for r in lo..hi {
+                        out.push(4);
+                        out.push(child.cols.len() as u64);
+                        for (ci, name) in child.names.iter().enumerate() {
+                            out.push(name.id() as u64);
+                            child.encode_cell(r, ci, out);
+                        }
+                    }
+                } else {
+                    out.push(0);
+                }
+            }
+            ColumnData::Values(vs) => encode_value(&vs[row], out),
+        }
+    }
+}
+
+/// Token-encodes a boundary [`Value`] with the same scheme as
+/// [`ColumnRel::encode_cell`], interning text as needed.
+fn encode_value(v: &Value, out: &mut Vec<u64>) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Text(s) => {
+            out.push(1);
+            out.push(Symbol::intern(s).id() as u64);
+        }
+        Value::Link(u) => {
+            out.push(2);
+            out.push(Symbol::from_url(u).id() as u64);
+        }
+        Value::List(ts) => {
+            out.push(3);
+            out.push(ts.len() as u64);
+            for t in ts {
+                out.push(4);
+                out.push(t.len() as u64);
+                for (n, v) in t.iter() {
+                    out.push(Symbol::intern(n).id() as u64);
+                    encode_value(v, out);
+                }
+            }
+        }
+    }
+}
+
+fn take_bitmap(b: &Bitmap, idx: &[u32]) -> Bitmap {
+    let mut out = Bitmap::new();
+    for &i in idx {
+        out.push(b.get(i as usize));
+    }
+    out
+}
+
+fn take_column(col: &Column, idx: &[u32]) -> Column {
+    match &col.data {
+        ColumnData::Text(ids) => Column {
+            data: ColumnData::Text(idx.iter().map(|&i| ids[i as usize]).collect()),
+            validity: take_bitmap(&col.validity, idx),
+        },
+        ColumnData::Link(ids) => Column {
+            data: ColumnData::Link(idx.iter().map(|&i| ids[i as usize]).collect()),
+            validity: take_bitmap(&col.validity, idx),
+        },
+        ColumnData::Nested { offsets, child } => {
+            let mut new_offsets = Vec::with_capacity(idx.len() + 1);
+            let mut child_idx: Vec<u32> = Vec::new();
+            new_offsets.push(0u32);
+            for &i in idx {
+                let lo = offsets[i as usize];
+                let hi = offsets[i as usize + 1];
+                child_idx.extend(lo..hi);
+                new_offsets.push(child_idx.len() as u32);
+            }
+            Column {
+                data: ColumnData::Nested {
+                    offsets: new_offsets,
+                    child: Box::new(child.take(&child_idx)),
+                },
+                validity: take_bitmap(&col.validity, idx),
+            }
+        }
+        ColumnData::Values(vs) => Column {
+            data: ColumnData::Values(idx.iter().map(|&i| vs[i as usize].clone()).collect()),
+            validity: take_bitmap(&col.validity, idx),
+        },
+    }
+}
+
+impl ColumnRel {
+    // ---- kernels ---------------------------------------------------------
+
+    /// Gathers the rows named by `idx` (in that order).
+    pub fn take(&self, idx: &[u32]) -> ColumnRel {
+        ColumnRel {
+            names: self.names.clone(),
+            cols: self.cols.iter().map(|c| take_column(c, idx)).collect(),
+            len: idx.len(),
+        }
+    }
+
+    /// Selection `column = constant`: returns matching row indices in input
+    /// order. `Null` constants match null cells (as in the row path, where
+    /// `Value::Null == Value::Null`).
+    pub fn select_eq_const(&self, col: usize, value: &Value) -> Vec<u32> {
+        let c = &self.cols[col];
+        match (&c.data, value) {
+            (ColumnData::Text(ids), Value::Text(s)) => match Symbol::lookup(s) {
+                None => Vec::new(),
+                Some(want) => (0..self.len)
+                    .filter(|&i| c.validity.get(i) && ids[i] == want)
+                    .map(|i| i as u32)
+                    .collect(),
+            },
+            (ColumnData::Link(ids), Value::Link(u)) => match Symbol::lookup(u.as_str()) {
+                None => Vec::new(),
+                Some(want) => (0..self.len)
+                    .filter(|&i| c.validity.get(i) && ids[i] == want)
+                    .map(|i| i as u32)
+                    .collect(),
+            },
+            (_, Value::Null) => (0..self.len)
+                .filter(|&i| self.is_null_at(i, col))
+                .map(|i| i as u32)
+                .collect(),
+            (ColumnData::Values(vs), v) => (0..self.len)
+                .filter(|&i| &vs[i] == v)
+                .map(|i| i as u32)
+                .collect(),
+            (ColumnData::Nested { .. }, Value::List(_)) => (0..self.len)
+                .filter(|&i| &self.value_at(i, col) == value)
+                .map(|i| i as u32)
+                .collect(),
+            // typed column vs mismatched constant type: never equal
+            _ => Vec::new(),
+        }
+    }
+
+    /// Selection `column_a = column_b` (null never equal): matching row
+    /// indices in input order.
+    pub fn select_eq_cols(&self, a: usize, b: usize) -> Vec<u32> {
+        let (ca, cb) = (&self.cols[a], &self.cols[b]);
+        match (&ca.data, &cb.data) {
+            (ColumnData::Text(x), ColumnData::Text(y))
+            | (ColumnData::Link(x), ColumnData::Link(y)) => (0..self.len)
+                .filter(|&i| ca.validity.get(i) && cb.validity.get(i) && x[i] == y[i])
+                .map(|i| i as u32)
+                .collect(),
+            (ColumnData::Text(_), ColumnData::Link(_))
+            | (ColumnData::Link(_), ColumnData::Text(_)) => Vec::new(),
+            _ => (0..self.len)
+                .filter(|&i| !self.is_null_at(i, a) && self.value_at(i, a) == self.value_at(i, b))
+                .map(|i| i as u32)
+                .collect(),
+        }
+    }
+
+    /// Projection onto columns `idx` with set-semantics dedup (first
+    /// appearance wins), hashing token-encoded column slices.
+    pub fn project_cols(&self, idx: &[usize]) -> ColumnRel {
+        // Single interned column: the whole cell packs into one u64
+        // (tag ≪ 32 | symbol id, 0 = null), so dedup needs no key vectors
+        // at all — this is the hot shape (π onto a key or URL column).
+        let keep: Vec<u32> = if let [c] = idx {
+            let col = &self.cols[*c];
+            match &col.data {
+                ColumnData::Text(ids) | ColumnData::Link(ids) => {
+                    let tag: u64 = match &col.data {
+                        ColumnData::Text(_) => 1,
+                        _ => 2,
+                    };
+                    let mut seen: HashSet<u64> = HashSet::with_capacity(self.len.min(1024));
+                    (0..self.len)
+                        .filter(|&row| {
+                            let token = if col.validity.get(row) {
+                                (tag << 32) | ids[row].id() as u64
+                            } else {
+                                0
+                            };
+                            seen.insert(token)
+                        })
+                        .map(|row| row as u32)
+                        .collect()
+                }
+                _ => self.dedup_rows(idx),
+            }
+        } else {
+            self.dedup_rows(idx)
+        };
+        ColumnRel {
+            names: idx.iter().map(|&i| self.names[i]).collect(),
+            cols: idx
+                .iter()
+                .map(|&i| take_column(&self.cols[i], &keep))
+                .collect(),
+            len: keep.len(),
+        }
+    }
+
+    /// General dedup over token-encoded multi-column keys: rows whose key
+    /// is new, in input order. The key buffer is reused; the set only
+    /// clones a key the first time it appears.
+    fn dedup_rows(&self, idx: &[usize]) -> Vec<u32> {
+        let mut seen: HashSet<Vec<u64>> = HashSet::new();
+        let mut keep: Vec<u32> = Vec::new();
+        let mut key: Vec<u64> = Vec::new();
+        for row in 0..self.len {
+            key.clear();
+            for &c in idx {
+                self.encode_cell(row, c, &mut key);
+            }
+            if !seen.contains(&key) {
+                seen.insert(key.clone());
+                keep.push(row as u32);
+            }
+        }
+        keep
+    }
+
+    /// Projection by column names (resolution as in the row path).
+    pub fn project(&self, cols: &[&str]) -> Result<ColumnRel> {
+        let idx: Vec<usize> = cols
+            .iter()
+            .map(|c| self.resolve(c))
+            .collect::<Result<_>>()?;
+        Ok(self.project_cols(&idx))
+    }
+
+    /// Removes duplicate rows (first appearance wins).
+    pub fn distinct(&self) -> ColumnRel {
+        self.project_cols(&(0..self.cols.len()).collect::<Vec<_>>())
+    }
+
+    /// Glues two relations of equal length side by side.
+    pub fn hstack(mut self, other: ColumnRel) -> ColumnRel {
+        assert_eq!(self.len, other.len, "hstack length mismatch");
+        self.names.extend(other.names);
+        self.cols.extend(other.cols);
+        self
+    }
+
+    /// Equi-join on column index pairs: hashes the right side on token-
+    /// encoded keys (null keys never join), probes left rows in order.
+    /// Output rows are left order × right match order, columns are
+    /// `self ++ other` — exactly the row path.
+    pub fn join_on(&self, other: &ColumnRel, on: &[(usize, usize)]) -> ColumnRel {
+        let mut table: HashMap<Vec<u64>, Vec<u32>> = HashMap::new();
+        let mut key: Vec<u64> = Vec::new();
+        'right: for row in 0..other.len {
+            key.clear();
+            for &(_, rc) in on {
+                if other.is_null_at(row, rc) {
+                    continue 'right;
+                }
+                other.encode_cell(row, rc, &mut key);
+            }
+            // clone the key only on first appearance — the buffer is reused
+            match table.get_mut(&key) {
+                Some(rows) => rows.push(row as u32),
+                None => {
+                    table.insert(key.clone(), vec![row as u32]);
+                }
+            }
+        }
+        let mut li: Vec<u32> = Vec::new();
+        let mut ri: Vec<u32> = Vec::new();
+        'left: for row in 0..self.len {
+            key.clear();
+            for &(lc, _) in on {
+                if self.is_null_at(row, lc) {
+                    continue 'left;
+                }
+                self.encode_cell(row, lc, &mut key);
+            }
+            if let Some(matches) = table.get(&key) {
+                for &m in matches {
+                    li.push(row as u32);
+                    ri.push(m);
+                }
+            }
+        }
+        self.take(&li).hstack(other.take(&ri))
+    }
+
+    /// Equi-join on named column pairs (see [`ColumnRel::join_on`]).
+    pub fn join(&self, other: &ColumnRel, on: &[(&str, &str)]) -> Result<ColumnRel> {
+        let idx: Vec<(usize, usize)> = on
+            .iter()
+            .map(|(l, r)| Ok((self.resolve(l)?, other.resolve(r)?)))
+            .collect::<Result<_>>()?;
+        Ok(self.join_on(other, &idx))
+    }
+
+    /// Unnests a list column: child rows expand via the offset list, the
+    /// remaining parent columns gather through a repeat-index vector, and
+    /// each requested inner field becomes `{col}.{field}` (null where the
+    /// child lacks the field). Null lists produce no rows; a non-list cell
+    /// is a `TypeMismatch`, as in the row path.
+    pub fn unnest(&self, column: &str, inner_fields: &[String]) -> Result<ColumnRel> {
+        let ci = self.resolve(column)?;
+        let col_name = self.names[ci].as_str();
+        let mut names: Vec<Symbol> = Vec::with_capacity(self.names.len() - 1 + inner_fields.len());
+        for (i, n) in self.names.iter().enumerate() {
+            if i != ci {
+                names.push(*n);
+            }
+        }
+        for f in inner_fields {
+            names.push(Symbol::intern(&format!("{col_name}.{f}")));
+        }
+
+        match &self.cols[ci].data {
+            ColumnData::Nested { offsets, child } => {
+                let mut repeat: Vec<u32> = Vec::new();
+                let mut child_idx: Vec<u32> = Vec::new();
+                for row in 0..self.len {
+                    let lo = offsets[row];
+                    let hi = offsets[row + 1];
+                    for c in lo..hi {
+                        repeat.push(row as u32);
+                        child_idx.push(c);
+                    }
+                }
+                let mut cols: Vec<Column> = Vec::with_capacity(names.len());
+                for (i, c) in self.cols.iter().enumerate() {
+                    if i != ci {
+                        cols.push(take_column(c, &repeat));
+                    }
+                }
+                for f in inner_fields {
+                    match child.names.iter().position(|n| n.as_str() == f) {
+                        Some(cc) => cols.push(take_column(&child.cols[cc], &child_idx)),
+                        None => cols.push(Column {
+                            data: ColumnData::Values(vec![Value::Null; child_idx.len()]),
+                            validity: {
+                                let mut b = Bitmap::new();
+                                for _ in 0..child_idx.len() {
+                                    b.push(false);
+                                }
+                                b
+                            },
+                        }),
+                    }
+                }
+                Ok(ColumnRel {
+                    names,
+                    cols,
+                    len: child_idx.len(),
+                })
+            }
+            _ => {
+                // Row-wise fallback, preserving the row path's semantics:
+                // null ≡ empty list, anything else is a type error.
+                let mut b = ColumnRelBuilder::from_symbols(names);
+                for row in 0..self.len {
+                    let v = self.value_at(row, ci);
+                    let Value::List(inner) = v else {
+                        if v.is_null() {
+                            continue;
+                        }
+                        return Err(AdmError::TypeMismatch {
+                            attr: col_name.to_string(),
+                            expected: "list",
+                            found: format!("{v:?}"),
+                        });
+                    };
+                    for t in &inner {
+                        let mut out: Vec<Value> =
+                            Vec::with_capacity(self.cols.len() - 1 + inner_fields.len());
+                        for i in 0..self.cols.len() {
+                            if i != ci {
+                                out.push(self.value_at(row, i));
+                            }
+                        }
+                        for f in inner_fields {
+                            out.push(t.get(f).cloned().unwrap_or(Value::Null));
+                        }
+                        b.push_row(&out)?;
+                    }
+                }
+                Ok(b.finish())
+            }
+        }
+    }
+
+    // ---- boundary conversion --------------------------------------------
+
+    /// Columnarizes a boundary [`Relation`]. Text/link payloads are interned
+    /// (no string clones beyond first interning); heterogeneous columns
+    /// degrade to [`ColumnData::Values`].
+    pub fn from_relation(r: &Relation) -> ColumnRel {
+        let mut b = ColumnRelBuilder::new(r.columns());
+        for row in r.rows() {
+            b.push_row(row).expect("arity checked by Relation");
+        }
+        b.finish()
+    }
+
+    /// Materializes back into a boundary [`Relation`] (row order preserved).
+    pub fn to_relation(&self) -> Relation {
+        let mut out = Relation::new(self.column_strings());
+        for row in 0..self.len {
+            out.push_row(
+                (0..self.cols.len())
+                    .map(|c| self.value_at(row, c))
+                    .collect(),
+            )
+            .expect("arity by construction");
+        }
+        out
+    }
+
+    // ---- rendering -------------------------------------------------------
+
+    /// Compares two cells of the same column with [`Value::total_cmp`]'s
+    /// total order, without materializing values for typed columns.
+    fn cmp_cells(&self, a: usize, b: usize, col: usize) -> std::cmp::Ordering {
+        let c = &self.cols[col];
+        match &c.data {
+            // Null ranks below any value; interned ids resolve to the very
+            // strings Text/Url ordering compares.
+            ColumnData::Text(ids) | ColumnData::Link(ids) => {
+                match (c.validity.get(a), c.validity.get(b)) {
+                    (true, true) => ids[a].as_str().cmp(ids[b].as_str()),
+                    (va, vb) => va.cmp(&vb),
+                }
+            }
+            ColumnData::Values(vs) => vs[a].total_cmp(&vs[b]),
+            ColumnData::Nested { .. } => self.value_at(a, col).total_cmp(&self.value_at(b, col)),
+        }
+    }
+
+    /// Row indices in the deterministic order of [`Relation::sorted`].
+    fn sorted_indices(&self) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..self.len as u32).collect();
+        order.sort_by(|&a, &b| {
+            for col in 0..self.cols.len() {
+                match self.cmp_cells(a as usize, b as usize, col) {
+                    std::cmp::Ordering::Equal => continue,
+                    o => return o,
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        order
+    }
+
+    /// The display text of one cell, straight from the typed column —
+    /// identical to `Value::to_string` of the materialized cell.
+    fn cell_string(&self, row: usize, col: usize) -> String {
+        let c = &self.cols[col];
+        match &c.data {
+            ColumnData::Text(ids) | ColumnData::Link(ids) => {
+                if c.validity.get(row) {
+                    ids[row].as_str().to_string()
+                } else {
+                    Value::Null.to_string()
+                }
+            }
+            ColumnData::Values(vs) => vs[row].to_string(),
+            ColumnData::Nested { .. } => self.value_at(row, col).to_string(),
+        }
+    }
+
+    /// Renders the same ASCII table as [`Relation::to_table`] — sorted rows,
+    /// byte-identical output — streaming cells out of the typed columns
+    /// without materializing row tuples.
+    pub fn to_table(&self) -> String {
+        let order = self.sorted_indices();
+        let columns = self.column_strings();
+        let mut cells = Vec::with_capacity(self.len * self.cols.len());
+        for &r in &order {
+            for c in 0..self.cols.len() {
+                cells.push(self.cell_string(r as usize, c));
+            }
+        }
+        crate::display::render_ascii_table(&columns, self.len, &cells)
+    }
+}
+
+impl std::fmt::Display for ColumnRel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_table())
+    }
+}
+
+// ---- builder -------------------------------------------------------------
+
+/// Builds a [`ColumnRel`] row by row, specializing column types on first
+/// non-null observation and degrading to [`ColumnData::Values`] on conflict.
+#[derive(Debug)]
+pub struct ColumnRelBuilder {
+    names: Vec<Symbol>,
+    cols: Vec<BuildCol>,
+    len: usize,
+}
+
+#[derive(Debug)]
+enum BuildCol {
+    /// Only nulls so far.
+    Empty {
+        nulls: usize,
+    },
+    Text {
+        ids: Vec<Symbol>,
+        validity: Bitmap,
+    },
+    Link {
+        ids: Vec<Symbol>,
+        validity: Bitmap,
+    },
+    Nested {
+        offsets: Vec<u32>,
+        validity: Bitmap,
+        /// Set when the first inner tuple fixes the child schema.
+        child: Option<Box<ColumnRelBuilder>>,
+    },
+    Values(Vec<Value>),
+}
+
+impl BuildCol {
+    fn new() -> Self {
+        BuildCol::Empty { nulls: 0 }
+    }
+
+    /// Materializes the column built so far into boundary values (degrade
+    /// path — cold).
+    fn into_values(self) -> Vec<Value> {
+        match self {
+            BuildCol::Empty { nulls } => vec![Value::Null; nulls],
+            BuildCol::Text { ids, validity } => ids
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    if validity.get(i) {
+                        Value::Text(s.as_str().to_string())
+                    } else {
+                        Value::Null
+                    }
+                })
+                .collect(),
+            BuildCol::Link { ids, validity } => ids
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    if validity.get(i) {
+                        Value::Link(s.to_url())
+                    } else {
+                        Value::Null
+                    }
+                })
+                .collect(),
+            BuildCol::Nested {
+                offsets,
+                validity,
+                child,
+            } => {
+                let child = match child {
+                    Some(b) => b.finish(),
+                    None => ColumnRel::empty::<&str>(&[]),
+                };
+                (0..offsets.len() - 1)
+                    .map(|i| {
+                        if validity.get(i) {
+                            let lo = offsets[i] as usize;
+                            let hi = offsets[i + 1] as usize;
+                            Value::List((lo..hi).map(|r| child.tuple_at(r)).collect())
+                        } else {
+                            Value::Null
+                        }
+                    })
+                    .collect()
+            }
+            BuildCol::Values(vs) => vs,
+        }
+    }
+
+    fn degrade(&mut self) -> &mut Vec<Value> {
+        let old = std::mem::replace(self, BuildCol::Values(Vec::new()));
+        *self = BuildCol::Values(old.into_values());
+        match self {
+            BuildCol::Values(vs) => vs,
+            _ => unreachable!(),
+        }
+    }
+
+    fn push(&mut self, v: &Value) {
+        // Specialize an all-null column on its first non-null value.
+        if let BuildCol::Empty { nulls } = self {
+            let nulls = *nulls;
+            match v {
+                Value::Null => {
+                    *self = BuildCol::Empty { nulls: nulls + 1 };
+                    return;
+                }
+                Value::Text(_) => {
+                    let mut validity = Bitmap::new();
+                    let mut ids = Vec::with_capacity(nulls + 1);
+                    for _ in 0..nulls {
+                        validity.push(false);
+                        ids.push(placeholder());
+                    }
+                    *self = BuildCol::Text { ids, validity };
+                }
+                Value::Link(_) => {
+                    let mut validity = Bitmap::new();
+                    let mut ids = Vec::with_capacity(nulls + 1);
+                    for _ in 0..nulls {
+                        validity.push(false);
+                        ids.push(placeholder());
+                    }
+                    *self = BuildCol::Link { ids, validity };
+                }
+                Value::List(_) => {
+                    let mut validity = Bitmap::new();
+                    let mut offsets = vec![0u32; nulls + 1];
+                    offsets.reserve(1);
+                    for _ in 0..nulls {
+                        validity.push(false);
+                    }
+                    *self = BuildCol::Nested {
+                        offsets,
+                        validity,
+                        child: None,
+                    };
+                }
+            }
+        }
+        match (&mut *self, v) {
+            (BuildCol::Text { ids, validity }, Value::Text(s)) => {
+                ids.push(Symbol::intern(s));
+                validity.push(true);
+            }
+            (BuildCol::Text { ids, validity }, Value::Null) => {
+                ids.push(placeholder());
+                validity.push(false);
+            }
+            (BuildCol::Link { ids, validity }, Value::Link(u)) => {
+                ids.push(Symbol::from_url(u));
+                validity.push(true);
+            }
+            (BuildCol::Link { ids, validity }, Value::Null) => {
+                ids.push(placeholder());
+                validity.push(false);
+            }
+            (
+                BuildCol::Nested {
+                    offsets,
+                    validity,
+                    child,
+                },
+                Value::List(ts),
+            ) => {
+                // The child schema is fixed by the first inner tuple; any
+                // tuple with different field names degrades the column.
+                let compatible = match child {
+                    None => true,
+                    Some(cb) => ts.iter().all(|t| {
+                        t.len() == cb.names.len()
+                            && t.names().zip(cb.names.iter()).all(|(n, s)| n == s.as_str())
+                    }),
+                };
+                if !compatible {
+                    self.degrade().push(v.clone());
+                    return;
+                }
+                if child.is_none() {
+                    if let Some(first) = ts.first() {
+                        let names: Vec<Symbol> = first.names().map(Symbol::intern).collect();
+                        // Re-check remaining tuples against the new schema.
+                        if !ts.iter().all(|t| {
+                            t.len() == names.len()
+                                && t.names().zip(names.iter()).all(|(n, s)| n == s.as_str())
+                        }) {
+                            self.degrade().push(v.clone());
+                            return;
+                        }
+                        *child = Some(Box::new(ColumnRelBuilder::from_symbols(names)));
+                    }
+                }
+                if let Some(cb) = child {
+                    let mut buf: Vec<Value> = Vec::with_capacity(cb.names.len());
+                    for t in ts {
+                        buf.clear();
+                        buf.extend(t.iter().map(|(_, v)| v.clone()));
+                        cb.push_row(&buf).expect("checked arity");
+                    }
+                }
+                offsets.push(match child {
+                    Some(cb) => cb.len as u32,
+                    None => *offsets.last().unwrap(),
+                });
+                validity.push(true);
+            }
+            (
+                BuildCol::Nested {
+                    offsets, validity, ..
+                },
+                Value::Null,
+            ) => {
+                offsets.push(*offsets.last().unwrap());
+                validity.push(false);
+            }
+            (BuildCol::Values(vs), v) => vs.push(v.clone()),
+            // type conflict: degrade and retry
+            (_, v) => self.degrade().push(v.clone()),
+        }
+    }
+
+    fn finish_col(self_col: BuildCol, len: usize) -> Column {
+        match self_col {
+            BuildCol::Empty { nulls } => {
+                debug_assert_eq!(nulls, len);
+                let mut validity = Bitmap::new();
+                for _ in 0..nulls {
+                    validity.push(false);
+                }
+                Column {
+                    data: ColumnData::Values(vec![Value::Null; nulls]),
+                    validity,
+                }
+            }
+            BuildCol::Text { ids, validity } => Column {
+                data: ColumnData::Text(ids),
+                validity,
+            },
+            BuildCol::Link { ids, validity } => Column {
+                data: ColumnData::Link(ids),
+                validity,
+            },
+            BuildCol::Nested {
+                offsets,
+                validity,
+                child,
+            } => Column {
+                data: ColumnData::Nested {
+                    offsets,
+                    child: Box::new(match child {
+                        Some(b) => b.finish(),
+                        None => ColumnRel::empty::<&str>(&[]),
+                    }),
+                },
+                validity,
+            },
+            BuildCol::Values(vs) => {
+                let mut validity = Bitmap::new();
+                for v in &vs {
+                    validity.push(!v.is_null());
+                }
+                Column {
+                    data: ColumnData::Values(vs),
+                    validity,
+                }
+            }
+        }
+    }
+}
+
+impl ColumnRelBuilder {
+    /// A builder over string column names.
+    pub fn new<S: AsRef<str>>(names: &[S]) -> Self {
+        ColumnRelBuilder::from_symbols(names.iter().map(|n| Symbol::intern(n.as_ref())).collect())
+    }
+
+    /// A builder over pre-interned column names.
+    pub fn from_symbols(names: Vec<Symbol>) -> Self {
+        let cols = names.iter().map(|_| BuildCol::new()).collect();
+        ColumnRelBuilder {
+            names,
+            cols,
+            len: 0,
+        }
+    }
+
+    /// Number of rows pushed so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no rows pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one row (arity-checked). Values are read by reference: text
+    /// and link payloads are interned, not cloned.
+    pub fn push_row(&mut self, row: &[Value]) -> Result<()> {
+        if row.len() != self.cols.len() {
+            return Err(AdmError::ArityMismatch {
+                expected: self.cols.len(),
+                found: row.len(),
+            });
+        }
+        for (c, v) in self.cols.iter_mut().zip(row.iter()) {
+            c.push(v);
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Finishes into a [`ColumnRel`].
+    pub fn finish(self) -> ColumnRel {
+        let len = self.len;
+        ColumnRel {
+            names: self.names,
+            cols: self
+                .cols
+                .into_iter()
+                .map(|c| BuildCol::finish_col(c, len))
+                .collect(),
+            len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::url::Url;
+
+    fn profs() -> Relation {
+        Relation::from_rows(
+            vec!["ProfPage.URL", "ProfPage.PName", "ProfPage.Rank"],
+            vec![
+                vec![Value::link("/p1"), Value::text("Codd"), Value::text("Full")],
+                vec![Value::link("/p2"), Value::text("Gray"), Value::text("Full")],
+                vec![
+                    Value::link("/p3"),
+                    Value::text("Kim"),
+                    Value::text("Assistant"),
+                ],
+                vec![Value::link("/p4"), Value::Null, Value::text("Full")],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn depts() -> Relation {
+        Relation::from_rows(
+            vec!["DeptPage.URL", "DeptPage.ProfList"],
+            vec![
+                vec![
+                    Value::link("/d1"),
+                    Value::List(vec![
+                        Tuple::new()
+                            .with("PName", "Codd")
+                            .with("ToProf", Value::link("/p1")),
+                        Tuple::new()
+                            .with("PName", "Gray")
+                            .with("ToProf", Value::link("/p2")),
+                    ]),
+                ],
+                vec![Value::link("/d2"), Value::List(vec![])],
+                vec![Value::link("/d3"), Value::Null],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_is_byte_identical() {
+        for r in [profs(), depts()] {
+            let c = ColumnRel::from_relation(&r);
+            assert_eq!(c.to_relation(), r);
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_null_vs_empty_list() {
+        let r = depts();
+        let c = ColumnRel::from_relation(&r);
+        let back = c.to_relation();
+        assert_eq!(back.rows()[1][1], Value::List(vec![])); // empty list stays
+        assert_eq!(back.rows()[2][1], Value::Null); // null stays
+    }
+
+    #[test]
+    fn typed_columns_for_schema_driven_data() {
+        let c = ColumnRel::from_relation(&profs());
+        assert!(matches!(c.columns()[0].data, ColumnData::Link(_)));
+        assert!(matches!(c.columns()[1].data, ColumnData::Text(_)));
+        let d = ColumnRel::from_relation(&depts());
+        assert!(matches!(d.columns()[1].data, ColumnData::Nested { .. }));
+    }
+
+    #[test]
+    fn heterogeneous_column_degrades() {
+        let r = Relation::from_rows(
+            vec!["X"],
+            vec![
+                vec![Value::text("a")],
+                vec![Value::link("/b")],
+                vec![Value::Null],
+            ],
+        )
+        .unwrap();
+        let c = ColumnRel::from_relation(&r);
+        assert!(matches!(c.columns()[0].data, ColumnData::Values(_)));
+        assert_eq!(c.to_relation(), r);
+    }
+
+    #[test]
+    fn mismatched_inner_tuples_degrade() {
+        let r = Relation::from_rows(
+            vec!["L"],
+            vec![
+                vec![Value::List(vec![Tuple::new().with("A", "x")])],
+                vec![Value::List(vec![Tuple::new().with("B", "y")])],
+            ],
+        )
+        .unwrap();
+        let c = ColumnRel::from_relation(&r);
+        assert!(matches!(c.columns()[0].data, ColumnData::Values(_)));
+        assert_eq!(c.to_relation(), r);
+    }
+
+    #[test]
+    fn select_eq_const_matches_row_path() {
+        let r = profs();
+        let c = ColumnRel::from_relation(&r);
+        let idx = c.select_eq_const(2, &Value::text("Full"));
+        assert_eq!(idx, vec![0, 1, 3]);
+        assert_eq!(
+            c.take(&idx).to_relation(),
+            r.select_eq("Rank", &Value::text("Full")).unwrap()
+        );
+        // unknown constant: no matches, nothing interned
+        assert!(c
+            .select_eq_const(2, &Value::text("no-such-rank-xyzzy"))
+            .is_empty());
+        // null constant matches null cells
+        assert_eq!(c.select_eq_const(1, &Value::Null), vec![3]);
+    }
+
+    #[test]
+    fn select_eq_cols_matches_row_path() {
+        let r = Relation::from_rows(
+            vec!["A", "B"],
+            vec![
+                vec![Value::text("x"), Value::text("x")],
+                vec![Value::text("x"), Value::text("y")],
+                vec![Value::Null, Value::Null],
+                vec![Value::link("/u"), Value::link("/u")],
+            ],
+        )
+        .unwrap();
+        let c = ColumnRel::from_relation(&r);
+        // heterogeneous columns → Values fallback; nulls never equal
+        assert_eq!(c.select_eq_cols(0, 1), vec![0, 3]);
+    }
+
+    #[test]
+    fn project_dedups_in_first_appearance_order() {
+        let r = profs();
+        let c = ColumnRel::from_relation(&r);
+        let p = c.project(&["Rank"]).unwrap();
+        assert_eq!(p.to_relation(), r.project(&["Rank"]).unwrap());
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn join_matches_row_path() {
+        let courses = Relation::from_rows(
+            vec!["CoursePage.URL", "CoursePage.CName", "CoursePage.ToProf"],
+            vec![
+                vec![Value::link("/c1"), Value::text("DB"), Value::link("/p1")],
+                vec![Value::link("/c2"), Value::text("OS"), Value::link("/p3")],
+                vec![Value::link("/c3"), Value::text("AI"), Value::link("/p1")],
+                vec![Value::link("/c4"), Value::text("ML"), Value::Null],
+            ],
+        )
+        .unwrap();
+        let profs_r = profs();
+        let cc = ColumnRel::from_relation(&courses);
+        let cp = ColumnRel::from_relation(&profs_r);
+        let j = cc.join(&cp, &[("ToProf", "ProfPage.URL")]).unwrap();
+        let jr = courses
+            .join(&profs_r, &[("ToProf", "ProfPage.URL")])
+            .unwrap();
+        assert_eq!(j.to_relation(), jr);
+    }
+
+    #[test]
+    fn unnest_matches_row_path() {
+        let r = depts();
+        let c = ColumnRel::from_relation(&r);
+        let fields = vec!["PName".to_string(), "ToProf".to_string()];
+        let u = c.unnest("ProfList", &fields).unwrap();
+        assert_eq!(u.to_relation(), r.unnest("ProfList", &fields).unwrap());
+    }
+
+    #[test]
+    fn unnest_missing_inner_field_yields_null() {
+        let r = Relation::from_rows(
+            vec!["P.L"],
+            vec![vec![Value::List(vec![Tuple::new().with("A", "x")])]],
+        )
+        .unwrap();
+        let c = ColumnRel::from_relation(&r);
+        let fields = vec!["A".to_string(), "B".to_string()];
+        let u = c.unnest("L", &fields).unwrap();
+        assert_eq!(u.to_relation(), r.unnest("L", &fields).unwrap());
+    }
+
+    #[test]
+    fn unnest_type_error_on_mono() {
+        let c = ColumnRel::from_relation(&profs());
+        assert!(matches!(
+            c.unnest("PName", &[]),
+            Err(AdmError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn resolve_suffix_and_ambiguity() {
+        let c = ColumnRel::from_relation(&profs());
+        assert_eq!(c.resolve("PName").unwrap(), 1);
+        assert!(c.resolve("Nope").is_err());
+        let amb = ColumnRel::empty(&["A.Name", "B.Name"]);
+        assert!(matches!(
+            amb.resolve("Name"),
+            Err(AdmError::AmbiguousAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn link_at_reads_ids_without_alloc() {
+        let c = ColumnRel::from_relation(&profs());
+        let s = c.link_at(0, 0).unwrap().unwrap();
+        assert_eq!(s.as_str(), "/p1");
+        assert!(c.link_at(0, 1).is_err()); // text column
+        let d = ColumnRel::from_relation(
+            &Relation::from_rows(vec!["A"], vec![vec![Value::Null]]).unwrap(),
+        );
+        assert_eq!(d.link_at(0, 0).unwrap(), None);
+    }
+
+    #[test]
+    fn hstack_and_take_compose() {
+        let c = ColumnRel::from_relation(&profs());
+        let left = c.take(&[0, 2]);
+        let right = c.take(&[1, 3]);
+        let wide = left.hstack(right);
+        assert_eq!(wide.len(), 2);
+        assert_eq!(wide.names().len(), 6);
+    }
+
+    #[test]
+    fn distinct_first_appearance() {
+        let r = Relation::from_rows(
+            vec!["X"],
+            vec![
+                vec![Value::text("b")],
+                vec![Value::text("a")],
+                vec![Value::text("b")],
+            ],
+        )
+        .unwrap();
+        let c = ColumnRel::from_relation(&r);
+        assert_eq!(c.distinct().to_relation(), r.distinct());
+    }
+
+    #[test]
+    fn empty_projection_keeps_single_row() {
+        let r = profs();
+        let c = ColumnRel::from_relation(&r);
+        let p = c.project_cols(&[]);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.names().len(), 0);
+        // row path agrees
+        assert_eq!(r.project(&[]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn to_table_matches_row_path_byte_for_byte() {
+        for r in [profs(), depts()] {
+            let c = ColumnRel::from_relation(&r);
+            assert_eq!(c.to_table(), r.to_table());
+            assert_eq!(format!("{c}"), r.to_table());
+        }
+        // heterogeneous (Values fallback) columns render identically too
+        let r = Relation::from_rows(
+            vec!["X", "Y"],
+            vec![
+                vec![Value::text("b"), Value::link("/u")],
+                vec![Value::Null, Value::text("t")],
+                vec![Value::link("/a"), Value::Null],
+            ],
+        )
+        .unwrap();
+        let c = ColumnRel::from_relation(&r);
+        assert_eq!(c.to_table(), r.to_table());
+    }
+
+    #[test]
+    fn url_symbols_round_trip() {
+        let u = Url::new("/dept/42");
+        let s = Symbol::from_url(&u);
+        assert_eq!(s.to_url(), u);
+    }
+}

@@ -1,0 +1,181 @@
+//! Global string interner: attribute names, page-scheme names, and URLs
+//! become `u32` [`Symbol`] ids behind a process-wide arena.
+//!
+//! Interning turns the evaluator's per-row `String`/`Url` comparisons and
+//! clones into `u32` copies. The arena leaks its strings (`&'static str`),
+//! which is bounded by the working vocabulary of a process — attribute
+//! names, scheme names, and the distinct URLs it has touched — and lets
+//! [`Symbol::as_str`] hand out references without lifetimes or locks on the
+//! read path.
+//!
+//! # Determinism
+//!
+//! Symbol ids depend on interning *order*, which under concurrent fetch can
+//! differ between runs. Ids are therefore only ever used for **equality**
+//! (hash keys, dedup, join probes) — never for ordering or output. Any
+//! ordering visible to a caller is derived from the underlying strings.
+
+use crate::url::Url;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned string: a `u32` id into the global arena.
+///
+/// Equality of symbols is equality of the underlying strings. Symbols are
+/// deliberately *not* `Ord`: ids reflect interning order, not lexicographic
+/// order, and must never drive output ordering.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+struct Arena {
+    map: HashMap<&'static str, u32>,
+    strs: Vec<&'static str>,
+}
+
+fn arena() -> &'static RwLock<Arena> {
+    static ARENA: OnceLock<RwLock<Arena>> = OnceLock::new();
+    ARENA.get_or_init(|| {
+        RwLock::new(Arena {
+            map: HashMap::new(),
+            strs: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns a string, returning its symbol (idempotent).
+    pub fn intern(s: &str) -> Symbol {
+        {
+            let a = arena().read().expect("interner poisoned");
+            if let Some(&id) = a.map.get(s) {
+                return Symbol(id);
+            }
+        }
+        let mut a = arena().write().expect("interner poisoned");
+        if let Some(&id) = a.map.get(s) {
+            return Symbol(id); // raced: someone else interned it
+        }
+        let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+        let id = a.strs.len() as u32;
+        a.strs.push(leaked);
+        a.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// Looks a string up *without* interning it. `None` means no symbol for
+    /// this string exists yet — useful for constants in predicates: if the
+    /// constant was never interned, no stored value can equal it.
+    pub fn lookup(s: &str) -> Option<Symbol> {
+        arena()
+            .read()
+            .expect("interner poisoned")
+            .map
+            .get(s)
+            .copied()
+            .map(Symbol)
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        arena().read().expect("interner poisoned").strs[self.0 as usize]
+    }
+
+    /// The raw id (stable within a process run only).
+    pub fn id(self) -> u32 {
+        self.0
+    }
+
+    /// Interns a URL (by its string form).
+    pub fn from_url(u: &Url) -> Symbol {
+        Symbol::intern(u.as_str())
+    }
+
+    /// The interned string as a fresh [`Url`].
+    pub fn to_url(self) -> Url {
+        Url::new(self.as_str())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({} {:?})", self.0, self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Number of distinct strings interned so far (diagnostics).
+pub fn interned_count() -> usize {
+    arena().read().expect("interner poisoned").strs.len()
+}
+
+/// Total bytes held by the arena's strings (diagnostics).
+pub fn interned_bytes() -> usize {
+    arena()
+        .read()
+        .expect("interner poisoned")
+        .strs
+        .iter()
+        .map(|s| s.len())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let a = Symbol::intern("ProfPage.PName");
+        let b = Symbol::intern("ProfPage.PName");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "ProfPage.PName");
+    }
+
+    #[test]
+    fn distinct_strings_distinct_symbols() {
+        let a = Symbol::intern("intern-test-a");
+        let b = Symbol::intern("intern-test-b");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        assert!(Symbol::lookup("intern-test-never-interned-xyzzy").is_none());
+        let s = Symbol::intern("intern-test-lookup");
+        assert_eq!(Symbol::lookup("intern-test-lookup"), Some(s));
+    }
+
+    #[test]
+    fn url_round_trip() {
+        let u = Url::new("/dept/1");
+        let s = Symbol::from_url(&u);
+        assert_eq!(s.to_url(), u);
+        assert_eq!(s.as_str(), "/dept/1");
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    (0..100)
+                        .map(|j| Symbol::intern(&format!("conc-{}", (i + j) % 50)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let all: Vec<Vec<Symbol>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // same string → same symbol, across threads
+        for syms in &all {
+            for s in syms {
+                assert_eq!(Symbol::intern(s.as_str()), *s);
+            }
+        }
+    }
+}

@@ -24,9 +24,12 @@
 //! [`Relation`]s, and `wv-core` reasons about the constraints to optimize
 //! queries.
 
+pub mod columnar;
 pub mod constraints;
+pub mod display;
 pub mod dot;
 pub mod error;
+pub mod intern;
 pub mod paths;
 pub mod pnf;
 pub mod relation;
@@ -35,8 +38,10 @@ pub mod types;
 pub mod url;
 pub mod value;
 
+pub use columnar::{Bitmap, Column, ColumnData, ColumnRel, ColumnRelBuilder};
 pub use constraints::{InclusionConstraint, LinkConstraint};
 pub use error::AdmError;
+pub use intern::Symbol;
 pub use paths::{NavPath, PathStep};
 pub use relation::Relation;
 pub use schema::{AttrRef, EntryPoint, PageScheme, WebScheme, WebSchemeBuilder};

@@ -358,44 +358,11 @@ impl Relation {
     /// Renders an ASCII table (sorted rows) — handy in examples and tests.
     pub fn to_table(&self) -> String {
         let sorted = self.sorted();
-        let mut widths: Vec<usize> = sorted.columns.iter().map(|c| c.len()).collect();
-        let cells: Vec<Vec<String>> = sorted
-            .rows
-            .iter()
-            .map(|r| r.iter().map(|v| v.to_string()).collect())
-            .collect();
-        for row in &cells {
-            for (i, c) in row.iter().enumerate() {
-                widths[i] = widths[i].max(c.len());
-            }
+        let mut cells = Vec::with_capacity(sorted.rows.len() * sorted.columns.len());
+        for row in &sorted.rows {
+            cells.extend(row.iter().map(|v| v.to_string()));
         }
-        let mut out = String::new();
-        let header: Vec<String> = sorted
-            .columns
-            .iter()
-            .enumerate()
-            .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
-            .collect();
-        out.push_str(&header.join(" | "));
-        out.push('\n');
-        out.push_str(
-            &widths
-                .iter()
-                .map(|w| "-".repeat(*w))
-                .collect::<Vec<_>>()
-                .join("-+-"),
-        );
-        out.push('\n');
-        for row in &cells {
-            let line: Vec<String> = row
-                .iter()
-                .enumerate()
-                .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
-                .collect();
-            out.push_str(&line.join(" | "));
-            out.push('\n');
-        }
-        out
+        crate::display::render_ascii_table(&sorted.columns, sorted.rows.len(), &cells)
     }
 }
 

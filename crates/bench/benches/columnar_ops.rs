@@ -1,0 +1,143 @@
+//! Allocation-count verification for the columnar refactor (ISSUE 9,
+//! satellite 1): the row path clones `String`/`Url` per tuple, the
+//! columnar path moves symbol ids — so the same logical operator should
+//! allocate far less. A counting global allocator measures allocations
+//! per operator on both paths and **fails the bench run** (exit 1) if the
+//! columnar path ever allocates more than the row path it replaced, so
+//! a clone creeping back into a kernel breaks `perf-smoke` rather than
+//! silently eating the speedup.
+//!
+//! Wall-clock numbers for the same operators live in `harness sweep`;
+//! this target is only about allocation counts, so it prints one line per
+//! operator (`row N allocs -> columnar M allocs`) and skips criterion
+//! timing entirely.
+
+use adm::{ColumnRel, Relation, Tuple, Value};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// Allocations performed by one run of `f` (result kept live so its own
+/// buffers count; frees do not).
+fn allocs_in<R>(f: impl FnOnce() -> R) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let out = std::hint::black_box(f());
+    let after = ALLOCS.load(Ordering::Relaxed);
+    drop(out);
+    after - before
+}
+
+fn flat(n: usize, prefix: &str) -> Relation {
+    const RANKS: [&str; 4] = ["Full", "Associate", "Assistant", "Emeritus"];
+    Relation::from_rows(
+        vec![
+            format!("{prefix}.Url"),
+            format!("{prefix}.K"),
+            format!("{prefix}.Rank"),
+        ],
+        (0..n)
+            .map(|i| {
+                vec![
+                    Value::link(format!("/{prefix}/{i}")),
+                    Value::text(format!("k{}", i % (n / 20).max(1))),
+                    Value::text(RANKS[i % RANKS.len()]),
+                ]
+            })
+            .collect(),
+    )
+    .unwrap()
+}
+
+fn nested(n: usize, fanout: usize) -> Relation {
+    Relation::from_rows(
+        vec!["P.Url".to_string(), "P.Courses".to_string()],
+        (0..n)
+            .map(|i| {
+                vec![
+                    Value::link(format!("/p/{i}")),
+                    Value::List(
+                        (0..fanout)
+                            .map(|j| Tuple::new().with("CName", format!("c{i}-{j}")))
+                            .collect(),
+                    ),
+                ]
+            })
+            .collect(),
+    )
+    .unwrap()
+}
+
+fn main() {
+    let n = 4096usize;
+    let rel = flat(n, "P");
+    let right = flat(n, "R");
+    let nest = nested(n / 10, 10);
+    // Built outside the measured regions: interning and column packing are
+    // one-time costs paid at wrap time, not per operator.
+    let col = ColumnRel::from_relation(&rel);
+    let right_col = ColumnRel::from_relation(&right);
+    let nest_col = ColumnRel::from_relation(&nest);
+    let full = Value::text("Full");
+    let inner = vec!["CName".to_string()];
+
+    println!("== allocation counts: row vs columnar operators ({n} rows) ==");
+    let mut failed = false;
+    let mut case = |op: &str, row: u64, columnar: u64| {
+        let ratio = row as f64 / columnar.max(1) as f64;
+        println!(
+            "{op:<16} row {row:>8} allocs -> columnar {columnar:>8} allocs   ({ratio:.1}x fewer)"
+        );
+        if columnar > row {
+            eprintln!("FAIL: {op}: columnar path allocates more than the row path");
+            failed = true;
+        }
+    };
+
+    case(
+        "σ rank=Full",
+        allocs_in(|| rel.select_eq("P.Rank", &full).unwrap()),
+        allocs_in(|| col.take(&col.select_eq_const(2, &full))),
+    );
+    case(
+        "π dedup key",
+        allocs_in(|| rel.project(&["P.K"]).unwrap()),
+        allocs_in(|| col.project_cols(&[1])),
+    );
+    case(
+        "⋈ pointer join",
+        allocs_in(|| rel.join(&right, &[("P.K", "R.K")]).unwrap()),
+        allocs_in(|| col.join_on(&right_col, &[(1, 1)])),
+    );
+    case(
+        "μ unnest",
+        allocs_in(|| nest.unnest("P.Courses", &inner).unwrap()),
+        allocs_in(|| nest_col.unnest("P.Courses", &inner).unwrap()),
+    );
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("ok: the columnar path never allocates more than the row path");
+}

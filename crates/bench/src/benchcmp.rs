@@ -4,9 +4,15 @@
 //! comparator parses the harness's own flat format (see [`crate::json`]),
 //! matches rows by position, and reports every numeric cell whose value
 //! changed, plus the wall-clock delta. Cells that are not plain numbers
-//! (labels, `25.0 / 25` composites, `93%`) are compared textually. The
-//! parser is hand-rolled for exactly the subset `experiment_json` emits —
-//! the harness has no JSON dependency and does not need one.
+//! (labels, `25.0 / 25` composites, `93%`) are compared textually.
+//! Throughput columns (`req/s`, `rows/s`) additionally report the a→b
+//! ratio; percentile columns whose two files share a histogram resolution
+//! (`hdr32`) report relative deltas and annotate moves within the grid's
+//! quantization step rather than flagging them. `--deterministic` turns
+//! any non-timing cell change into a hard error — the CI regression gate
+//! against a committed baseline. The parser is hand-rolled for exactly
+//! the subset `experiment_json` emits — the harness has no JSON
+//! dependency and does not need one.
 
 /// One parsed `BENCH_<ID>.json`.
 #[derive(Debug, Clone, PartialEq)]
@@ -178,6 +184,38 @@ fn numeric(cell: &str) -> Option<f64> {
     cell.trim().parse::<f64>().ok()
 }
 
+/// Headers whose cells are wall-clock or derived-from-wall-clock numbers:
+/// latencies (`... ms`), throughputs (`.../s`), and speedup ratios. These
+/// vary run to run on the same code and are excluded by `--deterministic`.
+fn is_timing_header(header: &str) -> bool {
+    header.ends_with(" ms") || header.contains("/s") || header.contains("speedup")
+}
+
+/// Throughput headers (`req/s`, `rows/s`, ...) additionally get an a→b
+/// ratio in the report — "how many times faster" reads better than a
+/// percentage once the delta is large.
+fn is_throughput_header(header: &str) -> bool {
+    header.contains("/s")
+}
+
+/// Percentile headers backed by the latency histogram (`p50 ms`,
+/// `p99.9 ms`).
+fn is_percentile_header(header: &str) -> bool {
+    header.starts_with('p')
+        && header.ends_with(" ms")
+        && header[1..2].chars().all(|c| c.is_ascii_digit())
+}
+
+/// The relative grid step of a histogram resolution tag: `hdr32` buckets
+/// values on a ~1/32 (3.1%) grid. Unknown tags yield `None`.
+fn quantization_pct(histogram: &str) -> Option<f64> {
+    histogram
+        .strip_prefix("hdr")
+        .and_then(|n| n.parse::<f64>().ok())
+        .filter(|n| *n > 0.0)
+        .map(|n| 100.0 / n)
+}
+
 /// Renders the comparison of two parsed files (`a` = before, `b` =
 /// after): per-cell numeric deltas, textual changes, row-count changes,
 /// and the wall-clock delta. Identical tables yield a single "no
@@ -210,6 +248,13 @@ pub fn compare(a_name: &str, a: &BenchFile, b_name: &str, b: &BenchFile) -> Stri
             b.rows.len()
         ));
     }
+    // Percentile columns on the same histogram grid diff as relative
+    // deltas: a step within the grid's resolution is quantization, not a
+    // regression, and is annotated as such.
+    let shared_quantum = match (&a.histogram, &b.histogram) {
+        (Some(ha), Some(hb)) if ha == hb => quantization_pct(ha).map(|q| (ha.clone(), q)),
+        _ => None,
+    };
     let mut changes = 0usize;
     for (r, (ra, rb)) in a.rows.iter().zip(&b.rows).enumerate() {
         let label = ra.first().map(String::as_str).unwrap_or("");
@@ -225,13 +270,27 @@ pub fn compare(a_name: &str, a: &BenchFile, b_name: &str, b: &BenchFile) -> Stri
                 .unwrap_or("<no header>");
             match (numeric(ca), numeric(cb)) {
                 (Some(va), Some(vb)) => {
-                    let pct = if va.abs() > f64::EPSILON {
-                        format!(" ({:+.1}%)", 100.0 * (vb - va) / va)
+                    let rel = if va.abs() > f64::EPSILON {
+                        Some(100.0 * (vb - va) / va)
                     } else {
+                        None
+                    };
+                    let mut annot = rel.map(|p| format!("{p:+.1}%")).unwrap_or_default();
+                    if is_throughput_header(header) && va > 0.0 {
+                        annot.push_str(&format!(", {:.2}x", vb / va));
+                    }
+                    if let (Some(p), Some((tag, quantum))) = (rel, &shared_quantum) {
+                        if is_percentile_header(header) && p.abs() <= *quantum {
+                            annot.push_str(&format!(", within {tag} quantization"));
+                        }
+                    }
+                    let annot = if annot.is_empty() {
                         String::new()
+                    } else {
+                        format!(" ({annot})")
                     };
                     out.push_str(&format!(
-                        "  row {r} [{label}] {header}: {va} -> {vb}{pct}\n"
+                        "  row {r} [{label}] {header}: {va} -> {vb}{annot}\n"
                     ));
                 }
                 _ => out.push_str(&format!(
@@ -250,10 +309,49 @@ pub fn compare(a_name: &str, a: &BenchFile, b_name: &str, b: &BenchFile) -> Stri
     out
 }
 
+/// The cells that must be byte-identical across runs of the same code:
+/// everything except wall-clock-derived columns (latency, throughput,
+/// speedup). Returns one line per mismatch — page counts, GET counts,
+/// divergence flags, row counts, headers.
+pub fn deterministic_diffs(a: &BenchFile, b: &BenchFile) -> Vec<String> {
+    let mut diffs = Vec::new();
+    if a.headers != b.headers {
+        diffs.push(format!(
+            "headers differ: {:?} -> {:?}",
+            a.headers, b.headers
+        ));
+        return diffs;
+    }
+    if a.rows.len() != b.rows.len() {
+        diffs.push(format!("row count: {} -> {}", a.rows.len(), b.rows.len()));
+    }
+    for (r, (ra, rb)) in a.rows.iter().zip(&b.rows).enumerate() {
+        let label = ra.first().map(String::as_str).unwrap_or("");
+        for (c, (ca, cb)) in ra.iter().zip(rb).enumerate() {
+            let header = a.headers.get(c).map(String::as_str).unwrap_or("");
+            if ca != cb && !is_timing_header(header) {
+                diffs.push(format!("row {r} [{label}] {header}: \"{ca}\" -> \"{cb}\""));
+            }
+        }
+    }
+    diffs
+}
+
 /// The `benchcmp` subcommand: reads two files, prints the comparison.
+/// With `--deterministic`, any difference outside the timing columns
+/// (latency/throughput/speedup) is an error — the CI regression gate.
 pub fn run(args: &[String]) -> Result<String, String> {
-    let [a_path, b_path] = args else {
-        return Err("usage: harness benchcmp <before.json> <after.json>".to_string());
+    let (deterministic, paths): (bool, Vec<&String>) = {
+        let flags: Vec<&String> = args.iter().filter(|a| *a == "--deterministic").collect();
+        (
+            !flags.is_empty(),
+            args.iter().filter(|a| *a != "--deterministic").collect(),
+        )
+    };
+    let [a_path, b_path] = paths[..] else {
+        return Err(
+            "usage: harness benchcmp [--deterministic] <before.json> <after.json>".to_string(),
+        );
     };
     let read = |p: &String| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
     let a = parse(&read(a_path)?).map_err(|e| format!("{a_path}: {e}"))?;
@@ -266,7 +364,21 @@ pub fn run(args: &[String]) -> Result<String, String> {
             a.schema_version, b.schema_version
         ));
     }
-    Ok(compare(a_path, &a, b_path, &b))
+    let report = compare(a_path, &a, b_path, &b);
+    if deterministic {
+        let diffs = deterministic_diffs(&a, &b);
+        if !diffs.is_empty() {
+            return Err(format!(
+                "{report}deterministic check FAILED — {} non-timing cell(s) changed:\n  {}",
+                diffs.len(),
+                diffs.join("\n  ")
+            ));
+        }
+        return Ok(format!(
+            "{report}deterministic check ok: every non-timing cell identical\n"
+        ));
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -363,6 +475,75 @@ mod tests {
         );
         let same = compare("b", &b, "b", &b.clone());
         assert!(!same.contains("histogram resolution"), "{same}");
+    }
+
+    #[test]
+    fn same_resolution_percentiles_diff_with_quantization_note() {
+        let mk = |p99: &str| {
+            let mut t = Table::new("T", vec!["config", "p99 ms", "server GETs"]);
+            t.row(vec!["closed".into(), p99.into(), "120".into()]);
+            crate::json::experiment_json_with_extras(
+                "x5",
+                &[],
+                1.0,
+                &t,
+                &[("histogram".to_string(), "\"hdr32\"".to_string())],
+            )
+        };
+        let a = parse(&mk("4.00")).unwrap();
+        // +2.5% — within hdr32's ~3.1% grid step.
+        let b = parse(&mk("4.10")).unwrap();
+        let report = compare("a", &a, "b", &b);
+        assert!(
+            report.contains("p99 ms: 4 -> 4.1 (+2.5%, within hdr32 quantization)"),
+            "{report}"
+        );
+        // +25% — a real move, no quantization note.
+        let c = parse(&mk("5.00")).unwrap();
+        let report = compare("a", &a, "c", &c);
+        assert!(report.contains("p99 ms: 4 -> 5 (+25.0%)"), "{report}");
+        assert!(!report.contains("quantization"), "{report}");
+    }
+
+    #[test]
+    fn throughput_headers_report_the_ratio() {
+        let mk = |rps: &str| {
+            let mut t = Table::new("T", vec!["config", "req/s"]);
+            t.row(vec!["closed".into(), rps.into()]);
+            experiment_json("x5", &[], 1.0, &t)
+        };
+        let a = parse(&mk("100")).unwrap();
+        let b = parse(&mk("180")).unwrap();
+        let report = compare("a", &a, "b", &b);
+        assert!(
+            report.contains("req/s: 100 -> 180 (+80.0%, 1.80x)"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn deterministic_gate_ignores_timing_but_fails_on_counters() {
+        let mk = |wall: &str, rps: &str, gets: &str| {
+            let mut t = Table::new("T", vec!["config", "wall ms", "req/s", "server GETs"]);
+            t.row(vec!["closed".into(), wall.into(), rps.into(), gets.into()]);
+            experiment_json("x5", &[], 1.0, &t)
+        };
+        let dir = std::env::temp_dir().join("wv_benchcmp_det_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        std::fs::write(&base, mk("100.0", "148", "120")).unwrap();
+        let timing_only = dir.join("timing.json");
+        std::fs::write(&timing_only, mk("90.0", "190", "120")).unwrap();
+        let arg = |p: &std::path::Path| p.to_str().unwrap().to_string();
+        let ok = run(&["--deterministic".to_string(), arg(&base), arg(&timing_only)])
+            .expect("timing-only changes pass");
+        assert!(ok.contains("deterministic check ok"), "{ok}");
+        let regressed = dir.join("gets.json");
+        std::fs::write(&regressed, mk("100.0", "148", "240")).unwrap();
+        let err = run(&["--deterministic".to_string(), arg(&base), arg(&regressed)]).unwrap_err();
+        assert!(err.contains("deterministic check FAILED"), "{err}");
+        assert!(err.contains("server GETs"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -21,11 +21,13 @@ pub mod dataflow_x6;
 pub mod fixtures;
 pub mod json;
 pub mod serving;
+pub mod sweep;
 pub mod table;
 pub mod tracecmd;
 
 pub use dataflow_x6::{x6_dataflow, DataflowConfig, DataflowSmoke};
 pub use serving::{x5_serving, ServeLoadConfig, ServeSmoke};
+pub use sweep::{sweep_rows_per_sec, SweepSmoke};
 
 use fixtures::*;
 use nalg::Evaluator;

@@ -1,0 +1,263 @@
+//! SWEEP — rows/sec of the local operators, row-at-a-time vs columnar.
+//!
+//! The paper's cost model prices local operators at zero, so the serving
+//! stack's throughput ceiling is whatever the evaluator's σ/π/join/unnest
+//! kernels can push per second. This sweep times both executions of each
+//! operator over identical E1–E8-scale relations — the boxed row path
+//! ([`adm::Relation`], `Vec<Vec<Value>>` with per-tuple clones) against the
+//! interned columnar kernels ([`adm::ColumnRel`], symbol-id vectors with
+//! index-vector selection and token-encoded hashing — see DESIGN §16) —
+//! and reports rows/sec plus the speedup. Both paths are verified
+//! byte-identical by `tests/columnar_props.rs`; this table is only about
+//! throughput.
+//!
+//! `harness sweep --sweep-check [min]` exits non-zero when any gated
+//! operator (σ, π-dedup, local pointer-join — the acceptance set) comes in
+//! under `min` (default 2.0, a conservative CI floor well below the
+//! measured speedups recorded in EXPERIMENTS.md).
+
+use crate::table::Table;
+use adm::{ColumnRel, Relation, Tuple, Value};
+use std::time::Instant;
+
+/// The sweep's table plus the gate input.
+pub struct SweepSmoke {
+    /// The rows/sec table (one row per operator × scale).
+    pub table: Table,
+    /// Raw-JSON extras for `BENCH_SWEEP.json` (per-operator speedups).
+    pub extras: Vec<(String, String)>,
+    /// Worst speedup over the gated operators (σ, π-dedup, join).
+    pub min_gated_speedup: f64,
+}
+
+/// A flat relation shaped like the wrapped E-scale page lists: a link
+/// column (every professor page URL is distinct), a text key with
+/// realistic duplication, and a low-cardinality rank used by selections.
+fn pages(n: usize, prefix: &str) -> Relation {
+    const RANKS: [&str; 4] = ["Full", "Associate", "Assistant", "Emeritus"];
+    Relation::from_rows(
+        vec![
+            format!("{prefix}.Url"),
+            format!("{prefix}.K"),
+            format!("{prefix}.Rank"),
+        ],
+        (0..n)
+            .map(|i| {
+                vec![
+                    Value::link(format!("/{prefix}/{i}")),
+                    Value::text(format!("k{}", i % (n / 20).max(1))),
+                    Value::text(RANKS[i % RANKS.len()]),
+                ]
+            })
+            .collect(),
+    )
+    .expect("sweep fixture")
+}
+
+/// A nested relation shaped like wrapped course lists: `fanout` inner
+/// tuples per parent row.
+fn nested(n: usize, fanout: usize) -> Relation {
+    Relation::from_rows(
+        vec!["P.Url".to_string(), "P.Courses".to_string()],
+        (0..n)
+            .map(|i| {
+                vec![
+                    Value::link(format!("/p/{i}")),
+                    Value::List(
+                        (0..fanout)
+                            .map(|j| Tuple::new().with("CName", format!("c{i}-{j}")))
+                            .collect(),
+                    ),
+                ]
+            })
+            .collect(),
+    )
+    .expect("sweep fixture")
+}
+
+/// Seconds per repetition of `f` (one untimed warm-up, then `reps` timed).
+fn time_per_rep<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f());
+    let t0 = Instant::now();
+    for _ in 0..reps.max(1) {
+        std::hint::black_box(f());
+    }
+    t0.elapsed().as_secs_f64() / reps.max(1) as f64
+}
+
+fn fmt_rate(rows_per_sec: f64) -> String {
+    format!("{:.0}", rows_per_sec)
+}
+
+/// Runs the sweep at the given scales (rows per input relation) with
+/// `reps` timed repetitions per operator.
+pub fn sweep_rows_per_sec(scales: &[usize], reps: usize) -> SweepSmoke {
+    let mut t = Table::new(
+        "SWEEP — local operators: row-at-a-time vs columnar, rows/sec",
+        vec![
+            "operator",
+            "rows",
+            "row rows/s",
+            "columnar rows/s",
+            "speedup",
+        ],
+    );
+    let mut speedups: Vec<(String, f64, bool)> = Vec::new();
+    for &n in scales {
+        let rel = pages(n, "P");
+        let col = ColumnRel::from_relation(&rel);
+        let right = pages(n, "R");
+        let right_col = ColumnRel::from_relation(&right);
+        let nest = nested(n / 10 + 1, 10);
+        let nest_col = ColumnRel::from_relation(&nest);
+        let nest_rows = nest.len() * 10;
+        let full = Value::text("Full");
+        let inner = vec!["CName".to_string()];
+
+        // (operator, processed input rows, gated?, row secs, columnar secs)
+        let measurements: Vec<(&str, usize, bool, f64, f64)> = vec![
+            (
+                "σ rank=Full",
+                n,
+                true,
+                time_per_rep(reps, || rel.select_eq("P.Rank", &full).unwrap().len()),
+                time_per_rep(reps, || col.take(&col.select_eq_const(2, &full)).len()),
+            ),
+            (
+                "π dedup key",
+                n,
+                true,
+                time_per_rep(reps, || rel.project(&["P.K"]).unwrap().len()),
+                time_per_rep(reps, || col.project_cols(&[1]).len()),
+            ),
+            (
+                "⋈ pointer join",
+                n,
+                true,
+                time_per_rep(reps, || rel.join(&right, &[("P.K", "R.K")]).unwrap().len()),
+                time_per_rep(reps, || col.join_on(&right_col, &[(1, 1)]).len()),
+            ),
+            (
+                "μ unnest",
+                nest_rows,
+                false,
+                time_per_rep(reps, || nest.unnest("P.Courses", &inner).unwrap().len()),
+                time_per_rep(reps, || nest_col.unnest("P.Courses", &inner).unwrap().len()),
+            ),
+        ];
+        for (op, rows, gated, row_s, col_s) in measurements {
+            let row_rate = rows as f64 / row_s.max(1e-12);
+            let col_rate = rows as f64 / col_s.max(1e-12);
+            let speedup = row_s / col_s.max(1e-12);
+            t.row(vec![
+                op.to_string(),
+                rows.to_string(),
+                fmt_rate(row_rate),
+                fmt_rate(col_rate),
+                format!("{speedup:.1}"),
+            ]);
+            speedups.push((format!("{op} @ {rows}"), speedup, gated));
+        }
+    }
+    let min_gated_speedup = speedups
+        .iter()
+        .filter(|(_, _, gated)| *gated)
+        .map(|&(_, s, _)| s)
+        .fold(f64::INFINITY, f64::min);
+    let per_op: Vec<String> = speedups
+        .iter()
+        .map(|(label, s, gated)| {
+            format!(
+                "{{\"op\": \"{}\", \"speedup\": {:.2}, \"gated\": {}}}",
+                label.replace('"', ""),
+                s,
+                gated
+            )
+        })
+        .collect();
+    let extras = vec![
+        ("speedups".to_string(), format!("[{}]", per_op.join(", "))),
+        (
+            "min_gated_speedup".to_string(),
+            format!("{min_gated_speedup:.2}"),
+        ),
+    ];
+    SweepSmoke {
+        table: t,
+        extras,
+        min_gated_speedup,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_reports_every_operator_and_a_finite_gate() {
+        let s = sweep_rows_per_sec(&[400], 2);
+        assert_eq!(s.table.rows.len(), 4);
+        let ops: Vec<&str> = s.table.rows.iter().map(|r| r[0].as_str()).collect();
+        assert_eq!(
+            ops,
+            ["σ rank=Full", "π dedup key", "⋈ pointer join", "μ unnest"]
+        );
+        assert!(s.min_gated_speedup.is_finite() && s.min_gated_speedup > 0.0);
+        assert!(s.extras.iter().any(|(k, _)| k == "speedups"));
+        assert!(s.extras.iter().any(|(k, _)| k == "min_gated_speedup"));
+        // every rate cell is a plain number benchcmp can diff
+        for row in &s.table.rows {
+            for cell in &row[1..] {
+                assert!(cell.parse::<f64>().is_ok(), "{cell}");
+            }
+        }
+    }
+
+    #[test]
+    fn fixtures_round_trip_between_paths() {
+        // The sweep times both paths on the same inputs; sanity-check the
+        // outputs actually agree at a small scale (the full pin lives in
+        // tests/columnar_props.rs).
+        let rel = pages(64, "P");
+        let col = ColumnRel::from_relation(&rel);
+        let full = Value::text("Full");
+        assert_eq!(
+            rel.select_eq("P.Rank", &full).unwrap().sorted().to_table(),
+            col.take(&col.select_eq_const(2, &full))
+                .to_relation()
+                .sorted()
+                .to_table()
+        );
+        assert_eq!(
+            rel.project(&["P.K"]).unwrap().sorted().to_table(),
+            col.project_cols(&[1]).to_relation().sorted().to_table()
+        );
+        let right = pages(64, "R");
+        let right_col = ColumnRel::from_relation(&right);
+        assert_eq!(
+            rel.join(&right, &[("P.K", "R.K")])
+                .unwrap()
+                .sorted()
+                .to_table(),
+            col.join_on(&right_col, &[(1, 1)])
+                .to_relation()
+                .sorted()
+                .to_table()
+        );
+        let nest = nested(8, 3);
+        let nest_col = ColumnRel::from_relation(&nest);
+        let inner = vec!["CName".to_string()];
+        assert_eq!(
+            nest.unnest("P.Courses", &inner)
+                .unwrap()
+                .sorted()
+                .to_table(),
+            nest_col
+                .unnest("P.Courses", &inner)
+                .unwrap()
+                .to_relation()
+                .sorted()
+                .to_table()
+        );
+    }
+}

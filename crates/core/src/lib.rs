@@ -13,6 +13,8 @@
 //!   Section 6.2 (network page accesses; local operators are free);
 //! * [`rules`] — rewrite rules 2–9, including **pointer-join** (rule 8)
 //!   and **pointer-chase** (rule 9);
+//! * [`registry`] — the phase-staged registry naming rules 1–9, their
+//!   stages, trace labels, and ablation gates;
 //! * [`optimizer`] — Algorithm 1: staged rewriting and cost-based plan
 //!   selection, with rule masks for ablation studies;
 //! * [`exec`] — an end-to-end query session over a live (simulated) site:
@@ -51,6 +53,7 @@ pub mod exec;
 pub mod infer;
 pub mod optimizer;
 pub mod query;
+pub mod registry;
 pub mod rules;
 pub mod source;
 pub mod stats;
@@ -65,6 +68,7 @@ pub use exec::{AnalyzedOutcome, FallbackOutcome, QueryOutcome, QuerySession};
 pub use infer::{auto_catalog, auto_relation, infer_navigations, InferredNavigation};
 pub use optimizer::{CandidatePlan, Explain, Optimizer, RuleMask};
 pub use query::ConjunctiveQuery;
+pub use registry::{RewritePhase, RewriteRule};
 pub use rules::ConstraintDependency;
 pub use source::{CachedSource, LiveSource};
 pub use stats::SiteStatistics;

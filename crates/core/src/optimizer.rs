@@ -17,9 +17,9 @@
 
 use crate::cost::{estimate, Estimate};
 use crate::query::ConjunctiveQuery;
+use crate::registry::{rules_for_phase, RewritePhase, RewriteRule, RuleOutcome, CANDIDATE_PHASES};
 use crate::rules::{
-    join_rewrite_candidates_tracked, merge_repeated_navigations, prune_navigations_tracked,
-    push_selections_tracked, qualify_expr, rename_alias, validate, ConstraintDependency,
+    join_rewrite_candidates_tracked, qualify_expr, rename_alias, validate, ConstraintDependency,
 };
 use crate::stats::SiteStatistics;
 use crate::views::{DefaultNavigation, ViewCatalog};
@@ -266,37 +266,42 @@ impl<'a> Optimizer<'a> {
     pub fn optimize(&self, q: &ConjunctiveQuery) -> Result<Explain> {
         q.validate(self.catalog)?;
         let sink = self.trace.as_ref();
-        // Steps 1–2: seeds (rule 1, all combinations).
-        let seeds = self.build_seeds(q)?;
-        if let Some(sink) = sink {
-            for s in &seeds {
-                self.rule_event(sink, "rule1.default_navigation", None, s);
-            }
-        }
-        let seed_count = seeds.len();
-        // Step 3: rule 4 normalization.
-        let seeds: Vec<NalgExpr> = seeds
-            .into_iter()
-            .map(|s| {
-                if !self.mask.merge_repeated {
-                    return s;
-                }
-                if let Some(sink) = sink {
-                    let merged = merge_repeated_navigations(s.clone(), self.ws, self.stats);
-                    if merged != s {
-                        self.rule_event(sink, "rule4.merge_repeated", Some(&s), &merged);
-                    }
-                    merged
-                } else {
-                    merge_repeated_navigations(s, self.ws, self.stats)
-                }
-            })
-            .collect();
         // The constraint gate: a quarantined constraint may not license a
         // rewrite. Without a health registry the gate is always open.
         let health = self.health;
         let gate =
             move |d: &ConstraintDependency| health.is_none_or(|h| !h.is_quarantined(&d.key()));
+        // Steps 1–2: seeds (rule 1, all combinations).
+        let seeds = self.build_seeds(q)?;
+        if let Some(sink) = sink {
+            for s in &seeds {
+                self.rule_event(sink, RewriteRule::DefaultNavigation.trace_name(), None, s);
+            }
+        }
+        let seed_count = seeds.len();
+        // Step 3: normalization (rule 4, via the phase registry).
+        let seeds: Vec<NalgExpr> = seeds
+            .into_iter()
+            .map(|s| {
+                let mut cur = s;
+                for &rule in rules_for_phase(RewritePhase::Normalize) {
+                    if !rule.enabled(&self.mask) {
+                        continue;
+                    }
+                    if let RuleOutcome::Applied { expr, .. } =
+                        rule.apply(&cur, self.ws, self.stats, &gate)
+                    {
+                        if let Some(sink) = sink {
+                            if expr != cur {
+                                self.rule_event(sink, rule.trace_name(), Some(&cur), &expr);
+                            }
+                        }
+                        cur = expr;
+                    }
+                }
+                cur
+            })
+            .collect();
         // Step 4: closure under rules 8/9. Each pool entry carries the set
         // of constraints its rewrite chain has assumed so far (provenance).
         let mut pool: Vec<(NalgExpr, BTreeSet<ConstraintDependency>)> = Vec::new();
@@ -335,11 +340,11 @@ impl<'a> Optimizer<'a> {
                 if seen.insert(cand.clone()) {
                     if let Some(sink) = sink {
                         let rule = if rule8.contains(&cand) {
-                            "rule8.pointer_join"
+                            RewriteRule::PointerJoin
                         } else {
-                            "rule9.pointer_chase"
+                            RewriteRule::PointerChase
                         };
-                        self.rule_event(sink, rule, Some(&e), &cand);
+                        self.rule_event(sink, rule.trace_name(), Some(&e), &cand);
                     }
                     let mut cand_deps = deps.clone();
                     cand_deps.extend(used);
@@ -353,50 +358,32 @@ impl<'a> Optimizer<'a> {
         let mut finals: Vec<(NalgExpr, BTreeSet<ConstraintDependency>)> = Vec::new();
         let mut seen_final: HashSet<NalgExpr> = HashSet::new();
         let (mut pruned_unpushable, mut pruned_invalid, mut pruned_duplicate) = (0u64, 0u64, 0u64);
-        for (e, mut deps) in pool {
+        'pool: for (e, mut deps) in pool {
             let mut cur = e;
-            // a pointer-chase rewrite can leave a duplicated navigation
-            // behind (the same link followed twice); rule 4 cleans it up
-            if self.mask.merge_repeated {
-                let merged = merge_repeated_navigations(cur.clone(), self.ws, self.stats);
-                if let Some(sink) = sink {
-                    if merged != cur {
-                        self.rule_event(sink, "rule4.merge_repeated", Some(&cur), &merged);
-                    }
-                }
-                cur = merged;
-            }
-            if self.mask.push_selections {
-                match push_selections_tracked(&cur, self.ws, &gate) {
-                    Ok((p, used)) => {
-                        if let Some(sink) = sink {
-                            if p != cur {
-                                self.rule_event(sink, "rule6.push_selections", Some(&cur), &p);
-                            }
-                        }
-                        deps.extend(used);
-                        cur = p;
-                    }
-                    Err(_) => {
-                        pruned_unpushable += 1;
+            // The registry stages each surviving candidate through
+            // normalize → push → prune. (A pointer-chase rewrite can leave
+            // a duplicated navigation behind — the same link followed
+            // twice — which is why rule 4 runs again here.)
+            for &phase in CANDIDATE_PHASES {
+                for &rule in rules_for_phase(phase) {
+                    if !rule.enabled(&self.mask) {
                         continue;
                     }
-                }
-            }
-            if self.mask.prune_navigations {
-                match prune_navigations_tracked(cur.clone(), self.ws, &gate) {
-                    Ok((p, used)) => {
-                        if let Some(sink) = sink {
-                            if p != cur {
-                                self.rule_event(sink, "rule357.prune_navigations", Some(&cur), &p);
+                    match rule.apply(&cur, self.ws, self.stats, &gate) {
+                        RuleOutcome::NotApplicable => {}
+                        RuleOutcome::Applied { expr, used } => {
+                            if let Some(sink) = sink {
+                                if expr != cur {
+                                    self.rule_event(sink, rule.trace_name(), Some(&cur), &expr);
+                                }
                             }
+                            deps.extend(used);
+                            cur = expr;
                         }
-                        deps.extend(used);
-                        cur = p;
-                    }
-                    Err(_) => {
-                        pruned_unpushable += 1;
-                        continue;
+                        RuleOutcome::Rejected => {
+                            pruned_unpushable += 1;
+                            continue 'pool;
+                        }
                     }
                 }
             }

@@ -27,10 +27,14 @@ use crate::error::EvalError;
 use crate::expr::{field_of_column, NalgExpr, Pred};
 use crate::fetch::FetchPool;
 use crate::Result;
-use adm::{InclusionConstraint, LinkConstraint, Relation, Tuple, Url, Value, WebScheme};
+use adm::{
+    ColumnData, ColumnRel, ColumnRelBuilder, InclusionConstraint, LinkConstraint, Relation, Symbol,
+    Tuple, Url, Value, WebScheme,
+};
 use obs::trace::{EventKind, TraceSink};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors a [`PageSource`] may return, split into the taxonomy the
 /// resilience layer acts on: **transient** failures (a retry may succeed)
@@ -282,6 +286,10 @@ pub struct Evaluator<'a, S: PageSource> {
     /// events) nest under — set by the serving layer so a whole
     /// evaluation hangs off its request's root span.
     trace_parent: Option<u64>,
+    /// When true (the default) operators run on interned, columnar
+    /// [`ColumnRel`] batches; [`Evaluator::row_path`] pins the
+    /// row-at-a-time reference implementation instead.
+    columnar: bool,
 }
 
 type PooledRun<'a, S> = fn(&Evaluator<'a, S>, &NalgExpr) -> Result<EvalReport>;
@@ -297,7 +305,9 @@ fn run_pooled<S: PageSource + Sync>(ev: &Evaluator<'_, S>, expr: &NalgExpr) -> R
 }
 
 struct Ctx {
-    cache: HashMap<Url, Tuple>,
+    /// Per-query page cache, keyed by interned URL id: a hit hands out a
+    /// refcount bump, never a `Url`/`Tuple` clone.
+    cache: HashMap<Symbol, Arc<Tuple>>,
     /// Pre-order index of the next operator node (tracing only); matches
     /// the node numbering of `cost::Estimate::nodes` for the same plan.
     node_seq: usize,
@@ -308,10 +318,35 @@ struct Ctx {
     per_op: Vec<(String, u64)>,
     unreachable: std::collections::BTreeSet<Url>,
     /// Audit bookkeeping (populated only when an audit is attached):
-    /// every acquired page by scheme, the dedup set, and the sampled URLs.
+    /// every acquired page by scheme, the dedup set (interned ids), and
+    /// the sampled URLs.
     audit_pages: BTreeMap<String, Vec<(Url, Tuple)>>,
-    audit_seen: HashSet<Url>,
+    audit_seen: HashSet<Symbol>,
     audit_sampled: BTreeSet<Url>,
+}
+
+/// The internal result of one operator: the columnar fast path, or the
+/// boundary row representation when the evaluator was pinned to the
+/// reference row path. Conversion happens once, at the report boundary.
+enum Carrier {
+    Row(Relation),
+    Col(ColumnRel),
+}
+
+impl Carrier {
+    fn len(&self) -> usize {
+        match self {
+            Carrier::Row(r) => r.len(),
+            Carrier::Col(c) => c.len(),
+        }
+    }
+
+    fn into_relation(self) -> Relation {
+        match self {
+            Carrier::Row(r) => r,
+            Carrier::Col(c) => c.to_relation(),
+        }
+    }
 }
 
 impl<'a, S: PageSource> Evaluator<'a, S> {
@@ -329,7 +364,18 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
             pooled_run: None,
             trace: None,
             trace_parent: None,
+            columnar: true,
         }
+    }
+
+    /// Pins the row-at-a-time reference path: every operator runs over
+    /// boundary [`Relation`]s exactly as in the pre-columnar engine. Kept
+    /// so property tests can assert the columnar kernels produce
+    /// byte-identical answers and access counters; production callers have
+    /// no reason to use it.
+    pub fn row_path(mut self) -> Self {
+        self.columnar = false;
+        self
     }
 
     /// Attaches a constraint audit: a deterministic sample of the pages
@@ -428,7 +474,9 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
             audit_seen: HashSet::new(),
             audit_sampled: BTreeSet::new(),
         };
-        let relation = self.eval_expr(expr, &mut ctx, pool, self.trace_parent)?;
+        let relation = self
+            .eval_expr(expr, &mut ctx, pool, self.trace_parent)?
+            .into_relation();
         let audit = self.run_audit(&mut ctx);
         Ok(EvalReport {
             relation,
@@ -443,19 +491,21 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
     }
 
     /// Records a page acquisition for auditing. A no-op unless an audit is
-    /// attached; never fetches or counts anything.
-    fn audit_record(&self, ctx: &mut Ctx, url: &Url, scheme: &str, tuple: &Tuple) {
+    /// attached; never fetches or counts anything. Dedup is by interned id
+    /// so repeat sightings of a page cost no allocation at all.
+    fn audit_record(&self, ctx: &mut Ctx, sym: Symbol, scheme: &str, tuple: &Tuple) {
         let Some(cfg) = &self.audit else { return };
-        if !ctx.audit_seen.insert(url.clone()) {
+        if !ctx.audit_seen.insert(sym) {
             return;
+        }
+        let url = sym.to_url();
+        if sample_fraction(cfg.seed, &url) < cfg.rate {
+            ctx.audit_sampled.insert(url.clone());
         }
         ctx.audit_pages
             .entry(scheme.to_string())
             .or_default()
-            .push((url.clone(), tuple.clone()));
-        if sample_fraction(cfg.seed, url) < cfg.rate {
-            ctx.audit_sampled.insert(url.clone());
-        }
+            .push((url, tuple.clone()));
     }
 
     /// Checks the configured constraints against the recorded pages with
@@ -542,33 +592,36 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
         Some(report)
     }
 
-    fn fetch(&self, ctx: &mut Ctx, url: &Url, scheme: &str) -> Result<Option<Tuple>> {
+    fn fetch(&self, ctx: &mut Ctx, url: &Url, scheme: &str) -> Result<Option<Arc<Tuple>>> {
+        let sym = Symbol::from_url(url);
         if self.cache_enabled {
-            if let Some(t) = ctx.cache.get(url) {
+            if let Some(t) = ctx.cache.get(&sym) {
                 ctx.cache_hits += 1;
-                return Ok(Some(t.clone()));
+                return Ok(Some(Arc::clone(t)));
             }
         }
         if let Some(shared) = self.shared {
             if let Some(t) = shared.get(url) {
                 ctx.shared_hits += 1;
+                let t = Arc::new(t);
                 if self.cache_enabled {
-                    ctx.cache.insert(url.clone(), t.clone());
+                    ctx.cache.insert(sym, Arc::clone(&t));
                 }
-                self.audit_record(ctx, url, scheme, &t);
+                self.audit_record(ctx, sym, scheme, &t);
                 return Ok(Some(t));
             }
         }
         match timed_fetch_stamped(self.source, url, scheme) {
             Ok((t, lm)) => {
                 ctx.page_accesses += 1;
-                if self.cache_enabled {
-                    ctx.cache.insert(url.clone(), t.clone());
-                }
                 if let Some(shared) = self.shared {
                     shared.insert(url, &t, lm);
                 }
-                self.audit_record(ctx, url, scheme, &t);
+                let t = Arc::new(t);
+                if self.cache_enabled {
+                    ctx.cache.insert(sym, Arc::clone(&t));
+                }
+                self.audit_record(ctx, sym, scheme, &t);
                 Ok(Some(t))
             }
             Err(SourceError::NotFound(_)) => {
@@ -616,7 +669,7 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
         ctx: &mut Ctx,
         pool: Option<&FetchPool>,
         parent: Option<u64>,
-    ) -> Result<Relation> {
+    ) -> Result<Carrier> {
         let Some(sink) = &self.trace else {
             return self.eval_node(expr, ctx, pool, parent);
         };
@@ -633,7 +686,7 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
         let result = self.eval_node(expr, ctx, pool, Some(span.id()));
         span.set("node", node);
         match &result {
-            Ok(rel) => span.set("rows_out", rel.len() as u64),
+            Ok(car) => span.set("rows_out", car.len() as u64),
             Err(e) => span.set("error", e.to_string()),
         }
         span.set("downloads", ctx.page_accesses - before.0);
@@ -657,7 +710,7 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
         ctx: &mut Ctx,
         pool: Option<&FetchPool>,
         parent: Option<u64>,
-    ) -> Result<Relation> {
+    ) -> Result<Carrier> {
         match expr {
             NalgExpr::External { name } => Err(EvalError::NotComputable(format!(
                 "external relation {name}"
@@ -671,9 +724,15 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                     Some(tuple) => {
                         ctx.per_op.push((format!("entry {scheme}"), 1));
                         let (cols, vals) = self.expand_page(alias, scheme, &url, &tuple)?;
-                        let mut r = Relation::new(cols);
-                        r.push_row(vals)?;
-                        Ok(r)
+                        if self.columnar {
+                            let mut b = ColumnRelBuilder::new(&cols);
+                            b.push_row(&vals)?;
+                            Ok(Carrier::Col(b.finish()))
+                        } else {
+                            let mut r = Relation::new(cols);
+                            r.push_row(vals)?;
+                            Ok(Carrier::Row(r))
+                        }
                     }
                     // `fetch` already recorded the URL as unreachable; in
                     // Partial mode an unreachable entry point degrades to an
@@ -682,31 +741,45 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                     None if self.degradation == DegradationMode::Partial => {
                         ctx.per_op.push((format!("entry {scheme}"), 1));
                         let cols = crate::expr::page_columns(self.ws, scheme, alias)?;
-                        Ok(Relation::new(cols))
+                        if self.columnar {
+                            Ok(Carrier::Col(ColumnRel::empty(&cols)))
+                        } else {
+                            Ok(Carrier::Row(Relation::new(cols)))
+                        }
                     }
                     None => Err(EvalError::Source(format!("entry point {url} missing"))),
                 }
             }
-            NalgExpr::Select { input, pred } => {
-                let rel = self.eval_expr(input, ctx, pool, parent)?;
-                apply_pred(&rel, pred)
-            }
+            NalgExpr::Select { input, pred } => match self.eval_expr(input, ctx, pool, parent)? {
+                Carrier::Col(rel) => Ok(Carrier::Col(apply_pred_col(&rel, pred)?)),
+                Carrier::Row(rel) => Ok(Carrier::Row(apply_pred(&rel, pred)?)),
+            },
             NalgExpr::Project { input, cols } => {
-                let rel = self.eval_expr(input, ctx, pool, parent)?;
+                let car = self.eval_expr(input, ctx, pool, parent)?;
                 let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
-                Ok(rel.project(&refs)?)
+                match car {
+                    Carrier::Col(rel) => Ok(Carrier::Col(rel.project(&refs)?)),
+                    Carrier::Row(rel) => Ok(Carrier::Row(rel.project(&refs)?)),
+                }
             }
             NalgExpr::Join { left, right, on } => {
                 let l = self.eval_expr(left, ctx, pool, parent)?;
                 let r = self.eval_expr(right, ctx, pool, parent)?;
                 let pairs: Vec<(&str, &str)> =
                     on.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
-                Ok(l.join(&r, &pairs)?)
+                match (l, r) {
+                    (Carrier::Col(a), Carrier::Col(b)) => Ok(Carrier::Col(a.join(&b, &pairs)?)),
+                    (a, b) => Ok(Carrier::Row(
+                        a.into_relation().join(&b.into_relation(), &pairs)?,
+                    )),
+                }
             }
             NalgExpr::Unnest { input, attr } => {
-                let rel = self.eval_expr(input, ctx, pool, parent)?;
-                let idx = rel.resolve(attr)?;
-                let qualified = rel.columns()[idx].clone();
+                let car = self.eval_expr(input, ctx, pool, parent)?;
+                let qualified = match &car {
+                    Carrier::Row(rel) => rel.columns()[rel.resolve(attr)?].clone(),
+                    Carrier::Col(rel) => rel.names()[rel.resolve(attr)?].as_str().to_string(),
+                };
                 let aliases = expr.alias_map()?;
                 let field = field_of_column(self.ws, &aliases, &qualified)?;
                 let inner: Vec<String> = field
@@ -722,15 +795,36 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                     .iter()
                     .map(|f| f.name.clone())
                     .collect();
-                Ok(rel.unnest(attr, &inner)?)
+                match car {
+                    Carrier::Col(rel) => Ok(Carrier::Col(rel.unnest(attr, &inner)?)),
+                    Carrier::Row(rel) => Ok(Carrier::Row(rel.unnest(attr, &inner)?)),
+                }
             }
             NalgExpr::Follow {
                 input,
                 link,
                 target,
                 alias,
-            } => {
-                let rel = self.eval_expr(input, ctx, pool, parent)?;
+            } => match self.eval_expr(input, ctx, pool, parent)? {
+                Carrier::Col(rel) => self.follow_col(&rel, link, target, alias, ctx, pool),
+                Carrier::Row(rel) => self.follow_row(&rel, link, target, alias, ctx, pool),
+            },
+        }
+    }
+
+    /// The row-at-a-time `follow`: the reference implementation the pin
+    /// tests compare against (see [`Evaluator::row_path`]).
+    fn follow_row(
+        &self,
+        rel: &Relation,
+        link: &str,
+        target: &str,
+        alias: &str,
+        ctx: &mut Ctx,
+        pool: Option<&FetchPool>,
+    ) -> Result<Carrier> {
+        {
+            {
                 let li = rel.resolve(link)?;
                 // Distinct non-null link values, in first-appearance order.
                 let mut seen: HashMap<Url, Option<Vec<Value>>> = HashMap::new();
@@ -750,8 +844,9 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                 let mut target_cols: Option<Vec<String>> = None;
                 let mut misses: Vec<Url> = Vec::new();
                 for u in &order {
+                    let sym = Symbol::from_url(u);
                     if self.cache_enabled {
-                        if let Some(t) = ctx.cache.get(u).cloned() {
+                        if let Some(t) = ctx.cache.get(&sym).cloned() {
                             ctx.cache_hits += 1;
                             let (cols, vals) = self.expand_page(alias, target, u, &t)?;
                             target_cols.get_or_insert(cols);
@@ -762,10 +857,11 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                     if let Some(shared) = self.shared {
                         if let Some(t) = shared.get(u) {
                             ctx.shared_hits += 1;
+                            let t = Arc::new(t);
                             if self.cache_enabled {
-                                ctx.cache.insert(u.clone(), t.clone());
+                                ctx.cache.insert(sym, Arc::clone(&t));
                             }
-                            self.audit_record(ctx, u, target, &t);
+                            self.audit_record(ctx, sym, target, &t);
                             let (cols, vals) = self.expand_page(alias, target, u, &t)?;
                             target_cols.get_or_insert(cols);
                             seen.insert(u.clone(), Some(vals));
@@ -785,13 +881,15 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                     match outcome {
                         Ok((t, lm)) => {
                             ctx.page_accesses += 1;
-                            if self.cache_enabled {
-                                ctx.cache.insert(u.clone(), t.clone());
-                            }
                             if let Some(shared) = self.shared {
                                 shared.insert(&u, &t, lm);
                             }
-                            self.audit_record(ctx, &u, target, &t);
+                            let sym = Symbol::from_url(&u);
+                            let t = Arc::new(t);
+                            if self.cache_enabled {
+                                ctx.cache.insert(sym, Arc::clone(&t));
+                            }
+                            self.audit_record(ctx, sym, target, &t);
                             let (cols, vals) = self.expand_page(alias, target, &u, &t)?;
                             target_cols.get_or_insert(cols);
                             seen.insert(u, Some(vals));
@@ -816,7 +914,7 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                     Some(pool) => {
                         let mut submitted = 0usize;
                         for u in &misses {
-                            if !pool.submit(u.clone(), target.clone()) {
+                            if !pool.submit(u.clone(), target.to_string()) {
                                 return Err(EvalError::Source(
                                     "fetch worker pool shut down".to_string(),
                                 ));
@@ -856,9 +954,168 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                         }
                     }
                 }
-                Ok(out)
+                Ok(Carrier::Row(out))
             }
         }
+    }
+
+    /// The columnar `follow`: the fetch edge stays row-driven — distinct
+    /// interned link ids are collected in first-appearance order and
+    /// fetched one page at a time (sequential or pooled), so `per_op`
+    /// charges and every access counter are byte-identical with the row
+    /// path — while the *local* side is batch: fetched pages land in one
+    /// [`ColumnRelBuilder`] batch, and the output is a gather
+    /// (`take` + `hstack`) over input-row and page-row index vectors
+    /// instead of a per-row clone-and-extend.
+    fn follow_col(
+        &self,
+        rel: &ColumnRel,
+        link: &str,
+        target: &str,
+        alias: &str,
+        ctx: &mut Ctx,
+        pool: Option<&FetchPool>,
+    ) -> Result<Carrier> {
+        let li = rel.resolve(link)?;
+        // Distinct non-null link ids, first-appearance order; non-link
+        // cells are skipped, as in the row path.
+        let link_of = |row: usize| -> Option<Symbol> {
+            let col = &rel.columns()[li];
+            match &col.data {
+                ColumnData::Link(ids) => col.validity.get(row).then(|| ids[row]),
+                ColumnData::Values(vs) => vs[row].as_link().map(Symbol::from_url),
+                _ => None,
+            }
+        };
+        let mut page_row: HashMap<Symbol, Option<u32>> = HashMap::new();
+        let mut order: Vec<Symbol> = Vec::new();
+        for row in 0..rel.len() {
+            if let Some(s) = link_of(row) {
+                if let std::collections::hash_map::Entry::Vacant(e) = page_row.entry(s) {
+                    e.insert(None);
+                    order.push(s);
+                }
+            }
+        }
+        ctx.per_op
+            .push((format!("–{link}→ {target}"), order.len() as u64));
+        // The page header is static (alias.URL + alias.fields), so the
+        // batch builder exists before any page arrives.
+        let header = crate::expr::page_columns(self.ws, target, alias)?;
+        let mut pages = ColumnRelBuilder::new(&header);
+        // Serve per-query cache hits, then shared-cache hits, and only
+        // then touch the network for the remaining misses.
+        let mut misses: Vec<Symbol> = Vec::new();
+        for &s in &order {
+            if self.cache_enabled {
+                if let Some(t) = ctx.cache.get(&s).cloned() {
+                    ctx.cache_hits += 1;
+                    let url = s.to_url();
+                    let (_, vals) = self.expand_page(alias, target, &url, &t)?;
+                    pages.push_row(&vals)?;
+                    page_row.insert(s, Some(pages.len() as u32 - 1));
+                    continue;
+                }
+            }
+            if let Some(shared) = self.shared {
+                let url = s.to_url();
+                if let Some(t) = shared.get(&url) {
+                    ctx.shared_hits += 1;
+                    let t = Arc::new(t);
+                    if self.cache_enabled {
+                        ctx.cache.insert(s, Arc::clone(&t));
+                    }
+                    self.audit_record(ctx, s, target, &t);
+                    let (_, vals) = self.expand_page(alias, target, &url, &t)?;
+                    pages.push_row(&vals)?;
+                    page_row.insert(s, Some(pages.len() as u32 - 1));
+                    continue;
+                }
+            }
+            misses.push(s);
+        }
+        // A completed fetch lands in `page_row` (keyed by interned id), so
+        // pooled completion order cannot affect the result.
+        let complete = |ctx: &mut Ctx,
+                        pages: &mut ColumnRelBuilder,
+                        page_row: &mut HashMap<Symbol, Option<u32>>,
+                        s: Symbol,
+                        outcome: std::result::Result<(Tuple, Option<u64>), SourceError>|
+         -> Result<()> {
+            match outcome {
+                Ok((t, lm)) => {
+                    ctx.page_accesses += 1;
+                    let url = s.to_url();
+                    if let Some(shared) = self.shared {
+                        shared.insert(&url, &t, lm);
+                    }
+                    let t = Arc::new(t);
+                    if self.cache_enabled {
+                        ctx.cache.insert(s, Arc::clone(&t));
+                    }
+                    self.audit_record(ctx, s, target, &t);
+                    let (_, vals) = self.expand_page(alias, target, &url, &t)?;
+                    pages.push_row(&vals)?;
+                    page_row.insert(s, Some(pages.len() as u32 - 1));
+                    Ok(())
+                }
+                Err(SourceError::NotFound(_)) => {
+                    ctx.broken_links += 1;
+                    ctx.unreachable.insert(s.to_url());
+                    Ok(())
+                }
+                Err(_) if self.degradation == DegradationMode::Partial => {
+                    ctx.unreachable.insert(s.to_url());
+                    Ok(())
+                }
+                Err(e) => Err(EvalError::Source(e.to_string())),
+            }
+        };
+        match pool {
+            // Pipelined: stream every miss into the pool up front, then
+            // wrap and record completions as they arrive.
+            Some(pool) => {
+                let mut submitted = 0usize;
+                for &s in &misses {
+                    if !pool.submit(s.to_url(), target.to_string()) {
+                        return Err(EvalError::Source("fetch worker pool shut down".to_string()));
+                    }
+                    submitted += 1;
+                }
+                for _ in 0..submitted {
+                    let Some(done) = pool.recv() else {
+                        return Err(EvalError::Source("fetch worker pool shut down".to_string()));
+                    };
+                    complete(
+                        ctx,
+                        &mut pages,
+                        &mut page_row,
+                        Symbol::from_url(&done.url),
+                        done.outcome,
+                    )?;
+                }
+            }
+            None => {
+                for &s in &misses {
+                    let url = s.to_url();
+                    let outcome = timed_fetch_stamped(self.source, &url, target);
+                    complete(ctx, &mut pages, &mut page_row, s, outcome)?;
+                }
+            }
+        }
+        // Output assembly: one gather per side, input-row order.
+        let mut li_idx: Vec<u32> = Vec::new();
+        let mut ri_idx: Vec<u32> = Vec::new();
+        for row in 0..rel.len() {
+            if let Some(s) = link_of(row) {
+                if let Some(Some(pr)) = page_row.get(&s) {
+                    li_idx.push(row as u32);
+                    ri_idx.push(*pr);
+                }
+            }
+        }
+        let out = rel.take(&li_idx).hstack(pages.finish().take(&ri_idx));
+        Ok(Carrier::Col(out))
     }
 }
 
@@ -894,6 +1151,31 @@ fn op_label(expr: &NalgExpr) -> String {
         NalgExpr::Join { .. } => "⋈".to_string(),
         NalgExpr::Unnest { attr, .. } => format!("µ {attr}"),
         NalgExpr::Follow { link, target, .. } => format!("–{link}→ {target}"),
+    }
+}
+
+/// Applies a predicate to a columnar relation: each atom produces an index
+/// vector over the current batch, gathered with one `take` per conjunct.
+/// Semantics match [`apply_pred`] cell for cell (including `Null = Null`
+/// for constant equality and null-never-equal for attribute equality).
+fn apply_pred_col(rel: &ColumnRel, pred: &Pred) -> Result<ColumnRel> {
+    match pred {
+        Pred::Eq(attr, value) => {
+            let i = rel.resolve(attr)?;
+            Ok(rel.take(&rel.select_eq_const(i, value)))
+        }
+        Pred::EqAttr(a, b) => {
+            let i = rel.resolve(a)?;
+            let j = rel.resolve(b)?;
+            Ok(rel.take(&rel.select_eq_cols(i, j)))
+        }
+        Pred::And(ps) => {
+            let mut cur = rel.clone();
+            for p in ps {
+                cur = apply_pred_col(&cur, p)?;
+            }
+            Ok(cur)
+        }
     }
 }
 

@@ -36,6 +36,14 @@ impl fmt::Display for BenchmarkId {
     }
 }
 
+/// Whether the bench binary was invoked with `--test` (the flag real
+/// criterion honors under `cargo bench -- --test`): every benchmark runs
+/// exactly once, so CI can smoke-test bench targets without paying for
+/// timed samples.
+fn test_mode_from_args() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 /// Timing callback handed to benchmark closures.
 pub struct Bencher {
     samples: Vec<Duration>,
@@ -72,13 +80,15 @@ fn report(label: &str, samples: &[Duration]) {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    test_mode: bool,
     _parent: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets how many timed iterations each benchmark records.
+    /// Sets how many timed iterations each benchmark records. Ignored in
+    /// `--test` mode, which pins every benchmark to a single iteration.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1);
+        self.sample_size = if self.test_mode { 1 } else { n.max(1) };
         self
     }
 
@@ -117,23 +127,33 @@ impl BenchmarkGroup<'_> {
 /// Benchmark driver.
 pub struct Criterion {
     default_sample_size: usize,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion {
-            default_sample_size: 10,
-        }
+        Criterion::with_test_mode(test_mode_from_args())
     }
 }
 
 impl Criterion {
+    /// A driver with `--test` mode set explicitly (the default detects it
+    /// from the process arguments). In test mode every benchmark runs one
+    /// iteration regardless of any requested sample size.
+    pub fn with_test_mode(test_mode: bool) -> Self {
+        Criterion {
+            default_sample_size: if test_mode { 1 } else { 10 },
+            test_mode,
+        }
+    }
+
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("== bench group: {name} ==");
         BenchmarkGroup {
             name,
             sample_size: self.default_sample_size,
+            test_mode: self.test_mode,
             _parent: self,
         }
     }
@@ -193,6 +213,22 @@ mod tests {
         });
         group.finish();
         assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn test_mode_pins_one_sample() {
+        let mut c = Criterion::with_test_mode(true);
+        let mut group = c.benchmark_group("fast");
+        group.sample_size(50); // ignored in test mode
+        let mut runs = 0usize;
+        group.bench_function("once", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 1);
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Property pin for the columnar evaluator (ISSUE 9): chunk-at-a-time
+//! execution must be observationally identical to the row-at-a-time path
+//! it replaced — same rows (after the canonical sort), same rendered
+//! table bytes, and the same value for **every** access counter, because
+//! the page-access counters are the paper's cost-model ground truth.
+//!
+//! The row path survives behind [`Evaluator::row_path`] exactly so this
+//! test can keep pinning the equivalence on arbitrary seeded sites, for
+//! the sequential evaluator, the 3-worker pooled evaluator, and both with
+//! and without the shared page cache.
+
+use proptest::prelude::*;
+use webviews::nalg::SharedPageCache;
+use webviews::prelude::*;
+
+/// The three plan shapes the paper's experiments exercise: a pointer
+/// chase through the department hierarchy, a pointer join intersecting
+/// two navigation frontiers, and a flat scan-select-project.
+fn plans() -> Vec<(&'static str, NalgExpr)> {
+    let chase = NalgExpr::entry("DeptListPage")
+        .unnest("DeptList")
+        .select(Pred::eq("DeptListPage.DeptList.DName", "Computer Science"))
+        .follow("ToDept", "DeptPage")
+        .unnest("DeptPage.ProfList")
+        .follow("DeptPage.ProfList.ToProf", "ProfPage")
+        .unnest("ProfPage.CourseList")
+        .follow("ProfPage.CourseList.ToCourse", "CoursePage")
+        .select(Pred::eq("CoursePage.Type", "Graduate"))
+        .project(vec!["ProfPage.PName", "ProfPage.Email"]);
+    let prof_side = NalgExpr::entry("ProfListPage")
+        .unnest("ProfList")
+        .follow("ToProf", "ProfPage")
+        .select(Pred::eq("ProfPage.Rank", "Full"))
+        .unnest("ProfPage.CourseList");
+    let session_side = NalgExpr::entry("SessionListPage")
+        .unnest("SesList")
+        .select(Pred::eq("SessionListPage.SesList.Session", "Fall"))
+        .follow("ToSes", "SessionPage")
+        .unnest("SessionPage.CourseList");
+    let join = session_side
+        .join(
+            prof_side,
+            vec![(
+                "SessionPage.CourseList.ToCourse",
+                "ProfPage.CourseList.ToCourse",
+            )],
+        )
+        .follow("SessionPage.CourseList.ToCourse", "CoursePage")
+        .project(vec!["CoursePage.CName", "CoursePage.Description"]);
+    let scan = NalgExpr::entry("DeptListPage")
+        .unnest("DeptList")
+        .follow("ToDept", "DeptPage")
+        .unnest("DeptPage.ProfList")
+        .follow("DeptPage.ProfList.ToProf", "ProfPage")
+        .project(vec!["ProfPage.PName", "ProfPage.Rank"]);
+    vec![("chase", chase), ("join", join), ("scan", scan)]
+}
+
+/// Evaluates `expr` twice with identical configuration — columnar
+/// (default) and row path — and asserts observational equivalence.
+fn assert_paths_agree(
+    site: &websim::Site,
+    expr: &NalgExpr,
+    label: &str,
+    workers: usize,
+    shared: bool,
+) {
+    let source = LiveSource::for_site(site);
+    // Each path gets its own fresh shared cache: the cache is part of the
+    // configuration under test, not state carried between the two runs.
+    let col_cache = SharedPageCache::with_byte_budget(1 << 20);
+    let row_cache = SharedPageCache::with_byte_budget(1 << 20);
+    let mut col_eval = Evaluator::new(&site.scheme, &source).with_concurrent_fetch(workers);
+    let mut row_eval = Evaluator::new(&site.scheme, &source)
+        .with_concurrent_fetch(workers)
+        .row_path();
+    if shared {
+        col_eval = col_eval.with_shared_cache(&col_cache);
+        row_eval = row_eval.with_shared_cache(&row_cache);
+    }
+    let col = col_eval.eval(expr).expect("columnar eval");
+    let row = row_eval.eval(expr).expect("row eval");
+
+    let ctx = format!("{label} (workers={workers}, shared={shared})");
+    prop_assert_eq!(
+        col.relation.sorted(),
+        row.relation.sorted(),
+        "{}: rows diverged",
+        &ctx
+    );
+    prop_assert_eq!(
+        col.relation.to_table(),
+        row.relation.to_table(),
+        "{}: rendered tables diverged",
+        &ctx
+    );
+    prop_assert_eq!(
+        col.page_accesses,
+        row.page_accesses,
+        "{}: page_accesses",
+        &ctx
+    );
+    prop_assert_eq!(col.cache_hits, row.cache_hits, "{}: cache_hits", &ctx);
+    prop_assert_eq!(
+        col.shared_cache_hits,
+        row.shared_cache_hits,
+        "{}: shared_cache_hits",
+        &ctx
+    );
+    prop_assert_eq!(col.broken_links, row.broken_links, "{}: broken_links", &ctx);
+    prop_assert_eq!(
+        col.accesses_by_operator.clone(),
+        row.accesses_by_operator.clone(),
+        "{}: accesses_by_operator",
+        &ctx
+    );
+    let sort_urls = |mut v: Vec<Url>| {
+        v.sort();
+        v
+    };
+    prop_assert_eq!(
+        sort_urls(col.unreachable.clone()),
+        sort_urls(row.unreachable.clone()),
+        "{}: unreachable",
+        &ctx
+    );
+}
+
+// Columnar ≡ row on arbitrary seeded sites: every plan shape, the
+// sequential and the 3-worker pooled evaluator, with and without the
+// shared page cache.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn columnar_matches_row_path_on_seeded_sites(
+        departments in 1usize..4,
+        extra_profs in 0usize..8,
+        courses in 2usize..16,
+        seed in 0u64..10_000,
+    ) {
+        let u = University::generate(UniversityConfig {
+            departments,
+            professors: departments + extra_profs,
+            courses,
+            seed,
+            ..UniversityConfig::default()
+        }).unwrap();
+        for (label, expr) in plans() {
+            for workers in [1usize, 3] {
+                for shared in [false, true] {
+                    assert_paths_agree(&u.site, &expr, label, workers, shared);
+                }
+            }
+        }
+    }
+}
+
+/// The default-config site (the one every experiment uses) gets the same
+/// pin deterministically, so a divergence fails fast even under
+/// `proptest`-skipping test filters.
+#[test]
+fn columnar_matches_row_path_on_default_site() {
+    let u = University::generate(UniversityConfig::default()).unwrap();
+    for (label, expr) in plans() {
+        for workers in [1usize, 3] {
+            for shared in [false, true] {
+                assert_paths_agree(&u.site, &expr, label, workers, shared);
+            }
+        }
+    }
+}
