@@ -191,6 +191,18 @@ fn is_timing_header(header: &str) -> bool {
     header.ends_with(" ms") || header.contains("/s") || header.contains("speedup")
 }
 
+/// Headers whose cells count load-dependent robustness activity:
+/// brown-outs, hedges, and completion splits move with scheduling and
+/// wall-clock (which request hits its deadline, which GET gets hedged),
+/// so same-code runs legitimately differ. The correctness columns of the
+/// same tables ("diverged", "bad answers") stay strictly compared.
+fn is_load_header(header: &str) -> bool {
+    header.contains("hedge")
+        || header.contains("brown-out")
+        || header.contains("cancelled")
+        || header == "complete"
+}
+
 /// Throughput headers (`req/s`, `rows/s`, ...) additionally get an a→b
 /// ratio in the report — "how many times faster" reads better than a
 /// percentage once the delta is large.
@@ -329,7 +341,7 @@ pub fn deterministic_diffs(a: &BenchFile, b: &BenchFile) -> Vec<String> {
         let label = ra.first().map(String::as_str).unwrap_or("");
         for (c, (ca, cb)) in ra.iter().zip(rb).enumerate() {
             let header = a.headers.get(c).map(String::as_str).unwrap_or("");
-            if ca != cb && !is_timing_header(header) {
+            if ca != cb && !is_timing_header(header) && !is_load_header(header) {
                 diffs.push(format!("row {r} [{label}] {header}: \"{ca}\" -> \"{cb}\""));
             }
         }
@@ -544,6 +556,34 @@ mod tests {
         assert!(err.contains("deterministic check FAILED"), "{err}");
         assert!(err.contains("server GETs"), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn deterministic_gate_ignores_load_counters_but_fails_on_bad_answers() {
+        let mk = |complete: &str, brown: &str, hedges: &str, bad: &str| {
+            let mut t = Table::new(
+                "T",
+                vec!["config", "complete", "brown-outs", "hedges", "bad answers"],
+            );
+            t.row(vec![
+                "deadline + hedge".into(),
+                complete.into(),
+                brown.into(),
+                hedges.into(),
+                bad.into(),
+            ]);
+            experiment_json("x8", &[], 1.0, &t)
+        };
+        let a = parse(&mk("19", "29", "184", "0")).unwrap();
+        // Which requests brown out and which GETs hedge moves with
+        // scheduling — same-code runs differ here and must pass.
+        let b = parse(&mk("24", "24", "150", "0")).unwrap();
+        assert!(deterministic_diffs(&a, &b).is_empty());
+        // A bad answer is a correctness regression, never load noise.
+        let c = parse(&mk("19", "29", "184", "1")).unwrap();
+        let diffs = deterministic_diffs(&a, &c);
+        assert_eq!(diffs.len(), 1, "{diffs:?}");
+        assert!(diffs[0].contains("bad answers"), "{diffs:?}");
     }
 
     #[test]

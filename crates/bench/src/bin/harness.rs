@@ -12,6 +12,7 @@
 //! cargo run --release -p bench --bin harness -- x5 --json --serve-check
 //! cargo run --release -p bench --bin harness -- x5 --json --obs-check
 //! cargo run --release -p bench --bin harness -- x6 --json --dataflow-check
+//! cargo run --release -p bench --bin harness -- x8 --json --deadline-check
 //! cargo run --release -p bench --bin harness -- benchcmp old.json new.json
 //! cargo run --release -p bench --bin harness -- trace TRACE_X5.jsonl
 //! ```
@@ -32,6 +33,11 @@
 //! the run stayed divergence-free AND produced at least one schema-valid
 //! flight-recorder dump. With `--json`, X5 also writes the observed
 //! run's causal exports as `TRACE_X5.jsonl` / `FLIGHT_X5.jsonl`.
+//! `--deadline-check` runs X8 at smoke scale under heavy-tailed chaos
+//! and exits non-zero unless every complete answer matched the oracle,
+//! every brown-out was an honest exact partial, hedges fired, the
+//! deadline+hedge p99.9 at least halved the baseline's, and relevance
+//! cancellation pruned exactly the provably-dead URLs.
 //! `benchcmp <a> <b>` diffs two `BENCH_<ID>.json` files cell by cell;
 //! `trace <export.jsonl>` renders the per-phase latency breakdown and
 //! the slowest request's causal critical path.
@@ -98,6 +104,7 @@ fn main() {
     let serve_check = args.iter().any(|a| a == "--serve-check");
     let dataflow_check = args.iter().any(|a| a == "--dataflow-check");
     let obs_check = args.iter().any(|a| a == "--obs-check");
+    let deadline_check = args.iter().any(|a| a == "--deadline-check");
     let passthrough = |a: &String| {
         a == "full"
             || a == "--markdown"
@@ -111,6 +118,7 @@ fn main() {
             || a == "--serve-check"
             || a == "--dataflow-check"
             || a == "--obs-check"
+            || a == "--deadline-check"
             || a == "--sweep-check"
             || check_value.contains(a)
             || sweep_check_value.contains(a)
@@ -493,6 +501,104 @@ fn main() {
                 smoke.refresh_accesses,
                 100 * (smoke.refresh_accesses - smoke.delta_accesses) / smoke.refresh_accesses.max(1),
                 smoke.upqueries
+            );
+        }
+    }
+    if want("x8") || deadline_check {
+        let cfg = if deadline_check && !full {
+            // CI smoke scale: fewer requests, the full chaos profile.
+            bench::DeadlineLoadConfig {
+                requests: 48,
+                workers: 4,
+                ..bench::DeadlineLoadConfig::default()
+            }
+        } else {
+            bench::DeadlineLoadConfig::default()
+        };
+        let t0 = Instant::now();
+        let smoke = x8_deadline(&cfg);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        if markdown {
+            println!("{}", smoke.table.render_markdown());
+        } else {
+            println!("{}", smoke.table);
+        }
+        if json {
+            match bench::json::write_experiment_json_with_extras(
+                std::path::Path::new("."),
+                "x8",
+                &[
+                    ("seed", cfg.seed.to_string()),
+                    ("requests", cfg.requests.to_string()),
+                    ("workers", cfg.workers.to_string()),
+                    ("fetch_workers", cfg.fetch_workers.to_string()),
+                    ("budget_ms", cfg.budget.as_millis().to_string()),
+                    ("tail_ms", cfg.tail.as_millis().to_string()),
+                    ("tail_rate", cfg.tail_rate.to_string()),
+                ],
+                wall_ms,
+                &smoke.table,
+                &smoke.extras,
+            ) {
+                Ok(p) => eprintln!("wrote {}", p.display()),
+                Err(e) => eprintln!("BENCH_X8.json: {e}"),
+            }
+        }
+        if deadline_check {
+            if smoke.rows_diverged > 0 {
+                eprintln!(
+                    "deadline check FAILED: {} complete answer(s) diverged from the oracle — deadline/hedging changed bytes",
+                    smoke.rows_diverged
+                );
+                std::process::exit(1);
+            }
+            if smoke.bad_brownouts > 0 {
+                eprintln!(
+                    "deadline check FAILED: {} brown-out(s) were not honest partials (deadline flag, exact unreachable set, rows ⊆ oracle)",
+                    smoke.bad_brownouts
+                );
+                std::process::exit(1);
+            }
+            if smoke.brown_outs == 0 {
+                eprintln!(
+                    "deadline check FAILED: the deadline arm never browned out — the chaos did not bite"
+                );
+                std::process::exit(1);
+            }
+            if smoke.hedges == 0 {
+                eprintln!("deadline check FAILED: no hedge was ever launched");
+                std::process::exit(1);
+            }
+            if smoke.p999_guarded_ms * 2.0 > smoke.p999_baseline_ms {
+                eprintln!(
+                    "deadline check FAILED: deadline+hedge p99.9 {:.1}ms is not >=2x under baseline {:.1}ms",
+                    smoke.p999_guarded_ms, smoke.p999_baseline_ms
+                );
+                std::process::exit(1);
+            }
+            if !smoke.relevance_rows_match
+                || smoke.relevance_cancelled != 2
+                || smoke.relevance_pruned_accesses >= smoke.relevance_plain_accesses
+            {
+                eprintln!(
+                    "deadline check FAILED: relevance micro-check broke (rows_match={}, cancelled={}, accesses {} vs {})",
+                    smoke.relevance_rows_match,
+                    smoke.relevance_cancelled,
+                    smoke.relevance_pruned_accesses,
+                    smoke.relevance_plain_accesses
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "deadline check ok: p99.9 {:.1}ms -> {:.1}ms ({:.1}x), {} brown-out(s) all honest, {} hedge(s) ({} won), relevance pruned {} -> {} accesses",
+                smoke.p999_baseline_ms,
+                smoke.p999_guarded_ms,
+                smoke.p999_baseline_ms / smoke.p999_guarded_ms.max(1e-9),
+                smoke.brown_outs,
+                smoke.hedges,
+                smoke.hedge_wins,
+                smoke.relevance_plain_accesses,
+                smoke.relevance_pruned_accesses
             );
         }
     }

@@ -18,6 +18,7 @@
 
 pub mod benchcmp;
 pub mod dataflow_x6;
+pub mod deadline_x8;
 pub mod fixtures;
 pub mod json;
 pub mod serving;
@@ -26,6 +27,7 @@ pub mod table;
 pub mod tracecmd;
 
 pub use dataflow_x6::{x6_dataflow, DataflowConfig, DataflowSmoke};
+pub use deadline_x8::{x8_deadline, DeadlineLoadConfig, DeadlineSmoke};
 pub use serving::{x5_serving, ServeLoadConfig, ServeSmoke};
 pub use sweep::{sweep_rows_per_sec, SweepSmoke};
 

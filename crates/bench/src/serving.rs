@@ -115,7 +115,7 @@ pub struct ServeSmoke {
 /// A seeded Zipf schedule: `count` indices into `0..n`, rank `r`
 /// weighted `1/(r+1)^s`. Hand-rolled inverse-CDF sampling — the offline
 /// `rand` shim has no distribution zoo.
-fn zipf_schedule(seed: u64, n: usize, count: usize, s: f64) -> Vec<usize> {
+pub(crate) fn zipf_schedule(seed: u64, n: usize, count: usize, s: f64) -> Vec<usize> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut cdf = Vec::with_capacity(n);
     let mut total = 0.0f64;

@@ -136,6 +136,10 @@ pub struct QuerySession<'a, S: PageSource> {
     /// bound at builder time so the rest of the session stays available
     /// for non-`Sync` sources.
     concurrency: Option<(usize, EnablePool<'a, S>)>,
+    deadline: Option<obs::Deadline>,
+    cancel: Option<obs::CancelToken>,
+    hedge: Option<nalg::HedgeConfig>,
+    relevance: bool,
 }
 
 type EnablePool<'a, S> = fn(Evaluator<'a, S>, usize) -> Evaluator<'a, S>;
@@ -166,7 +170,44 @@ impl<'a, S: PageSource> QuerySession<'a, S> {
             audit: None,
             health: None,
             concurrency: None,
+            deadline: None,
+            cancel: None,
+            hedge: None,
+            relevance: false,
         }
+    }
+
+    /// Bounds every evaluation in this session by `deadline`: once the
+    /// budget is gone, not-yet-fetched pages are reported in the
+    /// outcome's unreachable set (a brown-out) instead of being fetched
+    /// past it — even under [`DegradationMode::FailFast`].
+    pub fn with_deadline(mut self, deadline: obs::Deadline) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a cooperative cancellation token, shared with the fetch
+    /// pool so queued work for cancelled URLs is skipped pre-dispatch.
+    pub fn with_cancel_token(mut self, token: obs::CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Hedges laggard pooled fetches: after `cfg.delay_us` in flight one
+    /// backup GET races the primary and the first response wins. Rows
+    /// and every paper counter are unchanged; hedge activity lands only
+    /// in `cfg`'s counters. A no-op without concurrent fetch.
+    pub fn with_hedging(mut self, cfg: nalg::HedgeConfig) -> Self {
+        self.hedge = Some(cfg);
+        self
+    }
+
+    /// Cancels pending fetches that relevance analysis proves can no
+    /// longer contribute an output tuple (σ/⋈ residuals reject every
+    /// carrying row). Rows are unchanged; only downloads shrink.
+    pub fn with_relevance_cancel(mut self) -> Self {
+        self.relevance = true;
+        self
     }
 
     /// Enables runtime constraint auditing: each [`QuerySession::run`]
@@ -266,6 +307,18 @@ impl<'a, S: PageSource> QuerySession<'a, S> {
         }
         if let Some((workers, enable)) = self.concurrency {
             ev = enable(ev, workers);
+        }
+        if let Some(deadline) = self.deadline {
+            ev = ev.with_deadline(deadline);
+        }
+        if let Some(token) = &self.cancel {
+            ev = ev.with_cancel_token(token.clone());
+        }
+        if let Some(cfg) = &self.hedge {
+            ev = ev.with_hedging(cfg.clone());
+        }
+        if self.relevance {
+            ev = ev.with_relevance_cancel();
         }
         ev
     }

@@ -313,6 +313,8 @@ impl<'a> IncrementalView<'a> {
             parent,
             request_id: 0,
             clock: obs::reqctx::FetchClock::new(),
+            deadline: obs::Deadline::infinite(),
+            cancel: None,
         };
         let res = obs::reqctx::with_ctx(Some(ctx), || self.apply_changes_inner(server, changes));
         match &res {

@@ -60,6 +60,12 @@ pub enum SourceError {
         /// Human-readable parse-failure detail.
         reason: String,
     },
+    /// The fetch was cancelled cooperatively — the request's deadline
+    /// expired, a relevance monitor proved the page cannot contribute
+    /// an answer tuple, or the fetch layer shut down mid-wait.
+    /// Permanent for this evaluation; retrying it would defeat the
+    /// cancellation.
+    Cancelled(Url),
     /// Anything else (infrastructure failure, …). Permanent.
     Other(String),
 }
@@ -77,7 +83,9 @@ impl SourceError {
     /// The URL the error is about, when the error carries one.
     pub fn url(&self) -> Option<&Url> {
         match self {
-            SourceError::NotFound(u) | SourceError::Timeout(u) => Some(u),
+            SourceError::NotFound(u) | SourceError::Timeout(u) | SourceError::Cancelled(u) => {
+                Some(u)
+            }
             SourceError::Unavailable { url, .. } | SourceError::Malformed { url, .. } => Some(url),
             SourceError::Other(_) => None,
         }
@@ -92,6 +100,7 @@ impl fmt::Display for SourceError {
                 write!(f, "unavailable: {url} ({reason})")
             }
             SourceError::Timeout(u) => write!(f, "timeout: {u}"),
+            SourceError::Cancelled(u) => write!(f, "cancelled: {u}"),
             SourceError::Malformed { url, reason } => {
                 write!(f, "malformed page: {url} ({reason})")
             }
@@ -249,6 +258,16 @@ pub struct EvalReport {
     /// What constraint auditing observed, when an active [`AuditConfig`]
     /// was attached with [`Evaluator::with_audit`]; `None` otherwise.
     pub audit: Option<AuditReport>,
+    /// True iff a finite deadline expired during evaluation: the answer
+    /// is the partial result over pages fetched in budget, and every
+    /// skipped URL is in [`EvalReport::unreachable`].
+    pub deadline_exceeded: bool,
+    /// URLs whose fetches the relevance monitor cancelled (sorted,
+    /// deduplicated). Unlike `unreachable`, these never affect answer
+    /// completeness: the monitor proved no output tuple could involve
+    /// them. Their cost-model charge in `accesses_by_operator` is still
+    /// counted, so cancellation is invisible to the paper's 𝒞 numbers.
+    pub cancelled: Vec<Url>,
 }
 
 impl EvalReport {
@@ -290,6 +309,19 @@ pub struct Evaluator<'a, S: PageSource> {
     /// [`ColumnRel`] batches; [`Evaluator::row_path`] pins the
     /// row-at-a-time reference implementation instead.
     columnar: bool,
+    /// The evaluation's wall-clock budget. Infinite (never fires) by
+    /// default; when finite, every blocking point checks it and the
+    /// evaluation fails over to a partial answer with an exact
+    /// not-yet-fetched URL set instead of blocking past it.
+    deadline: obs::Deadline,
+    /// Cooperative cancellation shared with pool workers and coalescing
+    /// followers; auto-created by [`Evaluator::with_relevance_cancel`].
+    cancel: Option<obs::CancelToken>,
+    /// Hedged-GET policy for the pooled drain loop; `None` disables.
+    hedge: Option<crate::fetch::HedgeConfig>,
+    /// When true, σ/⋈ residuals above each Follow are used to prove
+    /// pending URLs irrelevant and skip their fetches.
+    relevance: bool,
 }
 
 type PooledRun<'a, S> = fn(&Evaluator<'a, S>, &NalgExpr) -> Result<EvalReport>;
@@ -300,6 +332,7 @@ fn run_pooled<S: PageSource + Sync>(ev: &Evaluator<'_, S>, expr: &NalgExpr) -> R
         ev.fetch_workers,
         ev.trace.as_ref(),
         ev.trace_parent,
+        ev.cancel.as_ref(),
         |pool| ev.eval_with(expr, Some(pool)),
     )
 }
@@ -323,6 +356,154 @@ struct Ctx {
     audit_pages: BTreeMap<String, Vec<(Url, Tuple)>>,
     audit_seen: HashSet<Symbol>,
     audit_sampled: BTreeSet<Url>,
+    /// URLs the relevance monitor cancelled (answer-complete skips).
+    cancelled: BTreeSet<Url>,
+    /// Set when a finite deadline fired at any blocking point.
+    deadline_exceeded: bool,
+    /// Monotonic tag for pooled drains: a deadline-aborted drain leaves
+    /// stale completions in the channel; later drains skip them by epoch.
+    fetch_epoch: u64,
+    /// σ/⋈ residuals on the path from the root to the node being
+    /// evaluated (innermost last); only maintained in relevance mode.
+    residual: Vec<ResidualFilter>,
+}
+
+/// A filter known (from the operators above the current node) to discard
+/// rows: a σ predicate, or the join-key value set of an already-computed
+/// ⋈ side. A Follow output row that provably fails one can never reach
+/// the query's answer — the Benedikt/Gottlob/Senellart relevance
+/// criterion specialized to rules 6–9 plan shapes (σ/⋈ over
+/// Follow/Unnest chains; π and µ never filter on page content).
+enum ResidualFilter {
+    /// A selection predicate above the Follow.
+    Pred(Pred),
+    /// `col` must take one of `allowed` (the other join side's keys).
+    InSet {
+        col: String,
+        allowed: HashSet<Value>,
+    },
+}
+
+/// One residual atom resolved against a Follow's *input* columns; checks
+/// that would bind to the fetched page's own columns (or ambiguously)
+/// are dropped as inapplicable — conservative, never unsound.
+enum ResolvedCheck<'f> {
+    EqConst(usize, &'f Value),
+    EqAttrs(usize, usize),
+    InSet(usize, &'f HashSet<Value>),
+}
+
+/// Resolves `attr` against the Follow's combined output header (input
+/// columns ++ page columns), mirroring `adm`'s resolution order: exact
+/// name first, then unique dotted suffix. Returns the index only when
+/// the unique hit lies on the *input* side — a page-side or ambiguous
+/// binding makes the check inapplicable before the page is fetched.
+fn resolve_input_side(input_cols: &[&str], page_cols: &[String], attr: &str) -> Option<usize> {
+    let all = || {
+        input_cols
+            .iter()
+            .copied()
+            .chain(page_cols.iter().map(String::as_str))
+    };
+    let exact: Vec<usize> = all()
+        .enumerate()
+        .filter(|(_, c)| *c == attr)
+        .map(|(i, _)| i)
+        .collect();
+    let hits = if exact.is_empty() {
+        let suffix = format!(".{attr}");
+        all()
+            .enumerate()
+            .filter(|(_, c)| c.ends_with(&suffix))
+            .map(|(i, _)| i)
+            .collect()
+    } else {
+        exact
+    };
+    match hits.as_slice() {
+        [i] if *i < input_cols.len() => Some(*i),
+        _ => None,
+    }
+}
+
+/// Flattens the residual stack into the checks applicable to a Follow's
+/// input rows (conjunctions flatten; `Pred` has no disjunction, so each
+/// atom is independently necessary and any applicable subset is sound).
+fn applicable_checks<'f>(
+    filters: &'f [ResidualFilter],
+    input_cols: &[&str],
+    page_cols: &[String],
+) -> Vec<ResolvedCheck<'f>> {
+    fn add_pred<'f>(
+        p: &'f Pred,
+        input_cols: &[&str],
+        page_cols: &[String],
+        out: &mut Vec<ResolvedCheck<'f>>,
+    ) {
+        match p {
+            Pred::Eq(attr, v) => {
+                if let Some(i) = resolve_input_side(input_cols, page_cols, attr) {
+                    out.push(ResolvedCheck::EqConst(i, v));
+                }
+            }
+            Pred::EqAttr(a, b) => {
+                let (ra, rb) = (
+                    resolve_input_side(input_cols, page_cols, a),
+                    resolve_input_side(input_cols, page_cols, b),
+                );
+                if let (Some(i), Some(j)) = (ra, rb) {
+                    out.push(ResolvedCheck::EqAttrs(i, j));
+                }
+            }
+            Pred::And(ps) => {
+                for p in ps {
+                    add_pred(p, input_cols, page_cols, out);
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for f in filters {
+        match f {
+            ResidualFilter::Pred(p) => add_pred(p, input_cols, page_cols, &mut out),
+            ResidualFilter::InSet { col, allowed } => {
+                if let Some(i) = resolve_input_side(input_cols, page_cols, col) {
+                    out.push(ResolvedCheck::InSet(i, allowed));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// True iff `row` provably cannot survive the filters above the Follow.
+/// Semantics mirror `apply_pred` exactly: constant equality treats
+/// `Null = Null` as true, attribute equality never matches nulls, and a
+/// join key outside the other side's value set can never join.
+fn row_is_dead(row: &[Value], checks: &[ResolvedCheck<'_>]) -> bool {
+    checks.iter().any(|c| match c {
+        ResolvedCheck::EqConst(i, v) => &row[*i] != *v,
+        ResolvedCheck::EqAttrs(i, j) => row[*i].is_null() || row[*i] != row[*j],
+        ResolvedCheck::InSet(i, set) => !set.contains(&row[*i]),
+    })
+}
+
+/// The distinct values of the already-computed join side's column
+/// `attr` (nulls included, so the bound is sound whatever the engine's
+/// null-join semantics), or `None` when the column does not resolve —
+/// the residual is then simply not pushed, which is conservative.
+fn join_key_values(car: &Carrier, attr: &str) -> Option<HashSet<Value>> {
+    match car {
+        Carrier::Row(rel) => {
+            let i = rel.resolve(attr).ok()?;
+            Some(rel.rows().iter().map(|r| r[i].clone()).collect())
+        }
+        Carrier::Col(rel) => {
+            let i = rel.resolve(attr).ok()?;
+            let probe = rel.project_cols(&[i]).to_relation();
+            Some(probe.rows().iter().map(|r| r[0].clone()).collect())
+        }
+    }
 }
 
 /// The internal result of one operator: the columnar fast path, or the
@@ -365,6 +546,10 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
             trace: None,
             trace_parent: None,
             columnar: true,
+            deadline: obs::Deadline::infinite(),
+            cancel: None,
+            hedge: None,
+            relevance: false,
         }
     }
 
@@ -447,6 +632,57 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
         self
     }
 
+    /// Sets the evaluation's wall-clock budget. When it expires, every
+    /// not-yet-fetched URL is reported in [`EvalReport::unreachable`],
+    /// [`EvalReport::deadline_exceeded`] is set, and the evaluation
+    /// returns the partial answer over the pages fetched so far — even
+    /// under [`DegradationMode::FailFast`] (a fired deadline *is* the
+    /// degradation decision). The default [`obs::Deadline::infinite`]
+    /// never fires and leaves results byte-identical.
+    pub fn with_deadline(mut self, deadline: obs::Deadline) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Shares `token` with pool workers and coalescing followers so
+    /// in-flight fetches can be cancelled cooperatively (deadline
+    /// aborts, hedge losers, relevance-proved-irrelevant URLs).
+    pub fn with_cancel_token(mut self, token: obs::CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Enables hedged GETs in the pooled drain loop (requires
+    /// [`Evaluator::with_concurrent_fetch`] to have any effect): after
+    /// `cfg.delay_us` without a completion, one backup fetch is launched
+    /// for the laggard; first response wins, the loser is cancelled
+    /// through the cancel token (auto-created if none was attached).
+    /// Hedge completions are never charged to `page_accesses`.
+    pub fn with_hedging(mut self, cfg: crate::fetch::HedgeConfig) -> Self {
+        self.hedge = Some(cfg);
+        if self.cancel.is_none() {
+            self.cancel = Some(obs::CancelToken::new());
+        }
+        self
+    }
+
+    /// Enables the relevance monitor: σ/⋈ residuals above each Follow
+    /// are specialized to the navigation's output header, and a pending
+    /// URL whose carrying input rows all provably fail one of them is
+    /// cancelled instead of fetched ([`EvalReport::cancelled`]). Rows
+    /// of the final answer are unchanged — a cancelled page could only
+    /// ever have produced rows the residual filters discard — and the
+    /// cost-model charge (`accesses_by_operator`) still counts every
+    /// distinct link, so E1–E8 cost numbers stay paper-exact while
+    /// `page_accesses` shrinks.
+    pub fn with_relevance_cancel(mut self) -> Self {
+        self.relevance = true;
+        if self.cancel.is_none() {
+            self.cancel = Some(obs::CancelToken::new());
+        }
+        self
+    }
+
     /// Evaluates a computable expression.
     pub fn eval(&self, expr: &NalgExpr) -> Result<EvalReport> {
         if !expr.is_computable() {
@@ -473,6 +709,10 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
             audit_pages: BTreeMap::new(),
             audit_seen: HashSet::new(),
             audit_sampled: BTreeSet::new(),
+            cancelled: std::collections::BTreeSet::new(),
+            deadline_exceeded: false,
+            fetch_epoch: 0,
+            residual: Vec::new(),
         };
         let relation = self
             .eval_expr(expr, &mut ctx, pool, self.trace_parent)?
@@ -487,6 +727,8 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
             accesses_by_operator: ctx.per_op,
             unreachable: ctx.unreachable.into_iter().collect(),
             audit,
+            deadline_exceeded: ctx.deadline_exceeded,
+            cancelled: ctx.cancelled.into_iter().collect(),
         })
     }
 
@@ -611,6 +853,14 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                 return Ok(Some(t));
             }
         }
+        // Caches are free; only the network is gated by the budget. A
+        // fired deadline degrades to Partial semantics regardless of the
+        // configured mode — the deadline *is* the degradation decision.
+        if self.deadline.expired() {
+            ctx.deadline_exceeded = true;
+            ctx.unreachable.insert(url.clone());
+            return Ok(None);
+        }
         match timed_fetch_stamped(self.source, url, scheme) {
             Ok((t, lm)) => {
                 ctx.page_accesses += 1;
@@ -633,8 +883,81 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                 ctx.unreachable.insert(url.clone());
                 Ok(None)
             }
+            // A cancelled fetch under a finite deadline is the budget
+            // machinery working as designed, not a query failure.
+            Err(SourceError::Cancelled(_)) if self.deadline.is_finite() => {
+                ctx.deadline_exceeded = true;
+                ctx.unreachable.insert(url.clone());
+                Ok(None)
+            }
             Err(e) => Err(EvalError::Source(e.to_string())),
         }
+    }
+
+    /// The deadline/hedge-aware variant of [`Evaluator::fetch`]: one URL
+    /// through the worker pool, so a single laggard GET (an entry point,
+    /// typically) can be hedged or abandoned at the budget instead of
+    /// blocking the session past it. Cache handling, counters, and error
+    /// degradation match `fetch` exactly.
+    fn fetch_one_pooled(
+        &self,
+        ctx: &mut Ctx,
+        pool: &FetchPool,
+        url: &Url,
+        scheme: &str,
+    ) -> Result<Option<Arc<Tuple>>> {
+        let sym = Symbol::from_url(url);
+        if self.cache_enabled {
+            if let Some(t) = ctx.cache.get(&sym) {
+                ctx.cache_hits += 1;
+                return Ok(Some(Arc::clone(t)));
+            }
+        }
+        if let Some(shared) = self.shared {
+            if let Some(t) = shared.get(url) {
+                ctx.shared_hits += 1;
+                let t = Arc::new(t);
+                if self.cache_enabled {
+                    ctx.cache.insert(sym, Arc::clone(&t));
+                }
+                self.audit_record(ctx, sym, scheme, &t);
+                return Ok(Some(t));
+            }
+        }
+        let mut fetched: Option<Arc<Tuple>> = None;
+        self.drain_pooled(
+            ctx,
+            pool,
+            std::slice::from_ref(url),
+            scheme,
+            |ctx, u, outcome| match outcome {
+                Ok((t, lm)) => {
+                    ctx.page_accesses += 1;
+                    if let Some(shared) = self.shared {
+                        shared.insert(&u, &t, lm);
+                    }
+                    let t = Arc::new(t);
+                    let sym = Symbol::from_url(&u);
+                    if self.cache_enabled {
+                        ctx.cache.insert(sym, Arc::clone(&t));
+                    }
+                    self.audit_record(ctx, sym, scheme, &t);
+                    fetched = Some(t);
+                    Ok(())
+                }
+                Err(SourceError::NotFound(_)) => {
+                    ctx.broken_links += 1;
+                    ctx.unreachable.insert(u);
+                    Ok(())
+                }
+                Err(_) if self.degradation == DegradationMode::Partial => {
+                    ctx.unreachable.insert(u);
+                    Ok(())
+                }
+                Err(e) => Err(EvalError::Source(e.to_string())),
+            },
+        )?;
+        Ok(fetched)
     }
 
     /// Expands a page tuple into a single-row relation qualified by alias.
@@ -720,7 +1043,17 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                     EvalError::NotComputable(format!("{scheme} is not an entry point"))
                 })?;
                 let url = ep.url.clone();
-                match self.fetch(ctx, &url, scheme)? {
+                let fetched = match pool {
+                    // With a budget or hedging active, even the single
+                    // entry GET goes through the pooled drain — a tail
+                    // response there is hedged or abandoned at the
+                    // deadline rather than blocking the whole session.
+                    Some(p) if self.deadline.is_finite() || self.hedge.is_some() => {
+                        self.fetch_one_pooled(ctx, p, &url, scheme)?
+                    }
+                    _ => self.fetch(ctx, &url, scheme)?,
+                };
+                match fetched {
                     Some(tuple) => {
                         ctx.per_op.push((format!("entry {scheme}"), 1));
                         let (cols, vals) = self.expand_page(alias, scheme, &url, &tuple)?;
@@ -738,7 +1071,9 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                     // Partial mode an unreachable entry point degrades to an
                     // empty relation (with the right header) instead of
                     // aborting the query.
-                    None if self.degradation == DegradationMode::Partial => {
+                    None if self.degradation == DegradationMode::Partial
+                        || ctx.deadline_exceeded =>
+                    {
                         ctx.per_op.push((format!("entry {scheme}"), 1));
                         let cols = crate::expr::page_columns(self.ws, scheme, alias)?;
                         if self.columnar {
@@ -750,10 +1085,22 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                     None => Err(EvalError::Source(format!("entry point {url} missing"))),
                 }
             }
-            NalgExpr::Select { input, pred } => match self.eval_expr(input, ctx, pool, parent)? {
-                Carrier::Col(rel) => Ok(Carrier::Col(apply_pred_col(&rel, pred)?)),
-                Carrier::Row(rel) => Ok(Carrier::Row(apply_pred(&rel, pred)?)),
-            },
+            NalgExpr::Select { input, pred } => {
+                // Relevance: this predicate filters everything the input
+                // subtree produces; Follows inside it can use it to prove
+                // pending URLs irrelevant before fetching them.
+                if self.relevance {
+                    ctx.residual.push(ResidualFilter::Pred(pred.clone()));
+                }
+                let car = self.eval_expr(input, ctx, pool, parent);
+                if self.relevance {
+                    ctx.residual.pop();
+                }
+                match car? {
+                    Carrier::Col(rel) => Ok(Carrier::Col(apply_pred_col(&rel, pred)?)),
+                    Carrier::Row(rel) => Ok(Carrier::Row(apply_pred(&rel, pred)?)),
+                }
+            }
             NalgExpr::Project { input, cols } => {
                 let car = self.eval_expr(input, ctx, pool, parent)?;
                 let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
@@ -764,7 +1111,27 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
             }
             NalgExpr::Join { left, right, on } => {
                 let l = self.eval_expr(left, ctx, pool, parent)?;
-                let r = self.eval_expr(right, ctx, pool, parent)?;
+                // Relevance: the left side is computed, so its join-key
+                // value sets bound what the right side can contribute —
+                // a right-side Follow row whose key is outside the set
+                // can never join into an output tuple.
+                let mut pushed = 0usize;
+                if self.relevance {
+                    for (a, b) in on {
+                        if let Some(allowed) = join_key_values(&l, a) {
+                            ctx.residual.push(ResidualFilter::InSet {
+                                col: b.clone(),
+                                allowed,
+                            });
+                            pushed += 1;
+                        }
+                    }
+                }
+                let r = self.eval_expr(right, ctx, pool, parent);
+                for _ in 0..pushed {
+                    ctx.residual.pop();
+                }
+                let r = r?;
                 let pairs: Vec<(&str, &str)> =
                     on.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
                 match (l, r) {
@@ -810,6 +1177,219 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                 Carrier::Row(rel) => self.follow_row(&rel, link, target, alias, ctx, pool),
             },
         }
+    }
+
+    /// Sequentially fetches `misses`, gating each dispatch on the
+    /// remaining budget: once the deadline fires, every remaining URL
+    /// goes to `unreachable` (the exact not-yet-fetched set) instead of
+    /// being fetched past the SLO.
+    fn drain_sequential<F>(
+        &self,
+        ctx: &mut Ctx,
+        misses: &[Url],
+        scheme: &str,
+        mut complete: F,
+    ) -> Result<()>
+    where
+        F: FnMut(
+            &mut Ctx,
+            Url,
+            std::result::Result<(Tuple, Option<u64>), SourceError>,
+        ) -> Result<()>,
+    {
+        for u in misses {
+            if self.deadline.expired() {
+                ctx.deadline_exceeded = true;
+                ctx.unreachable.insert(u.clone());
+                continue;
+            }
+            match timed_fetch_stamped(self.source, u, scheme) {
+                Err(SourceError::Cancelled(_))
+                    if self.deadline.is_finite()
+                        || self.degradation == DegradationMode::Partial =>
+                {
+                    if self.deadline.expired() {
+                        ctx.deadline_exceeded = true;
+                    }
+                    ctx.unreachable.insert(u.clone());
+                }
+                outcome => complete(ctx, u.clone(), outcome)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// The pooled drain: streams `misses` into the pool, then consumes
+    /// completions. Without a finite deadline or hedging this blocks on
+    /// each completion exactly as the pre-budget engine did; with
+    /// either, the loop waits in bounded quanta so it can (a) abort the
+    /// drain the moment the budget is gone — cancelling still-queued
+    /// jobs through the token and reporting the exact pending set as
+    /// unreachable — and (b) launch one backup fetch per laggard after
+    /// the hedge delay, first response winning. Completions are tagged
+    /// with a per-drain epoch so a later drain never consumes a stale
+    /// completion from an aborted one.
+    fn drain_pooled<F>(
+        &self,
+        ctx: &mut Ctx,
+        pool: &FetchPool,
+        misses: &[Url],
+        scheme: &str,
+        mut complete: F,
+    ) -> Result<()>
+    where
+        F: FnMut(
+            &mut Ctx,
+            Url,
+            std::result::Result<(Tuple, Option<u64>), SourceError>,
+        ) -> Result<()>,
+    {
+        use std::time::{Duration, Instant};
+        let shutdown = || EvalError::Source("fetch worker pool shut down".to_string());
+        if !self.deadline.is_finite() && self.hedge.is_none() {
+            // Plain path: pinned byte-identical to the pre-budget engine.
+            let mut submitted = 0usize;
+            for u in misses {
+                if let Some(t) = &self.cancel {
+                    t.uncancel_url(u.as_str());
+                }
+                if !pool.submit(u.clone(), scheme.to_string()) {
+                    return Err(shutdown());
+                }
+                submitted += 1;
+            }
+            for _ in 0..submitted {
+                let Some(done) = pool.recv() else {
+                    return Err(shutdown());
+                };
+                complete(ctx, done.url, done.outcome)?;
+            }
+            return Ok(());
+        }
+        ctx.fetch_epoch += 1;
+        let epoch = ctx.fetch_epoch;
+        struct Pending {
+            since: Instant,
+            hedged: bool,
+        }
+        let mut pending: HashMap<Url, Pending> = HashMap::with_capacity(misses.len());
+        for u in misses {
+            if self.deadline.expired() {
+                ctx.deadline_exceeded = true;
+                ctx.unreachable.insert(u.clone());
+                continue;
+            }
+            // A URL cancelled for an earlier navigation may be needed
+            // now; clear its mark before the workers can see the job.
+            if let Some(t) = &self.cancel {
+                t.uncancel_url(u.as_str());
+            }
+            if !pool.submit_tagged(u.clone(), scheme.to_string(), epoch, false) {
+                return Err(shutdown());
+            }
+            pending.insert(
+                u.clone(),
+                Pending {
+                    since: Instant::now(),
+                    hedged: false,
+                },
+            );
+        }
+        while !pending.is_empty() {
+            if self.deadline.expired() {
+                // Budget gone: the pending set IS the exact not-yet-
+                // fetched URL set. Cancel the queued jobs cooperatively
+                // (workers skip them pre-dispatch) and brown out.
+                ctx.deadline_exceeded = true;
+                for (u, _) in pending.drain() {
+                    if let Some(t) = &self.cancel {
+                        t.cancel_url(u.as_str());
+                    }
+                    ctx.unreachable.insert(u);
+                }
+                break;
+            }
+            if let Some(h) = &self.hedge {
+                let delay = Duration::from_micros(h.delay_us);
+                let due: Vec<Url> = pending
+                    .iter()
+                    .filter(|(_, p)| !p.hedged && p.since.elapsed() >= delay)
+                    .map(|(u, _)| u.clone())
+                    .collect();
+                for u in due {
+                    if !pool.submit_tagged(u.clone(), scheme.to_string(), epoch, true) {
+                        return Err(shutdown());
+                    }
+                    h.hedges.inc();
+                    pending.get_mut(&u).expect("hedged url is pending").hedged = true;
+                }
+            }
+            // Sleep until the next actionable instant: budget expiry or
+            // the earliest hedge coming due.
+            let mut wait = self.deadline.remaining().unwrap_or(Duration::from_secs(60));
+            if let Some(h) = &self.hedge {
+                let delay = Duration::from_micros(h.delay_us);
+                if let Some(next) = pending
+                    .values()
+                    .filter(|p| !p.hedged)
+                    .map(|p| delay.saturating_sub(p.since.elapsed()))
+                    .min()
+                {
+                    wait = wait.min(next);
+                }
+            }
+            let wait = wait.clamp(Duration::from_micros(50), Duration::from_secs(60));
+            let done = match pool.recv_timeout(wait) {
+                Ok(d) => d,
+                Err(true) => continue, // quantum elapsed: re-check budget/hedges
+                Err(false) => return Err(shutdown()),
+            };
+            if done.epoch != epoch {
+                continue; // stale completion from an aborted earlier drain
+            }
+            match pending.remove(&done.url) {
+                Some(p) => {
+                    if p.hedged {
+                        // First response wins; cancel the losing twin
+                        // before a worker dispatches it.
+                        if let Some(t) = &self.cancel {
+                            t.cancel_url(done.url.as_str());
+                        }
+                        if done.hedge {
+                            if let Some(h) = &self.hedge {
+                                h.hedge_wins.inc();
+                            }
+                        }
+                    }
+                    match done.outcome {
+                        Err(SourceError::Cancelled(_))
+                            if self.deadline.is_finite()
+                                || self.degradation == DegradationMode::Partial =>
+                        {
+                            if self.deadline.expired() {
+                                ctx.deadline_exceeded = true;
+                            }
+                            ctx.unreachable.insert(done.url);
+                        }
+                        outcome => complete(ctx, done.url, outcome)?,
+                    }
+                }
+                None => {
+                    // The losing twin of an already-settled URL. A
+                    // cancelled loser cost the server nothing; a
+                    // completed one is dropped here — the server counted
+                    // its GET, but `page_accesses` charged only the
+                    // first completion, keeping the paper's counters
+                    // hedge-invisible.
+                    if matches!(done.outcome, Err(SourceError::Cancelled(_))) {
+                        if let Some(h) = &self.hedge {
+                            h.hedge_cancelled.inc();
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The row-at-a-time `follow`: the reference implementation the pin
@@ -870,6 +1450,46 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                     }
                     misses.push(u.clone());
                 }
+                // Relevance: a missed URL whose every carrying row is
+                // rejected by some residual σ/⋈ predicate bound entirely
+                // to input-side columns can never join into an output
+                // tuple — skip its fetch and cancel it through the
+                // token. `per_op` above already charged the full distinct
+                // set, so the cost-model numbers stay exact.
+                if self.relevance && !ctx.residual.is_empty() && !misses.is_empty() {
+                    let input_cols: Vec<&str> = rel.columns().iter().map(String::as_str).collect();
+                    let page_cols = crate::expr::page_columns(self.ws, target, alias)?;
+                    let dead: Vec<Url> = {
+                        let checks = applicable_checks(&ctx.residual, &input_cols, &page_cols);
+                        if checks.is_empty() {
+                            Vec::new()
+                        } else {
+                            let mut live: HashSet<Url> = HashSet::new();
+                            for row in rel.rows() {
+                                if let Value::Link(u) = &row[li] {
+                                    if !row_is_dead(row, &checks) {
+                                        live.insert(u.clone());
+                                    }
+                                }
+                            }
+                            misses
+                                .iter()
+                                .filter(|u| !live.contains(*u))
+                                .cloned()
+                                .collect()
+                        }
+                    };
+                    if !dead.is_empty() {
+                        for u in &dead {
+                            if let Some(t) = &self.cancel {
+                                t.cancel_url(u.as_str());
+                            }
+                            ctx.cancelled.insert(u.clone());
+                        }
+                        let dead: HashSet<Url> = dead.into_iter().collect();
+                        misses.retain(|u| !dead.contains(u));
+                    }
+                }
                 // A completed fetch lands in `seen` (keyed by URL), so
                 // completion order cannot affect the result.
                 let complete = |ctx: &mut Ctx,
@@ -912,29 +1532,14 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                     // then wrap and record completions as they arrive —
                     // CPU work overlaps the fetches still in flight.
                     Some(pool) => {
-                        let mut submitted = 0usize;
-                        for u in &misses {
-                            if !pool.submit(u.clone(), target.to_string()) {
-                                return Err(EvalError::Source(
-                                    "fetch worker pool shut down".to_string(),
-                                ));
-                            }
-                            submitted += 1;
-                        }
-                        for _ in 0..submitted {
-                            let Some(done) = pool.recv() else {
-                                return Err(EvalError::Source(
-                                    "fetch worker pool shut down".to_string(),
-                                ));
-                            };
-                            complete(ctx, &mut seen, &mut target_cols, done.url, done.outcome)?;
-                        }
+                        self.drain_pooled(ctx, pool, &misses, target, |ctx, u, outcome| {
+                            complete(ctx, &mut seen, &mut target_cols, u, outcome)
+                        })?;
                     }
                     None => {
-                        for u in misses {
-                            let outcome = timed_fetch_stamped(self.source, &u, target);
-                            complete(ctx, &mut seen, &mut target_cols, u, outcome)?;
-                        }
+                        self.drain_sequential(ctx, &misses, target, |ctx, u, outcome| {
+                            complete(ctx, &mut seen, &mut target_cols, u, outcome)
+                        })?;
                     }
                 }
                 let target_cols = match target_cols {
@@ -1034,6 +1639,45 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
             }
             misses.push(s);
         }
+        // Relevance: same dead-URL pruning as the row path, probing a
+        // materialized copy of the input only when some residual check
+        // actually binds to input-side columns.
+        if self.relevance && !ctx.residual.is_empty() && !misses.is_empty() {
+            let names: Vec<String> = rel.names().iter().map(|s| s.as_str().to_string()).collect();
+            let input_cols: Vec<&str> = names.iter().map(String::as_str).collect();
+            let dead: Vec<Symbol> = {
+                let checks = applicable_checks(&ctx.residual, &input_cols, &header);
+                if checks.is_empty() {
+                    Vec::new()
+                } else {
+                    let probe = rel.to_relation();
+                    let mut live: HashSet<Symbol> = HashSet::new();
+                    for (row_idx, row) in probe.rows().iter().enumerate() {
+                        if let Some(s) = link_of(row_idx) {
+                            if !row_is_dead(row, &checks) {
+                                live.insert(s);
+                            }
+                        }
+                    }
+                    misses
+                        .iter()
+                        .filter(|s| !live.contains(*s))
+                        .copied()
+                        .collect()
+                }
+            };
+            if !dead.is_empty() {
+                for s in &dead {
+                    let url = s.to_url();
+                    if let Some(t) = &self.cancel {
+                        t.cancel_url(url.as_str());
+                    }
+                    ctx.cancelled.insert(url);
+                }
+                let dead: HashSet<Symbol> = dead.into_iter().collect();
+                misses.retain(|s| !dead.contains(s));
+            }
+        }
         // A completed fetch lands in `page_row` (keyed by interned id), so
         // pooled completion order cannot affect the result.
         let complete = |ctx: &mut Ctx,
@@ -1071,36 +1715,31 @@ impl<'a, S: PageSource> Evaluator<'a, S> {
                 Err(e) => Err(EvalError::Source(e.to_string())),
             }
         };
+        let miss_urls: Vec<Url> = misses.iter().map(|s| s.to_url()).collect();
         match pool {
             // Pipelined: stream every miss into the pool up front, then
             // wrap and record completions as they arrive.
             Some(pool) => {
-                let mut submitted = 0usize;
-                for &s in &misses {
-                    if !pool.submit(s.to_url(), target.to_string()) {
-                        return Err(EvalError::Source("fetch worker pool shut down".to_string()));
-                    }
-                    submitted += 1;
-                }
-                for _ in 0..submitted {
-                    let Some(done) = pool.recv() else {
-                        return Err(EvalError::Source("fetch worker pool shut down".to_string()));
-                    };
+                self.drain_pooled(ctx, pool, &miss_urls, target, |ctx, u, outcome| {
                     complete(
                         ctx,
                         &mut pages,
                         &mut page_row,
-                        Symbol::from_url(&done.url),
-                        done.outcome,
-                    )?;
-                }
+                        Symbol::from_url(&u),
+                        outcome,
+                    )
+                })?;
             }
             None => {
-                for &s in &misses {
-                    let url = s.to_url();
-                    let outcome = timed_fetch_stamped(self.source, &url, target);
-                    complete(ctx, &mut pages, &mut page_row, s, outcome)?;
-                }
+                self.drain_sequential(ctx, &miss_urls, target, |ctx, u, outcome| {
+                    complete(
+                        ctx,
+                        &mut pages,
+                        &mut page_row,
+                        Symbol::from_url(&u),
+                        outcome,
+                    )
+                })?;
             }
         }
         // Output assembly: one gather per side, input-row order.
@@ -1745,5 +2384,284 @@ mod tests {
             .unwrap();
         assert_eq!(report.relation.len(), 2);
         assert_eq!(report.unreachable, vec![Url::new("/i/b")]);
+    }
+
+    /// A source that sleeps before serving named URLs. With `slow_once`
+    /// only the first attempt per URL sleeps, so a hedged backup fetch
+    /// can win deterministically.
+    struct SlowSource {
+        inner: MapSource,
+        slow: HashMap<Url, std::time::Duration>,
+        slow_once: bool,
+        attempts: std::sync::Mutex<HashMap<Url, u32>>,
+    }
+
+    fn slow(urls: &[&str], ms: u64, slow_once: bool) -> SlowSource {
+        SlowSource {
+            inner: source(),
+            slow: urls
+                .iter()
+                .map(|u| (Url::new(*u), std::time::Duration::from_millis(ms)))
+                .collect(),
+            slow_once,
+            attempts: std::sync::Mutex::new(HashMap::new()),
+        }
+    }
+
+    impl PageSource for SlowSource {
+        fn fetch(&self, url: &Url, scheme: &str) -> std::result::Result<Tuple, SourceError> {
+            if let Some(d) = self.slow.get(url) {
+                let n = {
+                    let mut a = self.attempts.lock().unwrap();
+                    let e = a.entry(url.clone()).or_insert(0);
+                    *e += 1;
+                    *e
+                };
+                if !self.slow_once || n == 1 {
+                    // Quantized, abandonable sleep — mirrors websim's
+                    // simulated waits: a requester whose ambient deadline
+                    // fired stops waiting out the tail.
+                    let t0 = std::time::Instant::now();
+                    while t0.elapsed() < *d {
+                        if obs::reqctx::current().is_some_and(|c| c.deadline.expired()) {
+                            break;
+                        }
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                    }
+                }
+            }
+            self.inner.fetch(url, scheme)
+        }
+    }
+
+    #[test]
+    fn expired_deadline_fails_over_to_partial_even_under_fail_fast() {
+        let ws = scheme();
+        let src = source();
+        let report = Evaluator::new(&ws, &src)
+            .with_deadline(obs::Deadline::after_us(0))
+            .eval(&nav())
+            .unwrap();
+        assert!(report.deadline_exceeded);
+        assert!(report.relation.is_empty());
+        assert_eq!(report.unreachable, vec![Url::new("/list.html")]);
+        assert_eq!(report.page_accesses, 0, "nothing fetched past the budget");
+    }
+
+    #[test]
+    fn deadline_mid_query_browns_out_with_exact_pending_set() {
+        let ws = scheme();
+        let src = slow(&["/i/a", "/i/b", "/i/c"], 20, false);
+        let report = Evaluator::new(&ws, &src)
+            .with_degradation(DegradationMode::Partial)
+            .with_deadline(obs::Deadline::after_us(10_000))
+            .eval(&nav())
+            .unwrap();
+        assert!(report.deadline_exceeded);
+        assert!(!report.is_complete());
+        // Every link is either delivered or reported — never silently lost.
+        assert_eq!(report.relation.len() + report.unreachable.len(), 3);
+        assert!(!report.unreachable.is_empty());
+        // The cost model still charges the attempted distinct links.
+        assert_eq!(report.cost_model_accesses(), 4);
+    }
+
+    #[test]
+    fn pooled_deadline_abort_cancels_pending_and_reports_them() {
+        let ws = scheme();
+        let src = slow(&["/i/a", "/i/b", "/i/c"], 50, false);
+        let token = obs::CancelToken::new();
+        let report = Evaluator::new(&ws, &src)
+            .with_concurrent_fetch(1)
+            .with_degradation(DegradationMode::Partial)
+            .with_deadline(obs::Deadline::after_us(10_000))
+            .with_cancel_token(token.clone())
+            .eval(&nav())
+            .unwrap();
+        assert!(report.deadline_exceeded);
+        assert_eq!(report.relation.len() + report.unreachable.len(), 3);
+        assert!(report.unreachable.len() >= 2);
+        // Still-queued jobs were cancelled through the token so pool
+        // workers skip them pre-dispatch.
+        assert!(token.cancelled_url_count() >= 2);
+    }
+
+    #[test]
+    fn relevance_cancels_provably_dead_urls() {
+        let ws = scheme();
+        let src = source();
+        let e = nav().select(Pred::eq("Items.Name", "b"));
+        let plain = Evaluator::new(&ws, &src).eval(&e).unwrap();
+        for workers in [None, Some(2)] {
+            let mut ev = Evaluator::new(&ws, &src).with_relevance_cancel();
+            if let Some(w) = workers {
+                ev = ev.with_concurrent_fetch(w);
+            }
+            let report = ev.eval(&e).unwrap();
+            // Same rows, fewer downloads: /i/a and /i/c can never join
+            // into an output tuple once σ[Items.Name='b'] is residual.
+            assert_eq!(report.relation.sorted(), plain.relation.sorted());
+            assert_eq!(report.page_accesses, 2, "entry + /i/b only");
+            assert_eq!(report.cancelled, vec![Url::new("/i/a"), Url::new("/i/c")]);
+            // Cancelled-as-irrelevant is not missing data.
+            assert!(report.unreachable.is_empty());
+            assert!(report.is_complete());
+            // The cost model is untouched by relevance pruning.
+            assert_eq!(report.cost_model_accesses(), plain.cost_model_accesses());
+        }
+    }
+
+    #[test]
+    fn relevance_prunes_on_row_path_too() {
+        let ws = scheme();
+        let src = source();
+        let e = nav().select(Pred::eq("Items.Name", "b"));
+        let report = Evaluator::new(&ws, &src)
+            .row_path()
+            .with_relevance_cancel()
+            .eval(&e)
+            .unwrap();
+        assert_eq!(report.relation.len(), 1);
+        assert_eq!(report.page_accesses, 2);
+        assert_eq!(report.cancelled, vec![Url::new("/i/a"), Url::new("/i/c")]);
+    }
+
+    #[test]
+    fn relevance_never_prunes_on_page_side_predicates() {
+        let ws = scheme();
+        let src = source();
+        // σ binds to a *page-side* column: nothing is provably dead
+        // before the fetch, so every page is still downloaded.
+        let e = nav().select(Pred::eq("ItemPage.Kind", "x"));
+        let report = Evaluator::new(&ws, &src)
+            .with_relevance_cancel()
+            .eval(&e)
+            .unwrap();
+        assert_eq!(report.relation.len(), 2);
+        assert_eq!(report.page_accesses, 4);
+        assert!(report.cancelled.is_empty());
+    }
+
+    #[test]
+    fn relevance_prunes_join_keys_via_semijoin_residual() {
+        let ws = scheme();
+        let src = source();
+        // Left side keeps only row "b"; joining on the link column makes
+        // the right-side follow relevant for /i/b alone.
+        let left = NalgExpr::entry("ListPage")
+            .unnest("Items")
+            .select(Pred::eq("Name", "b"));
+        let right = NalgExpr::entry_as("ListPage", "L2")
+            .unnest("Items")
+            .follow("ToItem", "ItemPage");
+        let e = left.join(right, vec![("ListPage.Items.ToItem", "L2.Items.ToItem")]);
+        let plain = Evaluator::new(&ws, &src).eval(&e).unwrap();
+        let report = Evaluator::new(&ws, &src)
+            .with_relevance_cancel()
+            .eval(&e)
+            .unwrap();
+        assert_eq!(report.relation.sorted(), plain.relation.sorted());
+        assert_eq!(plain.page_accesses, 4, "entry + all three items");
+        assert_eq!(report.page_accesses, 2, "entry + /i/b only");
+        assert_eq!(report.cancelled, vec![Url::new("/i/a"), Url::new("/i/c")]);
+    }
+
+    #[test]
+    fn hedged_fetch_wins_without_touching_page_accesses() {
+        let ws = scheme();
+        // First attempt on /i/b hangs 50ms; the hedge launched after 1ms
+        // is served immediately and wins.
+        let src = slow(&["/i/b"], 50, true);
+        let cfg = crate::fetch::HedgeConfig::new(1_000);
+        let (hedges, wins) = (cfg.hedges.clone(), cfg.hedge_wins.clone());
+        let report = Evaluator::new(&ws, &src)
+            .with_concurrent_fetch(2)
+            .with_hedging(cfg)
+            .eval(&nav())
+            .unwrap();
+        assert_eq!(report.relation.len(), 3);
+        assert!(report.is_complete());
+        assert_eq!(hedges.get(), 1);
+        assert_eq!(wins.get(), 1);
+        // The paper's counters never see the backup fetch.
+        assert_eq!(report.page_accesses, 4);
+        assert_eq!(report.cost_model_accesses(), 4);
+    }
+
+    #[test]
+    fn infinite_deadline_and_token_change_nothing() {
+        let ws = scheme();
+        let src = source();
+        let e = nav().select(Pred::eq("Kind", "x"));
+        let plain = Evaluator::new(&ws, &src).eval(&e).unwrap();
+        for workers in [None, Some(3)] {
+            let mut ev = Evaluator::new(&ws, &src)
+                .with_deadline(obs::Deadline::infinite())
+                .with_cancel_token(obs::CancelToken::new());
+            if let Some(w) = workers {
+                ev = ev.with_concurrent_fetch(w);
+            }
+            let report = ev.eval(&e).unwrap();
+            assert_eq!(report.relation.sorted(), plain.relation.sorted());
+            assert_eq!(report.page_accesses, plain.page_accesses);
+            assert_eq!(report.cache_hits, plain.cache_hits);
+            assert_eq!(report.accesses_by_operator, plain.accesses_by_operator);
+            assert!(!report.deadline_exceeded);
+            assert!(report.cancelled.is_empty());
+        }
+    }
+
+    #[test]
+    fn pooled_entry_fetch_respects_the_deadline() {
+        let ws = scheme();
+        // The entry GET itself is the laggard: 50ms against a 5ms budget.
+        let src = slow(&["/list.html"], 50, false);
+        let deadline = obs::Deadline::after_us(5_000);
+        // The ambient context carries the same deadline the evaluator
+        // enforces — exactly how the serving layer installs it — so the
+        // in-flight simulated wait is severed when the budget fires.
+        let ctx = obs::reqctx::RequestCtx {
+            sink: obs::trace::TraceSink::with_seed(0),
+            parent: 0,
+            request_id: 0,
+            clock: obs::reqctx::FetchClock::new(),
+            deadline,
+            cancel: None,
+        };
+        let t0 = std::time::Instant::now();
+        let report = obs::reqctx::with_ctx(Some(ctx), || {
+            Evaluator::new(&ws, &src)
+                .with_concurrent_fetch(2)
+                .with_deadline(deadline)
+                .eval(&nav())
+        })
+        .unwrap();
+        assert!(report.deadline_exceeded);
+        assert_eq!(report.relation.len(), 0);
+        assert!(report.unreachable.contains(&Url::new("/list.html")));
+        assert!(
+            t0.elapsed() < std::time::Duration::from_millis(45),
+            "an in-flight entry tail must not block the session past the budget"
+        );
+    }
+
+    #[test]
+    fn entry_fetch_is_hedged_too() {
+        let ws = scheme();
+        // First attempt on the entry page hangs 50ms; the backup launched
+        // after 1ms is served immediately and wins.
+        let src = slow(&["/list.html"], 50, true);
+        let cfg = crate::fetch::HedgeConfig::new(1_000);
+        let (hedges, wins) = (cfg.hedges.clone(), cfg.hedge_wins.clone());
+        let report = Evaluator::new(&ws, &src)
+            .with_concurrent_fetch(2)
+            .with_hedging(cfg)
+            .eval(&nav())
+            .unwrap();
+        assert_eq!(report.relation.len(), 3);
+        assert!(report.is_complete());
+        assert!(hedges.get() >= 1);
+        assert!(wins.get() >= 1);
+        assert_eq!(report.page_accesses, 4, "the backup GET is never charged");
     }
 }

@@ -30,10 +30,15 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
 /// A fetch request: the URL and the page-scheme it is expected to match.
+/// `epoch` tags the drain the job belongs to (a deadline-aborted drain
+/// may leave stale completions in the channel; later drains skip them by
+/// epoch), `hedge` marks a tail-tolerant backup fetch.
 #[derive(Debug)]
 struct Job {
     url: Url,
     scheme: String,
+    epoch: u64,
+    hedge: bool,
 }
 
 /// The result of one page fetch: the wrapped tuple plus the source's
@@ -41,10 +46,13 @@ struct Job {
 pub(crate) type FetchOutcome = Result<(Tuple, Option<u64>), SourceError>;
 
 /// A completed fetch: the wrapped tuple plus the source's Last-Modified
-/// stamp when known.
+/// stamp when known. Carries the submitting drain's `epoch` and whether
+/// this completion came from a hedge job.
 pub(crate) struct Done {
     pub url: Url,
     pub outcome: FetchOutcome,
+    pub epoch: u64,
+    pub hedge: bool,
 }
 
 /// Handle to a running pool. Only valid inside [`with_pool`]'s closure;
@@ -60,7 +68,21 @@ impl FetchPool {
     /// surface that as a source error rather than panic.
     #[must_use]
     pub(crate) fn submit(&self, url: Url, scheme: String) -> bool {
-        self.job_tx.send(Job { url, scheme }).is_ok()
+        self.submit_tagged(url, scheme, 0, false)
+    }
+
+    /// Like [`FetchPool::submit`], tagging the job with the submitting
+    /// drain's epoch and whether it is a hedge.
+    #[must_use]
+    pub(crate) fn submit_tagged(&self, url: Url, scheme: String, epoch: u64, hedge: bool) -> bool {
+        self.job_tx
+            .send(Job {
+                url,
+                scheme,
+                epoch,
+                hedge,
+            })
+            .is_ok()
     }
 
     /// Blocks for the next completion, in arrival (not submission) order.
@@ -69,6 +91,17 @@ impl FetchPool {
     #[must_use]
     pub(crate) fn recv(&self) -> Option<Done> {
         self.done_rx.recv().ok()
+    }
+
+    /// Bounded-wait [`FetchPool::recv`]: `Ok` on a completion,
+    /// `Err(true)` when `timeout` elapsed first, `Err(false)` when the
+    /// pool shut down.
+    pub(crate) fn recv_timeout(&self, timeout: std::time::Duration) -> Result<Done, bool> {
+        use crossbeam::channel::RecvTimeoutError;
+        self.done_rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => true,
+            RecvTimeoutError::Disconnected => false,
+        })
     }
 }
 
@@ -90,6 +123,7 @@ pub(crate) fn with_pool<S, R>(
     workers: usize,
     trace: Option<&TraceSink>,
     trace_parent: Option<u64>,
+    cancel: Option<&obs::CancelToken>,
     f: impl FnOnce(&FetchPool) -> R,
 ) -> R
 where
@@ -110,6 +144,7 @@ where
             let terminals = &terminals;
             let traced = trace.is_some();
             let reqctx = reqctx.clone();
+            let cancel = cancel.cloned();
             scope.spawn(move || {
                 let clock = reqctx.as_ref().map(|c| c.clock.clone());
                 obs::reqctx::with_ctx(reqctx, || {
@@ -117,10 +152,19 @@ where
                     let mut reason = "drained";
                     while let Ok(job) = job_rx.recv() {
                         let t0 = clock.as_ref().map(|_| std::time::Instant::now());
+                        // Cooperative cancellation, checked before dispatch:
+                        // a cancelled job never reaches the source, so the
+                        // server sees no GET for it. A fetch already inside
+                        // the source runs to completion (and is counted).
+                        let skip = cancel
+                            .as_ref()
+                            .is_some_and(|t| t.is_url_cancelled(job.url.as_str()));
                         // A panicking source must not take the worker (and with
                         // it the whole process, via the scope join) down: catch
                         // it and report the job as a source error instead.
-                        let outcome =
+                        let outcome = if skip {
+                            Err(SourceError::Cancelled(job.url.clone()))
+                        } else {
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                 source.fetch_stamped(&job.url, &job.scheme)
                             }))
@@ -131,7 +175,8 @@ where
                                     .or_else(|| payload.downcast_ref::<String>().cloned())
                                     .unwrap_or_else(|| "unknown panic".to_string());
                                 Err(SourceError::Other(format!("fetch worker panicked: {msg}")))
-                            });
+                            })
+                        };
                         if let (Some(clock), Some(t0)) = (&clock, t0) {
                             clock.add_us(t0.elapsed().as_micros() as u64);
                         }
@@ -140,6 +185,8 @@ where
                             .send(Done {
                                 url: job.url,
                                 outcome,
+                                epoch: job.epoch,
+                                hedge: job.hedge,
                             })
                             .is_err()
                         {
@@ -180,6 +227,40 @@ where
         }
     }
     result
+}
+
+/// Hedged-GET configuration for the evaluator's pooled drain loop:
+/// after `delay_us` without a completion, one backup fetch is launched
+/// for the laggard; first response wins and the loser is cancelled
+/// through the evaluator's [`obs::CancelToken`].
+///
+/// The counters are [`obs::Counter`] handles so a resilience policy can
+/// hand in its registry-backed cells and observe hedge activity in
+/// `ResilienceSnapshot` directly; hedge completions are **never**
+/// charged to `page_accesses` (only the first completion per URL is),
+/// keeping the paper's counters exact.
+#[derive(Debug, Clone)]
+pub struct HedgeConfig {
+    /// Delay before launching the backup fetch, microseconds.
+    pub delay_us: u64,
+    /// Backup fetches launched.
+    pub hedges: obs::Counter,
+    /// Hedges whose response arrived before the primary's.
+    pub hedge_wins: obs::Counter,
+    /// Losing twins cancelled before dispatch (no server GET happened).
+    pub hedge_cancelled: obs::Counter,
+}
+
+impl HedgeConfig {
+    /// A config with fresh, unregistered counters.
+    pub fn new(delay_us: u64) -> Self {
+        HedgeConfig {
+            delay_us,
+            hedges: obs::Counter::new(),
+            hedge_wins: obs::Counter::new(),
+            hedge_cancelled: obs::Counter::new(),
+        }
+    }
 }
 
 /// One in-flight fetch: followers park on the condvar until the leader
@@ -224,12 +305,18 @@ pub struct CoalesceStats {
     pub followers: u64,
     /// Followers woken early by [`CoalescingSource::shutdown`].
     pub shutdown_wakes: u64,
+    /// Followers that stopped waiting on their own: their request's
+    /// deadline expired or their URL was cancelled while they were
+    /// parked on a leader.
+    pub cancel_wakes: u64,
 }
 
 impl CoalesceStats {
     /// Server GETs avoided: one per follower that shared a leader's fetch.
     pub fn saved_gets(&self) -> u64 {
-        self.followers.saturating_sub(self.shutdown_wakes)
+        self.followers
+            .saturating_sub(self.shutdown_wakes)
+            .saturating_sub(self.cancel_wakes)
     }
 }
 
@@ -252,6 +339,7 @@ pub struct CoalescingSource<'a, S> {
     leaders: AtomicU64,
     followers: AtomicU64,
     shutdown_wakes: AtomicU64,
+    cancel_wakes: AtomicU64,
 }
 
 impl<'a, S: PageSource + Sync> CoalescingSource<'a, S> {
@@ -264,14 +352,16 @@ impl<'a, S: PageSource + Sync> CoalescingSource<'a, S> {
             leaders: AtomicU64::new(0),
             followers: AtomicU64::new(0),
             shutdown_wakes: AtomicU64::new(0),
+            cancel_wakes: AtomicU64::new(0),
         }
     }
 
     /// Shuts the coalescer down: every *waiting follower* is woken
-    /// immediately with a clean [`SourceError::Unavailable`] (no hang, no
-    /// panic), and subsequent fetches fail fast with the same error.
-    /// Leaders already executing their inner fetch run to completion and
-    /// return their own result.
+    /// immediately with a clean [`SourceError::Cancelled`] (no hang, no
+    /// panic, and distinguishable from a transient server failure so
+    /// degradation layers do not retry it), and subsequent fetches fail
+    /// fast with the same error. Leaders already executing their inner
+    /// fetch run to completion and return their own result.
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         let flights: Vec<(Url, Arc<Flight>)> = {
@@ -279,10 +369,7 @@ impl<'a, S: PageSource + Sync> CoalescingSource<'a, S> {
             map.drain().collect()
         };
         for (url, flight) in flights {
-            flight.publish(Err(SourceError::Unavailable {
-                url,
-                reason: "fetch coalescer shut down".to_string(),
-            }));
+            flight.publish(Err(SourceError::Cancelled(url)));
         }
     }
 
@@ -297,6 +384,7 @@ impl<'a, S: PageSource + Sync> CoalescingSource<'a, S> {
             leaders: self.leaders.load(Ordering::SeqCst),
             followers: self.followers.load(Ordering::SeqCst),
             shutdown_wakes: self.shutdown_wakes.load(Ordering::SeqCst),
+            cancel_wakes: self.cancel_wakes.load(Ordering::SeqCst),
         }
     }
 
@@ -338,17 +426,46 @@ impl<'a, S: PageSource + Sync> CoalescingSource<'a, S> {
         outcome
     }
 
-    fn follow_flight(&self, flight: &Arc<Flight>) -> FetchOutcome {
+    fn follow_flight(&self, url: &Url, flight: &Arc<Flight>) -> FetchOutcome {
         self.followers.fetch_add(1, Ordering::SeqCst);
+        let ctx = obs::reqctx::current();
+        // Followers with a finite deadline or a cancel token in scope
+        // poll in short quanta so a budget exhaustion / relevance
+        // cancellation wakes them without waiting out the leader; all
+        // others park on the condvar for free exactly as before.
+        let watches = ctx
+            .as_ref()
+            .is_some_and(|c| c.deadline.is_finite() || c.cancel.is_some());
         let mut slot = flight.slot.lock().unwrap_or_else(|e| e.into_inner());
         while slot.is_none() {
-            slot = flight.cv.wait(slot).unwrap_or_else(|e| e.into_inner());
+            if watches {
+                let c = ctx.as_ref().expect("watches implies ctx");
+                let cancelled = c
+                    .cancel
+                    .as_ref()
+                    .is_some_and(|t| t.is_url_cancelled(url.as_str()));
+                if cancelled || c.deadline.expired() {
+                    drop(slot);
+                    self.cancel_wakes.fetch_add(1, Ordering::SeqCst);
+                    return Err(SourceError::Cancelled(url.clone()));
+                }
+                let quantum = c
+                    .deadline
+                    .remaining()
+                    .unwrap_or(std::time::Duration::from_millis(1))
+                    .min(std::time::Duration::from_millis(1))
+                    .max(std::time::Duration::from_micros(50));
+                let (s, _) = flight
+                    .cv
+                    .wait_timeout(slot, quantum)
+                    .unwrap_or_else(|e| e.into_inner());
+                slot = s;
+            } else {
+                slot = flight.cv.wait(slot).unwrap_or_else(|e| e.into_inner());
+            }
         }
         let outcome = slot.as_ref().expect("published").clone();
-        if matches!(
-            &outcome,
-            Err(SourceError::Unavailable { reason, .. }) if reason == "fetch coalescer shut down"
-        ) {
+        if matches!(&outcome, Err(SourceError::Cancelled(_))) {
             self.shutdown_wakes.fetch_add(1, Ordering::SeqCst);
         }
         outcome
@@ -362,10 +479,7 @@ impl<S: PageSource + Sync> PageSource for CoalescingSource<'_, S> {
 
     fn fetch_stamped(&self, url: &Url, scheme: &str) -> FetchOutcome {
         if self.is_shut_down() {
-            return Err(SourceError::Unavailable {
-                url: url.clone(),
-                reason: "fetch coalescer shut down".to_string(),
-            });
+            return Err(SourceError::Cancelled(url.clone()));
         }
         let ctx = obs::reqctx::current();
         let (flight, is_leader) = {
@@ -399,7 +513,7 @@ impl<S: PageSource + Sync> PageSource for CoalescingSource<'_, S> {
             self.lead(url, scheme, &flight)
         } else {
             let t0 = ctx.as_ref().map(|_| std::time::Instant::now());
-            let outcome = self.follow_flight(&flight);
+            let outcome = self.follow_flight(url, &flight);
             if let Some(ctx) = &ctx {
                 // The coalesced wait is attributed, not invisible: the
                 // follower's own request records where the time went and
@@ -447,7 +561,7 @@ mod tests {
     #[test]
     fn pool_serves_multiple_batches_with_same_workers() {
         let src = CountingSource(AtomicUsize::new(0));
-        let total = with_pool(&src, 4, None, None, |pool| {
+        let total = with_pool(&src, 4, None, None, None, |pool| {
             let mut done = 0;
             for batch in 0..3 {
                 for i in 0..10 {
@@ -468,7 +582,7 @@ mod tests {
     #[test]
     fn completions_report_not_found() {
         let src = CountingSource(AtomicUsize::new(0));
-        with_pool(&src, 2, None, None, |pool| {
+        with_pool(&src, 2, None, None, None, |pool| {
             assert!(pool.submit(Url::new("/ok"), "P".into()));
             assert!(pool.submit(Url::new("/missing"), "P".into()));
             let outcomes: Vec<_> = (0..2)
@@ -486,7 +600,7 @@ mod tests {
         let src = CountingSource(AtomicUsize::new(0));
         // Submit work but consume only part of it; dropping the pool must
         // still terminate the workers (scope join would hang otherwise).
-        with_pool(&src, 3, None, None, |pool| {
+        with_pool(&src, 3, None, None, None, |pool| {
             for i in 0..20 {
                 assert!(pool.submit(Url::new(format!("/{i}")), "P".into()));
             }
@@ -510,7 +624,7 @@ mod tests {
     fn terminal_events_distinguish_drained_from_abandoned() {
         let sink = TraceSink::with_seed(1);
         let src = CountingSource(AtomicUsize::new(0));
-        with_pool(&src, 3, Some(&sink), None, |pool| {
+        with_pool(&src, 3, Some(&sink), None, None, |pool| {
             for i in 0..6 {
                 assert!(pool.submit(Url::new(format!("/{i}")), "P".into()));
             }
@@ -542,7 +656,7 @@ mod tests {
             }
         }
         let sink = TraceSink::with_seed(1);
-        with_pool(&SlowSource, 2, Some(&sink), None, |pool| {
+        with_pool(&SlowSource, 2, Some(&sink), None, None, |pool| {
             for i in 0..50 {
                 assert!(pool.submit(Url::new(format!("/{i}")), "P".into()));
             }
@@ -676,16 +790,16 @@ mod tests {
             coalesced.shutdown();
             for f in followers {
                 match f.join().expect("no panic") {
-                    Err(SourceError::Unavailable { reason, .. }) => {
-                        assert!(reason.contains("shut down"), "got: {reason}");
+                    Err(SourceError::Cancelled(url)) => {
+                        assert_eq!(url.as_str(), "/slow");
                     }
-                    other => panic!("follower should see shutdown error, got {other:?}"),
+                    other => panic!("follower should see Cancelled on shutdown, got {other:?}"),
                 }
             }
             // New fetches fail fast rather than hanging.
             assert!(matches!(
                 coalesced.fetch_stamped(&Url::new("/other"), "P"),
-                Err(SourceError::Unavailable { .. })
+                Err(SourceError::Cancelled(_))
             ));
             // The in-flight leader still completes normally.
             release_tx.send(()).unwrap();
@@ -734,11 +848,115 @@ mod tests {
         });
     }
 
+    /// The leader-panic + follower-cancel race: a follower whose URL is
+    /// cancelled while it waits must wake itself with `Cancelled` even
+    /// though the leader later panics (whose Retire guard publishes a
+    /// leader-panic error into the same flight). Neither signal may hang
+    /// or panic the follower, and the flight must still retire cleanly.
+    #[test]
+    fn leader_panic_races_follower_cancellation() {
+        use obs::reqctx::{with_ctx, FetchClock, RequestCtx};
+
+        struct PanicAfterSignal {
+            entered_tx: crossbeam::channel::Sender<()>,
+            release_rx: crossbeam::channel::Receiver<()>,
+        }
+        impl PageSource for PanicAfterSignal {
+            fn fetch(&self, _url: &Url, _scheme: &str) -> Result<Tuple, SourceError> {
+                self.entered_tx.send(()).unwrap();
+                self.release_rx.recv().unwrap();
+                panic!("leader exploded");
+            }
+        }
+        let (entered_tx, entered_rx) = unbounded();
+        let (release_tx, release_rx) = unbounded();
+        let src = PanicAfterSignal {
+            entered_tx,
+            release_rx,
+        };
+        let coalesced = CoalescingSource::new(&src);
+        let token = obs::CancelToken::new();
+        let follower_ctx = RequestCtx {
+            sink: TraceSink::with_seed(9),
+            parent: 1,
+            request_id: 9,
+            clock: FetchClock::new(),
+            deadline: obs::Deadline::infinite(),
+            cancel: Some(token.clone()),
+        };
+        std::thread::scope(|scope| {
+            let leader = scope.spawn(|| {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    coalesced.fetch_stamped(&Url::new("/race"), "P")
+                }))
+            });
+            entered_rx.recv().unwrap(); // leader is inside the source
+            let fc = follower_ctx.clone();
+            let follower = scope.spawn(|| {
+                with_ctx(Some(fc), || {
+                    coalesced.fetch_stamped(&Url::new("/race"), "P")
+                })
+            });
+            await_followers(&coalesced, 1);
+            // Cancel the follower's URL while the leader is still stuck,
+            // then let the leader blow up: both wake paths fire.
+            token.cancel_url("/race");
+            release_tx.send(()).unwrap();
+            assert!(leader.join().unwrap().is_err(), "leader unwound");
+            match follower.join().expect("follower must not hang or panic") {
+                Err(SourceError::Cancelled(url)) => assert_eq!(url.as_str(), "/race"),
+                // The leader's panic may win the race; that error is
+                // clean too — but it must be one of exactly these two.
+                Err(SourceError::Other(m)) => assert!(m.contains("panicked"), "got: {m}"),
+                other => panic!("expected Cancelled or leader-panic error, got {other:?}"),
+            }
+        });
+        // The retired flight leaves no residue and new fetches still work
+        // (they will fail by panicking source, but the map must be empty).
+        assert!(coalesced
+            .flights
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_empty());
+    }
+
+    /// Pool workers honor the cancel token: a job whose URL is cancelled
+    /// before a worker picks it up never reaches the source and completes
+    /// with `Cancelled`.
+    #[test]
+    fn pool_workers_skip_cancelled_jobs_without_touching_source() {
+        let src = CountingSource(AtomicUsize::new(0));
+        let token = obs::CancelToken::new();
+        token.cancel_url("/dead");
+        with_pool(&src, 2, None, None, Some(&token), |pool| {
+            assert!(pool.submit(Url::new("/live"), "P".into()));
+            assert!(pool.submit(Url::new("/dead"), "P".into()));
+            let outcomes: Vec<_> = (0..2)
+                .map(|_| {
+                    let d = pool.recv().expect("pool alive");
+                    (d.url, d.outcome)
+                })
+                .collect();
+            for (url, outcome) in outcomes {
+                if url.as_str() == "/dead" {
+                    assert!(matches!(outcome, Err(SourceError::Cancelled(_))));
+                } else {
+                    assert!(outcome.is_ok());
+                }
+            }
+        });
+        assert_eq!(
+            src.0.load(Ordering::SeqCst),
+            1,
+            "the cancelled job must not reach the source"
+        );
+    }
+
     #[test]
     fn coalescing_composes_with_the_fetch_pool() {
         let src = CountingSource(AtomicUsize::new(0));
         let coalesced = CoalescingSource::new(&src);
-        let total = with_pool(&coalesced, 4, None, None, |pool| {
+        let total = with_pool(&coalesced, 4, None, None, None, |pool| {
             for _ in 0..4 {
                 for i in 0..5 {
                     assert!(pool.submit(Url::new(format!("/{i}")), "P".into()));
@@ -767,6 +985,8 @@ mod tests {
             parent: req * 100,
             request_id: req,
             clock: FetchClock::new(),
+            deadline: obs::Deadline::infinite(),
+            cancel: None,
         };
         let (leader_ctx, follower_ctx) = (ctx(1), ctx(2));
 
@@ -806,7 +1026,7 @@ mod tests {
 
     #[test]
     fn worker_panic_surfaces_as_source_error() {
-        with_pool(&PanickySource, 2, None, None, |pool| {
+        with_pool(&PanickySource, 2, None, None, None, |pool| {
             assert!(pool.submit(Url::new("/ok"), "P".into()));
             assert!(pool.submit(Url::new("/boom"), "P".into()));
             assert!(pool.submit(Url::new("/ok2"), "P".into()));

@@ -50,7 +50,7 @@ pub use eval::{
     SourceError,
 };
 pub use expr::{NalgExpr, Pred};
-pub use fetch::{CoalesceStats, CoalescingSource};
+pub use fetch::{CoalesceStats, CoalescingSource, HedgeConfig};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, EvalError>;

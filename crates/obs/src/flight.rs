@@ -36,6 +36,9 @@ pub enum TriggerKind {
     ViewDegraded,
     /// The request's latency exceeded the SLO threshold.
     SloBreach,
+    /// The request's deadline budget ran out mid-evaluation and it
+    /// browned out to a partial answer.
+    BudgetExhausted,
 }
 
 impl TriggerKind {
@@ -46,14 +49,16 @@ impl TriggerKind {
             TriggerKind::ConstraintFallback => "constraint_fallback",
             TriggerKind::ViewDegraded => "view_degraded",
             TriggerKind::SloBreach => "slo_breach",
+            TriggerKind::BudgetExhausted => "budget_exhausted",
         }
     }
 
-    const ALL: [TriggerKind; 4] = [
+    const ALL: [TriggerKind; 5] = [
         TriggerKind::Shed,
         TriggerKind::ConstraintFallback,
         TriggerKind::ViewDegraded,
         TriggerKind::SloBreach,
+        TriggerKind::BudgetExhausted,
     ];
 }
 

@@ -25,10 +25,14 @@
 //! * [`reqctx`] — ambient per-request context so the fetch layer
 //!   (coalescing, pool workers, upqueries) can attribute work to the
 //!   request it serves without any API threading.
+//! * [`deadline`] — per-request wall-clock budgets ([`Deadline`]) and
+//!   cooperative per-URL cancellation ([`CancelToken`]) threaded through
+//!   the same ambient context.
 //!
 //! Everything is offline-shim compatible: the only dependency is the
 //! workspace `parking_lot` shim.
 
+pub mod deadline;
 pub mod flight;
 pub mod hist;
 pub mod metrics;
@@ -36,6 +40,7 @@ pub mod reqctx;
 pub mod slo;
 pub mod trace;
 
+pub use deadline::{CancelToken, Deadline};
 pub use flight::{FlightDump, FlightRecorder, PhaseBreakdown, RequestTrace, TriggerKind};
 pub use hist::FixedHistogram;
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};

@@ -15,6 +15,7 @@
 //! the fetch layer does no extra work — tracing off stays free, and
 //! results never depend on it.
 
+use crate::deadline::{CancelToken, Deadline};
 use crate::trace::TraceSink;
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -59,6 +60,12 @@ pub struct RequestCtx {
     pub request_id: u64,
     /// Where fetch time is charged.
     pub clock: FetchClock,
+    /// The request's remaining wall-clock budget; infinite when no
+    /// latency objective is configured.
+    pub deadline: Deadline,
+    /// Cooperative cancellation for in-flight fetches, if the request
+    /// opted into relevance-driven cancellation.
+    pub cancel: Option<CancelToken>,
 }
 
 thread_local! {
@@ -97,6 +104,8 @@ mod tests {
             parent: 1,
             request_id: req,
             clock: FetchClock::new(),
+            deadline: Deadline::infinite(),
+            cancel: None,
         }
     }
 

@@ -1,0 +1,126 @@
+//! Hedged fetches: tail-latency insurance for pooled navigation.
+//!
+//! A hedge races a single backup GET against a laggard primary: once a
+//! pooled fetch has been in flight longer than the policy's delay —
+//! typically a high quantile of the site's observed latency — one backup
+//! is launched and the first response wins. The loser is cancelled
+//! cooperatively; when the cancel lands before a worker dispatches it,
+//! the origin server never sees the duplicate GET.
+//!
+//! **Counter separation.** Hedge activity is recorded here, in the
+//! `resilience`-prefixed registry ([`crate::ResilienceSnapshot::hedges`]
+//! and friends), and *never* in the paper's `page_accesses`: the
+//! evaluator charges one download per URL no matter how many twins raced
+//! (see `nalg::eval`). The experiments' cost-model numbers are identical
+//! with hedging on or off.
+
+use crate::stats::StatCells;
+use crate::ResilienceSnapshot;
+
+/// When to launch a backup fetch for a laggard, and the counters that
+/// record what hedging did.
+///
+/// The delay is jittered deterministically from
+/// [`HedgePolicy::jitter_seed`] (a ±12.5% spread) so that a fleet of
+/// evaluators sharing one configured delay does not launch its backups
+/// in lockstep, while any single seeded run stays reproducible.
+#[derive(Debug)]
+pub struct HedgePolicy {
+    /// Base in-flight time (µs) before one backup fetch is launched.
+    pub delay_us: u64,
+    /// Seed of the deterministic jitter applied to the delay.
+    pub jitter_seed: u64,
+    cells: StatCells,
+}
+
+impl HedgePolicy {
+    /// A policy that hedges after `delay_us` microseconds in flight.
+    pub fn new(delay_us: u64) -> Self {
+        HedgePolicy {
+            delay_us,
+            jitter_seed: 0,
+            cells: StatCells::default(),
+        }
+    }
+
+    /// Seeds the delay jitter stream.
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// The jittered delay actually used: `delay_us` ± 12.5%, derived
+    /// deterministically from the seed (seed 0 means no jitter).
+    pub fn effective_delay_us(&self) -> u64 {
+        if self.jitter_seed == 0 || self.delay_us == 0 {
+            return self.delay_us;
+        }
+        // splitmix64 over the seed; spread in [-delay/8, +delay/8].
+        let mut z = self.jitter_seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let span = (self.delay_us / 8).max(1);
+        let offset = z % (2 * span);
+        (self.delay_us + offset).saturating_sub(span).max(1)
+    }
+
+    /// The evaluator-side configuration: the jittered delay plus clones
+    /// of this policy's registry-backed counters, so hedge activity in
+    /// `nalg` lands in [`ResilienceSnapshot`] directly (obs counters are
+    /// shared cells, not copies).
+    pub fn config(&self) -> nalg::HedgeConfig {
+        nalg::HedgeConfig {
+            delay_us: self.effective_delay_us(),
+            hedges: self.cells.hedges.clone(),
+            hedge_wins: self.cells.hedge_wins.clone(),
+            hedge_cancelled: self.cells.hedge_cancelled.clone(),
+        }
+    }
+
+    /// A point-in-time copy of the hedge counters (the non-hedge fields
+    /// of the snapshot are always zero for a standalone policy).
+    pub fn snapshot(&self) -> ResilienceSnapshot {
+        self.cells.snapshot()
+    }
+
+    /// Renders the policy's counters in Prometheus text format under the
+    /// `resilience` prefix.
+    pub fn render_prometheus(&self) -> String {
+        self.cells.registry().render_prometheus()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_delay_is_deterministic_and_bounded() {
+        let p = HedgePolicy::new(8_000).with_jitter_seed(42);
+        let d = p.effective_delay_us();
+        assert_eq!(
+            d,
+            HedgePolicy::new(8_000)
+                .with_jitter_seed(42)
+                .effective_delay_us()
+        );
+        assert!((7_000..=9_000).contains(&d), "±12.5% spread, got {d}");
+        // Seed 0 disables jitter entirely.
+        assert_eq!(HedgePolicy::new(8_000).effective_delay_us(), 8_000);
+    }
+
+    #[test]
+    fn config_shares_the_policy_counters() {
+        let p = HedgePolicy::new(500);
+        let cfg = p.config();
+        cfg.hedges.inc();
+        cfg.hedge_wins.inc();
+        let snap = p.snapshot();
+        assert_eq!(snap.hedges, 1);
+        assert_eq!(snap.hedge_wins, 1);
+        assert_eq!(snap.hedge_cancelled, 0);
+        assert!(!snap.is_quiet());
+        assert!(p.render_prometheus().contains("resilience_hedges 1"));
+    }
+}

@@ -19,6 +19,10 @@
 //!   errors transparently;
 //! * [`ResilientServer`] — wraps any [`websim::PageServer`] so
 //!   materialized-view URL-checks and refreshes get the same treatment;
+//! * [`HedgePolicy`] — tail-latency hedging for pooled fetches: after a
+//!   (seeded, jittered) delay — typically a high latency quantile — one
+//!   backup GET races the laggard, first response wins, and the loser is
+//!   cancelled cooperatively through an [`obs::CancelToken`];
 //! * [`AdmissionControl`] — a bounded-concurrency gate for serving
 //!   layers: at most `capacity` sessions hold permits at a time, and
 //!   requests beyond the limit are shed (answered as empty partial
@@ -41,6 +45,7 @@ pub mod admission;
 pub mod breaker;
 mod govern;
 pub mod health;
+pub mod hedge;
 pub mod policy;
 pub mod server;
 pub mod source;
@@ -49,7 +54,12 @@ pub mod stats;
 pub use admission::{AdmissionControl, AdmissionPermit, AdmissionStats};
 pub use breaker::{BreakerConfig, BreakerState};
 pub use health::{ConstraintHealth, ConstraintHealthSnapshot};
+pub use hedge::HedgePolicy;
 pub use policy::RetryPolicy;
 pub use server::ResilientServer;
 pub use source::ResilientSource;
 pub use stats::ResilienceSnapshot;
+// Deadline budgets and cooperative cancellation live in `obs` (they are
+// ambient request state), but they are resilience mechanisms — re-export
+// them so serving code can configure everything from one place.
+pub use obs::{CancelToken, Deadline};

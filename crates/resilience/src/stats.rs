@@ -24,6 +24,9 @@ pub(crate) struct StatCells {
     pub budget_exhausted: Counter,
     pub backoff_us: Counter,
     pub slow_responses: Counter,
+    pub hedges: Counter,
+    pub hedge_wins: Counter,
+    pub hedge_cancelled: Counter,
 }
 
 impl Default for StatCells {
@@ -37,6 +40,9 @@ impl Default for StatCells {
             budget_exhausted: registry.counter("budget_exhausted"),
             backoff_us: registry.counter("backoff_us"),
             slow_responses: registry.counter("slow_responses"),
+            hedges: registry.counter("hedges"),
+            hedge_wins: registry.counter("hedge_wins"),
+            hedge_cancelled: registry.counter("hedge_cancelled"),
             registry,
         }
     }
@@ -56,6 +62,9 @@ impl StatCells {
             budget_exhausted: self.budget_exhausted.get(),
             backoff_us: self.backoff_us.get(),
             slow_responses: self.slow_responses.get(),
+            hedges: self.hedges.get(),
+            hedge_wins: self.hedge_wins.get(),
+            hedge_cancelled: self.hedge_cancelled.get(),
         }
     }
 
@@ -67,6 +76,9 @@ impl StatCells {
         self.budget_exhausted.reset();
         self.backoff_us.reset();
         self.slow_responses.reset();
+        self.hedges.reset();
+        self.hedge_wins.reset();
+        self.hedge_cancelled.reset();
     }
 }
 
@@ -87,6 +99,13 @@ pub struct ResilienceSnapshot {
     pub backoff_us: u64,
     /// Calls slower than the policy's observational request timeout.
     pub slow_responses: u64,
+    /// Backup fetches launched by a hedge policy.
+    pub hedges: u64,
+    /// Hedged fetches where the backup's response arrived first.
+    pub hedge_wins: u64,
+    /// Losing hedge twins cancelled before a worker dispatched them
+    /// (the server never saw their GET).
+    pub hedge_cancelled: u64,
 }
 
 impl ResilienceSnapshot {
@@ -107,6 +126,9 @@ impl ResilienceSnapshot {
                 .saturating_sub(earlier.budget_exhausted),
             backoff_us: self.backoff_us.saturating_sub(earlier.backoff_us),
             slow_responses: self.slow_responses.saturating_sub(earlier.slow_responses),
+            hedges: self.hedges.saturating_sub(earlier.hedges),
+            hedge_wins: self.hedge_wins.saturating_sub(earlier.hedge_wins),
+            hedge_cancelled: self.hedge_cancelled.saturating_sub(earlier.hedge_cancelled),
         }
     }
 
@@ -155,6 +177,9 @@ mod tests {
             budget_exhausted: 1,
             backoff_us: 999,
             slow_responses: 4,
+            hedges: 6,
+            hedge_wins: 2,
+            hedge_cancelled: 1,
         };
         assert!(newer.since(&earlier).is_quiet());
         // ... and a genuinely active delta is still not quiet.

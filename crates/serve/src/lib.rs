@@ -335,6 +335,70 @@ mod tests {
     }
 
     #[test]
+    fn expired_deadline_is_shed_as_partial_without_consuming_a_permit() {
+        let u = University::generate(UniversityConfig::default()).unwrap();
+        let stats = SiteStatistics::from_site(&u.site);
+        let catalog = university_catalog();
+        let source = LiveSource::for_site(&u.site);
+        let server =
+            QueryServer::new(&u.site.scheme, &catalog, &stats, &source).with_admission_capacity(1);
+        let out = server
+            .serve_with_deadline(&query("profs"), obs::Deadline::after_us(0))
+            .unwrap();
+        assert!(out.brown_out && out.shed && !out.is_complete());
+        assert!(out.outcome.is_none(), "an empty partial answer");
+        let s = server.stats();
+        assert_eq!(s.brown_outs, 1);
+        assert_eq!(s.shed, 0, "capacity shedding is a separate counter");
+        // The gate never saw the request: no permit was consumed, so a
+        // live request arriving at the same instant still gets the slot.
+        assert_eq!(s.admission.admitted, 0);
+        assert!(server.serve(&query("profs")).unwrap().is_complete());
+        assert_eq!(server.stats().admission.admitted, 1);
+    }
+
+    #[test]
+    fn generous_deadline_serves_identically_and_tight_deadline_browns_out() {
+        let u = University::generate(UniversityConfig::default()).unwrap();
+        let stats = SiteStatistics::from_site(&u.site);
+        let catalog = university_catalog();
+        let source = LiveSource::for_site(&u.site);
+        let plain = QueryServer::new(&u.site.scheme, &catalog, &stats, &source);
+        let oracle = plain.serve(&query("profs")).unwrap();
+
+        // A generous budget changes nothing observable.
+        let server = QueryServer::new(&u.site.scheme, &catalog, &stats, &source)
+            .with_deadline_budget(60_000_000);
+        let out = server.serve(&query("profs")).unwrap();
+        assert!(!out.brown_out && out.is_complete());
+        let (a, b) = (out.outcome.unwrap(), oracle.outcome.unwrap());
+        assert_eq!(a.report.relation.sorted(), b.report.relation.sorted());
+        assert_eq!(a.report.page_accesses, b.report.page_accesses);
+
+        // Slow every page: the same budget now expires mid-evaluation
+        // and the brown-out reports the exact not-yet-fetched URL set.
+        u.site
+            .server
+            .set_latency(std::time::Duration::from_millis(5));
+        let slow = QueryServer::new(&u.site.scheme, &catalog, &stats, &source)
+            .with_degradation(nalg::DegradationMode::Partial)
+            .with_deadline_budget(8_000);
+        let browned = slow.serve(&query("profs")).unwrap();
+        assert!(browned.brown_out && !browned.is_complete());
+        let report = &browned.outcome.as_ref().unwrap().report;
+        assert!(report.deadline_exceeded);
+        assert!(!report.unreachable.is_empty());
+        u.site.server.set_latency(std::time::Duration::ZERO);
+        // The browned answer is a sound partial: every row it did return
+        // also appears in the full oracle answer.
+        let full = b.report.relation.sorted();
+        for row in report.relation.rows() {
+            assert!(full.rows().contains(row));
+        }
+        assert_eq!(slow.stats().brown_outs, 1);
+    }
+
+    #[test]
     fn concurrent_serving_matches_sequential_answers() {
         let u = University::generate(UniversityConfig::default()).unwrap();
         let stats = SiteStatistics::from_site(&u.site);

@@ -127,13 +127,20 @@ pub struct ServeOutcome {
     /// scheduling delay, the server does not); `Some` exactly when
     /// tracing is on.
     pub phases: Option<PhaseBreakdown>,
+    /// True when the request's deadline budget expired: before admission
+    /// or planning (an empty partial answer, `outcome` is `None`) or
+    /// mid-evaluation (`outcome` present, its report carrying the exact
+    /// not-yet-fetched URL set in `unreachable`).
+    pub brown_out: bool,
 }
 
 impl ServeOutcome {
     /// True when the answer covers the whole query — i.e. the request was
-    /// not shed (a shed answer is an empty `Partial`-style result).
+    /// neither shed nor browned out (both degrade to `Partial`-style
+    /// results: shed is empty, a brown-out covers the pages fetched
+    /// within budget).
     pub fn is_complete(&self) -> bool {
-        !self.shed
+        !self.shed && !self.brown_out
     }
 
     /// True when a maintained view answered (no live navigation ran).
@@ -170,9 +177,16 @@ pub struct QueryServer<'a, S: PageSource + Sync> {
     tracing: Option<ServeTracing>,
     slo: Option<SloTracker>,
     recorder: Option<FlightRecorder>,
+    /// Default per-request deadline budget in µs (explicit override).
+    deadline_budget_us: Option<u64>,
+    /// Derive the default budget from the attached SLO's objective.
+    deadline_from_slo: bool,
+    hedge: Option<nalg::HedgeConfig>,
+    relevance: bool,
     registry: MetricsRegistry,
     requests: Counter,
     shed: Counter,
+    brown_outs: Counter,
     view_hits: Counter,
     view_fallbacks: Counter,
 }
@@ -204,8 +218,13 @@ impl<'a, S: PageSource + Sync> QueryServer<'a, S> {
             tracing: None,
             slo: None,
             recorder: None,
+            deadline_budget_us: None,
+            deadline_from_slo: false,
+            hedge: None,
+            relevance: false,
             requests: registry.counter("requests"),
             shed: registry.counter("shed"),
+            brown_outs: registry.counter("brown_outs"),
             view_hits: registry.counter("views_answered"),
             view_fallbacks: registry.counter("views_fallback"),
             registry,
@@ -301,6 +320,62 @@ impl<'a, S: PageSource + Sync> QueryServer<'a, S> {
         self
     }
 
+    /// Gives every request a default deadline budget of `us`
+    /// microseconds, measured from the moment [`QueryServer::serve`] is
+    /// entered. Past the budget a request browns out: not-yet-fetched
+    /// pages are reported exactly (never fetched past the SLO), and a
+    /// request arriving already expired is answered as an empty partial
+    /// without consuming an admission permit. Overridable per call via
+    /// [`QueryServer::serve_with_deadline`].
+    pub fn with_deadline_budget(mut self, us: u64) -> Self {
+        self.deadline_budget_us = Some(us);
+        self
+    }
+
+    /// Derives the default deadline budget from the attached SLO's
+    /// latency objective (`threshold_us`), so the server never spends
+    /// longer on a request than the objective it is judged against. An
+    /// explicit [`QueryServer::with_deadline_budget`] wins; without an
+    /// SLO attached this is a no-op.
+    pub fn with_deadline_from_slo(mut self) -> Self {
+        self.deadline_from_slo = true;
+        self
+    }
+
+    /// Hedges laggard pooled fetches in served sessions (see
+    /// [`QuerySession::with_hedging`]): after `cfg.delay_us` in flight,
+    /// one backup GET races the primary; the first response wins and the
+    /// loser is cancelled. Rows and paper counters are unchanged; hedge
+    /// activity lands only in `cfg`'s counters (typically a
+    /// `resilience::HedgePolicy`'s registry cells).
+    pub fn with_hedging(mut self, cfg: nalg::HedgeConfig) -> Self {
+        self.hedge = Some(cfg);
+        self
+    }
+
+    /// Cancels pending fetches that relevance analysis proves can no
+    /// longer contribute to the answer (see
+    /// [`QuerySession::with_relevance_cancel`]).
+    pub fn with_relevance_cancel(mut self) -> Self {
+        self.relevance = true;
+        self
+    }
+
+    /// The default deadline for [`QueryServer::serve`]: the explicit
+    /// budget if set, else the SLO objective when opted in, else
+    /// infinite.
+    fn default_deadline(&self) -> obs::Deadline {
+        if let Some(us) = self.deadline_budget_us {
+            return obs::Deadline::after_us(us);
+        }
+        if self.deadline_from_slo {
+            if let Some(slo) = &self.slo {
+                return obs::Deadline::after_us(slo.objective().threshold_us);
+            }
+        }
+        obs::Deadline::infinite()
+    }
+
     /// The `serve`-prefixed registry (requests, shed, plan-cache
     /// counters).
     pub fn metrics(&self) -> &MetricsRegistry {
@@ -370,9 +445,22 @@ impl<'a, S: PageSource + Sync> QueryServer<'a, S> {
     /// answer (rows, completeness, page accesses) never depends on
     /// whether observation is on.
     pub fn serve(&self, q: &ConjunctiveQuery) -> Result<ServeOutcome> {
+        self.serve_with_deadline(q, self.default_deadline())
+    }
+
+    /// [`QueryServer::serve`] with an explicit per-request deadline,
+    /// overriding the configured default budget. The deadline threads
+    /// down through planning, evaluation, and the fetch pool: every
+    /// blocking point checks the remaining budget and fails over to a
+    /// partial answer (a *brown-out*) instead of blocking past it.
+    pub fn serve_with_deadline(
+        &self,
+        q: &ConjunctiveQuery,
+        deadline: obs::Deadline,
+    ) -> Result<ServeOutcome> {
         self.requests.inc();
         if self.tracing.is_none() && self.slo.is_none() && self.recorder.is_none() {
-            return self.serve_pipeline(q, None);
+            return self.serve_pipeline(q, deadline, None);
         }
         let key = q.cache_key();
         let mut obs = self.tracing.as_ref().map(|t| {
@@ -399,7 +487,7 @@ impl<'a, S: PageSource + Sync> QueryServer<'a, S> {
             o.root = root.id();
         }
         let t0 = Instant::now();
-        let res = self.serve_pipeline(q, obs.as_mut().map(|(_, o)| o));
+        let res = self.serve_pipeline(q, deadline, obs.as_mut().map(|(_, o)| o));
         let latency_us = t0.elapsed().as_micros() as u64;
         let out = res?;
         let fell_back = out.outcome.as_ref().map(|o| o.fell_back()).unwrap_or(false);
@@ -407,6 +495,7 @@ impl<'a, S: PageSource + Sync> QueryServer<'a, S> {
         let view_degraded = obs.as_ref().map(|(_, o)| o.view_fallback).unwrap_or(false);
         if let Some((mut root, o)) = obs {
             root.set("shed", u64::from(out.shed));
+            root.set("brown_out", u64::from(out.brown_out));
             root.set("cached_plan", u64::from(out.cached_plan));
             root.set("from_view", u64::from(out.from_view()));
             o.sink.finish(root);
@@ -443,6 +532,9 @@ impl<'a, S: PageSource + Sync> QueryServer<'a, S> {
             if breached {
                 rec.trigger(TriggerKind::SloBreach, rid);
             }
+            if out.brown_out {
+                rec.trigger(TriggerKind::BudgetExhausted, rid);
+            }
         }
         Ok(out)
     }
@@ -453,22 +545,41 @@ impl<'a, S: PageSource + Sync> QueryServer<'a, S> {
     fn serve_pipeline(
         &self,
         q: &ConjunctiveQuery,
+        deadline: obs::Deadline,
         mut obs: Option<&mut RequestObs>,
     ) -> Result<ServeOutcome> {
         let outcome_of = |obs: &Option<&mut RequestObs>,
                           outcome: Option<QueryOutcome>,
                           cached_plan: bool,
                           shed: bool,
+                          brown_out: bool,
                           view_answer: Option<Relation>| {
             ServeOutcome {
                 outcome,
                 cached_plan,
                 shed,
+                brown_out,
                 view_answer,
                 request_id: obs.as_ref().map(|o| o.rid),
                 phases: obs.as_ref().map(|o| o.phases),
             }
         };
+        // A request arriving with its budget already gone (e.g. it aged
+        // out in the caller's queue) is answered immediately as an empty
+        // partial — crucially *without* consuming an admission permit a
+        // live request could use.
+        if deadline.expired() {
+            self.brown_outs.inc();
+            if let Some(o) = obs.as_deref_mut() {
+                o.sink.event(
+                    EventKind::Serve,
+                    "serve.deadline",
+                    Some(o.root),
+                    vec![("pre_admission".to_string(), 1u64.into())],
+                );
+            }
+            return Ok(outcome_of(&obs, None, false, true, true, None));
+        }
         let admitted = self.admission.try_admit();
         if let Some(o) = obs.as_deref_mut() {
             o.sink.event(
@@ -480,7 +591,7 @@ impl<'a, S: PageSource + Sync> QueryServer<'a, S> {
         }
         let Some(_permit) = admitted else {
             self.shed.inc();
-            return Ok(outcome_of(&obs, None, false, true, None));
+            return Ok(outcome_of(&obs, None, false, true, false, None));
         };
         // Maintained views first: a registered, healthy view answers with
         // zero page accesses. A degraded one falls through to the full
@@ -503,7 +614,7 @@ impl<'a, S: PageSource + Sync> QueryServer<'a, S> {
                 match answer {
                     Some(rel) => {
                         self.view_hits.inc();
-                        return Ok(outcome_of(&obs, None, false, false, Some(rel)));
+                        return Ok(outcome_of(&obs, None, false, false, false, Some(rel)));
                     }
                     None => {
                         self.view_fallbacks.inc();
@@ -533,9 +644,42 @@ impl<'a, S: PageSource + Sync> QueryServer<'a, S> {
         if let Some(o) = obs.as_deref_mut() {
             session = session.with_trace(&o.sink).with_trace_parent(o.root);
         }
+        // A per-request cancel token whenever some mechanism will use
+        // it: deadline aborts, hedging's loser cancellation, or
+        // relevance-driven cancellation.
+        let token = (deadline.is_finite() || self.hedge.is_some() || self.relevance)
+            .then(obs::CancelToken::new);
+        if deadline.is_finite() {
+            session = session.with_deadline(deadline);
+        }
+        if let Some(t) = &token {
+            session = session.with_cancel_token(t.clone());
+        }
+        if let Some(cfg) = &self.hedge {
+            session = session.with_hedging(cfg.clone());
+        }
+        if self.relevance {
+            session = session.with_relevance_cancel();
+        }
         let (explain, cached_plan) = match self.plan_cache.lookup(&key, &quarantined) {
             Some(plan) => ((*plan).clone(), true),
-            None => (session.explain(q)?, false),
+            None => {
+                // Rule 1–9 enumeration is the most expensive pre-fetch
+                // phase; never start it with the budget already gone.
+                if deadline.expired() {
+                    self.brown_outs.inc();
+                    if let Some(o) = obs.as_deref_mut() {
+                        o.sink.event(
+                            EventKind::Serve,
+                            "serve.deadline",
+                            Some(o.root),
+                            vec![("pre_plan".to_string(), 1u64.into())],
+                        );
+                    }
+                    return Ok(outcome_of(&obs, None, false, true, true, None));
+                }
+                (session.explain(q)?, false)
+            }
         };
         if let Some(o) = obs.as_deref_mut() {
             o.phases.plan_us = t_plan.elapsed().as_micros() as u64;
@@ -547,18 +691,37 @@ impl<'a, S: PageSource + Sync> QueryServer<'a, S> {
             );
         }
         let t_eval = Instant::now();
-        let outcome = match obs.as_deref_mut() {
-            Some(o) => {
-                let ctx = RequestCtx {
-                    sink: o.attr.clone(),
-                    parent: o.root,
-                    request_id: o.rid,
-                    clock: o.clock.clone(),
-                };
-                obs::reqctx::with_ctx(Some(ctx), || session.run_planned(q, explain))?
-            }
+        // The ambient request context carries the deadline and token to
+        // the layers that only see the thread — pool workers, coalescing
+        // followers — so even an untraced request installs one when a
+        // finite budget or a token needs to propagate.
+        let ctx = match (obs.as_deref(), &token) {
+            (Some(o), _) => Some(RequestCtx {
+                sink: o.attr.clone(),
+                parent: o.root,
+                request_id: o.rid,
+                clock: o.clock.clone(),
+                deadline,
+                cancel: token.clone(),
+            }),
+            (None, Some(_)) => Some(RequestCtx {
+                sink: TraceSink::with_seed(0),
+                parent: 0,
+                request_id: 0,
+                clock: FetchClock::new(),
+                deadline,
+                cancel: token.clone(),
+            }),
+            (None, None) => None,
+        };
+        let outcome = match ctx {
+            Some(ctx) => obs::reqctx::with_ctx(Some(ctx), || session.run_planned(q, explain))?,
             None => session.run_planned(q, explain)?,
         };
+        let brown_out = outcome.report.deadline_exceeded;
+        if brown_out {
+            self.brown_outs.inc();
+        }
         if let Some(o) = obs.as_deref_mut() {
             let total = t_eval.elapsed().as_micros() as u64;
             o.phases.fetch_us = o.clock.total_us();
@@ -571,7 +734,14 @@ impl<'a, S: PageSource + Sync> QueryServer<'a, S> {
             self.plan_cache
                 .insert(key, Arc::new(outcome.explain.clone()));
         }
-        Ok(outcome_of(&obs, Some(outcome), cached_plan, false, None))
+        Ok(outcome_of(
+            &obs,
+            Some(outcome),
+            cached_plan,
+            false,
+            brown_out,
+            None,
+        ))
     }
 
     /// A point-in-time copy of every serving counter.
@@ -579,6 +749,7 @@ impl<'a, S: PageSource + Sync> QueryServer<'a, S> {
         ServerStats {
             requests: self.requests.get(),
             shed: self.shed.get(),
+            brown_outs: self.brown_outs.get(),
             view_hits: self.view_hits.get(),
             view_fallbacks: self.view_fallbacks.get(),
             stats_epoch: self.stats_epoch(),
@@ -595,6 +766,9 @@ pub struct ServerStats {
     pub requests: u64,
     /// Requests shed at admission.
     pub shed: u64,
+    /// Requests whose deadline budget expired (before admission,
+    /// before planning, or mid-evaluation).
+    pub brown_outs: u64,
     /// Requests answered directly from a maintained incremental view.
     pub view_hits: u64,
     /// Requests whose registered view was degraded, served live instead.

@@ -94,6 +94,15 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Why a bounded-wait receive returned without a value.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The wait elapsed with the channel still empty.
+        Timeout,
+        /// The channel is closed and empty.
+        Disconnected,
+    }
+
     /// A channel with unlimited buffering.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         with_capacity(usize::MAX)
@@ -126,8 +135,15 @@ pub mod channel {
     impl<T> Drop for Sender<T> {
         fn drop(&mut self) {
             if self.0.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
-                // last sender: wake all blocked receivers so they observe
-                // disconnection
+                // Last sender: wake all blocked receivers so they observe
+                // disconnection. The notify must happen with the queue
+                // lock held: a receiver that already loaded `senders > 0`
+                // holds the lock right up until `wait()` parks it, so
+                // locking here delays the notify until that receiver is
+                // parked (and can hear it). Notifying without the lock
+                // races that check-then-park window and a receiver parks
+                // forever on a channel nobody will ever signal again.
+                let _queue = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
                 self.0.not_empty.notify_all();
             }
         }
@@ -143,6 +159,9 @@ pub mod channel {
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
             if self.0.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Same check-then-park race as the Sender drop, for
+                // senders blocked on a full bounded channel.
+                let _queue = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
                 self.0.not_full.notify_all();
             }
         }
@@ -187,6 +206,34 @@ pub mod channel {
                     .not_empty
                     .wait(queue)
                     .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Blocks for the next value at most `timeout`; distinguishes an
+        /// elapsed wait from a closed-and-drained channel so pollers can
+        /// keep deadlines without busy-spinning.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut queue = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = queue.pop_front() {
+                    drop(queue);
+                    self.0.not_full.notify_one();
+                    return Ok(v);
+                }
+                if self.0.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+                if remaining.is_zero() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (q, _) = self
+                    .0
+                    .not_empty
+                    .wait_timeout(queue, remaining)
+                    .unwrap_or_else(|e| e.into_inner());
+                queue = q;
             }
         }
 
@@ -276,12 +323,93 @@ pub mod channel {
         }
 
         #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = unbounded::<u8>();
+            let t0 = std::time::Instant::now();
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            assert!(t0.elapsed() >= std::time::Duration::from_millis(10));
+            tx.send(9).unwrap();
+            assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(10)), Ok(9));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn recv_timeout_wakes_on_send_before_deadline() {
+            let (tx, rx) = unbounded::<u8>();
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    tx.send(1).unwrap();
+                });
+                assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(5)), Ok(1));
+            });
+        }
+
+        #[test]
         fn recv_fails_when_closed_and_empty() {
             let (tx, rx) = unbounded::<u8>();
             tx.send(1).unwrap();
             drop(tx);
             assert_eq!(rx.recv(), Ok(1));
             assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        /// Regression stress for the disconnect lost-wakeup: the last
+        /// sender's drop must not slip its notify into the window between
+        /// a receiver's `senders > 0` check and its condvar park (the
+        /// notify must be issued under the queue lock). On the buggy
+        /// ordering a receiver parks forever, so the stress runs in a
+        /// detached thread under a watchdog: a hang fails the test
+        /// instead of wedging the suite.
+        #[test]
+        fn last_sender_drop_always_wakes_parked_receivers() {
+            use std::sync::atomic::AtomicBool;
+            use std::sync::Arc;
+
+            let done = Arc::new(AtomicBool::new(false));
+            let flag = Arc::clone(&done);
+            std::thread::spawn(move || {
+                for i in 0..4000u32 {
+                    let (tx, rx) = unbounded::<u8>();
+                    let workers: Vec<_> = (0..3)
+                        .map(|_| {
+                            let rx = rx.clone();
+                            std::thread::spawn(move || while rx.recv().is_ok() {})
+                        })
+                        .collect();
+                    drop(rx);
+                    // A burst keeps every receiver cycling pop → check →
+                    // park while the disconnect lands; the drop is
+                    // jittered so across iterations it hits every phase
+                    // of that cycle, including the fatal check-then-park
+                    // gap.
+                    for _ in 0..24 {
+                        tx.send(1).unwrap();
+                    }
+                    for _ in 0..(i % 61) {
+                        std::hint::spin_loop();
+                    }
+                    drop(tx);
+                    for w in workers {
+                        w.join().unwrap();
+                    }
+                }
+                flag.store(true, Ordering::SeqCst);
+            });
+            for _ in 0..600 {
+                if done.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+            panic!("a receiver missed the last-sender disconnect and parked forever");
         }
     }
 }

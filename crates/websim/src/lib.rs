@@ -43,8 +43,8 @@ pub use mutation::{
     MutationRule,
 };
 pub use server::{
-    AccessSnapshot, DriftSnapshot, FaultSnapshot, HeadResponse, PageResponse, PageServer,
-    VirtualServer,
+    AccessSnapshot, DriftSnapshot, FaultSnapshot, HeadResponse, LatencyProfile, PageResponse,
+    PageServer, VirtualServer,
 };
 pub use site::{ChangeKind, Site, SiteChange};
 

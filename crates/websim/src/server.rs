@@ -52,6 +52,64 @@ pub struct HeadResponse {
     pub last_modified: u64,
 }
 
+/// A deterministic heavy-tail latency model.
+///
+/// Most requests pay `floor_us`; a `tail_rate` fraction pay
+/// `floor_us + tail_us`. Whether a given request lands in the tail is a
+/// pure function of `(seed, url, attempt)` — the per-URL attempt counter
+/// makes a *repeat* request to the same URL (a hedge's backup GET, a
+/// retry) re-roll the decision, exactly the property hedging exploits —
+/// so every seeded run is reproducible end to end.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyProfile {
+    /// Latency every request pays, in microseconds.
+    pub floor_us: u64,
+    /// Extra latency a tail request pays on top of the floor.
+    pub tail_us: u64,
+    /// Fraction of requests landing in the tail, in `[0, 1]`.
+    pub tail_rate: f64,
+    /// Seed of the per-(url, attempt) tail decision stream.
+    pub seed: u64,
+}
+
+impl LatencyProfile {
+    /// The latency at quantile `q` ∈ `[0, 1]`: the floor below
+    /// `1 − tail_rate`, the full tail latency above it. This is what a
+    /// hedge policy derives its delay from (e.g. `quantile(0.9)`).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if q < 1.0 - self.tail_rate {
+            self.floor_us
+        } else {
+            self.floor_us + self.tail_us
+        }
+    }
+
+    /// The deterministic delay for the `attempt`-th request (1-based) to
+    /// `url`.
+    pub fn delay_us(&self, url: &Url, attempt: u64) -> u64 {
+        let tail_ppm = (self.tail_rate.clamp(0.0, 1.0) * 1_000_000.0) as u64;
+        if tail_ppm == 0 {
+            return self.floor_us;
+        }
+        // FNV-1a over the URL bytes, mixed with seed and attempt via
+        // splitmix64 — fully deterministic, no hasher randomness.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in url.as_str().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        let mut z = h ^ self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ attempt;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        if z % 1_000_000 < tail_ppm {
+            self.floor_us + self.tail_us
+        } else {
+            self.floor_us
+        }
+    }
+}
+
 /// Per-kind counts of injected faults (all zero without a fault plan).
 /// These are separate from `gets`/`heads`/`not_found` so the paper's
 /// access accounting stays fault-blind when no plan is installed.
@@ -182,6 +240,10 @@ pub struct VirtualServer {
     gets_by_scheme: RwLock<HashMap<String, u64>>,
     /// Simulated network latency per request, in microseconds (0 = off).
     latency_us: AtomicU64,
+    /// Fast-path flag: true only while a latency profile is installed.
+    profile_on: AtomicBool,
+    /// Heavy-tail latency model plus its per-URL attempt counter.
+    latency_profile: Mutex<Option<(LatencyProfile, HashMap<Url, u64>)>>,
     /// Simulated transfer rate for GET bodies, bytes/second (0 = infinite).
     /// HEADs exchange no body and pay only the latency — the asymmetry that
     /// makes light connections "light".
@@ -212,6 +274,8 @@ impl Default for VirtualServer {
             get_bytes: registry.histogram("get_bytes"),
             gets_by_scheme: RwLock::default(),
             latency_us: AtomicU64::new(0),
+            profile_on: AtomicBool::new(false),
+            latency_profile: Mutex::new(None),
             bandwidth_bps: AtomicU64::new(0),
             chaos_enabled: AtomicBool::new(false),
             fault: Mutex::new(FaultState::default()),
@@ -224,6 +288,39 @@ impl Default for VirtualServer {
             d_dropped: registry.counter("drift_dropped"),
             registry,
         }
+    }
+}
+
+/// Sleeps out one simulated network delay, abandoning the wait early when
+/// the ambient request (see [`obs::reqctx`]) has a fired deadline or has
+/// cancelled this URL. Abandonment models a client closing its
+/// connection: the server still does the work and charges its access
+/// counters — only the caller's blocked thread is released, so a
+/// browned-out session never sits out a tail it will not use. Without a
+/// finite deadline or a cancel token in scope this is a plain sleep,
+/// byte-identical in effect to the pre-budget server.
+fn simulated_wait(total: Duration, url: &Url) {
+    let Some(ctx) = obs::reqctx::current() else {
+        return std::thread::sleep(total);
+    };
+    if !ctx.deadline.is_finite() && ctx.cancel.is_none() {
+        return std::thread::sleep(total);
+    }
+    let t0 = std::time::Instant::now();
+    loop {
+        let elapsed = t0.elapsed();
+        if elapsed >= total {
+            return;
+        }
+        if ctx.deadline.expired()
+            || ctx
+                .cancel
+                .as_ref()
+                .is_some_and(|t| t.is_url_cancelled(url.as_str()))
+        {
+            return;
+        }
+        std::thread::sleep((total - elapsed).min(Duration::from_micros(200)));
     }
 }
 
@@ -256,10 +353,44 @@ impl VirtualServer {
             .store(latency.as_micros() as u64, Ordering::Relaxed);
     }
 
-    fn simulate_latency(&self) {
+    /// Installs a heavy-tail latency profile (replacing any previous one
+    /// and its attempt bookkeeping). Stacks with [`set_latency`]: both
+    /// delays apply, though experiments normally use one or the other.
+    ///
+    /// [`set_latency`]: VirtualServer::set_latency
+    pub fn set_latency_profile(&self, profile: LatencyProfile) {
+        let mut g = self.latency_profile.lock();
+        self.profile_on.store(true, Ordering::Release);
+        *g = Some((profile, HashMap::new()));
+    }
+
+    /// Removes the latency profile; only the flat `set_latency` delay
+    /// (if any) remains.
+    pub fn clear_latency_profile(&self) {
+        let mut g = self.latency_profile.lock();
+        self.profile_on.store(false, Ordering::Release);
+        *g = None;
+    }
+
+    fn simulate_latency(&self, url: &Url) {
         let us = self.latency_us.load(Ordering::Relaxed);
         if us > 0 {
-            std::thread::sleep(Duration::from_micros(us));
+            simulated_wait(Duration::from_micros(us), url);
+        }
+        if self.profile_on.load(Ordering::Acquire) {
+            let delay = {
+                let mut g = self.latency_profile.lock();
+                g.as_mut().map(|(profile, attempts)| {
+                    let n = attempts.entry(url.clone()).or_insert(0);
+                    *n += 1;
+                    profile.delay_us(url, *n)
+                })
+            };
+            if let Some(us) = delay {
+                if us > 0 {
+                    simulated_wait(Duration::from_micros(us), url);
+                }
+            }
         }
     }
 
@@ -367,7 +498,7 @@ impl VirtualServer {
     /// (404 or injected fault) counts in `not_found`/`faults`, never as a
     /// GET: the paper's cost measure charges only completed downloads.
     pub fn get(&self, url: &Url) -> Result<PageResponse> {
-        self.simulate_latency();
+        self.simulate_latency(url);
         let pages = self.pages.read();
         let scheme = pages.get(url).map(|p| p.scheme.clone());
         match self.apply_fault(url, scheme.as_deref(), false) {
@@ -436,7 +567,7 @@ impl VirtualServer {
     /// Light connection: only existence and last-modified are exchanged.
     /// Body-mangling faults do not apply; availability faults do.
     pub fn head(&self, url: &Url) -> Result<HeadResponse> {
-        self.simulate_latency();
+        self.simulate_latency(url);
         let pages = self.pages.read();
         let scheme = pages.get(url).map(|p| p.scheme.clone());
         match self.apply_fault(url, scheme.as_deref(), true) {
@@ -748,6 +879,107 @@ mod tests {
         let t0 = std::time::Instant::now();
         s.get(&Url::new("/a.html")).unwrap();
         assert!(t0.elapsed() < Duration::from_millis(5));
+    }
+
+    #[test]
+    fn latency_profile_is_deterministic_per_url_and_attempt() {
+        let p = LatencyProfile {
+            floor_us: 100,
+            tail_us: 9_900,
+            tail_rate: 0.25,
+            seed: 7,
+        };
+        // Pure function of (seed, url, attempt).
+        let u = Url::new("/a.html");
+        assert_eq!(p.delay_us(&u, 1), p.delay_us(&u, 1));
+        // Over many URLs, roughly tail_rate of first attempts are slow.
+        let slow = (0..1000)
+            .filter(|i| p.delay_us(&Url::new(format!("/p/{i}")), 1) > p.floor_us)
+            .count();
+        assert!((150..350).contains(&slow), "tail fraction off: {slow}/1000");
+        // Quantiles: the floor below 1 − rate, the full tail above.
+        assert_eq!(p.quantile(0.5), 100);
+        assert_eq!(p.quantile(0.9), 10_000);
+    }
+
+    #[test]
+    fn latency_profile_rerolls_on_repeat_attempts() {
+        let p = LatencyProfile {
+            floor_us: 0,
+            tail_us: 1,
+            tail_rate: 0.5,
+            seed: 3,
+        };
+        // Some URL must flip between attempt 1 and attempt 2 — the
+        // re-roll a hedged backup GET relies on.
+        let flips = (0..64).any(|i| {
+            let u = Url::new(format!("/p/{i}"));
+            p.delay_us(&u, 1) != p.delay_us(&u, 2)
+        });
+        assert!(flips);
+    }
+
+    #[test]
+    fn latency_profile_delays_requests_until_cleared() {
+        let s = server_with_page();
+        s.set_latency_profile(LatencyProfile {
+            floor_us: 5_000,
+            tail_us: 0,
+            tail_rate: 0.0,
+            seed: 0,
+        });
+        let t0 = std::time::Instant::now();
+        s.get(&Url::new("/a.html")).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+        s.clear_latency_profile();
+        let t0 = std::time::Instant::now();
+        s.get(&Url::new("/a.html")).unwrap();
+        assert!(t0.elapsed() < Duration::from_millis(5));
+    }
+
+    #[test]
+    fn simulated_waits_are_severed_when_the_requester_gave_up() {
+        use obs::reqctx::{with_ctx, FetchClock, RequestCtx};
+        let s = server_with_page();
+        s.set_latency(Duration::from_millis(50));
+        // An expired deadline in the ambient request context: the client
+        // has already browned out, so the wait is abandoned — but the GET
+        // was still counted (the server did the work).
+        let ctx = RequestCtx {
+            sink: obs::trace::TraceSink::with_seed(0),
+            parent: 0,
+            request_id: 0,
+            clock: FetchClock::new(),
+            deadline: obs::Deadline::after_us(0),
+            cancel: None,
+        };
+        let before = s.stats().gets;
+        let t0 = std::time::Instant::now();
+        with_ctx(Some(ctx), || s.get(&Url::new("/a.html")).unwrap());
+        assert!(
+            t0.elapsed() < Duration::from_millis(40),
+            "an abandoned request must not sit out the full simulated wait"
+        );
+        assert_eq!(s.stats().gets, before + 1, "the GET is still charged");
+        // A cancelled URL severs the wait the same way.
+        let token = obs::CancelToken::new();
+        token.cancel_url("/a.html");
+        let ctx = RequestCtx {
+            sink: obs::trace::TraceSink::with_seed(0),
+            parent: 0,
+            request_id: 0,
+            clock: FetchClock::new(),
+            deadline: obs::Deadline::infinite(),
+            cancel: Some(token),
+        };
+        let t0 = std::time::Instant::now();
+        with_ctx(Some(ctx), || s.get(&Url::new("/a.html")).unwrap());
+        assert!(t0.elapsed() < Duration::from_millis(40));
+        // Without either signal the full wait is simulated as before.
+        let t0 = std::time::Instant::now();
+        s.get(&Url::new("/a.html")).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(50));
+        s.set_latency(Duration::ZERO);
     }
 
     #[test]

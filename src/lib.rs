@@ -69,19 +69,22 @@ pub mod prelude {
     pub use dataflow::{DeltaReport, IncrementalView, PartialStore};
     pub use matview::{MatAnalyzedOutcome, MatOutcome, MatSession, MatStore};
     pub use nalg::{
-        CoalescingSource, DegradationMode, EvalReport, Evaluator, NalgExpr, PageSource, Pred,
+        CoalescingSource, DegradationMode, EvalReport, Evaluator, HedgeConfig, NalgExpr,
+        PageSource, Pred,
     };
     pub use obs::{
-        EventKind, FixedHistogram, FlightDump, FlightRecorder, LatencyObjective, MetricsRegistry,
-        PhaseBreakdown, RequestTrace, SloSnapshot, SloTracker, TraceSink, TriggerKind,
+        CancelToken, Deadline, EventKind, FixedHistogram, FlightDump, FlightRecorder,
+        LatencyObjective, MetricsRegistry, PhaseBreakdown, RequestTrace, SloSnapshot, SloTracker,
+        TraceSink, TriggerKind,
     };
     pub use resilience::{
-        ConstraintHealth, ResilienceSnapshot, ResilientServer, ResilientSource, RetryPolicy,
+        ConstraintHealth, HedgePolicy, ResilienceSnapshot, ResilientServer, ResilientSource,
+        RetryPolicy,
     };
     pub use serve::{PlanCache, QueryServer, ServeOutcome, ServerStats};
     pub use websim::mutation::{DriftPlan, DriftRule, MutationPlan, MutationRule};
     pub use websim::sitegen::{BibConfig, Bibliography, University, UniversityConfig};
-    pub use websim::{FaultPlan, FaultRule, Site, VirtualServer};
+    pub use websim::{FaultPlan, FaultRule, LatencyProfile, Site, VirtualServer};
     pub use wrapper::wrap_page;
     pub use wvcore::views::{bibliography_catalog, university_catalog};
     pub use wvcore::{
@@ -268,5 +271,51 @@ mod tests {
             .metrics()
             .render_prometheus()
             .contains("serve_requests 4"));
+    }
+
+    // The README's "Bounding tail latency" walkthrough: under seeded
+    // latency-only chaos a budgeted, hedged, relevance-cancelling server
+    // still answers byte-exactly within a generous budget, and an
+    // already-expired request browns out honestly as an empty partial.
+    #[test]
+    fn readme_tail_latency_walkthrough() {
+        let site = University::generate(UniversityConfig::default()).unwrap();
+        let stats = SiteStatistics::from_site(&site.site);
+        let catalog = university_catalog();
+        let live = LiveSource::for_site(&site.site);
+        let coalesced = CoalescingSource::new(&live);
+
+        site.site.server.set_latency_profile(LatencyProfile {
+            floor_us: 100,
+            tail_us: 5_000,
+            tail_rate: 0.2,
+            seed: 7,
+        });
+
+        let hedge = HedgePolicy::new(500).with_jitter_seed(7);
+        let server = QueryServer::new(&site.site.scheme, &catalog, &stats, &coalesced)
+            .with_concurrent_fetch(3)
+            .with_deadline_budget(250_000)
+            .with_hedging(hedge.config())
+            .with_relevance_cancel();
+
+        let q = ConjunctiveQuery::new("full professors")
+            .atom("Professor")
+            .select((0, "Rank"), "Full")
+            .project((0, "PName"));
+
+        let out = server.serve(&q).unwrap();
+        assert!(!out.brown_out);
+        let report = out.outcome.unwrap().report;
+        assert!(report.is_complete() && !report.deadline_exceeded);
+
+        let snap = hedge.snapshot();
+        assert!(snap.hedge_wins <= snap.hedges);
+
+        let expired = server
+            .serve_with_deadline(&q, Deadline::after_us(0))
+            .unwrap();
+        assert!(expired.brown_out && expired.outcome.is_none());
+        site.site.server.clear_latency_profile();
     }
 }

@@ -1,0 +1,221 @@
+//! Property pins for deadline propagation and hedged fetches (ISSUE 10):
+//! the robustness machinery must be a strict no-op on the paper's
+//! numbers whenever it does not fire.
+//!
+//! Two pins on arbitrary seeded sites:
+//!
+//! 1. **Inert plumbing** — an evaluator carrying an *infinite* deadline
+//!    and a live cancel token (but no hedging) is observationally
+//!    identical to the plain evaluator: same rows, same rendered table,
+//!    and the same value for every access counter. The budgeted drain
+//!    only diverges from the pre-budget submit/recv loop when a finite
+//!    deadline or a hedge config is present — this pin holds that door
+//!    shut.
+//!
+//! 2. **Hedge invisibility** — with hedging enabled under latency-only
+//!    chaos (seeded slowdowns that never change bytes), the answer and
+//!    `page_accesses` still match the chaos-free plain run exactly:
+//!    backup GETs are charged to the hedge counters, never to the
+//!    paper's cost model, and whichever twin wins carries the same
+//!    bytes.
+
+use proptest::prelude::*;
+use webviews::nalg::HedgeConfig;
+use webviews::obs::{CancelToken, Deadline};
+use webviews::prelude::*;
+
+/// The same three plan shapes the columnar pin exercises: a pointer
+/// chase, a pointer join, and a flat scan.
+fn plans() -> Vec<(&'static str, NalgExpr)> {
+    let chase = NalgExpr::entry("DeptListPage")
+        .unnest("DeptList")
+        .select(Pred::eq("DeptListPage.DeptList.DName", "Computer Science"))
+        .follow("ToDept", "DeptPage")
+        .unnest("DeptPage.ProfList")
+        .follow("DeptPage.ProfList.ToProf", "ProfPage")
+        .unnest("ProfPage.CourseList")
+        .follow("ProfPage.CourseList.ToCourse", "CoursePage")
+        .select(Pred::eq("CoursePage.Type", "Graduate"))
+        .project(vec!["ProfPage.PName", "ProfPage.Email"]);
+    let prof_side = NalgExpr::entry("ProfListPage")
+        .unnest("ProfList")
+        .follow("ToProf", "ProfPage")
+        .select(Pred::eq("ProfPage.Rank", "Full"))
+        .unnest("ProfPage.CourseList");
+    let session_side = NalgExpr::entry("SessionListPage")
+        .unnest("SesList")
+        .select(Pred::eq("SessionListPage.SesList.Session", "Fall"))
+        .follow("ToSes", "SessionPage")
+        .unnest("SessionPage.CourseList");
+    let join = session_side
+        .join(
+            prof_side,
+            vec![(
+                "SessionPage.CourseList.ToCourse",
+                "ProfPage.CourseList.ToCourse",
+            )],
+        )
+        .follow("SessionPage.CourseList.ToCourse", "CoursePage")
+        .project(vec!["CoursePage.CName", "CoursePage.Description"]);
+    let scan = NalgExpr::entry("DeptListPage")
+        .unnest("DeptList")
+        .follow("ToDept", "DeptPage")
+        .unnest("DeptPage.ProfList")
+        .follow("DeptPage.ProfList.ToProf", "ProfPage")
+        .project(vec!["ProfPage.PName", "ProfPage.Rank"]);
+    vec![("chase", chase), ("join", join), ("scan", scan)]
+}
+
+/// Pin 1 body: plain vs infinite-deadline-plus-token, every counter.
+fn assert_inert_budget_is_identity(
+    site: &websim::Site,
+    expr: &NalgExpr,
+    label: &str,
+    workers: usize,
+) {
+    let source = LiveSource::for_site(site);
+    let plain = {
+        let mut ev = Evaluator::new(&site.scheme, &source);
+        if workers > 1 {
+            ev = ev.with_concurrent_fetch(workers);
+        }
+        ev.eval(expr).expect("plain eval")
+    };
+    let budgeted = {
+        let mut ev = Evaluator::new(&site.scheme, &source)
+            .with_deadline(Deadline::infinite())
+            .with_cancel_token(CancelToken::new());
+        if workers > 1 {
+            ev = ev.with_concurrent_fetch(workers);
+        }
+        ev.eval(expr).expect("budgeted eval")
+    };
+    let ctx = format!("{label} (workers={workers})");
+    assert_eq!(
+        budgeted.relation.sorted(),
+        plain.relation.sorted(),
+        "{ctx}: rows diverged"
+    );
+    assert_eq!(
+        budgeted.relation.to_table(),
+        plain.relation.to_table(),
+        "{ctx}: rendered tables diverged"
+    );
+    assert_eq!(
+        budgeted.page_accesses, plain.page_accesses,
+        "{ctx}: page_accesses"
+    );
+    assert_eq!(budgeted.cache_hits, plain.cache_hits, "{ctx}: cache_hits");
+    assert_eq!(
+        budgeted.broken_links, plain.broken_links,
+        "{ctx}: broken_links"
+    );
+    assert_eq!(
+        budgeted.accesses_by_operator, plain.accesses_by_operator,
+        "{ctx}: accesses_by_operator"
+    );
+    assert_eq!(
+        budgeted.unreachable, plain.unreachable,
+        "{ctx}: unreachable"
+    );
+    assert!(!budgeted.deadline_exceeded, "{ctx}: phantom brown-out");
+    assert!(budgeted.cancelled.is_empty(), "{ctx}: phantom cancellation");
+    assert!(budgeted.is_complete(), "{ctx}: must be complete");
+}
+
+/// Pin 2 body: hedging under latency-only chaos vs the chaos-free plain
+/// run — rows and the paper's counters must be untouched; only the
+/// hedge counters may move.
+fn assert_hedging_is_paper_blind(site: &websim::Site, expr: &NalgExpr, label: &str, seed: u64) {
+    let source = LiveSource::for_site(site);
+    let plain = Evaluator::new(&site.scheme, &source)
+        .eval(expr)
+        .expect("plain eval");
+    site.server.set_latency_profile(websim::LatencyProfile {
+        floor_us: 50,
+        tail_us: 2_000,
+        tail_rate: 0.25,
+        seed,
+    });
+    let cfg = HedgeConfig::new(300);
+    let hedged = Evaluator::new(&site.scheme, &source)
+        .with_concurrent_fetch(3)
+        .with_hedging(cfg.clone())
+        .eval(expr)
+        .expect("hedged eval");
+    site.server.clear_latency_profile();
+    let ctx = format!("{label} (seed={seed})");
+    assert_eq!(
+        hedged.relation.sorted(),
+        plain.relation.sorted(),
+        "{ctx}: hedging changed rows"
+    );
+    assert_eq!(
+        hedged.page_accesses, plain.page_accesses,
+        "{ctx}: a hedge twin was charged to page_accesses"
+    );
+    assert_eq!(
+        hedged.accesses_by_operator, plain.accesses_by_operator,
+        "{ctx}: per-operator accesses moved under hedging"
+    );
+    assert!(hedged.is_complete(), "{ctx}: slowdowns are not failures");
+    assert!(
+        hedged.unreachable.is_empty() && hedged.cancelled.is_empty(),
+        "{ctx}: hedging must not mark pages missing"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn inert_budget_plumbing_is_byte_identical(
+        departments in 1usize..4,
+        extra_profs in 0usize..8,
+        courses in 2usize..16,
+        seed in 0u64..10_000,
+    ) {
+        let u = University::generate(UniversityConfig {
+            departments,
+            professors: departments + extra_profs,
+            courses,
+            seed,
+            ..UniversityConfig::default()
+        }).unwrap();
+        for (label, expr) in plans() {
+            for workers in [1usize, 3] {
+                assert_inert_budget_is_identity(&u.site, &expr, label, workers);
+            }
+        }
+    }
+
+    #[test]
+    fn hedging_under_latency_chaos_never_changes_rows(
+        departments in 1usize..4,
+        courses in 2usize..12,
+        seed in 0u64..10_000,
+    ) {
+        let u = University::generate(UniversityConfig {
+            departments,
+            professors: departments + 3,
+            courses,
+            seed,
+            ..UniversityConfig::default()
+        }).unwrap();
+        for (label, expr) in plans() {
+            assert_hedging_is_paper_blind(&u.site, &expr, label, seed);
+        }
+    }
+}
+
+/// The default-config site gets both pins deterministically, so a
+/// divergence fails fast even under proptest-skipping test filters.
+#[test]
+fn deadline_pins_hold_on_default_site() {
+    let u = University::generate(UniversityConfig::default()).unwrap();
+    for (label, expr) in plans() {
+        for workers in [1usize, 3] {
+            assert_inert_budget_is_identity(&u.site, &expr, label, workers);
+        }
+        assert_hedging_is_paper_blind(&u.site, &expr, label, 7);
+    }
+}
